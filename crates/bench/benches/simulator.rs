@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the timing simulator itself: cycles-per-second
+//! throughput for each pipeline configuration, and the relative cost of
+//! the characterization passes. These guard the harness against
+//! performance regressions (a full Fig. 11 regeneration is 132
+//! simulations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popk_characterize::{drive, BranchStudy, DisambigStudy, TagMatchStudy};
+use popk_core::{simulate, MachineConfig};
+use popk_workloads::by_name;
+use std::hint::black_box;
+
+const LIMIT: u64 = 20_000;
+
+fn bench_configs(c: &mut Criterion) {
+    let program = by_name("gcc").unwrap().program();
+    let mut group = c.benchmark_group("simulate_gcc_20k");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("ideal", MachineConfig::ideal()),
+        ("simple2", MachineConfig::simple2()),
+        ("slice2_full", MachineConfig::slice2_full()),
+        ("simple4", MachineConfig::simple4()),
+        ("slice4_full", MachineConfig::slice4_full()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate(&program, cfg, LIMIT)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_diversity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_slice2_full_20k");
+    group.sample_size(10);
+    for name in ["mcf", "li", "ijpeg"] {
+        let program = by_name(name).unwrap().program();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
+            b.iter(|| black_box(simulate(p, &MachineConfig::slice2_full(), LIMIT)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let program = by_name("twolf").unwrap().program();
+    let mut group = c.benchmark_group("characterize_twolf_20k");
+    group.sample_size(10);
+    group.bench_function("disambig", |b| {
+        b.iter(|| {
+            let mut s = DisambigStudy::new(32);
+            drive(&program, LIMIT, &mut [&mut s]).unwrap();
+            black_box(s.report().loads)
+        })
+    });
+    group.bench_function("tagmatch", |b| {
+        b.iter(|| {
+            let mut s = TagMatchStudy::new(popk_cache::CacheConfig::l1d_table2());
+            drive(&program, LIMIT, &mut [&mut s]).unwrap();
+            black_box(s.report().accesses)
+        })
+    });
+    group.bench_function("branch", |b| {
+        b.iter(|| {
+            let mut s = BranchStudy::table2();
+            drive(&program, LIMIT, &mut [&mut s]).unwrap();
+            black_box(s.report().branches)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_configs,
+    bench_workload_diversity,
+    bench_characterization
+);
+criterion_main!(benches);

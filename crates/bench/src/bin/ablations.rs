@@ -1,0 +1,256 @@
+//! Ablation sweeps beyond the paper's figures, exercising the design
+//! choices DESIGN.md calls out:
+//!
+//! * A: gshare size sweep (how Fig. 6's detection CDF and accuracy move),
+//! * B: LSQ size sweep for the Fig. 2 disambiguation categories,
+//! * C: direction-predictor organization (gshare/bimodal/local/tournament),
+//! * D: each technique alone over bypassing, isolating per-technique effects,
+//! * E: the paper-sketched extensions (§5.1/§6/§5.2-refs),
+//! * F: wrong-path fetch modeling (phantoms vs. stall),
+//! * G: result significant-width distribution (the §6 premise),
+//! * H: producer→consumer dependence distances (the §2 motivation).
+//!
+//! Usage: `cargo run --release -p popk-bench --bin ablations [instr_budget]`
+
+#![allow(clippy::useless_vec)] // row! builds Vec rows; headers reuse it
+
+use popk_bench::fmt::{f3, render};
+use popk_bench::row;
+use popk_bench::runners::arg_limit;
+use popk_bpred::{DirKind, FrontEndConfig};
+use popk_characterize::{drive, BranchStudy, DisambigStudy, DistanceStudy, WidthStudy};
+use popk_core::{simulate, MachineConfig, Optimizations};
+use popk_workloads::by_name;
+
+fn main() {
+    let limit = arg_limit();
+    let names = ["gcc", "li", "twolf"];
+
+    // ---- gshare size sweep -------------------------------------------
+    println!("Ablation A: gshare size vs. accuracy and 8-bit detection ({limit} instrs)\n");
+    let mut rows = Vec::new();
+    for name in names {
+        let p = by_name(name).unwrap().program();
+        for bits in [10u32, 12, 14, 16] {
+            let mut study = BranchStudy::new(bits);
+            drive(&p, limit, &mut [&mut study]).unwrap();
+            let r = study.report();
+            rows.push(row![
+                name,
+                format!("{}K", (1u32 << bits) / 1024),
+                format!("{:.1}%", 100.0 * r.accuracy()),
+                format!("{:.0}%", r.percent_detected_within(8))
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render(&row!["benchmark", "entries", "accuracy", "detect ≤8b"], &rows)
+    );
+
+    // ---- LSQ size sweep ------------------------------------------------
+    println!("Ablation B: LSQ window vs. loads resolved after 9 bits\n");
+    let mut rows = Vec::new();
+    for name in names {
+        let p = by_name(name).unwrap().program();
+        for lsq in [8usize, 16, 32, 64] {
+            let mut study = DisambigStudy::new(lsq);
+            drive(&p, limit, &mut [&mut study]).unwrap();
+            let r = study.report();
+            rows.push(row![
+                name,
+                lsq,
+                format!("{:.1}%", r.resolved_after_bits(9))
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render(&row!["benchmark", "LSQ", "resolved ≤9b"], &rows)
+    );
+
+    // ---- bimodal vs gshare front end -----------------------------------
+    println!("Ablation C: direction predictor organization on slice-by-2 (all techniques)\n");
+    let mut rows = Vec::new();
+    for name in names {
+        let p = by_name(name).unwrap().program();
+        let mut r = vec![name.to_string()];
+        for kind in [DirKind::Gshare, DirKind::Bimodal, DirKind::Local, DirKind::Tournament] {
+            let mut cfg = MachineConfig::slice2_full();
+            cfg.frontend = FrontEndConfig { dir_kind: kind, ..FrontEndConfig::default() };
+            r.push(f3(simulate(&p, &cfg, limit).ipc()));
+        }
+        rows.push(r);
+    }
+    println!(
+        "{}",
+        render(
+            &row!["benchmark", "gshare", "bimodal", "local", "tournament"],
+            &rows
+        )
+    );
+
+    // ---- single-technique isolation -------------------------------------
+    println!("Ablation D: each technique alone on top of partial bypassing (slice-by-4)\n");
+    let single = |f: fn(&mut Optimizations)| {
+        let mut o = Optimizations::level(1);
+        f(&mut o);
+        o
+    };
+    let variants: [(&str, Optimizations); 5] = [
+        ("bypass only", Optimizations::level(1)),
+        ("+ooo slices", single(|o| o.ooo_slices = true)),
+        ("+early branch", single(|o| o.early_branch = true)),
+        ("+early disambig", single(|o| o.early_disambig = true)),
+        ("+partial tag", single(|o| o.partial_tag = true)),
+    ];
+    let mut rows = Vec::new();
+    for name in names {
+        let p = by_name(name).unwrap().program();
+        let mut r = vec![name.to_string()];
+        for (_, opts) in &variants {
+            let s = simulate(&p, &MachineConfig::slice4(*opts), limit);
+            r.push(f3(s.ipc()));
+        }
+        rows.push(r);
+    }
+    let header: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(variants.iter().map(|(n, _)| n.to_string()))
+        .collect();
+    println!("{}", render(&header, &rows));
+
+    // ---- paper-sketched extensions --------------------------------------
+    println!("Ablation E: paper-sketched extensions on top of all techniques (slice-by-2)\n");
+    let mut rows = Vec::new();
+    for name in ["gcc", "li", "twolf", "bzip", "vortex"] {
+        let p = by_name(name).unwrap().program();
+        let full = simulate(&p, &MachineConfig::slice2(Optimizations::all()), limit);
+        let ext = simulate(&p, &MachineConfig::slice2(Optimizations::extended()), limit);
+        let md = {
+            let mut o = Optimizations::all();
+            o.mem_dep_predict = true;
+            simulate(&p, &MachineConfig::slice2(o), limit)
+        };
+        rows.push(row![
+            name,
+            f3(full.ipc()),
+            f3(ext.ipc()),
+            format!("{:+.1}%", 100.0 * (ext.ipc() / full.ipc() - 1.0)),
+            ext.spec_forwards,
+            ext.narrow_wakeups,
+            ext.sam_starts,
+            f3(md.ipc()),
+            format!("{}/{}", md.mem_dep_speculations, md.mem_dep_violations)
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &row![
+                "benchmark",
+                "all IPC",
+                "ext IPC",
+                "ext gain",
+                "spec fwd",
+                "narrow",
+                "sam",
+                "+memdep IPC",
+                "specs/viol"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "`extended()` = spec-forward + narrow + sum-addressed; the memory\n\
+         dependence predictor is reported separately because its benefit is\n\
+         workload-dependent (see EXPERIMENTS.md)."
+    );
+
+    // ---- wrong-path fetch modeling ---------------------------------------
+    println!("\nAblation F: wrong-path fetch modeling (phantoms vs. fetch stall)\n");
+    let mut rows = Vec::new();
+    for name in ["go", "gcc", "parser", "twolf"] {
+        let p = by_name(name).unwrap().program();
+        let base = MachineConfig::slice2_full();
+        let mut wp = base;
+        wp.model_wrong_path = true;
+        let a = simulate(&p, &base, limit);
+        let b = simulate(&p, &wp, limit);
+        rows.push(row![
+            name,
+            f3(a.ipc()),
+            f3(b.ipc()),
+            format!("{:+.2}%", 100.0 * (b.ipc() / a.ipc() - 1.0))
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &row!["benchmark", "stall-model IPC", "phantom-model IPC", "delta"],
+            &rows
+        )
+    );
+    println!(
+        "Wrong-path pollution is second-order and non-monotone — the effect\n\
+         the paper credits for bzip/gzip/li slightly exceeding the ideal\n\
+         machine."
+    );
+
+    // ---- operand width distribution --------------------------------------
+    println!("\nAblation G: result significant-width distribution (the §6 premise)\n");
+    let mut rows = Vec::new();
+    for w in popk_workloads::all() {
+        let p = w.program();
+        let mut study = WidthStudy::new();
+        drive(&p, limit, &mut [&mut study]).unwrap();
+        let r = study.report();
+        rows.push(row![
+            w.name,
+            format!("{:.0}%", 100.0 * r.fraction_within(8)),
+            format!("{:.0}%", 100.0 * r.fraction_within(16)),
+            format!("{:.0}%", 100.0 * r.fraction_within(24)),
+            format!("{:.1}", r.mean_width())
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &row!["benchmark", "≤8 bits", "≤16 bits", "≤24 bits", "mean width"],
+            &rows
+        )
+    );
+    println!(
+        "Most results are sign/zero extensions of a narrow low slice — the\n\
+         empirical basis for the narrow-operand extension (refs [3], [6])."
+    );
+
+    // ---- dependence distances --------------------------------------------
+    println!("\nAblation H: producer→consumer dependence distances (the §2 motivation)\n");
+    let mut rows = Vec::new();
+    for w in popk_workloads::all() {
+        let p = w.program();
+        let mut study = DistanceStudy::new();
+        drive(&p, limit, &mut [&mut study]).unwrap();
+        let r = study.report();
+        rows.push(row![
+            w.name,
+            format!("{:.0}%", 100.0 * r.fraction_within(1)),
+            format!("{:.0}%", 100.0 * r.fraction_within(2)),
+            format!("{:.0}%", 100.0 * r.fraction_within(4)),
+            format!("{:.0}%", 100.0 * r.fraction_within(8)),
+            format!("{:.1}", r.mean_distance())
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &row!["benchmark", "d=1", "≤2", "≤4", "≤8", "mean"],
+            &rows
+        )
+    );
+    println!(
+        "A third to half of all source operands come from the immediately\n\
+         preceding instructions — exactly the population naive EX\n\
+         pipelining penalizes and partial bypassing rescues (Fig. 1)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Reproduce **Figure 11**: IPC of the bit-sliced microarchitecture vs.
+//! the ideal (unpipelined EX) machine and simple pipelining, for
+//! slice-by-2 and slice-by-4, with the five techniques applied
+//! cumulatively. Also prints the Fig. 10 pipeline configurations and the
+//! §7.1 way-mispredict statistic.
+//!
+//! Usage: `cargo run --release -p popk-bench --bin fig11 [instr_budget]`
+
+use popk_bench::fmt::{f3, render};
+use popk_bench::{arg_limit, fig11};
+use popk_core::Optimizations;
+
+fn main() {
+    let limit = arg_limit();
+    println!("Figure 10 pipeline configurations (frequency held constant):");
+    println!("  base      : Fetch1..RF2 (12) | EX          | Mem RE CT");
+    println!("  slice-by-2: Fetch1..RF2 (12) | EX1 EX2     | Mem RE CT");
+    println!("  slice-by-4: Fetch1..RF2 (12) | EX1..EX4    | Mem RE CT (L1D 2 cycles)\n");
+    println!("Figure 11: IPC stacks ({limit} instructions per run)\n");
+
+    let data = fig11(limit);
+    for (by4, cols) in [(false, &data.slice2), (true, &data.slice4)] {
+        let n = if by4 { 4 } else { 2 };
+        println!("== {n} slices ==\n");
+        let header: Vec<String> = std::iter::once("benchmark".to_string())
+            .chain((0..=5).map(|l| Optimizations::level_name(l).to_string()))
+            .chain(std::iter::once("ideal".to_string()))
+            .collect();
+        let rows: Vec<Vec<String>> = cols
+            .iter()
+            .map(|c| {
+                let mut r = vec![c.name.to_string()];
+                r.extend(c.level_ipc.iter().map(|&v| f3(v)));
+                r.push(f3(c.ideal_ipc));
+                r
+            })
+            .collect();
+        println!("{}", render(&header, &rows));
+
+        let vs_ideal = data.mean_full_vs_ideal(by4);
+        let speedup = data.mean_speedup(by4);
+        println!(
+            "geomean: all-techniques IPC = {:.1}% of ideal ({}); speedup over simple pipelining = {:+.1}%\n",
+            100.0 * vs_ideal,
+            if by4 {
+                "paper: 18% below ideal"
+            } else {
+                "paper: within ~1% of ideal"
+            },
+            100.0 * (speedup - 1.0),
+        );
+        let avg_way_miss: f64 = cols.iter().map(|c| c.way_mispredict_rate).sum::<f64>()
+            / cols.len() as f64;
+        println!(
+            "avg partial-tag way-mispredict rate: {:.1}% (paper: ~{}%)\n",
+            100.0 * avg_way_miss,
+            if by4 { 1 } else { 2 },
+        );
+    }
+}

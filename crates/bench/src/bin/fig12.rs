@@ -1,0 +1,55 @@
+//! Reproduce **Figure 12**: speedup of bit-slice pipelining over simple
+//! pipelining, broken down by technique (cumulative contributions), for
+//! slice-by-2 and slice-by-4.
+//!
+//! Usage: `cargo run --release -p popk-bench --bin fig12 [instr_budget]`
+
+use popk_bench::fmt::render;
+use popk_bench::{arg_limit, fig11, fig12_from};
+
+const TECHS: [&str; 5] = [
+    "partial bypassing",
+    "ooo slices",
+    "early branch",
+    "early l/s disambig",
+    "partial tag",
+];
+
+fn main() {
+    let limit = arg_limit();
+    println!("Figure 12: speedup of bit-slice pipelining over simple pipelining");
+    println!("({limit} instructions per run; columns are incremental contributions)\n");
+
+    let data = fig11(limit);
+    for by4 in [false, true] {
+        let n = if by4 { 4 } else { 2 };
+        println!("== {n} slices ==\n");
+        let header: Vec<String> = std::iter::once("benchmark".to_string())
+            .chain(TECHS.iter().map(|s| s.to_string()))
+            .chain(std::iter::once("total".to_string()))
+            .collect();
+        let rows_data = fig12_from(&data, by4);
+        let mut rows = Vec::new();
+        let mut new_tech_sum = 0.0;
+        for (name, contrib, total) in &rows_data {
+            let mut r = vec![name.to_string()];
+            r.extend(contrib.iter().map(|c| format!("{:+.1}%", 100.0 * c)));
+            r.push(format!("{:+.1}%", 100.0 * total));
+            rows.push(r);
+            // The paper's "new techniques" are everything past bypassing.
+            new_tech_sum += contrib[1..].iter().sum::<f64>();
+        }
+        println!("{}", render(&header, &rows));
+        let bypass = data.mean_bypass_speedup(by4) - 1.0;
+        let total = data.mean_speedup(by4) - 1.0;
+        println!(
+            "geomean total speedup {:+.1}% (paper: {}); bypassing alone {:+.1}%;\n\
+             new techniques add ~{:+.1}% on average (paper: {}).\n",
+            100.0 * total,
+            if by4 { "+44%" } else { "+16%" },
+            100.0 * bypass,
+            100.0 * new_tech_sum / rows_data.len() as f64,
+            if by4 { "+13%" } else { "+8%" },
+        );
+    }
+}

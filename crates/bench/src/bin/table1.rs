@@ -1,0 +1,38 @@
+//! Reproduce **Table 1**: baseline characteristics of the benchmark
+//! suite on the ideal (unpipelined-EX) Table 2 machine.
+//!
+//! Usage: `cargo run --release -p popk-bench --bin table1 [instr_budget]`
+
+#![allow(clippy::useless_vec)] // row! builds Vec rows; headers reuse it
+
+use popk_bench::fmt::{f3, pct, render};
+use popk_bench::{arg_limit, table1};
+use popk_bench::row;
+
+fn main() {
+    let limit = arg_limit();
+    println!("Table 1: benchmark characteristics (ideal machine, {limit} instructions)\n");
+    let rows = table1(limit);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            row![
+                r.name,
+                r.instructions,
+                f3(r.ipc),
+                pct(r.pct_loads),
+                pct(r.pct_stores),
+                pct(r.branch_accuracy)
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &row!["benchmark", "instrs", "IPC", "% loads", "% stores", "branch acc"],
+            &table
+        )
+    );
+    let mean_ipc = rows.iter().map(|r| r.ipc.ln()).sum::<f64>() / rows.len() as f64;
+    println!("geometric-mean IPC: {:.3}", mean_ipc.exp());
+}

@@ -1,0 +1,97 @@
+//! Minimal fixed-width table rendering for the report binaries.
+
+#![allow(clippy::useless_vec)] // row! builds Vec rows; headers reuse it
+
+/// Render a table: a header row plus data rows, columns padded to the
+/// widest cell, separated by two spaces. Numeric-looking cells are
+/// right-aligned.
+pub fn render(header: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let numeric: Vec<bool> = (0..ncols)
+        .map(|c| {
+            rows.iter()
+                .all(|r| r[c].is_empty() || r[c].parse::<f64>().is_ok() || r[c].ends_with('%'))
+                && !rows.is_empty()
+        })
+        .collect();
+
+    let mut out = String::new();
+    let emit = |out: &mut String, row: &[String], bold_rule: bool| {
+        for (c, cell) in row.iter().enumerate() {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            if numeric[c] {
+                out.push_str(&format!("{cell:>width$}", width = widths[c]));
+            } else {
+                out.push_str(&format!("{cell:<width$}", width = widths[c]));
+            }
+        }
+        out.push('\n');
+        if bold_rule {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    };
+    emit(&mut out, header, true);
+    for row in rows {
+        emit(&mut out, row, false);
+    }
+    out
+}
+
+/// Shorthand: build a `Vec<String>` row from `&str`/`String` items.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$($cell.to_string()),*]
+    };
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a fraction as a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render(
+            &row!["name", "ipc"],
+            &[row!["bzip", "1.234"], row!["li", "0.9"]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[2].contains("1.234"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        let _ = render(&row!["a", "b"], &[row!["only one"]]);
+    }
+}

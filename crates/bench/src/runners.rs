@@ -1,0 +1,317 @@
+//! Experiment runners, one per table/figure.
+
+use popk_cache::CacheConfig;
+use popk_characterize::{drive, BranchReport, BranchStudy, DisambigReport, DisambigStudy,
+    TagMatchReport, TagMatchStudy};
+use popk_core::{simulate, MachineConfig, Optimizations, SimStats};
+use popk_workloads::{all, by_name, Workload};
+use std::sync::Mutex;
+
+/// Default dynamic-instruction budget per simulation. The paper simulates
+/// 500 M per benchmark on native hardware; this default keeps a full
+/// figure regeneration in the minutes range on one host while leaving the
+/// steady-state behaviour representative. Every binary accepts a budget
+/// as its first CLI argument.
+pub const DEFAULT_LIMIT: u64 = 200_000;
+
+/// Read the dynamic-instruction budget from the first CLI argument
+/// (used by every report binary), falling back to [`DEFAULT_LIMIT`].
+pub fn arg_limit() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|a| a.replace('_', "").parse().ok())
+        .unwrap_or(DEFAULT_LIMIT)
+}
+
+/// Run `f` for every workload in parallel, returning results in the
+/// registry order.
+fn per_workload<T: Send>(f: impl Fn(&Workload) -> T + Sync) -> Vec<T> {
+    let workloads = all();
+    let results: Vec<Mutex<Option<T>>> = workloads.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (w, slot) in workloads.iter().zip(&results) {
+            scope.spawn(|| {
+                *slot.lock().unwrap() = Some(f(w));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed"))
+        .collect()
+}
+
+// ---- Table 1 --------------------------------------------------------------
+
+/// One row of Table 1.
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Instructions simulated for the timing column.
+    pub instructions: u64,
+    /// Baseline (ideal EX) IPC.
+    pub ipc: f64,
+    /// Load fraction of committed instructions.
+    pub pct_loads: f64,
+    /// Store fraction.
+    pub pct_stores: f64,
+    /// Conditional-branch direction accuracy (64K gshare + BTB + RAS).
+    pub branch_accuracy: f64,
+}
+
+/// Reproduce Table 1: baseline characteristics of all eleven workloads.
+pub fn table1(limit: u64) -> Vec<Table1Row> {
+    per_workload(|w| {
+        let p = w.program();
+        let s = simulate(&p, &MachineConfig::ideal(), limit);
+        Table1Row {
+            name: w.name,
+            instructions: s.committed,
+            ipc: s.ipc(),
+            pct_loads: s.load_fraction(),
+            pct_stores: s.stores as f64 / s.committed.max(1) as f64,
+            branch_accuracy: s.branch_accuracy(),
+        }
+    })
+}
+
+// ---- Fig. 2 ---------------------------------------------------------------
+
+/// Reproduce Fig. 2 for the named benchmarks (paper: bzip and gcc),
+/// 32-entry unified LSQ.
+pub fn fig2(names: &[&str], limit: u64) -> Vec<(String, DisambigReport)> {
+    names
+        .iter()
+        .map(|name| {
+            let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+            let p = w.program();
+            let mut study = DisambigStudy::new(32);
+            drive(&p, limit, &mut [&mut study]).expect("emulation");
+            (name.to_string(), study.report())
+        })
+        .collect()
+}
+
+// ---- Fig. 4 ---------------------------------------------------------------
+
+/// Reproduce Fig. 4 for one benchmark: the named cache family at
+/// associativities 2/4/8. `big` selects the 64 KB/64 B geometry (paper:
+/// mcf); otherwise 8 KB/32 B (paper: twolf).
+pub fn fig4(name: &str, big: bool, limit: u64) -> Vec<TagMatchReport> {
+    let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let p = w.program();
+    [2u32, 4, 8]
+        .iter()
+        .map(|&ways| {
+            let cfg = if big {
+                CacheConfig::new(64 * 1024, 64, ways)
+            } else {
+                CacheConfig::small_8k(ways)
+            };
+            let mut study = TagMatchStudy::new(cfg);
+            drive(&p, limit, &mut [&mut study]).expect("emulation");
+            study.report()
+        })
+        .collect()
+}
+
+// ---- Fig. 6 ---------------------------------------------------------------
+
+/// Reproduce Fig. 6: per-benchmark misprediction-detection CDFs with a
+/// 64K-entry gshare.
+pub fn fig6(limit: u64) -> Vec<(&'static str, BranchReport)> {
+    per_workload(|w| {
+        let p = w.program();
+        let mut study = BranchStudy::table2();
+        drive(&p, limit, &mut [&mut study]).expect("emulation");
+        (w.name, study.report())
+    })
+}
+
+// ---- Fig. 11 / Fig. 12 ------------------------------------------------------
+
+/// Per-workload column of Fig. 11: the ideal IPC plus the cumulative
+/// optimization stack.
+pub struct Fig11Column {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// IPC of the unpipelined-EX ideal machine.
+    pub ideal_ipc: f64,
+    /// IPC at cumulative optimization levels 0..=5 (level 0 = simple
+    /// pipelining).
+    pub level_ipc: [f64; 6],
+    /// Way-mispredict rate of the full configuration (§7.1 footnote).
+    pub way_mispredict_rate: f64,
+    /// Full-config statistics (for ancillary reporting).
+    pub full_stats: SimStats,
+}
+
+/// The complete Fig. 11 dataset: one column set per slicing factor.
+pub struct Fig11Data {
+    /// Slice-by-2 columns.
+    pub slice2: Vec<Fig11Column>,
+    /// Slice-by-4 columns.
+    pub slice4: Vec<Fig11Column>,
+}
+
+fn fig11_columns(limit: u64, by4: bool) -> Vec<Fig11Column> {
+    per_workload(|w| {
+        let p = w.program();
+        let ideal = simulate(&p, &MachineConfig::ideal(), limit);
+        let mut level_ipc = [0.0; 6];
+        let mut full_stats = SimStats::default();
+        #[allow(clippy::needless_range_loop)] // level doubles as the config knob
+        for level in 0..=5 {
+            let opts = Optimizations::level(level);
+            let cfg = if by4 {
+                MachineConfig::slice4(opts)
+            } else {
+                MachineConfig::slice2(opts)
+            };
+            let s = simulate(&p, &cfg, limit);
+            level_ipc[level] = s.ipc();
+            if level == 5 {
+                full_stats = s;
+            }
+        }
+        Fig11Column {
+            name: w.name,
+            ideal_ipc: ideal.ipc(),
+            level_ipc,
+            way_mispredict_rate: full_stats.way_mispredict_rate(),
+            full_stats,
+        }
+    })
+}
+
+/// Reproduce Fig. 11: IPC stacks for slice-by-2 and slice-by-4 across all
+/// workloads and cumulative optimization levels.
+pub fn fig11(limit: u64) -> Fig11Data {
+    Fig11Data {
+        slice2: fig11_columns(limit, false),
+        slice4: fig11_columns(limit, true),
+    }
+}
+
+impl Fig11Data {
+    /// Geometric-mean IPC ratio of level-5 (all techniques) to ideal, for
+    /// the given slicing (the paper's "within 1%" / "18% below" summary).
+    pub fn mean_full_vs_ideal(&self, by4: bool) -> f64 {
+        let cols = if by4 { &self.slice4 } else { &self.slice2 };
+        geomean(cols.iter().map(|c| c.level_ipc[5] / c.ideal_ipc))
+    }
+
+    /// Geometric-mean speedup of level-5 over level-0 (simple pipelining)
+    /// — the paper's 16% (slice-by-2) / 44% (slice-by-4).
+    pub fn mean_speedup(&self, by4: bool) -> f64 {
+        let cols = if by4 { &self.slice4 } else { &self.slice2 };
+        geomean(cols.iter().map(|c| c.level_ipc[5] / c.level_ipc[0]))
+    }
+
+    /// Mean speedup of level-1 only (partial bypassing) over level-0 —
+    /// the "existing technique" share of Fig. 12.
+    pub fn mean_bypass_speedup(&self, by4: bool) -> f64 {
+        let cols = if by4 { &self.slice4 } else { &self.slice2 };
+        geomean(cols.iter().map(|c| c.level_ipc[1] / c.level_ipc[0]))
+    }
+}
+
+fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for v in vals {
+        log_sum += v.ln();
+        n += 1;
+    }
+    (log_sum / n.max(1) as f64).exp()
+}
+
+/// Fig. 12 rows derived from Fig. 11 data: the per-technique speedup
+/// contribution over simple pipelining, per workload. Entry `[k]` is the
+/// incremental contribution of cumulative level `k+1`
+/// (`(ipc[k+1] - ipc[k]) / ipc[0]`); summing all five gives the total
+/// speedup fraction.
+pub fn fig12_from(data: &Fig11Data, by4: bool) -> Vec<(&'static str, [f64; 5], f64)> {
+    let cols = if by4 { &data.slice4 } else { &data.slice2 };
+    cols.iter()
+        .map(|c| {
+            let base = c.level_ipc[0];
+            let mut contrib = [0.0; 5];
+            for (k, slot) in contrib.iter_mut().enumerate() {
+                *slot = (c.level_ipc[k + 1] - c.level_ipc[k]) / base;
+            }
+            let total = c.level_ipc[5] / base - 1.0;
+            (c.name, contrib, total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: u64 = 12_000;
+
+    #[test]
+    fn table1_rows_complete() {
+        let rows = table1(QUICK);
+        assert_eq!(rows.len(), 11);
+        for r in &rows {
+            assert!(r.ipc > 0.05 && r.ipc < 4.0, "{}: ipc {}", r.name, r.ipc);
+            assert!(r.pct_loads > 0.0 && r.pct_loads < 0.6);
+            assert!(r.branch_accuracy > 0.5 && r.branch_accuracy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fig2_reports() {
+        let reports = fig2(&["bzip"], QUICK);
+        assert_eq!(reports.len(), 1);
+        let (_, r) = &reports[0];
+        assert!(r.loads > 100);
+        // Full-width comparison resolves everything.
+        assert!((r.resolved_after_bits(30) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_reports() {
+        let reports = fig4("twolf", false, QUICK);
+        assert_eq!(reports.len(), 3);
+        for (r, ways) in reports.iter().zip([2u32, 4, 8]) {
+            assert_eq!(r.config.ways, ways);
+            assert!(r.accesses > 100);
+        }
+    }
+
+    #[test]
+    fn fig6_reports() {
+        let reports = fig6(QUICK);
+        assert_eq!(reports.len(), 11);
+        let total_br: u64 = reports.iter().map(|(_, r)| r.branches).sum();
+        assert!(total_br > 1000);
+    }
+
+    #[test]
+    fn fig12_contributions_sum_to_total() {
+        // Synthesize a Fig11Data rather than simulating: the identity is
+        // algebraic.
+        let col = Fig11Column {
+            name: "x",
+            ideal_ipc: 2.0,
+            level_ipc: [1.0, 1.2, 1.25, 1.4, 1.5, 1.6],
+            way_mispredict_rate: 0.0,
+            full_stats: SimStats::default(),
+        };
+        let data = Fig11Data { slice2: vec![col], slice4: vec![] };
+        let rows = fig12_from(&data, false);
+        let (_, contrib, total) = &rows[0];
+        let sum: f64 = contrib.iter().sum();
+        assert!((sum - total).abs() < 1e-12);
+        assert!((total - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+        assert!((geomean([3.0].into_iter()) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Saturating counters.
+
+/// A 2-bit saturating counter, the storage cell of every direction
+/// predictor here. States 0–1 predict not-taken, 2–3 predict taken;
+/// initialized to 2 (weakly taken), the SimpleScalar convention.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SatCounter(u8);
+
+impl Default for SatCounter {
+    fn default() -> Self {
+        SatCounter(2)
+    }
+}
+
+impl SatCounter {
+    /// A counter in an explicit state (0–3).
+    ///
+    /// # Panics
+    /// Panics if `state > 3`.
+    pub fn new(state: u8) -> SatCounter {
+        assert!(state <= 3);
+        SatCounter(state)
+    }
+
+    /// The prediction this counter encodes.
+    #[inline]
+    pub fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Train toward the actual outcome.
+    #[inline]
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    /// The raw state (0–3).
+    pub fn state(self) -> u8 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation() {
+        let mut c = SatCounter::new(0);
+        c.update(false);
+        assert_eq!(c.state(), 0);
+        for _ in 0..5 {
+            c.update(true);
+        }
+        assert_eq!(c.state(), 3);
+        assert!(c.predict());
+    }
+
+    #[test]
+    fn hysteresis() {
+        // From strongly-taken, one not-taken outcome must not flip the
+        // prediction.
+        let mut c = SatCounter::new(3);
+        c.update(false);
+        assert!(c.predict());
+        c.update(false);
+        assert!(!c.predict());
+    }
+
+    #[test]
+    fn default_weakly_taken() {
+        assert!(SatCounter::default().predict());
+        assert_eq!(SatCounter::default().state(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_state() {
+        let _ = SatCounter::new(4);
+    }
+}

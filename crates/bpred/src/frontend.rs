@@ -1,0 +1,313 @@
+//! The composite front-end predictor.
+
+use crate::btb::Btb;
+use crate::direction::{Bimodal, DirectionPredictor, Gshare};
+use crate::local::{Local, Tournament};
+use crate::ras::Ras;
+
+/// Which direction predictor the front end instantiates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DirKind {
+    /// Global-history gshare (the paper's Table 2 predictor).
+    #[default]
+    Gshare,
+    /// PC-indexed bimodal.
+    Bimodal,
+    /// Two-level local-history (PAg).
+    Local,
+    /// Alpha-21264-style gshare/local tournament.
+    Tournament,
+}
+
+/// What kind of control transfer the front end is predicting. The ISA
+/// layer (`popk-core`) maps instructions to this; `popk-bpred` stays
+/// ISA-independent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchKind {
+    /// A conditional branch whose (direct) target is known at decode.
+    Conditional {
+        /// The taken-path target.
+        target: u32,
+    },
+    /// `j`/`jal`: target known at decode, never mispredicted.
+    DirectJump {
+        /// Jump target.
+        target: u32,
+        /// True for `jal` (pushes a return address).
+        is_call: bool,
+    },
+    /// `jr`/`jalr`: target comes from a register.
+    IndirectJump {
+        /// True for `jalr` (pushes a return address).
+        is_call: bool,
+        /// True for `jr ra` (predicted via the RAS).
+        is_return: bool,
+    },
+}
+
+/// The front end's prediction for one control instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Prediction {
+    /// Predicted direction (always true for jumps).
+    pub taken: bool,
+    /// Predicted next fetch PC.
+    pub next_pc: u32,
+    /// Whether the prediction turned out correct (filled by
+    /// [`FrontEnd::predict_and_update`], which sees the actual outcome).
+    pub correct: bool,
+}
+
+/// Configuration for [`FrontEnd`], defaulting to the paper's Table 2:
+/// 64K-entry gshare, 4-way 512-entry BTB, 8-entry RAS.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontEndConfig {
+    /// log2 of the gshare/bimodal table size.
+    pub dir_index_bits: u32,
+    /// Direction predictor organization.
+    pub dir_kind: DirKind,
+    /// BTB set count (power of two).
+    pub btb_sets: usize,
+    /// BTB associativity.
+    pub btb_ways: usize,
+    /// RAS depth.
+    pub ras_depth: usize,
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        FrontEndConfig {
+            dir_index_bits: 16,
+            dir_kind: DirKind::Gshare,
+            btb_sets: 128,
+            btb_ways: 4,
+            ras_depth: 8,
+        }
+    }
+}
+
+/// Accuracy statistics, split by transfer kind.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct PredStats {
+    /// Conditional branches seen.
+    pub cond: u64,
+    /// Conditional direction mispredictions.
+    pub cond_wrong: u64,
+    /// Indirect jumps seen.
+    pub indirect: u64,
+    /// Indirect target mispredictions.
+    pub indirect_wrong: u64,
+    /// Direct jumps seen (never wrong).
+    pub direct: u64,
+}
+
+impl PredStats {
+    /// Conditional-branch direction accuracy in `[0, 1]`.
+    pub fn cond_accuracy(&self) -> f64 {
+        if self.cond == 0 {
+            return 1.0;
+        }
+        1.0 - self.cond_wrong as f64 / self.cond as f64
+    }
+
+    /// Total control-transfer mispredictions.
+    pub fn total_wrong(&self) -> u64 {
+        self.cond_wrong + self.indirect_wrong
+    }
+}
+
+/// The composite front-end predictor: direction predictor + BTB + RAS.
+pub struct FrontEnd {
+    dir: Box<dyn DirectionPredictor + Send>,
+    btb: Btb,
+    ras: Ras,
+    stats: PredStats,
+}
+
+impl FrontEnd {
+    /// Build from a configuration.
+    pub fn new(cfg: &FrontEndConfig) -> FrontEnd {
+        let dir: Box<dyn DirectionPredictor + Send> = match cfg.dir_kind {
+            DirKind::Gshare => Box::new(Gshare::new(cfg.dir_index_bits)),
+            DirKind::Bimodal => Box::new(Bimodal::new(cfg.dir_index_bits)),
+            DirKind::Local => Box::new(Local::new(
+                (cfg.dir_index_bits / 2).max(4),
+                (cfg.dir_index_bits / 2).clamp(4, 16),
+            )),
+            DirKind::Tournament => Box::new(Tournament::default_sized()),
+        };
+        FrontEnd {
+            dir,
+            btb: Btb::new(cfg.btb_sets, cfg.btb_ways),
+            ras: Ras::new(cfg.ras_depth),
+            stats: PredStats::default(),
+        }
+    }
+
+    /// The Table 2 default configuration.
+    pub fn table2() -> FrontEnd {
+        FrontEnd::new(&FrontEndConfig::default())
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PredStats {
+        &self.stats
+    }
+
+    /// Peek the direction prediction for a conditional branch at `pc`
+    /// without training (used by characterization passes that manage
+    /// training separately).
+    pub fn peek_direction(&self, pc: u32) -> bool {
+        self.dir.predict(pc)
+    }
+
+    /// Predict the control instruction at `pc`, then immediately train
+    /// with the actual outcome (`actual_taken`, `actual_target`).
+    ///
+    /// This in-order predict-then-train discipline is the standard
+    /// trace-driven approximation: the returned [`Prediction::correct`]
+    /// flag is what the timing model charges misprediction penalties from.
+    pub fn predict_and_update(
+        &mut self,
+        pc: u32,
+        kind: BranchKind,
+        actual_taken: bool,
+        actual_target: u32,
+    ) -> Prediction {
+        let fallthrough = pc.wrapping_add(4);
+        match kind {
+            BranchKind::Conditional { target } => {
+                let taken = self.dir.predict(pc);
+                let next_pc = if taken { target } else { fallthrough };
+                self.dir.update(pc, actual_taken);
+                self.stats.cond += 1;
+                let correct = taken == actual_taken;
+                if !correct {
+                    self.stats.cond_wrong += 1;
+                }
+                Prediction { taken, next_pc, correct }
+            }
+            BranchKind::DirectJump { target, is_call } => {
+                if is_call {
+                    self.ras.push(fallthrough);
+                }
+                self.stats.direct += 1;
+                Prediction { taken: true, next_pc: target, correct: true }
+            }
+            BranchKind::IndirectJump { is_call, is_return } => {
+                let predicted = if is_return {
+                    self.ras.pop()
+                } else {
+                    self.btb.predict(pc)
+                };
+                if is_call {
+                    self.ras.push(fallthrough);
+                }
+                if !is_return {
+                    self.btb.update(pc, actual_target);
+                }
+                self.stats.indirect += 1;
+                let correct = predicted == Some(actual_target);
+                if !correct {
+                    self.stats.indirect_wrong += 1;
+                }
+                Prediction {
+                    taken: true,
+                    next_pc: predicted.unwrap_or(fallthrough),
+                    correct,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_flow() {
+        let mut fe = FrontEnd::table2();
+        let pc = 0x0040_0000;
+        let target = 0x0040_0100;
+        // Train taken a few times, then the prediction should be correct.
+        for _ in 0..4 {
+            fe.predict_and_update(pc, BranchKind::Conditional { target }, true, target);
+        }
+        let p = fe.predict_and_update(pc, BranchKind::Conditional { target }, true, target);
+        assert!(p.taken && p.correct);
+        assert_eq!(p.next_pc, target);
+        assert!(fe.stats().cond >= 5);
+    }
+
+    #[test]
+    fn call_return_pairs_use_ras() {
+        let mut fe = FrontEnd::table2();
+        let call_pc = 0x0040_0000;
+        let callee = 0x0040_1000;
+        let ret_pc = callee + 8;
+        fe.predict_and_update(
+            call_pc,
+            BranchKind::DirectJump { target: callee, is_call: true },
+            true,
+            callee,
+        );
+        let p = fe.predict_and_update(
+            ret_pc,
+            BranchKind::IndirectJump { is_call: false, is_return: true },
+            true,
+            call_pc + 4,
+        );
+        assert!(p.correct, "RAS should predict the return");
+        assert_eq!(p.next_pc, call_pc + 4);
+    }
+
+    #[test]
+    fn indirect_jumps_train_btb() {
+        let mut fe = FrontEnd::table2();
+        let pc = 0x0040_0040;
+        let tgt = 0x0040_2000;
+        let first = fe.predict_and_update(
+            pc,
+            BranchKind::IndirectJump { is_call: false, is_return: false },
+            true,
+            tgt,
+        );
+        assert!(!first.correct, "cold BTB misses");
+        let second = fe.predict_and_update(
+            pc,
+            BranchKind::IndirectJump { is_call: false, is_return: false },
+            true,
+            tgt,
+        );
+        assert!(second.correct);
+    }
+
+    #[test]
+    fn accuracy_accounting() {
+        let mut fe = FrontEnd::table2();
+        let pc = 0x0040_0000;
+        let t = 0x0040_0100;
+        // Alternate outcomes: gshare will be wrong some of the time.
+        for i in 0..100 {
+            fe.predict_and_update(pc, BranchKind::Conditional { target: t }, i % 2 == 0, t);
+        }
+        let s = fe.stats();
+        assert_eq!(s.cond, 100);
+        assert!(s.cond_accuracy() <= 1.0 && s.cond_accuracy() >= 0.0);
+    }
+
+    #[test]
+    fn bimodal_config() {
+        let mut fe = FrontEnd::new(&FrontEndConfig {
+            dir_kind: DirKind::Bimodal,
+            dir_index_bits: 10,
+            ..Default::default()
+        });
+        let pc = 0x0040_0000;
+        for _ in 0..4 {
+            fe.predict_and_update(pc, BranchKind::Conditional { target: 0x100 }, false, 0x100);
+        }
+        let p = fe.predict_and_update(pc, BranchKind::Conditional { target: 0x100 }, false, 0x100);
+        assert!(!p.taken && p.correct);
+    }
+}

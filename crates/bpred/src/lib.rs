@@ -1,0 +1,37 @@
+//! # popk-bpred — branch prediction substrate
+//!
+//! The front-end prediction machinery of the paper's Table 2 machine:
+//!
+//! * [`Gshare`] — global-history XOR-indexed 2-bit counter table (the
+//!   paper's 64K-entry default),
+//! * [`Bimodal`] — PC-indexed 2-bit counter table (used by ablations),
+//! * [`Btb`] — set-associative branch target buffer (4-way, 512 entries),
+//! * [`Ras`] — return address stack (8 entries),
+//! * [`FrontEnd`] — the composite predictor the timing model queries once
+//!   per fetched control instruction, with accuracy statistics.
+//!
+//! ```
+//! use popk_bpred::{Gshare, DirectionPredictor};
+//!
+//! let mut g = Gshare::new(16); // 64K entries
+//! // A strongly-biased branch trains quickly.
+//! for _ in 0..4 { g.update(0x40_0000, true); }
+//! assert!(g.predict(0x40_0000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod counters;
+mod direction;
+mod frontend;
+mod local;
+mod ras;
+
+pub use btb::Btb;
+pub use counters::SatCounter;
+pub use direction::{Bimodal, DirectionPredictor, Gshare};
+pub use local::{Local, Tournament};
+pub use frontend::{BranchKind, DirKind, FrontEnd, FrontEndConfig, PredStats, Prediction};
+pub use ras::Ras;

@@ -1,0 +1,177 @@
+//! Local-history and tournament direction predictors (ablation
+//! alternatives to the paper's gshare).
+
+use crate::counters::SatCounter;
+use crate::direction::{DirectionPredictor, Gshare};
+
+/// A two-level local-history predictor (PAg): a table of per-branch
+/// history registers indexing a shared table of 2-bit counters.
+pub struct Local {
+    histories: Vec<u16>,
+    counters: Vec<SatCounter>,
+    hist_bits: u32,
+}
+
+impl Local {
+    /// `hist_entries_log2` history registers of `hist_bits` bits each;
+    /// the counter table has `2^hist_bits` entries.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= hist_bits <= 16` and
+    /// `1 <= hist_entries_log2 <= 20`.
+    pub fn new(hist_entries_log2: u32, hist_bits: u32) -> Local {
+        assert!((1..=16).contains(&hist_bits));
+        assert!((1..=20).contains(&hist_entries_log2));
+        Local {
+            histories: vec![0; 1 << hist_entries_log2],
+            counters: vec![SatCounter::default(); 1 << hist_bits],
+            hist_bits,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.histories.len() - 1)
+    }
+}
+
+impl DirectionPredictor for Local {
+    fn predict(&self, pc: u32) -> bool {
+        let h = self.histories[self.slot(pc)] as usize;
+        self.counters[h].predict()
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        let slot = self.slot(pc);
+        let h = self.histories[slot] as usize;
+        self.counters[h].update(taken);
+        let mask = (1u16 << self.hist_bits) - 1;
+        self.histories[slot] = ((self.histories[slot] << 1) | taken as u16) & mask;
+    }
+
+    fn name(&self) -> &'static str {
+        "local"
+    }
+}
+
+/// An Alpha-21264-style tournament predictor: gshare and local components
+/// arbitrated by a PC-indexed chooser trained toward whichever component
+/// was right.
+pub struct Tournament {
+    global: Gshare,
+    local: Local,
+    chooser: Vec<SatCounter>,
+}
+
+impl Tournament {
+    /// Component sizes: `global_bits` for the gshare, `(local_entries_log2,
+    /// local_hist_bits)` for the local predictor, `chooser_bits` for the
+    /// chooser table.
+    pub fn new(global_bits: u32, local_entries_log2: u32, local_hist_bits: u32, chooser_bits: u32) -> Tournament {
+        assert!((1..=30).contains(&chooser_bits));
+        Tournament {
+            global: Gshare::new(global_bits),
+            local: Local::new(local_entries_log2, local_hist_bits),
+            chooser: vec![SatCounter::default(); 1 << chooser_bits],
+        }
+    }
+
+    /// A balanced default sized like the Table 2 budget (64K total-ish).
+    pub fn default_sized() -> Tournament {
+        Tournament::new(14, 10, 10, 12)
+    }
+
+    #[inline]
+    fn choose_slot(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.chooser.len() - 1)
+    }
+}
+
+impl DirectionPredictor for Tournament {
+    fn predict(&self, pc: u32) -> bool {
+        // Chooser taken-state means "trust global".
+        if self.chooser[self.choose_slot(pc)].predict() {
+            self.global.predict(pc)
+        } else {
+            self.local.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        let g = self.global.predict(pc);
+        let l = self.local.predict(pc);
+        // Train the chooser only when the components disagree.
+        if g != l {
+            let slot = self.choose_slot(pc);
+            self.chooser[slot].update(g == taken);
+        }
+        self.global.update(pc, taken);
+        self.local.update(pc, taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Accuracy of a predictor on a repeated pattern after warmup.
+    fn accuracy(pred: &mut dyn DirectionPredictor, pc: u32, pattern: &[bool], trips: usize) -> f64 {
+        let (mut right, mut total) = (0u32, 0u32);
+        for trip in 0..trips {
+            for &taken in pattern {
+                let p = pred.predict(pc);
+                if trip >= trips / 2 {
+                    total += 1;
+                    right += (p == taken) as u32;
+                }
+                pred.update(pc, taken);
+            }
+        }
+        right as f64 / total as f64
+    }
+
+    #[test]
+    fn local_learns_short_periodic_patterns() {
+        let mut l = Local::new(10, 10);
+        // Period-4 pattern: T T T N — a local history of 10 bits nails it.
+        let acc = accuracy(&mut l, 0x40_0000, &[true, true, true, false], 100);
+        assert!(acc > 0.95, "local accuracy {acc}");
+    }
+
+    #[test]
+    fn tournament_at_least_matches_components_on_pattern() {
+        let pattern = [true, true, false, true, false, false, true, true];
+        let mut g = Gshare::new(14);
+        let mut t = Tournament::default_sized();
+        let ga = accuracy(&mut g, 0x40_0000, &pattern, 100);
+        let ta = accuracy(&mut t, 0x40_0000, &pattern, 100);
+        assert!(ta >= ga - 0.05, "tournament {ta} vs gshare {ga}");
+    }
+
+    #[test]
+    fn tournament_chooser_picks_the_right_component() {
+        // A strongly-biased branch is easy for both; a periodic one favors
+        // local after aliasing pressure on global. Just sanity-check the
+        // prediction path runs and stays deterministic.
+        let mut t = Tournament::default_sized();
+        for i in 0..1000u32 {
+            let pc = 0x40_0000 + (i % 64) * 4;
+            let taken = (i % 3) != 0;
+            let _ = t.predict(pc);
+            t.update(pc, taken);
+        }
+        let a = t.predict(0x40_0000);
+        let b = t.predict(0x40_0000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Local::new(4, 4).name(), "local");
+        assert_eq!(Tournament::default_sized().name(), "tournament");
+    }
+}

@@ -1,0 +1,86 @@
+//! Return address stack.
+
+/// A fixed-depth return address stack (Table 2: 8 entries).
+///
+/// Overflow wraps (oldest entry is overwritten), underflow returns `None`;
+/// both match common hardware behaviour.
+pub struct Ras {
+    buf: Vec<u32>,
+    top: usize,
+    live: usize,
+}
+
+impl Ras {
+    /// A RAS with `depth` entries.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> Ras {
+        assert!(depth > 0);
+        Ras { buf: vec![0; depth], top: 0, live: 0 }
+    }
+
+    /// Push a return address (on `jal`/`jalr`).
+    pub fn push(&mut self, addr: u32) {
+        self.top = (self.top + 1) % self.buf.len();
+        self.buf[self.top] = addr;
+        self.live = (self.live + 1).min(self.buf.len());
+    }
+
+    /// Pop the predicted return address (on `jr ra`).
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.live == 0 {
+            return None;
+        }
+        let v = self.buf[self.top];
+        self.top = (self.top + self.buf.len() - 1) % self.buf.len();
+        self.live -= 1;
+        Some(v)
+    }
+
+    /// Peek without popping.
+    pub fn peek(&self) -> Option<u32> {
+        (self.live > 0).then(|| self.buf[self.top])
+    }
+
+    /// Number of live entries.
+    pub fn depth(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new(8);
+        r.push(0x100);
+        r.push(0x200);
+        assert_eq!(r.pop(), Some(0x200));
+        assert_eq!(r.pop(), Some(0x100));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn peek_nondestructive() {
+        let mut r = Ras::new(4);
+        r.push(9);
+        assert_eq!(r.peek(), Some(9));
+        assert_eq!(r.depth(), 1);
+        assert_eq!(r.pop(), Some(9));
+        assert_eq!(r.peek(), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cache geometry.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line (block) size in bytes.
+    pub line_bytes: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Construct and validate a geometry.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero or not a power of two, or if the
+    /// capacity is not divisible into `ways` ways of whole lines.
+    pub fn new(size_bytes: u32, line_bytes: u32, ways: u32) -> CacheConfig {
+        assert!(size_bytes.is_power_of_two() && size_bytes > 0);
+        assert!(line_bytes.is_power_of_two() && line_bytes > 0);
+        assert!(ways.is_power_of_two() && ways > 0);
+        assert!(size_bytes >= line_bytes * ways, "fewer than one set");
+        CacheConfig { size_bytes, line_bytes, ways }
+    }
+
+    /// The paper's L1 D-cache: 64 KB, 4-way, 64 B lines.
+    pub fn l1d_table2() -> CacheConfig {
+        CacheConfig::new(64 * 1024, 64, 4)
+    }
+
+    /// The paper's L1 I-cache: 64 KB, 2-way, 64 B lines.
+    pub fn l1i_table2() -> CacheConfig {
+        CacheConfig::new(64 * 1024, 64, 2)
+    }
+
+    /// The paper's unified L2: 1 MB, 4-way, 64 B lines.
+    pub fn l2_table2() -> CacheConfig {
+        CacheConfig::new(1024 * 1024, 64, 4)
+    }
+
+    /// The small configuration of Fig. 4's right column: 8 KB, 32 B lines.
+    pub fn small_8k(ways: u32) -> CacheConfig {
+        CacheConfig::new(8 * 1024, 32, ways)
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Bits of block offset.
+    #[inline]
+    pub fn offset_bits(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// Bits of set index.
+    #[inline]
+    pub fn index_bits(&self) -> u32 {
+        self.sets().trailing_zeros()
+    }
+
+    /// Bits of tag.
+    #[inline]
+    pub fn tag_bits(&self) -> u32 {
+        32 - self.offset_bits() - self.index_bits()
+    }
+
+    /// First address bit of the tag field (== offset + index bits). The
+    /// paper's Fig. 4 x-axis starts here: "as associativity grows, the tag
+    /// bits start earlier in the address".
+    #[inline]
+    pub fn tag_start_bit(&self) -> u32 {
+        self.offset_bits() + self.index_bits()
+    }
+
+    /// Set index of `addr`.
+    #[inline]
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr >> self.offset_bits()) & (self.sets() - 1)
+    }
+
+    /// Tag of `addr`.
+    #[inline]
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        addr >> self.tag_start_bit()
+    }
+
+    /// Given `known_bits` low-order address bits (e.g. 16 after the first
+    /// agen slice of a slice-by-2 machine), how many *tag* bits are
+    /// available? `None` if the set index is not yet complete.
+    #[inline]
+    pub fn partial_tag_bits(&self, known_bits: u32) -> Option<u32> {
+        let start = self.tag_start_bit();
+        (known_bits >= start).then(|| (known_bits - start).min(self.tag_bits()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_geometries() {
+        let l1d = CacheConfig::l1d_table2();
+        assert_eq!(l1d.sets(), 256);
+        assert_eq!(l1d.offset_bits(), 6);
+        assert_eq!(l1d.index_bits(), 8);
+        assert_eq!(l1d.tag_start_bit(), 14);
+        assert_eq!(l1d.tag_bits(), 18);
+        // Paper §7.1: with 16 address bits known, the 64KB 4-way cache has
+        // "only two bits beyond the index" for the partial tag match.
+        assert_eq!(l1d.partial_tag_bits(16), Some(2));
+
+        let small = CacheConfig::small_8k(8);
+        assert_eq!(small.sets(), 32);
+        assert_eq!(small.tag_start_bit(), 10);
+        assert_eq!(small.partial_tag_bits(16), Some(6));
+    }
+
+    #[test]
+    fn index_and_tag_extraction() {
+        let c = CacheConfig::new(1024, 16, 2); // 32 sets, offset 4, index 5
+        assert_eq!(c.set_of(0x0000_0123), (0x123 >> 4) & 31);
+        assert_eq!(c.tag_of(0x0000_0123), 0x123 >> 9);
+        assert_eq!(c.partial_tag_bits(8), None); // index incomplete
+        assert_eq!(c.partial_tag_bits(9), Some(0));
+        assert_eq!(c.partial_tag_bits(32), Some(c.tag_bits()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let _ = CacheConfig::new(3000, 64, 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! The two-level hierarchy of Table 2.
+
+use crate::config::CacheConfig;
+use crate::set_assoc::{Cache, PartialOutcome};
+
+/// Latencies and geometries for the full memory system.
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u32,
+    /// L2 hit latency in cycles (added to the L1 latency on an L1 miss).
+    pub l2_latency: u32,
+    /// Main-memory latency in cycles (added on an L2 miss).
+    pub mem_latency: u32,
+}
+
+impl Default for HierarchyConfig {
+    /// Table 2: L1I 64KB/2-way, L1D 64KB/4-way (1 cycle), L2 1MB/4-way
+    /// (6 cycles), memory 100 cycles.
+    fn default() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::l1i_table2(),
+            l1d: CacheConfig::l1d_table2(),
+            l2: CacheConfig::l2_table2(),
+            l1_latency: 1,
+            l2_latency: 6,
+            mem_latency: 100,
+        }
+    }
+}
+
+/// Outcome of a hierarchy access.
+#[derive(Clone, Copy, Debug)]
+pub struct MemAccess {
+    /// Hit in the first-level cache?
+    pub l1_hit: bool,
+    /// Hit anywhere before main memory?
+    pub l2_hit: bool,
+    /// Total access latency in cycles.
+    pub latency: u32,
+}
+
+/// An L1I + L1D + unified-L2 memory system.
+///
+/// Blocking and write-allocate (stores fill like loads); write-back
+/// traffic is not modeled, matching the level of detail the paper reports.
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+}
+
+impl Hierarchy {
+    /// Build from a configuration.
+    pub fn new(cfg: HierarchyConfig) -> Hierarchy {
+        Hierarchy {
+            cfg,
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+        }
+    }
+
+    /// The Table 2 default.
+    pub fn table2() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::default())
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Immutable view of the L1 D-cache (for partial-tag probes).
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// Immutable view of the L1 I-cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// Immutable view of the L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Fetch access (instruction side).
+    pub fn access_insn(&mut self, addr: u32) -> MemAccess {
+        let l1 = self.l1i.access(addr);
+        self.finish(l1.hit, addr)
+    }
+
+    /// Data access (loads and stores share the port in this model).
+    pub fn access_data(&mut self, addr: u32) -> MemAccess {
+        let l1 = self.l1d.access(addr);
+        self.finish(l1.hit, addr)
+    }
+
+    /// Partial-tag probe of the L1 D-cache with `known_bits` low address
+    /// bits available. Returns `None` when the index is not yet complete.
+    pub fn partial_probe_data(&self, addr: u32, known_bits: u32) -> Option<PartialOutcome> {
+        let tag_bits = self.cfg.l1d.partial_tag_bits(known_bits)?;
+        Some(self.l1d.partial_probe(addr, tag_bits))
+    }
+
+    fn finish(&mut self, l1_hit: bool, addr: u32) -> MemAccess {
+        if l1_hit {
+            return MemAccess { l1_hit: true, l2_hit: true, latency: self.cfg.l1_latency };
+        }
+        let l2 = self.l2.access(addr);
+        if l2.hit {
+            MemAccess {
+                l1_hit: false,
+                l2_hit: true,
+                latency: self.cfg.l1_latency + self.cfg.l2_latency,
+            }
+        } else {
+            MemAccess {
+                l1_hit: false,
+                l2_hit: false,
+                latency: self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.mem_latency,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_composition() {
+        let mut h = Hierarchy::table2();
+        let a = 0x1000_0000;
+        let first = h.access_data(a);
+        assert!(!first.l1_hit && !first.l2_hit);
+        assert_eq!(first.latency, 1 + 6 + 100);
+        let second = h.access_data(a);
+        assert!(second.l1_hit);
+        assert_eq!(second.latency, 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_conflicts() {
+        let mut h = Hierarchy::table2();
+        let base = 0x1000_0000u32;
+        // Blow out one L1D set (4-way): 5 lines with identical index.
+        let stride = 1 << h.config().l1d.tag_start_bit();
+        for i in 0..5 {
+            h.access_data(base + i * stride);
+        }
+        // First line was evicted from L1 but still sits in the larger L2.
+        let again = h.access_data(base);
+        assert!(!again.l1_hit);
+        assert!(again.l2_hit);
+        assert_eq!(again.latency, 1 + 6);
+    }
+
+    #[test]
+    fn insn_and_data_are_separate_l1s() {
+        let mut h = Hierarchy::table2();
+        let a = 0x0040_0000;
+        h.access_insn(a);
+        let d = h.access_data(a);
+        assert!(!d.l1_hit, "I and D caches must not alias");
+        assert!(d.l2_hit, "but the unified L2 is shared");
+    }
+
+    #[test]
+    fn partial_probe_gating() {
+        let mut h = Hierarchy::table2();
+        let a = 0x1000_0040;
+        h.access_data(a);
+        // Index needs 14 bits; 13 known → no probe possible yet.
+        assert!(h.partial_probe_data(a, 13).is_none());
+        assert!(h.partial_probe_data(a, 16).is_some());
+    }
+}

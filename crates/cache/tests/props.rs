@@ -1,0 +1,128 @@
+//! Property tests for the cache substrate: structural invariants under
+//! arbitrary access streams, and consistency between partial and full tag
+//! matching.
+
+use popk_cache::{Cache, CacheConfig, PartialOutcome};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop::sample::select(vec![512u32, 1024, 8192, 65536]),
+        prop::sample::select(vec![16u32, 32, 64]),
+        prop::sample::select(vec![1u32, 2, 4, 8]),
+    )
+        .prop_filter_map("geometry must hold at least one set", |(size, line, ways)| {
+            (size >= line * ways).then(|| CacheConfig::new(size, line, ways))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Immediately after an access, the address is resident.
+    #[test]
+    fn access_makes_resident(
+        cfg in arb_config(),
+        addrs in prop::collection::vec(any::<u32>(), 1..200),
+    ) {
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.probe(a), "{a:#x} must be resident after access");
+        }
+    }
+
+    /// Hits + misses account for every access; re-access of the most
+    /// recent address always hits.
+    #[test]
+    fn stats_are_consistent(
+        cfg in arb_config(),
+        addrs in prop::collection::vec(any::<u32>(), 1..200),
+    ) {
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+            let r = c.access(a);
+            prop_assert!(r.hit);
+        }
+        let s = *c.stats();
+        prop_assert_eq!(s.accesses, 2 * addrs.len() as u64);
+        prop_assert!(s.hits >= addrs.len() as u64);
+        prop_assert_eq!(s.misses(), s.accesses - s.hits);
+    }
+
+    /// A partial probe with the full tag width agrees exactly with probe():
+    /// SingleHit iff resident, and never ambiguous.
+    #[test]
+    fn full_width_partial_probe_is_exact(
+        cfg in arb_config(),
+        warm in prop::collection::vec(any::<u32>(), 1..100),
+        query in any::<u32>(),
+    ) {
+        let mut c = Cache::new(cfg);
+        for &a in &warm {
+            c.access(a);
+        }
+        let outcome = c.partial_probe(query, cfg.tag_bits());
+        match outcome {
+            PartialOutcome::SingleHit { .. } => prop_assert!(c.probe(query)),
+            PartialOutcome::ZeroMatch | PartialOutcome::SingleMiss => {
+                prop_assert!(!c.probe(query))
+            }
+            PartialOutcome::MultiMatch { .. } => {
+                prop_assert!(false, "full-width probes cannot be ambiguous")
+            }
+        }
+    }
+
+    /// Monotonicity: a ZeroMatch at t known tag bits stays ZeroMatch for
+    /// every larger t (more bits can only rule out more), and a resident
+    /// line is never classified as a miss at any width.
+    #[test]
+    fn partial_probe_monotone(
+        cfg in arb_config(),
+        warm in prop::collection::vec(any::<u32>(), 1..100),
+        query in any::<u32>(),
+    ) {
+        let mut c = Cache::new(cfg);
+        for &a in &warm {
+            c.access(a);
+        }
+        let resident = c.probe(query);
+        let mut seen_zero = false;
+        for t in 0..=cfg.tag_bits() {
+            let o = c.partial_probe(query, t);
+            if seen_zero {
+                prop_assert_eq!(o, PartialOutcome::ZeroMatch, "t={}", t);
+            }
+            match o {
+                PartialOutcome::ZeroMatch => {
+                    prop_assert!(!resident);
+                    seen_zero = true;
+                }
+                PartialOutcome::SingleMiss => prop_assert!(!resident),
+                PartialOutcome::SingleHit { .. } => prop_assert!(resident),
+                PartialOutcome::MultiMatch { mru_correct, .. } => {
+                    if mru_correct {
+                        prop_assert!(resident);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The MRU way always names a valid way, and after an access it names
+    /// the way that access touched.
+    #[test]
+    fn mru_tracks_last_touch(
+        cfg in arb_config(),
+        addrs in prop::collection::vec(any::<u32>(), 1..100),
+    ) {
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            let r = c.access(a);
+            prop_assert!(r.way < cfg.ways);
+            prop_assert_eq!(c.mru_way(a), r.way);
+        }
+    }
+}

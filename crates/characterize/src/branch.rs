@@ -1,0 +1,217 @@
+//! Early resolution of conditional branches (Fig. 6 and the §5.3
+//! aggregates).
+//!
+//! A 64K-entry gshare predicts every conditional branch in the trace. For
+//! each *misprediction*, [`popk_slice::mispredict_detection_bit`] computes
+//! how many low-order operand bits prove the misprediction; the figure is
+//! the CDF of that quantity. `beq`/`bne` shares of dynamic branches and
+//! of mispredictions reproduce the paper's 61% / 48% claims.
+
+use crate::TraceSink;
+use popk_bpred::{DirectionPredictor, Gshare};
+use popk_emu::TraceRecord;
+use popk_slice::{mispredict_detection_bit, FULL_WIDTH_BITS};
+
+/// Aggregated Fig. 6 data.
+#[derive(Clone, Debug)]
+pub struct BranchReport {
+    /// `detect_by_bits[k]`: mispredictions provable using at most `k+1`
+    /// low-order bits (cumulative; index 31 == all mispredictions).
+    pub detect_by_bits: [u64; FULL_WIDTH_BITS as usize],
+    /// Dynamic conditional branches.
+    pub branches: u64,
+    /// Dynamic `beq`/`bne`.
+    pub eq_ne_branches: u64,
+    /// Total mispredictions.
+    pub mispredicts: u64,
+    /// Mispredictions on `beq`/`bne`.
+    pub eq_ne_mispredicts: u64,
+}
+
+impl BranchReport {
+    /// Percent of mispredictions detectable within `bits` low-order bits.
+    pub fn percent_detected_within(&self, bits: u32) -> f64 {
+        assert!((1..=FULL_WIDTH_BITS).contains(&bits));
+        100.0 * self.detect_by_bits[(bits - 1) as usize] as f64
+            / self.mispredicts.max(1) as f64
+    }
+
+    /// Direction-prediction accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            return 1.0;
+        }
+        1.0 - self.mispredicts as f64 / self.branches as f64
+    }
+
+    /// `beq`/`bne` share of dynamic conditional branches (§5.3: 61% across
+    /// the paper's suite).
+    pub fn eq_ne_branch_share(&self) -> f64 {
+        self.eq_ne_branches as f64 / self.branches.max(1) as f64
+    }
+
+    /// `beq`/`bne` share of mispredictions (§5.3: 48%).
+    pub fn eq_ne_mispredict_share(&self) -> f64 {
+        self.eq_ne_mispredicts as f64 / self.mispredicts.max(1) as f64
+    }
+}
+
+/// The Fig. 6 study.
+pub struct BranchStudy {
+    predictor: Gshare,
+    report: BranchReport,
+}
+
+impl BranchStudy {
+    /// With a `2^index_bits`-entry gshare (paper: 16 → 64K entries).
+    pub fn new(index_bits: u32) -> BranchStudy {
+        BranchStudy {
+            predictor: Gshare::new(index_bits),
+            report: BranchReport {
+                detect_by_bits: [0; FULL_WIDTH_BITS as usize],
+                branches: 0,
+                eq_ne_branches: 0,
+                mispredicts: 0,
+                eq_ne_mispredicts: 0,
+            },
+        }
+    }
+
+    /// The paper's configuration (64K entries).
+    pub fn table2() -> BranchStudy {
+        BranchStudy::new(16)
+    }
+
+    /// Finish and report.
+    pub fn report(&self) -> BranchReport {
+        self.report.clone()
+    }
+}
+
+impl TraceSink for BranchStudy {
+    fn observe(&mut self, rec: &TraceRecord) {
+        let Some(cond) = rec.insn.op().branch_cond() else {
+            return;
+        };
+        let predicted = self.predictor.predict(rec.pc);
+        self.predictor.update(rec.pc, rec.taken);
+
+        self.report.branches += 1;
+        let eq_ne = cond.early_resolvable();
+        if eq_ne {
+            self.report.eq_ne_branches += 1;
+        }
+        if predicted == rec.taken {
+            return;
+        }
+        self.report.mispredicts += 1;
+        if eq_ne {
+            self.report.eq_ne_mispredicts += 1;
+        }
+        // Resolve by register: `beq rX, rX` dedups its use set, and the
+        // sign-testing types compare against the hardwired zero.
+        let rs = rec.src_vals[0];
+        let rt = rec.src_val(rec.insn.rt()).unwrap_or(0);
+        let bits = mispredict_detection_bit(cond, rs, rt, predicted)
+            .expect("outcome differs from prediction, detection must exist");
+        for k in bits..=FULL_WIDTH_BITS {
+            if k >= 1 {
+                self.report.detect_by_bits[(k - 1) as usize] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popk_emu::Machine;
+
+    fn feed(study: &mut BranchStudy, src: &str, limit: u64) {
+        let p = popk_isa::asm::assemble(src).unwrap();
+        let mut m = Machine::new(&p);
+        for rec in m.trace(limit) {
+            study.observe(&rec.unwrap());
+        }
+    }
+
+    #[test]
+    fn fig5_idiom_detects_at_bit_zero() {
+        // A bne on a 1-bit quantity that alternates: mispredictions are
+        // always provable from bit 0.
+        let mut s = BranchStudy::new(10);
+        feed(
+            &mut s,
+            r#"
+            .text
+            main:
+                li r8, 200        # trip count
+                li r9, 0
+            loop:
+                andi r10, r8, 1   # low bit alternates each iteration
+                beq r10, r0, even
+                addiu r9, r9, 1
+            even:
+                addiu r8, r8, -1
+                bne r8, r0, loop
+                li r2, 0
+                syscall
+            "#,
+            10_000,
+        );
+        let r = s.report();
+        assert!(r.mispredicts > 0, "alternating branch must mispredict sometimes");
+        // Mispredictions of `beq r10, r0` where r10 != 0 are provable at
+        // bit 0; those where r10 == 0 need full width. The loop-exit bne
+        // needs full width when it mispredicts as "not taken means equal".
+        assert!(r.percent_detected_within(32) == 100.0);
+        assert!(r.percent_detected_within(1) > 0.0);
+    }
+
+    #[test]
+    fn counts_eq_ne_shares() {
+        let mut s = BranchStudy::new(10);
+        feed(
+            &mut s,
+            r#"
+            .text
+            main:
+                li r8, 50
+            loop:
+                bltz r8, never    # sign branch, never taken
+                bne r8, r0, cont  # eq/ne branch
+            cont:
+                addiu r8, r8, -1
+                bgez r8, loop
+            never:
+                li r2, 0
+                syscall
+            "#,
+            10_000,
+        );
+        let r = s.report();
+        assert!(r.branches > 100);
+        assert!(r.eq_ne_branch_share() > 0.2 && r.eq_ne_branch_share() < 0.5);
+        assert!(r.accuracy() > 0.5);
+    }
+
+    #[test]
+    fn detection_cdf_is_monotone() {
+        let mut s = BranchStudy::table2();
+        let w = popk_workloads::by_name("li").unwrap();
+        let p = w.test_program();
+        let mut m = Machine::new(&p);
+        for rec in m.trace(200_000) {
+            s.observe(&rec.unwrap());
+        }
+        let r = s.report();
+        assert!(r.mispredicts > 0);
+        let mut prev = 0.0;
+        for bits in 1..=32 {
+            let v = r.percent_detected_within(bits);
+            assert!(v >= prev, "CDF must be monotone");
+            prev = v;
+        }
+        assert_eq!(prev, 100.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Early load-store disambiguation (Fig. 2).
+//!
+//! For every dynamic load, compare its data address against the addresses
+//! of the prior stores resident in a unified load/store queue, using only
+//! address bits `[2, 2+k)` for each cumulative bit count `k`. Each (load,
+//! bit-count) pair falls into one of the paper's seven categories; the
+//! figure plots category shares against the highest bit index used.
+
+use crate::TraceSink;
+use popk_emu::TraceRecord;
+use std::collections::VecDeque;
+
+/// The seven Fig. 2 categories.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DisambigCategory {
+    /// The LSQ holds no prior stores at all.
+    NoStores,
+    /// Stores exist but none matches the partial address.
+    ZeroMatch,
+    /// Exactly one store matches partially, and its full address differs.
+    SingleNonMatch,
+    /// Exactly one store matches partially and fully, and it is the only
+    /// store in the queue.
+    SingleMatchOneStore,
+    /// Exactly one store matches partially and fully, disambiguated from
+    /// other (non-matching) stores.
+    SingleMatchMultStores,
+    /// Multiple stores match partially, but all share one full address
+    /// (forward from the youngest).
+    MultMatchSameAddr,
+    /// Multiple stores match partially with differing full addresses.
+    MultMatchDiffAddr,
+}
+
+impl DisambigCategory {
+    /// All categories, in the paper's legend order.
+    pub const ALL: [DisambigCategory; 7] = [
+        DisambigCategory::NoStores,
+        DisambigCategory::ZeroMatch,
+        DisambigCategory::SingleNonMatch,
+        DisambigCategory::SingleMatchOneStore,
+        DisambigCategory::SingleMatchMultStores,
+        DisambigCategory::MultMatchSameAddr,
+        DisambigCategory::MultMatchDiffAddr,
+    ];
+
+    /// Index into per-category count arrays.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).unwrap()
+    }
+
+    /// Legend label matching the paper's figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            DisambigCategory::NoStores => "no stores in queue",
+            DisambigCategory::ZeroMatch => "zero entries match",
+            DisambigCategory::SingleNonMatch => "single entry - non-match",
+            DisambigCategory::SingleMatchOneStore => "single entry - match (one store)",
+            DisambigCategory::SingleMatchMultStores => "single entry - match (mult stores)",
+            DisambigCategory::MultMatchSameAddr => "mult entries match - same addr",
+            DisambigCategory::MultMatchDiffAddr => "mult entries match - diff addr",
+        }
+    }
+}
+
+/// Comparison starts at address bit 2 (word-aligned low bits carry no
+/// disambiguation information for word traffic).
+pub const FIRST_BIT: u32 = 2;
+/// Highest address bit (inclusive); using bits `[2, 31]` is the full
+/// conventional comparison.
+pub const LAST_BIT: u32 = 31;
+
+const NBITS: usize = (LAST_BIT - FIRST_BIT + 1) as usize;
+const NCAT: usize = 7;
+
+/// Aggregated Fig. 2 data.
+#[derive(Clone, Debug)]
+pub struct DisambigReport {
+    /// `counts[b][c]`: loads classified into category `c` when bits
+    /// `[2, 2+b]` of the address are compared.
+    pub counts: Vec<[u64; NCAT]>,
+    /// Total loads observed.
+    pub loads: u64,
+}
+
+impl DisambigReport {
+    /// Percentage table row for cumulative bit index `bit` (2..=31).
+    pub fn percent_at_bit(&self, bit: u32) -> [f64; NCAT] {
+        let row = &self.counts[(bit - FIRST_BIT) as usize];
+        let mut out = [0.0; NCAT];
+        for (o, &c) in out.iter_mut().zip(row.iter()) {
+            *o = 100.0 * c as f64 / self.loads.max(1) as f64;
+        }
+        out
+    }
+
+    /// The paper's §5.1 headline: share of loads fully resolved (all
+    /// stores ruled out, or a unique — ultimately correct — forwarding
+    /// candidate identified) after examining bits `[2, 2+k)`, i.e. `k`
+    /// compared bits.
+    pub fn resolved_after_bits(&self, bits: u32) -> f64 {
+        let bit = (FIRST_BIT + bits - 1).min(LAST_BIT);
+        let row = self.percent_at_bit(bit);
+        // Resolved = no stores + zero match + unique full match (either
+        // flavour) + multi-match-same-address.
+        row[DisambigCategory::NoStores.index()]
+            + row[DisambigCategory::ZeroMatch.index()]
+            + row[DisambigCategory::SingleMatchOneStore.index()]
+            + row[DisambigCategory::SingleMatchMultStores.index()]
+            + row[DisambigCategory::MultMatchSameAddr.index()]
+    }
+}
+
+#[derive(Clone, Copy)]
+enum QueueEntry {
+    Load,
+    Store { addr: u32 },
+}
+
+/// The Fig. 2 study: a sliding unified LSQ window over the dynamic trace.
+pub struct DisambigStudy {
+    lsq_size: usize,
+    queue: VecDeque<QueueEntry>,
+    counts: Vec<[u64; NCAT]>,
+    loads: u64,
+}
+
+impl DisambigStudy {
+    /// With the paper's 32-entry unified queue, use `DisambigStudy::new(32)`.
+    pub fn new(lsq_size: usize) -> DisambigStudy {
+        assert!(lsq_size > 0);
+        DisambigStudy {
+            lsq_size,
+            queue: VecDeque::with_capacity(lsq_size),
+            counts: vec![[0; NCAT]; NBITS],
+            loads: 0,
+        }
+    }
+
+    /// Finish and report.
+    pub fn report(&self) -> DisambigReport {
+        DisambigReport { counts: self.counts.clone(), loads: self.loads }
+    }
+
+    fn classify(&self, load_addr: u32, bits_through: u32) -> DisambigCategory {
+        // Compare bits [2, bits_through] inclusive.
+        let width = bits_through + 1; // bits [0, bits_through]
+        let mask = if width >= 32 { u32::MAX } else { (1u32 << width) - 1 } & !0b11;
+        let mut store_count = 0usize;
+        let mut partial = [0u32; 64];
+        let mut n = 0usize;
+        for e in &self.queue {
+            if let QueueEntry::Store { addr } = *e {
+                store_count += 1;
+                if (addr ^ load_addr) & mask == 0 && n < partial.len() {
+                    partial[n] = addr;
+                    n += 1;
+                }
+            }
+        }
+        if store_count == 0 {
+            return DisambigCategory::NoStores;
+        }
+        match n {
+            0 => DisambigCategory::ZeroMatch,
+            1 => {
+                // Full-address comparison ignores byte-in-word bits, as
+                // the bit-serial comparison starts at bit 2.
+                if (partial[0] ^ load_addr) & !0b11 == 0 {
+                    if store_count == 1 {
+                        DisambigCategory::SingleMatchOneStore
+                    } else {
+                        DisambigCategory::SingleMatchMultStores
+                    }
+                } else {
+                    DisambigCategory::SingleNonMatch
+                }
+            }
+            _ => {
+                let first = partial[0] & !0b11;
+                if partial[..n].iter().all(|&a| a & !0b11 == first) {
+                    DisambigCategory::MultMatchSameAddr
+                } else {
+                    DisambigCategory::MultMatchDiffAddr
+                }
+            }
+        }
+    }
+}
+
+impl TraceSink for DisambigStudy {
+    fn observe(&mut self, rec: &TraceRecord) {
+        let op = rec.insn.op();
+        if op.is_load() {
+            self.loads += 1;
+            for bit in FIRST_BIT..=LAST_BIT {
+                let cat = self.classify(rec.ea, bit);
+                self.counts[(bit - FIRST_BIT) as usize][cat.index()] += 1;
+            }
+        }
+        if op.is_load() || op.is_store() {
+            if self.queue.len() == self.lsq_size {
+                self.queue.pop_front();
+            }
+            self.queue.push_back(if op.is_store() {
+                QueueEntry::Store { addr: rec.ea }
+            } else {
+                QueueEntry::Load
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popk_emu::Machine;
+
+    fn feed(study: &mut DisambigStudy, src: &str) {
+        let p = popk_isa::asm::assemble(src).unwrap();
+        let mut m = Machine::new(&p);
+        for rec in m.trace(100_000) {
+            study.observe(&rec.unwrap());
+        }
+    }
+
+    #[test]
+    fn no_stores_case() {
+        let mut s = DisambigStudy::new(32);
+        feed(
+            &mut s,
+            r#"
+            .text
+            main:
+                li r8, 0x10000000
+                lw r9, 0(r8)
+                lw r9, 4(r8)
+                li r2, 0
+                syscall
+            "#,
+        );
+        let r = s.report();
+        assert_eq!(r.loads, 2);
+        // Every bit position: both loads see an empty store queue.
+        assert_eq!(r.counts[0][DisambigCategory::NoStores.index()], 2);
+        assert_eq!(r.counts[NBITS - 1][DisambigCategory::NoStores.index()], 2);
+    }
+
+    #[test]
+    fn exact_forward_case() {
+        let mut s = DisambigStudy::new(32);
+        feed(
+            &mut s,
+            r#"
+            .text
+            main:
+                li r8, 0x10000000
+                sw r8, 0(r8)
+                lw r9, 0(r8)     # same address: unique match, one store
+                li r2, 0
+                syscall
+            "#,
+        );
+        let r = s.report();
+        assert_eq!(r.loads, 1);
+        for b in 0..NBITS {
+            assert_eq!(
+                r.counts[b][DisambigCategory::SingleMatchOneStore.index()],
+                1,
+                "bit {b}"
+            );
+        }
+        assert_eq!(r.resolved_after_bits(9), 100.0);
+    }
+
+    #[test]
+    fn low_bits_distinguish_disjoint_addresses() {
+        let mut s = DisambigStudy::new(32);
+        // Store at +4, load at +8: differ at bit 2/3 → zero match from the
+        // very first compared bit span that includes bit 2.
+        feed(
+            &mut s,
+            r#"
+            .text
+            main:
+                li r8, 0x10000000
+                sw r8, 4(r8)
+                lw r9, 8(r8)
+                li r2, 0
+                syscall
+            "#,
+        );
+        let r = s.report();
+        assert_eq!(r.counts[1][DisambigCategory::ZeroMatch.index()], 1); // bits 2..=3
+        assert_eq!(r.resolved_after_bits(2), 100.0);
+    }
+
+    #[test]
+    fn high_bit_alias_stays_ambiguous_until_late() {
+        let mut s = DisambigStudy::new(32);
+        // Store at 0x10000000, load at 0x10010000: identical low 16 bits.
+        feed(
+            &mut s,
+            r#"
+            .text
+            main:
+                li r8, 0x10000000
+                li r10, 0x10010000
+                sw r8, 0(r8)
+                lw r9, 0(r10)
+                li r2, 0
+                syscall
+            "#,
+        );
+        let r = s.report();
+        // At bit 15 (14 bits compared) still a single partial match that
+        // will NOT match fully.
+        assert_eq!(r.counts[13][DisambigCategory::SingleNonMatch.index()], 1);
+        // Once bit 16 is included the store is ruled out.
+        assert_eq!(r.counts[14][DisambigCategory::ZeroMatch.index()], 1);
+    }
+
+    #[test]
+    fn queue_is_bounded() {
+        let mut s = DisambigStudy::new(2);
+        feed(
+            &mut s,
+            r#"
+            .text
+            main:
+                li r8, 0x10000000
+                sw r8, 0(r8)
+                sw r8, 4(r8)
+                sw r8, 8(r8)     # evicts the first store from the window
+                lw r9, 0(r8)     # oldest store no longer visible
+                li r2, 0
+                syscall
+            "#,
+        );
+        let r = s.report();
+        // The matching store (offset 0) fell out of the 2-entry window, so
+        // full comparison finds zero matches.
+        assert_eq!(r.counts[NBITS - 1][DisambigCategory::ZeroMatch.index()], 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Operand-width characterization (the §6 premise).
+//!
+//! The paper's narrow-width note (citing Brooks & Martonosi \[3\] and
+//! Canal, González & Smith \[6\]) rests on an empirical fact: most
+//! produced values are sign/zero extensions of a narrow low slice. This
+//! study measures that distribution over a dynamic trace — the
+//! justification for the `narrow_operands` extension in `popk-core`.
+
+use crate::TraceSink;
+use popk_emu::TraceRecord;
+use popk_isa::OpClass;
+
+/// Histogram of result significant widths.
+#[derive(Clone, Debug)]
+pub struct WidthReport {
+    /// `by_width[w]`: results whose significant width is exactly `w+1`
+    /// bits (a value's significant width is the bits left after removing
+    /// sign/zero extension; the width of 0 and -1 is 1).
+    pub by_width: [u64; 32],
+    /// Total register-writing instructions observed.
+    pub results: u64,
+}
+
+impl WidthReport {
+    /// Fraction of results representable within `bits` significant bits
+    /// (i.e. whose upper `32 - bits` bits are pure sign/zero extension).
+    pub fn fraction_within(&self, bits: u32) -> f64 {
+        assert!((1..=32).contains(&bits));
+        let n: u64 = self.by_width[..bits as usize].iter().sum();
+        n as f64 / self.results.max(1) as f64
+    }
+
+    /// Mean significant width in bits.
+    pub fn mean_width(&self) -> f64 {
+        let sum: u64 = self
+            .by_width
+            .iter()
+            .enumerate()
+            .map(|(w, &n)| (w as u64 + 1) * n)
+            .sum();
+        sum as f64 / self.results.max(1) as f64
+    }
+}
+
+/// Significant width of a value: 32 minus the redundant sign-extension
+/// bits (minimum 1).
+pub fn significant_width(v: u32) -> u32 {
+    let s = v as i32;
+    if s >= 0 {
+        // Leading zeros are redundant, but the top data bit needs a zero
+        // above it only when treated as signed; count plain magnitude.
+        (32 - v.leading_zeros()).max(1)
+    } else {
+        (32 - (!v).leading_zeros() + 1).max(1)
+    }
+}
+
+/// The width study sink.
+pub struct WidthStudy {
+    report: WidthReport,
+}
+
+impl Default for WidthStudy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WidthStudy {
+    /// An empty study.
+    pub fn new() -> WidthStudy {
+        WidthStudy { report: WidthReport { by_width: [0; 32], results: 0 } }
+    }
+
+    /// Finish and report.
+    pub fn report(&self) -> WidthReport {
+        self.report.clone()
+    }
+}
+
+impl TraceSink for WidthStudy {
+    fn observe(&mut self, rec: &TraceRecord) {
+        // Count integer results only (FP bit patterns are never narrow in
+        // a meaningful sense; control writes nothing).
+        if matches!(rec.insn.op().class(), OpClass::Fp) {
+            return;
+        }
+        for (i, _def) in rec.insn.defs().iter().enumerate() {
+            let w = significant_width(rec.results[i]);
+            self.report.by_width[(w - 1) as usize] += 1;
+            self.report.results += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popk_emu::Machine;
+
+    #[test]
+    fn widths_of_known_values() {
+        assert_eq!(significant_width(0), 1);
+        assert_eq!(significant_width(1), 1);
+        assert_eq!(significant_width(2), 2);
+        assert_eq!(significant_width(255), 8);
+        assert_eq!(significant_width(256), 9);
+        assert_eq!(significant_width(u32::MAX), 1); // -1: one sign bit
+        assert_eq!(significant_width(-2i32 as u32), 2);
+        assert_eq!(significant_width(-128i32 as u32), 8);
+        assert_eq!(significant_width(-129i32 as u32), 9);
+        assert_eq!(significant_width(0x8000_0000), 32);
+    }
+
+    #[test]
+    fn narrow_values_dominate_typical_kernels() {
+        let w = popk_workloads::by_name("gcc").unwrap();
+        let p = w.test_program();
+        let mut study = WidthStudy::new();
+        let mut m = Machine::new(&p);
+        for rec in m.trace(50_000) {
+            study.observe(&rec.unwrap());
+        }
+        let r = study.report();
+        assert!(r.results > 10_000);
+        // The §6 premise: a majority of results fit in 16 bits.
+        assert!(
+            r.fraction_within(16) > 0.4,
+            "16-bit-narrow fraction {}",
+            r.fraction_within(16)
+        );
+        assert!(r.fraction_within(32) >= 0.999);
+        assert!(r.mean_width() < 24.0);
+    }
+
+    #[test]
+    fn histogram_partitions_results() {
+        let w = popk_workloads::by_name("parser").unwrap();
+        let p = w.test_program();
+        let mut study = WidthStudy::new();
+        let mut m = Machine::new(&p);
+        for rec in m.trace(20_000) {
+            study.observe(&rec.unwrap());
+        }
+        let r = study.report();
+        assert_eq!(r.by_width.iter().sum::<u64>(), r.results);
+    }
+}

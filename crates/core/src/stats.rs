@@ -1,0 +1,144 @@
+//! Simulation statistics.
+
+/// Counters accumulated by one timing run.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SimStats {
+    /// Cycles elapsed when the last instruction committed.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Stores committed.
+    pub stores: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Conditional-branch direction mispredictions.
+    pub branch_mispredicts: u64,
+    /// Indirect-jump target mispredictions.
+    pub indirect_mispredicts: u64,
+    /// Mispredicted branches resolved from a partial (non-final) slice.
+    pub early_branch_resolves: u64,
+    /// Cycles of redirect latency saved by early branch resolution.
+    pub early_branch_cycles_saved: u64,
+    /// Loads that issued past older stores via partial-address mismatch
+    /// before every older store address was fully known.
+    pub early_disambig_loads: u64,
+    /// Loads whose data was forwarded from an older in-flight store.
+    pub store_forwards: u64,
+    /// Loads speculatively forwarded from a *unique partial* address match
+    /// before the full addresses resolved (the §5.1 extension).
+    pub spec_forwards: u64,
+    /// Speculative partial-match forwards refuted at verification.
+    pub spec_forward_wrong: u64,
+    /// Upper-slice wakeups satisfied by the narrow-operand relaxation
+    /// (the §6 extension).
+    pub narrow_wakeups: u64,
+    /// Loads that issued past an unknown older store address on the
+    /// strength of the memory-dependence predictor.
+    pub mem_dep_speculations: u64,
+    /// Those speculations that violated (an older store did overlap).
+    pub mem_dep_violations: u64,
+    /// Loads whose cache index came from sum-addressed decode before
+    /// their own agen produced it.
+    pub sam_starts: u64,
+    /// Loads that began their L1D access with a partial (sliced) address.
+    pub partial_tag_accesses: u64,
+    /// Partial-tag probes that ruled out every way (early non-speculative
+    /// miss detection).
+    pub partial_tag_early_miss: u64,
+    /// Partial-tag way speculations that verification refuted (replays).
+    pub way_mispredicts: u64,
+    /// L1 data-cache hits.
+    pub l1d_hits: u64,
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// Loads that replayed due to scheduling speculation (miss in the load
+    /// shadow or failed way prediction).
+    pub load_replays: u64,
+    /// Cycles fetch was stalled awaiting a branch redirect.
+    pub fetch_redirect_stalls: u64,
+    /// Cycles dispatch was blocked on a full RUU.
+    pub ruu_full_stalls: u64,
+    /// Cycles dispatch was blocked on a full LSQ.
+    pub lsq_full_stalls: u64,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.committed as f64 / self.cycles as f64
+    }
+
+    /// Conditional-branch direction accuracy.
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            return 1.0;
+        }
+        1.0 - self.branch_mispredicts as f64 / self.branches as f64
+    }
+
+    /// L1 D-cache hit rate.
+    pub fn l1d_hit_rate(&self) -> f64 {
+        if self.l1d_accesses == 0 {
+            return 1.0;
+        }
+        self.l1d_hits as f64 / self.l1d_accesses as f64
+    }
+
+    /// Way-prediction miss rate among partial-tag accesses (the §7.1
+    /// "2% / 1%" statistic).
+    pub fn way_mispredict_rate(&self) -> f64 {
+        if self.partial_tag_accesses == 0 {
+            return 0.0;
+        }
+        self.way_mispredicts as f64 / self.partial_tag_accesses as f64
+    }
+
+    /// Fraction of load instructions among committed instructions
+    /// (Table 1's "% Loads").
+    pub fn load_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        self.loads as f64 / self.committed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            cycles: 100,
+            committed: 150,
+            branches: 10,
+            branch_mispredicts: 1,
+            l1d_accesses: 50,
+            l1d_hits: 45,
+            partial_tag_accesses: 40,
+            way_mispredicts: 2,
+            loads: 30,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.branch_accuracy() - 0.9).abs() < 1e-12);
+        assert!((s.l1d_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((s.way_mispredict_rate() - 0.05).abs() < 1e-12);
+        assert!((s.load_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_defaults() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.branch_accuracy(), 1.0);
+        assert_eq!(s.l1d_hit_rate(), 1.0);
+        assert_eq!(s.way_mispredict_rate(), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-instruction pipeline timelines — a `sim-outorder`-style pipetrace.
+//!
+//! [`Simulator::run_timeline`](crate::Simulator::run_timeline) records,
+//! for the first *N* committed instructions, every interesting cycle in
+//! the instruction's life. [`render_table`] prints them as numbers;
+//! [`render_chart`] draws the classic one-row-per-instruction ASCII
+//! occupancy chart:
+//!
+//! ```text
+//! seq pc        instruction        |012345678901234567890
+//!   0 00400000  addiu r8, r0, 3    |F.....D.....0o....C
+//!   1 00400004  addu r9, r8, r8    |F.....D......01...C
+//! ```
+//!
+//! `F` fetch, `D` dispatch, digit *k* = issue of slice *k*, `o` result
+//! slice complete, `m`/`M` memory access start/data back, `!` branch
+//! resolution, `C` commit.
+
+use std::fmt::Write as _;
+
+/// One committed instruction's recorded cycles.
+#[derive(Clone, Debug)]
+pub struct InsnTiming {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Program counter.
+    pub pc: u32,
+    /// Disassembly text.
+    pub disasm: String,
+    /// Fetch cycle.
+    pub fetch: u64,
+    /// Dispatch (window entry) cycle.
+    pub dispatch: u64,
+    /// Issue cycle per slice (atomic ops use slot 0).
+    pub slice_issue: [Option<u64>; 4],
+    /// Result-ready cycle per slice.
+    pub slice_ready: [Option<u64>; 4],
+    /// Cycle a load/store's cache access (or forward) started.
+    pub mem_start: Option<u64>,
+    /// Cycle the load data arrived.
+    pub mem_done: Option<u64>,
+    /// Branch/jump resolution cycle.
+    pub resolved: Option<u64>,
+    /// Completion cycle (all obligations met).
+    pub completed: u64,
+    /// Commit cycle.
+    pub committed: u64,
+}
+
+impl InsnTiming {
+    /// Basic well-formedness of the recorded cycles.
+    pub fn is_consistent(&self) -> bool {
+        self.fetch <= self.dispatch
+            && self.dispatch <= self.completed
+            && self.completed <= self.committed
+            && self
+                .slice_issue
+                .iter()
+                .flatten()
+                .all(|&c| c >= self.dispatch && c <= self.completed)
+    }
+}
+
+/// Render timings as a fixed-width numeric table.
+pub fn render_table(timings: &[InsnTiming]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} {:>10}  {:<26} {:>6} {:>6} {:>14} {:>6} {:>6}",
+        "seq", "pc", "instruction", "fetch", "disp", "issue(slices)", "done", "commit"
+    );
+    for t in timings {
+        let issues: Vec<String> = t
+            .slice_issue
+            .iter()
+            .flatten()
+            .map(|c| c.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10}  {:<26} {:>6} {:>6} {:>14} {:>6} {:>6}",
+            t.seq,
+            format!("{:08x}", t.pc),
+            truncate(&t.disasm, 26),
+            t.fetch,
+            t.dispatch,
+            issues.join(","),
+            t.completed,
+            t.committed
+        );
+    }
+    out
+}
+
+/// Render the ASCII occupancy chart, starting at the first instruction's
+/// fetch cycle, clipped to `width` columns.
+pub fn render_chart(timings: &[InsnTiming], width: usize) -> String {
+    let Some(first) = timings.first() else {
+        return String::new();
+    };
+    let base = first.fetch;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} {:<10} {:<24} |cycle {base}+",
+        "seq", "pc", "instruction"
+    );
+    for t in timings {
+        let mut lane = vec![b'.'; width];
+        let mut put = |cycle: u64, ch: u8| {
+            if cycle >= base {
+                let col = (cycle - base) as usize;
+                if col < width && (lane[col] == b'.' || ch == b'C') {
+                    lane[col] = ch;
+                }
+            }
+        };
+        put(t.fetch, b'F');
+        put(t.dispatch, b'D');
+        for (k, c) in t.slice_issue.iter().enumerate() {
+            if let Some(c) = c {
+                put(*c, b'0' + k as u8);
+            }
+        }
+        for c in t.slice_ready.iter().flatten() {
+            put(*c, b'o');
+        }
+        if let Some(c) = t.mem_start {
+            put(c, b'm');
+        }
+        if let Some(c) = t.mem_done {
+            put(c, b'M');
+        }
+        if let Some(c) = t.resolved {
+            put(c, b'!');
+        }
+        put(t.committed, b'C');
+        let _ = writeln!(
+            out,
+            "{:>4} {:<10} {:<24} |{}",
+            t.seq,
+            format!("{:08x}", t.pc),
+            truncate(&t.disasm, 24),
+            String::from_utf8(lane).unwrap().trim_end_matches('.')
+        );
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InsnTiming {
+        InsnTiming {
+            seq: 0,
+            pc: 0x0040_0000,
+            disasm: "addu r3, r1, r2".into(),
+            fetch: 0,
+            dispatch: 6,
+            slice_issue: [Some(12), Some(13), None, None],
+            slice_ready: [Some(13), Some(14), None, None],
+            mem_start: None,
+            mem_done: None,
+            resolved: None,
+            completed: 14,
+            committed: 14,
+        }
+    }
+
+    #[test]
+    fn consistency() {
+        assert!(sample().is_consistent());
+        let mut bad = sample();
+        bad.committed = 3;
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn table_contains_fields() {
+        let t = render_table(&[sample()]);
+        assert!(t.contains("00400000"));
+        assert!(t.contains("addu r3, r1, r2"));
+        assert!(t.contains("12,13"));
+    }
+
+    #[test]
+    fn chart_places_markers() {
+        let c = render_chart(&[sample()], 40);
+        let line = c.lines().nth(1).unwrap();
+        let lane = line.split('|').nth(1).unwrap();
+        assert_eq!(lane.as_bytes()[0], b'F');
+        assert_eq!(lane.as_bytes()[6], b'D');
+        assert_eq!(lane.as_bytes()[12], b'0');
+        assert_eq!(lane.as_bytes()[13], b'1');
+        assert_eq!(lane.as_bytes()[14], b'C');
+    }
+
+    #[test]
+    fn chart_clips_to_width() {
+        let mut t = sample();
+        t.committed = 1000;
+        t.completed = 1000;
+        let c = render_chart(&[t], 20);
+        let lane = c.lines().nth(1).unwrap().split('|').nth(1).unwrap();
+        assert!(lane.len() <= 20);
+    }
+}

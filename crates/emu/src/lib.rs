@@ -1,0 +1,46 @@
+//! # popk-emu — functional emulator and dynamic traces
+//!
+//! Executes [`popk_isa`] programs at architectural level and produces the
+//! *dynamic traces* that drive both the characterization studies
+//! (`popk-characterize`) and the timing model (`popk-core`). This plays the
+//! role SimpleScalar's functional core plays for the paper: the timing
+//! model replays a trace with oracle operand values.
+//!
+//! * [`Memory`] — sparse, paged, little-endian flat memory.
+//! * [`Machine`] — architectural state plus the instruction interpreter.
+//! * [`TraceRecord`] — one executed instruction: PC, source values, results,
+//!   effective address, branch outcome and next PC.
+//! * [`Machine::run`] / [`Machine::trace`] — batch or streaming execution.
+//!
+//! ```
+//! use popk_emu::Machine;
+//! use popk_isa::asm;
+//!
+//! let p = asm::assemble(
+//!     r#"
+//!     .text
+//!     main:
+//!         li  r4, 5          # a0 = 5
+//!         li  r2, 1          # v0 = print_int
+//!         syscall
+//!         li  r2, 0          # v0 = exit
+//!         syscall
+//!     "#,
+//! )
+//! .unwrap();
+//! let mut m = Machine::new(&p);
+//! let exit = m.run(1_000_000).unwrap();
+//! assert_eq!(exit, Some(0));
+//! assert_eq!(m.output_ints(), &[5]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod mem;
+mod trace;
+
+pub use machine::{EmuError, Machine, StepEvent, Syscall};
+pub use mem::Memory;
+pub use trace::{ExecStats, TraceRecord, Tracer};

@@ -1,0 +1,147 @@
+//! Dynamic-trace records and execution statistics.
+
+use crate::machine::{EmuError, Machine, StepEvent};
+use popk_isa::{Insn, OpClass};
+
+/// One dynamically executed instruction, with oracle operand values.
+///
+/// `src_vals` and `results` are parallel to the iteration order of
+/// [`Insn::uses`] and [`Insn::defs`] respectively; unused slots are zero.
+/// This record carries everything the trace-driven timing model and the
+/// characterization passes need: actual operand *bit patterns* (for
+/// partial-operand decisions), effective addresses, and branch outcomes.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    /// Virtual address of the instruction.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Source register values, parallel to `insn.uses()`.
+    pub src_vals: [u32; 2],
+    /// Destination register values, parallel to `insn.defs()`.
+    pub results: [u32; 2],
+    /// Effective address for loads/stores (0 otherwise).
+    pub ea: u32,
+    /// For control instructions: whether the transfer was taken.
+    pub taken: bool,
+    /// Architectural next PC (the branch/jump target when taken).
+    pub next_pc: u32,
+}
+
+impl TraceRecord {
+    /// The value of the source register `r`, if `r` is one of this
+    /// instruction's sources.
+    pub fn src_val(&self, r: popk_isa::Reg) -> Option<u32> {
+        self.insn
+            .uses()
+            .iter()
+            .position(|u| u == r)
+            .map(|i| self.src_vals[i])
+    }
+
+    /// True if this is a load or store.
+    pub fn is_mem(&self) -> bool {
+        self.insn.op().is_load() || self.insn.op().is_store()
+    }
+}
+
+/// Aggregate statistics over an execution (feeds Table 1's instruction-mix
+/// columns).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ExecStats {
+    /// Total instructions retired.
+    pub total: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Conditional branches retired.
+    pub cond_branches: u64,
+    /// Conditional branches taken.
+    pub taken_branches: u64,
+    /// `beq`/`bne` retired (the early-resolvable types of §5.3).
+    pub eq_ne_branches: u64,
+    /// Unconditional jumps retired.
+    pub jumps: u64,
+    /// Integer multiply/divide retired.
+    pub muldiv: u64,
+    /// Floating-point ops retired.
+    pub fp: u64,
+}
+
+impl ExecStats {
+    /// Record one retired instruction.
+    pub fn record(&mut self, rec: &TraceRecord) {
+        self.total += 1;
+        match rec.insn.op().class() {
+            OpClass::Load => self.loads += 1,
+            OpClass::Store => self.stores += 1,
+            OpClass::Branch => {
+                self.cond_branches += 1;
+                if rec.taken {
+                    self.taken_branches += 1;
+                }
+                if rec.insn.op().branch_cond().is_some_and(|c| c.early_resolvable()) {
+                    self.eq_ne_branches += 1;
+                }
+            }
+            OpClass::Jump => self.jumps += 1,
+            OpClass::MulDiv => self.muldiv += 1,
+            OpClass::Fp => self.fp += 1,
+            _ => {}
+        }
+    }
+
+    /// Fraction of retired instructions that are loads.
+    pub fn load_fraction(&self) -> f64 {
+        self.loads as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of retired instructions that are stores.
+    pub fn store_fraction(&self) -> f64 {
+        self.stores as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of retired instructions that are conditional branches.
+    pub fn branch_fraction(&self) -> f64 {
+        self.cond_branches as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Streaming trace iterator over a [`Machine`].
+///
+/// Yields at most `limit` records, stopping early at program exit. Errors
+/// (unmapped PC, misaligned access) surface as a final `Err` item.
+pub struct Tracer<'m> {
+    machine: &'m mut Machine,
+    remaining: u64,
+    done: bool,
+}
+
+impl<'m> Tracer<'m> {
+    pub(crate) fn new(machine: &'m mut Machine, limit: u64) -> Self {
+        Tracer { machine, remaining: limit, done: false }
+    }
+}
+
+impl Iterator for Tracer<'_> {
+    type Item = Result<TraceRecord, EmuError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match self.machine.step_record() {
+            Ok(StepEvent::Retired(rec)) => Some(Ok(rec)),
+            Ok(StepEvent::Exited(_)) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}

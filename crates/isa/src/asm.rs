@@ -1,0 +1,652 @@
+//! Two-pass textual assembler.
+//!
+//! Syntax is classic MIPS-style:
+//!
+//! ```text
+//! # comment           ; also a comment
+//! .text
+//! main:
+//!     li    r8, 0x10000000     # pseudo: lui+ori (always two words)
+//!     lw    r9, 4(r8)
+//!     addiu r9, r9, 1
+//!     beq   r9, r0, done
+//!     j     main
+//! done:
+//!     syscall
+//! .data
+//! table:  .word 1, 2, 3, 4
+//! msg:    .asciiz "hello"
+//! buf:    .space 64
+//!         .align 4
+//! ```
+//!
+//! Supported pseudo-instructions: `nop`, `li`, `la`, `move`, `b`.
+//! `li`/`la` always assemble to two words (`lui`+`ori`) so that label
+//! addresses are stable across passes.
+
+use crate::insn::Insn;
+use crate::op::Op;
+use crate::program::{Program, DATA_BASE, TEXT_BASE};
+use crate::reg::{parse_reg, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+type Result<T> = std::result::Result<T, AsmError>;
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
+    Err(AsmError { line, message: message.into() })
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Assemble a complete source file into a [`Program`].
+pub fn assemble(source: &str) -> Result<Program> {
+    // ---- pass 1: compute label addresses --------------------------------
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut section = Section::Text;
+    let mut text_words: u32 = 0;
+    let mut data_bytes: u32 = 0;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some((label, tail)) = split_label(rest) {
+            let addr = match section {
+                Section::Text => TEXT_BASE + text_words * 4,
+                Section::Data => DATA_BASE + data_bytes,
+            };
+            if symbols.insert(label.to_owned(), addr).is_some() {
+                return err(lineno, format!("duplicate label `{label}`"));
+            }
+            rest = tail.trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            match directive_size(directive, lineno)? {
+                DirectiveEffect::SetSection(s) => section = s,
+                DirectiveEffect::Data { bytes, align } => {
+                    if section != Section::Data {
+                        return err(lineno, "data directive outside .data");
+                    }
+                    data_bytes = align_up(data_bytes, align) + bytes;
+                }
+            }
+        } else {
+            if section != Section::Text {
+                return err(lineno, "instruction outside .text");
+            }
+            text_words += insn_words(rest, lineno)?;
+        }
+    }
+
+    // ---- pass 2: emit ----------------------------------------------------
+    let mut text: Vec<Insn> = Vec::with_capacity(text_words as usize);
+    let mut data: Vec<u8> = Vec::with_capacity(data_bytes as usize);
+    section = Section::Text;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut rest = strip_comment(raw).trim();
+        while let Some((_, tail)) = split_label(rest) {
+            rest = tail.trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            match directive_size(directive, lineno)? {
+                DirectiveEffect::SetSection(s) => section = s,
+                DirectiveEffect::Data { align, .. } => {
+                    while !(data.len() as u32).is_multiple_of(align) {
+                        data.push(0);
+                    }
+                    emit_data(directive, &mut data, lineno)?;
+                }
+            }
+        } else if section == Section::Text {
+            emit_insn(rest, &mut text, &symbols, lineno)?;
+        }
+    }
+
+    let entry = symbols.get("main").copied().unwrap_or(TEXT_BASE);
+    Ok(Program { text, data, entry, symbols })
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` and `;` start comments, except inside string literals.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' | ';' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_label(line: &str) -> Option<(&str, &str)> {
+    let colon = line.find(':')?;
+    let (head, tail) = line.split_at(colon);
+    let head = head.trim();
+    if !head.is_empty()
+        && head
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !head.starts_with('.')
+    {
+        Some((head, &tail[1..]))
+    } else {
+        None
+    }
+}
+
+fn align_up(x: u32, a: u32) -> u32 {
+    x.div_ceil(a) * a
+}
+
+enum DirectiveEffect {
+    SetSection(Section),
+    Data { bytes: u32, align: u32 },
+}
+
+fn directive_size(directive: &str, lineno: usize) -> Result<DirectiveEffect> {
+    let (name, args) = directive
+        .split_once(char::is_whitespace)
+        .unwrap_or((directive, ""));
+    let count_items = || args.split(',').filter(|s| !s.trim().is_empty()).count() as u32;
+    Ok(match name {
+        "text" => DirectiveEffect::SetSection(Section::Text),
+        "data" => DirectiveEffect::SetSection(Section::Data),
+        "word" => DirectiveEffect::Data { bytes: 4 * count_items(), align: 4 },
+        "half" => DirectiveEffect::Data { bytes: 2 * count_items(), align: 2 },
+        "byte" => DirectiveEffect::Data { bytes: count_items(), align: 1 },
+        "asciiz" => {
+            let s = parse_string(args, lineno)?;
+            DirectiveEffect::Data { bytes: s.len() as u32 + 1, align: 1 }
+        }
+        "space" => {
+            let n = parse_imm(args.trim(), lineno)? as u32;
+            DirectiveEffect::Data { bytes: n, align: 1 }
+        }
+        "align" => {
+            let n = parse_imm(args.trim(), lineno)? as u32;
+            if !n.is_power_of_two() {
+                return err(lineno, ".align argument must be a power of two");
+            }
+            DirectiveEffect::Data { bytes: 0, align: n }
+        }
+        other => return err(lineno, format!("unknown directive `.{other}`")),
+    })
+}
+
+fn emit_data(directive: &str, data: &mut Vec<u8>, lineno: usize) -> Result<()> {
+    let (name, args) = directive
+        .split_once(char::is_whitespace)
+        .unwrap_or((directive, ""));
+    match name {
+        "word" => {
+            for item in args.split(',').filter(|s| !s.trim().is_empty()) {
+                let v = parse_imm(item.trim(), lineno)?;
+                data.extend_from_slice(&(v as u32).to_le_bytes());
+            }
+        }
+        "half" => {
+            for item in args.split(',').filter(|s| !s.trim().is_empty()) {
+                let v = parse_imm(item.trim(), lineno)?;
+                data.extend_from_slice(&(v as u16).to_le_bytes());
+            }
+        }
+        "byte" => {
+            for item in args.split(',').filter(|s| !s.trim().is_empty()) {
+                data.push(parse_imm(item.trim(), lineno)? as u8);
+            }
+        }
+        "asciiz" => {
+            let s = parse_string(args, lineno)?;
+            data.extend_from_slice(s.as_bytes());
+            data.push(0);
+        }
+        "space" => {
+            let n = parse_imm(args.trim(), lineno)? as usize;
+            data.resize(data.len() + n, 0);
+        }
+        "align" => {}
+        _ => unreachable!("validated in pass 1"),
+    }
+    Ok(())
+}
+
+fn parse_string(args: &str, lineno: usize) -> Result<String> {
+    let args = args.trim();
+    let inner = args
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| AsmError {
+            line: lineno,
+            message: "expected quoted string".into(),
+        })?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('0') => out.push('\0'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                other => return err(lineno, format!("bad escape {other:?}")),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_imm(s: &str, lineno: usize) -> Result<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(c) = body
+        .strip_prefix('\'')
+        .and_then(|b| b.strip_suffix('\''))
+        .filter(|c| c.len() == 1)
+    {
+        Ok(c.bytes().next().unwrap() as i64)
+    } else {
+        body.parse::<i64>()
+    };
+    match value {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(lineno, format!("bad immediate `{s}`")),
+    }
+}
+
+/// Number of machine words an instruction line occupies (pseudo-ops may
+/// expand to more than one).
+fn insn_words(line: &str, lineno: usize) -> Result<u32> {
+    let mnemonic = line.split_whitespace().next().unwrap_or("");
+    Ok(match mnemonic {
+        "li" | "la" => 2,
+        "" => return err(lineno, "empty instruction"),
+        _ => 1,
+    })
+}
+
+struct Ctx<'a> {
+    symbols: &'a BTreeMap<String, u32>,
+    lineno: usize,
+    cur_word: u32,
+}
+
+impl Ctx<'_> {
+    fn reg(&self, s: &str) -> Result<Reg> {
+        parse_reg(s).ok_or_else(|| AsmError {
+            line: self.lineno,
+            message: format!("bad register `{s}`"),
+        })
+    }
+
+    fn imm16s(&self, s: &str) -> Result<i16> {
+        let v = parse_imm(s, self.lineno)?;
+        i16::try_from(v).map_err(|_| AsmError {
+            line: self.lineno,
+            message: format!("immediate {v} out of signed 16-bit range"),
+        })
+    }
+
+    fn imm16u(&self, s: &str) -> Result<u16> {
+        let v = parse_imm(s, self.lineno)?;
+        u16::try_from(v).map_err(|_| AsmError {
+            line: self.lineno,
+            message: format!("immediate {v} out of unsigned 16-bit range"),
+        })
+    }
+
+    fn symbol(&self, s: &str) -> Result<u32> {
+        self.symbols.get(s.trim()).copied().ok_or_else(|| AsmError {
+            line: self.lineno,
+            message: format!("undefined label `{}`", s.trim()),
+        })
+    }
+
+    fn branch_disp(&self, label: &str) -> Result<i32> {
+        let target = self.symbol(label)?;
+        let target_word = (target - TEXT_BASE) / 4;
+        let disp = target_word as i64 - (self.cur_word as i64 + 1);
+        if !(-32768..=32767).contains(&disp) {
+            return err(self.lineno, format!("branch to `{label}` out of range"));
+        }
+        Ok(disp as i32)
+    }
+}
+
+fn emit_insn(
+    line: &str,
+    text: &mut Vec<Insn>,
+    symbols: &BTreeMap<String, u32>,
+    lineno: usize,
+) -> Result<()> {
+    let (mnemonic, rest) = line
+        .split_once(char::is_whitespace)
+        .unwrap_or((line, ""));
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let ctx = Ctx { symbols, lineno, cur_word: text.len() as u32 };
+    let need = |n: usize| -> Result<()> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(lineno, format!("`{mnemonic}` expects {n} operands, got {}", ops.len()))
+        }
+    };
+
+    // Pseudo-instructions first.
+    match mnemonic {
+        "nop" => {
+            text.push(Insn::nop());
+            return Ok(());
+        }
+        "move" => {
+            need(2)?;
+            text.push(Insn::r3(Op::Addu, ctx.reg(ops[0])?, ctx.reg(ops[1])?, Reg::ZERO));
+            return Ok(());
+        }
+        "li" | "la" => {
+            need(2)?;
+            let rt = ctx.reg(ops[0])?;
+            let v = if mnemonic == "la" {
+                ctx.symbol(ops[1])?
+            } else {
+                parse_imm(ops[1], lineno)? as u32
+            };
+            text.push(Insn::lui(rt, (v >> 16) as u16));
+            text.push(Insn::imm_op(Op::Ori, rt, rt, (v & 0xffff) as i32));
+            return Ok(());
+        }
+        "b" => {
+            need(1)?;
+            let disp = ctx.branch_disp(ops[0])?;
+            text.push(Insn::branch(Op::Beq, Reg::ZERO, Reg::ZERO, disp));
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let op = Op::from_mnemonic(mnemonic)
+        .ok_or_else(|| AsmError { line: lineno, message: format!("unknown mnemonic `{mnemonic}`") })?;
+
+    let insn = match op {
+        Op::Sll | Op::Srl | Op::Sra => {
+            need(3)?;
+            let shamt = parse_imm(ops[2], lineno)?;
+            if !(0..32).contains(&shamt) {
+                return err(lineno, "shift amount out of range");
+            }
+            Insn::shift_imm(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, shamt as u8)
+        }
+        Op::Sllv | Op::Srlv | Op::Srav => {
+            need(3)?;
+            Insn::r3(op, ctx.reg(ops[0])?, ctx.reg(ops[2])?, ctx.reg(ops[1])?)
+        }
+        Op::Addi | Op::Addiu | Op::Slti | Op::Sltiu => {
+            need(3)?;
+            Insn::imm_op(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, ctx.imm16s(ops[2])? as i32)
+        }
+        Op::Andi | Op::Ori | Op::Xori => {
+            need(3)?;
+            Insn::imm_op(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, ctx.imm16u(ops[2])? as i32)
+        }
+        Op::Lui => {
+            need(2)?;
+            Insn::lui(ctx.reg(ops[0])?, ctx.imm16u(ops[1])?)
+        }
+        Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Sb | Op::Sh | Op::Sw => {
+            need(2)?;
+            let (off, base) = parse_mem_operand(ops[1], &ctx)?;
+            if op.is_load() {
+                Insn::load(op, ctx.reg(ops[0])?, off, base)
+            } else {
+                Insn::store(op, ctx.reg(ops[0])?, off, base)
+            }
+        }
+        Op::Beq | Op::Bne => {
+            need(3)?;
+            Insn::branch(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, ctx.branch_disp(ops[2])?)
+        }
+        Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => {
+            need(2)?;
+            Insn::branch(op, ctx.reg(ops[0])?, Reg::ZERO, ctx.branch_disp(ops[1])?)
+        }
+        Op::J | Op::Jal => {
+            need(1)?;
+            let addr = ctx.symbol(ops[0])?;
+            Insn::jump(op, addr >> 2)
+        }
+        Op::Jr => {
+            need(1)?;
+            Insn::jump_reg(op, Reg::ZERO, ctx.reg(ops[0])?)
+        }
+        Op::Jalr => match ops.len() {
+            1 => Insn::jump_reg(op, Reg::RA, ctx.reg(ops[0])?),
+            2 => Insn::jump_reg(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?),
+            n => return err(lineno, format!("`jalr` expects 1 or 2 operands, got {n}")),
+        },
+        Op::Mult | Op::Multu | Op::Div | Op::Divu => {
+            need(2)?;
+            Insn::muldiv(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?)
+        }
+        Op::Mfhi | Op::Mflo => {
+            need(1)?;
+            Insn::mfhilo(op, ctx.reg(ops[0])?)
+        }
+        Op::Mthi | Op::Mtlo => {
+            need(1)?;
+            Insn::mthilo(op, ctx.reg(ops[0])?)
+        }
+        Op::Syscall | Op::Break => {
+            need(0)?;
+            Insn::sys(op)
+        }
+        Op::SqrtS | Op::CvtWS | Op::CvtSW => {
+            need(2)?;
+            Insn::r3(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, Reg::ZERO)
+        }
+        _ => {
+            // Generic three-register form.
+            need(3)?;
+            Insn::r3(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, ctx.reg(ops[2])?)
+        }
+    };
+    text.push(insn);
+    Ok(())
+}
+
+fn parse_mem_operand(s: &str, ctx: &Ctx<'_>) -> Result<(i16, Reg)> {
+    let s = s.trim();
+    if let Some(open) = s.find('(') {
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| AsmError { line: ctx.lineno, message: "missing `)`".into() })?;
+        let off_str = s[..open].trim();
+        let off = if off_str.is_empty() { 0 } else { ctx.imm16s(off_str)? };
+        let base = ctx.reg(&s[open + 1..close])?;
+        Ok((off, base))
+    } else {
+        err(ctx.lineno, format!("bad memory operand `{s}` (expected off(base))"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            r#"
+            .text
+            main:
+                li    r8, 0x10000000
+                lw    r9, 4(r8)
+                addiu r9, r9, 1
+                beq   r9, r0, done
+                j     main
+            done:
+                syscall
+            .data
+                .word 7, 8, 9
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 7); // li expands to 2
+        assert_eq!(p.data.len(), 12);
+        assert_eq!(p.entry, TEXT_BASE);
+        // beq at word 4 targets `done` at word 6: disp 1.
+        assert_eq!(p.text[4].imm(), 1);
+        assert_eq!(&p.data[0..4], &7u32.to_le_bytes());
+    }
+
+    #[test]
+    fn data_labels_and_la() {
+        let p = assemble(
+            r#"
+            .data
+            x:  .word 42
+            y:  .asciiz "hi"
+            .text
+            main:
+                la r4, y
+                lbu r5, 0(r4)
+                syscall
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.symbol("x"), Some(DATA_BASE));
+        assert_eq!(p.symbol("y"), Some(DATA_BASE + 4));
+        // la expands to lui 0x1000 / ori 0x0004.
+        assert_eq!(p.text[0].imm() as u32, 0x1000_0000);
+        assert_eq!(p.text[1].imm() as u32, 0x0004);
+        assert_eq!(&p.data[4..7], b"hi\0");
+    }
+
+    #[test]
+    fn comments_and_aliases() {
+        let p = assemble(
+            "
+            .text
+            start: addu v0, zero, a0   # tail comment
+                   move v1, v0         ; alt comment
+                   jr ra
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 3);
+        assert_eq!(p.symbol("start"), Some(TEXT_BASE));
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble(".text\n  bogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble(".text\n  addiu r1, r2, 40000\n").unwrap_err();
+        assert!(e.message.contains("16-bit"));
+
+        let e = assemble(".text\n  beq r1, r2, nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = assemble(".text\nx: nop\nx: nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn alignment_directives() {
+        let p = assemble(
+            r#"
+            .data
+            a: .byte 1
+               .align 4
+            b: .word 2
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.symbol("b"), Some(DATA_BASE + 4));
+    }
+
+    #[test]
+    fn regimm_branches() {
+        let p = assemble(
+            r#"
+            .text
+            top: bltz r5, top
+                 bgez r5, top
+                 blez r5, top
+                 bgtz r5, top
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.text[0].imm(), -1);
+        assert_eq!(p.text[3].imm(), -4);
+    }
+
+    #[test]
+    fn roundtrips_through_encoder() {
+        let p = assemble(
+            r#"
+            .text
+            main:
+                lui   r2, 0x1002
+                sll   r16, r17, 3
+                addu  r2, r2, r16
+                lw    r2, -3136(r2)
+                mult  r2, r16
+                mflo  r3
+                bne   r2, r0, main
+                syscall
+            "#,
+        )
+        .unwrap();
+        for insn in &p.text {
+            let back = crate::decode(crate::encode(insn)).unwrap();
+            assert_eq!(&back, insn);
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! Programmatic assembler.
+//!
+//! [`Builder`] is the API the workload kernels use to emit code: it manages
+//! labels (with forward references), a data segment, and produces a
+//! [`Program`]. One method per instruction keeps the kernels readable:
+//!
+//! ```
+//! use popk_isa::builder::Builder;
+//! use popk_isa::Reg;
+//!
+//! let mut b = Builder::new();
+//! let counter = b.data_word(10);
+//! let (r2, r3) = (Reg::V0, Reg::V1);
+//! b.li(r3, counter as i32);
+//! b.lw(r2, 0, r3);
+//! let top = b.here("top");
+//! b.addiu(r2, r2, -1);
+//! b.bne(r2, Reg::ZERO, top);
+//! b.exit();
+//! let program = b.finish();
+//! assert!(program.text.len() >= 5);
+//! ```
+
+use crate::insn::Insn;
+use crate::op::Op;
+use crate::program::{Program, DATA_BASE, TEXT_BASE};
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+
+/// A code label managed by a [`Builder`]. Copyable; may be referenced
+/// before it is bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Label(usize);
+
+#[derive(Clone, Copy)]
+enum Fixup {
+    /// Patch the branch displacement of the instruction at this text index.
+    Branch(usize),
+    /// Patch the absolute word target of the jump at this text index.
+    Jump(usize),
+}
+
+/// Programmatic assembler producing a [`Program`].
+pub struct Builder {
+    text: Vec<Insn>,
+    data: Vec<u8>,
+    bound: Vec<Option<usize>>,
+    names: BTreeMap<String, Label>,
+    fixups: Vec<(Fixup, Label)>,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// An empty builder.
+    pub fn new() -> Builder {
+        Builder {
+            text: Vec::new(),
+            data: Vec::new(),
+            bound: Vec::new(),
+            names: BTreeMap::new(),
+            fixups: Vec::new(),
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    // ---- labels ---------------------------------------------------------
+
+    /// Create a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Create or look up a named label (unbound until [`Builder::bind`] /
+    /// [`Builder::here`]).
+    pub fn named(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.names.get(name) {
+            return l;
+        }
+        let l = self.label();
+        self.names.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Bind `label` to the current text position.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.bound[label.0].is_none(), "label bound twice");
+        self.bound[label.0] = Some(self.text.len());
+        if let Some(name) = self
+            .names
+            .iter()
+            .find_map(|(n, &l)| (l == label).then(|| n.clone()))
+        {
+            self.symbols
+                .insert(name, TEXT_BASE + (self.text.len() as u32) * 4);
+        }
+    }
+
+    /// Create a named label bound at the current position and return it.
+    pub fn here(&mut self, name: &str) -> Label {
+        let l = self.named(name);
+        self.bind(l);
+        l
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    // ---- data segment ---------------------------------------------------
+
+    /// Append a 32-bit little-endian word to the data segment, 4-aligned;
+    /// returns its virtual address.
+    pub fn data_word(&mut self, w: u32) -> u32 {
+        self.align_data(4);
+        let addr = DATA_BASE + self.data.len() as u32;
+        self.data.extend_from_slice(&w.to_le_bytes());
+        addr
+    }
+
+    /// Append a sequence of 32-bit words; returns the address of the first.
+    pub fn data_words(&mut self, ws: &[u32]) -> u32 {
+        self.align_data(4);
+        let addr = DATA_BASE + self.data.len() as u32;
+        for &w in ws {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Append raw bytes; returns the address of the first.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u32 {
+        let addr = DATA_BASE + self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Reserve `n` zeroed bytes; returns the address of the first.
+    pub fn data_space(&mut self, n: usize) -> u32 {
+        let addr = DATA_BASE + self.data.len() as u32;
+        self.data.resize(self.data.len() + n, 0);
+        addr
+    }
+
+    /// Pad the data segment to an `align`-byte boundary (power of two).
+    pub fn align_data(&mut self, align: usize) {
+        debug_assert!(align.is_power_of_two());
+        while !(DATA_BASE as usize + self.data.len()).is_multiple_of(align) {
+            self.data.push(0);
+        }
+    }
+
+    /// Record a data-segment symbol at `addr`.
+    pub fn data_symbol(&mut self, name: &str, addr: u32) {
+        self.symbols.insert(name.to_owned(), addr);
+    }
+
+    // ---- raw emission ---------------------------------------------------
+
+    /// Emit an arbitrary pre-built instruction.
+    pub fn emit(&mut self, insn: Insn) {
+        self.text.push(insn);
+    }
+
+    fn emit_branch(&mut self, op: Op, rs: Reg, rt: Reg, target: Label) {
+        let idx = self.text.len();
+        if let Some(t) = self.bound[target.0] {
+            let disp = t as i64 - (idx as i64 + 1);
+            self.text.push(Insn::branch(op, rs, rt, disp as i32));
+        } else {
+            self.text.push(Insn::branch(op, rs, rt, 0));
+            self.fixups.push((Fixup::Branch(idx), target));
+        }
+    }
+
+    fn emit_jump(&mut self, op: Op, target: Label) {
+        let idx = self.text.len();
+        if let Some(t) = self.bound[target.0] {
+            self.text.push(Insn::jump(op, (TEXT_BASE >> 2) + t as u32));
+        } else {
+            self.text.push(Insn::jump(op, 0));
+            self.fixups.push((Fixup::Jump(idx), target));
+        }
+    }
+
+    // ---- ALU ------------------------------------------------------------
+
+    /// `add rd, rs, rt` (with overflow trap semantics in hardware; the
+    /// emulator treats it as wrapping, like SimpleScalar's PISA).
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::Add, rd, rs, rt));
+    }
+    /// `addu rd, rs, rt`.
+    pub fn addu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::Addu, rd, rs, rt));
+    }
+    /// `sub rd, rs, rt`.
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::Sub, rd, rs, rt));
+    }
+    /// `subu rd, rs, rt`.
+    pub fn subu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::Subu, rd, rs, rt));
+    }
+    /// `slt rd, rs, rt`.
+    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::Slt, rd, rs, rt));
+    }
+    /// `sltu rd, rs, rt`.
+    pub fn sltu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::Sltu, rd, rs, rt));
+    }
+    /// `and rd, rs, rt`.
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::And, rd, rs, rt));
+    }
+    /// `or rd, rs, rt`.
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::Or, rd, rs, rt));
+    }
+    /// `xor rd, rs, rt`.
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::Xor, rd, rs, rt));
+    }
+    /// `nor rd, rs, rt`.
+    pub fn nor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::Nor, rd, rs, rt));
+    }
+    /// `addi rt, rs, imm`.
+    pub fn addi(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.emit(Insn::imm_op(Op::Addi, rt, rs, imm as i32));
+    }
+    /// `addiu rt, rs, imm`.
+    pub fn addiu(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.emit(Insn::imm_op(Op::Addiu, rt, rs, imm as i32));
+    }
+    /// `slti rt, rs, imm`.
+    pub fn slti(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.emit(Insn::imm_op(Op::Slti, rt, rs, imm as i32));
+    }
+    /// `sltiu rt, rs, imm`.
+    pub fn sltiu(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.emit(Insn::imm_op(Op::Sltiu, rt, rs, imm as i32));
+    }
+    /// `andi rt, rs, imm16`.
+    pub fn andi(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.emit(Insn::imm_op(Op::Andi, rt, rs, imm as i32));
+    }
+    /// `ori rt, rs, imm16`.
+    pub fn ori(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.emit(Insn::imm_op(Op::Ori, rt, rs, imm as i32));
+    }
+    /// `xori rt, rs, imm16`.
+    pub fn xori(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.emit(Insn::imm_op(Op::Xori, rt, rs, imm as i32));
+    }
+    /// `lui rt, imm16`.
+    pub fn lui(&mut self, rt: Reg, imm16: u16) {
+        self.emit(Insn::lui(rt, imm16));
+    }
+
+    // ---- shifts ---------------------------------------------------------
+
+    /// `sll rd, rt, shamt`.
+    pub fn sll(&mut self, rd: Reg, rt: Reg, shamt: u8) {
+        self.emit(Insn::shift_imm(Op::Sll, rd, rt, shamt));
+    }
+    /// `srl rd, rt, shamt`.
+    pub fn srl(&mut self, rd: Reg, rt: Reg, shamt: u8) {
+        self.emit(Insn::shift_imm(Op::Srl, rd, rt, shamt));
+    }
+    /// `sra rd, rt, shamt`.
+    pub fn sra(&mut self, rd: Reg, rt: Reg, shamt: u8) {
+        self.emit(Insn::shift_imm(Op::Sra, rd, rt, shamt));
+    }
+    /// `sllv rd, rt, rs`.
+    pub fn sllv(&mut self, rd: Reg, rt: Reg, rs: Reg) {
+        self.emit(Insn::r3(Op::Sllv, rd, rs, rt));
+    }
+    /// `srlv rd, rt, rs`.
+    pub fn srlv(&mut self, rd: Reg, rt: Reg, rs: Reg) {
+        self.emit(Insn::r3(Op::Srlv, rd, rs, rt));
+    }
+    /// `srav rd, rt, rs`.
+    pub fn srav(&mut self, rd: Reg, rt: Reg, rs: Reg) {
+        self.emit(Insn::r3(Op::Srav, rd, rs, rt));
+    }
+
+    // ---- multiply / divide ---------------------------------------------
+
+    /// `mult rs, rt`.
+    pub fn mult(&mut self, rs: Reg, rt: Reg) {
+        self.emit(Insn::muldiv(Op::Mult, rs, rt));
+    }
+    /// `multu rs, rt`.
+    pub fn multu(&mut self, rs: Reg, rt: Reg) {
+        self.emit(Insn::muldiv(Op::Multu, rs, rt));
+    }
+    /// `div rs, rt`.
+    pub fn div(&mut self, rs: Reg, rt: Reg) {
+        self.emit(Insn::muldiv(Op::Div, rs, rt));
+    }
+    /// `divu rs, rt`.
+    pub fn divu(&mut self, rs: Reg, rt: Reg) {
+        self.emit(Insn::muldiv(Op::Divu, rs, rt));
+    }
+    /// `mfhi rd`.
+    pub fn mfhi(&mut self, rd: Reg) {
+        self.emit(Insn::mfhilo(Op::Mfhi, rd));
+    }
+    /// `mflo rd`.
+    pub fn mflo(&mut self, rd: Reg) {
+        self.emit(Insn::mfhilo(Op::Mflo, rd));
+    }
+
+    // ---- floating point -------------------------------------------------
+
+    /// `add.s rd, rs, rt` (GPR bit patterns as `f32`).
+    pub fn add_s(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::AddS, rd, rs, rt));
+    }
+    /// `sub.s rd, rs, rt`.
+    pub fn sub_s(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::SubS, rd, rs, rt));
+    }
+    /// `mul.s rd, rs, rt`.
+    pub fn mul_s(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::MulS, rd, rs, rt));
+    }
+    /// `div.s rd, rs, rt`.
+    pub fn div_s(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Insn::r3(Op::DivS, rd, rs, rt));
+    }
+    /// `cvt.s.w rd, rs` — convert integer to float.
+    pub fn cvt_s_w(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Insn::r3(Op::CvtSW, rd, rs, Reg::ZERO));
+    }
+    /// `cvt.w.s rd, rs` — convert float to integer (truncating).
+    pub fn cvt_w_s(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Insn::r3(Op::CvtWS, rd, rs, Reg::ZERO));
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    /// `lb rt, off(base)`.
+    pub fn lb(&mut self, rt: Reg, off: i16, base: Reg) {
+        self.emit(Insn::load(Op::Lb, rt, off, base));
+    }
+    /// `lbu rt, off(base)`.
+    pub fn lbu(&mut self, rt: Reg, off: i16, base: Reg) {
+        self.emit(Insn::load(Op::Lbu, rt, off, base));
+    }
+    /// `lh rt, off(base)`.
+    pub fn lh(&mut self, rt: Reg, off: i16, base: Reg) {
+        self.emit(Insn::load(Op::Lh, rt, off, base));
+    }
+    /// `lhu rt, off(base)`.
+    pub fn lhu(&mut self, rt: Reg, off: i16, base: Reg) {
+        self.emit(Insn::load(Op::Lhu, rt, off, base));
+    }
+    /// `lw rt, off(base)`.
+    pub fn lw(&mut self, rt: Reg, off: i16, base: Reg) {
+        self.emit(Insn::load(Op::Lw, rt, off, base));
+    }
+    /// `sb rt, off(base)`.
+    pub fn sb(&mut self, rt: Reg, off: i16, base: Reg) {
+        self.emit(Insn::store(Op::Sb, rt, off, base));
+    }
+    /// `sh rt, off(base)`.
+    pub fn sh(&mut self, rt: Reg, off: i16, base: Reg) {
+        self.emit(Insn::store(Op::Sh, rt, off, base));
+    }
+    /// `sw rt, off(base)`.
+    pub fn sw(&mut self, rt: Reg, off: i16, base: Reg) {
+        self.emit(Insn::store(Op::Sw, rt, off, base));
+    }
+
+    // ---- control --------------------------------------------------------
+
+    /// `beq rs, rt, label`.
+    pub fn beq(&mut self, rs: Reg, rt: Reg, target: Label) {
+        self.emit_branch(Op::Beq, rs, rt, target);
+    }
+    /// `bne rs, rt, label`.
+    pub fn bne(&mut self, rs: Reg, rt: Reg, target: Label) {
+        self.emit_branch(Op::Bne, rs, rt, target);
+    }
+    /// `blez rs, label`.
+    pub fn blez(&mut self, rs: Reg, target: Label) {
+        self.emit_branch(Op::Blez, rs, Reg::ZERO, target);
+    }
+    /// `bgtz rs, label`.
+    pub fn bgtz(&mut self, rs: Reg, target: Label) {
+        self.emit_branch(Op::Bgtz, rs, Reg::ZERO, target);
+    }
+    /// `bltz rs, label`.
+    pub fn bltz(&mut self, rs: Reg, target: Label) {
+        self.emit_branch(Op::Bltz, rs, Reg::ZERO, target);
+    }
+    /// `bgez rs, label`.
+    pub fn bgez(&mut self, rs: Reg, target: Label) {
+        self.emit_branch(Op::Bgez, rs, Reg::ZERO, target);
+    }
+    /// Unconditional branch (`beq r0, r0, label`).
+    pub fn b(&mut self, target: Label) {
+        self.emit_branch(Op::Beq, Reg::ZERO, Reg::ZERO, target);
+    }
+    /// `j label`.
+    pub fn j(&mut self, target: Label) {
+        self.emit_jump(Op::J, target);
+    }
+    /// `jal label`.
+    pub fn jal(&mut self, target: Label) {
+        self.emit_jump(Op::Jal, target);
+    }
+    /// `jr rs`.
+    pub fn jr(&mut self, rs: Reg) {
+        self.emit(Insn::jump_reg(Op::Jr, Reg::ZERO, rs));
+    }
+    /// `jalr rd, rs`.
+    pub fn jalr(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Insn::jump_reg(Op::Jalr, rd, rs));
+    }
+
+    // ---- pseudo-instructions ---------------------------------------------
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Insn::nop());
+    }
+
+    /// Load a 32-bit constant: one `addiu` when it fits in a signed 16-bit
+    /// immediate, else `lui`+`ori`.
+    pub fn li(&mut self, rt: Reg, value: i32) {
+        if (-32768..=32767).contains(&value) {
+            self.addiu(rt, Reg::ZERO, value as i16);
+        } else {
+            let v = value as u32;
+            self.lui(rt, (v >> 16) as u16);
+            if v & 0xffff != 0 {
+                self.ori(rt, rt, (v & 0xffff) as u16);
+            }
+        }
+    }
+
+    /// Load the address of a data-segment location.
+    pub fn la(&mut self, rt: Reg, addr: u32) {
+        self.li(rt, addr as i32);
+    }
+
+    /// `move rd, rs` (`addu rd, rs, r0`).
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.addu(rd, rs, Reg::ZERO);
+    }
+
+    /// Raw `syscall`.
+    pub fn syscall(&mut self) {
+        self.emit(Insn::sys(Op::Syscall));
+    }
+
+    /// Print the integer in `rs` (clobbers `v0`/`a0`): the `PrintInt`
+    /// service.
+    pub fn print_int(&mut self, rs: Reg) {
+        if rs != Reg::A0 {
+            self.mov(Reg::A0, rs);
+        }
+        self.li(Reg::V0, 1);
+        self.syscall();
+    }
+
+    /// Program exit: `syscall` with `v0 = 0` (the exit service).
+    pub fn exit(&mut self) {
+        self.li(Reg::V0, 0);
+        self.emit(Insn::sys(Op::Syscall));
+    }
+
+    // ---- finalization ----------------------------------------------------
+
+    /// Resolve all fixups and produce the [`Program`].
+    ///
+    /// # Panics
+    /// Panics if any referenced label was never bound, or if a resolved
+    /// branch displacement exceeds the 16-bit field.
+    pub fn finish(mut self) -> Program {
+        for (fix, label) in std::mem::take(&mut self.fixups) {
+            let target = self.bound[label.0].unwrap_or_else(|| {
+                let name = self
+                    .names
+                    .iter()
+                    .find_map(|(n, &l)| (l == label).then_some(n.as_str()))
+                    .unwrap_or("<anonymous>");
+                panic!("unbound label {name:?}")
+            });
+            match fix {
+                Fixup::Branch(idx) => {
+                    let disp = target as i64 - (idx as i64 + 1);
+                    assert!(
+                        (-32768..=32767).contains(&disp),
+                        "branch displacement {disp} out of range"
+                    );
+                    let old = self.text[idx];
+                    self.text[idx] = Insn::branch(old.op(), old.rs(), old.rt(), disp as i32);
+                }
+                Fixup::Jump(idx) => {
+                    let old = self.text[idx];
+                    self.text[idx] =
+                        Insn::jump(old.op(), (TEXT_BASE >> 2) + target as u32);
+                }
+            }
+        }
+        let entry = self.symbols.get("main").copied().unwrap_or(TEXT_BASE);
+        Program {
+            text: self.text,
+            data: self.data,
+            entry,
+            symbols: self.symbols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut b = Builder::new();
+        let fwd = b.label();
+        b.li(Reg::V0, 3);
+        let top = b.here("top");
+        b.addiu(Reg::V0, Reg::V0, -1);
+        b.beq(Reg::V0, Reg::ZERO, fwd);
+        b.bne(Reg::V0, Reg::ZERO, top);
+        b.bind(fwd);
+        b.exit();
+        let p = b.finish();
+        // beq at index 2 targets index 4: disp = 4 - 3 = 1.
+        assert_eq!(p.text[2].imm(), 1);
+        // bne at index 3 targets index 1: disp = 1 - 4 = -3.
+        assert_eq!(p.text[3].imm(), -3);
+    }
+
+    #[test]
+    fn jump_targets_are_absolute_words() {
+        let mut b = Builder::new();
+        let f = b.label();
+        b.jal(f);
+        b.exit();
+        b.bind(f);
+        b.jr(Reg::RA);
+        let p = b.finish();
+        let target_word = p.text[0].imm() as u32;
+        assert_eq!(target_word << 2, Program::text_addr(3));
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let mut b = Builder::new();
+        b.li(Reg::V0, 42);
+        b.li(Reg::V1, 0x1002_f3c0u32 as i32);
+        b.li(Reg::A0, 0x7fff_0000);
+        let p = b.finish();
+        assert_eq!(p.text.len(), 1 + 2 + 1); // addiu; lui+ori; lui only
+    }
+
+    #[test]
+    fn data_layout() {
+        let mut b = Builder::new();
+        let a = b.data_bytes(&[1, 2, 3]);
+        let w = b.data_word(0xdead_beef);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(w, DATA_BASE + 4); // aligned past the 3 bytes
+        let p = b.finish();
+        assert_eq!(&p.data[4..8], &0xdead_beefu32.to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = Builder::new();
+        let l = b.named("nowhere");
+        b.b(l);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn main_symbol_sets_entry() {
+        let mut b = Builder::new();
+        b.nop();
+        b.here("main");
+        b.exit();
+        let p = b.finish();
+        assert_eq!(p.entry, Program::text_addr(1));
+    }
+}

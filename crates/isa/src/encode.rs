@@ -1,0 +1,456 @@
+//! Binary encoding and decoding.
+//!
+//! The layout follows the classic MIPS-I formats:
+//!
+//! ```text
+//! R-type: | op:6 | rs:5 | rt:5 | rd:5 | shamt:5 | funct:6 |
+//! I-type: | op:6 | rs:5 | rt:5 |        imm16            |
+//! J-type: | op:6 |            target:26                  |
+//! ```
+//!
+//! Primary opcode 0 selects the SPECIAL (funct-dispatched) group, opcode 1
+//! the REGIMM group (`bltz`/`bgez` via the `rt` field), and opcode 0x11 the
+//! floating-point group (funct-dispatched, operating on GPR bit patterns in
+//! this synthetic ISA).
+
+use crate::insn::Insn;
+use crate::op::Op;
+use crate::reg::Reg;
+
+/// Error returned by [`decode`] for bit patterns that are not valid
+/// instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const SPECIAL: u32 = 0;
+const REGIMM: u32 = 1;
+const FP: u32 = 0x11;
+
+fn funct_of(op: Op) -> Option<u32> {
+    Some(match op {
+        Op::Sll => 0,
+        Op::Srl => 2,
+        Op::Sra => 3,
+        Op::Sllv => 4,
+        Op::Srlv => 6,
+        Op::Srav => 7,
+        Op::Jr => 8,
+        Op::Jalr => 9,
+        Op::Syscall => 12,
+        Op::Break => 13,
+        Op::Mfhi => 16,
+        Op::Mthi => 17,
+        Op::Mflo => 18,
+        Op::Mtlo => 19,
+        Op::Mult => 24,
+        Op::Multu => 25,
+        Op::Div => 26,
+        Op::Divu => 27,
+        Op::Add => 32,
+        Op::Addu => 33,
+        Op::Sub => 34,
+        Op::Subu => 35,
+        Op::And => 36,
+        Op::Or => 37,
+        Op::Xor => 38,
+        Op::Nor => 39,
+        Op::Slt => 42,
+        Op::Sltu => 43,
+        _ => return None,
+    })
+}
+
+fn special_op(funct: u32) -> Option<Op> {
+    Some(match funct {
+        0 => Op::Sll,
+        2 => Op::Srl,
+        3 => Op::Sra,
+        4 => Op::Sllv,
+        6 => Op::Srlv,
+        7 => Op::Srav,
+        8 => Op::Jr,
+        9 => Op::Jalr,
+        12 => Op::Syscall,
+        13 => Op::Break,
+        16 => Op::Mfhi,
+        17 => Op::Mthi,
+        18 => Op::Mflo,
+        19 => Op::Mtlo,
+        24 => Op::Mult,
+        25 => Op::Multu,
+        26 => Op::Div,
+        27 => Op::Divu,
+        32 => Op::Add,
+        33 => Op::Addu,
+        34 => Op::Sub,
+        35 => Op::Subu,
+        36 => Op::And,
+        37 => Op::Or,
+        38 => Op::Xor,
+        39 => Op::Nor,
+        42 => Op::Slt,
+        43 => Op::Sltu,
+        _ => return None,
+    })
+}
+
+fn fp_funct_of(op: Op) -> Option<u32> {
+    Some(match op {
+        Op::AddS => 0,
+        Op::SubS => 1,
+        Op::MulS => 2,
+        Op::DivS => 3,
+        Op::SqrtS => 4,
+        Op::CvtWS => 36,
+        Op::CvtSW => 32,
+        _ => return None,
+    })
+}
+
+fn fp_op(funct: u32) -> Option<Op> {
+    Some(match funct {
+        0 => Op::AddS,
+        1 => Op::SubS,
+        2 => Op::MulS,
+        3 => Op::DivS,
+        4 => Op::SqrtS,
+        36 => Op::CvtWS,
+        32 => Op::CvtSW,
+        _ => return None,
+    })
+}
+
+fn primary_of(op: Op) -> Option<u32> {
+    Some(match op {
+        Op::J => 2,
+        Op::Jal => 3,
+        Op::Beq => 4,
+        Op::Bne => 5,
+        Op::Blez => 6,
+        Op::Bgtz => 7,
+        Op::Addi => 8,
+        Op::Addiu => 9,
+        Op::Slti => 10,
+        Op::Sltiu => 11,
+        Op::Andi => 12,
+        Op::Ori => 13,
+        Op::Xori => 14,
+        Op::Lui => 15,
+        Op::Lb => 32,
+        Op::Lh => 33,
+        Op::Lw => 35,
+        Op::Lbu => 36,
+        Op::Lhu => 37,
+        Op::Sb => 40,
+        Op::Sh => 41,
+        Op::Sw => 43,
+        _ => return None,
+    })
+}
+
+fn primary_op(primary: u32) -> Option<Op> {
+    Some(match primary {
+        2 => Op::J,
+        3 => Op::Jal,
+        4 => Op::Beq,
+        5 => Op::Bne,
+        6 => Op::Blez,
+        7 => Op::Bgtz,
+        8 => Op::Addi,
+        9 => Op::Addiu,
+        10 => Op::Slti,
+        11 => Op::Sltiu,
+        12 => Op::Andi,
+        13 => Op::Ori,
+        14 => Op::Xori,
+        15 => Op::Lui,
+        32 => Op::Lb,
+        33 => Op::Lh,
+        35 => Op::Lw,
+        36 => Op::Lbu,
+        37 => Op::Lhu,
+        40 => Op::Sb,
+        41 => Op::Sh,
+        43 => Op::Sw,
+        _ => return None,
+    })
+}
+
+#[inline]
+fn r(op: u32, rs: u32, rt: u32, rd: u32, shamt: u32, funct: u32) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+}
+
+#[inline]
+fn i_fmt(op: u32, rs: u32, rt: u32, imm16: u32) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | (imm16 & 0xffff)
+}
+
+/// Encode an instruction to its 32-bit binary form.
+///
+/// # Panics
+/// Panics if an immediate or displacement does not fit in its field; the
+/// assembler and builder validate ranges before constructing [`Insn`]s.
+pub fn encode(insn: &Insn) -> u32 {
+    let op = insn.op();
+    let rd = |x: Reg| x.encoding();
+    if let Some(f) = funct_of(op) {
+        return match op {
+            Op::Sll | Op::Srl | Op::Sra => {
+                r(SPECIAL, 0, rd(insn.rt()), rd(insn.rd()), insn.imm() as u32 & 31, f)
+            }
+            Op::Sllv | Op::Srlv | Op::Srav => {
+                r(SPECIAL, rd(insn.rs()), rd(insn.rt()), rd(insn.rd()), 0, f)
+            }
+            Op::Jr => r(SPECIAL, rd(insn.rs()), 0, 0, 0, f),
+            Op::Jalr => r(SPECIAL, rd(insn.rs()), 0, rd(insn.rd()), 0, f),
+            Op::Syscall | Op::Break => r(SPECIAL, 0, 0, 0, 0, f),
+            Op::Mfhi | Op::Mflo => r(SPECIAL, 0, 0, rd(insn.rd()), 0, f),
+            Op::Mthi | Op::Mtlo => r(SPECIAL, rd(insn.rs()), 0, 0, 0, f),
+            Op::Mult | Op::Multu | Op::Div | Op::Divu => {
+                r(SPECIAL, rd(insn.rs()), rd(insn.rt()), 0, 0, f)
+            }
+            _ => r(SPECIAL, rd(insn.rs()), rd(insn.rt()), rd(insn.rd()), 0, f),
+        };
+    }
+    if let Some(f) = fp_funct_of(op) {
+        return match op {
+            Op::SqrtS | Op::CvtWS | Op::CvtSW => r(FP, rd(insn.rs()), 0, rd(insn.rd()), 0, f),
+            _ => r(FP, rd(insn.rs()), rd(insn.rt()), rd(insn.rd()), 0, f),
+        };
+    }
+    match op {
+        Op::Bltz => i_fmt(REGIMM, insn.rs().encoding(), 0, imm16_disp(insn.imm())),
+        Op::Bgez => i_fmt(REGIMM, insn.rs().encoding(), 1, imm16_disp(insn.imm())),
+        Op::J | Op::Jal => {
+            let target = insn.imm() as u32;
+            assert!(target < (1 << 26), "jump target out of range");
+            (primary_of(op).unwrap() << 26) | target
+        }
+        Op::Beq | Op::Bne => i_fmt(
+            primary_of(op).unwrap(),
+            insn.rs().encoding(),
+            insn.rt().encoding(),
+            imm16_disp(insn.imm()),
+        ),
+        Op::Blez | Op::Bgtz => i_fmt(
+            primary_of(op).unwrap(),
+            insn.rs().encoding(),
+            0,
+            imm16_disp(insn.imm()),
+        ),
+        Op::Lui => i_fmt(15, 0, insn.rd().encoding(), (insn.imm() as u32) >> 16),
+        Op::Andi | Op::Ori | Op::Xori => {
+            let imm = insn.imm() as u32;
+            assert!(imm <= 0xffff, "logical immediate out of range");
+            i_fmt(primary_of(op).unwrap(), insn.rs().encoding(), insn.rd().encoding(), imm)
+        }
+        Op::Addi | Op::Addiu | Op::Slti | Op::Sltiu => {
+            i_fmt(
+                primary_of(op).unwrap(),
+                insn.rs().encoding(),
+                insn.rd().encoding(),
+                imm16_disp(insn.imm()),
+            )
+        }
+        op if op.is_load() => i_fmt(
+            primary_of(op).unwrap(),
+            insn.rs().encoding(),
+            insn.rd().encoding(),
+            imm16_disp(insn.imm()),
+        ),
+        op if op.is_store() => i_fmt(
+            primary_of(op).unwrap(),
+            insn.rs().encoding(),
+            insn.rt().encoding(),
+            imm16_disp(insn.imm()),
+        ),
+        _ => unreachable!("unhandled opcode {op:?}"),
+    }
+}
+
+fn imm16_disp(v: i32) -> u32 {
+    assert!((-32768..=32767).contains(&v), "immediate {v} out of i16 range");
+    (v as u32) & 0xffff
+}
+
+/// Decode a 32-bit instruction word.
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let primary = word >> 26;
+    let rs = Reg::gpr(((word >> 21) & 31) as u8);
+    let rt = Reg::gpr(((word >> 16) & 31) as u8);
+    let rd_f = Reg::gpr(((word >> 11) & 31) as u8);
+    let shamt = (word >> 6) & 31;
+    let funct = word & 63;
+    let simm = (word & 0xffff) as u16 as i16;
+    let uimm = (word & 0xffff) as i32;
+    let err = || DecodeError { word };
+
+    match primary {
+        SPECIAL => {
+            let op = special_op(funct).ok_or_else(err)?;
+            Ok(match op {
+                Op::Sll | Op::Srl | Op::Sra => Insn::shift_imm(op, rd_f, rt, shamt as u8),
+                Op::Sllv | Op::Srlv | Op::Srav => Insn::r3(op, rd_f, rs, rt),
+                Op::Jr => Insn::jump_reg(op, Reg::ZERO, rs),
+                Op::Jalr => Insn::jump_reg(op, rd_f, rs),
+                Op::Syscall | Op::Break => Insn::sys(op),
+                Op::Mfhi | Op::Mflo => Insn::mfhilo(op, rd_f),
+                Op::Mthi | Op::Mtlo => Insn::mthilo(op, rs),
+                Op::Mult | Op::Multu | Op::Div | Op::Divu => Insn::muldiv(op, rs, rt),
+                _ => Insn::r3(op, rd_f, rs, rt),
+            })
+        }
+        REGIMM => match (word >> 16) & 31 {
+            0 => Ok(Insn::branch(Op::Bltz, rs, Reg::ZERO, simm as i32)),
+            1 => Ok(Insn::branch(Op::Bgez, rs, Reg::ZERO, simm as i32)),
+            _ => Err(err()),
+        },
+        FP => {
+            let op = fp_op(funct).ok_or_else(err)?;
+            Ok(Insn::r3(op, rd_f, rs, rt))
+        }
+        _ => {
+            let op = primary_op(primary).ok_or_else(err)?;
+            Ok(match op {
+                Op::J | Op::Jal => Insn::jump(op, word & 0x03ff_ffff),
+                Op::Beq | Op::Bne => Insn::branch(op, rs, rt, simm as i32),
+                Op::Blez | Op::Bgtz => Insn::branch(op, rs, Reg::ZERO, simm as i32),
+                Op::Lui => Insn::lui(rt, uimm as u16),
+                Op::Andi | Op::Ori | Op::Xori => Insn::imm_op(op, rt, rs, uimm),
+                Op::Addi | Op::Addiu | Op::Slti | Op::Sltiu => {
+                    Insn::imm_op(op, rt, rs, simm as i32)
+                }
+                op if op.is_load() => Insn::load(op, rt, simm, rs),
+                op if op.is_store() => Insn::store(op, rt, simm, rs),
+                _ => return Err(err()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpClass;
+
+    fn sample_insns() -> Vec<Insn> {
+        let g = Reg::gpr;
+        vec![
+            Insn::r3(Op::Add, g(3), g(1), g(2)),
+            Insn::r3(Op::Subu, g(9), g(10), g(11)),
+            Insn::r3(Op::Nor, g(5), g(6), g(7)),
+            Insn::r3(Op::Sltu, g(1), g(2), g(3)),
+            Insn::shift_imm(Op::Sll, g(4), g(5), 13),
+            Insn::shift_imm(Op::Sra, g(4), g(5), 31),
+            Insn::r3(Op::Srlv, g(4), g(5), g(6)),
+            Insn::imm_op(Op::Addiu, g(8), g(9), -1),
+            Insn::imm_op(Op::Slti, g(8), g(9), 1000),
+            Insn::imm_op(Op::Andi, g(2), g(3), 0x0001),
+            Insn::imm_op(Op::Ori, g(2), g(3), 0xffff),
+            Insn::lui(g(2), 0x1002),
+            Insn::load(Op::Lw, g(4), -32768, g(29)),
+            Insn::load(Op::Lbu, g(3), 1, g(16)),
+            Insn::store(Op::Sw, g(4), 32767, g(29)),
+            Insn::store(Op::Sb, g(4), 0, g(8)),
+            Insn::branch(Op::Beq, g(5), g(4), -100),
+            Insn::branch(Op::Bne, g(2), Reg::ZERO, 12),
+            Insn::branch(Op::Blez, g(2), Reg::ZERO, 3),
+            Insn::branch(Op::Bgtz, g(2), Reg::ZERO, 3),
+            Insn::branch(Op::Bltz, g(2), Reg::ZERO, -3),
+            Insn::branch(Op::Bgez, g(2), Reg::ZERO, 0),
+            Insn::jump(Op::J, 0x12345),
+            Insn::jump(Op::Jal, 0x3ff_ffff),
+            Insn::jump_reg(Op::Jr, Reg::ZERO, Reg::RA),
+            Insn::jump_reg(Op::Jalr, Reg::RA, g(25)),
+            Insn::muldiv(Op::Mult, g(4), g(5)),
+            Insn::muldiv(Op::Divu, g(4), g(5)),
+            Insn::mfhilo(Op::Mfhi, g(2)),
+            Insn::mfhilo(Op::Mflo, g(3)),
+            Insn::mthilo(Op::Mthi, g(2)),
+            Insn::mthilo(Op::Mtlo, g(3)),
+            Insn::sys(Op::Syscall),
+            Insn::sys(Op::Break),
+            Insn::r3(Op::AddS, g(1), g(2), g(3)),
+            Insn::r3(Op::DivS, g(1), g(2), g(3)),
+            Insn::nop(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_samples() {
+        for insn in sample_insns() {
+            let word = encode(&insn);
+            let back = decode(word).unwrap_or_else(|e| panic!("{insn}: {e}"));
+            assert_eq!(back, insn, "word {word:#010x} for {insn}");
+        }
+    }
+
+    #[test]
+    fn every_opcode_is_encodable() {
+        // Ensure no opcode falls through all encoder arms.
+        for &op in Op::ALL {
+            let g = Reg::gpr;
+            let insn = match op.class() {
+                OpClass::IntAlu | OpClass::Logic if primary_of(op).is_some() && op != Op::Lui => {
+                    Insn::imm_op(op, g(1), g(2), 1)
+                }
+                OpClass::Logic if op == Op::Lui => Insn::lui(g(1), 7),
+                OpClass::Fp if matches!(op, Op::SqrtS | Op::CvtWS | Op::CvtSW) => {
+                    // Unary FP ops encode no rt field.
+                    Insn::r3(op, g(1), g(2), Reg::ZERO)
+                }
+                OpClass::IntAlu | OpClass::Logic | OpClass::Fp => Insn::r3(op, g(1), g(2), g(3)),
+                OpClass::Shift => match op {
+                    Op::Sll | Op::Srl | Op::Sra => Insn::shift_imm(op, g(1), g(2), 3),
+                    _ => Insn::r3(op, g(1), g(2), g(3)),
+                },
+                OpClass::MulDiv => match op {
+                    Op::Mfhi | Op::Mflo => Insn::mfhilo(op, g(1)),
+                    Op::Mthi | Op::Mtlo => Insn::mthilo(op, g(1)),
+                    _ => Insn::muldiv(op, g(1), g(2)),
+                },
+                OpClass::Load => Insn::load(op, g(1), 4, g(2)),
+                OpClass::Store => Insn::store(op, g(1), 4, g(2)),
+                OpClass::Branch => match op {
+                    // Single-source branches encode no rt field.
+                    Op::Beq | Op::Bne => Insn::branch(op, g(1), g(2), 1),
+                    _ => Insn::branch(op, g(1), Reg::ZERO, 1),
+                },
+                OpClass::Jump => match op {
+                    Op::J | Op::Jal => Insn::jump(op, 16),
+                    // `jr` encodes no rd field.
+                    Op::Jr => Insn::jump_reg(op, Reg::ZERO, g(2)),
+                    _ => Insn::jump_reg(op, g(31), g(2)),
+                },
+                OpClass::Sys => Insn::sys(op),
+            };
+            let back = decode(encode(&insn)).unwrap();
+            assert_eq!(back, insn, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_words_rejected() {
+        assert!(decode(0x0000_003f).is_err()); // SPECIAL funct 63
+        assert!(decode(0x0409_0000).is_err()); // REGIMM rt=9
+        assert!(decode(0xfc00_0000).is_err()); // primary 63
+    }
+
+    #[test]
+    fn nop_is_all_zeros() {
+        assert_eq!(encode(&Insn::nop()), 0);
+        assert_eq!(decode(0).unwrap(), Insn::nop());
+    }
+}

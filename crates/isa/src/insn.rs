@@ -1,0 +1,384 @@
+//! The decoded-instruction representation.
+
+use crate::op::{Op, OpClass};
+use crate::reg::Reg;
+use std::fmt;
+
+/// A decoded instruction.
+///
+/// One uniform record covers all three encoding formats. Field use by
+/// format:
+///
+/// * **R-type** (`add rd, rs, rt`): `rd`, `rs`, `rt`; shifts by immediate
+///   keep the shift amount in `imm`.
+/// * **I-type** (`addiu rt, rs, imm`): destination in `rd` (aliased to the
+///   encoding's `rt` field), source in `rs`, 16-bit immediate sign- or
+///   zero-extended into `imm` according to the opcode.
+/// * **Branches**: `rs`/`rt` sources and the *word* displacement of the
+///   target relative to the next sequential instruction in `imm`.
+/// * **J-type**: absolute target word index in `imm`.
+///
+/// Use the typed constructors ([`Insn::r3`], [`Insn::imm_op`], [`Insn::load`],
+/// [`Insn::store`], [`Insn::branch`], …) rather than building fields by hand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Insn {
+    op: Op,
+    rd: Reg,
+    rs: Reg,
+    rt: Reg,
+    imm: i32,
+}
+
+impl Insn {
+    /// Three-register instruction `op rd, rs, rt`.
+    pub fn r3(op: Op, rd: Reg, rs: Reg, rt: Reg) -> Insn {
+        debug_assert!(matches!(
+            op.class(),
+            OpClass::IntAlu | OpClass::Logic | OpClass::Shift | OpClass::Fp
+        ));
+        Insn { op, rd, rs, rt, imm: 0 }
+    }
+
+    /// Shift-by-immediate `op rd, rt, shamt` (`sll`/`srl`/`sra`).
+    pub fn shift_imm(op: Op, rd: Reg, rt: Reg, shamt: u8) -> Insn {
+        debug_assert!(matches!(op, Op::Sll | Op::Srl | Op::Sra));
+        debug_assert!(shamt < 32);
+        Insn { op, rd, rs: Reg::ZERO, rt, imm: shamt as i32 }
+    }
+
+    /// Immediate-form ALU instruction `op rt, rs, imm`. The immediate is
+    /// stored fully extended (sign-extended for `addi*`/`slti*`,
+    /// zero-extended for `andi`/`ori`/`xori`, shifted for `lui`).
+    pub fn imm_op(op: Op, rt: Reg, rs: Reg, imm: i32) -> Insn {
+        debug_assert!(matches!(op.class(), OpClass::IntAlu | OpClass::Logic));
+        Insn { op, rd: rt, rs, rt: Reg::ZERO, imm }
+    }
+
+    /// `lui rt, imm16` — stores the already-shifted value in `imm`.
+    pub fn lui(rt: Reg, imm16: u16) -> Insn {
+        Insn { op: Op::Lui, rd: rt, rs: Reg::ZERO, rt: Reg::ZERO, imm: ((imm16 as u32) << 16) as i32 }
+    }
+
+    /// Load `op rt, offset(base)`.
+    pub fn load(op: Op, rt: Reg, offset: i16, base: Reg) -> Insn {
+        debug_assert!(op.is_load());
+        Insn { op, rd: rt, rs: base, rt: Reg::ZERO, imm: offset as i32 }
+    }
+
+    /// Store `op rt, offset(base)`; `rt` is the data source.
+    pub fn store(op: Op, rt: Reg, offset: i16, base: Reg) -> Insn {
+        debug_assert!(op.is_store());
+        Insn { op, rd: Reg::ZERO, rs: base, rt, imm: offset as i32 }
+    }
+
+    /// Conditional branch; `disp_words` is the displacement in instruction
+    /// words from the *next* instruction (MIPS convention, no delay slot in
+    /// this ISA).
+    pub fn branch(op: Op, rs: Reg, rt: Reg, disp_words: i32) -> Insn {
+        debug_assert!(op.is_cond_branch());
+        Insn { op, rd: Reg::ZERO, rs, rt, imm: disp_words }
+    }
+
+    /// Absolute jump (`j`/`jal`) to a text-segment word index.
+    pub fn jump(op: Op, target_word: u32) -> Insn {
+        debug_assert!(matches!(op, Op::J | Op::Jal));
+        Insn { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: target_word as i32 }
+    }
+
+    /// Register jump `jr rs` or `jalr rd, rs`.
+    pub fn jump_reg(op: Op, rd: Reg, rs: Reg) -> Insn {
+        debug_assert!(matches!(op, Op::Jr | Op::Jalr));
+        Insn { op, rd, rs, rt: Reg::ZERO, imm: 0 }
+    }
+
+    /// `mult`/`multu`/`div`/`divu rs, rt` (write HI/LO implicitly).
+    pub fn muldiv(op: Op, rs: Reg, rt: Reg) -> Insn {
+        debug_assert!(matches!(op, Op::Mult | Op::Multu | Op::Div | Op::Divu));
+        Insn { op, rd: Reg::ZERO, rs, rt, imm: 0 }
+    }
+
+    /// `mfhi rd` / `mflo rd`.
+    pub fn mfhilo(op: Op, rd: Reg) -> Insn {
+        debug_assert!(matches!(op, Op::Mfhi | Op::Mflo));
+        Insn { op, rd, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0 }
+    }
+
+    /// `mthi rs` / `mtlo rs`.
+    pub fn mthilo(op: Op, rs: Reg) -> Insn {
+        debug_assert!(matches!(op, Op::Mthi | Op::Mtlo));
+        Insn { op, rd: Reg::ZERO, rs, rt: Reg::ZERO, imm: 0 }
+    }
+
+    /// `syscall` / `break`.
+    pub fn sys(op: Op) -> Insn {
+        debug_assert!(matches!(op, Op::Syscall | Op::Break));
+        Insn { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0 }
+    }
+
+    /// The canonical no-op (`sll r0, r0, 0`).
+    pub fn nop() -> Insn {
+        Insn::shift_imm(Op::Sll, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// The opcode.
+    #[inline]
+    pub fn op(&self) -> Op {
+        self.op
+    }
+    /// The `rd` field (destination for R-type and I-type ALU/loads).
+    #[inline]
+    pub fn rd(&self) -> Reg {
+        self.rd
+    }
+    /// The `rs` field (first source / base register).
+    #[inline]
+    pub fn rs(&self) -> Reg {
+        self.rs
+    }
+    /// The `rt` field (second source / store data).
+    #[inline]
+    pub fn rt(&self) -> Reg {
+        self.rt
+    }
+    /// The extended immediate / displacement / shift amount / jump target.
+    #[inline]
+    pub fn imm(&self) -> i32 {
+        self.imm
+    }
+
+    /// Architectural registers read by this instruction (up to two).
+    /// `r0` sources are reported (readers may filter them; they are always
+    /// ready). `syscall` reads `v0`/`a0` for its ABI.
+    pub fn uses(&self) -> ArgSet {
+        let mut set = ArgSet::default();
+        match self.op {
+            Op::Sll | Op::Srl | Op::Sra => set.push(self.rt),
+            Op::Sllv | Op::Srlv | Op::Srav => {
+                set.push(self.rt);
+                set.push(self.rs);
+            }
+            Op::Lui => {}
+            Op::Mfhi => set.push(Reg::HI),
+            Op::Mflo => set.push(Reg::LO),
+            Op::Mthi | Op::Mtlo => set.push(self.rs),
+            Op::J | Op::Jal => {}
+            Op::Jr | Op::Jalr => set.push(self.rs),
+            Op::Syscall => {
+                set.push(Reg::V0);
+                set.push(Reg::A0);
+            }
+            Op::Break => {}
+            op if op.is_load() => set.push(self.rs),
+            op if op.is_store() => {
+                set.push(self.rs);
+                set.push(self.rt);
+            }
+            op if op.is_cond_branch() => {
+                set.push(self.rs);
+                match op {
+                    Op::Beq | Op::Bne => set.push(self.rt),
+                    _ => {}
+                }
+            }
+            Op::Mult | Op::Multu | Op::Div | Op::Divu => {
+                set.push(self.rs);
+                set.push(self.rt);
+            }
+            _ => {
+                // Generic R-type / I-type ALU.
+                set.push(self.rs);
+                if self.is_rtype_alu() {
+                    set.push(self.rt);
+                }
+            }
+        }
+        set
+    }
+
+    /// Architectural registers written by this instruction (up to two:
+    /// `mult`/`div` write both `HI` and `LO`).
+    pub fn defs(&self) -> ArgSet {
+        let mut set = ArgSet::default();
+        match self.op {
+            Op::Mult | Op::Multu | Op::Div | Op::Divu => {
+                set.push(Reg::HI);
+                set.push(Reg::LO);
+            }
+            Op::Mthi => set.push(Reg::HI),
+            Op::Mtlo => set.push(Reg::LO),
+            Op::Jal => set.push(Reg::RA),
+            Op::Jalr => set.push(self.rd),
+            Op::J | Op::Jr | Op::Syscall | Op::Break => {}
+            op if op.is_store() || op.is_cond_branch() => {}
+            _ => set.push(self.rd),
+        }
+        // Writes to r0 are architecturally discarded.
+        if set.regs[0] == Some(Reg::ZERO) {
+            set.regs[0] = set.regs[1].take();
+        }
+        if set.regs[1] == Some(Reg::ZERO) {
+            set.regs[1] = None;
+        }
+        set
+    }
+
+    fn is_rtype_alu(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Add
+                | Op::Addu
+                | Op::Sub
+                | Op::Subu
+                | Op::Slt
+                | Op::Sltu
+                | Op::And
+                | Op::Or
+                | Op::Xor
+                | Op::Nor
+                | Op::AddS
+                | Op::SubS
+                | Op::MulS
+                | Op::DivS
+        )
+    }
+}
+
+/// A tiny fixed-capacity set of up to two registers, returned by
+/// [`Insn::uses`] / [`Insn::defs`]. Avoids heap allocation on the
+/// simulator's hottest path.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ArgSet {
+    regs: [Option<Reg>; 2],
+}
+
+impl ArgSet {
+    fn push(&mut self, r: Reg) {
+        if self.regs[0].is_none() {
+            self.regs[0] = Some(r);
+        } else if self.regs[0] != Some(r) && self.regs[1].is_none() {
+            self.regs[1] = Some(r);
+        }
+    }
+
+    /// Iterate the registers in the set.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.regs.iter().flatten().copied()
+    }
+
+    /// Number of registers in the set (0–2).
+    pub fn len(&self) -> usize {
+        self.regs.iter().flatten().count()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regs[0].is_none()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.regs.contains(&Some(r))
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op {
+            Op::Sll | Op::Srl | Op::Sra => write!(f, "{m} {}, {}, {}", self.rd, self.rt, self.imm),
+            Op::Sllv | Op::Srlv | Op::Srav => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rt, self.rs)
+            }
+            Op::Lui => write!(f, "{m} {}, {:#x}", self.rd, (self.imm as u32) >> 16),
+            Op::Mult | Op::Multu | Op::Div | Op::Divu => write!(f, "{m} {}, {}", self.rs, self.rt),
+            Op::Mfhi | Op::Mflo => write!(f, "{m} {}", self.rd),
+            Op::Mthi | Op::Mtlo => write!(f, "{m} {}", self.rs),
+            Op::J | Op::Jal => write!(f, "{m} {:#x}", (self.imm as u32) << 2),
+            Op::Jr => write!(f, "{m} {}", self.rs),
+            Op::Jalr => write!(f, "{m} {}, {}", self.rd, self.rs),
+            Op::Syscall | Op::Break => f.write_str(m),
+            op if op.is_load() => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs),
+            op if op.is_store() => write!(f, "{m} {}, {}({})", self.rt, self.imm, self.rs),
+            op if op.is_cond_branch() => match op {
+                Op::Beq | Op::Bne => {
+                    write!(f, "{m} {}, {}, .{:+}", self.rs, self.rt, self.imm)
+                }
+                _ => write!(f, "{m} {}, .{:+}", self.rs, self.imm),
+            },
+            Op::Addi | Op::Addiu | Op::Slti | Op::Sltiu | Op::Andi | Op::Ori | Op::Xori => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rs, self.imm)
+            }
+            _ => write!(f, "{m} {}, {}, {}", self.rd, self.rs, self.rt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defs_uses_alu() {
+        let i = Insn::r3(Op::Add, Reg::gpr(3), Reg::gpr(1), Reg::gpr(2));
+        assert!(i.uses().contains(Reg::gpr(1)));
+        assert!(i.uses().contains(Reg::gpr(2)));
+        assert!(i.defs().contains(Reg::gpr(3)));
+        assert_eq!(i.defs().len(), 1);
+    }
+
+    #[test]
+    fn defs_discard_r0() {
+        let i = Insn::r3(Op::Add, Reg::ZERO, Reg::gpr(1), Reg::gpr(2));
+        assert!(i.defs().is_empty());
+        assert!(Insn::nop().defs().is_empty());
+    }
+
+    #[test]
+    fn mult_writes_hi_lo() {
+        let i = Insn::muldiv(Op::Mult, Reg::gpr(4), Reg::gpr(5));
+        assert!(i.defs().contains(Reg::HI));
+        assert!(i.defs().contains(Reg::LO));
+        assert_eq!(i.defs().len(), 2);
+    }
+
+    #[test]
+    fn store_uses_base_and_data() {
+        let i = Insn::store(Op::Sw, Reg::gpr(7), -4, Reg::SP);
+        assert!(i.uses().contains(Reg::SP));
+        assert!(i.uses().contains(Reg::gpr(7)));
+        assert!(i.defs().is_empty());
+    }
+
+    #[test]
+    fn branch_operands() {
+        let beq = Insn::branch(Op::Beq, Reg::gpr(1), Reg::gpr(2), -3);
+        assert_eq!(beq.uses().len(), 2);
+        let blez = Insn::branch(Op::Blez, Reg::gpr(1), Reg::ZERO, 5);
+        assert_eq!(blez.uses().len(), 1);
+    }
+
+    #[test]
+    fn dedup_same_source() {
+        let i = Insn::r3(Op::Add, Reg::gpr(3), Reg::gpr(1), Reg::gpr(1));
+        assert_eq!(i.uses().len(), 1);
+    }
+
+    #[test]
+    fn jal_defines_ra() {
+        assert!(Insn::jump(Op::Jal, 0x100).defs().contains(Reg::RA));
+        assert!(Insn::jump(Op::J, 0x100).defs().is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Insn::load(Op::Lw, Reg::gpr(4), 8, Reg::gpr(3)).to_string(),
+            "lw r4, 8(r3)"
+        );
+        assert_eq!(
+            Insn::r3(Op::Add, Reg::gpr(3), Reg::gpr(1), Reg::gpr(2)).to_string(),
+            "add r3, r1, r2"
+        );
+        assert_eq!(Insn::sys(Op::Syscall).to_string(), "syscall");
+    }
+}

@@ -1,0 +1,61 @@
+//! # popk-isa — a PISA-like 32-bit RISC instruction set
+//!
+//! This crate defines the instruction set used throughout the `popk`
+//! workspace: a MIPS-I-flavoured, 32-bit, load/store ISA closely modelled on
+//! the SimpleScalar *PISA* instruction set that the paper
+//! "Exploiting Partial Operand Knowledge" (Mestan & Lipasti, ICPP 2003)
+//! evaluates on.
+//!
+//! It provides:
+//!
+//! * [`Reg`] — architectural register names (32 GPRs plus `HI`/`LO`),
+//! * [`Op`] — the opcode enumeration with static metadata
+//!   ([`Op::class`], [`Op::slice_class`], …),
+//! * [`Insn`] — a decoded instruction with typed operand accessors,
+//! * [`encode`]/[`decode`] — a fixed 32-bit binary encoding,
+//! * [`asm`] — a two-pass textual assembler ([`asm::assemble`]),
+//! * [`obj`] — a binary object format for assembled images,
+//! * [`builder`] — a programmatic assembler used by the workload kernels,
+//! * [`Program`] — an assembled image (text + data + entry point).
+//!
+//! The six conditional branch types (`beq`, `bne`, `blez`, `bgtz`, `bltz`,
+//! `bgez`) match the paper's §5.3 taxonomy: only `beq`/`bne` can resolve a
+//! misprediction from partial (low-order) operand bits, because the other
+//! four require the sign bit.
+//!
+//! ```
+//! use popk_isa::{asm, Op};
+//!
+//! let program = asm::assemble(
+//!     r#"
+//!     .text
+//!     main:
+//!         addiu r2, r0, 10
+//!     loop:
+//!         addiu r2, r2, -1
+//!         bne   r2, r0, loop
+//!         syscall            # exit
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(program.text.len(), 4);
+//! assert_eq!(program.text[1].op(), Op::Addiu);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod builder;
+pub mod obj;
+mod encode;
+mod insn;
+mod op;
+mod program;
+mod reg;
+
+pub use encode::{decode, encode, DecodeError};
+pub use insn::Insn;
+pub use op::{BranchCond, MemWidth, Op, OpClass, SliceClass};
+pub use program::{Program, DATA_BASE, STACK_TOP, TEXT_BASE};
+pub use reg::Reg;

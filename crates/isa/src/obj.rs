@@ -1,0 +1,209 @@
+//! A tiny binary object format for assembled programs.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   b"POPK"            4 bytes
+//! version u16 = 1            2
+//! flags   u16 = 0            2
+//! entry   u32                4
+//! n_text  u32                4     instruction count
+//! n_data  u32                4     data bytes
+//! n_syms  u32                4     symbol count
+//! text    n_text × u32             encoded instructions
+//! data    n_data bytes
+//! syms    n_syms × (u32 addr, u16 len, len bytes of UTF-8 name)
+//! ```
+//!
+//! The format exists so the `popk` CLI can assemble once and reuse the
+//! image (`popk asm prog.s -o prog.popk; popk sim prog.popk`), and it
+//! doubles as an end-to-end exercise of the binary encoder: every
+//! instruction round-trips through [`encode`]/[`decode`].
+
+use crate::encode::{decode, encode};
+use crate::program::Program;
+use std::collections::BTreeMap;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"POPK";
+const VERSION: u16 = 1;
+
+/// Errors from [`read_object`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjError {
+    /// Missing or wrong magic/version.
+    BadHeader(String),
+    /// The file ended before the declared contents.
+    Truncated,
+    /// An instruction word failed to decode.
+    BadInsn(u32),
+    /// A symbol name was not valid UTF-8.
+    BadSymbol,
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::BadHeader(m) => write!(f, "bad object header: {m}"),
+            ObjError::Truncated => f.write_str("truncated object file"),
+            ObjError::BadInsn(w) => write!(f, "undecodable instruction {w:#010x}"),
+            ObjError::BadSymbol => f.write_str("symbol name is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+/// Serialize a program to the object format.
+pub fn write_object(program: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + program.text.len() * 4 + program.data.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&program.entry.to_le_bytes());
+    out.extend_from_slice(&(program.text.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(program.data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(program.symbols.len() as u32).to_le_bytes());
+    for insn in &program.text {
+        out.extend_from_slice(&encode(insn).to_le_bytes());
+    }
+    out.extend_from_slice(&program.data);
+    for (name, &addr) in &program.symbols {
+        out.extend_from_slice(&addr.to_le_bytes());
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObjError> {
+        let end = self.pos.checked_add(n).ok_or(ObjError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ObjError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u16(&mut self) -> Result<u16, ObjError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ObjError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+/// Parse an object file back into a [`Program`].
+pub fn read_object(bytes: &[u8]) -> Result<Program, ObjError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ObjError::BadHeader("magic mismatch".into()));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(ObjError::BadHeader(format!("unsupported version {version}")));
+    }
+    let _flags = r.u16()?;
+    let entry = r.u32()?;
+    let n_text = r.u32()? as usize;
+    let n_data = r.u32()? as usize;
+    let n_syms = r.u32()? as usize;
+
+    let mut text = Vec::with_capacity(n_text);
+    for _ in 0..n_text {
+        let word = r.u32()?;
+        text.push(decode(word).map_err(|_| ObjError::BadInsn(word))?);
+    }
+    let data = r.take(n_data)?.to_vec();
+    let mut symbols = BTreeMap::new();
+    for _ in 0..n_syms {
+        let addr = r.u32()?;
+        let len = r.u16()? as usize;
+        let name =
+            std::str::from_utf8(r.take(len)?).map_err(|_| ObjError::BadSymbol)?;
+        symbols.insert(name.to_owned(), addr);
+    }
+    Ok(Program { text, data, entry, symbols })
+}
+
+/// True if `bytes` begins with the object magic (used by tools to decide
+/// between assembling text and loading a binary).
+pub fn is_object(bytes: &[u8]) -> bool {
+    bytes.starts_with(MAGIC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            r#"
+            .data
+            tab: .word 1, 2, 3
+            msg: .asciiz "hey"
+            .text
+            main:
+                la r8, tab
+                lw r9, 0(r8)
+                addiu r9, r9, 5
+                bne r9, r0, main
+                li r2, 0
+                syscall
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let bytes = write_object(&p);
+        assert!(is_object(&bytes));
+        let q = read_object(&bytes).unwrap();
+        assert_eq!(q.text, p.text);
+        assert_eq!(q.data, p.data);
+        assert_eq!(q.entry, p.entry);
+        assert_eq!(q.symbols, p.symbols);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(read_object(b"ELF!rest"), Err(ObjError::BadHeader(_))));
+        assert!(!is_object(b"#text"));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = write_object(&sample());
+        for cut in [3usize, 6, 10, 20, bytes.len() - 1] {
+            let err = read_object(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ObjError::Truncated | ObjError::BadHeader(_)),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = write_object(&sample());
+        bytes[4] = 9;
+        assert!(matches!(read_object(&bytes), Err(ObjError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_bad_instruction_words() {
+        let mut bytes = write_object(&sample());
+        // Corrupt the first text word (offset 24) to an invalid encoding.
+        bytes[24..28].copy_from_slice(&0xfc00_0000u32.to_le_bytes());
+        assert!(matches!(read_object(&bytes), Err(ObjError::BadInsn(_))));
+    }
+}

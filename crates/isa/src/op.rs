@@ -1,0 +1,361 @@
+//! Opcode enumeration and static per-opcode metadata.
+
+use std::fmt;
+
+/// Coarse functional classification of an opcode, used for functional-unit
+/// binding and statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// Integer add/subtract/compare (carry-propagating ALU work).
+    IntAlu,
+    /// Bitwise logic (`and`, `or`, `xor`, `nor` and their immediates, `lui`).
+    Logic,
+    /// Shift instructions.
+    Shift,
+    /// Integer multiply/divide and `HI`/`LO` moves.
+    MulDiv,
+    /// Single-precision floating point (bits of a GPR reinterpreted as `f32`).
+    Fp,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump (`j`, `jal`, `jr`, `jalr`).
+    Jump,
+    /// System call / breakpoint (serializing).
+    Sys,
+}
+
+/// How an instruction's result decomposes across operand bit-slices; this is
+/// the taxonomy of Figure 8 in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SliceClass {
+    /// Result slice *k* needs source slices `..=k` plus the carry out of
+    /// slice *k−1*: add, subtract, address generation, set-less-than.
+    /// Slices must execute low-to-high (the carry chain of Fig. 8b).
+    CarryChained,
+    /// Result slice *k* needs only source slices *k*: bitwise logic. Slices
+    /// may execute out of order (Fig. 8c).
+    Independent,
+    /// Result slices need bits from other source slices (shifts); requires
+    /// cross-slice communication, modeled as needing all source slices.
+    CrossSlice,
+    /// The operation consumes and produces whole operands at once
+    /// (multiply, divide, floating point — §6 "difficult corner cases").
+    Atomic,
+}
+
+/// Condition tested by a conditional branch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BranchCond {
+    /// `beq`: taken iff `rs == rt`.
+    Eq,
+    /// `bne`: taken iff `rs != rt`.
+    Ne,
+    /// `blez`: taken iff `rs <= 0` (signed).
+    Lez,
+    /// `bgtz`: taken iff `rs > 0` (signed).
+    Gtz,
+    /// `bltz`: taken iff `rs < 0` (signed).
+    Ltz,
+    /// `bgez`: taken iff `rs >= 0` (signed).
+    Gez,
+}
+
+impl BranchCond {
+    /// Whether mispredictions of this branch type can ever be detected from
+    /// low-order operand bits alone (§5.3: only `beq`/`bne` qualify; the
+    /// other four test the sign bit).
+    #[inline]
+    pub const fn early_resolvable(self) -> bool {
+        matches!(self, BranchCond::Eq | BranchCond::Ne)
+    }
+
+    /// Evaluate the condition on full-width operands.
+    #[inline]
+    pub fn eval(self, rs: u32, rt: u32) -> bool {
+        let s = rs as i32;
+        match self {
+            BranchCond::Eq => rs == rt,
+            BranchCond::Ne => rs != rt,
+            BranchCond::Lez => s <= 0,
+            BranchCond::Gtz => s > 0,
+            BranchCond::Ltz => s < 0,
+            BranchCond::Gez => s >= 0,
+        }
+    }
+}
+
+/// Width (and sign-extension behaviour) of a memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemWidth {
+    /// Sign-extended byte.
+    B,
+    /// Zero-extended byte.
+    Bu,
+    /// Sign-extended halfword.
+    H,
+    /// Zero-extended halfword.
+    Hu,
+    /// Word.
+    W,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u32 {
+        match self {
+            MemWidth::B | MemWidth::Bu => 1,
+            MemWidth::H | MemWidth::Hu => 2,
+            MemWidth::W => 4,
+        }
+    }
+}
+
+macro_rules! ops {
+    ($(($variant:ident, $mnemonic:literal, $class:ident)),+ $(,)?) => {
+        /// An opcode. See module docs of [`crate`] for the ISA overview.
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+        #[allow(missing_docs)]
+        pub enum Op {
+            $($variant),+
+        }
+
+        impl Op {
+            /// All opcodes, in declaration order.
+            pub const ALL: &'static [Op] = &[$(Op::$variant),+];
+
+            /// Assembler mnemonic.
+            pub const fn mnemonic(self) -> &'static str {
+                match self {
+                    $(Op::$variant => $mnemonic),+
+                }
+            }
+
+            /// Functional classification.
+            pub const fn class(self) -> OpClass {
+                match self {
+                    $(Op::$variant => OpClass::$class),+
+                }
+            }
+
+            /// Look an opcode up by mnemonic.
+            pub fn from_mnemonic(m: &str) -> Option<Op> {
+                match m {
+                    $($mnemonic => Some(Op::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+ops! {
+    // R-type ALU
+    (Add, "add", IntAlu),
+    (Addu, "addu", IntAlu),
+    (Sub, "sub", IntAlu),
+    (Subu, "subu", IntAlu),
+    (Slt, "slt", IntAlu),
+    (Sltu, "sltu", IntAlu),
+    (And, "and", Logic),
+    (Or, "or", Logic),
+    (Xor, "xor", Logic),
+    (Nor, "nor", Logic),
+    (Sll, "sll", Shift),
+    (Srl, "srl", Shift),
+    (Sra, "sra", Shift),
+    (Sllv, "sllv", Shift),
+    (Srlv, "srlv", Shift),
+    (Srav, "srav", Shift),
+    (Mult, "mult", MulDiv),
+    (Multu, "multu", MulDiv),
+    (Div, "div", MulDiv),
+    (Divu, "divu", MulDiv),
+    (Mfhi, "mfhi", MulDiv),
+    (Mflo, "mflo", MulDiv),
+    (Mthi, "mthi", MulDiv),
+    (Mtlo, "mtlo", MulDiv),
+    // Floating point on GPR bit patterns (synthetic single-precision).
+    (AddS, "add.s", Fp),
+    (SubS, "sub.s", Fp),
+    (MulS, "mul.s", Fp),
+    (DivS, "div.s", Fp),
+    (SqrtS, "sqrt.s", Fp),
+    (CvtWS, "cvt.w.s", Fp),
+    (CvtSW, "cvt.s.w", Fp),
+    // I-type ALU
+    (Addi, "addi", IntAlu),
+    (Addiu, "addiu", IntAlu),
+    (Slti, "slti", IntAlu),
+    (Sltiu, "sltiu", IntAlu),
+    (Andi, "andi", Logic),
+    (Ori, "ori", Logic),
+    (Xori, "xori", Logic),
+    (Lui, "lui", Logic),
+    // Memory
+    (Lb, "lb", Load),
+    (Lbu, "lbu", Load),
+    (Lh, "lh", Load),
+    (Lhu, "lhu", Load),
+    (Lw, "lw", Load),
+    (Sb, "sb", Store),
+    (Sh, "sh", Store),
+    (Sw, "sw", Store),
+    // Control
+    (Beq, "beq", Branch),
+    (Bne, "bne", Branch),
+    (Blez, "blez", Branch),
+    (Bgtz, "bgtz", Branch),
+    (Bltz, "bltz", Branch),
+    (Bgez, "bgez", Branch),
+    (J, "j", Jump),
+    (Jal, "jal", Jump),
+    (Jr, "jr", Jump),
+    (Jalr, "jalr", Jump),
+    // System
+    (Syscall, "syscall", Sys),
+    (Break, "break", Sys),
+}
+
+impl Op {
+    /// The bit-slice decomposition class (Fig. 8 taxonomy). Loads and stores
+    /// are classified by their *address generation* (carry-chained add);
+    /// branches by their comparison; jumps and syscalls are atomic.
+    pub const fn slice_class(self) -> SliceClass {
+        match self.class() {
+            OpClass::IntAlu => SliceClass::CarryChained,
+            OpClass::Logic => SliceClass::Independent,
+            OpClass::Shift => SliceClass::CrossSlice,
+            OpClass::MulDiv | OpClass::Fp | OpClass::Sys | OpClass::Jump => SliceClass::Atomic,
+            // Address generation is a carry-chained add of base + offset.
+            OpClass::Load | OpClass::Store => SliceClass::CarryChained,
+            // beq/bne compare slices independently; the sign-testing types
+            // need the top slice, which the scheduler models via
+            // `BranchCond::early_resolvable`.
+            OpClass::Branch => SliceClass::CarryChained,
+        }
+    }
+
+    /// Branch condition, if this is a conditional branch.
+    pub const fn branch_cond(self) -> Option<BranchCond> {
+        match self {
+            Op::Beq => Some(BranchCond::Eq),
+            Op::Bne => Some(BranchCond::Ne),
+            Op::Blez => Some(BranchCond::Lez),
+            Op::Bgtz => Some(BranchCond::Gtz),
+            Op::Bltz => Some(BranchCond::Ltz),
+            Op::Bgez => Some(BranchCond::Gez),
+            _ => None,
+        }
+    }
+
+    /// Memory access width, if this is a load or store.
+    pub const fn mem_width(self) -> Option<MemWidth> {
+        match self {
+            Op::Lb | Op::Sb => Some(MemWidth::B),
+            Op::Lbu => Some(MemWidth::Bu),
+            Op::Lh | Op::Sh => Some(MemWidth::H),
+            Op::Lhu => Some(MemWidth::Hu),
+            Op::Lw | Op::Sw => Some(MemWidth::W),
+            _ => None,
+        }
+    }
+
+    /// True for any control-transfer instruction (branch or jump).
+    pub const fn is_control(self) -> bool {
+        matches!(self.class(), OpClass::Branch | OpClass::Jump)
+    }
+
+    /// True for conditional branches.
+    pub const fn is_cond_branch(self) -> bool {
+        matches!(self.class(), OpClass::Branch)
+    }
+
+    /// True for loads.
+    pub const fn is_load(self) -> bool {
+        matches!(self.class(), OpClass::Load)
+    }
+
+    /// True for stores.
+    pub const fn is_store(self) -> bool {
+        matches!(self.class(), OpClass::Store)
+    }
+
+    /// True for call-like jumps that push a return address (`jal`, `jalr`).
+    pub const fn is_call(self) -> bool {
+        matches!(self, Op::Jal | Op::Jalr)
+    }
+
+    /// True for `jr r31`-style returns (any `jr`; the return-address stack
+    /// is consulted only for `jr ra` by convention, decided at decode).
+    pub const fn is_indirect_jump(self) -> bool {
+        matches!(self, Op::Jr | Op::Jalr)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for &op in Op::ALL {
+            assert_eq!(Op::from_mnemonic(op.mnemonic()), Some(op), "{op:?}");
+        }
+        assert_eq!(Op::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn branch_taxonomy_matches_paper() {
+        // §5.3: only beq/bne can resolve early.
+        let early: Vec<Op> = Op::ALL
+            .iter()
+            .copied()
+            .filter(|o| o.branch_cond().is_some_and(|c| c.early_resolvable()))
+            .collect();
+        assert_eq!(early, vec![Op::Beq, Op::Bne]);
+        let all_branches = Op::ALL.iter().filter(|o| o.is_cond_branch()).count();
+        assert_eq!(all_branches, 6);
+    }
+
+    #[test]
+    fn slice_classes() {
+        assert_eq!(Op::Add.slice_class(), SliceClass::CarryChained);
+        assert_eq!(Op::Xor.slice_class(), SliceClass::Independent);
+        assert_eq!(Op::Sll.slice_class(), SliceClass::CrossSlice);
+        assert_eq!(Op::Mult.slice_class(), SliceClass::Atomic);
+        assert_eq!(Op::DivS.slice_class(), SliceClass::Atomic);
+        assert_eq!(Op::Lw.slice_class(), SliceClass::CarryChained);
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(BranchCond::Eq.eval(5, 5));
+        assert!(!BranchCond::Eq.eval(5, 6));
+        assert!(BranchCond::Ne.eval(5, 6));
+        assert!(BranchCond::Lez.eval(0, 0));
+        assert!(BranchCond::Lez.eval(u32::MAX, 0)); // -1 <= 0
+        assert!(BranchCond::Gtz.eval(1, 0));
+        assert!(!BranchCond::Gtz.eval(0x8000_0000, 0));
+        assert!(BranchCond::Ltz.eval(0x8000_0000, 0));
+        assert!(BranchCond::Gez.eval(0, 0));
+    }
+
+    #[test]
+    fn mem_widths() {
+        assert_eq!(Op::Lb.mem_width(), Some(MemWidth::B));
+        assert_eq!(Op::Lw.mem_width().unwrap().bytes(), 4);
+        assert_eq!(Op::Sh.mem_width().unwrap().bytes(), 2);
+        assert_eq!(Op::Add.mem_width(), None);
+    }
+}

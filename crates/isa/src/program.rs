@@ -1,0 +1,103 @@
+//! Assembled program images.
+
+use crate::insn::Insn;
+use std::collections::BTreeMap;
+
+/// Base virtual address of the text (code) segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Base virtual address of the data segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+/// Initial stack pointer (stack grows downward).
+pub const STACK_TOP: u32 = 0x7fff_fff0;
+
+/// An assembled program: instructions, initialized data, entry point and a
+/// symbol table.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The instruction stream, loaded at [`TEXT_BASE`].
+    pub text: Vec<Insn>,
+    /// Initialized data, loaded at [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Entry-point virtual address (defaults to [`TEXT_BASE`], or the
+    /// `main` symbol if defined).
+    pub entry: u32,
+    /// Label → virtual address map (text labels point into the text
+    /// segment, data labels into the data segment).
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// The instruction at virtual address `pc`, if it lies in the text
+    /// segment.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<&Insn> {
+        if pc < TEXT_BASE || !pc.is_multiple_of(4) {
+            return None;
+        }
+        self.text.get(((pc - TEXT_BASE) / 4) as usize)
+    }
+
+    /// Virtual address of text word index `idx`.
+    #[inline]
+    pub fn text_addr(idx: usize) -> u32 {
+        TEXT_BASE + (idx as u32) * 4
+    }
+
+    /// Address of a named symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Render the text segment as a disassembly listing, one instruction
+    /// per line with addresses and label annotations.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut by_addr: BTreeMap<u32, &str> = BTreeMap::new();
+        for (name, &addr) in &self.symbols {
+            by_addr.insert(addr, name);
+        }
+        let mut out = String::new();
+        for (i, insn) in self.text.iter().enumerate() {
+            let addr = Self::text_addr(i);
+            if let Some(name) = by_addr.get(&addr) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let _ = writeln!(out, "  {addr:#010x}:  {insn}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::reg::Reg;
+
+    #[test]
+    fn fetch_bounds() {
+        let p = Program {
+            text: vec![Insn::nop(), Insn::sys(Op::Syscall)],
+            entry: TEXT_BASE,
+            ..Default::default()
+        };
+        assert_eq!(p.fetch(TEXT_BASE), Some(&Insn::nop()));
+        assert_eq!(p.fetch(TEXT_BASE + 4), Some(&Insn::sys(Op::Syscall)));
+        assert_eq!(p.fetch(TEXT_BASE + 8), None);
+        assert_eq!(p.fetch(TEXT_BASE + 1), None);
+        assert_eq!(p.fetch(0), None);
+    }
+
+    #[test]
+    fn disassembly_includes_labels() {
+        let mut p = Program {
+            text: vec![Insn::imm_op(Op::Addiu, Reg::V0, Reg::ZERO, 1)],
+            entry: TEXT_BASE,
+            ..Default::default()
+        };
+        p.symbols.insert("main".into(), TEXT_BASE);
+        let listing = p.disassemble();
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("addiu r2, r0, 1"));
+    }
+}

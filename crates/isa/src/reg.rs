@@ -1,0 +1,172 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An architectural register.
+///
+/// The ISA exposes 32 general-purpose registers `r0`–`r31` (with `r0`
+/// hardwired to zero, as in MIPS/PISA) and the two multiply/divide result
+/// registers `HI` and `LO`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Conventional assembler temporary `r1`.
+    pub const AT: Reg = Reg(1);
+    /// Conventional return-value register `r2`.
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register `r3`.
+    pub const V1: Reg = Reg(3);
+    /// First argument register `r4`.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register `r5`.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register `r6`.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register `r7`.
+    pub const A3: Reg = Reg(7);
+    /// Stack pointer `r29`.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer `r30`.
+    pub const FP: Reg = Reg(30);
+    /// Return-address register `r31`.
+    pub const RA: Reg = Reg(31);
+    /// The multiply/divide high-half result register.
+    pub const HI: Reg = Reg(32);
+    /// The multiply/divide low-half result register.
+    pub const LO: Reg = Reg(33);
+
+    /// Total number of architectural registers (32 GPRs + HI + LO).
+    pub const COUNT: usize = 34;
+
+    /// Construct a general-purpose register `r<n>`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn gpr(n: u8) -> Reg {
+        assert!(n < 32, "GPR index out of range");
+        Reg(n)
+    }
+
+    /// Construct from a raw architectural index (GPRs, then HI=32, LO=33).
+    ///
+    /// # Panics
+    /// Panics if `n >= Reg::COUNT`.
+    #[inline]
+    pub const fn from_index(n: usize) -> Reg {
+        assert!(n < Reg::COUNT, "register index out of range");
+        Reg(n as u8)
+    }
+
+    /// The architectural index: GPRs map to `0..32`, `HI` to 32, `LO` to 33.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The 5-bit GPR field used in instruction encodings.
+    ///
+    /// # Panics
+    /// Panics if this is `HI` or `LO`, which are never encoded in a register
+    /// field (they are implicit operands of `mult`/`div`/`mfhi`/`mflo`).
+    #[inline]
+    pub const fn encoding(self) -> u32 {
+        assert!(self.0 < 32, "HI/LO are not encodable register fields");
+        self.0 as u32
+    }
+
+    /// True for the hardwired-zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True for a general-purpose register (`r0`–`r31`).
+    #[inline]
+    pub const fn is_gpr(self) -> bool {
+        self.0 < 32
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            32 => write!(f, "hi"),
+            33 => write!(f, "lo"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// Parse a register name: `r0`..`r31`, `$0`..`$31`, `hi`, `lo`, or the
+/// conventional aliases (`zero`, `at`, `v0`, `v1`, `a0`–`a3`, `sp`, `fp`,
+/// `ra`).
+pub(crate) fn parse_reg(s: &str) -> Option<Reg> {
+    let s = s.trim();
+    match s {
+        "hi" => return Some(Reg::HI),
+        "lo" => return Some(Reg::LO),
+        "zero" => return Some(Reg::ZERO),
+        "at" => return Some(Reg::AT),
+        "v0" => return Some(Reg::V0),
+        "v1" => return Some(Reg::V1),
+        "a0" => return Some(Reg::A0),
+        "a1" => return Some(Reg::A1),
+        "a2" => return Some(Reg::A2),
+        "a3" => return Some(Reg::A3),
+        "sp" => return Some(Reg::SP),
+        "fp" => return Some(Reg::FP),
+        "ra" => return Some(Reg::RA),
+        _ => {}
+    }
+    let digits = s.strip_prefix('r').or_else(|| s.strip_prefix('$'))?;
+    let n: u8 = digits.parse().ok()?;
+    (n < 32).then(|| Reg::gpr(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        for i in 0..32 {
+            let r = Reg::gpr(i);
+            assert_eq!(parse_reg(&r.to_string()), Some(r));
+        }
+        assert_eq!(parse_reg("hi"), Some(Reg::HI));
+        assert_eq!(parse_reg("lo"), Some(Reg::LO));
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!(parse_reg("sp"), Some(Reg::gpr(29)));
+        assert_eq!(parse_reg("ra"), Some(Reg::gpr(31)));
+        assert_eq!(parse_reg("$4"), Some(Reg::A0));
+        assert_eq!(parse_reg("zero"), Some(Reg::ZERO));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(parse_reg("r32"), None);
+        assert_eq!(parse_reg("x5"), None);
+        assert_eq!(parse_reg(""), None);
+    }
+
+    #[test]
+    fn indices() {
+        assert_eq!(Reg::HI.index(), 32);
+        assert_eq!(Reg::LO.index(), 33);
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::HI.is_gpr());
+    }
+
+    #[test]
+    #[should_panic]
+    fn hi_not_encodable() {
+        let _ = Reg::HI.encoding();
+    }
+}

@@ -1,0 +1,189 @@
+//! Partial-knowledge predicates: how many low-order bits decide a
+//! comparison.
+//!
+//! These functions formalize the two questions the paper's characterization
+//! sections ask of every dynamic event:
+//!
+//! * *Load-store disambiguation (Fig. 2)* — after how many low-order
+//!   address bits do two addresses provably differ?
+//! * *Early branch resolution (Fig. 6)* — after how many low-order operand
+//!   bits is a branch misprediction provable?
+
+use popk_isa::BranchCond;
+
+/// Number of bits in a full operand.
+pub const FULL_WIDTH_BITS: u32 = 32;
+
+/// The lowest bit position at which `a` and `b` differ, or `None` if they
+/// are equal.
+#[inline]
+pub fn first_divergent_bit(a: u32, b: u32) -> Option<u32> {
+    let x = a ^ b;
+    (x != 0).then(|| x.trailing_zeros())
+}
+
+/// True if `a` and `b` differ somewhere in their low `nbits` bits
+/// (`nbits == 0` is vacuously false; `nbits >= 32` compares fully).
+#[inline]
+pub fn diverges_within(a: u32, b: u32, nbits: u32) -> bool {
+    if nbits == 0 {
+        return false;
+    }
+    let mask = if nbits >= 32 { u32::MAX } else { (1u32 << nbits) - 1 };
+    (a ^ b) & mask != 0
+}
+
+/// For a *mispredicted* conditional branch, the number of low-order bits of
+/// the comparison that must be examined before the misprediction is
+/// provable (§5.4 semantics):
+///
+/// * `beq`/`bne` where the misprediction claim is "the operands differ":
+///   provable at the first divergent bit, so the answer is
+///   `first_divergent_bit + 1`.
+/// * `beq`/`bne` where the claim is "the operands are equal": every bit
+///   must be examined → 32.
+/// * Sign-testing branches (`blez`/`bgtz`/`bltz`/`bgez`): the sign bit is
+///   required → 32. (`blez`/`bgtz` additionally need the zero test, which
+///   also completes only with the last bit.)
+///
+/// Returns `None` when the branch was *correctly* predicted (there is no
+/// misprediction to detect).
+pub fn mispredict_detection_bit(
+    cond: BranchCond,
+    rs: u32,
+    rt: u32,
+    predicted_taken: bool,
+) -> Option<u32> {
+    let actual_taken = cond.eval(rs, rt);
+    if actual_taken == predicted_taken {
+        return None;
+    }
+    // The misprediction is real; how early can it be proven?
+    let bits = match cond {
+        BranchCond::Eq | BranchCond::Ne => {
+            // Which way was the guess wrong? If the prediction implied
+            // rs == rt but they differ, the first divergent bit refutes it.
+            // If the prediction implied rs != rt but they are equal, only
+            // the full comparison proves equality.
+            let predicted_equal = match cond {
+                BranchCond::Eq => predicted_taken,
+                BranchCond::Ne => !predicted_taken,
+                _ => unreachable!(),
+            };
+            if predicted_equal {
+                match first_divergent_bit(rs, rt) {
+                    Some(bit) => bit + 1,
+                    // Equal operands can't contradict a predicted-equal
+                    // outcome; unreachable given actual != predicted.
+                    None => unreachable!("equal operands cannot mispredict an equality guess"),
+                }
+            } else {
+                FULL_WIDTH_BITS
+            }
+        }
+        // Sign-dependent types wait for the top bit.
+        _ => FULL_WIDTH_BITS,
+    };
+    Some(bits)
+}
+
+/// Convert a detection-bit count into the number of slices (of `slice_bits`
+/// bits each) that must have completed: `ceil(bits / slice_bits)`, at least
+/// one.
+#[inline]
+pub fn slices_to_detect(bits: u32, slice_bits: u32) -> u32 {
+    bits.max(1).div_ceil(slice_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn divergence_basics() {
+        assert_eq!(first_divergent_bit(0, 0), None);
+        assert_eq!(first_divergent_bit(0b1000, 0b0000), Some(3));
+        assert_eq!(first_divergent_bit(1, 0), Some(0));
+        assert_eq!(first_divergent_bit(0x8000_0000, 0), Some(31));
+        assert!(!diverges_within(0xff00, 0xfe00, 8));
+        assert!(diverges_within(0xff00, 0xfe00, 9));
+        assert!(!diverges_within(5, 7, 0));
+        assert!(diverges_within(5, 7, 32));
+    }
+
+    #[test]
+    fn fig5_example() {
+        // The paper's Fig. 5: `andi r2, r3, 1; bne r2, r0, L` predicted
+        // not-taken (i.e. predicted r2 == 0), but r2 == 1. The mispredict
+        // is provable from bit 0 alone → 1 bit.
+        let bits = mispredict_detection_bit(BranchCond::Ne, 1, 0, false);
+        assert_eq!(bits, Some(1));
+    }
+
+    #[test]
+    fn equality_guess_needs_full_width() {
+        // beq predicted NOT-taken (guess: rs != rt) but they are equal:
+        // all 32 bits needed.
+        let bits = mispredict_detection_bit(BranchCond::Eq, 42, 42, false);
+        assert_eq!(bits, Some(FULL_WIDTH_BITS));
+        // bne predicted taken (guess: rs != rt) but equal: all 32 bits.
+        let bits = mispredict_detection_bit(BranchCond::Ne, 7, 7, true);
+        assert_eq!(bits, Some(FULL_WIDTH_BITS));
+    }
+
+    #[test]
+    fn sign_branches_need_full_width() {
+        for cond in [BranchCond::Lez, BranchCond::Gtz, BranchCond::Ltz, BranchCond::Gez] {
+            let taken = cond.eval(5, 0);
+            let bits = mispredict_detection_bit(cond, 5, 0, !taken);
+            assert_eq!(bits, Some(FULL_WIDTH_BITS), "{cond:?}");
+        }
+    }
+
+    #[test]
+    fn correct_predictions_yield_none() {
+        assert_eq!(mispredict_detection_bit(BranchCond::Eq, 1, 1, true), None);
+        assert_eq!(mispredict_detection_bit(BranchCond::Ne, 1, 2, true), None);
+        assert_eq!(mispredict_detection_bit(BranchCond::Ltz, 5, 0, false), None);
+    }
+
+    #[test]
+    fn slice_counts() {
+        assert_eq!(slices_to_detect(1, 16), 1);
+        assert_eq!(slices_to_detect(16, 16), 1);
+        assert_eq!(slices_to_detect(17, 16), 2);
+        assert_eq!(slices_to_detect(32, 16), 2);
+        assert_eq!(slices_to_detect(32, 8), 4);
+        assert_eq!(slices_to_detect(9, 8), 2);
+        // Detection "after 0 bits" still requires one slice to issue.
+        assert_eq!(slices_to_detect(0, 8), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn detection_bit_is_sound(rs in any::<u32>(), rt in any::<u32>(), pt in any::<bool>()) {
+            // Whenever a detection bit b < 32 is reported, the low b bits
+            // must indeed prove the divergence.
+            for cond in [BranchCond::Eq, BranchCond::Ne] {
+                if let Some(bits) = mispredict_detection_bit(cond, rs, rt, pt) {
+                    if bits < FULL_WIDTH_BITS {
+                        prop_assert!(diverges_within(rs, rt, bits));
+                        prop_assert!(!diverges_within(rs, rt, bits - 1));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn divergence_consistency(a in any::<u32>(), b in any::<u32>()) {
+            match first_divergent_bit(a, b) {
+                None => prop_assert_eq!(a, b),
+                Some(bit) => {
+                    prop_assert!(diverges_within(a, b, bit + 1));
+                    prop_assert!(!diverges_within(a, b, bit));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Slice decomposition of 32-bit operands.
+
+use std::fmt;
+
+/// How a 32-bit operand is divided into slices.
+///
+/// The paper studies *slice-by-2* (two 16-bit slices) and *slice-by-4*
+/// (four 8-bit slices); `W32` is the degenerate unsliced case used by the
+/// baseline machine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SliceWidth {
+    /// One 32-bit slice (conventional atomic operands).
+    W32,
+    /// Two 16-bit slices (the paper's "slice by 2").
+    W16,
+    /// Four 8-bit slices (the paper's "slice by 4").
+    W8,
+}
+
+impl SliceWidth {
+    /// Number of slices per operand.
+    #[inline]
+    pub const fn count(self) -> usize {
+        match self {
+            SliceWidth::W32 => 1,
+            SliceWidth::W16 => 2,
+            SliceWidth::W8 => 4,
+        }
+    }
+
+    /// Bits per slice.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        32 / self.count() as u32
+    }
+
+    /// Mask selecting one slice's bits (at slice position 0).
+    #[inline]
+    pub const fn mask(self) -> u32 {
+        match self {
+            SliceWidth::W32 => u32::MAX,
+            SliceWidth::W16 => 0xffff,
+            SliceWidth::W8 => 0xff,
+        }
+    }
+
+    /// The slice index that contains bit position `bit` (0–31).
+    #[inline]
+    pub const fn slice_of_bit(self, bit: u32) -> usize {
+        (bit / self.bits()) as usize
+    }
+
+    /// The slicing factor for a given slice count (1, 2 or 4).
+    pub const fn from_count(count: usize) -> Option<SliceWidth> {
+        match count {
+            1 => Some(SliceWidth::W32),
+            2 => Some(SliceWidth::W16),
+            4 => Some(SliceWidth::W8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SliceWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice-by-{}", self.count())
+    }
+}
+
+/// A 32-bit value decomposed into slices (slice 0 is the least
+/// significant).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Sliced {
+    width: SliceWidth,
+    vals: [u32; 4],
+}
+
+impl Sliced {
+    /// Decompose `value` under `width`.
+    #[inline]
+    pub fn split(value: u32, width: SliceWidth) -> Sliced {
+        let mut vals = [0u32; 4];
+        let bits = width.bits();
+        let mask = width.mask();
+        for (k, v) in vals.iter_mut().enumerate().take(width.count()) {
+            *v = (value >> (bits * k as u32)) & mask;
+        }
+        Sliced { width, vals }
+    }
+
+    /// An all-zero sliced value.
+    #[inline]
+    pub fn zero(width: SliceWidth) -> Sliced {
+        Sliced { width, vals: [0; 4] }
+    }
+
+    /// Recompose the full 32-bit value.
+    #[inline]
+    pub fn join(&self) -> u32 {
+        let bits = self.width.bits();
+        let mut out = 0u32;
+        for k in 0..self.width.count() {
+            out |= self.vals[k] << (bits * k as u32);
+        }
+        out
+    }
+
+    /// The slicing in effect.
+    #[inline]
+    pub fn width(&self) -> SliceWidth {
+        self.width
+    }
+
+    /// Slice `k` (masked to slice width).
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range for the slicing.
+    #[inline]
+    pub fn get(&self, k: usize) -> u32 {
+        assert!(k < self.width.count());
+        self.vals[k]
+    }
+
+    /// Overwrite slice `k`.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range or `v` has bits above the slice width.
+    #[inline]
+    pub fn set(&mut self, k: usize, v: u32) {
+        assert!(k < self.width.count());
+        assert_eq!(v & !self.width.mask(), 0, "value exceeds slice width");
+        self.vals[k] = v;
+    }
+
+    /// The low-order `upto + 1` slices joined into a value (the partial
+    /// knowledge available once slices `0..=upto` have been produced).
+    pub fn low_bits(&self, upto: usize) -> u32 {
+        let bits = self.width.bits();
+        let mut out = 0u32;
+        for k in 0..=upto.min(self.width.count() - 1) {
+            out |= self.vals[k] << (bits * k as u32);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(SliceWidth::W32.count(), 1);
+        assert_eq!(SliceWidth::W16.count(), 2);
+        assert_eq!(SliceWidth::W8.count(), 4);
+        assert_eq!(SliceWidth::W16.bits(), 16);
+        assert_eq!(SliceWidth::W8.mask(), 0xff);
+        assert_eq!(SliceWidth::W16.slice_of_bit(15), 0);
+        assert_eq!(SliceWidth::W16.slice_of_bit(16), 1);
+        assert_eq!(SliceWidth::W8.slice_of_bit(31), 3);
+        assert_eq!(SliceWidth::from_count(2), Some(SliceWidth::W16));
+        assert_eq!(SliceWidth::from_count(3), None);
+    }
+
+    #[test]
+    fn split_examples() {
+        let s = Sliced::split(0x1234_5678, SliceWidth::W16);
+        assert_eq!(s.get(0), 0x5678);
+        assert_eq!(s.get(1), 0x1234);
+        let s = Sliced::split(0x1234_5678, SliceWidth::W8);
+        assert_eq!(s.get(0), 0x78);
+        assert_eq!(s.get(3), 0x12);
+        assert_eq!(s.low_bits(1), 0x5678);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slice width")]
+    fn set_overflow_panics() {
+        let mut s = Sliced::zero(SliceWidth::W8);
+        s.set(0, 0x100);
+    }
+
+    proptest! {
+        #[test]
+        fn split_join_roundtrip(v in any::<u32>()) {
+            for w in [SliceWidth::W32, SliceWidth::W16, SliceWidth::W8] {
+                prop_assert_eq!(Sliced::split(v, w).join(), v);
+            }
+        }
+
+        #[test]
+        fn low_bits_is_prefix(v in any::<u32>(), upto in 0usize..4) {
+            let s = Sliced::split(v, SliceWidth::W8);
+            let nbits = 8 * (upto as u32 + 1);
+            let mask = if nbits == 32 { u32::MAX } else { (1 << nbits) - 1 };
+            prop_assert_eq!(s.low_bits(upto), v & mask);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! `bzip` stand-in: move-to-front + run-length coding.
+//!
+//! SPEC's `bzip2` pipeline ends with an MTF transform and RLE of the
+//! resulting zero runs. This kernel codes a skewed byte stream through a
+//! 256-entry MTF list: a linear *search* loop finds each symbol's current
+//! rank (an early-exit, data-dependent branch) and a *shift* loop rotates
+//! the prefix down (a predictable counted branch) — the short-loop-heavy
+//! character the paper reports for bzip.
+
+use crate::util::XorShift32;
+use popk_isa::builder::Builder;
+use popk_isa::{Program, Reg};
+
+/// Input stream length in bytes.
+pub const SIZE: u32 = 4096;
+/// Alphabet size (MTF table entries).
+pub const ALPHA: u32 = 256;
+
+const SEED: u32 = 0x627a_6970; // "bzip"
+
+fn gen_input() -> Vec<u8> {
+    // Skewed distribution: small symbols dominate, so MTF ranks stay low
+    // and zero-runs appear (what RLE then counts).
+    let mut rng = XorShift32::new(SEED);
+    let mut buf = Vec::with_capacity(SIZE as usize);
+    let mut prev = 0u8;
+    for _ in 0..SIZE {
+        let b = if rng.below(3) == 0 {
+            prev // immediate repeat → MTF outputs 0
+        } else if rng.below(4) != 0 {
+            (rng.below(8)) as u8
+        } else {
+            rng.below(ALPHA) as u8
+        };
+        buf.push(b);
+        prev = b;
+    }
+    buf
+}
+
+/// Build the kernel; each iteration prints (sum of MTF ranks, zero-run
+/// output count).
+pub fn build(iters: u32) -> Program {
+    let input = gen_input();
+    let mut b = Builder::new();
+    let buf = b.data_bytes(&input);
+    b.align_data(4);
+    let table = b.data_space(ALPHA as usize);
+
+    let (bufb, tabb, pos, ranks, zeros, iter) = (
+        Reg::gpr(16),
+        Reg::gpr(17),
+        Reg::gpr(18),
+        Reg::gpr(19),
+        Reg::gpr(20),
+        Reg::gpr(8),
+    );
+    let (sym, j, t0, t1, t2) = (
+        Reg::gpr(21),
+        Reg::gpr(22),
+        Reg::gpr(9),
+        Reg::gpr(10),
+        Reg::gpr(11),
+    );
+
+    b.here("main");
+    b.la(bufb, buf);
+    b.la(tabb, table);
+    b.li(iter, iters as i32);
+
+    let outer = b.here("outer");
+    // Initialize the MTF table to the identity permutation.
+    b.li(t0, 0);
+    let init = b.here("init");
+    b.addu(t1, tabb, t0);
+    b.sb(t0, 0, t1);
+    b.addiu(t0, t0, 1);
+    b.li(t1, ALPHA as i32);
+    b.bne(t0, t1, init);
+
+    b.li(pos, 0);
+    b.li(ranks, 0);
+    b.li(zeros, 0);
+
+    let code = b.here("code");
+    b.addu(t0, bufb, pos);
+    b.lbu(sym, 0, t0);
+
+    // Search: j = 0; while table[j] != sym: j++.
+    b.li(j, 0);
+    let search = b.here("search");
+    b.addu(t0, tabb, j);
+    b.lbu(t1, 0, t0);
+    let found = b.named("found");
+    b.beq(t1, sym, found);
+    b.addiu(j, j, 1);
+    b.b(search);
+    {
+        let l = b.named("found");
+        b.bind(l);
+    }
+    b.addu(ranks, ranks, j);
+    // Zero-rank outputs feed the RLE stage.
+    let nonzero = b.label();
+    b.bne(j, Reg::ZERO, nonzero);
+    b.addiu(zeros, zeros, 1);
+    b.bind(nonzero);
+
+    // Shift: for k = j down to 1: table[k] = table[k-1]; table[0] = sym.
+    let shift_done = b.named("shift_done");
+    b.mov(t0, j);
+    let shift = b.here("shift");
+    b.blez(t0, shift_done);
+    b.addu(t1, tabb, t0);
+    b.lbu(t2, -1, t1);
+    b.sb(t2, 0, t1);
+    b.addiu(t0, t0, -1);
+    b.b(shift);
+    {
+        let l = b.named("shift_done");
+        b.bind(l);
+    }
+    b.sb(sym, 0, tabb);
+
+    b.addiu(pos, pos, 1);
+    b.li(t0, SIZE as i32);
+    b.bne(pos, t0, code);
+
+    b.print_int(ranks);
+    b.print_int(zeros);
+    b.addiu(iter, iter, -1);
+    b.bne(iter, Reg::ZERO, outer);
+    b.exit();
+    b.finish()
+}
+
+/// The Rust reference model.
+pub fn reference(iters: u32) -> Vec<i32> {
+    let buf = gen_input();
+    let mut out = Vec::new();
+    for _ in 0..iters {
+        let mut table: Vec<u8> = (0..=255).collect();
+        let (mut ranks, mut zeros) = (0u32, 0u32);
+        for &sym in &buf {
+            let j = table.iter().position(|&t| t == sym).unwrap();
+            ranks += j as u32;
+            if j == 0 {
+                zeros += 1;
+            }
+            table.copy_within(0..j, 1);
+            table[0] = sym;
+        }
+        out.push(ranks as i32);
+        out.push(zeros as i32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_outputs;
+
+    #[test]
+    fn matches_reference() {
+        let p = build(2);
+        assert_eq!(run_outputs(&p, 10_000_000), reference(2));
+    }
+
+    #[test]
+    fn skew_produces_zero_runs() {
+        let r = reference(1);
+        assert!(r[1] > (SIZE / 10) as i32, "expected many zero ranks, got {}", r[1]);
+    }
+
+    #[test]
+    fn iterations_are_deterministic() {
+        let r = reference(2);
+        assert_eq!(r[0], r[2]);
+        assert_eq!(r[1], r[3]);
+    }
+}

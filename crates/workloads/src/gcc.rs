@@ -1,0 +1,200 @@
+//! `gcc` stand-in: hashed symbol table with chained buckets.
+//!
+//! Compilers hammer hash tables of identifiers: hash, walk a short
+//! collision chain comparing keys, bump a use count on a hit or insert at
+//! the head on a miss. The chain-walk compare (`bne` on the key) and the
+//! hit/miss split give the mixed predictability Table 1 shows for gcc,
+//! with pointer-y loads layered over array indexing.
+
+use crate::util::XorShift32;
+use popk_isa::builder::Builder;
+use popk_isa::{Program, Reg};
+
+/// Tokens processed per outer iteration.
+pub const TOKENS: u32 = 2048;
+/// Distinct symbol key space.
+pub const KEYS: u32 = 1024;
+/// Hash buckets.
+pub const BUCKETS: u32 = 256;
+/// Node pool capacity (node = key, count, next; 16 B each).
+pub const POOL: u32 = KEYS + 8;
+
+const SEED: u32 = 0x0067_6363; // "gcc"
+
+/// Node field offsets.
+const KEY_OFF: i16 = 0;
+const COUNT_OFF: i16 = 4;
+const NEXT_OFF: i16 = 8;
+
+fn gen_tokens() -> Vec<u32> {
+    // Zipf-ish reuse: most tokens repeat a hot subset (symbol lookups hit),
+    // a minority are fresh.
+    let mut rng = XorShift32::new(SEED);
+    (0..TOKENS)
+        .map(|_| {
+            if rng.below(4) != 0 {
+                rng.below(KEYS / 8)
+            } else {
+                rng.below(KEYS)
+            }
+        })
+        .collect()
+}
+
+/// Build the kernel; each iteration prints (hits, inserts).
+pub fn build(iters: u32) -> Program {
+    let tokens = gen_tokens();
+    let mut b = Builder::new();
+    let toks = b.data_words(&tokens);
+    // Bucket heads: node address or 0.
+    let buckets = b.data_space((BUCKETS * 4) as usize);
+    let pool = b.data_space((POOL * 16) as usize);
+
+    let (tokb, bktb, poolb, bump, hits, inserts, iter) = (
+        Reg::gpr(16),
+        Reg::gpr(17),
+        Reg::gpr(18),
+        Reg::gpr(19),
+        Reg::gpr(20),
+        Reg::gpr(21),
+        Reg::gpr(8),
+    );
+    let (ti, key, node, t0, t1, head_addr) = (
+        Reg::gpr(22),
+        Reg::gpr(23),
+        Reg::gpr(24),
+        Reg::gpr(9),
+        Reg::gpr(10),
+        Reg::gpr(25),
+    );
+
+    b.here("main");
+    b.la(tokb, toks);
+    b.la(bktb, buckets);
+    b.la(poolb, pool);
+    b.li(iter, iters as i32);
+
+    let outer = b.here("outer");
+    // Reset: clear bucket heads, reset the bump allocator.
+    b.li(t0, 0);
+    let clear = b.here("clear");
+    b.sll(t1, t0, 2);
+    b.addu(t1, t1, bktb);
+    b.sw(Reg::ZERO, 0, t1);
+    b.addiu(t0, t0, 1);
+    b.li(t1, BUCKETS as i32);
+    b.bne(t0, t1, clear);
+    b.li(bump, 0);
+    b.li(hits, 0);
+    b.li(inserts, 0);
+    b.li(ti, 0);
+
+    let token = b.here("token");
+    b.sll(t0, ti, 2);
+    b.addu(t0, t0, tokb);
+    b.lw(key, 0, t0);
+
+    // head_addr = &buckets[key & (BUCKETS-1)]
+    b.andi(t0, key, (BUCKETS - 1) as u16);
+    b.sll(t0, t0, 2);
+    b.addu(head_addr, t0, bktb);
+    b.lw(node, 0, head_addr);
+
+    // Walk the chain.
+    let walk = b.here("walk");
+    let miss = b.named("miss");
+    let hit = b.named("hit");
+    let next_token = b.named("next_token");
+    b.beq(node, Reg::ZERO, miss);
+    b.lw(t0, KEY_OFF, node);
+    b.beq(t0, key, hit);
+    b.lw(node, NEXT_OFF, node);
+    b.b(walk);
+
+    {
+        let l = b.named("hit");
+        b.bind(l);
+    }
+    b.lw(t0, COUNT_OFF, node);
+    b.addiu(t0, t0, 1);
+    b.sw(t0, COUNT_OFF, node);
+    b.addiu(hits, hits, 1);
+    b.b(next_token);
+
+    {
+        let l = b.named("miss");
+        b.bind(l);
+    }
+    // node = &pool[bump++]; init {key, 1, old_head}; head = node.
+    b.sll(t0, bump, 4);
+    b.addu(node, t0, poolb);
+    b.addiu(bump, bump, 1);
+    b.sw(key, KEY_OFF, node);
+    b.li(t0, 1);
+    b.sw(t0, COUNT_OFF, node);
+    b.lw(t1, 0, head_addr);
+    b.sw(t1, NEXT_OFF, node);
+    b.sw(node, 0, head_addr);
+    b.addiu(inserts, inserts, 1);
+
+    {
+        let l = b.named("next_token");
+        b.bind(l);
+    }
+    b.addiu(ti, ti, 1);
+    b.addiu(t0, ti, -(TOKENS as i16));
+    b.bltz(t0, token);
+
+    b.print_int(hits);
+    b.print_int(inserts);
+    b.addiu(iter, iter, -1);
+    b.bne(iter, Reg::ZERO, outer);
+    b.exit();
+    b.finish()
+}
+
+/// The Rust reference model.
+pub fn reference(iters: u32) -> Vec<i32> {
+    let tokens = gen_tokens();
+    let mut out = Vec::new();
+    for _ in 0..iters {
+        let mut table: Vec<Vec<u32>> = vec![Vec::new(); BUCKETS as usize];
+        let (mut hits, mut inserts) = (0u32, 0u32);
+        for &key in &tokens {
+            let bucket = &mut table[(key & (BUCKETS - 1)) as usize];
+            if bucket.contains(&key) {
+                hits += 1;
+            } else {
+                bucket.push(key);
+                inserts += 1;
+            }
+        }
+        out.push(hits as i32);
+        out.push(inserts as i32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_outputs;
+
+    #[test]
+    fn matches_reference() {
+        let p = build(2);
+        assert_eq!(run_outputs(&p, 5_000_000), reference(2));
+    }
+
+    #[test]
+    fn pool_capacity_suffices() {
+        let r = reference(1);
+        assert!(r[1] <= POOL as i32, "inserts {} exceed pool {}", r[1], POOL);
+    }
+
+    #[test]
+    fn mostly_hits() {
+        let r = reference(1);
+        assert!(r[0] > r[1], "hot-set reuse should dominate: {r:?}");
+    }
+}

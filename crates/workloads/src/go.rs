@@ -1,0 +1,218 @@
+//! `go` stand-in: board-array move evaluation.
+//!
+//! Game-tree programs branch on irregular board state, giving SPEC `go`
+//! the worst branch accuracy in Table 1 (84%). This kernel replays a move
+//! stream over a 19×19 byte board: each candidate square is tested for
+//! occupancy, its four neighbours are bounds-checked and probed for
+//! liberties, and the placement decision depends on the (pseudo-random)
+//! local configuration — branches with little exploitable pattern.
+
+use crate::util::XorShift32;
+use popk_isa::builder::Builder;
+use popk_isa::{Program, Reg};
+
+/// Board edge length.
+pub const N: u32 = 19;
+/// Candidate moves per outer iteration.
+pub const MOVES: u32 = 1024;
+
+const SEED: u32 = 0x0000_676f; // "go"
+
+fn gen_board_and_moves() -> (Vec<u8>, Vec<u32>) {
+    let mut rng = XorShift32::new(SEED);
+    let board: Vec<u8> = (0..N * N)
+        .map(|_| match rng.below(4) {
+            0 => 1, // black
+            1 => 2, // white
+            _ => 0, // empty
+        })
+        .collect();
+    // Moves stored as packed (row << 8 | col).
+    let moves: Vec<u32> = (0..MOVES)
+        .map(|_| (rng.below(N) << 8) | rng.below(N))
+        .collect();
+    (board, moves)
+}
+
+/// Build the kernel; each iteration prints (stones placed, total
+/// liberties observed).
+pub fn build(iters: u32) -> Program {
+    let (board, moves) = gen_board_and_moves();
+    let mut b = Builder::new();
+    let boardb = b.data_bytes(&board);
+    b.align_data(4);
+    let movesb = b.data_words(&moves);
+
+    let (bb, mb, mi, placed, libs_total, iter) = (
+        Reg::gpr(16),
+        Reg::gpr(17),
+        Reg::gpr(18),
+        Reg::gpr(19),
+        Reg::gpr(20),
+        Reg::gpr(8),
+    );
+    let (row, col, libs, t0, t1, t2, idx) = (
+        Reg::gpr(21),
+        Reg::gpr(22),
+        Reg::gpr(23),
+        Reg::gpr(9),
+        Reg::gpr(10),
+        Reg::gpr(11),
+        Reg::gpr(24),
+    );
+
+    b.here("main");
+    b.la(bb, boardb);
+    b.la(mb, movesb);
+    b.li(iter, iters as i32);
+
+    let outer = b.here("outer");
+    b.li(placed, 0);
+    b.li(libs_total, 0);
+    b.li(mi, 0);
+
+    let mv = b.here("move");
+    let next_move = b.named("next_move");
+    b.sll(t0, mi, 2);
+    b.addu(t0, t0, mb);
+    b.lw(t1, 0, t0);
+    b.srl(row, t1, 8);
+    b.andi(col, t1, 0xff);
+
+    // idx = row * 19 + col  (19 = 16 + 2 + 1)
+    b.sll(t0, row, 4);
+    b.sll(t1, row, 1);
+    b.addu(t0, t0, t1);
+    b.addu(t0, t0, row);
+    b.addu(idx, t0, col);
+
+    // Occupied squares are skipped.
+    b.addu(t0, bb, idx);
+    b.lbu(t1, 0, t0);
+    b.bne(t1, Reg::ZERO, next_move);
+
+    // Count empty orthogonal neighbours (with bounds checks).
+    b.li(libs, 0);
+    // North: row > 0.
+    let no_north = b.label();
+    b.beq(row, Reg::ZERO, no_north);
+    b.addiu(t0, idx, -(N as i16));
+    b.addu(t0, t0, bb);
+    b.lbu(t1, 0, t0);
+    b.bgtz(t1, no_north);
+    b.addiu(libs, libs, 1);
+    b.bind(no_north);
+    // South: row < N-1.
+    let no_south = b.label();
+    b.li(t2, (N - 1) as i32);
+    b.beq(row, t2, no_south);
+    b.addiu(t0, idx, N as i16);
+    b.addu(t0, t0, bb);
+    b.lbu(t1, 0, t0);
+    b.bgtz(t1, no_south);
+    b.addiu(libs, libs, 1);
+    b.bind(no_south);
+    // West: col > 0.
+    let no_west = b.label();
+    b.beq(col, Reg::ZERO, no_west);
+    b.addiu(t0, idx, -1);
+    b.addu(t0, t0, bb);
+    b.lbu(t1, 0, t0);
+    b.bgtz(t1, no_west);
+    b.addiu(libs, libs, 1);
+    b.bind(no_west);
+    // East: col < N-1.
+    let no_east = b.label();
+    b.li(t2, (N - 1) as i32);
+    b.beq(col, t2, no_east);
+    b.addiu(t0, idx, 1);
+    b.addu(t0, t0, bb);
+    b.lbu(t1, 0, t0);
+    b.bgtz(t1, no_east);
+    b.addiu(libs, libs, 1);
+    b.bind(no_east);
+
+    b.addu(libs_total, libs_total, libs);
+    // Place a stone when the square has at least two liberties
+    // (libs - 2 < 0 rejects).
+    b.addiu(t1, libs, -2);
+    b.bltz(t1, next_move);
+    b.li(t1, 1);
+    b.addu(t0, bb, idx);
+    b.sb(t1, 0, t0);
+    b.addiu(placed, placed, 1);
+
+    {
+        let l = b.named("next_move");
+        b.bind(l);
+    }
+    b.addiu(mi, mi, 1);
+    b.addiu(t0, mi, -(MOVES as i16));
+    b.bltz(t0, mv);
+
+    b.print_int(placed);
+    b.print_int(libs_total);
+    b.addiu(iter, iter, -1);
+    b.bne(iter, Reg::ZERO, outer);
+    b.exit();
+    b.finish()
+}
+
+/// The Rust reference model.
+pub fn reference(iters: u32) -> Vec<i32> {
+    let (mut board, moves) = gen_board_and_moves();
+    let n = N as usize;
+    let mut out = Vec::new();
+    for _ in 0..iters {
+        let (mut placed, mut libs_total) = (0u32, 0u32);
+        for &m in &moves {
+            let (row, col) = ((m >> 8) as usize, (m & 0xff) as usize);
+            let idx = row * n + col;
+            if board[idx] != 0 {
+                continue;
+            }
+            let mut libs = 0u32;
+            if row > 0 && board[idx - n] == 0 {
+                libs += 1;
+            }
+            if row < n - 1 && board[idx + n] == 0 {
+                libs += 1;
+            }
+            if col > 0 && board[idx - 1] == 0 {
+                libs += 1;
+            }
+            if col < n - 1 && board[idx + 1] == 0 {
+                libs += 1;
+            }
+            libs_total += libs;
+            if libs >= 2 {
+                board[idx] = 1;
+                placed += 1;
+            }
+        }
+        out.push(placed as i32);
+        out.push(libs_total as i32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_outputs;
+
+    #[test]
+    fn matches_reference() {
+        let p = build(3);
+        assert_eq!(run_outputs(&p, 2_000_000), reference(3));
+    }
+
+    #[test]
+    fn board_saturates_over_iterations() {
+        // Placements mutate the board, so later iterations place fewer.
+        let r = reference(5);
+        let first = r[0];
+        let last = r[8];
+        assert!(last <= first);
+    }
+}

@@ -1,0 +1,239 @@
+//! `ijpeg` stand-in: 8-point integer block transform.
+//!
+//! Image codecs stream pixel blocks through separable integer transforms:
+//! long, perfectly predictable loops of loads, adds/subtracts, small
+//! constant multiplies and shifts — the high-IPC, 93%-accuracy profile
+//! Table 1 gives ijpeg. This kernel applies a butterfly + scaled-rotation
+//! pass to every 8-byte vector of a 4 KiB image, then a second pass with
+//! different constants over the coefficient magnitudes (a stand-in for
+//! the column pass + quantization).
+
+use crate::util::XorShift32;
+use popk_isa::builder::Builder;
+use popk_isa::{Program, Reg};
+
+/// Image bytes (must be a multiple of 8).
+pub const SIZE: u32 = 4096;
+/// First-pass rotation constants (Q8 fixed point).
+pub const C1: i32 = 181; // ~cos(pi/4) * 256
+/// Second-pass constant.
+pub const C2: i32 = 98; //  ~sin(3pi/8) * 256 / 2.56
+
+const SEED: u32 = 0x6a70_6567; // "jpeg"
+
+fn gen_image() -> Vec<u8> {
+    // Smooth-ish data: a random walk, like natural image rows.
+    let mut rng = XorShift32::new(SEED);
+    let mut v = 128i32;
+    (0..SIZE)
+        .map(|_| {
+            v += rng.below(17) as i32 - 8;
+            v = v.clamp(0, 255);
+            v as u8
+        })
+        .collect()
+}
+
+/// One 8-point pass in the reference model (wrapping i32 arithmetic,
+/// mirrored exactly by the assembly).
+fn transform8(x: &[i32; 8], c: i32) -> [i32; 8] {
+    let mut y = [0i32; 8];
+    for i in 0..4 {
+        let s = x[i].wrapping_add(x[7 - i]);
+        let d = x[i].wrapping_sub(x[7 - i]);
+        y[i] = s.wrapping_mul(c) >> 8;
+        y[i + 4] = d.wrapping_mul(c) >> 8;
+    }
+    y
+}
+
+/// Build the kernel; each iteration prints (pass-1 checksum, pass-2
+/// checksum).
+pub fn build(iters: u32) -> Program {
+    let image = gen_image();
+    let mut b = Builder::new();
+    let img = b.data_bytes(&image);
+    b.align_data(4);
+    // Scratch vector of 8 words for the loaded block and 8 for the output.
+    let xbuf = b.data_space(32);
+    let ybuf = b.data_space(32);
+
+    let (imgb, xb, yb, blk, sum1, sum2, iter) = (
+        Reg::gpr(16),
+        Reg::gpr(17),
+        Reg::gpr(18),
+        Reg::gpr(19),
+        Reg::gpr(20),
+        Reg::gpr(21),
+        Reg::gpr(8),
+    );
+    let (i, t0, t1, t2, t3, creg) = (
+        Reg::gpr(22),
+        Reg::gpr(9),
+        Reg::gpr(10),
+        Reg::gpr(11),
+        Reg::gpr(12),
+        Reg::gpr(23),
+    );
+
+    b.here("main");
+    b.la(imgb, img);
+    b.la(xb, xbuf);
+    b.la(yb, ybuf);
+    b.li(iter, iters as i32);
+
+    let outer = b.here("outer");
+    b.li(sum1, 0);
+    b.li(sum2, 0);
+    b.li(blk, 0);
+
+    let block = b.here("block");
+    // Load 8 bytes into the x scratch as words.
+    b.li(i, 0);
+    let load = b.here("load");
+    b.addu(t0, blk, i);
+    b.addu(t0, t0, imgb);
+    b.lbu(t1, 0, t0);
+    b.sll(t0, i, 2);
+    b.addu(t0, t0, xb);
+    b.sw(t1, 0, t0);
+    b.addiu(i, i, 1);
+    b.addiu(t0, i, -8);
+    b.bltz(t0, load);
+
+    // ---- pass 1: butterflies with constant C1, results into ybuf -----
+    b.li(creg, C1);
+    b.li(i, 0);
+    let p1 = b.here("p1");
+    // t1 = x[i]; t2 = x[7-i]
+    b.sll(t0, i, 2);
+    b.addu(t0, t0, xb);
+    b.lw(t1, 0, t0);
+    b.li(t2, 7);
+    b.subu(t2, t2, i);
+    b.sll(t2, t2, 2);
+    b.addu(t2, t2, xb);
+    b.lw(t2, 0, t2);
+    // s = t1 + t2 → y[i] = (s*C1)>>8 ; d = t1 - t2 → y[i+4] = (d*C1)>>8
+    b.addu(t3, t1, t2);
+    b.mult(t3, creg);
+    b.mflo(t3);
+    b.sra(t3, t3, 8);
+    b.sll(t0, i, 2);
+    b.addu(t0, t0, yb);
+    b.sw(t3, 0, t0);
+    b.subu(t3, t1, t2);
+    b.mult(t3, creg);
+    b.mflo(t3);
+    b.sra(t3, t3, 8);
+    b.sw(t3, 16, t0); // y[i+4] is 4 words past y[i]
+    b.addiu(i, i, 1);
+    b.addiu(t0, i, -4);
+    b.bltz(t0, p1);
+
+    // Accumulate pass-1 checksum over y.
+    b.li(i, 0);
+    let acc1 = b.here("acc1");
+    b.sll(t0, i, 2);
+    b.addu(t0, t0, yb);
+    b.lw(t1, 0, t0);
+    b.addu(sum1, sum1, t1);
+    b.addiu(i, i, 1);
+    b.addiu(t0, i, -8);
+    b.bltz(t0, acc1);
+
+    // ---- pass 2: same butterfly shape over y with C2, into xbuf -------
+    b.li(creg, C2);
+    b.li(i, 0);
+    let p2 = b.here("p2");
+    b.sll(t0, i, 2);
+    b.addu(t0, t0, yb);
+    b.lw(t1, 0, t0);
+    b.li(t2, 7);
+    b.subu(t2, t2, i);
+    b.sll(t2, t2, 2);
+    b.addu(t2, t2, yb);
+    b.lw(t2, 0, t2);
+    b.addu(t3, t1, t2);
+    b.mult(t3, creg);
+    b.mflo(t3);
+    b.sra(t3, t3, 8);
+    b.sll(t0, i, 2);
+    b.addu(t0, t0, xb);
+    b.sw(t3, 0, t0);
+    b.subu(t3, t1, t2);
+    b.mult(t3, creg);
+    b.mflo(t3);
+    b.sra(t3, t3, 8);
+    b.sw(t3, 16, t0);
+    b.addiu(i, i, 1);
+    b.addiu(t0, i, -4);
+    b.bltz(t0, p2);
+
+    b.li(i, 0);
+    let acc2 = b.here("acc2");
+    b.sll(t0, i, 2);
+    b.addu(t0, t0, xb);
+    b.lw(t1, 0, t0);
+    b.addu(sum2, sum2, t1);
+    b.addiu(i, i, 1);
+    b.addiu(t0, i, -8);
+    b.bltz(t0, acc2);
+
+    b.addiu(blk, blk, 8);
+    b.li(t0, SIZE as i32);
+    b.bne(blk, t0, block);
+
+    b.print_int(sum1);
+    b.print_int(sum2);
+    b.addiu(iter, iter, -1);
+    b.bne(iter, Reg::ZERO, outer);
+    b.exit();
+    b.finish()
+}
+
+/// The Rust reference model.
+pub fn reference(iters: u32) -> Vec<i32> {
+    let image = gen_image();
+    let mut out = Vec::new();
+    for _ in 0..iters {
+        let (mut sum1, mut sum2) = (0i32, 0i32);
+        for blk in image.chunks_exact(8) {
+            let mut x = [0i32; 8];
+            for (i, &px) in blk.iter().enumerate() {
+                x[i] = px as i32;
+            }
+            let y = transform8(&x, C1);
+            for v in y {
+                sum1 = sum1.wrapping_add(v);
+            }
+            let z = transform8(&y, C2);
+            for v in z {
+                sum2 = sum2.wrapping_add(v);
+            }
+        }
+        out.push(sum1);
+        out.push(sum2);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_outputs;
+
+    #[test]
+    fn matches_reference() {
+        let p = build(2);
+        assert_eq!(run_outputs(&p, 5_000_000), reference(2));
+    }
+
+    #[test]
+    fn transform_is_linear_in_scale() {
+        let x = [10, 20, 30, 40, 50, 60, 70, 80];
+        let y = transform8(&x, 256); // identity-scale butterflies
+        assert_eq!(y[0], 10 + 80);
+        assert_eq!(y[4], 10 - 80);
+    }
+}

@@ -1,0 +1,216 @@
+//! `li` stand-in: cons-cell mark/sweep interpreter.
+//!
+//! SPEC's `xlisp` spends much of its time in garbage collection; the
+//! paper's Figure 5 shows its hottest mispredicting branch — the mark-bit
+//! test `lbu / andi / bne` — contributing 18% of all mispredictions. This
+//! kernel reproduces that inner loop literally: a recursive `mark` over a
+//! random car/cdr graph whose first action is exactly that three-
+//! instruction idiom, followed by a linear sweep that clears the bits.
+//! Recursion through `jal`/`jr ra` also exercises the RAS.
+
+use crate::util::XorShift32;
+use popk_isa::builder::Builder;
+use popk_isa::{Program, Reg};
+
+/// Number of cons cells (16 B each; index 0 is the nil sentinel).
+pub const CELLS: u32 = 4096;
+/// Number of root pointers cycled through across iterations.
+pub const ROOTS: u32 = 256;
+/// Roots marked per outer iteration (before one sweep).
+pub const ROOTS_PER_ITER: u32 = 8;
+
+const SEED: u32 = 0x006c_6973; // "lis"
+
+/// Cell layout: flags byte at +0, car index at +4, cdr index at +8.
+const FLAGS_OFF: i16 = 0;
+const CAR_OFF: i16 = 4;
+const CDR_OFF: i16 = 8;
+
+fn gen_graph() -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut rng = XorShift32::new(SEED);
+    let n = CELLS as usize;
+    // 1-based indices; 0 = nil. Bias car/cdr toward *lower* indices so the
+    // recursion terminates quickly on average and depth stays bounded.
+    let mut car = vec![0u32; n + 1];
+    let mut cdr = vec![0u32; n + 1];
+    for i in 1..=n {
+        // ~20% nil pointers; children strictly below the parent index.
+        car[i] = if rng.below(5) == 0 { 0 } else { rng.below(i as u32) };
+        cdr[i] = if rng.below(5) == 0 { 0 } else { rng.below(i as u32) };
+    }
+    let roots: Vec<u32> = (0..ROOTS).map(|_| 1 + rng.below(CELLS)).collect();
+    (car, cdr, roots)
+}
+
+/// Build the kernel with `iters` outer iterations; each iteration prints
+/// the mark count then the sweep count.
+pub fn build(iters: u32) -> Program {
+    let (car, cdr, roots) = gen_graph();
+    let mut b = Builder::new();
+
+    let mut words = Vec::with_capacity((CELLS as usize + 1) * 4);
+    for i in 0..=CELLS as usize {
+        words.push(0); // flags (+ padding bytes)
+        words.push(car[i]);
+        words.push(cdr[i]);
+        words.push(0); // pad
+    }
+    let cells = b.data_words(&words);
+    let root_tab = b.data_words(&roots);
+
+    let (base, iter, rootp, marked, swept, tmp, tmp2, addr) = (
+        Reg::gpr(16),
+        Reg::gpr(8),
+        Reg::gpr(17),
+        Reg::gpr(18),
+        Reg::gpr(19),
+        Reg::gpr(9),
+        Reg::gpr(10),
+        Reg::gpr(11),
+    );
+
+    let mark = b.named("mark");
+
+    b.here("main");
+    b.la(base, cells);
+    b.li(iter, iters as i32);
+    b.li(rootp, 0); // root cursor
+
+    let outer = b.here("outer");
+    // ---- mark phase: ROOTS_PER_ITER roots before each sweep ---------
+    b.li(marked, 0);
+    let rcount = Reg::gpr(21);
+    b.li(rcount, ROOTS_PER_ITER as i32);
+    let mark_next = b.here("mark_next");
+    b.la(tmp, root_tab);
+    b.sll(tmp2, rootp, 2);
+    b.addu(tmp, tmp, tmp2);
+    b.lw(Reg::A0, 0, tmp); // a0 = root cell index
+    b.jal(mark);
+    b.addu(marked, marked, Reg::V0);
+    // rootp = (rootp + 1) % ROOTS
+    b.addiu(rootp, rootp, 1);
+    b.andi(rootp, rootp, (ROOTS - 1) as u16);
+    b.addiu(rcount, rcount, -1);
+    b.bgtz(rcount, mark_next);
+    b.print_int(marked);
+
+    // ---- sweep phase: count and clear mark bits ---------------------
+    b.li(swept, 0);
+    b.li(tmp, 1); // cell index
+    let sweep = b.here("sweep");
+    b.sll(addr, tmp, 4);
+    b.addu(addr, addr, base);
+    b.lbu(tmp2, FLAGS_OFF, addr);
+    b.andi(tmp2, tmp2, 1);
+    b.addu(swept, swept, tmp2);
+    b.sb(Reg::ZERO, FLAGS_OFF, addr);
+    b.addiu(tmp, tmp, 1);
+    b.li(tmp2, CELLS as i32 + 1);
+    b.bne(tmp, tmp2, sweep);
+    b.print_int(swept);
+
+    b.addiu(iter, iter, -1);
+    b.bne(iter, Reg::ZERO, outer);
+    b.exit();
+
+    // ---- fn mark(a0: cell index) -> v0: newly marked count -----------
+    // Non-nil check, then the Fig. 5 idiom: lbu flags / andi 1 / bne.
+    b.bind(mark);
+    let m_body = b.label();
+    b.bne(Reg::A0, Reg::ZERO, m_body);
+    b.li(Reg::V0, 0);
+    b.jr(Reg::RA);
+    b.bind(m_body);
+    b.sll(tmp, Reg::A0, 4);
+    b.addu(tmp, tmp, base);
+    b.lbu(tmp2, FLAGS_OFF, tmp); // Fig. 5: lbu
+    b.andi(tmp2, tmp2, 1); //        andi
+    let m_fresh = b.label();
+    b.beq(tmp2, Reg::ZERO, m_fresh); // (bne in Fig. 5; inverted sense here)
+    b.li(Reg::V0, 0);
+    b.jr(Reg::RA);
+    b.bind(m_fresh);
+    b.li(tmp2, 1);
+    b.sb(tmp2, FLAGS_OFF, tmp);
+    // Save ra, the cell address, and a slot for the car-subtree count.
+    b.addiu(Reg::SP, Reg::SP, -12);
+    b.sw(Reg::RA, 0, Reg::SP);
+    b.sw(tmp, 4, Reg::SP);
+    b.lw(Reg::A0, CAR_OFF, tmp);
+    b.jal(mark);
+    b.sw(Reg::V0, 8, Reg::SP);
+    b.lw(tmp, 4, Reg::SP);
+    b.lw(Reg::A0, CDR_OFF, tmp);
+    b.jal(mark);
+    b.lw(tmp2, 8, Reg::SP);
+    b.addu(Reg::V0, Reg::V0, tmp2);
+    b.addiu(Reg::V0, Reg::V0, 1);
+    b.lw(Reg::RA, 0, Reg::SP);
+    b.addiu(Reg::SP, Reg::SP, 12);
+    b.jr(Reg::RA);
+
+    b.finish()
+}
+
+/// The Rust reference model.
+pub fn reference(iters: u32) -> Vec<i32> {
+    let (car, cdr, roots) = gen_graph();
+    let n = CELLS as usize;
+    let mut flags = vec![false; n + 1];
+    let mut out = Vec::new();
+
+    fn mark(idx: usize, flags: &mut [bool], car: &[u32], cdr: &[u32]) -> u32 {
+        if idx == 0 || flags[idx] {
+            return 0;
+        }
+        flags[idx] = true;
+        let a = mark(car[idx] as usize, flags, car, cdr);
+        let b = mark(cdr[idx] as usize, flags, car, cdr);
+        a + b + 1
+    }
+
+    let mut rootp = 0usize;
+    for _ in 0..iters {
+        let mut marked = 0u32;
+        for _ in 0..ROOTS_PER_ITER {
+            marked += mark(roots[rootp] as usize, &mut flags, &car, &cdr);
+            rootp = (rootp + 1) % ROOTS as usize;
+        }
+        out.push(marked as i32);
+        let mut swept = 0u32;
+        for f in flags.iter_mut().skip(1) {
+            swept += *f as u32;
+            *f = false;
+        }
+        out.push(swept as i32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_outputs;
+
+    #[test]
+    fn matches_reference() {
+        let p = build(3);
+        assert_eq!(run_outputs(&p, 5_000_000), reference(3));
+    }
+
+    #[test]
+    fn mark_equals_sweep() {
+        // Every marked cell must be found by the sweep.
+        let r = reference(4);
+        for pair in r.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn marks_nontrivial_subgraphs() {
+        let r = reference(8);
+        assert!(r.iter().any(|&m| m > 10), "graph too sparse: {r:?}");
+    }
+}

@@ -1,0 +1,196 @@
+//! # popk-workloads — SPECint stand-in kernels (Table 1)
+//!
+//! The paper evaluates on eleven programs from SPECint2000/SPECint95.
+//! Those binaries (and a PISA cross-compiler) are unavailable, so each
+//! program is replaced by a kernel — written in the `popk` ISA via
+//! [`popk_isa::builder::Builder`] — that reproduces the behavioural traits
+//! the paper's techniques are sensitive to: instruction mix, branch
+//! predictability, pointer- vs. array-dominated access patterns, and
+//! working-set size. See `DESIGN.md` §4 for the substitution rationale.
+//!
+//! | name   | stands in for | character |
+//! |--------|---------------|-----------|
+//! | bzip   | bzip2         | move-to-front + RLE coding: scan loops, branchy |
+//! | gcc    | gcc           | hashed symbol table with chained buckets |
+//! | go     | go            | board-array heuristics, data-dependent branches |
+//! | gzip   | gzip          | LZ77 window matching, byte-compare loops |
+//! | ijpeg  | ijpeg         | 8×8 integer transform, multiply-heavy, predictable |
+//! | li     | xlisp         | cons-cell mark/sweep with the Fig. 5 `lbu/andi/bne` idiom |
+//! | mcf    | mcf           | pointer chasing over a >L1 arc array, memory bound |
+//! | parser | parser        | character-class state machine over text |
+//! | twolf  | twolf         | annealing-style swap accept/reject, unpredictable |
+//! | vortex | vortex        | object DB with handler dispatch through `jalr` |
+//! | vpr    | vpr           | bounding-box placement cost, some floating point |
+//!
+//! Every kernel takes an iteration count, prints per-phase checksums via
+//! the `PrintInt` syscall and exits; a Rust reference model in each module
+//! computes the same checksums, and unit tests assert emulation matches
+//! the reference exactly — validating both kernel and emulator.
+//!
+//! ```
+//! use popk_workloads::{all, by_name};
+//!
+//! assert_eq!(all().len(), 11);
+//! let li = by_name("li").unwrap();
+//! let program = (li.build)(2); // 2 outer iterations
+//! assert!(!program.text.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bzip;
+pub mod gcc;
+pub mod go;
+pub mod gzip;
+pub mod ijpeg;
+pub mod li;
+pub mod mcf;
+pub mod parser;
+pub mod twolf;
+pub mod util;
+pub mod vortex;
+pub mod vpr;
+
+use popk_isa::Program;
+
+/// A registered workload.
+#[derive(Clone, Copy)]
+pub struct Workload {
+    /// Short name (matches Table 1's benchmark column).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Build the program with a given outer-iteration count.
+    pub build: fn(u32) -> Program,
+    /// Outer iterations that comfortably exceed a multi-million-instruction
+    /// simulation budget (so budget-limited runs never exit early).
+    pub full_iters: u32,
+    /// Outer iterations suitable for fast functional tests.
+    pub test_iters: u32,
+}
+
+impl Workload {
+    /// The program sized for timing/characterization runs.
+    pub fn program(&self) -> Program {
+        (self.build)(self.full_iters)
+    }
+
+    /// The program sized for quick functional tests.
+    pub fn test_program(&self) -> Program {
+        (self.build)(self.test_iters)
+    }
+}
+
+/// All eleven Table 1 workloads, in the paper's order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "bzip",
+            description: "move-to-front + run-length coder",
+            build: bzip::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "gcc",
+            description: "hashed symbol table with chained buckets",
+            build: gcc::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "go",
+            description: "board-array move evaluation",
+            build: go::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "gzip",
+            description: "LZ77 window matcher",
+            build: gzip::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "ijpeg",
+            description: "8x8 integer block transform",
+            build: ijpeg::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "li",
+            description: "cons-cell mark/sweep interpreter",
+            build: li::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "mcf",
+            description: "pointer chasing over a large arc array",
+            build: mcf::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "parser",
+            description: "character-class tokenizer state machine",
+            build: parser::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "twolf",
+            description: "annealing-style swap accept/reject",
+            build: twolf::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "vortex",
+            description: "object DB with jalr handler dispatch",
+            build: vortex::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+        Workload {
+            name: "vpr",
+            description: "bounding-box placement cost",
+            build: vpr::build,
+            full_iters: 2000,
+            test_iters: 3,
+        },
+    ]
+}
+
+/// Look a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let ws = all();
+        assert_eq!(ws.len(), 11);
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+        assert!(by_name("mcf").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_programs_build() {
+        for w in all() {
+            let p = w.test_program();
+            assert!(!p.text.is_empty(), "{} emitted no code", w.name);
+        }
+    }
+}

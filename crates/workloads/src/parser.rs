@@ -1,0 +1,181 @@
+//! `parser` stand-in: character-class tokenizer state machine.
+//!
+//! SPEC `parser` grinds through English text character by character,
+//! branching on character classes. This kernel scans a pseudo-English
+//! buffer with a two-state (in-word / between-words) machine built from
+//! range-check branch ladders (`sltiu`-style): word starts, digit runs and
+//! punctuation each take different paths, so the branch stream mixes
+//! highly-biased checks with data-dependent ones.
+
+use crate::util::XorShift32;
+use popk_isa::builder::Builder;
+use popk_isa::{Program, Reg};
+
+/// Text length in bytes.
+pub const SIZE: u32 = 8192;
+
+const SEED: u32 = 0x7061_7273; // "pars"
+
+fn gen_text() -> Vec<u8> {
+    let mut rng = XorShift32::new(SEED);
+    let mut buf = Vec::with_capacity(SIZE as usize);
+    while buf.len() < SIZE as usize {
+        match rng.below(10) {
+            0..=5 => {
+                // a word of 1..=9 letters
+                for _ in 0..=rng.below(9) {
+                    buf.push(b'a' + rng.below(26) as u8);
+                }
+                buf.push(b' ');
+            }
+            6..=7 => {
+                // a number of 1..=4 digits
+                for _ in 0..=rng.below(4) {
+                    buf.push(b'0' + rng.below(10) as u8);
+                }
+                buf.push(b' ');
+            }
+            _ => {
+                buf.push(b",.;:!?"[rng.below(6) as usize]);
+                buf.push(b' ');
+            }
+        }
+    }
+    buf.truncate(SIZE as usize);
+    buf
+}
+
+/// Build the kernel; each iteration prints (words, digits seen,
+/// punctuation count, total letter count).
+pub fn build(iters: u32) -> Program {
+    let text = gen_text();
+    let mut b = Builder::new();
+    let buf = b.data_bytes(&text);
+
+    let (bufb, pos, words, digits, puncts, letters, in_word, iter) = (
+        Reg::gpr(16),
+        Reg::gpr(17),
+        Reg::gpr(18),
+        Reg::gpr(19),
+        Reg::gpr(20),
+        Reg::gpr(21),
+        Reg::gpr(22),
+        Reg::gpr(8),
+    );
+    let (c, t0, t1) = (Reg::gpr(23), Reg::gpr(9), Reg::gpr(10));
+
+    b.here("main");
+    b.la(bufb, buf);
+    b.li(iter, iters as i32);
+
+    let outer = b.here("outer");
+    b.li(pos, 0);
+    b.li(words, 0);
+    b.li(digits, 0);
+    b.li(puncts, 0);
+    b.li(letters, 0);
+    b.li(in_word, 0);
+
+    let scan = b.here("scan");
+    let advance = b.named("advance");
+    let not_letter = b.named("not_letter");
+    let not_digit = b.named("not_digit");
+    b.addu(t0, bufb, pos);
+    b.lbu(c, 0, t0);
+
+    // Letter? 'a' <= c <= 'z'  ⇔  (c - 'a') <u 26, the classic MIPS
+    // unsigned range-check idiom.
+    b.addiu(t0, c, -(b'a' as i16));
+    b.sltiu(t1, t0, 26);
+    b.beq(t1, Reg::ZERO, not_letter);
+    b.addiu(letters, letters, 1);
+    // Word-start detection: count a word on the 0→1 transition.
+    b.bne(in_word, Reg::ZERO, advance);
+    b.li(in_word, 1);
+    b.addiu(words, words, 1);
+    b.b(advance);
+
+    {
+        let l = b.named("not_letter");
+        b.bind(l);
+    }
+    b.li(in_word, 0);
+    // Digit? (c - '0') <u 10, same idiom.
+    b.addiu(t0, c, -(b'0' as i16));
+    b.sltiu(t1, t0, 10);
+    b.beq(t1, Reg::ZERO, not_digit);
+    b.addiu(digits, digits, 1);
+    b.b(advance);
+
+    {
+        let l = b.named("not_digit");
+        b.bind(l);
+    }
+    // Space is silent; everything else is punctuation.
+    b.li(t0, b' ' as i32);
+    b.beq(c, t0, advance);
+    b.addiu(puncts, puncts, 1);
+
+    {
+        let l = b.named("advance");
+        b.bind(l);
+    }
+    b.addiu(pos, pos, 1);
+    b.addiu(t0, pos, -(SIZE as i16));
+    b.bltz(t0, scan);
+
+    b.print_int(words);
+    b.print_int(digits);
+    b.print_int(puncts);
+    b.print_int(letters);
+    b.addiu(iter, iter, -1);
+    b.bne(iter, Reg::ZERO, outer);
+    b.exit();
+    b.finish()
+}
+
+/// The Rust reference model.
+pub fn reference(iters: u32) -> Vec<i32> {
+    let text = gen_text();
+    let mut out = Vec::new();
+    for _ in 0..iters {
+        let (mut words, mut digits, mut puncts, mut letters) = (0i32, 0i32, 0i32, 0i32);
+        let mut in_word = false;
+        for &c in &text {
+            if c.is_ascii_lowercase() {
+                letters += 1;
+                if !in_word {
+                    in_word = true;
+                    words += 1;
+                }
+            } else {
+                in_word = false;
+                if c.is_ascii_digit() {
+                    digits += 1;
+                } else if c != b' ' {
+                    puncts += 1;
+                }
+            }
+        }
+        out.extend([words, digits, puncts, letters]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_outputs;
+
+    #[test]
+    fn matches_reference() {
+        let p = build(3);
+        assert_eq!(run_outputs(&p, 2_000_000), reference(3));
+    }
+
+    #[test]
+    fn text_has_all_classes() {
+        let r = reference(1);
+        assert!(r.iter().all(|&v| v > 0), "degenerate text: {r:?}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared helpers for kernel construction and validation.
+
+use popk_emu::Machine;
+use popk_isa::Program;
+
+/// A deterministic xorshift32 stream used to generate kernel input data at
+/// build time (both the assembly's data segment and the Rust reference
+/// model draw from this, guaranteeing they see identical inputs).
+#[derive(Clone, Copy, Debug)]
+pub struct XorShift32 {
+    state: u32,
+}
+
+impl XorShift32 {
+    /// Seeded generator; `seed` must be nonzero.
+    ///
+    /// # Panics
+    /// Panics if `seed == 0` (an all-zero xorshift state is absorbing).
+    pub fn new(seed: u32) -> XorShift32 {
+        assert_ne!(seed, 0);
+        XorShift32 { state: seed }
+    }
+
+    /// Next 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `[0, bound)` (bound > 0; slight modulo bias is
+    /// irrelevant for workload generation).
+    #[inline]
+    pub fn below(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        self.next_u32() % bound
+    }
+}
+
+/// Run `program` to completion (within `limit` instructions) and return
+/// the `PrintInt` output channel. Panics on emulation errors or a missed
+/// exit — kernels are expected to terminate cleanly.
+pub fn run_outputs(program: &Program, limit: u64) -> Vec<i32> {
+    let mut m = Machine::new(program);
+    let code = m
+        .run(limit)
+        .unwrap_or_else(|e| panic!("emulation error: {e}"));
+    assert_eq!(code, Some(0), "kernel did not exit within {limit} instructions");
+    m.output_ints().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nontrivial() {
+        let mut a = XorShift32::new(0x1234_5678);
+        let mut b = XorShift32::new(0x1234_5678);
+        let xs: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.next_u32()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = XorShift32::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_seed_rejected() {
+        let _ = XorShift32::new(0);
+    }
+}

@@ -1,0 +1,260 @@
+//! `vortex` stand-in: object database with indirect handler dispatch.
+//!
+//! SPEC `vortex` is an object-oriented database: hash lookups into chained
+//! object records followed by virtual dispatch on the object's type. This
+//! kernel walks bucket chains for a stream of keys and, on each hit,
+//! calls the record's type handler through a function-pointer table with
+//! `jalr` — exercising the RAS/BTB paths plus dependent pointer loads.
+
+use crate::util::XorShift32;
+use popk_isa::builder::Builder;
+use popk_isa::{Program, Reg, TEXT_BASE};
+
+/// Records in the database.
+pub const RECORDS: u32 = 1024;
+/// Hash buckets.
+pub const BUCKETS: u32 = 64;
+/// Lookups per outer iteration.
+pub const LOOKUPS: u32 = 1024;
+/// Handler (type) count.
+pub const TYPES: u32 = 4;
+
+const SEED: u32 = 0x766f_7274; // "vort"
+
+/// Record layout: type, key, val, next (byte offsets).
+const TYPE_OFF: i16 = 0;
+const KEY_OFF: i16 = 4;
+const VAL_OFF: i16 = 8;
+const NEXT_OFF: i16 = 12;
+
+struct Db {
+    types: Vec<u32>,
+    keys: Vec<u32>,
+    lookups: Vec<u32>,
+}
+
+fn gen_db() -> Db {
+    let mut rng = XorShift32::new(SEED);
+    // Unique keys so chain search is unambiguous.
+    let mut keys: Vec<u32> = (0..RECORDS).map(|k| k * 7 + 3).collect();
+    for i in (1..keys.len()).rev() {
+        let j = rng.below(i as u32 + 1) as usize;
+        keys.swap(i, j);
+    }
+    let types: Vec<u32> = (0..RECORDS).map(|_| rng.below(TYPES)).collect();
+    let lookups: Vec<u32> = (0..LOOKUPS)
+        .map(|_| {
+            if rng.below(8) == 0 {
+                // A key that is never present (miss path).
+                1_000_000 + rng.below(1000)
+            } else {
+                keys[rng.below(RECORDS) as usize]
+            }
+        })
+        .collect();
+    Db { types, keys, lookups }
+}
+
+/// Handler semantics, shared by assembly and reference:
+/// returns the new `val` and the per-call contribution.
+fn handler(ty: u32, val: u32, key: u32) -> (u32, u32) {
+    match ty {
+        0 => (val.wrapping_add(1), val.wrapping_add(1)),
+        1 => (val ^ key, val ^ key),
+        2 => (val.wrapping_add(key >> 3), val.wrapping_add(key >> 3)),
+        _ => (val.wrapping_sub(1), val.wrapping_sub(1)),
+    }
+}
+
+/// Build the kernel; each iteration prints (found count, handler sum).
+pub fn build(iters: u32) -> Program {
+    let db = gen_db();
+    let mut b = Builder::new();
+
+    // Records: chains threaded through buckets by key hash.
+    let mut heads = vec![0u32; BUCKETS as usize]; // record addr or 0
+    let lookups = b.data_words(&db.lookups);
+    let htab = b.data_space((TYPES * 4) as usize); // filled at runtime
+    b.align_data(16);
+    let recs = b.data_space((RECORDS * 16) as usize);
+    // Thread chains now that `recs` is known.
+    let mut rec_words = vec![0u32; (RECORDS * 4) as usize];
+    for r in 0..RECORDS as usize {
+        let key = db.keys[r];
+        let bucket = (key % BUCKETS) as usize;
+        let addr = recs + (r as u32) * 16;
+        rec_words[r * 4] = db.types[r];
+        rec_words[r * 4 + 1] = key;
+        rec_words[r * 4 + 2] = 0; // val
+        rec_words[r * 4 + 3] = heads[bucket];
+        heads[bucket] = addr;
+    }
+    let bkts = b.data_words(&heads);
+
+    // ---- text: jump over the handlers to main -----------------------
+    let main_l = b.named("main");
+    b.j(main_l);
+
+    // Handlers: a0 = record address, v1 = key; return v0 = contribution.
+    // Handler i's text address is recorded for the dispatch table.
+    let mut handler_addrs = [0u32; TYPES as usize];
+    // h0: val += 1
+    handler_addrs[0] = TEXT_BASE + 4 * b.len() as u32;
+    b.lw(Reg::gpr(9), VAL_OFF, Reg::A0);
+    b.addiu(Reg::gpr(9), Reg::gpr(9), 1);
+    b.sw(Reg::gpr(9), VAL_OFF, Reg::A0);
+    b.mov(Reg::V0, Reg::gpr(9));
+    b.jr(Reg::RA);
+    // h1: val ^= key
+    handler_addrs[1] = TEXT_BASE + 4 * b.len() as u32;
+    b.lw(Reg::gpr(9), VAL_OFF, Reg::A0);
+    b.xor(Reg::gpr(9), Reg::gpr(9), Reg::V1);
+    b.sw(Reg::gpr(9), VAL_OFF, Reg::A0);
+    b.mov(Reg::V0, Reg::gpr(9));
+    b.jr(Reg::RA);
+    // h2: val += key >> 3
+    handler_addrs[2] = TEXT_BASE + 4 * b.len() as u32;
+    b.lw(Reg::gpr(9), VAL_OFF, Reg::A0);
+    b.srl(Reg::gpr(10), Reg::V1, 3);
+    b.addu(Reg::gpr(9), Reg::gpr(9), Reg::gpr(10));
+    b.sw(Reg::gpr(9), VAL_OFF, Reg::A0);
+    b.mov(Reg::V0, Reg::gpr(9));
+    b.jr(Reg::RA);
+    // h3: val -= 1
+    handler_addrs[3] = TEXT_BASE + 4 * b.len() as u32;
+    b.lw(Reg::gpr(9), VAL_OFF, Reg::A0);
+    b.addiu(Reg::gpr(9), Reg::gpr(9), -1);
+    b.sw(Reg::gpr(9), VAL_OFF, Reg::A0);
+    b.mov(Reg::V0, Reg::gpr(9));
+    b.jr(Reg::RA);
+
+    let (lkb, bkb, htb, li_, found, sum, iter) = (
+        Reg::gpr(16),
+        Reg::gpr(17),
+        Reg::gpr(18),
+        Reg::gpr(19),
+        Reg::gpr(20),
+        Reg::gpr(21),
+        Reg::gpr(8),
+    );
+    let (key, node, t0) = (Reg::gpr(22), Reg::gpr(23), Reg::gpr(9));
+
+    b.bind(main_l);
+    b.la(lkb, lookups);
+    b.la(bkb, bkts);
+    b.la(htb, htab);
+    // Fill the dispatch table with the handler addresses.
+    for (i, &addr) in handler_addrs.iter().enumerate() {
+        b.li(t0, addr as i32);
+        b.sw(t0, (i * 4) as i16, htb);
+    }
+    b.li(iter, iters as i32);
+
+    let outer = b.here("outer");
+    b.li(li_, 0);
+    b.li(found, 0);
+    b.li(sum, 0);
+
+    let look = b.here("look");
+    let not_found = b.named("not_found");
+    let hit = b.named("hit");
+    b.sll(t0, li_, 2);
+    b.addu(t0, t0, lkb);
+    b.lw(key, 0, t0);
+
+    // bucket head: key % BUCKETS == key & 63
+    b.andi(t0, key, (BUCKETS - 1) as u16);
+    b.sll(t0, t0, 2);
+    b.addu(t0, t0, bkb);
+    b.lw(node, 0, t0);
+
+    let walk = b.here("walk");
+    b.beq(node, Reg::ZERO, not_found);
+    b.lw(t0, KEY_OFF, node);
+    b.beq(t0, key, hit);
+    b.lw(node, NEXT_OFF, node);
+    b.b(walk);
+
+    {
+        let l = b.named("hit");
+        b.bind(l);
+    }
+    b.addiu(found, found, 1);
+    // Dispatch: v0 <- handlers[type](a0 = node, v1 = key)
+    b.lw(t0, TYPE_OFF, node);
+    b.sll(t0, t0, 2);
+    b.addu(t0, t0, htb);
+    b.lw(t0, 0, t0);
+    b.mov(Reg::A0, node);
+    b.mov(Reg::V1, key);
+    b.jalr(Reg::RA, t0);
+    b.addu(sum, sum, Reg::V0);
+
+    {
+        let l = b.named("not_found");
+        b.bind(l);
+    }
+    b.addiu(li_, li_, 1);
+    b.li(t0, LOOKUPS as i32);
+    b.bne(li_, t0, look);
+
+    b.print_int(found);
+    b.print_int(sum);
+    b.addiu(iter, iter, -1);
+    b.bne(iter, Reg::ZERO, outer);
+    b.exit();
+
+    // Record data must be loaded into the data segment: rewrite the
+    // reserved space with the initialized words.
+    let mut program = b.finish();
+    let rec_off = (recs - popk_isa::DATA_BASE) as usize;
+    for (i, w) in rec_words.iter().enumerate() {
+        program.data[rec_off + i * 4..rec_off + i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    program
+}
+
+/// The Rust reference model.
+pub fn reference(iters: u32) -> Vec<i32> {
+    let db = gen_db();
+    let mut vals = vec![0u32; RECORDS as usize];
+    // Bucket chains: most-recently inserted first (mirrors the builder).
+    let mut chains: Vec<Vec<usize>> = vec![Vec::new(); BUCKETS as usize];
+    for r in 0..RECORDS as usize {
+        chains[(db.keys[r] % BUCKETS) as usize].insert(0, r);
+    }
+    let mut out = Vec::new();
+    for _ in 0..iters {
+        let (mut found, mut sum) = (0u32, 0u32);
+        for &key in &db.lookups {
+            let chain = &chains[(key % BUCKETS) as usize];
+            if let Some(&r) = chain.iter().find(|&&r| db.keys[r] == key) {
+                found += 1;
+                let (nv, contrib) = handler(db.types[r], vals[r], key);
+                vals[r] = nv;
+                sum = sum.wrapping_add(contrib);
+            }
+        }
+        out.push(found as i32);
+        out.push(sum as i32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_outputs;
+
+    #[test]
+    fn matches_reference() {
+        let p = build(3);
+        assert_eq!(run_outputs(&p, 2_000_000), reference(3));
+    }
+
+    #[test]
+    fn has_hits_and_misses() {
+        let r = reference(1);
+        assert!(r[0] > 0 && (r[0] as u32) < LOOKUPS, "lookup mix degenerate: {r:?}");
+    }
+}

@@ -1,0 +1,182 @@
+//! `vpr` stand-in: bounding-box placement cost.
+//!
+//! FPGA placement sums net bounding-box dimensions over coordinate
+//! arrays: streaming loads, compares and absolute differences with good
+//! branch behaviour, plus occasional floating-point scaling (vpr is one
+//! of the few SPECint programs with real FP in its hot path). Every
+//! eighth net's cost passes through an `f32` multiply, exercising the
+//! atomic (all-slices) path of the bit-sliced core.
+
+use crate::util::XorShift32;
+use popk_isa::builder::Builder;
+use popk_isa::{Program, Reg};
+
+/// Placed blocks.
+pub const BLOCKS: u32 = 2048;
+/// Two-pin nets per outer iteration.
+pub const NETS: u32 = 2048;
+/// FP scale factor applied to every 8th net (1.5 in f32).
+pub const SCALE: f32 = 1.5;
+
+const SEED: u32 = 0x0076_7072; // "vpr"
+
+fn gen_placement() -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut rng = XorShift32::new(SEED);
+    let xs: Vec<u32> = (0..BLOCKS).map(|_| rng.below(64)).collect();
+    let ys: Vec<u32> = (0..BLOCKS).map(|_| rng.below(64)).collect();
+    // Nets packed as (a << 16) | b.
+    let nets: Vec<u32> = (0..NETS)
+        .map(|_| (rng.below(BLOCKS) << 16) | rng.below(BLOCKS))
+        .collect();
+    (xs, ys, nets)
+}
+
+/// Build the kernel; each iteration prints the total cost, then perturbs
+/// the placement so iterations differ.
+pub fn build(iters: u32) -> Program {
+    let (xs, ys, nets) = gen_placement();
+    let mut b = Builder::new();
+    let xsb = b.data_words(&xs);
+    let ysb = b.data_words(&ys);
+    let netb = b.data_words(&nets);
+
+    let (xb, yb, nb, ni, total, iter) = (
+        Reg::gpr(16),
+        Reg::gpr(17),
+        Reg::gpr(18),
+        Reg::gpr(19),
+        Reg::gpr(20),
+        Reg::gpr(8),
+    );
+    let (a, c, t0, t1, t2, dx, dy, fs) = (
+        Reg::gpr(21),
+        Reg::gpr(22),
+        Reg::gpr(9),
+        Reg::gpr(10),
+        Reg::gpr(11),
+        Reg::gpr(23),
+        Reg::gpr(24),
+        Reg::gpr(25),
+    );
+
+    b.here("main");
+    b.la(xb, xsb);
+    b.la(yb, ysb);
+    b.la(nb, netb);
+    b.li(fs, SCALE.to_bits() as i32); // f32 constant lives in a GPR
+    b.li(iter, iters as i32);
+
+    let outer = b.here("outer");
+    b.li(ni, 0);
+    b.li(total, 0);
+
+    let net = b.here("net");
+    let no_fp = b.named("no_fp");
+    b.sll(t0, ni, 2);
+    b.addu(t0, t0, nb);
+    b.lw(t1, 0, t0);
+    b.srl(a, t1, 16);
+    b.andi(c, t1, 0xffff);
+
+    // dx = |x[a] - x[c]|
+    b.sll(t0, a, 2);
+    b.addu(t0, t0, xb);
+    b.lw(t1, 0, t0);
+    b.sll(t0, c, 2);
+    b.addu(t0, t0, xb);
+    b.lw(t2, 0, t0);
+    // Branchless abs (sign-mask), as compilers emit for |a-b|.
+    b.subu(dx, t1, t2);
+    b.sra(t0, dx, 31);
+    b.xor(dx, dx, t0);
+    b.subu(dx, dx, t0);
+    // dy = |y[a] - y[c]|
+    b.sll(t0, a, 2);
+    b.addu(t0, t0, yb);
+    b.lw(t1, 0, t0);
+    b.sll(t0, c, 2);
+    b.addu(t0, t0, yb);
+    b.lw(t2, 0, t0);
+    b.subu(dy, t1, t2);
+    b.sra(t0, dy, 31);
+    b.xor(dy, dy, t0);
+    b.subu(dy, dy, t0);
+
+    b.addu(t0, dx, dy); // bounding-box half-perimeter
+
+    // Every 8th net: cost = (f32(cost) * 1.5) as i32.
+    b.andi(t1, ni, 7);
+    b.bne(t1, Reg::ZERO, no_fp);
+    b.cvt_s_w(t0, t0);
+    b.mul_s(t0, t0, fs);
+    b.cvt_w_s(t0, t0);
+    {
+        let l = b.named("no_fp");
+        b.bind(l);
+    }
+    b.addu(total, total, t0);
+
+    b.addiu(ni, ni, 1);
+    b.addiu(t0, ni, -(NETS as i16));
+    b.bltz(t0, net);
+
+    b.print_int(total);
+
+    // Perturb: x[iter & (BLOCKS-1)] = (x + 3) & 63.
+    b.andi(t0, iter, (BLOCKS - 1) as u16);
+    b.sll(t0, t0, 2);
+    b.addu(t0, t0, xb);
+    b.lw(t1, 0, t0);
+    b.addiu(t1, t1, 3);
+    b.andi(t1, t1, 63);
+    b.sw(t1, 0, t0);
+
+    b.addiu(iter, iter, -1);
+    b.bne(iter, Reg::ZERO, outer);
+    b.exit();
+    b.finish()
+}
+
+/// The Rust reference model.
+pub fn reference(iters: u32) -> Vec<i32> {
+    let (mut xs, ys, nets) = gen_placement();
+    let mut out = Vec::new();
+    let mut iter_reg = iters;
+    for _ in 0..iters {
+        let mut total = 0i32;
+        for (ni, &nv) in nets.iter().enumerate() {
+            let a = (nv >> 16) as usize;
+            let c = (nv & 0xffff) as usize;
+            let dx = (xs[a] as i32 - xs[c] as i32).abs();
+            let dy = (ys[a] as i32 - ys[c] as i32).abs();
+            let mut cost = dx + dy;
+            if ni % 8 == 0 {
+                cost = (cost as f32 * SCALE) as i32;
+            }
+            total = total.wrapping_add(cost);
+        }
+        out.push(total);
+        let idx = (iter_reg & (BLOCKS - 1)) as usize;
+        xs[idx] = (xs[idx] + 3) & 63;
+        iter_reg -= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_outputs;
+
+    #[test]
+    fn matches_reference() {
+        let p = build(3);
+        assert_eq!(run_outputs(&p, 2_000_000), reference(3));
+    }
+
+    #[test]
+    fn perturbation_changes_cost() {
+        let r = reference(4);
+        assert!(r.windows(2).any(|w| w[0] != w[1]), "{r:?}");
+    }
+}

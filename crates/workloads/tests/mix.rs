@@ -1,0 +1,160 @@
+//! Instruction-mix assertions: each stand-in workload must actually have
+//! the behavioural character DESIGN.md §4 claims for it.
+
+use popk_emu::Machine;
+use popk_isa::{Op, OpClass};
+use popk_workloads::{all, by_name};
+use std::collections::HashMap;
+
+const LIMIT: u64 = 60_000;
+
+fn class_counts(name: &str) -> (HashMap<&'static str, u64>, u64) {
+    let p = by_name(name).unwrap().program();
+    let mut m = Machine::new(&p);
+    let mut counts: HashMap<&'static str, u64> = HashMap::new();
+    let mut total = 0u64;
+    for rec in m.trace(LIMIT) {
+        let rec = rec.unwrap();
+        let key = match rec.insn.op().class() {
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Jump => "jump",
+            OpClass::MulDiv => "muldiv",
+            OpClass::Fp => "fp",
+            OpClass::Shift => "shift",
+            OpClass::Logic => "logic",
+            OpClass::IntAlu => "alu",
+            OpClass::Sys => "sys",
+        };
+        *counts.entry(key).or_default() += 1;
+        total += 1;
+    }
+    (counts, total)
+}
+
+fn frac(counts: &HashMap<&'static str, u64>, total: u64, key: &str) -> f64 {
+    *counts.get(key).unwrap_or(&0) as f64 / total as f64
+}
+
+#[test]
+fn every_workload_is_loopy_and_mixed() {
+    for w in all() {
+        let (counts, total) = class_counts(w.name);
+        assert_eq!(total, LIMIT, "{} exited early", w.name);
+        let branches = frac(&counts, total, "branch");
+        assert!(
+            (0.02..0.45).contains(&branches),
+            "{}: branch fraction {branches}",
+            w.name
+        );
+        let mem = frac(&counts, total, "load") + frac(&counts, total, "store");
+        assert!(mem > 0.05, "{}: memory fraction {mem}", w.name);
+    }
+}
+
+#[test]
+fn mcf_is_load_heavy_and_store_light() {
+    let (c, t) = class_counts("mcf");
+    assert!(frac(&c, t, "load") > 0.20);
+    assert!(frac(&c, t, "store") < 0.05);
+}
+
+#[test]
+fn bzip_and_li_are_store_heavy() {
+    for name in ["bzip", "li"] {
+        let (c, t) = class_counts(name);
+        assert!(frac(&c, t, "store") > 0.05, "{name}");
+    }
+}
+
+#[test]
+fn vortex_dispatches_through_jalr() {
+    let p = by_name("vortex").unwrap().program();
+    let mut m = Machine::new(&p);
+    let mut jalr = 0u64;
+    for rec in m.trace(LIMIT) {
+        if rec.unwrap().insn.op() == Op::Jalr {
+            jalr += 1;
+        }
+    }
+    assert!(jalr > 100, "vortex must dispatch via jalr, saw {jalr}");
+}
+
+#[test]
+fn li_recurses_through_jal_jr() {
+    let p = by_name("li").unwrap().program();
+    let mut m = Machine::new(&p);
+    let (mut jal, mut jr) = (0u64, 0u64);
+    for rec in m.trace(LIMIT) {
+        match rec.unwrap().insn.op() {
+            Op::Jal => jal += 1,
+            Op::Jr => jr += 1,
+            _ => {}
+        }
+    }
+    assert!(jal > 500 && jr > 500, "li recursion: jal {jal}, jr {jr}");
+}
+
+#[test]
+fn vpr_exercises_floating_point() {
+    let (c, t) = class_counts("vpr");
+    assert!(frac(&c, t, "fp") > 0.005, "vpr needs FP in its hot loop");
+}
+
+#[test]
+fn ijpeg_and_twolf_multiply() {
+    for name in ["ijpeg", "twolf"] {
+        let (c, t) = class_counts(name);
+        assert!(frac(&c, t, "muldiv") > 0.01, "{name} should multiply");
+    }
+}
+
+#[test]
+fn li_contains_the_fig5_idiom() {
+    // The mark test must be the literal lbu → andi → bne sequence.
+    let p = by_name("li").unwrap().test_program();
+    let mut found = false;
+    for win in p.text.windows(3) {
+        if win[0].op() == Op::Lbu && win[1].op() == Op::Andi && win[1].imm() == 1
+            && matches!(win[2].op(), Op::Beq | Op::Bne) {
+                found = true;
+                break;
+            }
+    }
+    assert!(found, "li must contain the Fig. 5 lbu/andi/bne idiom");
+}
+
+#[test]
+fn working_set_sizes_differ() {
+    // mcf's data segment must dwarf the L1 (64 KB); parser's must not.
+    let mcf = by_name("mcf").unwrap().test_program();
+    let parser = by_name("parser").unwrap().test_program();
+    assert!(mcf.data.len() > 128 * 1024, "mcf working set: {}", mcf.data.len());
+    assert!(parser.data.len() < 32 * 1024, "parser working set: {}", parser.data.len());
+}
+
+#[test]
+fn branch_type_diversity() {
+    // The suite overall must mix eq/ne with sign-testing branch types
+    // (§5.3's taxonomy needs both populations).
+    let (mut eqne, mut sign) = (0u64, 0u64);
+    for w in all() {
+        let p = w.program();
+        let mut m = Machine::new(&p);
+        for rec in m.trace(20_000) {
+            if let Some(c) = rec.unwrap().insn.op().branch_cond() {
+                if c.early_resolvable() {
+                    eqne += 1;
+                } else {
+                    sign += 1;
+                }
+            }
+        }
+    }
+    let share = eqne as f64 / (eqne + sign) as f64;
+    assert!(
+        (0.45..0.90).contains(&share),
+        "eq/ne share {share} out of the calibrated band (paper: 61%)"
+    );
+}

@@ -1,0 +1,89 @@
+//! Branch lab: watch early branch resolution work on the paper's Fig. 5
+//! idiom.
+//!
+//! Builds three small kernels whose mispredictions differ in how many
+//! low-order bits prove them, and measures the slice-by-4 machine with
+//! and without early branch resolution. The `lbu / andi / bne` kernel is
+//! Fig. 5's li snippet verbatim: every misprediction is provable from
+//! bit 0, so the redirect fires after the first 8-bit slice instead of
+//! the fourth.
+//!
+//! ```text
+//! cargo run --release --example branch_lab
+//! ```
+
+use popk_core::{simulate, MachineConfig, Optimizations};
+use popk_isa::asm;
+
+fn kernel(body: &str) -> popk_isa::Program {
+    // A data buffer of pseudo-random bytes drives the data-dependent
+    // branches; the harness wraps `body` in a byte-scanning loop.
+    let mut data = String::from(".data\nbuf: .byte ");
+    let mut x: u32 = 0x2545_f491;
+    for i in 0..256 {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        data.push_str(&format!("{}{}", x & 0xff, if i == 255 { "\n" } else { ", " }));
+    }
+    let src = format!(
+        r#"
+        {data}
+        .text
+        main:
+            la  r16, buf
+            li  r8, 4000          # total trips
+        loop:
+            andi r9, r8, 255      # cursor in the byte buffer
+            addu r9, r9, r16
+            {body}
+        next:
+            addiu r8, r8, -1
+            bgtz r8, loop
+            li r2, 0
+            syscall
+        "#
+    );
+    asm::assemble(&src).expect("assembly")
+}
+
+fn main() {
+    let cases = [
+        (
+            "Fig. 5 idiom (bit 0 decides)",
+            // lbu/andi/bne on the low bit: mispredicts provable at bit 0.
+            "lbu r10, 0(r9)\n            andi r11, r10, 1\n            bne r11, r0, next",
+        ),
+        (
+            "high-byte test (bit 24+ decides)",
+            // The tested bit lives in the top slice: no early resolution.
+            "lbu r10, 0(r9)\n            sll r11, r10, 24\n            bne r11, r0, next",
+        ),
+        (
+            "sign test (sign bit decides)",
+            // bltz: the §5.3 class that must wait for the full result.
+            "lbu r10, 0(r9)\n            sll r11, r10, 24\n            bltz r11, next",
+        ),
+    ];
+
+    println!(
+        "{:<36} {:>9} {:>9} {:>8} {:>9}",
+        "kernel", "no-early", "early", "gain", "resolves"
+    );
+    for (label, body) in cases {
+        let p = kernel(body);
+        let without = simulate(&p, &MachineConfig::slice4(Optimizations::level(2)), 1_000_000);
+        let with = simulate(&p, &MachineConfig::slice4(Optimizations::level(3)), 1_000_000);
+        println!(
+            "{label:<36} {:>9} {:>9} {:>7.1}% {:>9}",
+            without.cycles,
+            with.cycles,
+            100.0 * (without.cycles as f64 / with.cycles as f64 - 1.0),
+            with.early_branch_resolves,
+        );
+    }
+    println!(
+        "\nOnly equality-class branches whose deciding bit sits in a low slice\n\
+         resolve early; sign-testing branches wait for the top slice (§5.3)."
+    );
+}

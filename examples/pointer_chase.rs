@@ -1,0 +1,60 @@
+//! Memory-technique demo: what early load-store disambiguation and
+//! partial tag matching do for two very different memory behaviours.
+//!
+//! * `bzip` — store-heavy (MTF table updates): loads constantly queue
+//!   behind older stores, so *early disambiguation* is the big win.
+//! * `mcf`  — a >L1 pointer chase with almost no stores: disambiguation
+//!   has nothing to do, and partial tagging mostly turns misses into
+//!   verified way-mispredicts — the paper's mcf gains least, as here.
+//!
+//! ```text
+//! cargo run --release --example pointer_chase [instr_budget]
+//! ```
+
+use popk_core::{simulate, MachineConfig, Optimizations};
+
+fn main() {
+    let limit: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(150_000);
+
+    for name in ["bzip", "mcf"] {
+        let program = popk_workloads::by_name(name).unwrap().program();
+        println!("== {name} ==  (slice-by-2, {limit} instructions)\n");
+        println!(
+            "{:<28} {:>9} {:>7} {:>9} {:>7} {:>7} {:>8}",
+            "configuration", "cycles", "IPC", "early-dis", "fwd", "ptag", "way-miss"
+        );
+
+        let base = Optimizations::level(3); // bypass + ooo + early branch
+        let with_dis = Optimizations { early_disambig: true, ..base };
+        let with_both = Optimizations { partial_tag: true, ..with_dis };
+        let rows: [(&str, MachineConfig); 4] = [
+            ("without memory techniques", MachineConfig::slice2(base)),
+            ("+ early disambiguation", MachineConfig::slice2(with_dis)),
+            ("+ partial tag matching", MachineConfig::slice2(with_both)),
+            ("(ideal machine, for scale)", MachineConfig::ideal()),
+        ];
+        for (label, cfg) in rows {
+            let s = simulate(&program, &cfg, limit);
+            println!(
+                "{label:<28} {:>9} {:>7.3} {:>9} {:>7} {:>7} {:>8}",
+                s.cycles,
+                s.ipc(),
+                s.early_disambig_loads,
+                s.store_forwards,
+                s.partial_tag_accesses,
+                s.way_mispredicts,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Early disambiguation pays where loads sit behind address-unknown\n\
+         stores (bzip's table updates); partial tagging pays where the L1\n\
+         hits and the index can start a slice early. mcf's serial chase\n\
+         through a cache-hostile working set leaves little for either —\n\
+         exactly the per-benchmark split of the paper's Fig. 12."
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: assemble a tiny program, run it functionally, then compare
+//! the ideal, naively-pipelined and bit-sliced machines on it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use popk_core::{simulate, MachineConfig};
+use popk_emu::Machine;
+use popk_isa::asm;
+
+fn main() {
+    // A little kernel: sum an array, with a data-dependent branch.
+    let program = asm::assemble(
+        r#"
+        .data
+        table:  .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+        .text
+        main:
+            la   r16, table
+            li   r17, 0          # sum
+            li   r18, 0          # count of odd entries
+            li   r8, 200         # outer trips (warms caches/predictors)
+        outer:
+            li   r9, 16          # elements
+            la   r16, table
+        loop:
+            lw   r10, 0(r16)
+            addu r17, r17, r10
+            andi r11, r10, 1
+            beq  r11, r0, even
+            addiu r18, r18, 1
+        even:
+            addiu r16, r16, 4
+            addiu r9, r9, -1
+            bgtz r9, loop
+            addiu r8, r8, -1
+            bgtz r8, outer
+            move r4, r17
+            li   r2, 1
+            syscall              # print the sum
+            move r4, r18
+            syscall              # print the odd count
+            li   r2, 0
+            syscall
+        "#,
+    )
+    .expect("assembly");
+
+    // 1. Functional execution.
+    let mut machine = Machine::new(&program);
+    machine.run(10_000_000).expect("clean run");
+    println!(
+        "functional result: sum = {}, odd entries = {}",
+        machine.output_ints()[0],
+        machine.output_ints()[1]
+    );
+
+    // 2. Timing: the three Fig. 10 machines at the same clock.
+    println!("\n{:<28} {:>8} {:>8}", "configuration", "cycles", "IPC");
+    for (label, cfg) in [
+        ("ideal (1-cycle EX)", MachineConfig::ideal()),
+        ("simple 2-deep EX pipeline", MachineConfig::simple2()),
+        ("bit-sliced x2, all techniques", MachineConfig::slice2_full()),
+        ("simple 4-deep EX pipeline", MachineConfig::simple4()),
+        ("bit-sliced x4, all techniques", MachineConfig::slice4_full()),
+    ] {
+        let stats = simulate(&program, &cfg, 1_000_000);
+        println!("{label:<28} {:>8} {:>8.3}", stats.cycles, stats.ipc());
+    }
+    println!(
+        "\nThe bit-sliced machines recover most of the IPC the naive EX\n\
+         pipelines lose — the paper's headline result, on your own program."
+    );
+}

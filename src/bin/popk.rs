@@ -1,0 +1,294 @@
+//! `popk` — command-line front end to the whole stack.
+//!
+//! ```text
+//! popk workloads                         list the built-in Table 1 kernels
+//! popk asm  <prog.s>                     assemble and disassemble a program
+//! popk run  <prog.s|name> [limit]        execute functionally, print output
+//! popk sim  <prog.s|name> [cfg] [limit]  timing statistics on one machine
+//! popk trace <prog.s|name> [cfg] [n]     pipetrace of the first n commits
+//! popk study <prog.s|name> [limit]       the three §5 characterizations
+//! ```
+//!
+//! `cfg` ∈ ideal | simple2 | simple4 | slice2 | slice4 | ext2 | ext4
+//! (extN = all techniques + the §5.1/§6 extensions).
+
+use popk::characterize::{drive, BranchStudy, DisambigStudy, TagMatchStudy, WidthStudy};
+use popk::core::{render_chart, simulate, MachineConfig, Optimizations, Simulator};
+use popk::emu::Machine;
+use popk::isa::{asm, Program};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout closes early (`popk … | head`), matching
+    // conventional CLI behaviour instead of panicking on EPIPE.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{info}");
+        std::process::exit(101);
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    match cmd {
+        "workloads" => workloads(),
+        "asm" => with_program(rest, |p, rest| asm_cmd(&p, rest)),
+        "run" => with_program(rest, run_cmd),
+        "sim" => with_program(rest, sim_cmd),
+        "trace" => with_program(rest, trace_cmd),
+        "study" => with_program(rest, study_cmd),
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "popk — bit-sliced partial-operand-knowledge simulator\n\n\
+         usage:\n\
+         \x20 popk workloads\n\
+         \x20 popk asm   <prog.s> [-o prog.popk]\n\
+         \x20 popk run   <prog.s|workload> [limit]\n\
+         \x20 popk sim   <prog.s|workload> [config] [limit]\n\
+         \x20 popk trace <prog.s|workload> [config] [count]\n\
+         \x20 popk study <prog.s|workload> [limit]\n\n\
+         configs: ideal simple2 simple4 slice2 slice4 ext2 ext4"
+    );
+}
+
+fn workloads() -> ExitCode {
+    println!("{:<8} description", "name");
+    for w in popk::workloads::all() {
+        println!("{:<8} {}", w.name, w.description);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Resolve the first argument as either an assembly file or a workload
+/// name, and hand the program plus remaining args to `f`.
+fn with_program(rest: &[String], f: impl Fn(Program, &[String]) -> ExitCode) -> ExitCode {
+    let Some(target) = rest.first() else {
+        eprintln!("missing program argument");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let program = if let Some(w) = popk::workloads::by_name(target) {
+        w.program()
+    } else {
+        let bytes = match std::fs::read(target) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read `{target}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if popk::isa::obj::is_object(&bytes) {
+            match popk::isa::obj::read_object(&bytes) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{target}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            let src = match String::from_utf8(bytes) {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("{target}: neither a POPK object nor UTF-8 assembly");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match asm::assemble(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{target}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    f(program, &rest[1..])
+}
+
+fn parse_config(s: Option<&String>) -> Option<MachineConfig> {
+    Some(match s.map(String::as_str).unwrap_or("slice2") {
+        "ideal" => MachineConfig::ideal(),
+        "simple2" => MachineConfig::simple2(),
+        "simple4" => MachineConfig::simple4(),
+        "slice2" => MachineConfig::slice2_full(),
+        "slice4" => MachineConfig::slice4_full(),
+        "ext2" => MachineConfig::slice2(Optimizations::extended()),
+        "ext4" => MachineConfig::slice4(Optimizations::extended()),
+        other => {
+            eprintln!("unknown config `{other}`");
+            return None;
+        }
+    })
+}
+
+fn parse_limit(s: Option<&String>, default: u64) -> u64 {
+    s.and_then(|v| v.replace('_', "").parse().ok()).unwrap_or(default)
+}
+
+fn asm_cmd(p: &Program, rest: &[String]) -> ExitCode {
+    // `popk asm prog.s -o prog.popk` writes the binary object instead of
+    // printing the listing.
+    if let Some(pos) = rest.iter().position(|a| a == "-o") {
+        let Some(out) = rest.get(pos + 1) else {
+            eprintln!("-o requires an output path");
+            return ExitCode::FAILURE;
+        };
+        let bytes = popk::isa::obj::write_object(p);
+        if let Err(e) = std::fs::write(out, &bytes) {
+            eprintln!("cannot write `{out}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {out}: {} instructions, {} data bytes, {} symbols",
+            p.text.len(),
+            p.data.len(),
+            p.symbols.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "; {} instructions, {} data bytes, entry {:#010x}",
+        p.text.len(),
+        p.data.len(),
+        p.entry
+    );
+    print!("{}", p.disassemble());
+    ExitCode::SUCCESS
+}
+
+fn run_cmd(p: Program, rest: &[String]) -> ExitCode {
+    let limit = parse_limit(rest.first(), 50_000_000);
+    let mut m = Machine::new(&p);
+    match m.run(limit) {
+        Ok(Some(code)) => {
+            for v in m.output_ints() {
+                println!("{v}");
+            }
+            if !m.output_bytes().is_empty() {
+                println!("{}", String::from_utf8_lossy(m.output_bytes()));
+            }
+            eprintln!(
+                "exit {code} after {} instructions ({} loads, {} stores, {} branches)",
+                m.icount(),
+                m.stats().loads,
+                m.stats().stores,
+                m.stats().cond_branches
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            eprintln!("did not exit within {limit} instructions");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("emulation error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn sim_cmd(p: Program, rest: &[String]) -> ExitCode {
+    let Some(cfg) = parse_config(rest.first()) else {
+        return ExitCode::FAILURE;
+    };
+    let limit = parse_limit(rest.get(1), 200_000);
+    let s = simulate(&p, &cfg, limit);
+    println!("config            {}", cfg.label());
+    println!("instructions      {}", s.committed);
+    println!("cycles            {}", s.cycles);
+    println!("IPC               {:.4}", s.ipc());
+    println!("branch accuracy   {:.2}%", 100.0 * s.branch_accuracy());
+    println!("L1D hit rate      {:.2}%", 100.0 * s.l1d_hit_rate());
+    println!("store forwards    {}", s.store_forwards);
+    println!("early disambig    {}", s.early_disambig_loads);
+    println!("early br resolve  {}", s.early_branch_resolves);
+    println!("partial-tag acc.  {}", s.partial_tag_accesses);
+    println!("way mispredicts   {}", s.way_mispredicts);
+    if s.spec_forwards + s.narrow_wakeups > 0 {
+        println!("spec forwards     {} ({} wrong)", s.spec_forwards, s.spec_forward_wrong);
+        println!("narrow publishes  {}", s.narrow_wakeups);
+    }
+    ExitCode::SUCCESS
+}
+
+fn trace_cmd(p: Program, rest: &[String]) -> ExitCode {
+    let Some(cfg) = parse_config(rest.first()) else {
+        return ExitCode::FAILURE;
+    };
+    let count = parse_limit(rest.get(1), 32) as usize;
+    let mut sim = Simulator::new(&cfg);
+    let (stats, timings) = sim.run_timeline(&p, (count as u64) * 40 + 2_000, count);
+    println!("{} — IPC {:.3}\n", cfg.label(), stats.ipc());
+    print!("{}", render_chart(&timings, 110));
+    println!(
+        "\nF fetch, D dispatch, 0-3 slice issue, o slice result, m/M memory\n\
+         start/data, ! branch resolution, C commit."
+    );
+    ExitCode::SUCCESS
+}
+
+fn study_cmd(p: Program, rest: &[String]) -> ExitCode {
+    let limit = parse_limit(rest.first(), 200_000);
+    let mut disambig = DisambigStudy::new(32);
+    let mut tags = TagMatchStudy::new(popk_cache::CacheConfig::l1d_table2());
+    let mut branches = BranchStudy::table2();
+    let mut widths = WidthStudy::new();
+    let n = match drive(
+        &p,
+        limit,
+        &mut [&mut disambig, &mut tags, &mut branches, &mut widths],
+    ) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("emulation error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let d = disambig.report();
+    let t = tags.report();
+    let b = branches.report();
+    println!("instructions        {n}");
+    println!("loads               {}", d.loads);
+    println!("resolved ≤9 bits    {:.1}%", d.resolved_after_bits(9));
+    println!("L1D accesses        {}", t.accesses);
+    println!(
+        "hit rate            {:.1}%",
+        100.0 * t.hits as f64 / t.accesses.max(1) as f64
+    );
+    println!(
+        "2-bit spec accuracy {:.1}%",
+        100.0 * t.speculation_accuracy(2.min(t.config.tag_bits()))
+    );
+    println!("branches            {}", b.branches);
+    println!("accuracy            {:.1}%", 100.0 * b.accuracy());
+    println!("mispredicts         {}", b.mispredicts);
+    if b.mispredicts > 0 {
+        println!("detect ≤1 bit       {:.1}%", b.percent_detected_within(1));
+        println!("detect ≤8 bits      {:.1}%", b.percent_detected_within(8));
+    }
+    let wd = widths.report();
+    println!("results observed    {}", wd.results);
+    println!("narrow ≤8 bits      {:.1}%", 100.0 * wd.fraction_within(8));
+    println!("narrow ≤16 bits     {:.1}%", 100.0 * wd.fraction_within(16));
+    println!("mean result width   {:.1} bits", wd.mean_width());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,31 @@
+//! # popk — Exploiting Partial Operand Knowledge
+//!
+//! A from-scratch Rust reproduction of Mestan & Lipasti's ICPP 2003 paper
+//! *"Exploiting Partial Operand Knowledge"*: a bit-sliced out-of-order
+//! microarchitecture in which register operands are decomposed into 16- or
+//! 8-bit slices, dependent instructions wake up on partial results, loads
+//! disambiguate and probe the cache with partial addresses, and `beq`/`bne`
+//! mispredictions resolve from low-order bits.
+//!
+//! This facade crate re-exports the workspace's subsystems:
+//!
+//! * [`isa`] — the PISA-like instruction set, assembler and builder.
+//! * [`emu`] — functional emulator and dynamic traces.
+//! * [`workloads`] — eleven SPECint stand-in kernels (Table 1).
+//! * [`bpred`] — gshare/bimodal predictors, BTB, RAS.
+//! * [`cache`] — set-associative caches with partial tag matching.
+//! * [`slice`](mod@slice) — bit-slice arithmetic primitives (Fig. 8 algebra).
+//! * [`characterize`] — trace-driven studies behind Figs. 2, 4 and 6.
+//! * [`core`] — the bit-sliced out-of-order timing model (Figs. 7–12).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the experiment
+//! index.
+
+pub use popk_bpred as bpred;
+pub use popk_cache as cache;
+pub use popk_characterize as characterize;
+pub use popk_core as core;
+pub use popk_emu as emu;
+pub use popk_isa as isa;
+pub use popk_slice as slice;
+pub use popk_workloads as workloads;

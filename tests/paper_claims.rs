@@ -1,0 +1,190 @@
+//! The paper's quantitative claims, asserted as tests at reduced budget.
+//!
+//! Absolute numbers differ from the paper (different workload stand-ins,
+//! 200 K-instruction budgets instead of 500 M) but each *shape* claim is
+//! enforced: who wins, in which direction, and by roughly what kind of
+//! factor. EXPERIMENTS.md records the measured values next to the paper's.
+
+use popk::characterize::{drive, BranchStudy, DisambigStudy, TagMatchStudy};
+use popk::core::{simulate, MachineConfig, Optimizations};
+use popk_cache::CacheConfig;
+
+const LIMIT: u64 = 40_000;
+
+fn geomean(vals: &[f64]) -> f64 {
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// §7.1 / Fig. 11: slice-by-2 with all techniques lands near the ideal
+/// machine (paper: within ~1%; we allow a 10% band at this budget), and
+/// far above simple pipelining.
+#[test]
+fn claim_slice2_approaches_ideal() {
+    let mut ratios = Vec::new();
+    let mut speedups = Vec::new();
+    for w in popk::workloads::all() {
+        let p = w.program();
+        let ideal = simulate(&p, &MachineConfig::ideal(), LIMIT).ipc();
+        let full = simulate(&p, &MachineConfig::slice2_full(), LIMIT).ipc();
+        let simple = simulate(&p, &MachineConfig::simple2(), LIMIT).ipc();
+        ratios.push(full / ideal);
+        speedups.push(full / simple);
+    }
+    let ratio = geomean(&ratios);
+    let speedup = geomean(&speedups);
+    assert!(
+        ratio > 0.90 && ratio < 1.10,
+        "slice-2 full should be near ideal, got {ratio}"
+    );
+    assert!(
+        speedup > 1.10,
+        "paper: ~16% speedup over simple pipelining, got {speedup}"
+    );
+}
+
+/// Fig. 11 (slice-by-4): deeper slicing loses more of the ideal IPC but
+/// gains more over naive pipelining (paper: 18% below ideal, +44%).
+#[test]
+fn claim_slice4_tradeoff() {
+    let mut ratios = Vec::new();
+    let mut speedups = Vec::new();
+    for w in popk::workloads::all() {
+        let p = w.program();
+        let ideal = simulate(&p, &MachineConfig::ideal(), LIMIT).ipc();
+        let full = simulate(&p, &MachineConfig::slice4_full(), LIMIT).ipc();
+        let simple = simulate(&p, &MachineConfig::simple4(), LIMIT).ipc();
+        ratios.push(full / ideal);
+        speedups.push(full / simple);
+    }
+    let ratio = geomean(&ratios);
+    let speedup = geomean(&speedups);
+    assert!(
+        ratio > 0.60 && ratio < 0.95,
+        "slice-4 full should sit clearly below ideal, got {ratio}"
+    );
+    assert!(
+        speedup > 1.30,
+        "paper: ~44% speedup over simple pipelining, got {speedup}"
+    );
+}
+
+/// Fig. 12: partial operand bypassing provides roughly half of the total
+/// benefit; the new techniques provide the rest.
+#[test]
+fn claim_bypassing_is_roughly_half() {
+    let mut bypass_fraction = Vec::new();
+    for name in ["gcc", "gzip", "twolf", "vortex", "bzip"] {
+        let p = popk::workloads::by_name(name).unwrap().program();
+        let simple = simulate(&p, &MachineConfig::slice2(Optimizations::level(0)), LIMIT).ipc();
+        let bypass = simulate(&p, &MachineConfig::slice2(Optimizations::level(1)), LIMIT).ipc();
+        let full = simulate(&p, &MachineConfig::slice2(Optimizations::level(5)), LIMIT).ipc();
+        let total = full - simple;
+        if total > 1e-6 {
+            bypass_fraction.push((bypass - simple) / total);
+        }
+    }
+    let avg = bypass_fraction.iter().sum::<f64>() / bypass_fraction.len() as f64;
+    assert!(
+        avg > 0.3 && avg < 0.85,
+        "bypassing should be roughly half the benefit, got {avg}"
+    );
+}
+
+/// §5.1 / Fig. 2: after 9 compared bits, essentially every load has
+/// either ruled out all stores or found a unique (correct) match.
+#[test]
+fn claim_nine_bits_disambiguate() {
+    for name in ["bzip", "gcc"] {
+        let p = popk::workloads::by_name(name).unwrap().program();
+        let mut study = DisambigStudy::new(32);
+        drive(&p, LIMIT, &mut [&mut study]).unwrap();
+        let r = study.report();
+        let resolved = r.resolved_after_bits(9);
+        assert!(
+            resolved > 90.0,
+            "{name}: after 9 bits only {resolved}% of loads resolved"
+        );
+        assert!((r.resolved_after_bits(30) - 100.0).abs() < 1e-9);
+    }
+}
+
+/// §5.2 / Fig. 4 & §7.1: speculating with two partial tag bits on the
+/// Table 2 L1D is highly accurate (the paper measures a ~2% way-miss
+/// rate in the slice-by-2 machine).
+#[test]
+fn claim_partial_tag_speculation_is_accurate() {
+    let mut rates = Vec::new();
+    for w in popk::workloads::all() {
+        let p = w.program();
+        let s = simulate(&p, &MachineConfig::slice2_full(), LIMIT);
+        if s.partial_tag_accesses > 100 {
+            rates.push(s.way_mispredict_rate());
+        }
+    }
+    assert!(!rates.is_empty());
+    let avg = rates.iter().sum::<f64>() / rates.len() as f64;
+    assert!(avg < 0.10, "average way-miss rate too high: {avg}");
+}
+
+/// Fig. 4 convergence: with the full tag, partial classification equals
+/// conventional hit/miss on every geometry the paper plots.
+#[test]
+fn claim_fig4_converges_to_hit_rate() {
+    for (big, ways) in [(true, 2u32), (true, 4), (false, 4), (false, 8)] {
+        let cfg = if big {
+            CacheConfig::new(64 * 1024, 64, ways)
+        } else {
+            CacheConfig::small_8k(ways)
+        };
+        let p = popk::workloads::by_name("twolf").unwrap().program();
+        let mut study = TagMatchStudy::new(cfg);
+        drive(&p, LIMIT, &mut [&mut study]).unwrap();
+        let r = study.report();
+        let full = &r.counts[cfg.tag_bits() as usize];
+        assert_eq!(full[0], r.hits);
+        assert_eq!(full[3], 0, "no ambiguity at full width");
+    }
+}
+
+/// §5.3 / Fig. 6: only beq/bne resolve early; a substantial fraction of
+/// mispredictions is provable from the low byte; everything is provable
+/// at full width.
+#[test]
+fn claim_early_branch_detection() {
+    let mut total_mis = 0u64;
+    let mut within_8 = 0.0f64;
+    let mut n = 0;
+    for w in popk::workloads::all() {
+        let p = w.program();
+        let mut study = BranchStudy::table2();
+        drive(&p, LIMIT, &mut [&mut study]).unwrap();
+        let r = study.report();
+        if r.mispredicts > 20 {
+            within_8 += r.percent_detected_within(8);
+            n += 1;
+        }
+        total_mis += r.mispredicts;
+        assert!((r.percent_detected_within(32) - 100.0).abs() < 1e-9, "{}", w.name);
+        // beq/bne must dominate the early-detectable set: detection below
+        // 32 bits is impossible for sign branches by construction
+        // (popk-slice property tests cover the bit-level invariant).
+    }
+    assert!(total_mis > 500);
+    let avg = within_8 / n as f64;
+    assert!(
+        avg > 20.0,
+        "a substantial share of mispredicts should be provable in 8 bits, got {avg}%"
+    );
+}
+
+/// §6: the bit-sliced machine with *no* techniques behaves exactly like
+/// naive EX pipelining — the level-0 stack bar is the simple-pipeline bar.
+#[test]
+fn claim_level0_equals_simple_pipelining() {
+    for name in ["li", "go"] {
+        let p = popk::workloads::by_name(name).unwrap().program();
+        let a = simulate(&p, &MachineConfig::slice2(Optimizations::level(0)), LIMIT);
+        let b = simulate(&p, &MachineConfig::simple2(), LIMIT);
+        assert_eq!(a.cycles, b.cycles, "{name}");
+    }
+}

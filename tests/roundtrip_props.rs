@@ -1,0 +1,182 @@
+//! Property tests spanning the ISA crate's encode/decode/print/parse
+//! surfaces and the emulator's determinism guarantees.
+
+use popk::emu::Machine;
+use popk::isa::{asm, decode, encode, Insn, Op, Reg};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary well-formed instruction.
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let reg = (0u8..32).prop_map(Reg::gpr);
+    let r3_ops = prop::sample::select(vec![
+        Op::Add,
+        Op::Addu,
+        Op::Sub,
+        Op::Subu,
+        Op::Slt,
+        Op::Sltu,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Nor,
+        Op::Sllv,
+        Op::Srlv,
+        Op::Srav,
+        Op::AddS,
+        Op::SubS,
+        Op::MulS,
+        Op::DivS,
+    ]);
+    let imm_ops = prop::sample::select(vec![Op::Addi, Op::Addiu, Op::Slti]);
+    let logic_imm_ops = prop::sample::select(vec![Op::Andi, Op::Ori, Op::Xori]);
+    let load_ops = prop::sample::select(vec![Op::Lb, Op::Lbu, Op::Lh, Op::Lhu, Op::Lw]);
+    let store_ops = prop::sample::select(vec![Op::Sb, Op::Sh, Op::Sw]);
+    let shift_ops = prop::sample::select(vec![Op::Sll, Op::Srl, Op::Sra]);
+    let br2_ops = prop::sample::select(vec![Op::Beq, Op::Bne]);
+    let br1_ops = prop::sample::select(vec![Op::Blez, Op::Bgtz, Op::Bltz, Op::Bgez]);
+
+    prop_oneof![
+        (r3_ops, reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(op, a, b, c)| Insn::r3(op, a, b, c)),
+        (imm_ops, reg.clone(), reg.clone(), any::<i16>())
+            .prop_map(|(op, a, b, i)| Insn::imm_op(op, a, b, i as i32)),
+        (logic_imm_ops, reg.clone(), reg.clone(), any::<u16>())
+            .prop_map(|(op, a, b, i)| Insn::imm_op(op, a, b, i as i32)),
+        (reg.clone(), any::<u16>()).prop_map(|(a, i)| Insn::lui(a, i)),
+        (load_ops, reg.clone(), any::<i16>(), reg.clone())
+            .prop_map(|(op, a, off, b)| Insn::load(op, a, off, b)),
+        (store_ops, reg.clone(), any::<i16>(), reg.clone())
+            .prop_map(|(op, a, off, b)| Insn::store(op, a, off, b)),
+        (shift_ops, reg.clone(), reg.clone(), 0u8..32)
+            .prop_map(|(op, a, b, s)| Insn::shift_imm(op, a, b, s)),
+        (br2_ops, reg.clone(), reg.clone(), -32768i32..32768)
+            .prop_map(|(op, a, b, d)| Insn::branch(op, a, b, d)),
+        (br1_ops, reg.clone(), -32768i32..32768)
+            .prop_map(|(op, a, d)| Insn::branch(op, a, Reg::ZERO, d)),
+        (0u32..(1 << 26)).prop_map(|t| Insn::jump(Op::J, t)),
+        (0u32..(1 << 26)).prop_map(|t| Insn::jump(Op::Jal, t)),
+        reg.clone().prop_map(|a| Insn::jump_reg(Op::Jr, Reg::ZERO, a)),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Insn::jump_reg(Op::Jalr, a, b)),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Insn::muldiv(Op::Mult, a, b)),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Insn::muldiv(Op::Divu, a, b)),
+        reg.clone().prop_map(|a| Insn::mfhilo(Op::Mfhi, a)),
+        reg.prop_map(|a| Insn::mfhilo(Op::Mflo, a)),
+        Just(Insn::sys(Op::Syscall)),
+        Just(Insn::nop()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode ∘ decode is the identity on well-formed instructions.
+    #[test]
+    fn encode_decode_roundtrip(insn in arb_insn()) {
+        let word = encode(&insn);
+        let back = decode(word).expect("well-formed instructions decode");
+        prop_assert_eq!(back, insn);
+    }
+
+    /// Encoding is injective: distinct instructions get distinct words.
+    #[test]
+    fn encoding_is_injective(a in arb_insn(), b in arb_insn()) {
+        if a != b {
+            prop_assert_ne!(encode(&a), encode(&b));
+        }
+    }
+
+    /// defs/uses never include more than two registers, never duplicate,
+    /// and never list r0 as a def.
+    #[test]
+    fn def_use_wellformed(insn in arb_insn()) {
+        let defs: Vec<_> = insn.defs().iter().collect();
+        let uses: Vec<_> = insn.uses().iter().collect();
+        prop_assert!(defs.len() <= 2);
+        prop_assert!(uses.len() <= 2);
+        prop_assert!(!defs.contains(&Reg::ZERO));
+        let mut d = defs.clone();
+        d.dedup();
+        prop_assert_eq!(d.len(), defs.len());
+    }
+}
+
+#[test]
+fn workload_disassembly_reassembles() {
+    // Program::disassemble output round-trips through the text assembler
+    // for branchless-display forms is not guaranteed (labels become
+    // relative displacements), but every emitted instruction must at
+    // least re-encode identically through binary encode/decode.
+    for w in popk::workloads::all() {
+        let p = w.test_program();
+        for insn in &p.text {
+            let back = decode(encode(insn)).unwrap();
+            assert_eq!(&back, insn, "{}: {insn}", w.name);
+        }
+    }
+}
+
+#[test]
+fn workload_programs_roundtrip_through_object_format() {
+    use popk::isa::obj::{read_object, write_object};
+    for w in popk::workloads::all() {
+        let p = w.test_program();
+        let q = read_object(&write_object(&p)).unwrap();
+        assert_eq!(q.text, p.text, "{}", w.name);
+        assert_eq!(q.data, p.data, "{}", w.name);
+        assert_eq!(q.entry, p.entry, "{}", w.name);
+        assert_eq!(q.symbols, p.symbols, "{}", w.name);
+    }
+}
+
+#[test]
+fn emulation_is_deterministic() {
+    let w = popk::workloads::by_name("twolf").unwrap();
+    let p = w.test_program();
+    let run = |p: &popk::isa::Program| {
+        let mut m = Machine::new(p);
+        m.run(1_000_000).unwrap();
+        (m.icount(), m.output_ints().to_vec())
+    };
+    assert_eq!(run(&p), run(&p));
+}
+
+#[test]
+fn assembler_accepts_its_own_documented_syntax() {
+    // The full syntax surface in one program.
+    let p = asm::assemble(
+        r#"
+        .data
+        w:  .word 1, -2, 0x33
+        h:  .half 7, 8
+        by: .byte 'a', 255
+        s:  .asciiz "ok\n"
+            .align 8
+        sp8: .space 8
+        .text
+        main:
+            lui  r8, 0x1000
+            ori  r8, r8, 0
+            lw   r9, 0(r8)
+            lh   r10, 4(r8)
+            lbu  r11, 8(r8)
+            move r12, r9
+            li   r13, -70000
+            la   r14, sp8
+            sllv r15, r9, r10
+            mult r9, r10
+            mflo r16
+            mthi r16
+            jal  f
+            b    end
+        f:
+            jalr r25
+            jr   ra
+        end:
+            nop
+            break
+        "#,
+    );
+    let p = p.unwrap();
+    assert!(p.symbol("sp8").is_some());
+    assert!(p.text.len() > 15);
+}

@@ -1,0 +1,231 @@
+//! Fuzz-style property tests of the timing model: random (but
+//! terminating) programs must run to completion on every pipeline
+//! configuration, commit exactly the dynamic instruction count the
+//! emulator retires, and do so deterministically. This is the test that
+//! catches scheduler deadlocks and slice-wakeup regressions.
+
+use popk::core::{simulate, MachineConfig, Optimizations, Simulator};
+use popk::emu::Machine;
+use popk::isa::{Insn, Op, Program, Reg, DATA_BASE, TEXT_BASE};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Gen {
+    Alu(Op, u8, u8, u8),
+    Imm(Op, u8, u8, i16),
+    Shift(Op, u8, u8, u8),
+    Load(Op, u8, u16),
+    Store(Op, u8, u16),
+    MulDiv(Op, u8, u8),
+    MoveFrom(Op, u8),
+    Fp(Op, u8, u8, u8),
+    // Forward conditional branch skipping `skip` upcoming instructions.
+    Branch(Op, u8, u8, u8),
+}
+
+fn arb_step() -> impl Strategy<Value = Gen> {
+    let r = 8u8..24; // stay clear of ABI registers
+    prop_oneof![
+        (
+            prop::sample::select(vec![
+                Op::Addu,
+                Op::Subu,
+                Op::And,
+                Op::Or,
+                Op::Xor,
+                Op::Nor,
+                Op::Slt,
+                Op::Sltu
+            ]),
+            r.clone(),
+            r.clone(),
+            r.clone()
+        )
+            .prop_map(|(op, a, b, c)| Gen::Alu(op, a, b, c)),
+        (
+            prop::sample::select(vec![Op::Addiu, Op::Slti, Op::Andi, Op::Ori, Op::Xori]),
+            r.clone(),
+            r.clone(),
+            any::<i16>()
+        )
+            .prop_map(|(op, a, b, i)| Gen::Imm(op, a, b, i)),
+        (
+            prop::sample::select(vec![Op::Sll, Op::Srl, Op::Sra]),
+            r.clone(),
+            r.clone(),
+            0u8..32
+        )
+            .prop_map(|(op, a, b, s)| Gen::Shift(op, a, b, s)),
+        (
+            prop::sample::select(vec![Op::Lw, Op::Lh, Op::Lhu, Op::Lb, Op::Lbu]),
+            r.clone(),
+            0u16..256
+        )
+            .prop_map(|(op, a, o)| Gen::Load(op, a, o)),
+        (
+            prop::sample::select(vec![Op::Sw, Op::Sh, Op::Sb]),
+            r.clone(),
+            0u16..256
+        )
+            .prop_map(|(op, a, o)| Gen::Store(op, a, o)),
+        (
+            prop::sample::select(vec![Op::Mult, Op::Multu, Op::Div, Op::Divu]),
+            r.clone(),
+            r.clone()
+        )
+            .prop_map(|(op, a, b)| Gen::MulDiv(op, a, b)),
+        (prop::sample::select(vec![Op::Mfhi, Op::Mflo]), r.clone())
+            .prop_map(|(op, a)| Gen::MoveFrom(op, a)),
+        (
+            prop::sample::select(vec![Op::AddS, Op::SubS, Op::MulS]),
+            r.clone(),
+            r.clone(),
+            r.clone()
+        )
+            .prop_map(|(op, a, b, c)| Gen::Fp(op, a, b, c)),
+        (
+            prop::sample::select(vec![Op::Beq, Op::Bne, Op::Blez, Op::Bgtz]),
+            r.clone(),
+            r,
+            1u8..6
+        )
+            .prop_map(|(op, a, b, skip)| Gen::Branch(op, a, b, skip)),
+    ]
+}
+
+/// Materialize the generated steps into a well-formed, terminating
+/// program: a small data window, aligned memory accesses, and only
+/// forward branches.
+fn build(steps: &[Gen]) -> Program {
+    let base = Reg::gpr(24); // data window base, set once
+    let mut text = vec![
+        Insn::lui(base, (DATA_BASE >> 16) as u16),
+        // Seed a few registers so early consumers have varied values.
+        Insn::imm_op(Op::Addiu, Reg::gpr(8), Reg::ZERO, 13),
+        Insn::imm_op(Op::Addiu, Reg::gpr(9), Reg::ZERO, -7),
+        Insn::imm_op(Op::Ori, Reg::gpr(10), Reg::ZERO, 0x5a5a_i32 & 0xffff),
+    ];
+    for s in steps {
+        let insn = match *s {
+            Gen::Alu(op, a, b, c) => Insn::r3(op, Reg::gpr(a), Reg::gpr(b), Reg::gpr(c)),
+            Gen::Imm(op, a, b, i) => {
+                let imm = if matches!(op, Op::Andi | Op::Ori | Op::Xori) {
+                    (i as u16) as i32
+                } else {
+                    i as i32
+                };
+                Insn::imm_op(op, Reg::gpr(a), Reg::gpr(b), imm)
+            }
+            Gen::Shift(op, a, b, sh) => Insn::shift_imm(op, Reg::gpr(a), Reg::gpr(b), sh),
+            Gen::Load(op, a, off) => {
+                let align = op.mem_width().unwrap().bytes() as u16;
+                Insn::load(op, Reg::gpr(a), (off / align * align) as i16, base)
+            }
+            Gen::Store(op, a, off) => {
+                let align = op.mem_width().unwrap().bytes() as u16;
+                Insn::store(op, Reg::gpr(a), (off / align * align) as i16, base)
+            }
+            Gen::MulDiv(op, a, b) => Insn::muldiv(op, Reg::gpr(a), Reg::gpr(b)),
+            Gen::MoveFrom(op, a) => Insn::mfhilo(op, Reg::gpr(a)),
+            Gen::Fp(op, a, b, c) => Insn::r3(op, Reg::gpr(a), Reg::gpr(b), Reg::gpr(c)),
+            Gen::Branch(op, a, b, skip) => {
+                let rt = if matches!(op, Op::Beq | Op::Bne) { Reg::gpr(b) } else { Reg::ZERO };
+                Insn::branch(op, Reg::gpr(a), rt, skip as i32)
+            }
+        };
+        text.push(insn);
+    }
+    // Padding so every branch target exists, then exit.
+    for _ in 0..8 {
+        text.push(Insn::nop());
+    }
+    text.push(Insn::imm_op(Op::Addiu, Reg::V0, Reg::ZERO, 0));
+    text.push(Insn::sys(Op::Syscall));
+    Program { text, data: vec![0; 512], entry: TEXT_BASE, symbols: Default::default() }
+}
+
+fn configs() -> Vec<MachineConfig> {
+    let mut wrong_path = MachineConfig::slice2_full();
+    wrong_path.model_wrong_path = true;
+    let mut everything = MachineConfig::slice4(Optimizations::extended());
+    everything.opts.mem_dep_predict = true;
+    vec![
+        MachineConfig::ideal(),
+        MachineConfig::simple2(),
+        MachineConfig::simple4(),
+        MachineConfig::slice2_full(),
+        MachineConfig::slice4_full(),
+        MachineConfig::slice2(Optimizations::level(2)),
+        wrong_path,
+        everything,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_complete_on_every_machine(
+        steps in prop::collection::vec(arb_step(), 5..120),
+    ) {
+        let program = build(&steps);
+
+        // Ground truth from the emulator.
+        let mut m = Machine::new(&program);
+        let code = m.run(100_000).expect("functional execution");
+        prop_assert_eq!(code, Some(0), "program must exit");
+        let retired = m.icount();
+
+        for cfg in configs() {
+            let stats = simulate(&program, &cfg, 100_000);
+            prop_assert_eq!(
+                stats.committed, retired,
+                "{} must commit the whole trace", cfg.label()
+            );
+            prop_assert!(stats.cycles > 0);
+            prop_assert!(
+                stats.cycles < 500 * retired + 10_000,
+                "{}: implausible cycle count {}",
+                cfg.label(),
+                stats.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn timelines_are_well_formed(
+        steps in prop::collection::vec(arb_step(), 5..80),
+    ) {
+        let program = build(&steps);
+        for cfg in [MachineConfig::slice2_full(), MachineConfig::slice4_full()] {
+            let mut sim = Simulator::new(&cfg);
+            let (stats, timings) = sim.run_timeline(&program, 50_000, 200);
+            prop_assert!(stats.committed > 0);
+            let mut prev_commit = 0u64;
+            let mut prev_seq = 0u64;
+            for (i, t) in timings.iter().enumerate() {
+                prop_assert!(t.is_consistent(), "{}: {:?}", cfg.label(), t);
+                if i > 0 {
+                    prop_assert!(t.seq > prev_seq, "commit order by seq");
+                    prop_assert!(t.committed >= prev_commit, "commit cycles monotone");
+                }
+                prev_seq = t.seq;
+                prev_commit = t.committed;
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        steps in prop::collection::vec(arb_step(), 5..60),
+    ) {
+        let program = build(&steps);
+        let cfg = MachineConfig::slice4_full();
+        let a = simulate(&program, &cfg, 50_000);
+        let b = simulate(&program, &cfg, 50_000);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.committed, b.committed);
+        prop_assert_eq!(a.branch_mispredicts, b.branch_mispredicts);
+        prop_assert_eq!(a.l1d_accesses, b.l1d_accesses);
+    }
+}
