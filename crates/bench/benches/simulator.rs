@@ -1,21 +1,20 @@
-//! Criterion benchmarks of the timing simulator itself: cycles-per-second
+//! Benchmarks of the timing simulator itself: cycles-per-second
 //! throughput for each pipeline configuration, and the relative cost of
 //! the characterization passes. These guard the harness against
 //! performance regressions (a full Fig. 11 regeneration is 132
 //! simulations).
+//!
+//! Run with `cargo bench -p popk-bench --bench simulator`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popk_bench::timing::bench;
 use popk_characterize::{drive, BranchStudy, DisambigStudy, TagMatchStudy};
 use popk_core::{simulate, MachineConfig};
 use popk_workloads::by_name;
-use std::hint::black_box;
 
 const LIMIT: u64 = 20_000;
 
-fn bench_configs(c: &mut Criterion) {
+fn bench_configs() {
     let program = by_name("gcc").unwrap().program();
-    let mut group = c.benchmark_group("simulate_gcc_20k");
-    group.sample_size(10);
     for (label, cfg) in [
         ("ideal", MachineConfig::ideal()),
         ("simple2", MachineConfig::simple2()),
@@ -23,57 +22,42 @@ fn bench_configs(c: &mut Criterion) {
         ("simple4", MachineConfig::simple4()),
         ("slice4_full", MachineConfig::slice4_full()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
-            b.iter(|| black_box(simulate(&program, cfg, LIMIT)))
+        bench(&format!("simulate_gcc_20k/{label}"), 10, || {
+            simulate(&program, &cfg, LIMIT)
         });
     }
-    group.finish();
 }
 
-fn bench_workload_diversity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_slice2_full_20k");
-    group.sample_size(10);
+fn bench_workload_diversity() {
     for name in ["mcf", "li", "ijpeg"] {
         let program = by_name(name).unwrap().program();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
-            b.iter(|| black_box(simulate(p, &MachineConfig::slice2_full(), LIMIT)))
+        bench(&format!("simulate_slice2_full_20k/{name}"), 10, || {
+            simulate(&program, &MachineConfig::slice2_full(), LIMIT)
         });
     }
-    group.finish();
 }
 
-fn bench_characterization(c: &mut Criterion) {
+fn bench_characterization() {
     let program = by_name("twolf").unwrap().program();
-    let mut group = c.benchmark_group("characterize_twolf_20k");
-    group.sample_size(10);
-    group.bench_function("disambig", |b| {
-        b.iter(|| {
-            let mut s = DisambigStudy::new(32);
-            drive(&program, LIMIT, &mut [&mut s]).unwrap();
-            black_box(s.report().loads)
-        })
+    bench("characterize_twolf_20k/disambig", 10, || {
+        let mut s = DisambigStudy::new(32);
+        drive(&program, LIMIT, &mut [&mut s]).unwrap();
+        s.report().loads
     });
-    group.bench_function("tagmatch", |b| {
-        b.iter(|| {
-            let mut s = TagMatchStudy::new(popk_cache::CacheConfig::l1d_table2());
-            drive(&program, LIMIT, &mut [&mut s]).unwrap();
-            black_box(s.report().accesses)
-        })
+    bench("characterize_twolf_20k/tagmatch", 10, || {
+        let mut s = TagMatchStudy::new(popk_cache::CacheConfig::l1d_table2());
+        drive(&program, LIMIT, &mut [&mut s]).unwrap();
+        s.report().accesses
     });
-    group.bench_function("branch", |b| {
-        b.iter(|| {
-            let mut s = BranchStudy::table2();
-            drive(&program, LIMIT, &mut [&mut s]).unwrap();
-            black_box(s.report().branches)
-        })
+    bench("characterize_twolf_20k/branch", 10, || {
+        let mut s = BranchStudy::table2();
+        drive(&program, LIMIT, &mut [&mut s]).unwrap();
+        s.report().branches
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_configs,
-    bench_workload_diversity,
-    bench_characterization
-);
-criterion_main!(benches);
+fn main() {
+    bench_configs();
+    bench_workload_diversity();
+    bench_characterization();
+}

@@ -1,125 +1,108 @@
-//! Criterion microbenchmarks of the substrates: emulator throughput,
-//! cache probes (full vs. partial tag), branch predictors, and the
-//! bit-slice ALU — the inner loops every experiment rests on.
+//! Microbenchmarks of the substrates: emulator throughput, cache probes
+//! (full vs. partial tag), branch predictors, and the bit-slice ALU — the
+//! inner loops every experiment rests on.
+//!
+//! Run with `cargo bench -p popk-bench --bench substrates`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use popk_bench::timing::bench;
 use popk_bpred::{Bimodal, DirectionPredictor, Gshare};
 use popk_cache::{Cache, CacheConfig};
 use popk_emu::Machine;
 use popk_slice::{AluSliceOp, SliceAlu, SliceWidth};
 use popk_workloads::by_name;
-use std::hint::black_box;
 
-fn bench_emulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("emulator");
-    group.throughput(Throughput::Elements(50_000));
+fn bench_emulator() {
     for name in ["ijpeg", "mcf"] {
         let program = by_name(name).unwrap().program();
-        group.bench_with_input(BenchmarkId::new("trace_50k", name), &program, |b, p| {
-            b.iter(|| {
-                let mut m = Machine::new(p);
-                let mut n = 0u64;
-                for rec in m.trace(50_000) {
-                    black_box(rec.unwrap());
-                    n += 1;
-                }
-                n
-            })
+        let s = bench(&format!("emulator/trace_50k/{name}"), 5, || {
+            let mut m = Machine::new(&program);
+            let mut n = 0u64;
+            for rec in m.trace(50_000) {
+                std::hint::black_box(rec.unwrap());
+                n += 1;
+            }
+            n
         });
+        println!("  -> {:.1} M insns/s", s.elems_per_sec(50_000) / 1e6);
     }
-    group.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
+fn bench_cache() {
     let cfg = CacheConfig::l1d_table2();
     let addrs: Vec<u32> = (0..4096u32).map(|i| 0x1000_0000 + i * 68 * 4).collect();
-    group.throughput(Throughput::Elements(addrs.len() as u64));
-    group.bench_function("access_stream", |b| {
-        let mut cache = Cache::new(cfg);
-        b.iter(|| {
-            let mut hits = 0u32;
-            for &a in &addrs {
-                hits += cache.access(a).hit as u32;
-            }
-            black_box(hits)
-        })
-    });
-    group.bench_function("partial_probe_2bits", |b| {
-        let mut cache = Cache::new(cfg);
+    let mut cache = Cache::new(cfg);
+    let s = bench("cache/access_stream", 20, || {
+        let mut hits = 0u32;
         for &a in &addrs {
-            cache.access(a);
+            hits += cache.access(a).hit as u32;
         }
-        b.iter(|| {
-            let mut n = 0u32;
-            for &a in &addrs {
-                n += matches!(
-                    cache.partial_probe(a, 2),
-                    popk_cache::PartialOutcome::ZeroMatch
-                ) as u32;
-            }
-            black_box(n)
-        })
+        hits
     });
-    group.finish();
-}
+    println!(
+        "  -> {:.1} M accesses/s",
+        s.elems_per_sec(addrs.len() as u64) / 1e6
+    );
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bpred");
-    let pcs: Vec<u32> = (0..4096u32).map(|i| 0x0040_0000 + (i % 257) * 4).collect();
-    group.throughput(Throughput::Elements(pcs.len() as u64));
-    group.bench_function("gshare_64k", |b| {
-        let mut g = Gshare::new(16);
-        b.iter(|| {
-            let mut taken = 0u32;
-            for (i, &pc) in pcs.iter().enumerate() {
-                taken += g.predict(pc) as u32;
-                g.update(pc, i % 3 != 0);
-            }
-            black_box(taken)
-        })
-    });
-    group.bench_function("bimodal_2k", |b| {
-        let mut g = Bimodal::new(11);
-        b.iter(|| {
-            let mut taken = 0u32;
-            for (i, &pc) in pcs.iter().enumerate() {
-                taken += g.predict(pc) as u32;
-                g.update(pc, i % 3 != 0);
-            }
-            black_box(taken)
-        })
-    });
-    group.finish();
-}
-
-fn bench_slice_alu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("slice_alu");
-    group.throughput(Throughput::Elements(4096));
-    for width in [SliceWidth::W32, SliceWidth::W16, SliceWidth::W8] {
-        group.bench_with_input(
-            BenchmarkId::new("add_sliced", format!("{width}")),
-            &width,
-            |b, &w| {
-                let alu = SliceAlu::new(w);
-                b.iter(|| {
-                    let mut acc = 0u32;
-                    for i in 0..4096u32 {
-                        acc ^= alu.eval(AluSliceOp::Add, i.wrapping_mul(2654435761), acc).join();
-                    }
-                    black_box(acc)
-                })
-            },
-        );
+    let mut warm = Cache::new(cfg);
+    for &a in &addrs {
+        warm.access(a);
     }
-    group.finish();
+    let s = bench("cache/partial_probe_2bits", 20, || {
+        let mut n = 0u32;
+        for &a in &addrs {
+            n += matches!(
+                warm.partial_probe(a, 2),
+                popk_cache::PartialOutcome::ZeroMatch
+            ) as u32;
+        }
+        n
+    });
+    println!(
+        "  -> {:.1} M probes/s",
+        s.elems_per_sec(addrs.len() as u64) / 1e6
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_emulator,
-    bench_cache,
-    bench_predictors,
-    bench_slice_alu
-);
-criterion_main!(benches);
+fn bench_predictors() {
+    let pcs: Vec<u32> = (0..4096u32).map(|i| 0x0040_0000 + (i % 257) * 4).collect();
+    let mut gshare = Gshare::new(16);
+    bench("bpred/gshare_64k", 20, || {
+        let mut taken = 0u32;
+        for (i, &pc) in pcs.iter().enumerate() {
+            taken += gshare.predict(pc) as u32;
+            gshare.update(pc, i % 3 != 0);
+        }
+        taken
+    });
+    let mut bimodal = Bimodal::new(11);
+    bench("bpred/bimodal_2k", 20, || {
+        let mut taken = 0u32;
+        for (i, &pc) in pcs.iter().enumerate() {
+            taken += bimodal.predict(pc) as u32;
+            bimodal.update(pc, i % 3 != 0);
+        }
+        taken
+    });
+}
+
+fn bench_slice_alu() {
+    for width in [SliceWidth::W32, SliceWidth::W16, SliceWidth::W8] {
+        let alu = SliceAlu::new(width);
+        bench(&format!("slice_alu/add_sliced/{width}"), 20, || {
+            let mut acc = 0u32;
+            for i in 0..4096u32 {
+                acc ^= alu
+                    .eval(AluSliceOp::Add, i.wrapping_mul(2654435761), acc)
+                    .join();
+            }
+            acc
+        });
+    }
+}
+
+fn main() {
+    bench_emulator();
+    bench_cache();
+    bench_predictors();
+    bench_slice_alu();
+}

@@ -1,0 +1,176 @@
+//! Machine-readable bench artifacts (`BENCH_<figure>.json`).
+//!
+//! Every report binary accepts a `--json` flag alongside the usual
+//! instruction budget; when set, the binary also writes a
+//! `BENCH_<figure>.json` artifact carrying the same numbers the printed
+//! tables show — per-workload IPC, speedups, and full counter snapshots —
+//! so runs can be diffed across commits by tooling instead of eyeballs.
+//! The schema is documented in `EXPERIMENTS.md`; bump [`SCHEMA_VERSION`]
+//! on any incompatible shape change.
+
+use popk_core::{Json, SimStats, StatsRegistry};
+use std::path::{Path, PathBuf};
+
+/// Version stamp written into every artifact (`"schema_version"`).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Parsed command line shared by the report binaries: an optional
+/// instruction budget (any bare integer argument, `_` separators allowed)
+/// and the `--json` artifact toggle, accepted in either order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cli {
+    /// Dynamic-instruction budget per simulation.
+    pub limit: u64,
+    /// Write a `BENCH_<figure>.json` artifact next to the printed report.
+    pub json: bool,
+}
+
+impl Cli {
+    /// Parse the process arguments.
+    pub fn parse() -> Cli {
+        Cli::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list (for tests).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Cli {
+        let mut cli = Cli {
+            limit: crate::DEFAULT_LIMIT,
+            json: false,
+        };
+        for a in args {
+            if a == "--json" {
+                cli.json = true;
+            } else if let Ok(n) = a.replace('_', "").parse() {
+                cli.limit = n;
+            }
+        }
+        cli
+    }
+}
+
+/// One figure's JSON artifact under construction.
+///
+/// A thin wrapper over a [`Json`] object pre-seeded with the envelope
+/// fields (`figure`, `schema_version`, `instruction_limit`); the caller
+/// [`set`](Artifact::set)s figure-specific keys and [`write`](Artifact::write)s
+/// the result to `BENCH_<figure>.json`.
+#[derive(Debug)]
+pub struct Artifact {
+    figure: String,
+    root: Json,
+}
+
+impl Artifact {
+    /// Start an artifact for `figure` (e.g. `"fig11"`), recording the
+    /// instruction budget it was produced with.
+    pub fn new(figure: &str, limit: u64) -> Artifact {
+        let mut root = Json::object();
+        root.set("figure", figure.into());
+        root.set("schema_version", Json::from(SCHEMA_VERSION));
+        root.set("instruction_limit", Json::from(limit));
+        Artifact {
+            figure: figure.to_string(),
+            root,
+        }
+    }
+
+    /// Insert (or replace) a top-level key.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Artifact {
+        self.root.set(key, value);
+        self
+    }
+
+    /// The artifact body.
+    pub fn json(&self) -> &Json {
+        &self.root
+    }
+
+    /// The file name this artifact writes to.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.figure)
+    }
+
+    /// Write the artifact (pretty-printed, trailing newline) into `dir`,
+    /// returning the path written.
+    pub fn write_in(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        let mut text = self.root.to_pretty(2);
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+
+    /// Write into the current directory and print a confirmation line —
+    /// the tail call of every binary's `--json` mode.
+    pub fn emit(&self) {
+        match self.write_in(Path::new(".")) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("error: writing {}: {e}", self.file_name()),
+        }
+    }
+}
+
+/// Snapshot every counter of one run as a flat JSON object keyed by the
+/// canonical registry names.
+pub fn counters_json(s: &SimStats) -> Json {
+    StatsRegistry::from_sim(s).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn cli_defaults() {
+        let c = cli(&[]);
+        assert_eq!(c.limit, crate::DEFAULT_LIMIT);
+        assert!(!c.json);
+    }
+
+    #[test]
+    fn cli_orders_and_separators() {
+        assert_eq!(cli(&["40000", "--json"]), cli(&["--json", "40_000"]));
+        let c = cli(&["--json", "1_000_000"]);
+        assert_eq!(c.limit, 1_000_000);
+        assert!(c.json);
+    }
+
+    #[test]
+    fn cli_ignores_unknown_words() {
+        let c = cli(&["bogus"]);
+        assert_eq!(c.limit, crate::DEFAULT_LIMIT);
+        assert!(!c.json);
+    }
+
+    #[test]
+    fn artifact_envelope_and_write() {
+        let mut a = Artifact::new("figtest", 40_000);
+        a.set("answer", Json::from(42u64));
+        assert_eq!(a.json().get("figure"), Some(&Json::from("figtest")));
+        assert_eq!(a.json().get("instruction_limit"), Some(&Json::Int(40_000)));
+        let dir = std::env::temp_dir();
+        let path = a.write_in(&dir).expect("artifact written");
+        assert_eq!(path, dir.join("BENCH_figtest.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\n"));
+        assert!(text.ends_with("}\n"));
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"answer\": 42"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn counters_snapshot_is_flat() {
+        let s = SimStats {
+            cycles: 7,
+            ..Default::default()
+        };
+        let j = counters_json(&s);
+        assert_eq!(j.get("cycles"), Some(&Json::Int(7)));
+        assert_eq!(j.get("lsq_full_stalls"), Some(&Json::Int(0)));
+    }
+}

@@ -17,10 +17,14 @@ use std::sync::Mutex;
 
 fn parse(name: &str) -> Option<MachineConfig> {
     if let Some(level) = name.strip_prefix("slice2-") {
-        return Some(MachineConfig::slice2(Optimizations::level(level.parse().ok()?)));
+        return Some(MachineConfig::slice2(Optimizations::level(
+            level.parse().ok()?,
+        )));
     }
     if let Some(level) = name.strip_prefix("slice4-") {
-        return Some(MachineConfig::slice4(Optimizations::level(level.parse().ok()?)));
+        return Some(MachineConfig::slice4(Optimizations::level(
+            level.parse().ok()?,
+        )));
     }
     Some(match name {
         "ideal" => MachineConfig::ideal(),
@@ -92,5 +96,9 @@ fn main() {
         )
     );
     let geo = (log_sum / workloads.len() as f64).exp();
-    println!("geomean IPC ratio {a_name}/{b_name}: {:.3} ({:+.1}%)", geo, 100.0 * (geo - 1.0));
+    println!(
+        "geomean IPC ratio {a_name}/{b_name}: {:.3} ({:+.1}%)",
+        geo,
+        100.0 * (geo - 1.0)
+    );
 }

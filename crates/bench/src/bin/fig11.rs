@@ -4,14 +4,16 @@
 //! cumulatively. Also prints the Fig. 10 pipeline configurations and the
 //! §7.1 way-mispredict statistic.
 //!
-//! Usage: `cargo run --release -p popk-bench --bin fig11 [instr_budget]`
+//! Usage: `cargo run --release -p popk-bench --bin fig11 [instr_budget] [--json]`
 
+use popk_bench::artifact::counters_json;
 use popk_bench::fmt::{f3, render};
-use popk_bench::{arg_limit, fig11};
-use popk_core::Optimizations;
+use popk_bench::{fig11, Artifact, Cli, Fig11Data};
+use popk_core::{Json, Optimizations};
 
 fn main() {
-    let limit = arg_limit();
+    let cli = Cli::parse();
+    let limit = cli.limit;
     println!("Figure 10 pipeline configurations (frequency held constant):");
     println!("  base      : Fetch1..RF2 (12) | EX          | Mem RE CT");
     println!("  slice-by-2: Fetch1..RF2 (12) | EX1 EX2     | Mem RE CT");
@@ -49,12 +51,55 @@ fn main() {
             },
             100.0 * (speedup - 1.0),
         );
-        let avg_way_miss: f64 = cols.iter().map(|c| c.way_mispredict_rate).sum::<f64>()
-            / cols.len() as f64;
+        let avg_way_miss: f64 =
+            cols.iter().map(|c| c.way_mispredict_rate).sum::<f64>() / cols.len() as f64;
         println!(
             "avg partial-tag way-mispredict rate: {:.1}% (paper: ~{}%)\n",
             100.0 * avg_way_miss,
             if by4 { 1 } else { 2 },
         );
     }
+
+    if cli.json {
+        let mut art = Artifact::new("fig11", limit);
+        art.set(
+            "levels",
+            (0..=5)
+                .map(|l| Json::from(Optimizations::level_name(l)))
+                .collect(),
+        );
+        art.set("slice2", slice_json(&data, false));
+        art.set("slice4", slice_json(&data, true));
+        art.emit();
+    }
+}
+
+/// One slicing factor's Fig. 11 results: per-workload IPC at every
+/// cumulative level plus the ideal machine, the full-config counter
+/// snapshot, and the geomean summary lines.
+fn slice_json(data: &Fig11Data, by4: bool) -> Json {
+    let cols = if by4 { &data.slice4 } else { &data.slice2 };
+    let workloads: Vec<Json> = cols
+        .iter()
+        .map(|c| {
+            let mut o = Json::object();
+            o.set("name", c.name.into());
+            o.set("ideal_ipc", Json::from(c.ideal_ipc));
+            o.set(
+                "level_ipc",
+                c.level_ipc.iter().map(|&v| Json::from(v)).collect(),
+            );
+            o.set("way_mispredict_rate", Json::from(c.way_mispredict_rate));
+            o.set("counters", counters_json(&c.full_stats));
+            o
+        })
+        .collect();
+    let mut s = Json::object();
+    s.set("workloads", Json::Array(workloads));
+    s.set(
+        "geomean_full_vs_ideal",
+        Json::from(data.mean_full_vs_ideal(by4)),
+    );
+    s.set("geomean_speedup", Json::from(data.mean_speedup(by4)));
+    s
 }

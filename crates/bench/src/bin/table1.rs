@@ -1,16 +1,18 @@
 //! Reproduce **Table 1**: baseline characteristics of the benchmark
 //! suite on the ideal (unpipelined-EX) Table 2 machine.
 //!
-//! Usage: `cargo run --release -p popk-bench --bin table1 [instr_budget]`
+//! Usage: `cargo run --release -p popk-bench --bin table1 [instr_budget] [--json]`
 
 #![allow(clippy::useless_vec)] // row! builds Vec rows; headers reuse it
 
 use popk_bench::fmt::{f3, pct, render};
-use popk_bench::{arg_limit, table1};
 use popk_bench::row;
+use popk_bench::{table1, Artifact, Cli};
+use popk_core::Json;
 
 fn main() {
-    let limit = arg_limit();
+    let cli = Cli::parse();
+    let limit = cli.limit;
     println!("Table 1: benchmark characteristics (ideal machine, {limit} instructions)\n");
     let rows = table1(limit);
     let table: Vec<Vec<String>> = rows
@@ -29,10 +31,37 @@ fn main() {
     println!(
         "{}",
         render(
-            &row!["benchmark", "instrs", "IPC", "% loads", "% stores", "branch acc"],
+            &row![
+                "benchmark",
+                "instrs",
+                "IPC",
+                "% loads",
+                "% stores",
+                "branch acc"
+            ],
             &table
         )
     );
-    let mean_ipc = rows.iter().map(|r| r.ipc.ln()).sum::<f64>() / rows.len() as f64;
-    println!("geometric-mean IPC: {:.3}", mean_ipc.exp());
+    let mean_ipc = (rows.iter().map(|r| r.ipc.ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!("geometric-mean IPC: {mean_ipc:.3}");
+
+    if cli.json {
+        let workloads: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                let mut o = Json::object();
+                o.set("name", r.name.into());
+                o.set("instructions", Json::from(r.instructions));
+                o.set("ipc", Json::from(r.ipc));
+                o.set("pct_loads", Json::from(r.pct_loads));
+                o.set("pct_stores", Json::from(r.pct_stores));
+                o.set("branch_accuracy", Json::from(r.branch_accuracy));
+                o
+            })
+            .collect();
+        let mut art = Artifact::new("table1", limit);
+        art.set("workloads", Json::Array(workloads));
+        art.set("geomean_ipc", Json::from(mean_ipc));
+        art.emit();
+    }
 }

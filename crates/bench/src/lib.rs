@@ -2,20 +2,25 @@
 //!
 //! One runner per table/figure of the paper's evaluation, shared by the
 //! report binaries (`table1`, `fig2`, `fig4`, `fig6`, `fig11`, `fig12`,
-//! `ablations`) and the criterion benches. Each binary prints the same
+//! `ablations`) and the timing benches. Each binary prints the same
 //! rows/series the paper reports; `EXPERIMENTS.md` records the measured
 //! output next to the paper's numbers.
 //!
 //! All runners accept a dynamic-instruction budget; the binaries read it
-//! from their first CLI argument (default [`DEFAULT_LIMIT`]). Workloads
-//! run in parallel across OS threads, one simulation per thread.
+//! from their first CLI argument (default [`DEFAULT_LIMIT`]) and accept
+//! `--json` to additionally write a machine-readable
+//! `BENCH_<figure>.json` artifact (see [`artifact`]). Workloads run in
+//! parallel across OS threads, one simulation per thread.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod fmt;
 pub mod runners;
+pub mod timing;
 
+pub use artifact::{Artifact, Cli};
 pub use runners::{
     arg_limit, fig11, fig12_from, fig2, fig4, fig6, table1, Fig11Column, Fig11Data, Table1Row,
     DEFAULT_LIMIT,

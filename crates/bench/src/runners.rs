@@ -1,8 +1,9 @@
 //! Experiment runners, one per table/figure.
 
 use popk_cache::CacheConfig;
-use popk_characterize::{drive, BranchReport, BranchStudy, DisambigReport, DisambigStudy,
-    TagMatchReport, TagMatchStudy};
+use popk_characterize::{
+    drive, BranchReport, BranchStudy, DisambigReport, DisambigStudy, TagMatchReport, TagMatchStudy,
+};
 use popk_core::{simulate, MachineConfig, Optimizations, SimStats};
 use popk_workloads::{all, by_name, Workload};
 use std::sync::Mutex;
@@ -301,7 +302,10 @@ mod tests {
             way_mispredict_rate: 0.0,
             full_stats: SimStats::default(),
         };
-        let data = Fig11Data { slice2: vec![col], slice4: vec![] };
+        let data = Fig11Data {
+            slice2: vec![col],
+            slice4: vec![],
+        };
         let rows = fig12_from(&data, false);
         let (_, contrib, total) = &rows[0];
         let sum: f64 = contrib.iter().sum();

@@ -1,0 +1,74 @@
+//! A minimal wall-clock timing harness for the workspace's
+//! `harness = false` benchmarks.
+//!
+//! The offline build cannot depend on criterion, so the bench binaries
+//! measure with this instead: warm up once, then repeat the closure until
+//! a time floor is reached, reporting best and mean wall time per
+//! iteration. Numbers are indicative (no outlier rejection, no
+//! statistics), which is all the regression checks here need.
+
+use std::time::Instant;
+
+/// Result of timing one benchmark case.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Fastest observed iteration, in nanoseconds.
+    pub best_ns: f64,
+    /// Mean over all timed iterations, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed iterations.
+    pub iters: u32,
+}
+
+impl Sample {
+    /// Throughput in elements per second given `elems` processed per
+    /// iteration, based on the best time.
+    pub fn elems_per_sec(&self, elems: u64) -> f64 {
+        elems as f64 / (self.best_ns / 1e9)
+    }
+}
+
+/// Render nanoseconds with an adaptive unit.
+pub fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Time `f` until at least `min_iters` iterations and ~200 ms of wall
+/// time have elapsed (capped at 1000 iterations), after one untimed
+/// warm-up call. Prints one report line and returns the sample.
+pub fn bench<R>(label: &str, min_iters: u32, mut f: impl FnMut() -> R) -> Sample {
+    std::hint::black_box(f()); // warm-up
+    let floor = std::time::Duration::from_millis(200);
+    let started = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    let mut iters = 0u32;
+    while iters < min_iters || (started.elapsed() < floor && iters < 1000) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let ns = t0.elapsed().as_nanos() as f64;
+        best = best.min(ns);
+        total += ns;
+        iters += 1;
+    }
+    let sample = Sample {
+        best_ns: best,
+        mean_ns: total / iters as f64,
+        iters,
+    };
+    println!(
+        "{label:<44} best {:>10}   mean {:>10}   ({} iters)",
+        human_ns(sample.best_ns),
+        human_ns(sample.mean_ns),
+        sample.iters
+    );
+    sample
+}

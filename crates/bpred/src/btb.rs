@@ -30,7 +30,12 @@ impl Btb {
         // Distinct initial ranks per set so recency is well-defined from
         // the first touch.
         let lru = (0..sets * ways).map(|i| (i % ways) as u8).collect();
-        Btb { sets, ways, entries: vec![None; sets * ways], lru }
+        Btb {
+            sets,
+            ways,
+            entries: vec![None; sets * ways],
+            lru,
+        }
     }
 
     /// Total entry capacity.
@@ -80,9 +85,7 @@ impl Btb {
         // (highest rank).
         let victim = (0..self.ways)
             .find(|&w| self.entries[base + w].is_none())
-            .unwrap_or_else(|| {
-                (0..self.ways).max_by_key(|&w| self.lru[base + w]).unwrap()
-            });
+            .unwrap_or_else(|| (0..self.ways).max_by_key(|&w| self.lru[base + w]).unwrap());
         self.entries[base + victim] = Some(BtbEntry { tag, target });
         self.touch(base, victim);
     }

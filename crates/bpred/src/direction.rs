@@ -91,7 +91,10 @@ impl Bimodal {
     /// Panics unless `1 <= index_bits <= 30`.
     pub fn new(index_bits: u32) -> Bimodal {
         assert!((1..=30).contains(&index_bits));
-        Bimodal { table: vec![SatCounter::default(); 1 << index_bits], index_bits }
+        Bimodal {
+            table: vec![SatCounter::default(); 1 << index_bits],
+            index_bits,
+        }
     }
 
     #[inline]

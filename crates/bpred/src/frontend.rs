@@ -184,14 +184,22 @@ impl FrontEnd {
                 if !correct {
                     self.stats.cond_wrong += 1;
                 }
-                Prediction { taken, next_pc, correct }
+                Prediction {
+                    taken,
+                    next_pc,
+                    correct,
+                }
             }
             BranchKind::DirectJump { target, is_call } => {
                 if is_call {
                     self.ras.push(fallthrough);
                 }
                 self.stats.direct += 1;
-                Prediction { taken: true, next_pc: target, correct: true }
+                Prediction {
+                    taken: true,
+                    next_pc: target,
+                    correct: true,
+                }
             }
             BranchKind::IndirectJump { is_call, is_return } => {
                 let predicted = if is_return {
@@ -247,13 +255,19 @@ mod tests {
         let ret_pc = callee + 8;
         fe.predict_and_update(
             call_pc,
-            BranchKind::DirectJump { target: callee, is_call: true },
+            BranchKind::DirectJump {
+                target: callee,
+                is_call: true,
+            },
             true,
             callee,
         );
         let p = fe.predict_and_update(
             ret_pc,
-            BranchKind::IndirectJump { is_call: false, is_return: true },
+            BranchKind::IndirectJump {
+                is_call: false,
+                is_return: true,
+            },
             true,
             call_pc + 4,
         );
@@ -268,14 +282,20 @@ mod tests {
         let tgt = 0x0040_2000;
         let first = fe.predict_and_update(
             pc,
-            BranchKind::IndirectJump { is_call: false, is_return: false },
+            BranchKind::IndirectJump {
+                is_call: false,
+                is_return: false,
+            },
             true,
             tgt,
         );
         assert!(!first.correct, "cold BTB misses");
         let second = fe.predict_and_update(
             pc,
-            BranchKind::IndirectJump { is_call: false, is_return: false },
+            BranchKind::IndirectJump {
+                is_call: false,
+                is_return: false,
+            },
             true,
             tgt,
         );

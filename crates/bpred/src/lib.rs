@@ -32,6 +32,6 @@ mod ras;
 pub use btb::Btb;
 pub use counters::SatCounter;
 pub use direction::{Bimodal, DirectionPredictor, Gshare};
-pub use local::{Local, Tournament};
 pub use frontend::{BranchKind, DirKind, FrontEnd, FrontEndConfig, PredStats, Prediction};
+pub use local::{Local, Tournament};
 pub use ras::Ras;

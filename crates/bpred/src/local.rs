@@ -67,7 +67,12 @@ impl Tournament {
     /// Component sizes: `global_bits` for the gshare, `(local_entries_log2,
     /// local_hist_bits)` for the local predictor, `chooser_bits` for the
     /// chooser table.
-    pub fn new(global_bits: u32, local_entries_log2: u32, local_hist_bits: u32, chooser_bits: u32) -> Tournament {
+    pub fn new(
+        global_bits: u32,
+        local_entries_log2: u32,
+        local_hist_bits: u32,
+        chooser_bits: u32,
+    ) -> Tournament {
         assert!((1..=30).contains(&chooser_bits));
         Tournament {
             global: Gshare::new(global_bits),

@@ -17,7 +17,11 @@ impl Ras {
     /// Panics if `depth == 0`.
     pub fn new(depth: usize) -> Ras {
         assert!(depth > 0);
-        Ras { buf: vec![0; depth], top: 0, live: 0 }
+        Ras {
+            buf: vec![0; depth],
+            top: 0,
+            live: 0,
+        }
     }
 
     /// Push a return address (on `jal`/`jalr`).

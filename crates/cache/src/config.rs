@@ -22,7 +22,11 @@ impl CacheConfig {
         assert!(line_bytes.is_power_of_two() && line_bytes > 0);
         assert!(ways.is_power_of_two() && ways > 0);
         assert!(size_bytes >= line_bytes * ways, "fewer than one set");
-        CacheConfig { size_bytes, line_bytes, ways }
+        CacheConfig {
+            size_bytes,
+            line_bytes,
+            ways,
+        }
     }
 
     /// The paper's L1 D-cache: 64 KB, 4-way, 64 B lines.

@@ -114,7 +114,11 @@ impl Hierarchy {
 
     fn finish(&mut self, l1_hit: bool, addr: u32) -> MemAccess {
         if l1_hit {
-            return MemAccess { l1_hit: true, l2_hit: true, latency: self.cfg.l1_latency };
+            return MemAccess {
+                l1_hit: true,
+                l2_hit: true,
+                latency: self.cfg.l1_latency,
+            };
         }
         let l2 = self.l2.access(addr);
         if l2.hit {

@@ -81,7 +81,12 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Cache {
         let n = (cfg.sets() * cfg.ways) as usize;
         let lru = (0..n).map(|i| (i as u32 % cfg.ways) as u8).collect();
-        Cache { cfg, tags: vec![None; n], lru, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            tags: vec![None; n],
+            lru,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The geometry.
@@ -120,7 +125,10 @@ impl Cache {
             if self.tags[base + w] == Some(tag) {
                 self.stats.hits += 1;
                 self.touch(base, w);
-                return AccessResult { hit: true, way: w as u32 };
+                return AccessResult {
+                    hit: true,
+                    way: w as u32,
+                };
             }
         }
         // Miss: fill an invalid way, else evict LRU.
@@ -129,7 +137,10 @@ impl Cache {
             .unwrap_or_else(|| (0..ways).max_by_key(|&w| self.lru[base + w]).unwrap());
         self.tags[base + victim] = Some(tag);
         self.touch(base, victim);
-        AccessResult { hit: false, way: victim as u32 }
+        AccessResult {
+            hit: false,
+            way: victim as u32,
+        }
     }
 
     /// The MRU way of the set containing `addr` (the way-predictor's
@@ -188,7 +199,10 @@ impl Cache {
                     .unwrap();
                 let hit_way = (0..ways).find(|&w| self.tags[base + w] == Some(full_tag));
                 let mru_correct = hit_way == Some(mru_way as usize);
-                PartialOutcome::MultiMatch { mru_way, mru_correct }
+                PartialOutcome::MultiMatch {
+                    mru_way,
+                    mru_correct,
+                }
             }
         }
     }
@@ -266,7 +280,10 @@ mod tests {
         // nothing: 0 tag bits known -> everything resident matches
         // (vacuous mask), so use an empty set instead.
         let empty_set_addr = a + (1 << cfg.offset_bits()); // different set, untouched
-        assert_eq!(c.partial_probe(empty_set_addr, 2), PartialOutcome::ZeroMatch);
+        assert_eq!(
+            c.partial_probe(empty_set_addr, 2),
+            PartialOutcome::ZeroMatch
+        );
 
         // A non-resident address sharing low tag bits with a resident one:
         // tag differs only above the known bits → SingleMiss.
@@ -299,7 +316,10 @@ mod tests {
             PartialOutcome::SingleHit { way: 0 }
         );
         let other = a + (1 << cfg.tag_start_bit());
-        assert_eq!(c.partial_probe(other, cfg.tag_bits()), PartialOutcome::ZeroMatch);
+        assert_eq!(
+            c.partial_probe(other, cfg.tag_bits()),
+            PartialOutcome::ZeroMatch
+        );
     }
 
     #[test]

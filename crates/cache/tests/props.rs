@@ -1,128 +1,240 @@
 //! Property tests for the cache substrate: structural invariants under
 //! arbitrary access streams, and consistency between partial and full tag
-//! matching.
+//! matching. Inputs come from the workspace's deterministic [`SplitMix64`]
+//! stream so failures reproduce exactly.
 
 use popk_cache::{Cache, CacheConfig, PartialOutcome};
-use proptest::prelude::*;
+use popk_isa::rng::SplitMix64;
 
-fn arb_config() -> impl Strategy<Value = CacheConfig> {
-    (
-        prop::sample::select(vec![512u32, 1024, 8192, 65536]),
-        prop::sample::select(vec![16u32, 32, 64]),
-        prop::sample::select(vec![1u32, 2, 4, 8]),
-    )
-        .prop_filter_map("geometry must hold at least one set", |(size, line, ways)| {
-            (size >= line * ways).then(|| CacheConfig::new(size, line, ways))
-        })
-}
+const SIZES: [u32; 4] = [512, 1024, 8192, 65536];
+const LINES: [u32; 3] = [16, 32, 64];
+const WAYS: [u32; 4] = [1, 2, 4, 8];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Immediately after an access, the address is resident.
-    #[test]
-    fn access_makes_resident(
-        cfg in arb_config(),
-        addrs in prop::collection::vec(any::<u32>(), 1..200),
-    ) {
-        let mut c = Cache::new(cfg);
-        for &a in &addrs {
-            c.access(a);
-            prop_assert!(c.probe(a), "{a:#x} must be resident after access");
+/// Every geometry in the test lattice that holds at least one set.
+fn configs() -> Vec<CacheConfig> {
+    let mut out = Vec::new();
+    for size in SIZES {
+        for line in LINES {
+            for ways in WAYS {
+                if size >= line * ways {
+                    out.push(CacheConfig::new(size, line, ways));
+                }
+            }
         }
     }
+    out
+}
 
-    /// Hits + misses account for every access; re-access of the most
-    /// recent address always hits.
-    #[test]
-    fn stats_are_consistent(
-        cfg in arb_config(),
-        addrs in prop::collection::vec(any::<u32>(), 1..200),
-    ) {
+/// An address stream biased toward set/tag collisions (small strides around
+/// a shared base) mixed with raw random words.
+fn addr_stream(rng: &mut SplitMix64, n: usize) -> Vec<u32> {
+    let base = rng.next_u32() & 0xfff0_0000;
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => base + (rng.below(64) << 6),
+            1 => base + (rng.below(1 << 12) << 4),
+            _ => rng.next_u32(),
+        })
+        .collect()
+}
+
+/// Immediately after an access, the address is resident.
+#[test]
+fn access_makes_resident() {
+    let mut rng = SplitMix64::new(0xace5);
+    for cfg in configs() {
+        let mut c = Cache::new(cfg);
+        for &a in &addr_stream(&mut rng, 200) {
+            c.access(a);
+            assert!(c.probe(a), "{a:#x} must be resident after access ({cfg:?})");
+        }
+    }
+}
+
+/// Hits + misses account for every access; re-access of the most recent
+/// address always hits.
+#[test]
+fn stats_are_consistent() {
+    let mut rng = SplitMix64::new(0x57a7);
+    for cfg in configs() {
+        let addrs = addr_stream(&mut rng, 200);
         let mut c = Cache::new(cfg);
         for &a in &addrs {
             c.access(a);
             let r = c.access(a);
-            prop_assert!(r.hit);
+            assert!(r.hit);
         }
         let s = *c.stats();
-        prop_assert_eq!(s.accesses, 2 * addrs.len() as u64);
-        prop_assert!(s.hits >= addrs.len() as u64);
-        prop_assert_eq!(s.misses(), s.accesses - s.hits);
+        assert_eq!(s.accesses, 2 * addrs.len() as u64);
+        assert!(s.hits >= addrs.len() as u64);
+        assert_eq!(s.misses(), s.accesses - s.hits);
     }
+}
 
-    /// A partial probe with the full tag width agrees exactly with probe():
-    /// SingleHit iff resident, and never ambiguous.
-    #[test]
-    fn full_width_partial_probe_is_exact(
-        cfg in arb_config(),
-        warm in prop::collection::vec(any::<u32>(), 1..100),
-        query in any::<u32>(),
-    ) {
+/// A partial probe with the full tag width agrees exactly with probe():
+/// SingleHit iff resident, and never ambiguous.
+#[test]
+fn full_width_partial_probe_is_exact() {
+    let mut rng = SplitMix64::new(0xf011);
+    for cfg in configs() {
         let mut c = Cache::new(cfg);
-        for &a in &warm {
+        for &a in &addr_stream(&mut rng, 100) {
             c.access(a);
         }
-        let outcome = c.partial_probe(query, cfg.tag_bits());
-        match outcome {
-            PartialOutcome::SingleHit { .. } => prop_assert!(c.probe(query)),
-            PartialOutcome::ZeroMatch | PartialOutcome::SingleMiss => {
-                prop_assert!(!c.probe(query))
-            }
-            PartialOutcome::MultiMatch { .. } => {
-                prop_assert!(false, "full-width probes cannot be ambiguous")
-            }
-        }
-    }
-
-    /// Monotonicity: a ZeroMatch at t known tag bits stays ZeroMatch for
-    /// every larger t (more bits can only rule out more), and a resident
-    /// line is never classified as a miss at any width.
-    #[test]
-    fn partial_probe_monotone(
-        cfg in arb_config(),
-        warm in prop::collection::vec(any::<u32>(), 1..100),
-        query in any::<u32>(),
-    ) {
-        let mut c = Cache::new(cfg);
-        for &a in &warm {
-            c.access(a);
-        }
-        let resident = c.probe(query);
-        let mut seen_zero = false;
-        for t in 0..=cfg.tag_bits() {
-            let o = c.partial_probe(query, t);
-            if seen_zero {
-                prop_assert_eq!(o, PartialOutcome::ZeroMatch, "t={}", t);
-            }
-            match o {
-                PartialOutcome::ZeroMatch => {
-                    prop_assert!(!resident);
-                    seen_zero = true;
+        for _ in 0..32 {
+            let query = rng.next_u32();
+            match c.partial_probe(query, cfg.tag_bits()) {
+                PartialOutcome::SingleHit { .. } => assert!(c.probe(query)),
+                PartialOutcome::ZeroMatch | PartialOutcome::SingleMiss => {
+                    assert!(!c.probe(query))
                 }
-                PartialOutcome::SingleMiss => prop_assert!(!resident),
-                PartialOutcome::SingleHit { .. } => prop_assert!(resident),
-                PartialOutcome::MultiMatch { mru_correct, .. } => {
-                    if mru_correct {
-                        prop_assert!(resident);
+                PartialOutcome::MultiMatch { .. } => {
+                    panic!("full-width probes cannot be ambiguous ({cfg:?})")
+                }
+            }
+        }
+    }
+}
+
+/// Monotonicity: a ZeroMatch at t known tag bits stays ZeroMatch for every
+/// larger t (more bits can only rule out more), and a resident line is
+/// never classified as a miss at any width.
+#[test]
+fn partial_probe_monotone() {
+    let mut rng = SplitMix64::new(0x3010);
+    for cfg in configs() {
+        let addrs = addr_stream(&mut rng, 100);
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+        }
+        // Mix resident and random queries.
+        for q in 0..16 {
+            let query = if q % 2 == 0 {
+                addrs[q * 3 % addrs.len()]
+            } else {
+                rng.next_u32()
+            };
+            let resident = c.probe(query);
+            let mut seen_zero = false;
+            for t in 0..=cfg.tag_bits() {
+                let o = c.partial_probe(query, t);
+                if seen_zero {
+                    assert_eq!(o, PartialOutcome::ZeroMatch, "t={t} ({cfg:?})");
+                }
+                match o {
+                    PartialOutcome::ZeroMatch => {
+                        assert!(!resident);
+                        seen_zero = true;
+                    }
+                    PartialOutcome::SingleMiss => assert!(!resident),
+                    PartialOutcome::SingleHit { .. } => assert!(resident),
+                    PartialOutcome::MultiMatch { mru_correct, .. } => {
+                        if mru_correct {
+                            assert!(resident);
+                        }
                     }
                 }
             }
         }
     }
+}
 
-    /// The MRU way always names a valid way, and after an access it names
-    /// the way that access touched.
-    #[test]
-    fn mru_tracks_last_touch(
-        cfg in arb_config(),
-        addrs in prop::collection::vec(any::<u32>(), 1..100),
-    ) {
+/// The MRU way always names a valid way, and after an access it names the
+/// way that access touched.
+#[test]
+fn mru_tracks_last_touch() {
+    let mut rng = SplitMix64::new(0x3141);
+    for cfg in configs() {
         let mut c = Cache::new(cfg);
-        for &a in &addrs {
+        for &a in &addr_stream(&mut rng, 100) {
             let r = c.access(a);
-            prop_assert!(r.way < cfg.ways);
-            prop_assert_eq!(c.mru_way(a), r.way);
+            assert!(r.way < cfg.ways);
+            assert_eq!(c.mru_way(a), r.way);
         }
     }
+}
+
+/// A ZeroMatch at *any* known-bit width is a sound early-miss declaration:
+/// the subsequent full-tag access must miss. This is the property the
+/// timing model's partial-tag early-miss optimization relies on (Fig. 4:
+/// "zero entries match" ⇒ begin the miss before the full address exists).
+#[test]
+fn zero_match_implies_full_tag_miss() {
+    let mut rng = SplitMix64::new(0x02e0);
+    let mut zero_matches = 0u64;
+    for cfg in configs() {
+        let addrs = addr_stream(&mut rng, 150);
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+        }
+        for q in 0..48 {
+            let query = if q % 3 == 0 {
+                addrs[q % addrs.len()] ^ (1 << (14 + q % 16))
+            } else {
+                rng.next_u32()
+            };
+            for t in [1, 2, 4, 8, cfg.tag_bits()] {
+                if c.partial_probe(query, t) == PartialOutcome::ZeroMatch {
+                    zero_matches += 1;
+                    assert!(
+                        !c.probe(query),
+                        "ZeroMatch at {t} known bits but {query:#x} is resident ({cfg:?})"
+                    );
+                    let r = c.access(query);
+                    assert!(!r.hit, "ZeroMatch at {t} bits must precede a full miss");
+                    break; // the access above mutated the set; requery
+                }
+            }
+        }
+    }
+    assert!(
+        zero_matches > 100,
+        "stream never exercised ZeroMatch ({zero_matches})"
+    );
+}
+
+/// Way-prediction verification is exact: when a MultiMatch selects the MRU
+/// way, the full-tag verification passes iff that way truly holds the
+/// line. It never passes on a wrong way (no false hits), and it never
+/// rejects the right way (no false replays).
+#[test]
+fn way_prediction_verification_never_passes_wrong_way() {
+    let mut rng = SplitMix64::new(0x3a1f);
+    let mut multi = 0u64;
+    for cfg in configs().into_iter().filter(|c| c.ways > 1) {
+        let addrs = addr_stream(&mut rng, 150);
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+        }
+        for q in 0..64 {
+            let query = if q % 2 == 0 {
+                addrs[q % addrs.len()]
+            } else {
+                rng.next_u32()
+            };
+            // Few known bits makes multi-way ambiguity likely.
+            let t = rng.below(3);
+            if let PartialOutcome::MultiMatch {
+                mru_way,
+                mru_correct,
+            } = c.partial_probe(query, t)
+            {
+                multi += 1;
+                // Ground truth: which way (if any) holds the full tag?
+                // access() reports the hit way without relocating lines.
+                let r = c.access(query);
+                let true_way = r.hit.then_some(r.way);
+                assert_eq!(
+                    mru_correct,
+                    true_way == Some(mru_way),
+                    "verification outcome must match ground truth \
+                     (mru_way {mru_way}, true way {true_way:?}, {cfg:?})"
+                );
+            }
+        }
+    }
+    assert!(multi > 100, "stream never exercised MultiMatch ({multi})");
 }

@@ -32,8 +32,7 @@ impl BranchReport {
     /// Percent of mispredictions detectable within `bits` low-order bits.
     pub fn percent_detected_within(&self, bits: u32) -> f64 {
         assert!((1..=FULL_WIDTH_BITS).contains(&bits));
-        100.0 * self.detect_by_bits[(bits - 1) as usize] as f64
-            / self.mispredicts.max(1) as f64
+        100.0 * self.detect_by_bits[(bits - 1) as usize] as f64 / self.mispredicts.max(1) as f64
     }
 
     /// Direction-prediction accuracy.
@@ -160,7 +159,10 @@ mod tests {
             10_000,
         );
         let r = s.report();
-        assert!(r.mispredicts > 0, "alternating branch must mispredict sometimes");
+        assert!(
+            r.mispredicts > 0,
+            "alternating branch must mispredict sometimes"
+        );
         // Mispredictions of `beq r10, r0` where r10 != 0 are provable at
         // bit 0; those where r10 == 0 need full width. The loop-exit bne
         // needs full width when it mispredicts as "not taken means equal".

@@ -139,13 +139,20 @@ impl DisambigStudy {
 
     /// Finish and report.
     pub fn report(&self) -> DisambigReport {
-        DisambigReport { counts: self.counts.clone(), loads: self.loads }
+        DisambigReport {
+            counts: self.counts.clone(),
+            loads: self.loads,
+        }
     }
 
     fn classify(&self, load_addr: u32, bits_through: u32) -> DisambigCategory {
         // Compare bits [2, bits_through] inclusive.
         let width = bits_through + 1; // bits [0, bits_through]
-        let mask = if width >= 32 { u32::MAX } else { (1u32 << width) - 1 } & !0b11;
+        let mask = if width >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        } & !0b11;
         let mut store_count = 0usize;
         let mut partial = [0u32; 64];
         let mut n = 0usize;

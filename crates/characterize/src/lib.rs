@@ -33,8 +33,8 @@ mod width;
 
 pub use branch::{BranchReport, BranchStudy};
 pub use disambig::{DisambigCategory, DisambigReport, DisambigStudy};
-pub use tagmatch::{TagCategory, TagMatchReport, TagMatchStudy};
 pub use distance::{DistanceReport, DistanceStudy, MAX_DISTANCE};
+pub use tagmatch::{TagCategory, TagMatchReport, TagMatchStudy};
 pub use width::{significant_width, WidthReport, WidthStudy};
 
 use popk_emu::{EmuError, Machine, TraceRecord};

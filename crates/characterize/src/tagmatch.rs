@@ -152,7 +152,10 @@ impl TraceSink for TagMatchStudy {
         for t in 0..=tag_bits {
             let outcome = self.cache.partial_probe(addr, t);
             self.counts[t as usize][TagCategory::of(outcome).index()] += 1;
-            if let PartialOutcome::MultiMatch { mru_correct: true, .. } = outcome {
+            if let PartialOutcome::MultiMatch {
+                mru_correct: true, ..
+            } = outcome
+            {
                 self.mru_correct[t as usize] += 1;
             }
         }

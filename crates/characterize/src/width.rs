@@ -69,7 +69,12 @@ impl Default for WidthStudy {
 impl WidthStudy {
     /// An empty study.
     pub fn new() -> WidthStudy {
-        WidthStudy { report: WidthReport { by_width: [0; 32], results: 0 } }
+        WidthStudy {
+            report: WidthReport {
+                by_width: [0; 32],
+                results: 0,
+            },
+        }
     }
 
     /// Finish and report.

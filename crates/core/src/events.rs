@@ -1,0 +1,278 @@
+//! Cycle-stamped pipeline event tracing.
+//!
+//! The simulator is generic over a [`TraceSink`]; every microarchitectural
+//! event of interest — dispatch, per-slice issue/wakeup, early branch
+//! resolution, partial-tag probes, disambiguation and forwarding
+//! decisions, replays, commit — is emitted to the sink with the cycle it
+//! happened on. The default sink is [`NullTrace`], whose
+//! [`TraceSink::ENABLED`] constant is `false`: every emission site is
+//! guarded by `if S::ENABLED`, so the no-trace configuration monomorphizes
+//! to the exact pre-observability code and costs nothing.
+//!
+//! [`crate::timeline::TimelineBuilder`] is a sink that folds the event
+//! stream back into per-instruction [`crate::InsnTiming`] records;
+//! [`VecTrace`] records the raw stream for tests and ad-hoc analysis.
+
+use popk_cache::PartialOutcome;
+use popk_isa::Insn;
+
+/// Why dispatch (or fetch) could not make progress this cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StallReason {
+    /// Fetch is stalled behind an unresolved mispredicted transfer.
+    FetchRedirect,
+    /// Dispatch blocked: the RUU window is full.
+    RuuFull,
+    /// Dispatch blocked: the load/store queue is full.
+    LsqFull,
+}
+
+/// Why a load replayed (re-executed its access).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplayReason {
+    /// A speculative partial-match forward was refuted at verification.
+    SpecForwardWrong,
+    /// The MRU way prediction of a partial-tag access failed.
+    WayMispredict,
+    /// A scheduling-speculated load missed in the L1.
+    CacheMiss,
+    /// The load passed a store it actually conflicted with (memory
+    /// dependence misspeculation).
+    MemDepViolation,
+}
+
+/// One microarchitectural event. Each carries the sequence number of the
+/// dynamic instruction it concerns (where one exists); cycle stamps that
+/// differ from the emission cycle (results scheduled for the future) are
+/// carried explicitly as `at`.
+#[derive(Clone, Copy, Debug)]
+pub enum TraceEvent {
+    /// An instruction entered the RUU window.
+    Dispatched {
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Its PC.
+        pc: u32,
+        /// The instruction itself.
+        insn: Insn,
+        /// The cycle it was fetched.
+        fetch: u64,
+    },
+    /// Fetch or dispatch lost a cycle.
+    Stall(StallReason),
+    /// Slice `slice` of instruction `seq` issued this cycle.
+    SliceIssued {
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Slice position (0 = least significant).
+        slice: u8,
+    },
+    /// The result of slice `slice` becomes available at cycle `at`.
+    SliceReady {
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Slice position (0 = least significant).
+        slice: u8,
+        /// Cycle the slice value is readable by consumers.
+        at: u64,
+    },
+    /// A narrow result published its upper slices with slice 0 (§6
+    /// significance-compression extension).
+    NarrowWakeup {
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+    /// A control transfer resolved (its redirect, if any, is released).
+    BranchResolved {
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Cycle the resolution takes effect.
+        at: u64,
+        /// Resolved from a partial (non-final) slice.
+        early: bool,
+        /// The transfer had been mispredicted.
+        mispredicted: bool,
+    },
+    /// A load probed the L1D with a partial tag (way prediction).
+    PartialTagProbe {
+        /// Dynamic sequence number.
+        seq: u64,
+        /// What the partial-tag comparison saw.
+        outcome: PartialOutcome,
+    },
+    /// A load's cache access (or forward) started.
+    MemStarted {
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+    /// A load's data becomes available at cycle `at`.
+    MemDone {
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Cycle the loaded value is readable.
+        at: u64,
+    },
+    /// A load's data was forwarded from an older in-flight store.
+    StoreForward {
+        /// The load.
+        load_seq: u64,
+        /// The covering store it forwarded from.
+        store_seq: u64,
+    },
+    /// A load speculatively forwarded from the unique partial-address
+    /// matcher (§5.1 extension); `ok` is the verification verdict.
+    SpecForward {
+        /// The load.
+        load_seq: u64,
+        /// The store speculated on.
+        store_seq: u64,
+        /// Whether verification (at full-address time) confirmed it.
+        ok: bool,
+    },
+    /// A load issued past unknown older store addresses on the memory
+    /// dependence predictor's say-so.
+    MemDepSpeculated {
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+    /// A dependence speculation was refuted (an older store overlapped).
+    MemDepViolation {
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+    /// Partial address knowledge let this load pass older stores whose
+    /// full addresses were still unknown.
+    EarlyDisambig {
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+    /// The load's cache index came from sum-addressed decode before its
+    /// own agen produced it.
+    SamStart {
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+    /// A load replayed.
+    Replay {
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Why it replayed.
+        reason: ReplayReason,
+    },
+    /// Every obligation of the instruction is met at cycle `at`.
+    Completed {
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Cycle the instruction is eligible to commit.
+        at: u64,
+    },
+    /// The instruction retired this cycle.
+    Committed {
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+    /// The (wrong-path) instruction was squashed this cycle.
+    Squashed {
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The sequence number this event concerns, if any.
+    pub fn seq(&self) -> Option<u64> {
+        use TraceEvent::*;
+        match *self {
+            Dispatched { seq, .. }
+            | SliceIssued { seq, .. }
+            | SliceReady { seq, .. }
+            | NarrowWakeup { seq }
+            | BranchResolved { seq, .. }
+            | PartialTagProbe { seq, .. }
+            | MemStarted { seq }
+            | MemDone { seq, .. }
+            | MemDepSpeculated { seq }
+            | MemDepViolation { seq }
+            | EarlyDisambig { seq }
+            | SamStart { seq }
+            | Replay { seq, .. }
+            | Completed { seq, .. }
+            | Committed { seq }
+            | Squashed { seq } => Some(seq),
+            StoreForward { load_seq, .. } | SpecForward { load_seq, .. } => Some(load_seq),
+            Stall(_) => None,
+        }
+    }
+}
+
+/// A consumer of the simulator's event stream.
+///
+/// Implementors with `ENABLED = false` cost nothing: the simulator guards
+/// every emission with `if S::ENABLED`, which the compiler folds away.
+pub trait TraceSink {
+    /// Whether the simulator should emit events to this sink at all.
+    const ENABLED: bool = true;
+
+    /// Observe one event, stamped with the cycle it was emitted on.
+    fn event(&mut self, cycle: u64, ev: &TraceEvent);
+}
+
+/// The default no-op sink: tracing compiled out.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn event(&mut self, _cycle: u64, _ev: &TraceEvent) {}
+}
+
+/// A sink that records the raw `(cycle, event)` stream.
+#[derive(Default, Debug)]
+pub struct VecTrace {
+    /// The recorded stream, in emission order.
+    pub events: Vec<(u64, TraceEvent)>,
+}
+
+impl VecTrace {
+    /// An empty recorder.
+    pub fn new() -> VecTrace {
+        VecTrace::default()
+    }
+
+    /// Events concerning sequence number `seq`, in order.
+    pub fn for_seq(&self, seq: u64) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.events
+            .iter()
+            .filter(move |(_, e)| e.seq() == Some(seq))
+    }
+}
+
+impl TraceSink for VecTrace {
+    fn event(&mut self, cycle: u64, ev: &TraceEvent) {
+        self.events.push((cycle, *ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_trace_is_disabled() {
+        const { assert!(!NullTrace::ENABLED) }
+        const { assert!(VecTrace::ENABLED) }
+    }
+
+    #[test]
+    fn vec_trace_records_and_filters() {
+        let mut t = VecTrace::new();
+        t.event(3, &TraceEvent::MemStarted { seq: 7 });
+        t.event(4, &TraceEvent::Stall(StallReason::RuuFull));
+        t.event(5, &TraceEvent::MemDone { seq: 7, at: 9 });
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.for_seq(7).count(), 2);
+        assert_eq!(t.events[1].1.seq(), None);
+    }
+}

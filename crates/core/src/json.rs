@@ -1,0 +1,247 @@
+//! A minimal hand-rolled JSON value + serializer.
+//!
+//! The workspace builds offline with no external crates, so the bench
+//! artifacts ([`crate::StatsRegistry::to_json`], `BENCH_*.json`) are
+//! emitted through this tiny tree builder instead of serde. Only what
+//! the observability layer needs is implemented: construction, ordered
+//! objects, and spec-compliant serialization (string escaping, non-finite
+//! floats as `null`).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order so serialized
+/// artifacts are stable and diffable run-to-run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (covers every counter in the workspace).
+    Int(i64),
+    /// A float; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::set`].
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Insert (or replace) `key` in an object. Panics on non-objects —
+    /// artifact-building code constructs the value shapes statically.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Json {
+        let Json::Object(pairs) = self else {
+            panic!("Json::set on a non-object");
+        };
+        match pairs.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => pairs.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Look up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serialize with `indent`-space indentation per nesting level.
+    pub fn to_pretty(&self, indent: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(indent), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(n) => ("\n", " ".repeat(n * depth), " ".repeat(n * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Display for f64 is the shortest round-trippable
+                    // decimal form, which is valid JSON. Integral floats
+                    // print bare ("3"); keep them floats in the artifact
+                    // for schema stability.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Compact (whitespace-free) serialization.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        // Counters stay well under 2^63 in practice; saturate if not.
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> FromIterator<T> for Json {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Json {
+        Json::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Int(-7).to_string(), "-7");
+        assert_eq!(Json::from(1.5).to_string(), "1.5");
+        assert_eq!(Json::from(3.0).to_string(), "3.0");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from("a\"b\n").to_string(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let mut o = Json::object();
+        o.set("z", Json::from(1u64));
+        o.set("a", Json::from("x"));
+        o.set("z", Json::from(2u64)); // replace, not duplicate
+        assert_eq!(o.to_string(), r#"{"z":2,"a":"x"}"#);
+        let arr: Json = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(arr.to_string(), "[1,2,3]");
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let mut o = Json::object();
+        o.set("xs", [1u64, 2].into_iter().collect());
+        o.set("empty", Json::object());
+        let pretty = o.to_pretty(2);
+        assert!(pretty.contains("\"xs\": [\n    1,\n    2\n  ]"));
+        assert!(pretty.contains("\"empty\": {}"));
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!(Json::from("\u{1}").to_string(), "\"\\u0001\"");
+    }
+}

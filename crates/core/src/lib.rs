@@ -32,11 +32,17 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod events;
+pub mod json;
+pub mod registry;
 mod sim;
 mod stats;
 pub mod timeline;
 
 pub use config::{MachineConfig, Optimizations, PipelineKind};
+pub use events::{NullTrace, ReplayReason, StallReason, TraceEvent, TraceSink, VecTrace};
+pub use json::Json;
+pub use registry::{Counter, StatsRegistry};
 pub use sim::{simulate, Simulator};
 pub use stats::SimStats;
-pub use timeline::{render_chart, render_table, InsnTiming};
+pub use timeline::{render_chart, render_table, InsnTiming, TimelineBuilder};

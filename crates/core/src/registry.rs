@@ -1,0 +1,314 @@
+//! A self-describing statistics registry.
+//!
+//! [`SimStats`] is the hot-path struct the simulator increments directly;
+//! this module provides the *presentation* view over it: every counter
+//! gets a stable name and a one-line description, the registry can fold
+//! in the front-end and cache-hierarchy counters, and the whole thing
+//! serializes to [`Json`] for the `BENCH_*.json` artifacts or renders as
+//! an aligned text table. Names are stable identifiers (snake_case,
+//! dotted prefixes for subsystems) — downstream tooling keys on them.
+
+use crate::json::Json;
+use crate::stats::SimStats;
+use popk_bpred::PredStats;
+use popk_cache::CacheStats;
+
+/// One named counter: a value plus its self-description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counter {
+    /// Stable identifier (e.g. `"early_branch_resolves"`).
+    pub name: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+    /// The counter value.
+    pub value: u64,
+}
+
+/// An ordered collection of named counters snapshotted from one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsRegistry {
+    counters: Vec<Counter>,
+}
+
+impl StatsRegistry {
+    /// An empty registry.
+    pub fn new() -> StatsRegistry {
+        StatsRegistry::default()
+    }
+
+    /// Snapshot every [`SimStats`] counter under its canonical name.
+    pub fn from_sim(s: &SimStats) -> StatsRegistry {
+        let mut r = StatsRegistry::new();
+        r.add(
+            "cycles",
+            "Cycles elapsed when the last instruction committed",
+            s.cycles,
+        );
+        r.add("committed", "Instructions committed", s.committed);
+        r.add("loads", "Loads committed", s.loads);
+        r.add("stores", "Stores committed", s.stores);
+        r.add("branches", "Conditional branches committed", s.branches);
+        r.add(
+            "branch_mispredicts",
+            "Conditional-branch direction mispredictions",
+            s.branch_mispredicts,
+        );
+        r.add(
+            "indirect_mispredicts",
+            "Indirect-jump target mispredictions",
+            s.indirect_mispredicts,
+        );
+        r.add(
+            "early_branch_resolves",
+            "Mispredicted branches resolved from a partial slice",
+            s.early_branch_resolves,
+        );
+        r.add(
+            "early_branch_cycles_saved",
+            "Redirect-latency cycles saved by early branch resolution",
+            s.early_branch_cycles_saved,
+        );
+        r.add(
+            "early_disambig_loads",
+            "Loads issued past older stores via partial-address mismatch",
+            s.early_disambig_loads,
+        );
+        r.add(
+            "store_forwards",
+            "Loads whose data was forwarded from an in-flight store",
+            s.store_forwards,
+        );
+        r.add(
+            "spec_forwards",
+            "Loads speculatively forwarded from a unique partial match",
+            s.spec_forwards,
+        );
+        r.add(
+            "spec_forward_wrong",
+            "Speculative forwards refuted at verification",
+            s.spec_forward_wrong,
+        );
+        r.add(
+            "narrow_wakeups",
+            "Upper-slice wakeups satisfied by the narrow-operand relaxation",
+            s.narrow_wakeups,
+        );
+        r.add(
+            "mem_dep_speculations",
+            "Loads issued past unknown store addresses on predictor say-so",
+            s.mem_dep_speculations,
+        );
+        r.add(
+            "mem_dep_violations",
+            "Dependence speculations that violated",
+            s.mem_dep_violations,
+        );
+        r.add(
+            "sam_starts",
+            "Loads indexed by sum-addressed decode before their own agen",
+            s.sam_starts,
+        );
+        r.add(
+            "partial_tag_accesses",
+            "Loads that began their L1D access with a partial address",
+            s.partial_tag_accesses,
+        );
+        r.add(
+            "partial_tag_early_miss",
+            "Partial-tag probes that ruled out every way (early miss)",
+            s.partial_tag_early_miss,
+        );
+        r.add(
+            "way_mispredicts",
+            "Partial-tag way speculations refuted at verification",
+            s.way_mispredicts,
+        );
+        r.add("l1d_hits", "L1 data-cache hits", s.l1d_hits);
+        r.add("l1d_accesses", "L1 data-cache accesses", s.l1d_accesses);
+        r.add(
+            "load_replays",
+            "Loads replayed on scheduling misspeculation",
+            s.load_replays,
+        );
+        r.add(
+            "fetch_redirect_stalls",
+            "Cycles fetch stalled awaiting a branch redirect",
+            s.fetch_redirect_stalls,
+        );
+        r.add(
+            "ruu_full_stalls",
+            "Cycles dispatch blocked on a full RUU",
+            s.ruu_full_stalls,
+        );
+        r.add(
+            "lsq_full_stalls",
+            "Cycles dispatch blocked on a full LSQ",
+            s.lsq_full_stalls,
+        );
+        r
+    }
+
+    /// Fold in the front-end predictor's own counters (`frontend.` prefix).
+    pub fn add_frontend(&mut self, p: &PredStats) {
+        self.add("frontend.cond", "Conditional branches predicted", p.cond);
+        self.add(
+            "frontend.cond_wrong",
+            "Conditional direction mispredictions",
+            p.cond_wrong,
+        );
+        self.add("frontend.indirect", "Indirect jumps predicted", p.indirect);
+        self.add(
+            "frontend.indirect_wrong",
+            "Indirect target mispredictions",
+            p.indirect_wrong,
+        );
+        self.add("frontend.direct", "Direct jumps seen", p.direct);
+    }
+
+    /// Fold in one cache's counters under `prefix` (e.g. `"l1d"`).
+    pub fn add_cache(&mut self, prefix: &'static str, c: &CacheStats) {
+        // Leak-free static naming: the three hierarchy levels are known.
+        let (acc_name, acc_help, hit_name, hit_help) = match prefix {
+            "l1i" => (
+                "l1i.accesses",
+                "L1 I-cache accesses",
+                "l1i.hits",
+                "L1 I-cache hits",
+            ),
+            "l2" => ("l2.accesses", "L2 accesses", "l2.hits", "L2 hits"),
+            _ => (
+                "l1d.accesses",
+                "L1 D-cache accesses (hierarchy view)",
+                "l1d.hits",
+                "L1 D-cache hits (hierarchy view)",
+            ),
+        };
+        self.add(acc_name, acc_help, c.accesses);
+        self.add(hit_name, hit_help, c.hits);
+    }
+
+    /// Append a counter. Panics on duplicate names — registration is
+    /// static, so a duplicate is a programming error, not input.
+    pub fn add(&mut self, name: &'static str, help: &'static str, value: u64) {
+        assert!(
+            self.get(name).is_none(),
+            "duplicate counter registered: {name}"
+        );
+        self.counters.push(Counter { name, help, value });
+    }
+
+    /// Look a counter's value up by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The counters, in registration order.
+    pub fn counters(&self) -> &[Counter] {
+        &self.counters
+    }
+
+    /// Serialize as a flat `{name: value}` JSON object, in registration
+    /// order.
+    pub fn to_json(&self) -> Json {
+        Json::Object(
+            self.counters
+                .iter()
+                .map(|c| (c.name.to_string(), Json::from(c.value)))
+                .collect(),
+        )
+    }
+
+    /// Render as an aligned `name value # help` text table.
+    pub fn render(&self) -> String {
+        let name_w = self
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(0);
+        let val_w = self
+            .counters
+            .iter()
+            .map(|c| c.value.to_string().len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>val_w$}  # {}\n",
+                c.name, c.value, c.help
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_sim_stats_field() {
+        // One registry entry per SimStats field: catches a field added
+        // without a registry name.
+        let n_fields = 26; // keep in sync with crate::stats::SimStats
+        let r = StatsRegistry::from_sim(&SimStats::default());
+        assert_eq!(r.counters().len(), n_fields);
+    }
+
+    #[test]
+    fn values_flow_through() {
+        let s = SimStats {
+            cycles: 123,
+            committed: 456,
+            ..Default::default()
+        };
+        let r = StatsRegistry::from_sim(&s);
+        assert_eq!(r.get("cycles"), Some(123));
+        assert_eq!(r.get("committed"), Some(456));
+        assert_eq!(r.get("no_such"), None);
+    }
+
+    #[test]
+    fn json_is_flat_and_ordered() {
+        let s = SimStats {
+            cycles: 9,
+            ..Default::default()
+        };
+        let j = StatsRegistry::from_sim(&s).to_json();
+        let text = j.to_string();
+        assert!(text.starts_with(r#"{"cycles":9,"committed":0"#), "{text}");
+        assert_eq!(j.get("cycles"), Some(&Json::Int(9)));
+    }
+
+    #[test]
+    fn render_aligns_and_describes() {
+        let r = StatsRegistry::from_sim(&SimStats::default());
+        let text = r.render();
+        assert!(text.lines().count() == r.counters().len());
+        assert!(text.contains("# Cycles elapsed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate counter")]
+    fn duplicate_names_rejected() {
+        let mut r = StatsRegistry::new();
+        r.add("x", "one", 1);
+        r.add("x", "two", 2);
+    }
+
+    #[test]
+    fn subsystem_prefixes() {
+        let mut r = StatsRegistry::new();
+        r.add_frontend(&PredStats::default());
+        r.add_cache("l1d", &CacheStats::default());
+        r.add_cache("l1i", &CacheStats::default());
+        r.add_cache("l2", &CacheStats::default());
+        assert_eq!(r.get("frontend.cond"), Some(0));
+        assert_eq!(r.get("l2.hits"), Some(0));
+        assert_eq!(r.counters().len(), 5 + 6);
+    }
+}

@@ -28,8 +28,9 @@
 //! * **Commit** retires up to `width` completed instructions in order.
 
 use crate::config::{MachineConfig, PipelineKind};
+use crate::events::{NullTrace, ReplayReason, StallReason, TraceEvent, TraceSink};
 use crate::stats::SimStats;
-use crate::timeline::InsnTiming;
+use crate::timeline::{InsnTiming, TimelineBuilder};
 use popk_bpred::{BranchKind, FrontEnd};
 use popk_cache::{Hierarchy, PartialOutcome};
 use popk_emu::{Machine, TraceRecord};
@@ -38,6 +39,19 @@ use popk_slice::mispredict_detection_bit;
 use std::collections::VecDeque;
 
 const MAX_SLICES: usize = 4;
+
+/// Emit a trace event, stamped with the current cycle. A macro rather
+/// than a method so it can run while a window entry is mutably borrowed:
+/// `self.sink` and `self.cycle` are fields disjoint from `self.window`,
+/// and the whole emission folds away when `S::ENABLED` is false.
+macro_rules! emit {
+    ($self:ident, $ev:expr) => {
+        if S::ENABLED {
+            let cycle = $self.cycle;
+            $self.sink.event(cycle, &$ev);
+        }
+    };
+}
 
 /// How an instruction occupies execution resources.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -80,10 +94,6 @@ struct MemState {
 struct Entry {
     seq: u64,
     rec: TraceRecord,
-    /// Fetch cycle (for timeline recording).
-    fetch: u64,
-    /// Dispatch (window entry) cycle.
-    dispatched: u64,
     /// Earliest cycle any slice may issue (end of the front end).
     earliest_ex: u64,
     class: ExecClass,
@@ -160,7 +170,13 @@ impl Entry {
 }
 
 /// The timing simulator. Use [`simulate`] for the one-call entry point.
-pub struct Simulator {
+///
+/// Generic over a [`TraceSink`] that observes every pipeline event; the
+/// default [`NullTrace`] compiles all emission out, so `Simulator::new`
+/// is exactly the untraced machine. Use [`Simulator::with_sink`] to
+/// attach a recorder (e.g. [`crate::VecTrace`] or a
+/// [`TimelineBuilder`]).
+pub struct Simulator<S: TraceSink = NullTrace> {
     cfg: MachineConfig,
     nslices: usize,
     slice_bits: u32,
@@ -172,7 +188,12 @@ pub struct Simulator {
     next_seq: u64,
     window: VecDeque<Entry>,
     lsq_occupancy: usize,
-    frontq: VecDeque<(u64, TraceRecord, bool /*mispredicted*/, bool /*phantom*/)>,
+    frontq: VecDeque<(
+        u64,
+        TraceRecord,
+        bool, /*mispredicted*/
+        bool, /*phantom*/
+    )>,
     /// Sequence number of the in-flight mispredicted control transfer
     /// fetch is stalled behind, if any.
     fetch_block: Option<u64>,
@@ -185,11 +206,11 @@ pub struct Simulator {
     /// Non-pipelined unit reservations.
     muldiv_busy_until: u64,
     fp_long_busy_until: u64,
-    /// Optional pipetrace recording: capacity and collected records.
-    timeline: Option<(usize, Vec<InsnTiming>)>,
     /// Memory-dependence predictor: 2-bit confidence per load PC hash
     /// (3 = confidently conflict-free). Used by `opts.mem_dep_predict`.
     mem_dep_table: Vec<u8>,
+    /// The trace-event consumer (zero-sized and inert by default).
+    sink: S,
 }
 
 /// Run `program` under `cfg` for up to `limit` dynamic instructions and
@@ -199,8 +220,32 @@ pub fn simulate(program: &Program, cfg: &MachineConfig, limit: u64) -> SimStats 
 }
 
 impl Simulator {
-    /// Build a simulator for one run.
+    /// Build an untraced simulator for one run.
     pub fn new(cfg: &MachineConfig) -> Simulator {
+        Simulator::with_sink(cfg, NullTrace)
+    }
+
+    /// Like [`Simulator::run`], additionally recording an [`InsnTiming`]
+    /// pipetrace for the first `max_records` committed instructions.
+    ///
+    /// Runs a fresh simulator with this one's configuration, with a
+    /// [`TimelineBuilder`] sink folding the event stream back into
+    /// per-instruction records.
+    pub fn run_timeline(
+        &mut self,
+        program: &Program,
+        limit: u64,
+        max_records: usize,
+    ) -> (SimStats, Vec<InsnTiming>) {
+        let mut sim = Simulator::with_sink(&self.cfg, TimelineBuilder::new(max_records));
+        let stats = sim.run(program, limit);
+        (stats, sim.into_sink().finish())
+    }
+}
+
+impl<S: TraceSink> Simulator<S> {
+    /// Build a simulator that reports pipeline events to `sink`.
+    pub fn with_sink(cfg: &MachineConfig, sink: S) -> Simulator<S> {
         let nslices = cfg.slice_count();
         Simulator {
             cfg: *cfg,
@@ -220,30 +265,43 @@ impl Simulator {
             producer: [None; Reg::COUNT],
             muldiv_busy_until: 0,
             fp_long_busy_until: 0,
-            timeline: None,
             // Initialized confident: loads rarely conflict (the MCB
             // assumption); violations train entries down quickly.
             mem_dep_table: vec![3; 1024],
+            sink,
         }
+    }
+
+    /// Immutable access to the attached sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consume the simulator and return the sink (with whatever it
+    /// recorded).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// The statistics accumulated so far (final after [`Simulator::run`]).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Snapshot every counter — simulator, front end, and cache
+    /// hierarchy — into a named [`crate::StatsRegistry`].
+    pub fn registry(&self) -> crate::StatsRegistry {
+        let mut r = crate::StatsRegistry::from_sim(&self.stats);
+        r.add_frontend(self.frontend.stats());
+        r.add_cache("l1i", self.memory.l1i().stats());
+        r.add_cache("l1d", self.memory.l1d().stats());
+        r.add_cache("l2", self.memory.l2().stats());
+        r
     }
 
     #[inline]
     fn mem_dep_slot(pc: u32) -> usize {
         (((pc >> 2) ^ (pc >> 12)) as usize) & 1023
-    }
-
-    /// Like [`Simulator::run`], additionally recording an [`InsnTiming`]
-    /// pipetrace for the first `max_records` committed instructions.
-    pub fn run_timeline(
-        &mut self,
-        program: &Program,
-        limit: u64,
-        max_records: usize,
-    ) -> (SimStats, Vec<InsnTiming>) {
-        self.timeline = Some((max_records, Vec::with_capacity(max_records)));
-        let stats = self.run(program, limit);
-        let (_, records) = self.timeline.take().unwrap();
-        (stats, records)
     }
 
     /// Execute the run loop.
@@ -275,10 +333,7 @@ impl Simulator {
     // ---- fetch -----------------------------------------------------------
 
     /// Returns true when the trace is exhausted.
-    fn fetch(
-        &mut self,
-        trace: &mut std::iter::Peekable<popk_emu::Tracer<'_>>,
-    ) -> bool {
+    fn fetch(&mut self, trace: &mut std::iter::Peekable<popk_emu::Tracer<'_>>) -> bool {
         // Stall behind an unresolved mispredicted control transfer.
         if let Some(block_seq) = self.fetch_block {
             let resolved = if block_seq >= self.next_seq {
@@ -300,6 +355,7 @@ impl Simulator {
                 }
                 None => {
                     self.stats.fetch_redirect_stalls += 1;
+                    emit!(self, TraceEvent::Stall(StallReason::FetchRedirect));
                     if self.cfg.model_wrong_path {
                         self.fetch_phantoms();
                     }
@@ -367,7 +423,8 @@ impl Simulator {
                 }
             }
 
-            self.frontq.push_back((self.cycle, rec, mispredicted, false));
+            self.frontq
+                .push_back((self.cycle, rec, mispredicted, false));
             if mispredicted {
                 // Correct-path fetch cannot continue until this resolves.
                 self.fetch_block = Some(self.seq_of_frontq_tail());
@@ -415,7 +472,8 @@ impl Simulator {
             .back()
             .is_some_and(|e| e.phantom && e.seq > branch_seq)
         {
-            self.window.pop_back();
+            let squashed = self.window.pop_back().unwrap();
+            emit!(self, TraceEvent::Squashed { seq: squashed.seq });
         }
         self.frontq.retain(|(_, _, _, phantom)| !phantom);
         self.next_seq = self
@@ -439,12 +497,14 @@ impl Simulator {
             }
             if self.window.len() >= self.cfg.ruu_size {
                 self.stats.ruu_full_stalls += 1;
+                emit!(self, TraceEvent::Stall(StallReason::RuuFull));
                 return;
             }
             let op = rec.insn.op();
             let is_mem = op.is_load() || op.is_store();
             if is_mem && self.lsq_occupancy >= self.cfg.lsq_size {
                 self.stats.lsq_full_stalls += 1;
+                emit!(self, TraceEvent::Stall(StallReason::LsqFull));
                 return;
             }
             // Serialize syscalls: only dispatch into an empty window.
@@ -495,8 +555,6 @@ impl Simulator {
             let mut entry = Entry {
                 seq,
                 rec,
-                fetch,
-                dispatched: self.cycle,
                 earliest_ex: fetch + self.cfg.front_depth,
                 class,
                 slice_class,
@@ -527,6 +585,44 @@ impl Simulator {
             }
             if is_mem {
                 self.lsq_occupancy += 1;
+            }
+            emit!(
+                self,
+                TraceEvent::Dispatched {
+                    seq,
+                    pc: rec.pc,
+                    insn: rec.insn,
+                    fetch
+                }
+            );
+            if S::ENABLED && class == ExecClass::Front {
+                for k in 0..self.nslices {
+                    let at = entry.ready[k].unwrap();
+                    self.sink.event(
+                        self.cycle,
+                        &TraceEvent::SliceReady {
+                            seq,
+                            slice: k as u8,
+                            at,
+                        },
+                    );
+                }
+                self.sink.event(
+                    self.cycle,
+                    &TraceEvent::BranchResolved {
+                        seq,
+                        at: entry.resolved_at.unwrap(),
+                        early: false,
+                        mispredicted,
+                    },
+                );
+                self.sink.event(
+                    self.cycle,
+                    &TraceEvent::Completed {
+                        seq,
+                        at: entry.completed_at.unwrap(),
+                    },
+                );
             }
             self.window.push_back(entry);
         }
@@ -560,6 +656,21 @@ impl Simulator {
                             e.ready[k] = Some(done);
                         }
                         e.completed_at = Some(done);
+                        if S::ENABLED {
+                            let seq = e.seq;
+                            emit!(self, TraceEvent::SliceIssued { seq, slice: 0 });
+                            for k in 0..nslices {
+                                emit!(
+                                    self,
+                                    TraceEvent::SliceReady {
+                                        seq,
+                                        slice: k as u8,
+                                        at: done
+                                    }
+                                );
+                            }
+                            emit!(self, TraceEvent::Completed { seq, at: done });
+                        }
                     }
                 }
                 ExecClass::MulDiv | ExecClass::FpAdd | ExecClass::FpLong => {
@@ -614,6 +725,20 @@ impl Simulator {
                     for k in 0..nslices {
                         e.ready[k] = Some(done);
                     }
+                    if S::ENABLED {
+                        let seq = e.seq;
+                        emit!(self, TraceEvent::SliceIssued { seq, slice: 0 });
+                        for k in 0..nslices {
+                            emit!(
+                                self,
+                                TraceEvent::SliceReady {
+                                    seq,
+                                    slice: k as u8,
+                                    at: done
+                                }
+                            );
+                        }
+                    }
                     self.finish_if_done(idx);
                 }
                 ExecClass::IntSliced => {
@@ -638,6 +763,26 @@ impl Simulator {
                                 e.issued[k] = Some(self.cycle);
                                 e.ready[k] = Some(done);
                             }
+                            if S::ENABLED {
+                                let seq = e.seq;
+                                for k in 0..nslices {
+                                    emit!(
+                                        self,
+                                        TraceEvent::SliceIssued {
+                                            seq,
+                                            slice: k as u8
+                                        }
+                                    );
+                                    emit!(
+                                        self,
+                                        TraceEvent::SliceReady {
+                                            seq,
+                                            slice: k as u8,
+                                            at: done
+                                        }
+                                    );
+                                }
+                            }
                         }
                     } else {
                         // Bit-sliced issue: wake slices independently, but
@@ -658,6 +803,14 @@ impl Simulator {
                                 continue;
                             }
                             int_used[k] += 1;
+                            // Snapshot for event diffing: the late/narrow
+                            // special cases below rewrite `ready` slots.
+                            // (Dead — and free — when tracing is off.)
+                            let before_ready = if S::ENABLED {
+                                self.window[idx].ready
+                            } else {
+                                [None; MAX_SLICES]
+                            };
                             let late = self.window[idx].late_result;
                             let narrow_publish = k == 0
                                 && !late
@@ -677,6 +830,7 @@ impl Simulator {
                                 // are its sign bits — publish them with
                                 // slice 0 and skip their execution.
                                 self.stats.narrow_wakeups += 1;
+                                emit!(self, TraceEvent::NarrowWakeup { seq: e.seq });
                                 for j in 1..nslices {
                                     e.issued[j] = Some(self.cycle);
                                     e.ready[j] = Some(self.cycle + 1);
@@ -700,6 +854,36 @@ impl Simulator {
                                     }
                                 } else {
                                     e.ready[k] = None;
+                                }
+                            }
+                            if S::ENABLED {
+                                // Emit exactly what changed: every slice
+                                // issued this cycle (the narrow/atomic
+                                // paths issue several at once) and every
+                                // ready-slot the special cases rewrote.
+                                let e = &self.window[idx];
+                                for j in 0..nslices {
+                                    if e.issued[j] == Some(self.cycle) {
+                                        emit!(
+                                            self,
+                                            TraceEvent::SliceIssued {
+                                                seq: e.seq,
+                                                slice: j as u8
+                                            }
+                                        );
+                                    }
+                                    if e.ready[j] != before_ready[j] {
+                                        if let Some(at) = e.ready[j] {
+                                            emit!(
+                                                self,
+                                                TraceEvent::SliceReady {
+                                                    seq: e.seq,
+                                                    slice: j as u8,
+                                                    at,
+                                                }
+                                            );
+                                        }
+                                    }
                                 }
                             }
                             break; // one slice per entry per cycle
@@ -817,7 +1001,17 @@ impl Simulator {
         if matches!(op, Op::Jr | Op::Jalr) {
             // Atomic: resolved one cycle after issue.
             if let Some(c) = entry.issued[0] {
+                let (seq, mispredicted) = (entry.seq, entry.mispredicted);
                 self.window[idx].resolved_at = Some(c + 1);
+                emit!(
+                    self,
+                    TraceEvent::BranchResolved {
+                        seq,
+                        at: c + 1,
+                        early: false,
+                        mispredicted
+                    }
+                );
             }
             return;
         }
@@ -831,10 +1025,7 @@ impl Simulator {
             // Resolve operand values by register so `beq rX, rX` (whose
             // use set dedups) still sees both sides correctly.
             let rs = entry.rec.src_vals[0];
-            let rt = entry
-                .rec
-                .src_val(entry.rec.insn.rt())
-                .unwrap_or(0);
+            let rt = entry.rec.src_val(entry.rec.insn.rt()).unwrap_or(0);
             // predicted = !actual since mispredicted.
             let bits = mispredict_detection_bit(cond, rs, rt, !entry.rec.taken)
                 .expect("mispredicted branch must be detectable");
@@ -856,13 +1047,23 @@ impl Simulator {
         if let Some(done) = needed_done {
             let e = &mut self.window[idx];
             e.resolved_at = Some(done);
-            if e.mispredicted && resolve_slice < nslices - 1 {
+            let early = e.mispredicted && resolve_slice < nslices - 1;
+            if early {
                 self.stats.early_branch_resolves += 1;
                 // Savings estimate: remaining slices would each have taken
                 // at least one more cycle.
-                self.stats.early_branch_cycles_saved +=
-                    (nslices - 1 - resolve_slice) as u64;
+                self.stats.early_branch_cycles_saved += (nslices - 1 - resolve_slice) as u64;
             }
+            let (seq, mispredicted) = (e.seq, e.mispredicted);
+            emit!(
+                self,
+                TraceEvent::BranchResolved {
+                    seq,
+                    at: done,
+                    early,
+                    mispredicted
+                }
+            );
         }
     }
 
@@ -933,7 +1134,9 @@ impl Simulator {
                 None => return,
             }
         }
+        let seq = entry.seq;
         self.window[idx].completed_at = Some(done);
+        emit!(self, TraceEvent::Completed { seq, at: done });
     }
 
     // ---- memory ----------------------------------------------------------
@@ -949,6 +1152,7 @@ impl Simulator {
             if !entry.is_load() {
                 continue;
             }
+            let seq = entry.seq;
             let m = entry.mem.as_ref().unwrap();
             if m.started.is_some() {
                 continue;
@@ -1001,9 +1205,11 @@ impl Simulator {
                     // Oracle violation check: does any older in-window
                     // store actually overlap this load?
                     let load_rec = self.window[idx].rec;
-                    let conflict = self.window.iter().take(idx).any(|e| {
-                        e.is_store() && ranges_overlap(&e.rec, &load_rec)
-                    });
+                    let conflict = self
+                        .window
+                        .iter()
+                        .take(idx)
+                        .any(|e| e.is_store() && ranges_overlap(&e.rec, &load_rec));
                     if conflict {
                         // Violation: squash the speculation, train the
                         // predictor down (sticky conflict, MCB-style),
@@ -1014,9 +1220,18 @@ impl Simulator {
                         let e = &mut self.window[idx];
                         e.mem.as_mut().unwrap().dep_speculated = true;
                         self.stats.load_replays += 1;
+                        emit!(self, TraceEvent::MemDepViolation { seq });
+                        emit!(
+                            self,
+                            TraceEvent::Replay {
+                                seq,
+                                reason: ReplayReason::MemDepViolation
+                            }
+                        );
                         continue;
                     }
                     self.stats.mem_dep_speculations += 1;
+                    emit!(self, TraceEvent::MemDepSpeculated { seq });
                     let t = &mut self.mem_dep_table[slot];
                     *t = (*t + 1).min(3);
                     dep_speculating = true;
@@ -1026,16 +1241,17 @@ impl Simulator {
             let _ = dep_speculating;
             // Did partial knowledge let this load pass older stores whose
             // full addresses (or the load's own) were still incomplete?
-            let early_on = self.cfg.kind == PipelineKind::BitSliced
-                && self.cfg.opts.early_disambig;
+            let early_on = self.cfg.kind == PipelineKind::BitSliced && self.cfg.opts.early_disambig;
             if early_on
                 && matches!(forward_from, ForwardDecision::Access)
-                && self.window.iter().take(idx).any(|e| {
-                    e.is_store()
-                        && self.agen_slices_known_of(e) < self.nslices
-                })
+                && self
+                    .window
+                    .iter()
+                    .take(idx)
+                    .any(|e| e.is_store() && self.agen_slices_known_of(e) < self.nslices)
             {
                 self.stats.early_disambig_loads += 1;
+                emit!(self, TraceEvent::EarlyDisambig { seq });
             }
 
             let addr = self.window[idx].rec.ea;
@@ -1053,12 +1269,23 @@ impl Simulator {
                         let m = e.mem.as_mut().unwrap();
                         m.started = Some(self.cycle);
                         m.data_ready = Some(r);
+                        emit!(
+                            self,
+                            TraceEvent::StoreForward {
+                                load_seq: seq,
+                                store_seq
+                            }
+                        );
+                        emit!(self, TraceEvent::MemStarted { seq });
+                        emit!(self, TraceEvent::MemDone { seq, at: r });
                         self.finish_if_done(idx);
                     }
                     continue;
                 }
                 ForwardDecision::SpecForward(store_seq) => {
-                    let Some(store) = self.find(store_seq) else { continue };
+                    let Some(store) = self.find(store_seq) else {
+                        continue;
+                    };
                     let Some(data_at) = store.mem.as_ref().unwrap().store_data_ready else {
                         continue; // store data not ready: keep waiting
                     };
@@ -1074,6 +1301,16 @@ impl Simulator {
                         let m = e.mem.as_mut().unwrap();
                         m.started = Some(self.cycle);
                         m.data_ready = Some(r);
+                        emit!(
+                            self,
+                            TraceEvent::SpecForward {
+                                load_seq: seq,
+                                store_seq,
+                                ok: true
+                            }
+                        );
+                        emit!(self, TraceEvent::MemStarted { seq });
+                        emit!(self, TraceEvent::MemDone { seq, at: r });
                     } else {
                         // Refuted at verification: replay via the cache
                         // after both full addresses are known.
@@ -1094,6 +1331,23 @@ impl Simulator {
                         let m = e.mem.as_mut().unwrap();
                         m.started = Some(self.cycle);
                         m.data_ready = Some(r);
+                        emit!(
+                            self,
+                            TraceEvent::SpecForward {
+                                load_seq: seq,
+                                store_seq,
+                                ok: false
+                            }
+                        );
+                        emit!(
+                            self,
+                            TraceEvent::Replay {
+                                seq,
+                                reason: ReplayReason::SpecForwardWrong
+                            }
+                        );
+                        emit!(self, TraceEvent::MemStarted { seq });
+                        emit!(self, TraceEvent::MemDone { seq, at: r });
                     }
                     self.finish_if_done(idx);
                     continue;
@@ -1103,6 +1357,7 @@ impl Simulator {
             ports_used += 1;
             if via_sam && agen_known < known_slices {
                 self.stats.sam_starts += 1;
+                emit!(self, TraceEvent::SamStart { seq });
             }
 
             // Probe (for partial-tag classification) then access. The
@@ -1112,12 +1367,7 @@ impl Simulator {
             self.stats.l1d_accesses += 1;
             let speculative = partial_tag_on && (dis_bits < 32 || known_bits < 32);
             let probe = if speculative {
-                let tag_bits = self
-                    .cfg
-                    .memory
-                    .l1d
-                    .partial_tag_bits(dis_bits)
-                    .unwrap_or(0);
+                let tag_bits = self.cfg.memory.l1d.partial_tag_bits(dis_bits).unwrap_or(0);
                 Some(self.memory.l1d().partial_probe(addr, tag_bits))
             } else {
                 None
@@ -1130,6 +1380,7 @@ impl Simulator {
 
             let data_ready = if let Some(outcome) = probe {
                 self.stats.partial_tag_accesses += 1;
+                emit!(self, TraceEvent::PartialTagProbe { seq, outcome });
                 match outcome {
                     PartialOutcome::ZeroMatch => {
                         // Early, non-speculative miss: start the L2 access
@@ -1138,17 +1389,28 @@ impl Simulator {
                         self.cycle + access.latency as u64
                     }
                     PartialOutcome::SingleHit { .. }
-                    | PartialOutcome::MultiMatch { mru_correct: true, .. } => {
+                    | PartialOutcome::MultiMatch {
+                        mru_correct: true, ..
+                    } => {
                         // Correct way speculation: data after the L1
                         // latency, verified in the background.
                         self.cycle + self.cfg.memory.l1_latency as u64
                     }
                     PartialOutcome::SingleMiss
-                    | PartialOutcome::MultiMatch { mru_correct: false, .. } => {
+                    | PartialOutcome::MultiMatch {
+                        mru_correct: false, ..
+                    } => {
                         // Way mispredict: verification at full-address time
                         // kills the speculation; the access restarts.
                         self.stats.way_mispredicts += 1;
                         self.stats.load_replays += 1;
+                        emit!(
+                            self,
+                            TraceEvent::Replay {
+                                seq,
+                                reason: ReplayReason::WayMispredict
+                            }
+                        );
                         let restart = full_addr_at.unwrap_or(self.cycle) + 1;
                         restart.max(self.cycle) + access.latency as u64
                     }
@@ -1156,6 +1418,13 @@ impl Simulator {
             } else {
                 if !access.l1_hit {
                     self.stats.load_replays += 1;
+                    emit!(
+                        self,
+                        TraceEvent::Replay {
+                            seq,
+                            reason: ReplayReason::CacheMiss
+                        }
+                    );
                 }
                 self.cycle + access.latency as u64
             };
@@ -1165,7 +1434,10 @@ impl Simulator {
             m.started = Some(self.cycle);
             // A load that earlier mis-speculated past a conflicting store
             // pays a replay bubble on its eventual (correct) attempt.
-            m.data_ready = Some(data_ready + 2 * m.dep_speculated as u64);
+            let at = data_ready + 2 * m.dep_speculated as u64;
+            m.data_ready = Some(at);
+            emit!(self, TraceEvent::MemStarted { seq });
+            emit!(self, TraceEvent::MemDone { seq, at });
             self.finish_if_done(idx);
         }
     }
@@ -1239,7 +1511,11 @@ impl Simulator {
                 if common == 0 {
                     return None; // store address totally unknown
                 }
-                let mask = if common >= 32 { u32::MAX } else { (1 << common) - 1 } & !3;
+                let mask = if common >= 32 {
+                    u32::MAX
+                } else {
+                    (1 << common) - 1
+                } & !3;
                 if (load_word ^ store_word) & mask != 0 {
                     continue; // ruled out by partial mismatch
                 }
@@ -1260,10 +1536,7 @@ impl Simulator {
                 // extension may speculate on a *unique* matcher —
                 // restricted to word/word pairs, where a partial address
                 // match implies a forwardable full match.
-                if !spec
-                    || load.rec.insn.op() != Op::Lw
-                    || store.rec.insn.op() != Op::Sw
-                {
+                if !spec || load.rec.insn.op() != Op::Lw || store.rec.insn.op() != Op::Sw {
                     return None;
                 }
                 partial_matches += 1;
@@ -1310,7 +1583,9 @@ impl Simulator {
 
     fn commit(&mut self) {
         for _ in 0..self.cfg.width {
-            let Some(head) = self.window.front() else { return };
+            let Some(head) = self.window.front() else {
+                return;
+            };
             if head.phantom {
                 // Wrong-path work never retires; it waits for the squash.
                 return;
@@ -1320,25 +1595,7 @@ impl Simulator {
                 _ => return,
             }
             let head = self.window.pop_front().unwrap();
-            if let Some((cap, records)) = &mut self.timeline {
-                if records.len() < *cap {
-                    let m = head.mem.as_ref();
-                    records.push(InsnTiming {
-                        seq: head.seq,
-                        pc: head.rec.pc,
-                        disasm: head.rec.insn.to_string(),
-                        fetch: head.fetch,
-                        dispatch: head.dispatched,
-                        slice_issue: head.issued,
-                        slice_ready: head.ready,
-                        mem_start: m.and_then(|m| m.started),
-                        mem_done: m.and_then(|m| m.data_ready),
-                        resolved: head.resolved_at,
-                        completed: head.completed_at.unwrap_or(self.cycle),
-                        committed: self.cycle,
-                    });
-                }
-            }
+            emit!(self, TraceEvent::Committed { seq: head.seq });
             self.stats.committed += 1;
             let op = head.rec.insn.op();
             if head.is_mem() {
@@ -1472,7 +1729,10 @@ mod tests {
         let stats = run_cfg(src, &MachineConfig::ideal());
         assert!(stats.branches >= 800);
         assert!(stats.branch_mispredicts > 0);
-        assert_eq!(stats.committed, run_cfg(src, &MachineConfig::slice4_full()).committed);
+        assert_eq!(
+            stats.committed,
+            run_cfg(src, &MachineConfig::slice4_full()).committed
+        );
     }
 
     #[test]
@@ -1554,7 +1814,11 @@ mod tests {
                 syscall
         "#;
         let stats = run_cfg(src, &MachineConfig::ideal());
-        assert!(stats.store_forwards >= 100, "forwards: {}", stats.store_forwards);
+        assert!(
+            stats.store_forwards >= 100,
+            "forwards: {}",
+            stats.store_forwards
+        );
     }
 
     #[test]
@@ -1651,7 +1915,11 @@ mod tests {
         spec_cfg.opts.spec_forward = true;
         let without = run_cfg(src, &base);
         let with = run_cfg(src, &spec_cfg);
-        assert!(with.spec_forwards > 100, "spec forwards: {}", with.spec_forwards);
+        assert!(
+            with.spec_forwards > 100,
+            "spec forwards: {}",
+            with.spec_forwards
+        );
         assert_eq!(with.spec_forward_wrong, 0, "addresses always match here");
         assert!(
             with.cycles < without.cycles,
@@ -1720,7 +1988,11 @@ mod tests {
         narrow.opts.narrow_operands = true;
         let without = run_cfg(src, &base);
         let with = run_cfg(src, &narrow);
-        assert!(with.narrow_wakeups > 1000, "wakeups: {}", with.narrow_wakeups);
+        assert!(
+            with.narrow_wakeups > 1000,
+            "wakeups: {}",
+            with.narrow_wakeups
+        );
         assert!(
             with.cycles <= without.cycles,
             "narrow relaxation must not hurt: {} vs {}",
@@ -1777,7 +2049,11 @@ mod tests {
         md.opts.mem_dep_predict = true;
         let without = run_cfg(src, &base);
         let with = run_cfg(src, &md);
-        assert!(with.mem_dep_speculations > 100, "specs: {}", with.mem_dep_speculations);
+        assert!(
+            with.mem_dep_speculations > 100,
+            "specs: {}",
+            with.mem_dep_speculations
+        );
         assert_eq!(with.mem_dep_violations, 0);
         assert!(
             with.cycles < without.cycles,
@@ -1922,7 +2198,10 @@ mod tests {
         // Cold L1+L2 miss: the data takes the full memory round trip.
         assert!(done - start >= 100, "cold miss latency {start}..{done}");
         // The consumer cannot complete before the data arrives.
-        let dep = timings.iter().find(|t| t.disasm.starts_with("addu r10")).unwrap();
+        let dep = timings
+            .iter()
+            .find(|t| t.disasm.starts_with("addu r10"))
+            .unwrap();
         assert!(dep.completed > done);
     }
 
@@ -1956,7 +2235,11 @@ mod tests {
         for name in ["gcc", "bzip"] {
             let p = popk_workloads::by_name(name).unwrap().program();
             let full = simulate(&p, &MachineConfig::slice2(Optimizations::all()), 40_000);
-            let ext = simulate(&p, &MachineConfig::slice2(Optimizations::extended()), 40_000);
+            let ext = simulate(
+                &p,
+                &MachineConfig::slice2(Optimizations::extended()),
+                40_000,
+            );
             assert_eq!(full.committed, ext.committed);
             assert!(
                 ext.cycles <= full.cycles + full.cycles / 50,
@@ -1973,7 +2256,11 @@ mod tests {
         let p = w.program();
         let mut prev = f64::MAX;
         for level in 0..=5 {
-            let s = simulate(&p, &MachineConfig::slice2(Optimizations::level(level)), 60_000);
+            let s = simulate(
+                &p,
+                &MachineConfig::slice2(Optimizations::level(level)),
+                60_000,
+            );
             let cycles = s.cycles as f64;
             assert!(
                 cycles <= prev * 1.02,

@@ -1,7 +1,11 @@
 //! Simulation statistics.
 
 /// Counters accumulated by one timing run.
-#[derive(Clone, Copy, Default, Debug)]
+///
+/// Equality is bitwise over every counter — the determinism tests compare
+/// whole snapshots of two runs. [`crate::StatsRegistry::from_sim`] gives
+/// each field a stable name and description.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct SimStats {
     /// Cycles elapsed when the last instruction committed.
     pub cycles: u64,

@@ -15,7 +15,13 @@
 //! `F` fetch, `D` dispatch, digit *k* = issue of slice *k*, `o` result
 //! slice complete, `m`/`M` memory access start/data back, `!` branch
 //! resolution, `C` commit.
+//!
+//! The records are reconstructed from the simulator's
+//! [`TraceEvent`](crate::TraceEvent) stream by [`TimelineBuilder`], a
+//! [`TraceSink`] any traced run can use directly.
 
+use crate::events::{TraceEvent, TraceSink};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One committed instruction's recorded cycles.
@@ -145,6 +151,131 @@ pub fn render_chart(timings: &[InsnTiming], width: usize) -> String {
         );
     }
     out
+}
+
+/// A [`TraceSink`] that folds the pipeline event stream back into
+/// per-instruction [`InsnTiming`] records for the first `cap` committed
+/// instructions (wrong-path phantoms are discarded at their squash).
+#[derive(Debug, Default)]
+pub struct TimelineBuilder {
+    cap: usize,
+    /// In-flight (dispatched, not yet committed) records by seq.
+    pending: BTreeMap<u64, InsnTiming>,
+    /// Committed records, in commit order.
+    done: Vec<InsnTiming>,
+}
+
+/// Sentinel for "completion not yet observed" (`InsnTiming::completed`
+/// is not optional); replaced by the commit cycle if never set.
+const UNSET: u64 = u64::MAX;
+
+impl TimelineBuilder {
+    /// A builder that keeps the first `cap` committed instructions.
+    pub fn new(cap: usize) -> TimelineBuilder {
+        TimelineBuilder {
+            cap,
+            pending: BTreeMap::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// The committed records collected so far, consuming the builder.
+    pub fn finish(self) -> Vec<InsnTiming> {
+        self.done
+    }
+
+    /// The committed records collected so far.
+    pub fn records(&self) -> &[InsnTiming] {
+        &self.done
+    }
+}
+
+impl TraceSink for TimelineBuilder {
+    fn event(&mut self, cycle: u64, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Dispatched {
+                seq,
+                pc,
+                insn,
+                fetch,
+            } => {
+                if self.done.len() < self.cap {
+                    self.pending.insert(
+                        seq,
+                        InsnTiming {
+                            seq,
+                            pc,
+                            disasm: insn.to_string(),
+                            fetch,
+                            dispatch: cycle,
+                            slice_issue: [None; 4],
+                            slice_ready: [None; 4],
+                            mem_start: None,
+                            mem_done: None,
+                            resolved: None,
+                            completed: UNSET,
+                            committed: UNSET,
+                        },
+                    );
+                }
+            }
+            TraceEvent::SliceIssued { seq, slice } => {
+                if let Some(t) = self.pending.get_mut(&seq) {
+                    t.slice_issue[slice as usize] = Some(cycle);
+                }
+            }
+            TraceEvent::SliceReady { seq, slice, at } => {
+                if let Some(t) = self.pending.get_mut(&seq) {
+                    t.slice_ready[slice as usize] = Some(at);
+                }
+            }
+            TraceEvent::BranchResolved { seq, at, .. } => {
+                if let Some(t) = self.pending.get_mut(&seq) {
+                    t.resolved = Some(at);
+                }
+            }
+            TraceEvent::MemStarted { seq } => {
+                if let Some(t) = self.pending.get_mut(&seq) {
+                    t.mem_start = Some(cycle);
+                }
+            }
+            TraceEvent::MemDone { seq, at } => {
+                if let Some(t) = self.pending.get_mut(&seq) {
+                    t.mem_done = Some(at);
+                }
+            }
+            TraceEvent::Completed { seq, at } => {
+                if let Some(t) = self.pending.get_mut(&seq) {
+                    t.completed = at;
+                }
+            }
+            TraceEvent::Committed { seq } => {
+                if let Some(mut t) = self.pending.remove(&seq) {
+                    t.committed = cycle;
+                    if t.completed == UNSET {
+                        t.completed = cycle;
+                    }
+                    if self.done.len() < self.cap {
+                        self.done.push(t);
+                    }
+                }
+            }
+            TraceEvent::Squashed { seq } => {
+                self.pending.remove(&seq);
+            }
+            // Pure-counter events carry no per-instruction timing.
+            TraceEvent::Stall(_)
+            | TraceEvent::NarrowWakeup { .. }
+            | TraceEvent::PartialTagProbe { .. }
+            | TraceEvent::StoreForward { .. }
+            | TraceEvent::SpecForward { .. }
+            | TraceEvent::MemDepSpeculated { .. }
+            | TraceEvent::MemDepViolation { .. }
+            | TraceEvent::EarlyDisambig { .. }
+            | TraceEvent::SamStart { .. }
+            | TraceEvent::Replay { .. } => {}
+        }
+    }
 }
 
 fn truncate(s: &str, n: usize) -> String {

@@ -187,10 +187,7 @@ impl Machine {
             return Ok(StepEvent::Exited(code));
         }
         let pc = self.pc;
-        let insn = *self
-            .program
-            .fetch(pc)
-            .ok_or(EmuError::UnmappedPc { pc })?;
+        let insn = *self.program.fetch(pc).ok_or(EmuError::UnmappedPc { pc })?;
 
         let mut src_vals = [0u32; 2];
         for (i, r) in insn.uses().iter().enumerate() {
@@ -215,9 +212,7 @@ impl Machine {
             Op::Or => self.set_reg(insn.rd(), rs_v | rt_v),
             Op::Xor => self.set_reg(insn.rd(), rs_v ^ rt_v),
             Op::Nor => self.set_reg(insn.rd(), !(rs_v | rt_v)),
-            Op::Addi | Op::Addiu => {
-                self.set_reg(insn.rd(), rs_v.wrapping_add(insn.imm() as u32))
-            }
+            Op::Addi | Op::Addiu => self.set_reg(insn.rd(), rs_v.wrapping_add(insn.imm() as u32)),
             Op::Slti => self.set_reg(insn.rd(), ((rs_v as i32) < insn.imm()) as u32),
             Op::Sltiu => self.set_reg(insn.rd(), (rs_v < insn.imm() as u32) as u32),
             Op::Andi => self.set_reg(insn.rd(), rs_v & insn.imm() as u32),
@@ -228,7 +223,10 @@ impl Machine {
             // ---- shifts -------------------------------------------------
             Op::Sll => self.set_reg(insn.rd(), rt_v << (insn.imm() as u32 & 31)),
             Op::Srl => self.set_reg(insn.rd(), rt_v >> (insn.imm() as u32 & 31)),
-            Op::Sra => self.set_reg(insn.rd(), ((rt_v as i32) >> (insn.imm() as u32 & 31)) as u32),
+            Op::Sra => self.set_reg(
+                insn.rd(),
+                ((rt_v as i32) >> (insn.imm() as u32 & 31)) as u32,
+            ),
             Op::Sllv => self.set_reg(insn.rd(), rt_v << (rs_v & 31)),
             Op::Srlv => self.set_reg(insn.rd(), rt_v >> (rs_v & 31)),
             Op::Srav => self.set_reg(insn.rd(), ((rt_v as i32) >> (rs_v & 31)) as u32),
@@ -363,7 +361,15 @@ impl Machine {
 
         self.pc = next_pc;
         self.icount += 1;
-        let rec = TraceRecord { pc, insn, src_vals, results, ea, taken, next_pc };
+        let rec = TraceRecord {
+            pc,
+            insn,
+            src_vals,
+            results,
+            ea,
+            taken,
+            next_pc,
+        };
         self.stats.record(&rec);
         Ok(StepEvent::Retired(rec))
     }
@@ -482,10 +488,7 @@ mod tests {
                 syscall
             "#,
         );
-        assert_eq!(
-            m.output_ints(),
-            &[2, 0x540B_E400u32 as i32, -3, -1]
-        );
+        assert_eq!(m.output_ints(), &[2, 0x540B_E400u32 as i32, -3, -1]);
     }
 
     #[test]
@@ -593,7 +596,13 @@ mod tests {
         .unwrap();
         let mut m = Machine::new(&p);
         let err = m.run(100).unwrap_err();
-        assert!(matches!(err, EmuError::Misaligned { addr: 0x1000_0001, .. }));
+        assert!(matches!(
+            err,
+            EmuError::Misaligned {
+                addr: 0x1000_0001,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -623,7 +632,10 @@ mod tests {
         let mut m = Machine::new(&p);
         let recs: Vec<_> = m.trace(100).map(|r| r.unwrap()).collect();
         // li expands to lui+ori: addu is at index 4.
-        let addu = recs.iter().find(|r| r.insn.op() == Op::Addu && r.insn.rd() == Reg::gpr(10)).unwrap();
+        let addu = recs
+            .iter()
+            .find(|r| r.insn.op() == Op::Addu && r.insn.rd() == Reg::gpr(10))
+            .unwrap();
         assert_eq!(addu.src_vals, [6, 7]);
         assert_eq!(addu.results[0], 13);
         let sw = recs.iter().find(|r| r.insn.op() == Op::Sw).unwrap();

@@ -81,7 +81,12 @@ impl ExecStats {
                 if rec.taken {
                     self.taken_branches += 1;
                 }
-                if rec.insn.op().branch_cond().is_some_and(|c| c.early_resolvable()) {
+                if rec
+                    .insn
+                    .op()
+                    .branch_cond()
+                    .is_some_and(|c| c.early_resolvable())
+                {
                     self.eq_ne_branches += 1;
                 }
             }
@@ -120,7 +125,11 @@ pub struct Tracer<'m> {
 
 impl<'m> Tracer<'m> {
     pub(crate) fn new(machine: &'m mut Machine, limit: u64) -> Self {
-        Tracer { machine, remaining: limit, done: false }
+        Tracer {
+            machine,
+            remaining: limit,
+            done: false,
+        }
     }
 }
 

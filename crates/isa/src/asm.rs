@@ -51,7 +51,10 @@ impl std::error::Error for AsmError {}
 type Result<T> = std::result::Result<T, AsmError>;
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -136,7 +139,12 @@ pub fn assemble(source: &str) -> Result<Program> {
     }
 
     let entry = symbols.get("main").copied().unwrap_or(TEXT_BASE);
-    Ok(Program { text, data, entry, symbols })
+    Ok(Program {
+        text,
+        data,
+        entry,
+        symbols,
+    })
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -185,12 +193,24 @@ fn directive_size(directive: &str, lineno: usize) -> Result<DirectiveEffect> {
     Ok(match name {
         "text" => DirectiveEffect::SetSection(Section::Text),
         "data" => DirectiveEffect::SetSection(Section::Data),
-        "word" => DirectiveEffect::Data { bytes: 4 * count_items(), align: 4 },
-        "half" => DirectiveEffect::Data { bytes: 2 * count_items(), align: 2 },
-        "byte" => DirectiveEffect::Data { bytes: count_items(), align: 1 },
+        "word" => DirectiveEffect::Data {
+            bytes: 4 * count_items(),
+            align: 4,
+        },
+        "half" => DirectiveEffect::Data {
+            bytes: 2 * count_items(),
+            align: 2,
+        },
+        "byte" => DirectiveEffect::Data {
+            bytes: count_items(),
+            align: 1,
+        },
         "asciiz" => {
             let s = parse_string(args, lineno)?;
-            DirectiveEffect::Data { bytes: s.len() as u32 + 1, align: 1 }
+            DirectiveEffect::Data {
+                bytes: s.len() as u32 + 1,
+                align: 1,
+            }
         }
         "space" => {
             let n = parse_imm(args.trim(), lineno)? as u32;
@@ -360,20 +380,25 @@ fn emit_insn(
     symbols: &BTreeMap<String, u32>,
     lineno: usize,
 ) -> Result<()> {
-    let (mnemonic, rest) = line
-        .split_once(char::is_whitespace)
-        .unwrap_or((line, ""));
+    let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
     let ops: Vec<&str> = rest
         .split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .collect();
-    let ctx = Ctx { symbols, lineno, cur_word: text.len() as u32 };
+    let ctx = Ctx {
+        symbols,
+        lineno,
+        cur_word: text.len() as u32,
+    };
     let need = |n: usize| -> Result<()> {
         if ops.len() == n {
             Ok(())
         } else {
-            err(lineno, format!("`{mnemonic}` expects {n} operands, got {}", ops.len()))
+            err(
+                lineno,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            )
         }
     };
 
@@ -385,7 +410,12 @@ fn emit_insn(
         }
         "move" => {
             need(2)?;
-            text.push(Insn::r3(Op::Addu, ctx.reg(ops[0])?, ctx.reg(ops[1])?, Reg::ZERO));
+            text.push(Insn::r3(
+                Op::Addu,
+                ctx.reg(ops[0])?,
+                ctx.reg(ops[1])?,
+                Reg::ZERO,
+            ));
             return Ok(());
         }
         "li" | "la" => {
@@ -409,8 +439,10 @@ fn emit_insn(
         _ => {}
     }
 
-    let op = Op::from_mnemonic(mnemonic)
-        .ok_or_else(|| AsmError { line: lineno, message: format!("unknown mnemonic `{mnemonic}`") })?;
+    let op = Op::from_mnemonic(mnemonic).ok_or_else(|| AsmError {
+        line: lineno,
+        message: format!("unknown mnemonic `{mnemonic}`"),
+    })?;
 
     let insn = match op {
         Op::Sll | Op::Srl | Op::Sra => {
@@ -427,11 +459,21 @@ fn emit_insn(
         }
         Op::Addi | Op::Addiu | Op::Slti | Op::Sltiu => {
             need(3)?;
-            Insn::imm_op(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, ctx.imm16s(ops[2])? as i32)
+            Insn::imm_op(
+                op,
+                ctx.reg(ops[0])?,
+                ctx.reg(ops[1])?,
+                ctx.imm16s(ops[2])? as i32,
+            )
         }
         Op::Andi | Op::Ori | Op::Xori => {
             need(3)?;
-            Insn::imm_op(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, ctx.imm16u(ops[2])? as i32)
+            Insn::imm_op(
+                op,
+                ctx.reg(ops[0])?,
+                ctx.reg(ops[1])?,
+                ctx.imm16u(ops[2])? as i32,
+            )
         }
         Op::Lui => {
             need(2)?;
@@ -448,7 +490,12 @@ fn emit_insn(
         }
         Op::Beq | Op::Bne => {
             need(3)?;
-            Insn::branch(op, ctx.reg(ops[0])?, ctx.reg(ops[1])?, ctx.branch_disp(ops[2])?)
+            Insn::branch(
+                op,
+                ctx.reg(ops[0])?,
+                ctx.reg(ops[1])?,
+                ctx.branch_disp(ops[2])?,
+            )
         }
         Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => {
             need(2)?;
@@ -501,15 +548,23 @@ fn emit_insn(
 fn parse_mem_operand(s: &str, ctx: &Ctx<'_>) -> Result<(i16, Reg)> {
     let s = s.trim();
     if let Some(open) = s.find('(') {
-        let close = s
-            .rfind(')')
-            .ok_or_else(|| AsmError { line: ctx.lineno, message: "missing `)`".into() })?;
+        let close = s.rfind(')').ok_or_else(|| AsmError {
+            line: ctx.lineno,
+            message: "missing `)`".into(),
+        })?;
         let off_str = s[..open].trim();
-        let off = if off_str.is_empty() { 0 } else { ctx.imm16s(off_str)? };
+        let off = if off_str.is_empty() {
+            0
+        } else {
+            ctx.imm16s(off_str)?
+        };
         let base = ctx.reg(&s[open + 1..close])?;
         Ok((off, base))
     } else {
-        err(ctx.lineno, format!("bad memory operand `{s}` (expected off(base))"))
+        err(
+            ctx.lineno,
+            format!("bad memory operand `{s}` (expected off(base))"),
+        )
     }
 }
 

@@ -515,8 +515,7 @@ impl Builder {
                 }
                 Fixup::Jump(idx) => {
                     let old = self.text[idx];
-                    self.text[idx] =
-                        Insn::jump(old.op(), (TEXT_BASE >> 2) + target as u32);
+                    self.text[idx] = Insn::jump(old.op(), (TEXT_BASE >> 2) + target as u32);
                 }
             }
         }

@@ -207,9 +207,14 @@ pub fn encode(insn: &Insn) -> u32 {
     let rd = |x: Reg| x.encoding();
     if let Some(f) = funct_of(op) {
         return match op {
-            Op::Sll | Op::Srl | Op::Sra => {
-                r(SPECIAL, 0, rd(insn.rt()), rd(insn.rd()), insn.imm() as u32 & 31, f)
-            }
+            Op::Sll | Op::Srl | Op::Sra => r(
+                SPECIAL,
+                0,
+                rd(insn.rt()),
+                rd(insn.rd()),
+                insn.imm() as u32 & 31,
+                f,
+            ),
             Op::Sllv | Op::Srlv | Op::Srav => {
                 r(SPECIAL, rd(insn.rs()), rd(insn.rt()), rd(insn.rd()), 0, f)
             }
@@ -254,16 +259,19 @@ pub fn encode(insn: &Insn) -> u32 {
         Op::Andi | Op::Ori | Op::Xori => {
             let imm = insn.imm() as u32;
             assert!(imm <= 0xffff, "logical immediate out of range");
-            i_fmt(primary_of(op).unwrap(), insn.rs().encoding(), insn.rd().encoding(), imm)
-        }
-        Op::Addi | Op::Addiu | Op::Slti | Op::Sltiu => {
             i_fmt(
                 primary_of(op).unwrap(),
                 insn.rs().encoding(),
                 insn.rd().encoding(),
-                imm16_disp(insn.imm()),
+                imm,
             )
         }
+        Op::Addi | Op::Addiu | Op::Slti | Op::Sltiu => i_fmt(
+            primary_of(op).unwrap(),
+            insn.rs().encoding(),
+            insn.rd().encoding(),
+            imm16_disp(insn.imm()),
+        ),
         op if op.is_load() => i_fmt(
             primary_of(op).unwrap(),
             insn.rs().encoding(),
@@ -281,7 +289,10 @@ pub fn encode(insn: &Insn) -> u32 {
 }
 
 fn imm16_disp(v: i32) -> u32 {
-    assert!((-32768..=32767).contains(&v), "immediate {v} out of i16 range");
+    assert!(
+        (-32768..=32767).contains(&v),
+        "immediate {v} out of i16 range"
+    );
     (v as u32) & 0xffff
 }
 

@@ -36,14 +36,26 @@ impl Insn {
             op.class(),
             OpClass::IntAlu | OpClass::Logic | OpClass::Shift | OpClass::Fp
         ));
-        Insn { op, rd, rs, rt, imm: 0 }
+        Insn {
+            op,
+            rd,
+            rs,
+            rt,
+            imm: 0,
+        }
     }
 
     /// Shift-by-immediate `op rd, rt, shamt` (`sll`/`srl`/`sra`).
     pub fn shift_imm(op: Op, rd: Reg, rt: Reg, shamt: u8) -> Insn {
         debug_assert!(matches!(op, Op::Sll | Op::Srl | Op::Sra));
         debug_assert!(shamt < 32);
-        Insn { op, rd, rs: Reg::ZERO, rt, imm: shamt as i32 }
+        Insn {
+            op,
+            rd,
+            rs: Reg::ZERO,
+            rt,
+            imm: shamt as i32,
+        }
     }
 
     /// Immediate-form ALU instruction `op rt, rs, imm`. The immediate is
@@ -51,24 +63,48 @@ impl Insn {
     /// zero-extended for `andi`/`ori`/`xori`, shifted for `lui`).
     pub fn imm_op(op: Op, rt: Reg, rs: Reg, imm: i32) -> Insn {
         debug_assert!(matches!(op.class(), OpClass::IntAlu | OpClass::Logic));
-        Insn { op, rd: rt, rs, rt: Reg::ZERO, imm }
+        Insn {
+            op,
+            rd: rt,
+            rs,
+            rt: Reg::ZERO,
+            imm,
+        }
     }
 
     /// `lui rt, imm16` — stores the already-shifted value in `imm`.
     pub fn lui(rt: Reg, imm16: u16) -> Insn {
-        Insn { op: Op::Lui, rd: rt, rs: Reg::ZERO, rt: Reg::ZERO, imm: ((imm16 as u32) << 16) as i32 }
+        Insn {
+            op: Op::Lui,
+            rd: rt,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: ((imm16 as u32) << 16) as i32,
+        }
     }
 
     /// Load `op rt, offset(base)`.
     pub fn load(op: Op, rt: Reg, offset: i16, base: Reg) -> Insn {
         debug_assert!(op.is_load());
-        Insn { op, rd: rt, rs: base, rt: Reg::ZERO, imm: offset as i32 }
+        Insn {
+            op,
+            rd: rt,
+            rs: base,
+            rt: Reg::ZERO,
+            imm: offset as i32,
+        }
     }
 
     /// Store `op rt, offset(base)`; `rt` is the data source.
     pub fn store(op: Op, rt: Reg, offset: i16, base: Reg) -> Insn {
         debug_assert!(op.is_store());
-        Insn { op, rd: Reg::ZERO, rs: base, rt, imm: offset as i32 }
+        Insn {
+            op,
+            rd: Reg::ZERO,
+            rs: base,
+            rt,
+            imm: offset as i32,
+        }
     }
 
     /// Conditional branch; `disp_words` is the displacement in instruction
@@ -76,43 +112,85 @@ impl Insn {
     /// this ISA).
     pub fn branch(op: Op, rs: Reg, rt: Reg, disp_words: i32) -> Insn {
         debug_assert!(op.is_cond_branch());
-        Insn { op, rd: Reg::ZERO, rs, rt, imm: disp_words }
+        Insn {
+            op,
+            rd: Reg::ZERO,
+            rs,
+            rt,
+            imm: disp_words,
+        }
     }
 
     /// Absolute jump (`j`/`jal`) to a text-segment word index.
     pub fn jump(op: Op, target_word: u32) -> Insn {
         debug_assert!(matches!(op, Op::J | Op::Jal));
-        Insn { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: target_word as i32 }
+        Insn {
+            op,
+            rd: Reg::ZERO,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: target_word as i32,
+        }
     }
 
     /// Register jump `jr rs` or `jalr rd, rs`.
     pub fn jump_reg(op: Op, rd: Reg, rs: Reg) -> Insn {
         debug_assert!(matches!(op, Op::Jr | Op::Jalr));
-        Insn { op, rd, rs, rt: Reg::ZERO, imm: 0 }
+        Insn {
+            op,
+            rd,
+            rs,
+            rt: Reg::ZERO,
+            imm: 0,
+        }
     }
 
     /// `mult`/`multu`/`div`/`divu rs, rt` (write HI/LO implicitly).
     pub fn muldiv(op: Op, rs: Reg, rt: Reg) -> Insn {
         debug_assert!(matches!(op, Op::Mult | Op::Multu | Op::Div | Op::Divu));
-        Insn { op, rd: Reg::ZERO, rs, rt, imm: 0 }
+        Insn {
+            op,
+            rd: Reg::ZERO,
+            rs,
+            rt,
+            imm: 0,
+        }
     }
 
     /// `mfhi rd` / `mflo rd`.
     pub fn mfhilo(op: Op, rd: Reg) -> Insn {
         debug_assert!(matches!(op, Op::Mfhi | Op::Mflo));
-        Insn { op, rd, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0 }
+        Insn {
+            op,
+            rd,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: 0,
+        }
     }
 
     /// `mthi rs` / `mtlo rs`.
     pub fn mthilo(op: Op, rs: Reg) -> Insn {
         debug_assert!(matches!(op, Op::Mthi | Op::Mtlo));
-        Insn { op, rd: Reg::ZERO, rs, rt: Reg::ZERO, imm: 0 }
+        Insn {
+            op,
+            rd: Reg::ZERO,
+            rs,
+            rt: Reg::ZERO,
+            imm: 0,
+        }
     }
 
     /// `syscall` / `break`.
     pub fn sys(op: Op) -> Insn {
         debug_assert!(matches!(op, Op::Syscall | Op::Break));
-        Insn { op, rd: Reg::ZERO, rs: Reg::ZERO, rt: Reg::ZERO, imm: 0 }
+        Insn {
+            op,
+            rd: Reg::ZERO,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            imm: 0,
+        }
     }
 
     /// The canonical no-op (`sll r0, r0, 0`).

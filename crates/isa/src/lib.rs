@@ -47,12 +47,13 @@
 
 pub mod asm;
 pub mod builder;
-pub mod obj;
 mod encode;
 mod insn;
+pub mod obj;
 mod op;
 mod program;
 mod reg;
+pub mod rng;
 
 pub use encode::{decode, encode, DecodeError};
 pub use insn::Insn;

@@ -107,7 +107,9 @@ pub fn read_object(bytes: &[u8]) -> Result<Program, ObjError> {
     }
     let version = r.u16()?;
     if version != VERSION {
-        return Err(ObjError::BadHeader(format!("unsupported version {version}")));
+        return Err(ObjError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
     }
     let _flags = r.u16()?;
     let entry = r.u32()?;
@@ -125,11 +127,15 @@ pub fn read_object(bytes: &[u8]) -> Result<Program, ObjError> {
     for _ in 0..n_syms {
         let addr = r.u32()?;
         let len = r.u16()? as usize;
-        let name =
-            std::str::from_utf8(r.take(len)?).map_err(|_| ObjError::BadSymbol)?;
+        let name = std::str::from_utf8(r.take(len)?).map_err(|_| ObjError::BadSymbol)?;
         symbols.insert(name.to_owned(), addr);
     }
-    Ok(Program { text, data, entry, symbols })
+    Ok(Program {
+        text,
+        data,
+        entry,
+        symbols,
+    })
 }
 
 /// True if `bytes` begins with the object magic (used by tools to decide
@@ -176,7 +182,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(read_object(b"ELF!rest"), Err(ObjError::BadHeader(_))));
+        assert!(matches!(
+            read_object(b"ELF!rest"),
+            Err(ObjError::BadHeader(_))
+        ));
         assert!(!is_object(b"#text"));
     }
 

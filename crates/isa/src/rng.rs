@@ -1,0 +1,94 @@
+//! A tiny deterministic PRNG for test-input and workload-data generation.
+//!
+//! The workspace builds in offline environments, so randomized tests
+//! (the former proptest suites) draw from this splitmix64 stream instead
+//! of an external crate. Sequences are stable across platforms and
+//! releases: a failing seed reproduces forever.
+
+/// A splitmix64 generator (Steele, Lea & Flood; the seeding PRNG of the
+/// xoshiro family). One 64-bit state word, full period, passes BigCrush.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    #[inline]
+    pub fn below(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0);
+        // Lemire's multiply-shift reduction; bias is < 2^-32 and
+        // irrelevant for test-input generation.
+        ((self.next_u32() as u64 * n as u64) >> 32) as u32
+    }
+
+    /// Uniform value in `lo..hi` (`lo < hi`).
+    #[inline]
+    pub fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.below(hi - lo)
+    }
+
+    /// Fair coin.
+    #[inline]
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Pick an element of a non-empty slice.
+    #[inline]
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u32) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_well_spread() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // All distinct (splitmix64 is a bijection of the counter).
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+            let v = r.range(5, 10);
+            assert!((5..10).contains(&v));
+        }
+        let _ = r.flip();
+        assert!([1u32, 2, 3].contains(r.pick(&[1, 2, 3])));
+    }
+}

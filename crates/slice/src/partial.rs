@@ -29,7 +29,11 @@ pub fn diverges_within(a: u32, b: u32, nbits: u32) -> bool {
     if nbits == 0 {
         return false;
     }
-    let mask = if nbits >= 32 { u32::MAX } else { (1u32 << nbits) - 1 };
+    let mask = if nbits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << nbits) - 1
+    };
     (a ^ b) & mask != 0
 }
 
@@ -98,7 +102,7 @@ pub fn slices_to_detect(bits: u32, slice_bits: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use popk_isa::rng::SplitMix64;
 
     #[test]
     fn divergence_basics() {
@@ -134,7 +138,12 @@ mod tests {
 
     #[test]
     fn sign_branches_need_full_width() {
-        for cond in [BranchCond::Lez, BranchCond::Gtz, BranchCond::Ltz, BranchCond::Gez] {
+        for cond in [
+            BranchCond::Lez,
+            BranchCond::Gtz,
+            BranchCond::Ltz,
+            BranchCond::Gez,
+        ] {
             let taken = cond.eval(5, 0);
             let bits = mispredict_detection_bit(cond, 5, 0, !taken);
             assert_eq!(bits, Some(FULL_WIDTH_BITS), "{cond:?}");
@@ -160,28 +169,48 @@ mod tests {
         assert_eq!(slices_to_detect(0, 8), 1);
     }
 
-    proptest! {
-        #[test]
-        fn detection_bit_is_sound(rs in any::<u32>(), rt in any::<u32>(), pt in any::<bool>()) {
-            // Whenever a detection bit b < 32 is reported, the low b bits
-            // must indeed prove the divergence.
-            for cond in [BranchCond::Eq, BranchCond::Ne] {
-                if let Some(bits) = mispredict_detection_bit(cond, rs, rt, pt) {
-                    if bits < FULL_WIDTH_BITS {
-                        prop_assert!(diverges_within(rs, rt, bits));
-                        prop_assert!(!diverges_within(rs, rt, bits - 1));
+    /// Pairs biased toward shared low bits (the interesting regime for
+    /// divergence detection), plus plain random words.
+    fn value_pairs(seed: u64, n: usize) -> impl Iterator<Item = (u32, u32)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(move |i| {
+            let a = rng.next_u32();
+            let b = match i % 4 {
+                0 => a,                                     // equal
+                1 => a ^ (1 << rng.below(32)),              // one-bit divergence
+                2 => (a & 0xffff) | (rng.next_u32() << 16), // shared low half
+                _ => rng.next_u32(),
+            };
+            (a, b)
+        })
+    }
+
+    #[test]
+    fn detection_bit_is_sound() {
+        // Whenever a detection bit b < 32 is reported, the low b bits
+        // must indeed prove the divergence.
+        for (rs, rt) in value_pairs(0xdeb1, 4096) {
+            for pt in [false, true] {
+                for cond in [BranchCond::Eq, BranchCond::Ne] {
+                    if let Some(bits) = mispredict_detection_bit(cond, rs, rt, pt) {
+                        if bits < FULL_WIDTH_BITS {
+                            assert!(diverges_within(rs, rt, bits), "{rs:#x} {rt:#x} {bits}");
+                            assert!(!diverges_within(rs, rt, bits - 1), "{rs:#x} {rt:#x} {bits}");
+                        }
                     }
                 }
             }
         }
+    }
 
-        #[test]
-        fn divergence_consistency(a in any::<u32>(), b in any::<u32>()) {
+    #[test]
+    fn divergence_consistency() {
+        for (a, b) in value_pairs(0xd1ff, 4096) {
             match first_divergent_bit(a, b) {
-                None => prop_assert_eq!(a, b),
+                None => assert_eq!(a, b),
                 Some(bit) => {
-                    prop_assert!(diverges_within(a, b, bit + 1));
-                    prop_assert!(!diverges_within(a, b, bit));
+                    assert!(diverges_within(a, b, bit + 1), "{a:#x} {b:#x} {bit}");
+                    assert!(!diverges_within(a, b, bit), "{a:#x} {b:#x} {bit}");
                 }
             }
         }

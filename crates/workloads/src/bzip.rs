@@ -170,7 +170,11 @@ mod tests {
     #[test]
     fn skew_produces_zero_runs() {
         let r = reference(1);
-        assert!(r[1] > (SIZE / 10) as i32, "expected many zero ranks, got {}", r[1]);
+        assert!(
+            r[1] > (SIZE / 10) as i32,
+            "expected many zero ranks, got {}",
+            r[1]
+        );
     }
 
     #[test]

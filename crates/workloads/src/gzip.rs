@@ -228,6 +228,9 @@ mod tests {
     fn input_is_compressible() {
         let r = reference(1);
         let (matched, lits) = (r[0], r[1]);
-        assert!(matched > lits, "data should be LZ-friendly: {matched} vs {lits}");
+        assert!(
+            matched > lits,
+            "data should be LZ-friendly: {matched} vs {lits}"
+        );
     }
 }

@@ -35,8 +35,16 @@ fn gen_graph() -> (Vec<u32>, Vec<u32>, Vec<u32>) {
     let mut cdr = vec![0u32; n + 1];
     for i in 1..=n {
         // ~20% nil pointers; children strictly below the parent index.
-        car[i] = if rng.below(5) == 0 { 0 } else { rng.below(i as u32) };
-        cdr[i] = if rng.below(5) == 0 { 0 } else { rng.below(i as u32) };
+        car[i] = if rng.below(5) == 0 {
+            0
+        } else {
+            rng.below(i as u32)
+        };
+        cdr[i] = if rng.below(5) == 0 {
+            0
+        } else {
+            rng.below(i as u32)
+        };
     }
     let roots: Vec<u32> = (0..ROOTS).map(|_| 1 + rng.below(CELLS)).collect();
     (car, cdr, roots)

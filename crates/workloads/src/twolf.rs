@@ -200,6 +200,9 @@ mod tests {
     #[test]
     fn some_swaps_accepted_some_rejected() {
         let r = reference(1);
-        assert!(r[0] > 0 && (r[0] as u32) < PROPOSALS, "accept rate degenerate: {r:?}");
+        assert!(
+            r[0] > 0 && (r[0] as u32) < PROPOSALS,
+            "accept rate degenerate: {r:?}"
+        );
     }
 }

@@ -49,7 +49,11 @@ pub fn run_outputs(program: &Program, limit: u64) -> Vec<i32> {
     let code = m
         .run(limit)
         .unwrap_or_else(|e| panic!("emulation error: {e}"));
-    assert_eq!(code, Some(0), "kernel did not exit within {limit} instructions");
+    assert_eq!(
+        code,
+        Some(0),
+        "kernel did not exit within {limit} instructions"
+    );
     m.output_ints().to_vec()
 }
 

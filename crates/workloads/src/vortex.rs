@@ -52,7 +52,11 @@ fn gen_db() -> Db {
             }
         })
         .collect();
-    Db { types, keys, lookups }
+    Db {
+        types,
+        keys,
+        lookups,
+    }
 }
 
 /// Handler semantics, shared by assembly and reference:
@@ -255,6 +259,9 @@ mod tests {
     #[test]
     fn has_hits_and_misses() {
         let r = reference(1);
-        assert!(r[0] > 0 && (r[0] as u32) < LOOKUPS, "lookup mix degenerate: {r:?}");
+        assert!(
+            r[0] > 0 && (r[0] as u32) < LOOKUPS,
+            "lookup mix degenerate: {r:?}"
+        );
     }
 }

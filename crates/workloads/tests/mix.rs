@@ -116,11 +116,14 @@ fn li_contains_the_fig5_idiom() {
     let p = by_name("li").unwrap().test_program();
     let mut found = false;
     for win in p.text.windows(3) {
-        if win[0].op() == Op::Lbu && win[1].op() == Op::Andi && win[1].imm() == 1
-            && matches!(win[2].op(), Op::Beq | Op::Bne) {
-                found = true;
-                break;
-            }
+        if win[0].op() == Op::Lbu
+            && win[1].op() == Op::Andi
+            && win[1].imm() == 1
+            && matches!(win[2].op(), Op::Beq | Op::Bne)
+        {
+            found = true;
+            break;
+        }
     }
     assert!(found, "li must contain the Fig. 5 lbu/andi/bne idiom");
 }
@@ -130,8 +133,16 @@ fn working_set_sizes_differ() {
     // mcf's data segment must dwarf the L1 (64 KB); parser's must not.
     let mcf = by_name("mcf").unwrap().test_program();
     let parser = by_name("parser").unwrap().test_program();
-    assert!(mcf.data.len() > 128 * 1024, "mcf working set: {}", mcf.data.len());
-    assert!(parser.data.len() < 32 * 1024, "parser working set: {}", parser.data.len());
+    assert!(
+        mcf.data.len() > 128 * 1024,
+        "mcf working set: {}",
+        mcf.data.len()
+    );
+    assert!(
+        parser.data.len() < 32 * 1024,
+        "parser working set: {}",
+        parser.data.len()
+    );
 }
 
 #[test]

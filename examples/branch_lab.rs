@@ -24,7 +24,11 @@ fn kernel(body: &str) -> popk_isa::Program {
         x ^= x << 13;
         x ^= x >> 17;
         x ^= x << 5;
-        data.push_str(&format!("{}{}", x & 0xff, if i == 255 { "\n" } else { ", " }));
+        data.push_str(&format!(
+            "{}{}",
+            x & 0xff,
+            if i == 255 { "\n" } else { ", " }
+        ));
     }
     let src = format!(
         r#"
@@ -72,8 +76,16 @@ fn main() {
     );
     for (label, body) in cases {
         let p = kernel(body);
-        let without = simulate(&p, &MachineConfig::slice4(Optimizations::level(2)), 1_000_000);
-        let with = simulate(&p, &MachineConfig::slice4(Optimizations::level(3)), 1_000_000);
+        let without = simulate(
+            &p,
+            &MachineConfig::slice4(Optimizations::level(2)),
+            1_000_000,
+        );
+        let with = simulate(
+            &p,
+            &MachineConfig::slice4(Optimizations::level(3)),
+            1_000_000,
+        );
         println!(
             "{label:<36} {:>9} {:>9} {:>7.1}% {:>9}",
             without.cycles,

@@ -9,9 +9,7 @@
 //! With no path, a built-in demo program (a hash-table kernel) is used.
 
 use popk_cache::CacheConfig;
-use popk_characterize::{
-    drive, BranchStudy, DisambigStudy, TagCategory, TagMatchStudy,
-};
+use popk_characterize::{drive, BranchStudy, DisambigStudy, TagCategory, TagMatchStudy};
 use popk_isa::asm;
 
 const DEMO: &str = r#"
@@ -47,12 +45,12 @@ fn main() {
             let src = std::fs::read_to_string(path).expect("read assembly file");
             (asm::assemble(&src).expect("assemble"), path.clone())
         }
-        None => (asm::assemble(DEMO).expect("assemble"), "<built-in demo>".to_string()),
+        None => (
+            asm::assemble(DEMO).expect("assemble"),
+            "<built-in demo>".to_string(),
+        ),
     };
-    let limit: u64 = args
-        .get(2)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(500_000);
+    let limit: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(500_000);
 
     let mut disambig = DisambigStudy::new(32);
     let mut tags = TagMatchStudy::new(CacheConfig::l1d_table2());

@@ -28,8 +28,14 @@ fn main() {
         );
 
         let base = Optimizations::level(3); // bypass + ooo + early branch
-        let with_dis = Optimizations { early_disambig: true, ..base };
-        let with_both = Optimizations { partial_tag: true, ..with_dis };
+        let with_dis = Optimizations {
+            early_disambig: true,
+            ..base
+        };
+        let with_both = Optimizations {
+            partial_tag: true,
+            ..with_dis
+        };
         let rows: [(&str, MachineConfig); 4] = [
             ("without memory techniques", MachineConfig::slice2(base)),
             ("+ early disambiguation", MachineConfig::slice2(with_dis)),

@@ -61,9 +61,15 @@ fn main() {
     for (label, cfg) in [
         ("ideal (1-cycle EX)", MachineConfig::ideal()),
         ("simple 2-deep EX pipeline", MachineConfig::simple2()),
-        ("bit-sliced x2, all techniques", MachineConfig::slice2_full()),
+        (
+            "bit-sliced x2, all techniques",
+            MachineConfig::slice2_full(),
+        ),
         ("simple 4-deep EX pipeline", MachineConfig::simple4()),
-        ("bit-sliced x4, all techniques", MachineConfig::slice4_full()),
+        (
+            "bit-sliced x4, all techniques",
+            MachineConfig::slice4_full(),
+        ),
     ] {
         let stats = simulate(&program, &cfg, 1_000_000);
         println!("{label:<28} {:>8} {:>8.3}", stats.cycles, stats.ipc());

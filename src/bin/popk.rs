@@ -141,7 +141,8 @@ fn parse_config(s: Option<&String>) -> Option<MachineConfig> {
 }
 
 fn parse_limit(s: Option<&String>, default: u64) -> u64 {
-    s.and_then(|v| v.replace('_', "").parse().ok()).unwrap_or(default)
+    s.and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(default)
 }
 
 fn asm_cmd(p: &Program, rest: &[String]) -> ExitCode {
@@ -224,7 +225,10 @@ fn sim_cmd(p: Program, rest: &[String]) -> ExitCode {
     println!("partial-tag acc.  {}", s.partial_tag_accesses);
     println!("way mispredicts   {}", s.way_mispredicts);
     if s.spec_forwards + s.narrow_wakeups > 0 {
-        println!("spec forwards     {} ({} wrong)", s.spec_forwards, s.spec_forward_wrong);
+        println!(
+            "spec forwards     {} ({} wrong)",
+            s.spec_forwards, s.spec_forward_wrong
+        );
         println!("narrow publishes  {}", s.narrow_wakeups);
     }
     ExitCode::SUCCESS

@@ -1,0 +1,76 @@
+//! Determinism golden tests: the simulator must be a pure function of
+//! (program, config, budget).
+//!
+//! Each workload is simulated **twice** at a fixed 40 K-instruction
+//! budget under the three headline configurations and the two runs must
+//! produce bit-identical [`SimStats`] and identical [`StatsRegistry`]
+//! snapshots. This guards the observability hooks (tracing, registry)
+//! against accidentally perturbing timing, and the simulator itself
+//! against hidden nondeterminism (iteration-order effects, uninitialized
+//! state, time- or address-dependent behaviour).
+
+use popk_core::{MachineConfig, SimStats, Simulator, StatsRegistry};
+use popk_isa::Program;
+use popk_workloads::all;
+use std::sync::Mutex;
+
+const BUDGET: u64 = 40_000;
+
+/// One full run: stats plus the complete registry snapshot (which folds
+/// in the front-end and cache-hierarchy counters on top of `SimStats`).
+fn run_once(program: &Program, cfg: &MachineConfig) -> (SimStats, StatsRegistry) {
+    let mut sim = Simulator::new(cfg);
+    let stats = sim.run(program, BUDGET);
+    (stats, sim.registry())
+}
+
+fn check_config(make: fn() -> MachineConfig, label: &str) {
+    let workloads = all();
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for w in &workloads {
+            scope.spawn(|| {
+                let p = w.program();
+                let cfg = make();
+                let (s1, r1) = run_once(&p, &cfg);
+                let (s2, r2) = run_once(&p, &cfg);
+                if s1 != s2 {
+                    failures.lock().unwrap().push(format!(
+                        "{}/{label}: SimStats differ:\n{s1:#?}\nvs\n{s2:#?}",
+                        w.name
+                    ));
+                }
+                if r1 != r2 {
+                    failures
+                        .lock()
+                        .unwrap()
+                        .push(format!("{}/{label}: registry snapshots differ", w.name));
+                }
+                // A run must also do *something* for the comparison to
+                // mean anything.
+                assert!(
+                    s1.committed > 0,
+                    "{}/{label}: no instructions committed",
+                    w.name
+                );
+            });
+        }
+    });
+    let failures = failures.into_inner().unwrap();
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+#[test]
+fn ideal_is_deterministic() {
+    check_config(MachineConfig::ideal, "ideal");
+}
+
+#[test]
+fn slice2_full_is_deterministic() {
+    check_config(MachineConfig::slice2_full, "slice2_full");
+}
+
+#[test]
+fn slice4_full_is_deterministic() {
+    check_config(MachineConfig::slice4_full, "slice4_full");
+}

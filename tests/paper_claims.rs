@@ -164,7 +164,11 @@ fn claim_early_branch_detection() {
             n += 1;
         }
         total_mis += r.mispredicts;
-        assert!((r.percent_detected_within(32) - 100.0).abs() < 1e-9, "{}", w.name);
+        assert!(
+            (r.percent_detected_within(32) - 100.0).abs() < 1e-9,
+            "{}",
+            w.name
+        );
         // beq/bne must dominate the early-detectable set: detection below
         // 32 bits is impossible for sign branches by construction
         // (popk-slice property tests cover the bit-level invariant).

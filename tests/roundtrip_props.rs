@@ -2,101 +2,129 @@
 //! surfaces and the emulator's determinism guarantees.
 
 use popk::emu::Machine;
+use popk::isa::rng::SplitMix64;
 use popk::isa::{asm, decode, encode, Insn, Op, Reg};
-use proptest::prelude::*;
 
-/// Strategy: an arbitrary well-formed instruction.
-fn arb_insn() -> impl Strategy<Value = Insn> {
-    let reg = (0u8..32).prop_map(Reg::gpr);
-    let r3_ops = prop::sample::select(vec![
-        Op::Add,
-        Op::Addu,
-        Op::Sub,
-        Op::Subu,
-        Op::Slt,
-        Op::Sltu,
-        Op::And,
-        Op::Or,
-        Op::Xor,
-        Op::Nor,
-        Op::Sllv,
-        Op::Srlv,
-        Op::Srav,
-        Op::AddS,
-        Op::SubS,
-        Op::MulS,
-        Op::DivS,
-    ]);
-    let imm_ops = prop::sample::select(vec![Op::Addi, Op::Addiu, Op::Slti]);
-    let logic_imm_ops = prop::sample::select(vec![Op::Andi, Op::Ori, Op::Xori]);
-    let load_ops = prop::sample::select(vec![Op::Lb, Op::Lbu, Op::Lh, Op::Lhu, Op::Lw]);
-    let store_ops = prop::sample::select(vec![Op::Sb, Op::Sh, Op::Sw]);
-    let shift_ops = prop::sample::select(vec![Op::Sll, Op::Srl, Op::Sra]);
-    let br2_ops = prop::sample::select(vec![Op::Beq, Op::Bne]);
-    let br1_ops = prop::sample::select(vec![Op::Blez, Op::Bgtz, Op::Bltz, Op::Bgez]);
+const R3_OPS: [Op; 17] = [
+    Op::Add,
+    Op::Addu,
+    Op::Sub,
+    Op::Subu,
+    Op::Slt,
+    Op::Sltu,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Nor,
+    Op::Sllv,
+    Op::Srlv,
+    Op::Srav,
+    Op::AddS,
+    Op::SubS,
+    Op::MulS,
+    Op::DivS,
+];
+const IMM_OPS: [Op; 3] = [Op::Addi, Op::Addiu, Op::Slti];
+const LOGIC_IMM_OPS: [Op; 3] = [Op::Andi, Op::Ori, Op::Xori];
+const LOAD_OPS: [Op; 5] = [Op::Lb, Op::Lbu, Op::Lh, Op::Lhu, Op::Lw];
+const STORE_OPS: [Op; 3] = [Op::Sb, Op::Sh, Op::Sw];
+const SHIFT_OPS: [Op; 3] = [Op::Sll, Op::Srl, Op::Sra];
+const BR2_OPS: [Op; 2] = [Op::Beq, Op::Bne];
+const BR1_OPS: [Op; 4] = [Op::Blez, Op::Bgtz, Op::Bltz, Op::Bgez];
 
-    prop_oneof![
-        (r3_ops, reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(op, a, b, c)| Insn::r3(op, a, b, c)),
-        (imm_ops, reg.clone(), reg.clone(), any::<i16>())
-            .prop_map(|(op, a, b, i)| Insn::imm_op(op, a, b, i as i32)),
-        (logic_imm_ops, reg.clone(), reg.clone(), any::<u16>())
-            .prop_map(|(op, a, b, i)| Insn::imm_op(op, a, b, i as i32)),
-        (reg.clone(), any::<u16>()).prop_map(|(a, i)| Insn::lui(a, i)),
-        (load_ops, reg.clone(), any::<i16>(), reg.clone())
-            .prop_map(|(op, a, off, b)| Insn::load(op, a, off, b)),
-        (store_ops, reg.clone(), any::<i16>(), reg.clone())
-            .prop_map(|(op, a, off, b)| Insn::store(op, a, off, b)),
-        (shift_ops, reg.clone(), reg.clone(), 0u8..32)
-            .prop_map(|(op, a, b, s)| Insn::shift_imm(op, a, b, s)),
-        (br2_ops, reg.clone(), reg.clone(), -32768i32..32768)
-            .prop_map(|(op, a, b, d)| Insn::branch(op, a, b, d)),
-        (br1_ops, reg.clone(), -32768i32..32768)
-            .prop_map(|(op, a, d)| Insn::branch(op, a, Reg::ZERO, d)),
-        (0u32..(1 << 26)).prop_map(|t| Insn::jump(Op::J, t)),
-        (0u32..(1 << 26)).prop_map(|t| Insn::jump(Op::Jal, t)),
-        reg.clone().prop_map(|a| Insn::jump_reg(Op::Jr, Reg::ZERO, a)),
-        (reg.clone(), reg.clone()).prop_map(|(a, b)| Insn::jump_reg(Op::Jalr, a, b)),
-        (reg.clone(), reg.clone()).prop_map(|(a, b)| Insn::muldiv(Op::Mult, a, b)),
-        (reg.clone(), reg.clone()).prop_map(|(a, b)| Insn::muldiv(Op::Divu, a, b)),
-        reg.clone().prop_map(|a| Insn::mfhilo(Op::Mfhi, a)),
-        reg.prop_map(|a| Insn::mfhilo(Op::Mflo, a)),
-        Just(Insn::sys(Op::Syscall)),
-        Just(Insn::nop()),
-    ]
+/// An arbitrary well-formed instruction — the deterministic equivalent of
+/// the old proptest strategy, covering every constructor form.
+fn arb_insn(rng: &mut SplitMix64) -> Insn {
+    let reg = |rng: &mut SplitMix64| Reg::gpr(rng.below(32) as u8);
+    let imm16 = |rng: &mut SplitMix64| rng.next_u32() as u16 as i16;
+    let disp = |rng: &mut SplitMix64| rng.next_u32() as u16 as i16 as i32;
+    match rng.below(19) {
+        0 => {
+            let op = *rng.pick(&R3_OPS);
+            Insn::r3(op, reg(rng), reg(rng), reg(rng))
+        }
+        1 => {
+            let op = *rng.pick(&IMM_OPS);
+            Insn::imm_op(op, reg(rng), reg(rng), imm16(rng) as i32)
+        }
+        2 => {
+            let op = *rng.pick(&LOGIC_IMM_OPS);
+            Insn::imm_op(op, reg(rng), reg(rng), (rng.next_u32() as u16) as i32)
+        }
+        3 => Insn::lui(reg(rng), rng.next_u32() as u16),
+        4 => {
+            let op = *rng.pick(&LOAD_OPS);
+            Insn::load(op, reg(rng), imm16(rng), reg(rng))
+        }
+        5 => {
+            let op = *rng.pick(&STORE_OPS);
+            Insn::store(op, reg(rng), imm16(rng), reg(rng))
+        }
+        6 => {
+            let op = *rng.pick(&SHIFT_OPS);
+            Insn::shift_imm(op, reg(rng), reg(rng), rng.below(32) as u8)
+        }
+        7 => {
+            let op = *rng.pick(&BR2_OPS);
+            Insn::branch(op, reg(rng), reg(rng), disp(rng))
+        }
+        8 => {
+            let op = *rng.pick(&BR1_OPS);
+            Insn::branch(op, reg(rng), Reg::ZERO, disp(rng))
+        }
+        9 => Insn::jump(Op::J, rng.below(1 << 26)),
+        10 => Insn::jump(Op::Jal, rng.below(1 << 26)),
+        11 => Insn::jump_reg(Op::Jr, Reg::ZERO, reg(rng)),
+        12 => Insn::jump_reg(Op::Jalr, reg(rng), reg(rng)),
+        13 => Insn::muldiv(Op::Mult, reg(rng), reg(rng)),
+        14 => Insn::muldiv(Op::Divu, reg(rng), reg(rng)),
+        15 => Insn::mfhilo(Op::Mfhi, reg(rng)),
+        16 => Insn::mfhilo(Op::Mflo, reg(rng)),
+        17 => Insn::sys(Op::Syscall),
+        _ => Insn::nop(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// encode ∘ decode is the identity on well-formed instructions.
-    #[test]
-    fn encode_decode_roundtrip(insn in arb_insn()) {
+/// encode ∘ decode is the identity on well-formed instructions.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SplitMix64::new(0xe4c0de);
+    for _ in 0..4096 {
+        let insn = arb_insn(&mut rng);
         let word = encode(&insn);
         let back = decode(word).expect("well-formed instructions decode");
-        prop_assert_eq!(back, insn);
+        assert_eq!(back, insn);
     }
+}
 
-    /// Encoding is injective: distinct instructions get distinct words.
-    #[test]
-    fn encoding_is_injective(a in arb_insn(), b in arb_insn()) {
+/// Encoding is injective: distinct instructions get distinct words.
+#[test]
+fn encoding_is_injective() {
+    let mut rng = SplitMix64::new(0x171ec7);
+    for _ in 0..4096 {
+        let a = arb_insn(&mut rng);
+        let b = arb_insn(&mut rng);
         if a != b {
-            prop_assert_ne!(encode(&a), encode(&b));
+            assert_ne!(encode(&a), encode(&b), "{a} vs {b}");
         }
     }
+}
 
-    /// defs/uses never include more than two registers, never duplicate,
-    /// and never list r0 as a def.
-    #[test]
-    fn def_use_wellformed(insn in arb_insn()) {
+/// defs/uses never include more than two registers, never duplicate, and
+/// never list r0 as a def.
+#[test]
+fn def_use_wellformed() {
+    let mut rng = SplitMix64::new(0xdef5);
+    for _ in 0..4096 {
+        let insn = arb_insn(&mut rng);
         let defs: Vec<_> = insn.defs().iter().collect();
         let uses: Vec<_> = insn.uses().iter().collect();
-        prop_assert!(defs.len() <= 2);
-        prop_assert!(uses.len() <= 2);
-        prop_assert!(!defs.contains(&Reg::ZERO));
+        assert!(defs.len() <= 2);
+        assert!(uses.len() <= 2);
+        assert!(!defs.contains(&Reg::ZERO));
         let mut d = defs.clone();
         d.dedup();
-        prop_assert_eq!(d.len(), defs.len());
+        assert_eq!(d.len(), defs.len());
     }
 }
 

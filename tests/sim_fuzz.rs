@@ -3,11 +3,15 @@
 //! configuration, commit exactly the dynamic instruction count the
 //! emulator retires, and do so deterministically. This is the test that
 //! catches scheduler deadlocks and slice-wakeup regressions.
+//!
+//! Programs are drawn from the workspace's deterministic [`SplitMix64`]
+//! stream; two historical failure seeds are additionally pinned as
+//! standalone regression tests at the bottom of the file.
 
 use popk::core::{simulate, MachineConfig, Optimizations, Simulator};
 use popk::emu::Machine;
+use popk::isa::rng::SplitMix64;
 use popk::isa::{Insn, Op, Program, Reg, DATA_BASE, TEXT_BASE};
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Gen {
@@ -23,74 +27,54 @@ enum Gen {
     Branch(Op, u8, u8, u8),
 }
 
-fn arb_step() -> impl Strategy<Value = Gen> {
-    let r = 8u8..24; // stay clear of ABI registers
-    prop_oneof![
-        (
-            prop::sample::select(vec![
-                Op::Addu,
-                Op::Subu,
-                Op::And,
-                Op::Or,
-                Op::Xor,
-                Op::Nor,
-                Op::Slt,
-                Op::Sltu
-            ]),
-            r.clone(),
-            r.clone(),
-            r.clone()
-        )
-            .prop_map(|(op, a, b, c)| Gen::Alu(op, a, b, c)),
-        (
-            prop::sample::select(vec![Op::Addiu, Op::Slti, Op::Andi, Op::Ori, Op::Xori]),
-            r.clone(),
-            r.clone(),
-            any::<i16>()
-        )
-            .prop_map(|(op, a, b, i)| Gen::Imm(op, a, b, i)),
-        (
-            prop::sample::select(vec![Op::Sll, Op::Srl, Op::Sra]),
-            r.clone(),
-            r.clone(),
-            0u8..32
-        )
-            .prop_map(|(op, a, b, s)| Gen::Shift(op, a, b, s)),
-        (
-            prop::sample::select(vec![Op::Lw, Op::Lh, Op::Lhu, Op::Lb, Op::Lbu]),
-            r.clone(),
-            0u16..256
-        )
-            .prop_map(|(op, a, o)| Gen::Load(op, a, o)),
-        (
-            prop::sample::select(vec![Op::Sw, Op::Sh, Op::Sb]),
-            r.clone(),
-            0u16..256
-        )
-            .prop_map(|(op, a, o)| Gen::Store(op, a, o)),
-        (
-            prop::sample::select(vec![Op::Mult, Op::Multu, Op::Div, Op::Divu]),
-            r.clone(),
-            r.clone()
-        )
-            .prop_map(|(op, a, b)| Gen::MulDiv(op, a, b)),
-        (prop::sample::select(vec![Op::Mfhi, Op::Mflo]), r.clone())
-            .prop_map(|(op, a)| Gen::MoveFrom(op, a)),
-        (
-            prop::sample::select(vec![Op::AddS, Op::SubS, Op::MulS]),
-            r.clone(),
-            r.clone(),
-            r.clone()
-        )
-            .prop_map(|(op, a, b, c)| Gen::Fp(op, a, b, c)),
-        (
-            prop::sample::select(vec![Op::Beq, Op::Bne, Op::Blez, Op::Bgtz]),
-            r.clone(),
-            r,
-            1u8..6
-        )
-            .prop_map(|(op, a, b, skip)| Gen::Branch(op, a, b, skip)),
-    ]
+const ALU_OPS: [Op; 8] = [
+    Op::Addu,
+    Op::Subu,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Nor,
+    Op::Slt,
+    Op::Sltu,
+];
+const IMM_OPS: [Op; 5] = [Op::Addiu, Op::Slti, Op::Andi, Op::Ori, Op::Xori];
+const SHIFT_OPS: [Op; 3] = [Op::Sll, Op::Srl, Op::Sra];
+const LOAD_OPS: [Op; 5] = [Op::Lw, Op::Lh, Op::Lhu, Op::Lb, Op::Lbu];
+const STORE_OPS: [Op; 3] = [Op::Sw, Op::Sh, Op::Sb];
+const MULDIV_OPS: [Op; 4] = [Op::Mult, Op::Multu, Op::Div, Op::Divu];
+const MOVEFROM_OPS: [Op; 2] = [Op::Mfhi, Op::Mflo];
+const FP_OPS: [Op; 3] = [Op::AddS, Op::SubS, Op::MulS];
+const BRANCH_OPS: [Op; 4] = [Op::Beq, Op::Bne, Op::Blez, Op::Bgtz];
+
+/// One random step, registers confined to r8..r23 (clear of ABI regs).
+fn arb_step(rng: &mut SplitMix64) -> Gen {
+    let r = |rng: &mut SplitMix64| rng.range(8, 24) as u8;
+    match rng.below(9) {
+        0 => Gen::Alu(*rng.pick(&ALU_OPS), r(rng), r(rng), r(rng)),
+        1 => Gen::Imm(
+            *rng.pick(&IMM_OPS),
+            r(rng),
+            r(rng),
+            rng.next_u32() as u16 as i16,
+        ),
+        2 => Gen::Shift(*rng.pick(&SHIFT_OPS), r(rng), r(rng), rng.below(32) as u8),
+        3 => Gen::Load(*rng.pick(&LOAD_OPS), r(rng), rng.below(256) as u16),
+        4 => Gen::Store(*rng.pick(&STORE_OPS), r(rng), rng.below(256) as u16),
+        5 => Gen::MulDiv(*rng.pick(&MULDIV_OPS), r(rng), r(rng)),
+        6 => Gen::MoveFrom(*rng.pick(&MOVEFROM_OPS), r(rng)),
+        7 => Gen::Fp(*rng.pick(&FP_OPS), r(rng), r(rng), r(rng)),
+        _ => Gen::Branch(
+            *rng.pick(&BRANCH_OPS),
+            r(rng),
+            r(rng),
+            rng.range(1, 6) as u8,
+        ),
+    }
+}
+
+fn arb_steps(rng: &mut SplitMix64, lo: u32, hi: u32) -> Vec<Gen> {
+    let n = rng.range(lo, hi) as usize;
+    (0..n).map(|_| arb_step(rng)).collect()
 }
 
 /// Materialize the generated steps into a well-formed, terminating
@@ -129,7 +113,11 @@ fn build(steps: &[Gen]) -> Program {
             Gen::MoveFrom(op, a) => Insn::mfhilo(op, Reg::gpr(a)),
             Gen::Fp(op, a, b, c) => Insn::r3(op, Reg::gpr(a), Reg::gpr(b), Reg::gpr(c)),
             Gen::Branch(op, a, b, skip) => {
-                let rt = if matches!(op, Op::Beq | Op::Bne) { Reg::gpr(b) } else { Reg::ZERO };
+                let rt = if matches!(op, Op::Beq | Op::Bne) {
+                    Reg::gpr(b)
+                } else {
+                    Reg::ZERO
+                };
                 Insn::branch(op, Reg::gpr(a), rt, skip as i32)
             }
         };
@@ -141,7 +129,12 @@ fn build(steps: &[Gen]) -> Program {
     }
     text.push(Insn::imm_op(Op::Addiu, Reg::V0, Reg::ZERO, 0));
     text.push(Insn::sys(Op::Syscall));
-    Program { text, data: vec![0; 512], entry: TEXT_BASE, symbols: Default::default() }
+    Program {
+        text,
+        data: vec![0; 512],
+        entry: TEXT_BASE,
+        symbols: Default::default(),
+    }
 }
 
 fn configs() -> Vec<MachineConfig> {
@@ -161,71 +154,117 @@ fn configs() -> Vec<MachineConfig> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Run `steps` on the emulator (ground truth) and every machine config,
+/// asserting full commitment and a plausible cycle count.
+fn check_completes_everywhere(steps: &[Gen]) {
+    let program = build(steps);
 
-    #[test]
-    fn random_programs_complete_on_every_machine(
-        steps in prop::collection::vec(arb_step(), 5..120),
-    ) {
-        let program = build(&steps);
+    let mut m = Machine::new(&program);
+    let code = m.run(100_000).expect("functional execution");
+    assert_eq!(code, Some(0), "program must exit: {steps:?}");
+    let retired = m.icount();
 
-        // Ground truth from the emulator.
-        let mut m = Machine::new(&program);
-        let code = m.run(100_000).expect("functional execution");
-        prop_assert_eq!(code, Some(0), "program must exit");
-        let retired = m.icount();
-
-        for cfg in configs() {
-            let stats = simulate(&program, &cfg, 100_000);
-            prop_assert_eq!(
-                stats.committed, retired,
-                "{} must commit the whole trace", cfg.label()
-            );
-            prop_assert!(stats.cycles > 0);
-            prop_assert!(
-                stats.cycles < 500 * retired + 10_000,
-                "{}: implausible cycle count {}",
-                cfg.label(),
-                stats.cycles
-            );
-        }
+    for cfg in configs() {
+        let stats = simulate(&program, &cfg, 100_000);
+        assert_eq!(
+            stats.committed,
+            retired,
+            "{} must commit the whole trace: {steps:?}",
+            cfg.label()
+        );
+        assert!(stats.cycles > 0);
+        assert!(
+            stats.cycles < 500 * retired + 10_000,
+            "{}: implausible cycle count {}: {steps:?}",
+            cfg.label(),
+            stats.cycles
+        );
     }
+}
 
-    #[test]
-    fn timelines_are_well_formed(
-        steps in prop::collection::vec(arb_step(), 5..80),
-    ) {
+#[test]
+fn random_programs_complete_on_every_machine() {
+    let mut rng = SplitMix64::new(0xf022);
+    for _ in 0..48 {
+        let steps = arb_steps(&mut rng, 5, 120);
+        check_completes_everywhere(&steps);
+    }
+}
+
+#[test]
+fn timelines_are_well_formed() {
+    let mut rng = SplitMix64::new(0x71e1);
+    for _ in 0..24 {
+        let steps = arb_steps(&mut rng, 5, 80);
         let program = build(&steps);
         for cfg in [MachineConfig::slice2_full(), MachineConfig::slice4_full()] {
             let mut sim = Simulator::new(&cfg);
             let (stats, timings) = sim.run_timeline(&program, 50_000, 200);
-            prop_assert!(stats.committed > 0);
+            assert!(stats.committed > 0);
             let mut prev_commit = 0u64;
             let mut prev_seq = 0u64;
             for (i, t) in timings.iter().enumerate() {
-                prop_assert!(t.is_consistent(), "{}: {:?}", cfg.label(), t);
+                assert!(t.is_consistent(), "{}: {:?} ({steps:?})", cfg.label(), t);
                 if i > 0 {
-                    prop_assert!(t.seq > prev_seq, "commit order by seq");
-                    prop_assert!(t.committed >= prev_commit, "commit cycles monotone");
+                    assert!(t.seq > prev_seq, "commit order by seq");
+                    assert!(t.committed >= prev_commit, "commit cycles monotone");
                 }
                 prev_seq = t.seq;
                 prev_commit = t.committed;
             }
         }
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(
-        steps in prop::collection::vec(arb_step(), 5..60),
-    ) {
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SplitMix64::new(0xde7e);
+    for _ in 0..24 {
+        let steps = arb_steps(&mut rng, 5, 60);
         let program = build(&steps);
         let cfg = MachineConfig::slice4_full();
         let a = simulate(&program, &cfg, 50_000);
         let b = simulate(&program, &cfg, 50_000);
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.committed, b.committed);
-        prop_assert_eq!(a.branch_mispredicts, b.branch_mispredicts);
-        prop_assert_eq!(a.l1d_accesses, b.l1d_accesses);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.branch_mispredicts, b.branch_mispredicts);
+        assert_eq!(a.l1d_accesses, b.l1d_accesses);
     }
+}
+
+// ---------------------------------------------------------------------
+// Pinned regressions. These two step sequences were minimized failure
+// cases from earlier fuzzing (formerly recorded in a proptest regression
+// file); each exercises a same-register `bne`/`beq` interleaved with
+// dependent ALU/memory traffic. Keep them as standalone tests so the
+// exact programs run on every machine configuration forever.
+// ---------------------------------------------------------------------
+
+/// Seed 1: `bne r8, r8` (never taken) between a dependent add chain and a
+/// trailing xori — historically tripped branch-resolution bookkeeping.
+#[test]
+fn regression_same_register_bne_with_dependent_chain() {
+    let steps = [
+        Gen::Alu(Op::Addu, 8, 8, 8),
+        Gen::Alu(Op::Addu, 9, 8, 8),
+        Gen::Imm(Op::Addiu, 15, 16, -12556),
+        Gen::Branch(Op::Bne, 8, 8, 4),
+        Gen::Imm(Op::Xori, 9, 8, -20245),
+    ];
+    check_completes_everywhere(&steps);
+}
+
+/// Seed 2: a leading never-taken `bne r8, r8` whose skip window contains
+/// the whole add/load body, followed by `beq` on untouched registers —
+/// historically tripped wrong-path fetch/commit accounting.
+#[test]
+fn regression_leading_bne_skip_window_over_load() {
+    let steps = [
+        Gen::Branch(Op::Bne, 8, 8, 1),
+        Gen::Alu(Op::Addu, 8, 8, 8),
+        Gen::Alu(Op::Addu, 8, 8, 8),
+        Gen::Load(Op::Lw, 8, 13),
+        Gen::Branch(Op::Beq, 14, 22, 2),
+    ];
+    check_completes_everywhere(&steps);
 }
