@@ -4,16 +4,39 @@
 //! performance regressions (a full Fig. 11 regeneration is 132
 //! simulations).
 //!
-//! Run with `cargo bench -p popk-bench --bench simulator`.
+//! Run with `cargo bench -p popk-bench --bench simulator`. An optional
+//! instruction budget overrides the 20 K default (e.g.
+//! `cargo bench -p popk-bench --bench simulator -- 200000`).
 
 use popk_bench::timing::bench;
 use popk_characterize::{drive, BranchStudy, DisambigStudy, TagMatchStudy};
 use popk_core::{simulate, MachineConfig};
 use popk_workloads::by_name;
 
-const LIMIT: u64 = 20_000;
+const DEFAULT_LIMIT: u64 = 20_000;
 
-fn bench_configs() {
+/// Render an instruction budget compactly for bench labels (20k, 200k).
+fn human_limit(limit: u64) -> String {
+    if limit.is_multiple_of(1000) {
+        format!("{}k", limit / 1000)
+    } else {
+        limit.to_string()
+    }
+}
+
+/// Time one simulation case and report simulated-instruction throughput
+/// alongside the wall-clock sample.
+fn bench_sim(label: &str, limit: u64, f: impl FnMut() -> popk_core::SimStats) {
+    let sample = bench(label, 10, f);
+    println!(
+        "{:<44} {:>10.2} Minsts/s",
+        format!("{label} (throughput)"),
+        sample.elems_per_sec(limit) / 1e6
+    );
+}
+
+fn bench_configs(limit: u64) {
+    let h = human_limit(limit);
     let program = by_name("gcc").unwrap().program();
     for (label, cfg) in [
         ("ideal", MachineConfig::ideal()),
@@ -22,42 +45,48 @@ fn bench_configs() {
         ("simple4", MachineConfig::simple4()),
         ("slice4_full", MachineConfig::slice4_full()),
     ] {
-        bench(&format!("simulate_gcc_20k/{label}"), 10, || {
-            simulate(&program, &cfg, LIMIT)
+        bench_sim(&format!("simulate_gcc_{h}/{label}"), limit, || {
+            simulate(&program, &cfg, limit)
         });
     }
 }
 
-fn bench_workload_diversity() {
+fn bench_workload_diversity(limit: u64) {
+    let h = human_limit(limit);
     for name in ["mcf", "li", "ijpeg"] {
         let program = by_name(name).unwrap().program();
-        bench(&format!("simulate_slice2_full_20k/{name}"), 10, || {
-            simulate(&program, &MachineConfig::slice2_full(), LIMIT)
+        bench_sim(&format!("simulate_slice2_full_{h}/{name}"), limit, || {
+            simulate(&program, &MachineConfig::slice2_full(), limit)
         });
     }
 }
 
-fn bench_characterization() {
+fn bench_characterization(limit: u64) {
+    let h = human_limit(limit);
     let program = by_name("twolf").unwrap().program();
-    bench("characterize_twolf_20k/disambig", 10, || {
+    bench(&format!("characterize_twolf_{h}/disambig"), 10, || {
         let mut s = DisambigStudy::new(32);
-        drive(&program, LIMIT, &mut [&mut s]).unwrap();
+        drive(&program, limit, &mut [&mut s]).unwrap();
         s.report().loads
     });
-    bench("characterize_twolf_20k/tagmatch", 10, || {
+    bench(&format!("characterize_twolf_{h}/tagmatch"), 10, || {
         let mut s = TagMatchStudy::new(popk_cache::CacheConfig::l1d_table2());
-        drive(&program, LIMIT, &mut [&mut s]).unwrap();
+        drive(&program, limit, &mut [&mut s]).unwrap();
         s.report().accesses
     });
-    bench("characterize_twolf_20k/branch", 10, || {
+    bench(&format!("characterize_twolf_{h}/branch"), 10, || {
         let mut s = BranchStudy::table2();
-        drive(&program, LIMIT, &mut [&mut s]).unwrap();
+        drive(&program, limit, &mut [&mut s]).unwrap();
         s.report().branches
     });
 }
 
 fn main() {
-    bench_configs();
-    bench_workload_diversity();
-    bench_characterization();
+    let limit = std::env::args()
+        .skip(1)
+        .find_map(|a| a.replace('_', "").parse::<u64>().ok())
+        .unwrap_or(DEFAULT_LIMIT);
+    bench_configs(limit);
+    bench_workload_diversity(limit);
+    bench_characterization(limit);
 }

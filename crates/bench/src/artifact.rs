@@ -10,19 +10,24 @@
 
 use popk_core::{Json, SimStats, StatsRegistry};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Version stamp written into every artifact (`"schema_version"`).
 pub const SCHEMA_VERSION: u64 = 1;
 
 /// Parsed command line shared by the report binaries: an optional
-/// instruction budget (any bare integer argument, `_` separators allowed)
-/// and the `--json` artifact toggle, accepted in either order.
+/// instruction budget (any bare integer argument, `_` separators allowed),
+/// the `--json` artifact toggle, and a `--threads N` worker-count
+/// override for the sweep executor — accepted in any order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Cli {
     /// Dynamic-instruction budget per simulation.
     pub limit: u64,
     /// Write a `BENCH_<figure>.json` artifact next to the printed report.
     pub json: bool,
+    /// Sweep worker threads (default: all available cores; `--threads 1`
+    /// reproduces fully serial execution).
+    pub threads: usize,
 }
 
 impl Cli {
@@ -36,15 +41,96 @@ impl Cli {
         let mut cli = Cli {
             limit: crate::DEFAULT_LIMIT,
             json: false,
+            threads: crate::pool::default_threads(),
         };
-        for a in args {
+        let parse_count = |a: &str| a.replace('_', "").parse::<u64>().ok();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
             if a == "--json" {
                 cli.json = true;
-            } else if let Ok(n) = a.replace('_', "").parse() {
+            } else if a == "--threads" {
+                // Consume the value token so it is not taken as a limit.
+                if let Some(n) = args.next().as_deref().and_then(parse_count) {
+                    cli.threads = (n as usize).max(1);
+                }
+            } else if let Some(v) = a.strip_prefix("--threads=") {
+                if let Some(n) = parse_count(v) {
+                    cli.threads = (n as usize).max(1);
+                }
+            } else if let Some(n) = parse_count(&a) {
                 cli.limit = n;
             }
         }
         cli
+    }
+}
+
+/// Wall-clock + throughput meter for one sweep, emitted as the `host`
+/// block of the JSON artifact (and as a human summary line).
+///
+/// Construct it just before the sweep starts; it snapshots the runner
+/// crate's global simulation counters so only work done during *this*
+/// sweep is attributed to it.
+#[derive(Debug)]
+pub struct HostMeter {
+    start: Instant,
+    threads: usize,
+    jobs0: u64,
+    instructions0: u64,
+}
+
+impl HostMeter {
+    /// Start metering a sweep that will run on `threads` workers.
+    pub fn start(threads: usize) -> HostMeter {
+        let (jobs0, instructions0) = crate::runners::meter_snapshot();
+        HostMeter {
+            start: Instant::now(),
+            threads,
+            jobs0,
+            instructions0,
+        }
+    }
+
+    /// Jobs run, instructions simulated, and seconds elapsed so far.
+    fn sample(&self) -> (u64, u64, f64) {
+        let (jobs, instructions) = crate::runners::meter_snapshot();
+        (
+            jobs - self.jobs0,
+            instructions - self.instructions0,
+            self.start.elapsed().as_secs_f64(),
+        )
+    }
+
+    /// The `host` block: worker/core counts plus the sweep's wall-clock
+    /// seconds, simulated instructions, and Minsts/s. Volatile by nature
+    /// — artifact diffing strips this block (`Json::remove("host")`).
+    pub fn host_json(&self) -> Json {
+        let (jobs, instructions, wall) = self.sample();
+        let mut o = Json::object();
+        o.set("threads", Json::from(self.threads));
+        o.set(
+            "available_parallelism",
+            Json::from(crate::pool::default_threads()),
+        );
+        o.set("jobs", Json::from(jobs));
+        o.set("wall_seconds", Json::from(wall));
+        o.set("simulated_instructions", Json::from(instructions));
+        o.set(
+            "minsts_per_sec",
+            Json::from(instructions as f64 / wall.max(1e-9) / 1e6),
+        );
+        o
+    }
+
+    /// One human-readable line for the end of the printed report.
+    pub fn summary(&self) -> String {
+        let (jobs, instructions, wall) = self.sample();
+        format!(
+            "sweep: {jobs} jobs, {instructions} simulated instructions in {wall:.2}s \
+             ({:.2} Minsts/s, {} threads)",
+            instructions as f64 / wall.max(1e-9) / 1e6,
+            self.threads,
+        )
     }
 }
 
@@ -129,6 +215,7 @@ mod tests {
         let c = cli(&[]);
         assert_eq!(c.limit, crate::DEFAULT_LIMIT);
         assert!(!c.json);
+        assert_eq!(c.threads, crate::pool::default_threads());
     }
 
     #[test]
@@ -137,6 +224,19 @@ mod tests {
         let c = cli(&["--json", "1_000_000"]);
         assert_eq!(c.limit, 1_000_000);
         assert!(c.json);
+    }
+
+    #[test]
+    fn cli_threads_value_is_not_a_limit() {
+        // The value token after --threads must not be parsed as a budget.
+        let c = cli(&["--threads", "4", "20000"]);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.limit, 20_000);
+        let c = cli(&["20000", "--threads=2"]);
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.limit, 20_000);
+        // Zero clamps to one worker.
+        assert_eq!(cli(&["--threads", "0"]).threads, 1);
     }
 
     #[test]

@@ -10,331 +10,19 @@
 //! * G: result significant-width distribution (the §6 premise),
 //! * H: producer→consumer dependence distances (the §2 motivation).
 //!
-//! Usage: `cargo run --release -p popk-bench --bin ablations [instr_budget] [--json]`
+//! Usage: `cargo run --release -p popk-bench --bin ablations
+//! [instr_budget] [--json] [--threads N]`
 
-#![allow(clippy::useless_vec)] // row! builds Vec rows; headers reuse it
-
-use popk_bench::fmt::{f3, render};
-use popk_bench::row;
-use popk_bench::{Artifact, Cli};
-use popk_bpred::{DirKind, FrontEndConfig};
-use popk_characterize::{drive, BranchStudy, DisambigStudy, DistanceStudy, WidthStudy};
-use popk_core::{simulate, Json, MachineConfig, Optimizations};
-use popk_workloads::by_name;
+use popk_bench::{ablations_report, Cli, HostMeter};
 
 fn main() {
     let cli = Cli::parse();
-    let limit = cli.limit;
-    let names = ["gcc", "li", "twolf"];
-    let mut art = Artifact::new("ablations", limit);
-
-    // ---- gshare size sweep -------------------------------------------
-    println!("Ablation A: gshare size vs. accuracy and 8-bit detection ({limit} instrs)\n");
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for name in names {
-        let p = by_name(name).unwrap().program();
-        for bits in [10u32, 12, 14, 16] {
-            let mut study = BranchStudy::new(bits);
-            drive(&p, limit, &mut [&mut study]).unwrap();
-            let r = study.report();
-            rows.push(row![
-                name,
-                format!("{}K", (1u32 << bits) / 1024),
-                format!("{:.1}%", 100.0 * r.accuracy()),
-                format!("{:.0}%", r.percent_detected_within(8))
-            ]);
-            let mut o = Json::object();
-            o.set("name", name.into());
-            o.set("table_bits", Json::from(u64::from(bits)));
-            o.set("accuracy", Json::from(r.accuracy()));
-            o.set(
-                "pct_detected_within_8b",
-                Json::from(r.percent_detected_within(8)),
-            );
-            jrows.push(o);
-        }
-    }
-    println!(
-        "{}",
-        render(
-            &row!["benchmark", "entries", "accuracy", "detect ≤8b"],
-            &rows
-        )
-    );
-    art.set("gshare_sweep", Json::Array(jrows));
-
-    // ---- LSQ size sweep ------------------------------------------------
-    println!("Ablation B: LSQ window vs. loads resolved after 9 bits\n");
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for name in names {
-        let p = by_name(name).unwrap().program();
-        for lsq in [8usize, 16, 32, 64] {
-            let mut study = DisambigStudy::new(lsq);
-            drive(&p, limit, &mut [&mut study]).unwrap();
-            let r = study.report();
-            rows.push(row![name, lsq, format!("{:.1}%", r.resolved_after_bits(9))]);
-            let mut o = Json::object();
-            o.set("name", name.into());
-            o.set("lsq_entries", Json::from(lsq));
-            o.set(
-                "pct_resolved_within_9b",
-                Json::from(r.resolved_after_bits(9)),
-            );
-            jrows.push(o);
-        }
-    }
-    println!(
-        "{}",
-        render(&row!["benchmark", "LSQ", "resolved ≤9b"], &rows)
-    );
-    art.set("lsq_sweep", Json::Array(jrows));
-
-    // ---- bimodal vs gshare front end -----------------------------------
-    println!("Ablation C: direction predictor organization on slice-by-2 (all techniques)\n");
-    let kinds = [
-        ("gshare", DirKind::Gshare),
-        ("bimodal", DirKind::Bimodal),
-        ("local", DirKind::Local),
-        ("tournament", DirKind::Tournament),
-    ];
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for name in names {
-        let p = by_name(name).unwrap().program();
-        let mut r = vec![name.to_string()];
-        let mut o = Json::object();
-        o.set("name", name.into());
-        for (kname, kind) in kinds {
-            let mut cfg = MachineConfig::slice2_full();
-            cfg.frontend = FrontEndConfig {
-                dir_kind: kind,
-                ..FrontEndConfig::default()
-            };
-            let ipc = simulate(&p, &cfg, limit).ipc();
-            r.push(f3(ipc));
-            o.set(kname, Json::from(ipc));
-        }
-        rows.push(r);
-        jrows.push(o);
-    }
-    println!(
-        "{}",
-        render(
-            &row!["benchmark", "gshare", "bimodal", "local", "tournament"],
-            &rows
-        )
-    );
-    art.set("direction_predictor", Json::Array(jrows));
-
-    // ---- single-technique isolation -------------------------------------
-    println!("Ablation D: each technique alone on top of partial bypassing (slice-by-4)\n");
-    let single = |f: fn(&mut Optimizations)| {
-        let mut o = Optimizations::level(1);
-        f(&mut o);
-        o
-    };
-    let variants: [(&str, Optimizations); 5] = [
-        ("bypass only", Optimizations::level(1)),
-        ("+ooo slices", single(|o| o.ooo_slices = true)),
-        ("+early branch", single(|o| o.early_branch = true)),
-        ("+early disambig", single(|o| o.early_disambig = true)),
-        ("+partial tag", single(|o| o.partial_tag = true)),
-    ];
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for name in names {
-        let p = by_name(name).unwrap().program();
-        let mut r = vec![name.to_string()];
-        let mut o = Json::object();
-        o.set("name", name.into());
-        for (vname, opts) in &variants {
-            let s = simulate(&p, &MachineConfig::slice4(*opts), limit);
-            r.push(f3(s.ipc()));
-            o.set(vname, Json::from(s.ipc()));
-        }
-        rows.push(r);
-        jrows.push(o);
-    }
-    let header: Vec<String> = std::iter::once("benchmark".to_string())
-        .chain(variants.iter().map(|(n, _)| n.to_string()))
-        .collect();
-    println!("{}", render(&header, &rows));
-    art.set("single_technique", Json::Array(jrows));
-
-    // ---- paper-sketched extensions --------------------------------------
-    println!("Ablation E: paper-sketched extensions on top of all techniques (slice-by-2)\n");
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for name in ["gcc", "li", "twolf", "bzip", "vortex"] {
-        let p = by_name(name).unwrap().program();
-        let full = simulate(&p, &MachineConfig::slice2(Optimizations::all()), limit);
-        let ext = simulate(&p, &MachineConfig::slice2(Optimizations::extended()), limit);
-        let md = {
-            let mut o = Optimizations::all();
-            o.mem_dep_predict = true;
-            simulate(&p, &MachineConfig::slice2(o), limit)
-        };
-        rows.push(row![
-            name,
-            f3(full.ipc()),
-            f3(ext.ipc()),
-            format!("{:+.1}%", 100.0 * (ext.ipc() / full.ipc() - 1.0)),
-            ext.spec_forwards,
-            ext.narrow_wakeups,
-            ext.sam_starts,
-            f3(md.ipc()),
-            format!("{}/{}", md.mem_dep_speculations, md.mem_dep_violations)
-        ]);
-        let mut o = Json::object();
-        o.set("name", name.into());
-        o.set("all_ipc", Json::from(full.ipc()));
-        o.set("extended_ipc", Json::from(ext.ipc()));
-        o.set("spec_forwards", Json::from(ext.spec_forwards));
-        o.set("narrow_wakeups", Json::from(ext.narrow_wakeups));
-        o.set("sam_starts", Json::from(ext.sam_starts));
-        o.set("memdep_ipc", Json::from(md.ipc()));
-        o.set("mem_dep_speculations", Json::from(md.mem_dep_speculations));
-        o.set("mem_dep_violations", Json::from(md.mem_dep_violations));
-        jrows.push(o);
-    }
-    println!(
-        "{}",
-        render(
-            &row![
-                "benchmark",
-                "all IPC",
-                "ext IPC",
-                "ext gain",
-                "spec fwd",
-                "narrow",
-                "sam",
-                "+memdep IPC",
-                "specs/viol"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "`extended()` = spec-forward + narrow + sum-addressed; the memory\n\
-         dependence predictor is reported separately because its benefit is\n\
-         workload-dependent (see EXPERIMENTS.md)."
-    );
-    art.set("extensions", Json::Array(jrows));
-
-    // ---- wrong-path fetch modeling ---------------------------------------
-    println!("\nAblation F: wrong-path fetch modeling (phantoms vs. fetch stall)\n");
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for name in ["go", "gcc", "parser", "twolf"] {
-        let p = by_name(name).unwrap().program();
-        let base = MachineConfig::slice2_full();
-        let mut wp = base;
-        wp.model_wrong_path = true;
-        let a = simulate(&p, &base, limit);
-        let b = simulate(&p, &wp, limit);
-        rows.push(row![
-            name,
-            f3(a.ipc()),
-            f3(b.ipc()),
-            format!("{:+.2}%", 100.0 * (b.ipc() / a.ipc() - 1.0))
-        ]);
-        let mut o = Json::object();
-        o.set("name", name.into());
-        o.set("stall_model_ipc", Json::from(a.ipc()));
-        o.set("phantom_model_ipc", Json::from(b.ipc()));
-        jrows.push(o);
-    }
-    println!(
-        "{}",
-        render(
-            &row!["benchmark", "stall-model IPC", "phantom-model IPC", "delta"],
-            &rows
-        )
-    );
-    println!(
-        "Wrong-path pollution is second-order and non-monotone — the effect\n\
-         the paper credits for bzip/gzip/li slightly exceeding the ideal\n\
-         machine."
-    );
-    art.set("wrong_path", Json::Array(jrows));
-
-    // ---- operand width distribution --------------------------------------
-    println!("\nAblation G: result significant-width distribution (the §6 premise)\n");
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for w in popk_workloads::all() {
-        let p = w.program();
-        let mut study = WidthStudy::new();
-        drive(&p, limit, &mut [&mut study]).unwrap();
-        let r = study.report();
-        rows.push(row![
-            w.name,
-            format!("{:.0}%", 100.0 * r.fraction_within(8)),
-            format!("{:.0}%", 100.0 * r.fraction_within(16)),
-            format!("{:.0}%", 100.0 * r.fraction_within(24)),
-            format!("{:.1}", r.mean_width())
-        ]);
-        let mut o = Json::object();
-        o.set("name", w.name.into());
-        o.set("fraction_within_8b", Json::from(r.fraction_within(8)));
-        o.set("fraction_within_16b", Json::from(r.fraction_within(16)));
-        o.set("fraction_within_24b", Json::from(r.fraction_within(24)));
-        o.set("mean_width_bits", Json::from(r.mean_width()));
-        jrows.push(o);
-    }
-    println!(
-        "{}",
-        render(
-            &row!["benchmark", "≤8 bits", "≤16 bits", "≤24 bits", "mean width"],
-            &rows
-        )
-    );
-    println!(
-        "Most results are sign/zero extensions of a narrow low slice — the\n\
-         empirical basis for the narrow-operand extension (refs [3], [6])."
-    );
-    art.set("width_distribution", Json::Array(jrows));
-
-    // ---- dependence distances --------------------------------------------
-    println!("\nAblation H: producer→consumer dependence distances (the §2 motivation)\n");
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for w in popk_workloads::all() {
-        let p = w.program();
-        let mut study = DistanceStudy::new();
-        drive(&p, limit, &mut [&mut study]).unwrap();
-        let r = study.report();
-        rows.push(row![
-            w.name,
-            format!("{:.0}%", 100.0 * r.fraction_within(1)),
-            format!("{:.0}%", 100.0 * r.fraction_within(2)),
-            format!("{:.0}%", 100.0 * r.fraction_within(4)),
-            format!("{:.0}%", 100.0 * r.fraction_within(8)),
-            format!("{:.1}", r.mean_distance())
-        ]);
-        let mut o = Json::object();
-        o.set("name", w.name.into());
-        o.set("fraction_within_1", Json::from(r.fraction_within(1)));
-        o.set("fraction_within_2", Json::from(r.fraction_within(2)));
-        o.set("fraction_within_4", Json::from(r.fraction_within(4)));
-        o.set("fraction_within_8", Json::from(r.fraction_within(8)));
-        o.set("mean_distance", Json::from(r.mean_distance()));
-        jrows.push(o);
-    }
-    println!(
-        "{}",
-        render(&row!["benchmark", "d=1", "≤2", "≤4", "≤8", "mean"], &rows)
-    );
-    println!(
-        "A third to half of all source operands come from the immediately\n\
-         preceding instructions — exactly the population naive EX\n\
-         pipelining penalizes and partial bypassing rescues (Fig. 1)."
-    );
-    art.set("dependence_distance", Json::Array(jrows));
-
+    let meter = HostMeter::start(cli.threads);
+    let mut rep = ablations_report(cli.limit, cli.threads);
+    print!("{}", rep.text);
+    println!("{}", meter.summary());
     if cli.json {
-        art.emit();
+        rep.artifact.set("host", meter.host_json());
+        rep.artifact.emit();
     }
 }

@@ -1,104 +1,35 @@
 //! Compare any two machine configurations across the full workload suite.
 //!
 //! Usage:
-//! `cargo run --release -p popk-bench --bin compare [cfgA] [cfgB] [limit]`
+//! `cargo run --release -p popk-bench --bin compare [cfgA] [cfgB]
+//! [limit] [--json] [--threads N]`
 //!
 //! Configs: ideal | simple2 | simple4 | slice2-N (cumulative level N) |
 //! slice4-N | slice2 | slice4 (= level 5) | ext2 | ext4.
 //! Default: `slice2 ideal`.
 
-#![allow(clippy::useless_vec)] // row! builds Vec rows; headers reuse it
-
-use popk_bench::fmt::{f3, render};
-use popk_bench::row;
-use popk_core::{simulate, MachineConfig, Optimizations, SimStats};
-use popk_workloads::all;
-use std::sync::Mutex;
-
-fn parse(name: &str) -> Option<MachineConfig> {
-    if let Some(level) = name.strip_prefix("slice2-") {
-        return Some(MachineConfig::slice2(Optimizations::level(
-            level.parse().ok()?,
-        )));
-    }
-    if let Some(level) = name.strip_prefix("slice4-") {
-        return Some(MachineConfig::slice4(Optimizations::level(
-            level.parse().ok()?,
-        )));
-    }
-    Some(match name {
-        "ideal" => MachineConfig::ideal(),
-        "simple2" => MachineConfig::simple2(),
-        "simple4" => MachineConfig::simple4(),
-        "slice2" => MachineConfig::slice2_full(),
-        "slice4" => MachineConfig::slice4_full(),
-        "ext2" => MachineConfig::slice2(Optimizations::extended()),
-        "ext4" => MachineConfig::slice4(Optimizations::extended()),
-        _ => return None,
-    })
-}
+use popk_bench::{compare_report, parse_config, Cli, HostMeter};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let a_name = args.first().map(String::as_str).unwrap_or("slice2");
-    let b_name = args.get(1).map(String::as_str).unwrap_or("ideal");
-    let limit: u64 = args
-        .get(2)
-        .and_then(|v| v.replace('_', "").parse().ok())
-        .unwrap_or(200_000);
-    let (Some(a_cfg), Some(b_cfg)) = (parse(a_name), parse(b_name)) else {
+    let cli = Cli::parse();
+    // Config names are the non-flag, non-numeric tokens ([`Cli`] already
+    // consumed the budget and the `--threads` value).
+    let names: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| parse_config(a).is_some())
+        .collect();
+    let a_name = names.first().map(String::as_str).unwrap_or("slice2");
+    let b_name = names.get(1).map(String::as_str).unwrap_or("ideal");
+
+    let meter = HostMeter::start(cli.threads);
+    let Some(mut rep) = compare_report(a_name, b_name, cli.limit, cli.threads) else {
         eprintln!("unknown config (try: ideal simple2 simple4 slice2 slice4 slice2-3 ext2 …)");
         std::process::exit(1);
     };
-
-    println!("{a_name} vs {b_name} ({limit} instructions per run)\n");
-    let workloads = all();
-    let slots: Vec<Mutex<Option<(SimStats, SimStats)>>> =
-        workloads.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for (w, slot) in workloads.iter().zip(&slots) {
-            scope.spawn(move || {
-                let p = w.program();
-                let a = simulate(&p, &a_cfg, limit);
-                let b = simulate(&p, &b_cfg, limit);
-                *slot.lock().unwrap() = Some((a, b));
-            });
-        }
-    });
-
-    let mut rows = Vec::new();
-    let mut log_sum = 0.0f64;
-    for (w, slot) in workloads.iter().zip(&slots) {
-        let (a, b) = slot.lock().unwrap().take().unwrap();
-        let ratio = a.ipc() / b.ipc();
-        log_sum += ratio.ln();
-        rows.push(row![
-            w.name,
-            f3(a.ipc()),
-            f3(b.ipc()),
-            format!("{:+.1}%", 100.0 * (ratio - 1.0)),
-            a.cycles,
-            b.cycles
-        ]);
+    print!("{}", rep.text);
+    println!("{}", meter.summary());
+    if cli.json {
+        rep.artifact.set("host", meter.host_json());
+        rep.artifact.emit();
     }
-    println!(
-        "{}",
-        render(
-            &row![
-                "benchmark",
-                format!("{a_name} IPC"),
-                format!("{b_name} IPC"),
-                "delta",
-                format!("{a_name} cyc"),
-                format!("{b_name} cyc")
-            ],
-            &rows
-        )
-    );
-    let geo = (log_sum / workloads.len() as f64).exp();
-    println!(
-        "geomean IPC ratio {a_name}/{b_name}: {:.3} ({:+.1}%)",
-        geo,
-        100.0 * (geo - 1.0)
-    );
 }

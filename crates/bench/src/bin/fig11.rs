@@ -4,102 +4,19 @@
 //! cumulatively. Also prints the Fig. 10 pipeline configurations and the
 //! §7.1 way-mispredict statistic.
 //!
-//! Usage: `cargo run --release -p popk-bench --bin fig11 [instr_budget] [--json]`
+//! Usage: `cargo run --release -p popk-bench --bin fig11
+//! [instr_budget] [--json] [--threads N]`
 
-use popk_bench::artifact::counters_json;
-use popk_bench::fmt::{f3, render};
-use popk_bench::{fig11, Artifact, Cli, Fig11Data};
-use popk_core::{Json, Optimizations};
+use popk_bench::{fig11_report, Cli, HostMeter};
 
 fn main() {
     let cli = Cli::parse();
-    let limit = cli.limit;
-    println!("Figure 10 pipeline configurations (frequency held constant):");
-    println!("  base      : Fetch1..RF2 (12) | EX          | Mem RE CT");
-    println!("  slice-by-2: Fetch1..RF2 (12) | EX1 EX2     | Mem RE CT");
-    println!("  slice-by-4: Fetch1..RF2 (12) | EX1..EX4    | Mem RE CT (L1D 2 cycles)\n");
-    println!("Figure 11: IPC stacks ({limit} instructions per run)\n");
-
-    let data = fig11(limit);
-    for (by4, cols) in [(false, &data.slice2), (true, &data.slice4)] {
-        let n = if by4 { 4 } else { 2 };
-        println!("== {n} slices ==\n");
-        let header: Vec<String> = std::iter::once("benchmark".to_string())
-            .chain((0..=5).map(|l| Optimizations::level_name(l).to_string()))
-            .chain(std::iter::once("ideal".to_string()))
-            .collect();
-        let rows: Vec<Vec<String>> = cols
-            .iter()
-            .map(|c| {
-                let mut r = vec![c.name.to_string()];
-                r.extend(c.level_ipc.iter().map(|&v| f3(v)));
-                r.push(f3(c.ideal_ipc));
-                r
-            })
-            .collect();
-        println!("{}", render(&header, &rows));
-
-        let vs_ideal = data.mean_full_vs_ideal(by4);
-        let speedup = data.mean_speedup(by4);
-        println!(
-            "geomean: all-techniques IPC = {:.1}% of ideal ({}); speedup over simple pipelining = {:+.1}%\n",
-            100.0 * vs_ideal,
-            if by4 {
-                "paper: 18% below ideal"
-            } else {
-                "paper: within ~1% of ideal"
-            },
-            100.0 * (speedup - 1.0),
-        );
-        let avg_way_miss: f64 =
-            cols.iter().map(|c| c.way_mispredict_rate).sum::<f64>() / cols.len() as f64;
-        println!(
-            "avg partial-tag way-mispredict rate: {:.1}% (paper: ~{}%)\n",
-            100.0 * avg_way_miss,
-            if by4 { 1 } else { 2 },
-        );
-    }
-
+    let meter = HostMeter::start(cli.threads);
+    let mut rep = fig11_report(cli.limit, cli.threads);
+    print!("{}", rep.text);
+    println!("{}", meter.summary());
     if cli.json {
-        let mut art = Artifact::new("fig11", limit);
-        art.set(
-            "levels",
-            (0..=5)
-                .map(|l| Json::from(Optimizations::level_name(l)))
-                .collect(),
-        );
-        art.set("slice2", slice_json(&data, false));
-        art.set("slice4", slice_json(&data, true));
-        art.emit();
+        rep.artifact.set("host", meter.host_json());
+        rep.artifact.emit();
     }
-}
-
-/// One slicing factor's Fig. 11 results: per-workload IPC at every
-/// cumulative level plus the ideal machine, the full-config counter
-/// snapshot, and the geomean summary lines.
-fn slice_json(data: &Fig11Data, by4: bool) -> Json {
-    let cols = if by4 { &data.slice4 } else { &data.slice2 };
-    let workloads: Vec<Json> = cols
-        .iter()
-        .map(|c| {
-            let mut o = Json::object();
-            o.set("name", c.name.into());
-            o.set("ideal_ipc", Json::from(c.ideal_ipc));
-            o.set(
-                "level_ipc",
-                c.level_ipc.iter().map(|&v| Json::from(v)).collect(),
-            );
-            o.set("way_mispredict_rate", Json::from(c.way_mispredict_rate));
-            o.set("counters", counters_json(&c.full_stats));
-            o
-        })
-        .collect();
-    let mut s = Json::object();
-    s.set("workloads", Json::Array(workloads));
-    s.set(
-        "geomean_full_vs_ideal",
-        Json::from(data.mean_full_vs_ideal(by4)),
-    );
-    s.set("geomean_speedup", Json::from(data.mean_speedup(by4)));
-    s
 }

@@ -2,72 +2,19 @@
 //! pipelining, broken down by technique (cumulative contributions), for
 //! slice-by-2 and slice-by-4.
 //!
-//! Usage: `cargo run --release -p popk-bench --bin fig12 [instr_budget] [--json]`
+//! Usage: `cargo run --release -p popk-bench --bin fig12
+//! [instr_budget] [--json] [--threads N]`
 
-use popk_bench::fmt::render;
-use popk_bench::{fig11, fig12_from, Artifact, Cli};
-use popk_core::Json;
-
-const TECHS: [&str; 5] = [
-    "partial bypassing",
-    "ooo slices",
-    "early branch",
-    "early l/s disambig",
-    "partial tag",
-];
+use popk_bench::{fig12_report, Cli, HostMeter};
 
 fn main() {
     let cli = Cli::parse();
-    let limit = cli.limit;
-    println!("Figure 12: speedup of bit-slice pipelining over simple pipelining");
-    println!("({limit} instructions per run; columns are incremental contributions)\n");
-
-    let data = fig11(limit);
-    let mut art = Artifact::new("fig12", limit);
-    art.set("techniques", TECHS.iter().copied().collect());
-    for by4 in [false, true] {
-        let n = if by4 { 4 } else { 2 };
-        println!("== {n} slices ==\n");
-        let header: Vec<String> = std::iter::once("benchmark".to_string())
-            .chain(TECHS.iter().map(|s| s.to_string()))
-            .chain(std::iter::once("total".to_string()))
-            .collect();
-        let rows_data = fig12_from(&data, by4);
-        let mut rows = Vec::new();
-        let mut jrows = Vec::new();
-        let mut new_tech_sum = 0.0;
-        for (name, contrib, total) in &rows_data {
-            let mut r = vec![name.to_string()];
-            r.extend(contrib.iter().map(|c| format!("{:+.1}%", 100.0 * c)));
-            r.push(format!("{:+.1}%", 100.0 * total));
-            rows.push(r);
-            // The paper's "new techniques" are everything past bypassing.
-            new_tech_sum += contrib[1..].iter().sum::<f64>();
-            let mut o = Json::object();
-            o.set("name", (*name).into());
-            o.set("contributions", contrib.iter().copied().collect());
-            o.set("total_speedup", Json::from(*total));
-            jrows.push(o);
-        }
-        println!("{}", render(&header, &rows));
-        let bypass = data.mean_bypass_speedup(by4) - 1.0;
-        let total = data.mean_speedup(by4) - 1.0;
-        println!(
-            "geomean total speedup {:+.1}% (paper: {}); bypassing alone {:+.1}%;\n\
-             new techniques add ~{:+.1}% on average (paper: {}).\n",
-            100.0 * total,
-            if by4 { "+44%" } else { "+16%" },
-            100.0 * bypass,
-            100.0 * new_tech_sum / rows_data.len() as f64,
-            if by4 { "+13%" } else { "+8%" },
-        );
-        let mut s = Json::object();
-        s.set("workloads", Json::Array(jrows));
-        s.set("geomean_total_speedup", Json::from(total));
-        s.set("geomean_bypass_speedup", Json::from(bypass));
-        art.set(if by4 { "slice4" } else { "slice2" }, s);
-    }
+    let meter = HostMeter::start(cli.threads);
+    let mut rep = fig12_report(cli.limit, cli.threads);
+    print!("{}", rep.text);
+    println!("{}", meter.summary());
     if cli.json {
-        art.emit();
+        rep.artifact.set("host", meter.host_json());
+        rep.artifact.emit();
     }
 }

@@ -1,67 +1,19 @@
 //! Reproduce **Table 1**: baseline characteristics of the benchmark
 //! suite on the ideal (unpipelined-EX) Table 2 machine.
 //!
-//! Usage: `cargo run --release -p popk-bench --bin table1 [instr_budget] [--json]`
+//! Usage: `cargo run --release -p popk-bench --bin table1
+//! [instr_budget] [--json] [--threads N]`
 
-#![allow(clippy::useless_vec)] // row! builds Vec rows; headers reuse it
-
-use popk_bench::fmt::{f3, pct, render};
-use popk_bench::row;
-use popk_bench::{table1, Artifact, Cli};
-use popk_core::Json;
+use popk_bench::{table1_report, Cli, HostMeter};
 
 fn main() {
     let cli = Cli::parse();
-    let limit = cli.limit;
-    println!("Table 1: benchmark characteristics (ideal machine, {limit} instructions)\n");
-    let rows = table1(limit);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            row![
-                r.name,
-                r.instructions,
-                f3(r.ipc),
-                pct(r.pct_loads),
-                pct(r.pct_stores),
-                pct(r.branch_accuracy)
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render(
-            &row![
-                "benchmark",
-                "instrs",
-                "IPC",
-                "% loads",
-                "% stores",
-                "branch acc"
-            ],
-            &table
-        )
-    );
-    let mean_ipc = (rows.iter().map(|r| r.ipc.ln()).sum::<f64>() / rows.len() as f64).exp();
-    println!("geometric-mean IPC: {mean_ipc:.3}");
-
+    let meter = HostMeter::start(cli.threads);
+    let mut rep = table1_report(cli.limit, cli.threads);
+    print!("{}", rep.text);
+    println!("{}", meter.summary());
     if cli.json {
-        let workloads: Vec<Json> = rows
-            .iter()
-            .map(|r| {
-                let mut o = Json::object();
-                o.set("name", r.name.into());
-                o.set("instructions", Json::from(r.instructions));
-                o.set("ipc", Json::from(r.ipc));
-                o.set("pct_loads", Json::from(r.pct_loads));
-                o.set("pct_stores", Json::from(r.pct_stores));
-                o.set("branch_accuracy", Json::from(r.branch_accuracy));
-                o
-            })
-            .collect();
-        let mut art = Artifact::new("table1", limit);
-        art.set("workloads", Json::Array(workloads));
-        art.set("geomean_ipc", Json::from(mean_ipc));
-        art.emit();
+        rep.artifact.set("host", meter.host_json());
+        rep.artifact.emit();
     }
 }

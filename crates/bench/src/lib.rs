@@ -9,19 +9,28 @@
 //! All runners accept a dynamic-instruction budget; the binaries read it
 //! from their first CLI argument (default [`DEFAULT_LIMIT`]) and accept
 //! `--json` to additionally write a machine-readable
-//! `BENCH_<figure>.json` artifact (see [`artifact`]). Workloads run in
-//! parallel across OS threads, one simulation per thread.
+//! `BENCH_<figure>.json` artifact (see [`artifact`]). Sweeps fan their
+//! (workload × config) simulation jobs across a scoped job [`pool`]
+//! (`--threads N`, default all cores) and collect results in submission
+//! order, so artifacts are byte-identical at any thread count; each
+//! artifact carries a `host` block recording the sweep's wall-clock
+//! throughput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
 pub mod fmt;
+pub mod pool;
+pub mod reports;
 pub mod runners;
 pub mod timing;
 
-pub use artifact::{Artifact, Cli};
+pub use artifact::{Artifact, Cli, HostMeter};
+pub use reports::{
+    ablations_report, compare_report, fig11_report, fig12_report, table1_report, Report,
+};
 pub use runners::{
-    arg_limit, fig11, fig12_from, fig2, fig4, fig6, table1, Fig11Column, Fig11Data, Table1Row,
-    DEFAULT_LIMIT,
+    arg_limit, compare, fig11, fig12_from, fig2, fig4, fig6, parse_config, table1, Fig11Column,
+    Fig11Data, Table1Row, DEFAULT_LIMIT,
 };

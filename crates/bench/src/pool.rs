@@ -1,0 +1,89 @@
+//! A hand-rolled scoped job pool for the sweep executors.
+//!
+//! The report binaries fan their (workload × config) simulation jobs
+//! across OS threads. The workspace builds offline with no external
+//! crates, so this is a minimal work-stealing-free pool on
+//! [`std::thread::scope`]: one atomic cursor hands out job indices,
+//! each worker writes its result into a per-job slot, and results come
+//! back in **submission order** regardless of which worker ran what —
+//! so sweeps are deterministic at any thread count. `threads == 1`
+//! bypasses the pool entirely and runs the jobs serially in order on
+//! the calling thread, reproducing single-threaded behaviour exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use by default: every available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Apply `f` to every item, using up to `threads` worker threads, and
+/// return the results in item (submission) order.
+///
+/// `threads` is clamped to `1..=items.len()`; the jobs must be
+/// independent (each runs exactly once, on exactly one worker).
+pub fn map_jobs<I: Sync, T: Send>(
+    threads: usize,
+    items: &[I],
+    f: impl Fn(&I) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker completed job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_submission_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 16] {
+            let out = map_jobs(threads, &items, |&i| i * i);
+            assert_eq!(out, items.iter().map(|&i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_once() {
+        let ran = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..37).collect();
+        let out = map_jobs(4, &items, |&i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 37);
+        assert_eq!(out.len(), 37);
+    }
+
+    #[test]
+    fn empty_and_oversubscribed() {
+        let none: Vec<u8> = Vec::new();
+        assert!(map_jobs(8, &none, |&b| b).is_empty());
+        // More threads than jobs: clamped, still correct.
+        assert_eq!(map_jobs(64, &[5u8, 6], |&b| b + 1), vec![6, 7]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

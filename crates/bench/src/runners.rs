@@ -1,12 +1,14 @@
 //! Experiment runners, one per table/figure.
 
+use crate::pool;
 use popk_cache::CacheConfig;
 use popk_characterize::{
     drive, BranchReport, BranchStudy, DisambigReport, DisambigStudy, TagMatchReport, TagMatchStudy,
 };
 use popk_core::{simulate, MachineConfig, Optimizations, SimStats};
+use popk_isa::Program;
 use popk_workloads::{all, by_name, Workload};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default dynamic-instruction budget per simulation. The paper simulates
 /// 500 M per benchmark on native hardware; this default keeps a full
@@ -24,22 +26,54 @@ pub fn arg_limit() -> u64 {
         .unwrap_or(DEFAULT_LIMIT)
 }
 
-/// Run `f` for every workload in parallel, returning results in the
-/// registry order.
-fn per_workload<T: Send>(f: impl Fn(&Workload) -> T + Sync) -> Vec<T> {
-    let workloads = all();
-    let results: Vec<Mutex<Option<T>>> = workloads.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for (w, slot) in workloads.iter().zip(&results) {
-            scope.spawn(|| {
-                *slot.lock().unwrap() = Some(f(w));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker completed"))
-        .collect()
+// ---- sweep throughput meter ------------------------------------------------
+
+/// Process-wide count of simulation/characterization jobs completed and
+/// dynamic instructions processed, feeding the artifacts' `host` block
+/// (see [`crate::artifact::HostMeter`]). Relaxed atomics: pool workers
+/// only ever add, readers only ever need a monotone snapshot.
+static METER_JOBS: AtomicU64 = AtomicU64::new(0);
+static METER_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one completed job that processed `instructions` dynamic
+/// instructions.
+fn meter_record(instructions: u64) {
+    METER_JOBS.fetch_add(1, Ordering::Relaxed);
+    METER_INSTRUCTIONS.fetch_add(instructions, Ordering::Relaxed);
+}
+
+/// Snapshot of (jobs completed, instructions processed) so far in this
+/// process.
+pub fn meter_snapshot() -> (u64, u64) {
+    (
+        METER_JOBS.load(Ordering::Relaxed),
+        METER_INSTRUCTIONS.load(Ordering::Relaxed),
+    )
+}
+
+/// [`simulate`] plus meter accounting — every runner-issued simulation
+/// goes through here so the artifacts' Minsts/s reflects real work.
+pub(crate) fn sim(program: &Program, cfg: &MachineConfig, limit: u64) -> SimStats {
+    let s = simulate(program, cfg, limit);
+    meter_record(s.committed);
+    s
+}
+
+/// [`drive`] (functional emulation for the characterization studies)
+/// plus meter accounting of the instructions actually traced.
+pub(crate) fn drive_counted(
+    program: &Program,
+    limit: u64,
+    sinks: &mut [&mut dyn popk_characterize::TraceSink],
+) {
+    let n = drive(program, limit, sinks).expect("emulation");
+    meter_record(n);
+}
+
+/// Run `f` for every workload across the job pool, returning results in
+/// the registry order.
+fn per_workload<T: Send>(threads: usize, f: impl Fn(&Workload) -> T + Sync) -> Vec<T> {
+    pool::map_jobs(threads, &all(), f)
 }
 
 // ---- Table 1 --------------------------------------------------------------
@@ -60,11 +94,12 @@ pub struct Table1Row {
     pub branch_accuracy: f64,
 }
 
-/// Reproduce Table 1: baseline characteristics of all eleven workloads.
-pub fn table1(limit: u64) -> Vec<Table1Row> {
-    per_workload(|w| {
+/// Reproduce Table 1: baseline characteristics of all eleven workloads,
+/// one simulation job per workload across `threads` pool workers.
+pub fn table1(limit: u64, threads: usize) -> Vec<Table1Row> {
+    per_workload(threads, |w| {
         let p = w.program();
-        let s = simulate(&p, &MachineConfig::ideal(), limit);
+        let s = sim(&p, &MachineConfig::ideal(), limit);
         Table1Row {
             name: w.name,
             instructions: s.committed,
@@ -87,7 +122,7 @@ pub fn fig2(names: &[&str], limit: u64) -> Vec<(String, DisambigReport)> {
             let w = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
             let p = w.program();
             let mut study = DisambigStudy::new(32);
-            drive(&p, limit, &mut [&mut study]).expect("emulation");
+            drive_counted(&p, limit, &mut [&mut study]);
             (name.to_string(), study.report())
         })
         .collect()
@@ -110,7 +145,7 @@ pub fn fig4(name: &str, big: bool, limit: u64) -> Vec<TagMatchReport> {
                 CacheConfig::small_8k(ways)
             };
             let mut study = TagMatchStudy::new(cfg);
-            drive(&p, limit, &mut [&mut study]).expect("emulation");
+            drive_counted(&p, limit, &mut [&mut study]);
             study.report()
         })
         .collect()
@@ -121,10 +156,10 @@ pub fn fig4(name: &str, big: bool, limit: u64) -> Vec<TagMatchReport> {
 /// Reproduce Fig. 6: per-benchmark misprediction-detection CDFs with a
 /// 64K-entry gshare.
 pub fn fig6(limit: u64) -> Vec<(&'static str, BranchReport)> {
-    per_workload(|w| {
+    per_workload(pool::default_threads(), |w| {
         let p = w.program();
         let mut study = BranchStudy::table2();
-        drive(&p, limit, &mut [&mut study]).expect("emulation");
+        drive_counted(&p, limit, &mut [&mut study]);
         (w.name, study.report())
     })
 }
@@ -155,43 +190,65 @@ pub struct Fig11Data {
     pub slice4: Vec<Fig11Column>,
 }
 
-fn fig11_columns(limit: u64, by4: bool) -> Vec<Fig11Column> {
-    per_workload(|w| {
-        let p = w.program();
-        let ideal = simulate(&p, &MachineConfig::ideal(), limit);
-        let mut level_ipc = [0.0; 6];
-        let mut full_stats = SimStats::default();
-        #[allow(clippy::needless_range_loop)] // level doubles as the config knob
-        for level in 0..=5 {
-            let opts = Optimizations::level(level);
-            let cfg = if by4 {
-                MachineConfig::slice4(opts)
-            } else {
-                MachineConfig::slice2(opts)
-            };
-            let s = simulate(&p, &cfg, limit);
-            level_ipc[level] = s.ipc();
-            if level == 5 {
-                full_stats = s;
-            }
-        }
-        Fig11Column {
-            name: w.name,
-            ideal_ipc: ideal.ipc(),
-            level_ipc,
-            way_mispredict_rate: full_stats.way_mispredict_rate(),
-            full_stats,
-        }
-    })
-}
-
 /// Reproduce Fig. 11: IPC stacks for slice-by-2 and slice-by-4 across all
 /// workloads and cumulative optimization levels.
-pub fn fig11(limit: u64) -> Fig11Data {
-    Fig11Data {
-        slice2: fig11_columns(limit, false),
-        slice4: fig11_columns(limit, true),
+///
+/// The sweep is flattened to one job per (workload × machine
+/// configuration) — 11 × (1 ideal + 2 slicings × 6 levels) = 143
+/// simulations — and fanned across `threads` pool workers; results are
+/// reassembled in submission order, so the output is identical at any
+/// thread count. The simulator is a pure function of (program, config,
+/// budget), so the ideal run is shared between the two slicings.
+pub fn fig11(limit: u64, threads: usize) -> Fig11Data {
+    let workloads = all();
+    let programs: Vec<Program> = pool::map_jobs(threads, &workloads, Workload::program);
+
+    let mut jobs: Vec<(&Program, MachineConfig)> = Vec::new();
+    for p in &programs {
+        jobs.push((p, MachineConfig::ideal()));
+        for by4 in [false, true] {
+            for level in 0..=5 {
+                let opts = Optimizations::level(level);
+                let cfg = if by4 {
+                    MachineConfig::slice4(opts)
+                } else {
+                    MachineConfig::slice2(opts)
+                };
+                jobs.push((p, cfg));
+            }
+        }
     }
+    let stats = pool::map_jobs(threads, &jobs, |&(p, cfg)| sim(p, &cfg, limit));
+
+    let mut results = stats.into_iter();
+    let mut data = Fig11Data {
+        slice2: Vec::new(),
+        slice4: Vec::new(),
+    };
+    for w in &workloads {
+        let ideal_ipc = results.next().expect("ideal run").ipc();
+        for by4 in [false, true] {
+            let mut level_ipc = [0.0; 6];
+            let mut full_stats = SimStats::default();
+            for slot in &mut level_ipc {
+                full_stats = results.next().expect("level run");
+                *slot = full_stats.ipc();
+            }
+            let col = Fig11Column {
+                name: w.name,
+                ideal_ipc,
+                level_ipc,
+                way_mispredict_rate: full_stats.way_mispredict_rate(),
+                full_stats,
+            };
+            if by4 {
+                data.slice4.push(col);
+            } else {
+                data.slice2.push(col);
+            }
+        }
+    }
+    data
 }
 
 impl Fig11Data {
@@ -246,6 +303,59 @@ pub fn fig12_from(data: &Fig11Data, by4: bool) -> Vec<(&'static str, [f64; 5], f
         .collect()
 }
 
+// ---- compare --------------------------------------------------------------
+
+/// Parse a machine-configuration name as accepted by the `compare`
+/// binary: `ideal | simple2 | simple4 | slice2 | slice4 | ext2 | ext4 |
+/// slice2-N | slice4-N` (cumulative level `N`).
+pub fn parse_config(name: &str) -> Option<MachineConfig> {
+    if let Some(level) = name.strip_prefix("slice2-") {
+        return Some(MachineConfig::slice2(Optimizations::level(
+            level.parse().ok()?,
+        )));
+    }
+    if let Some(level) = name.strip_prefix("slice4-") {
+        return Some(MachineConfig::slice4(Optimizations::level(
+            level.parse().ok()?,
+        )));
+    }
+    Some(match name {
+        "ideal" => MachineConfig::ideal(),
+        "simple2" => MachineConfig::simple2(),
+        "simple4" => MachineConfig::simple4(),
+        "slice2" => MachineConfig::slice2_full(),
+        "slice4" => MachineConfig::slice4_full(),
+        "ext2" => MachineConfig::slice2(Optimizations::extended()),
+        "ext4" => MachineConfig::slice4(Optimizations::extended()),
+        _ => return None,
+    })
+}
+
+/// Run the whole suite under two configurations — one job per
+/// (workload × config) across the pool — returning per-workload stat
+/// pairs in registry order.
+pub fn compare(
+    a: &MachineConfig,
+    b: &MachineConfig,
+    limit: u64,
+    threads: usize,
+) -> Vec<(&'static str, SimStats, SimStats)> {
+    let workloads = all();
+    let programs: Vec<Program> = pool::map_jobs(threads, &workloads, Workload::program);
+    let jobs: Vec<(&Program, MachineConfig)> =
+        programs.iter().flat_map(|p| [(p, *a), (p, *b)]).collect();
+    let stats = pool::map_jobs(threads, &jobs, |&(p, cfg)| sim(p, &cfg, limit));
+    let mut results = stats.into_iter();
+    workloads
+        .iter()
+        .map(|w| {
+            let sa = results.next().expect("config A run");
+            let sb = results.next().expect("config B run");
+            (w.name, sa, sb)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,7 +364,7 @@ mod tests {
 
     #[test]
     fn table1_rows_complete() {
-        let rows = table1(QUICK);
+        let rows = table1(QUICK, 2);
         assert_eq!(rows.len(), 11);
         for r in &rows {
             assert!(r.ipc > 0.05 && r.ipc < 4.0, "{}: ipc {}", r.name, r.ipc);
@@ -317,5 +427,26 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
         assert!((geomean([3.0].into_iter()) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_config_names() {
+        assert!(parse_config("ideal").is_some());
+        assert!(parse_config("slice2-3").is_some());
+        assert!(parse_config("ext4").is_some());
+        assert!(parse_config("slice2-x").is_none());
+        assert!(parse_config("bogus").is_none());
+    }
+
+    #[test]
+    fn meter_counts_runner_work() {
+        let (jobs0, instrs0) = meter_snapshot();
+        let rows = table1(QUICK, 1);
+        let (jobs1, instrs1) = meter_snapshot();
+        // Other tests in this process also advance the meter, so only
+        // lower-bound the deltas.
+        assert!(jobs1 - jobs0 >= rows.len() as u64);
+        let committed: u64 = rows.iter().map(|r| r.instructions).sum();
+        assert!(instrs1 - instrs0 >= committed);
     }
 }

@@ -56,6 +56,19 @@ impl Json {
         }
     }
 
+    /// Remove `key` from an object, returning its value if present.
+    /// Comparing artifacts modulo a volatile block (e.g. host timing)
+    /// removes it from both sides first.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        match self {
+            Json::Object(pairs) => pairs
+                .iter()
+                .position(|(k, _)| k == key)
+                .map(|i| pairs.remove(i).1),
+            _ => None,
+        }
+    }
+
     /// Serialize with `indent`-space indentation per nesting level.
     pub fn to_pretty(&self, indent: usize) -> String {
         let mut out = String::new();
@@ -226,6 +239,9 @@ mod tests {
         o.set("a", Json::from("x"));
         o.set("z", Json::from(2u64)); // replace, not duplicate
         assert_eq!(o.to_string(), r#"{"z":2,"a":"x"}"#);
+        assert_eq!(o.remove("z"), Some(Json::Int(2)));
+        assert_eq!(o.remove("z"), None);
+        assert_eq!(o.to_string(), r#"{"a":"x"}"#);
         let arr: Json = [1u64, 2, 3].into_iter().collect();
         assert_eq!(arr.to_string(), "[1,2,3]");
     }

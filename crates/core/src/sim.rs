@@ -36,9 +36,15 @@ use popk_cache::{Hierarchy, PartialOutcome};
 use popk_emu::{Machine, TraceRecord};
 use popk_isa::{Op, OpClass, Program, Reg, SliceClass};
 use popk_slice::mispredict_detection_bit;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 const MAX_SLICES: usize = 4;
+
+/// Calendar-wheel size for the issue wakeup schedule. Almost every wake
+/// is a handful of cycles out (next-cycle retries, ALU/unit latencies);
+/// the rare longer waits (L2 misses) overflow to a heap.
+const WHEEL_SLOTS: u64 = 64;
 
 /// Emit a trace event, stamped with the current cycle. A macro rather
 /// than a method so it can run while a window entry is mutably borrowed:
@@ -115,6 +121,13 @@ struct Entry {
     phantom: bool,
     /// Set once every slice (and memory) is finished.
     completed_at: Option<u64>,
+    /// Sequence numbers parked on this entry's result: they re-enter the
+    /// wakeup calendar when a result slice is scheduled (published).
+    waiters: Vec<u64>,
+    /// Cached opcode predicates (decoded once at dispatch; these are on
+    /// per-examination hot paths).
+    is_ld: bool,
+    is_st: bool,
 }
 
 /// Byte range `[ea, ea + width)` of a memory reference.
@@ -140,13 +153,13 @@ fn store_covers_load(store: &TraceRecord, load: &TraceRecord) -> bool {
 
 impl Entry {
     fn is_load(&self) -> bool {
-        self.rec.insn.op().is_load()
+        self.is_ld
     }
     fn is_store(&self) -> bool {
-        self.rec.insn.op().is_store()
+        self.is_st
     }
     fn is_mem(&self) -> bool {
-        self.is_load() || self.is_store()
+        self.is_ld || self.is_st
     }
 
     /// Result slice `k` availability (`None` = not yet known/scheduled).
@@ -209,6 +222,23 @@ pub struct Simulator<S: TraceSink = NullTrace> {
     /// Memory-dependence predictor: 2-bit confidence per load PC hash
     /// (3 = confidently conflict-free). Used by `opts.mem_dep_predict`.
     mem_dep_table: Vec<u8>,
+    /// Wakeup calendar wheel: slot `c % WHEEL_SLOTS` holds the seqs to
+    /// examine at cycle `c`. Issue examines only the entries whose
+    /// wakeup is due instead of rescanning the window. An entry may be
+    /// scheduled more than once (examinations are side-effect-free
+    /// unless the entry actually progresses), and a stale seq —
+    /// squashed, committed, or reused after a squash — is simply a
+    /// harmless extra examination.
+    wheel: Vec<Vec<u64>>,
+    /// Wakeups further than the wheel horizon: `(cycle, seq)` min-heap.
+    far_wakeups: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Scratch buffer for the due candidates, reused across cycles.
+    cand_buf: Vec<u64>,
+    /// In-window store seqs in age order: the disambiguation scans walk
+    /// this instead of the whole window.
+    store_q: VecDeque<u64>,
+    /// In-window load seqs whose cache access has not started yet.
+    pending_loads: Vec<u64>,
     /// The trace-event consumer (zero-sized and inert by default).
     sink: S,
 }
@@ -268,6 +298,11 @@ impl<S: TraceSink> Simulator<S> {
             // Initialized confident: loads rarely conflict (the MCB
             // assumption); violations train entries down quickly.
             mem_dep_table: vec![3; 1024],
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            far_wakeups: BinaryHeap::new(),
+            cand_buf: Vec::with_capacity(cfg.ruu_size),
+            store_q: VecDeque::with_capacity(cfg.lsq_size),
+            pending_loads: Vec::with_capacity(cfg.lsq_size),
             sink,
         }
     }
@@ -339,7 +374,7 @@ impl<S: TraceSink> Simulator<S> {
             let resolved = if block_seq >= self.next_seq {
                 None // the branch has not even dispatched yet
             } else {
-                match self.window.iter().find(|e| e.seq == block_seq) {
+                match self.find(block_seq) {
                     Some(e) => e.resolved_at.filter(|&r| r <= self.cycle),
                     // Committed (hence resolved): treat as resolved now.
                     None => Some(self.cycle),
@@ -573,18 +608,23 @@ impl<S: TraceSink> Simulator<S> {
                 late_result,
                 phantom,
                 completed_at: None,
+                waiters: Vec::new(),
+                is_ld: op.is_load(),
+                is_st: op.is_store(),
             };
             if class == ExecClass::Front {
                 // Direct jumps: the front end computes the target; the RA
                 // result (jal) is available as soon as the entry exists.
-                for k in 0..self.nslices {
-                    entry.ready[k] = Some(fetch + self.cfg.dispatch_depth);
-                }
                 entry.resolved_at = Some(fetch + self.cfg.dispatch_depth);
                 entry.completed_at = Some(entry.earliest_ex);
             }
             if is_mem {
                 self.lsq_occupancy += 1;
+                if op.is_store() {
+                    self.store_q.push_back(seq);
+                } else {
+                    self.pending_loads.push(seq);
+                }
             }
             emit!(
                 self,
@@ -595,306 +635,565 @@ impl<S: TraceSink> Simulator<S> {
                     fetch
                 }
             );
-            if S::ENABLED && class == ExecClass::Front {
-                for k in 0..self.nslices {
-                    let at = entry.ready[k].unwrap();
-                    self.sink.event(
-                        self.cycle,
-                        &TraceEvent::SliceReady {
+            self.window.push_back(entry);
+            if class == ExecClass::Front {
+                let idx = self.window.len() - 1;
+                self.publish_all_slices(idx, fetch + self.cfg.dispatch_depth, IssueMark::None);
+                if S::ENABLED {
+                    let e = &self.window[idx];
+                    let (resolved_at, completed_at) =
+                        (e.resolved_at.unwrap(), e.completed_at.unwrap());
+                    emit!(
+                        self,
+                        TraceEvent::BranchResolved {
                             seq,
-                            slice: k as u8,
-                            at,
-                        },
+                            at: resolved_at,
+                            early: false,
+                            mispredicted,
+                        }
+                    );
+                    emit!(
+                        self,
+                        TraceEvent::Completed {
+                            seq,
+                            at: completed_at
+                        }
                     );
                 }
-                self.sink.event(
-                    self.cycle,
-                    &TraceEvent::BranchResolved {
-                        seq,
-                        at: entry.resolved_at.unwrap(),
-                        early: false,
-                        mispredicted,
-                    },
-                );
-                self.sink.event(
-                    self.cycle,
-                    &TraceEvent::Completed {
-                        seq,
-                        at: entry.completed_at.unwrap(),
-                    },
-                );
+            } else {
+                // First examination at the end of the front end.
+                self.wake_at(seq, fetch + self.cfg.front_depth);
             }
-            self.window.push_back(entry);
         }
     }
 
     // ---- issue -----------------------------------------------------------
 
     /// Per-cycle issue of slices (or whole atomic operations).
+    ///
+    /// Event-driven: instead of rescanning the whole window, only
+    /// entries with a due calendar wakeup are examined. An examination
+    /// runs exactly the per-entry logic of an exhaustive scan and is
+    /// side-effect-free unless the entry actually progresses, so
+    /// behaviour is bit-identical provided the schedule is *sound*:
+    /// every entry that would progress this cycle under a full rescan
+    /// must be among the candidates (each blocked examination records a
+    /// wake no later than its blocker can clear). Candidates are sorted
+    /// by sequence number — window (age) order — so ALU-slot contention
+    /// also resolves identically.
     fn issue(&mut self) {
         let mut int_used = [0usize; MAX_SLICES];
         let mut fp_used = 0usize;
-        let nslices = self.nslices;
-        let atomic_operands = !self.effective_bypass();
+        let mut cands = std::mem::take(&mut self.cand_buf);
+        cands.clear();
+        // Swap this cycle's wheel slot out (the emptied scratch buffer
+        // becomes the slot's fresh backing storage).
+        let slot = (self.cycle % WHEEL_SLOTS) as usize;
+        std::mem::swap(&mut cands, &mut self.wheel[slot]);
+        while let Some(&Reverse((due, seq))) = self.far_wakeups.peek() {
+            if due > self.cycle {
+                break;
+            }
+            self.far_wakeups.pop();
+            cands.push(seq);
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        for &seq in &cands {
+            if let Some(idx) = self.index_of(seq) {
+                self.examine(idx, &mut int_used, &mut fp_used);
+            }
+        }
+        self.cand_buf = cands;
+    }
 
-        for idx in 0..self.window.len() {
-            let entry = &self.window[idx];
-            if entry.completed_at.is_some() {
-                continue;
-            }
-            if self.cycle < entry.earliest_ex {
-                continue;
-            }
-            match entry.class {
-                ExecClass::Front => {}
-                ExecClass::Sys => {
-                    if idx == 0 && entry.issued[0].is_none() {
-                        let e = &mut self.window[idx];
-                        e.issued[0] = Some(self.cycle);
-                        let done = self.cycle + 1;
-                        for k in 0..nslices {
-                            e.ready[k] = Some(done);
-                        }
-                        e.completed_at = Some(done);
-                        if S::ENABLED {
-                            let seq = e.seq;
-                            emit!(self, TraceEvent::SliceIssued { seq, slice: 0 });
-                            for k in 0..nslices {
-                                emit!(
-                                    self,
-                                    TraceEvent::SliceReady {
-                                        seq,
-                                        slice: k as u8,
-                                        at: done
-                                    }
-                                );
-                            }
-                            emit!(self, TraceEvent::Completed { seq, at: done });
-                        }
-                    }
+    /// Examine one window entry for issue progress — the body of the
+    /// old per-entry rescan. On failure to progress, schedules a sound
+    /// re-examination point (a future wake or a producer's waiter
+    /// list).
+    fn examine(&mut self, idx: usize, int_used: &mut [usize; MAX_SLICES], fp_used: &mut usize) {
+        let entry = &self.window[idx];
+        if entry.completed_at.is_some() {
+            return;
+        }
+        let seq = entry.seq;
+        let earliest_ex = entry.earliest_ex;
+        let class = entry.class;
+        if self.cycle < earliest_ex {
+            self.wake_at(seq, earliest_ex);
+            return;
+        }
+        let nslices = self.nslices;
+        match class {
+            ExecClass::Front => {}
+            ExecClass::Sys => {
+                if idx == 0 && entry.issued[0].is_none() {
+                    let done = self.cycle + 1;
+                    self.publish_all_slices(idx, done, IssueMark::Slot0);
+                    self.window[idx].completed_at = Some(done);
+                    emit!(self, TraceEvent::Completed { seq, at: done });
+                } else if entry.issued[0].is_none() {
+                    // Not at the window head yet: poll until it is.
+                    self.wake_at(seq, self.cycle + 1);
                 }
-                ExecClass::MulDiv | ExecClass::FpAdd | ExecClass::FpLong => {
-                    if entry.issued[0].is_some() {
-                        self.finish_if_done(idx);
-                        continue;
-                    }
-                    if !self.all_sources_ready(idx) {
-                        continue;
-                    }
-                    let op = entry.rec.insn.op();
-                    let (latency, ok) = match entry.class {
-                        ExecClass::MulDiv => {
-                            let lat = match op {
-                                Op::Div | Op::Divu => self.cfg.div_latency,
-                                Op::Mult | Op::Multu => self.cfg.mult_latency,
-                                _ => 1, // mfhi/mflo/mthi/mtlo
-                            };
-                            let free = self.muldiv_busy_until <= self.cycle
-                                || matches!(op, Op::Mfhi | Op::Mflo | Op::Mthi | Op::Mtlo);
-                            (lat, free)
-                        }
-                        ExecClass::FpAdd => {
-                            (self.cfg.fp_latency, fp_used < self.cfg.fp_alus as usize)
-                        }
-                        ExecClass::FpLong => {
-                            let lat = match op {
-                                Op::MulS => self.cfg.fp_mul_latency,
-                                Op::SqrtS => self.cfg.fp_sqrt_latency,
-                                _ => self.cfg.fp_div_latency,
-                            };
-                            (lat, self.fp_long_busy_until <= self.cycle)
-                        }
-                        _ => unreachable!(),
-                    };
-                    if !ok {
-                        continue;
-                    }
-                    match entry.class {
-                        ExecClass::MulDiv => {
-                            if matches!(op, Op::Mult | Op::Multu | Op::Div | Op::Divu) {
-                                self.muldiv_busy_until = self.cycle + latency;
-                            }
-                        }
-                        ExecClass::FpAdd => fp_used += 1,
-                        ExecClass::FpLong => self.fp_long_busy_until = self.cycle + latency,
-                        _ => {}
-                    }
-                    let done = self.cycle + latency;
-                    let e = &mut self.window[idx];
-                    e.issued[0] = Some(self.cycle);
-                    for k in 0..nslices {
-                        e.ready[k] = Some(done);
-                    }
-                    if S::ENABLED {
-                        let seq = e.seq;
-                        emit!(self, TraceEvent::SliceIssued { seq, slice: 0 });
-                        for k in 0..nslices {
-                            emit!(
-                                self,
-                                TraceEvent::SliceReady {
-                                    seq,
-                                    slice: k as u8,
-                                    at: done
-                                }
-                            );
-                        }
-                    }
+            }
+            ExecClass::MulDiv | ExecClass::FpAdd | ExecClass::FpLong => {
+                if entry.issued[0].is_some() {
                     self.finish_if_done(idx);
+                    return;
                 }
-                ExecClass::IntSliced => {
-                    if atomic_operands {
-                        // Naive pipelining: single issue event, result
-                        // atomic after `nslices` cycles.
-                        if self.window[idx].issued[0].is_none() {
-                            if int_used[0] >= self.cfg.int_alus.min(self.cfg.width) as usize {
-                                continue;
-                            }
-                            if !self.all_sources_ready(idx) {
-                                continue;
-                            }
+                if !self.all_sources_ready(idx) {
+                    self.block_on_sources(idx);
+                    return;
+                }
+                let op = entry.rec.insn.op();
+                let (latency, ok, retry) = match class {
+                    ExecClass::MulDiv => {
+                        let lat = match op {
+                            Op::Div | Op::Divu => self.cfg.div_latency,
+                            Op::Mult | Op::Multu => self.cfg.mult_latency,
+                            _ => 1, // mfhi/mflo/mthi/mtlo
+                        };
+                        let free = self.muldiv_busy_until <= self.cycle
+                            || matches!(op, Op::Mfhi | Op::Mflo | Op::Mthi | Op::Mtlo);
+                        (lat, free, self.muldiv_busy_until)
+                    }
+                    ExecClass::FpAdd => (
+                        self.cfg.fp_latency,
+                        *fp_used < self.cfg.fp_alus as usize,
+                        self.cycle + 1,
+                    ),
+                    ExecClass::FpLong => {
+                        let lat = match op {
+                            Op::MulS => self.cfg.fp_mul_latency,
+                            Op::SqrtS => self.cfg.fp_sqrt_latency,
+                            _ => self.cfg.fp_div_latency,
+                        };
+                        (
+                            lat,
+                            self.fp_long_busy_until <= self.cycle,
+                            self.fp_long_busy_until,
+                        )
+                    }
+                    _ => unreachable!(),
+                };
+                if !ok {
+                    // Unit busy (or FP slots full): the reservation can
+                    // extend in the meantime, in which case the retry
+                    // re-blocks and reschedules again.
+                    self.wake_at(seq, retry.max(self.cycle + 1));
+                    return;
+                }
+                match class {
+                    ExecClass::MulDiv => {
+                        if matches!(op, Op::Mult | Op::Multu | Op::Div | Op::Divu) {
+                            self.muldiv_busy_until = self.cycle + latency;
+                        }
+                    }
+                    ExecClass::FpAdd => *fp_used += 1,
+                    ExecClass::FpLong => self.fp_long_busy_until = self.cycle + latency,
+                    _ => {}
+                }
+                let done = self.cycle + latency;
+                self.publish_all_slices(idx, done, IssueMark::Slot0);
+                self.finish_if_done(idx);
+            }
+            ExecClass::IntSliced => {
+                if !self.effective_bypass() {
+                    // Naive pipelining: single issue event, result
+                    // atomic after `nslices` cycles.
+                    if self.window[idx].issued[0].is_none() {
+                        if int_used[0] >= self.cfg.int_alus.min(self.cfg.width) as usize {
+                            self.wake_at(seq, self.cycle + 1);
+                        } else if !self.all_sources_ready(idx) {
+                            self.block_on_sources(idx);
+                        } else {
                             let done = self.cycle
                                 + match self.cfg.kind {
                                     PipelineKind::Ideal => 1,
                                     _ => nslices as u64,
                                 };
                             int_used[0] += 1;
-                            let e = &mut self.window[idx];
-                            for k in 0..nslices {
-                                e.issued[k] = Some(self.cycle);
-                                e.ready[k] = Some(done);
-                            }
-                            if S::ENABLED {
-                                let seq = e.seq;
-                                for k in 0..nslices {
-                                    emit!(
-                                        self,
-                                        TraceEvent::SliceIssued {
-                                            seq,
-                                            slice: k as u8
-                                        }
-                                    );
-                                    emit!(
-                                        self,
-                                        TraceEvent::SliceReady {
-                                            seq,
-                                            slice: k as u8,
-                                            at: done
-                                        }
-                                    );
-                                }
-                            }
-                        }
-                    } else {
-                        // Bit-sliced issue: wake slices independently, but
-                        // at most one slice of an instruction per cycle —
-                        // the Fig. 10 EX1/EX2 staging (each RUU entry has
-                        // one select port; slices occupy successive narrow
-                        // stages).
-                        #[allow(clippy::needless_range_loop)] // int_used is
-                        // indexed by slice position, not iterated
-                        for k in 0..nslices {
-                            if self.window[idx].issued[k].is_some() {
-                                continue;
-                            }
-                            if int_used[k] >= self.cfg.int_alus.min(self.cfg.width) as usize {
-                                continue;
-                            }
-                            if !self.slice_can_issue(idx, k) {
-                                continue;
-                            }
-                            int_used[k] += 1;
-                            // Snapshot for event diffing: the late/narrow
-                            // special cases below rewrite `ready` slots.
-                            // (Dead — and free — when tracing is off.)
-                            let before_ready = if S::ENABLED {
-                                self.window[idx].ready
-                            } else {
-                                [None; MAX_SLICES]
-                            };
-                            let late = self.window[idx].late_result;
-                            let narrow_publish = k == 0
-                                && !late
-                                && self.cfg.opts.narrow_operands
-                                && !self.window[idx].is_mem()
-                                && !self.window[idx].rec.insn.defs().is_empty()
-                                && Self::value_is_narrow(
-                                    self.window[idx].rec.results[0],
-                                    self.slice_bits,
-                                );
-                            let e = &mut self.window[idx];
-                            e.issued[k] = Some(self.cycle);
-                            e.ready[k] = Some(self.cycle + 1);
-                            if narrow_publish && e.slice_class != SliceClass::Atomic {
-                                // Significance compression (§6 extension +
-                                // ref [6]): a narrow result's upper slices
-                                // are its sign bits — publish them with
-                                // slice 0 and skip their execution.
-                                self.stats.narrow_wakeups += 1;
-                                emit!(self, TraceEvent::NarrowWakeup { seq: e.seq });
-                                for j in 1..nslices {
-                                    e.issued[j] = Some(self.cycle);
-                                    e.ready[j] = Some(self.cycle + 1);
-                                }
-                            }
-                            if e.slice_class == SliceClass::Atomic {
-                                // Atomic ops (jr/jalr) issue once and
-                                // publish every slice together.
-                                for j in 0..nslices {
-                                    e.issued[j] = Some(self.cycle);
-                                    e.ready[j] = Some(self.cycle + 1);
-                                }
-                            } else if late {
-                                // slt-family: every result slice is a
-                                // function of the full comparison, so
-                                // nothing publishes until the top slice
-                                // has evaluated.
-                                if e.issued.iter().take(nslices).all(|i| i.is_some()) {
-                                    for j in 0..nslices {
-                                        e.ready[j] = Some(self.cycle + 1);
-                                    }
-                                } else {
-                                    e.ready[k] = None;
-                                }
-                            }
-                            if S::ENABLED {
-                                // Emit exactly what changed: every slice
-                                // issued this cycle (the narrow/atomic
-                                // paths issue several at once) and every
-                                // ready-slot the special cases rewrote.
-                                let e = &self.window[idx];
-                                for j in 0..nslices {
-                                    if e.issued[j] == Some(self.cycle) {
-                                        emit!(
-                                            self,
-                                            TraceEvent::SliceIssued {
-                                                seq: e.seq,
-                                                slice: j as u8
-                                            }
-                                        );
-                                    }
-                                    if e.ready[j] != before_ready[j] {
-                                        if let Some(at) = e.ready[j] {
-                                            emit!(
-                                                self,
-                                                TraceEvent::SliceReady {
-                                                    seq: e.seq,
-                                                    slice: j as u8,
-                                                    at,
-                                                }
-                                            );
-                                        }
-                                    }
-                                }
-                            }
-                            break; // one slice per entry per cycle
+                            self.publish_all_slices(idx, done, IssueMark::AllSlices);
                         }
                     }
-                    self.resolve_branch_if_possible(idx);
-                    self.update_store_data(idx);
-                    self.finish_if_done(idx);
+                } else {
+                    self.examine_sliced(idx, int_used);
+                }
+                self.resolve_branch_if_possible(idx);
+                self.update_store_data(idx);
+                self.finish_if_done(idx);
+                self.reschedule_pending(idx);
+            }
+        }
+    }
+
+    /// The bit-sliced issue path: try to issue (at most) one slice this
+    /// cycle, exactly as the exhaustive scan would. If nothing issues,
+    /// park the entry on its blockers.
+    fn examine_sliced(&mut self, idx: usize, int_used: &mut [usize; MAX_SLICES]) {
+        let nslices = self.nslices;
+        let seq = self.window[idx].seq;
+        let mut retry: Option<u64> = None;
+        let mut on_publish: [Option<u64>; 2] = [None; 2];
+        {
+            // Bit-sliced issue: wake slices independently, but
+            // at most one slice of an instruction per cycle —
+            // the Fig. 10 EX1/EX2 staging (each RUU entry has
+            // one select port; slices occupy successive narrow
+            // stages).
+            #[allow(clippy::needless_range_loop)] // int_used is
+            // indexed by slice position, not iterated
+            for k in 0..nslices {
+                if self.window[idx].issued[k].is_some() {
+                    continue;
+                }
+                if int_used[k] >= self.cfg.int_alus.min(self.cfg.width) as usize {
+                    // ALU slot contention: the slots refill next cycle.
+                    retry = Some(retry.map_or(self.cycle + 1, |t| t.min(self.cycle + 1)));
+                    continue;
+                }
+                if !self.slice_can_issue(idx, k) {
+                    match self.slice_block(idx, k) {
+                        Some(Block::Until(t)) => {
+                            retry = Some(retry.map_or(t, |r| r.min(t)));
+                        }
+                        Some(Block::OnPublish(p)) if !on_publish.contains(&Some(p)) => {
+                            let slot = usize::from(on_publish[0].is_some());
+                            on_publish[slot] = Some(p);
+                        }
+                        Some(Block::OnPublish(_)) => {}
+                        // Blocked on this entry's own earlier slice: its
+                        // issue reschedules the entry for the next cycle.
+                        None => {}
+                    }
+                    continue;
+                }
+                int_used[k] += 1;
+                // Snapshot of the result schedule, both for event diffing
+                // (the late/narrow special cases below rewrite `ready`
+                // slots) and to decide whether anything was published.
+                let before_ready = self.window[idx].ready;
+                let late = self.window[idx].late_result;
+                let narrow_publish = k == 0
+                    && !late
+                    && self.cfg.opts.narrow_operands
+                    && !self.window[idx].is_mem()
+                    && !self.window[idx].rec.insn.defs().is_empty()
+                    && Self::value_is_narrow(self.window[idx].rec.results[0], self.slice_bits);
+                let e = &mut self.window[idx];
+                e.issued[k] = Some(self.cycle);
+                e.ready[k] = Some(self.cycle + 1);
+                if narrow_publish && e.slice_class != SliceClass::Atomic {
+                    // Significance compression (§6 extension +
+                    // ref [6]): a narrow result's upper slices
+                    // are its sign bits — publish them with
+                    // slice 0 and skip their execution.
+                    self.stats.narrow_wakeups += 1;
+                    emit!(self, TraceEvent::NarrowWakeup { seq: e.seq });
+                    for j in 1..nslices {
+                        e.issued[j] = Some(self.cycle);
+                        e.ready[j] = Some(self.cycle + 1);
+                    }
+                }
+                if e.slice_class == SliceClass::Atomic {
+                    // Atomic ops (jr/jalr) issue once and
+                    // publish every slice together.
+                    for j in 0..nslices {
+                        e.issued[j] = Some(self.cycle);
+                        e.ready[j] = Some(self.cycle + 1);
+                    }
+                } else if late {
+                    // slt-family: every result slice is a
+                    // function of the full comparison, so
+                    // nothing publishes until the top slice
+                    // has evaluated.
+                    if e.issued.iter().take(nslices).all(|i| i.is_some()) {
+                        for j in 0..nslices {
+                            e.ready[j] = Some(self.cycle + 1);
+                        }
+                    } else {
+                        e.ready[k] = None;
+                    }
+                }
+                if S::ENABLED {
+                    // Emit exactly what changed: every slice
+                    // issued this cycle (the narrow/atomic
+                    // paths issue several at once) and every
+                    // ready-slot the special cases rewrote.
+                    let e = &self.window[idx];
+                    for j in 0..nslices {
+                        if e.issued[j] == Some(self.cycle) {
+                            emit!(
+                                self,
+                                TraceEvent::SliceIssued {
+                                    seq: e.seq,
+                                    slice: j as u8
+                                }
+                            );
+                        }
+                        if e.ready[j] != before_ready[j] {
+                            if let Some(at) = e.ready[j] {
+                                emit!(
+                                    self,
+                                    TraceEvent::SliceReady {
+                                        seq: e.seq,
+                                        slice: j as u8,
+                                        at,
+                                    }
+                                );
+                            }
+                        }
+                    }
+                }
+                // One slice per entry per cycle. Publish: every result
+                // slot this path schedules is set to `cycle + 1`, so any
+                // newly scheduled slot wakes the waiters then. (The late
+                // non-final case reverts its slot to `None` — no change,
+                // nothing published.)
+                let e = &self.window[idx];
+                if (0..nslices).any(|j| e.ready[j].is_some() && e.ready[j] != before_ready[j]) {
+                    self.wake_waiters(idx, self.cycle + 1);
+                }
+                return;
+            }
+        }
+        // Nothing issued: park on the recorded blockers.
+        for p in on_publish.into_iter().flatten() {
+            self.wait_on(seq, p);
+        }
+        if let Some(t) = retry {
+            self.wake_at(seq, t.max(self.cycle + 1));
+        }
+    }
+
+    /// After an examination of a sliced entry, schedule whatever it is
+    /// still waiting on that the issue paths themselves don't cover: the
+    /// next slice after one issued this cycle, and a store's pending
+    /// data operand.
+    fn reschedule_pending(&mut self, idx: usize) {
+        let entry = &self.window[idx];
+        if entry.completed_at.is_some() {
+            return;
+        }
+        let seq = entry.seq;
+        // A slice issued this cycle: the next slice (or a slice that lost
+        // ALU arbitration to it) becomes eligible next cycle.
+        let issued_now = entry
+            .issued
+            .iter()
+            .take(self.nslices)
+            .any(|c| *c == Some(self.cycle));
+        let store_data_pending =
+            entry.is_store() && entry.mem.as_ref().unwrap().store_data_ready.is_none();
+        if issued_now {
+            self.wake_at(seq, self.cycle + 1);
+        }
+        if store_data_pending {
+            match self.store_data_dep(idx) {
+                Dep::InFlight(p) => match self.find(p) {
+                    Some(prod) => match prod.result_ready_full(self.nslices) {
+                        Some(r) => {
+                            let at = r.max(self.cycle + 1);
+                            self.wake_at(seq, at);
+                        }
+                        None => self.wait_on(seq, p),
+                    },
+                    // Producer committed: the next examination resolves.
+                    None => self.wake_at(seq, self.cycle + 1),
+                },
+                // Register-file data reads by `earliest_ex`, which has
+                // passed — `update_store_data` handles it this very
+                // examination, so this arm is unreachable; poll if not.
+                Dep::Ready => self.wake_at(seq, self.cycle + 1),
+            }
+        }
+    }
+
+    /// O(1) window position of `seq` (seqs are contiguous in the window).
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        let head = self.window.front()?.seq;
+        if seq < head {
+            return None; // committed
+        }
+        let off = (seq - head) as usize;
+        (off < self.window.len()).then_some(off)
+    }
+
+    /// Schedule an examination of `seq` at cycle `at` (clamped to the
+    /// next issue opportunity — a wake for the past means "as soon as
+    /// possible").
+    #[inline]
+    fn wake_at(&mut self, seq: u64, at: u64) {
+        let at = at.max(self.cycle + 1);
+        if at - self.cycle <= WHEEL_SLOTS {
+            self.wheel[(at % WHEEL_SLOTS) as usize].push(seq);
+        } else {
+            self.far_wakeups.push(Reverse((at, seq)));
+        }
+    }
+
+    /// Park `seq` on the waiter list of the in-window producer `pseq`:
+    /// it re-enters the calendar when the producer publishes a result
+    /// slice.
+    fn wait_on(&mut self, seq: u64, pseq: u64) {
+        match self.index_of(pseq) {
+            Some(pi) => {
+                let w = &mut self.window[pi].waiters;
+                if !w.contains(&seq) {
+                    w.push(seq);
+                }
+            }
+            // Producer already committed — its value is ready; retry.
+            None => self.wake_at(seq, self.cycle + 1),
+        }
+    }
+
+    /// Wake everything parked on `window[idx]`'s result at cycle `at`.
+    fn wake_waiters(&mut self, idx: usize, at: u64) {
+        // Swap the list out so the heap pushes don't fight the window
+        // borrow; hand the (cleared) allocation back for reuse.
+        let mut ws = std::mem::take(&mut self.window[idx].waiters);
+        for &w in &ws {
+            self.wake_at(w, at);
+        }
+        ws.clear();
+        self.window[idx].waiters = ws;
+    }
+
+    /// Shared tail of every all-slices-at-once scheduling path
+    /// (serialized ops, the atomic functional units, atomic-operand
+    /// pipelines, front-end-resolved jumps): mark the issue slots per
+    /// `mark`, schedule every result slice at `done`, emit the matching
+    /// events in each path's original order, and wake the waiters.
+    fn publish_all_slices(&mut self, idx: usize, done: u64, mark: IssueMark) {
+        let nslices = self.nslices;
+        let e = &mut self.window[idx];
+        let seq = e.seq;
+        match mark {
+            IssueMark::None => {}
+            IssueMark::Slot0 => e.issued[0] = Some(self.cycle),
+            IssueMark::AllSlices => {
+                for k in 0..nslices {
+                    e.issued[k] = Some(self.cycle);
                 }
             }
         }
+        for k in 0..nslices {
+            e.ready[k] = Some(done);
+        }
+        if S::ENABLED {
+            if mark == IssueMark::Slot0 {
+                emit!(self, TraceEvent::SliceIssued { seq, slice: 0 });
+            }
+            for k in 0..nslices {
+                if mark == IssueMark::AllSlices {
+                    emit!(
+                        self,
+                        TraceEvent::SliceIssued {
+                            seq,
+                            slice: k as u8
+                        }
+                    );
+                }
+                emit!(
+                    self,
+                    TraceEvent::SliceReady {
+                        seq,
+                        slice: k as u8,
+                        at: done
+                    }
+                );
+            }
+        }
+        self.wake_waiters(idx, done);
+    }
+
+    /// Record why not every source slice of `window[idx]` is ready: the
+    /// first busy source slice yields either a known future cycle or a
+    /// producer to wait on.
+    fn block_on_sources(&mut self, idx: usize) {
+        let seq = self.window[idx].seq;
+        for k in 0..self.nslices {
+            if let Some(b) = self.source_block(idx, k) {
+                self.apply_block(seq, b);
+                return;
+            }
+        }
+        // Sources ready after all (caller raced a same-cycle state
+        // change): just retry.
+        self.wake_at(seq, self.cycle + 1);
+    }
+
+    /// Why slice `k` of some source of `window[idx]` is unavailable this
+    /// cycle, if it is.
+    fn source_block(&self, idx: usize, k: usize) -> Option<Block> {
+        let entry = &self.window[idx];
+        for d in 0..entry.ndeps {
+            if let Dep::InFlight(pseq) = entry.deps[d] {
+                if let Some(p) = self.find(pseq) {
+                    match p.result_ready(k) {
+                        Some(r) if r <= self.cycle => {}
+                        Some(r) => return Some(Block::Until(r)),
+                        None => return Some(Block::OnPublish(pseq)),
+                    }
+                }
+                // Producer committed → ready.
+            }
+        }
+        None
+    }
+
+    fn apply_block(&mut self, seq: u64, b: Block) {
+        match b {
+            Block::Until(t) => self.wake_at(seq, t.max(self.cycle + 1)),
+            Block::OnPublish(p) => self.wait_on(seq, p),
+        }
+    }
+
+    /// Why `slice_can_issue(idx, k)` is false — `None` when the blocker
+    /// is this entry's own earlier slice, whose eventual issue already
+    /// reschedules the entry.
+    fn slice_block(&self, idx: usize, k: usize) -> Option<Block> {
+        let entry = &self.window[idx];
+        let in_order_gate = match entry.slice_class {
+            SliceClass::CarryChained | SliceClass::CrossSlice => k > 0,
+            SliceClass::Independent => !self.cfg.opts.ooo_slices && k > 0,
+            SliceClass::Atomic => false,
+        };
+        if in_order_gate {
+            match entry.issued[k - 1] {
+                Some(c) if c < self.cycle => {}
+                Some(_) => return Some(Block::Until(self.cycle + 1)),
+                None => return None, // cascades off the earlier slice
+            }
+        }
+        match entry.slice_class {
+            SliceClass::CarryChained | SliceClass::Independent => self.source_block(idx, k),
+            SliceClass::CrossSlice => (0..self.nslices).find_map(|j| self.source_block(idx, j)),
+            SliceClass::Atomic => {
+                if k != 0 {
+                    return None; // only slot 0 ever issues
+                }
+                (0..self.nslices).find_map(|j| self.source_block(idx, j))
+            }
+        }
+    }
+
+    /// Which dependence slot carries a store's *data* operand (rt).
+    fn store_data_dep(&self, idx: usize) -> Dep {
+        let entry = &self.window[idx];
+        // The store's data register is its second source (rt); base is
+        // rs. `uses()` yields [rs, rt] unless they dedup.
+        let uses = entry.rec.insn.uses();
+        let data_reg = entry.rec.insn.rt();
+        let mut which = 0;
+        for (i, r) in uses.iter().enumerate() {
+            if r == data_reg {
+                which = i;
+            }
+        }
+        entry.deps[which]
     }
 
     fn effective_bypass(&self) -> bool {
@@ -1076,17 +1375,7 @@ impl<S: TraceSink> Simulator<S> {
         if entry.mem.as_ref().unwrap().store_data_ready.is_some() {
             return;
         }
-        // The store's data register is its second source (rt); base is rs.
-        // `uses()` yields [rs, rt] unless they dedup.
-        let uses = entry.rec.insn.uses();
-        let data_reg = entry.rec.insn.rt();
-        let mut which = 0;
-        for (i, r) in uses.iter().enumerate() {
-            if r == data_reg {
-                which = i;
-            }
-        }
-        let ready = match entry.deps[which] {
+        let ready = match self.store_data_dep(idx) {
             // Register-file values are read by RF2 at the latest.
             Dep::Ready => Some(entry.earliest_ex),
             Dep::InFlight(p) => match self.find(p) {
@@ -1142,21 +1431,26 @@ impl<S: TraceSink> Simulator<S> {
     // ---- memory ----------------------------------------------------------
 
     /// Start load accesses whose constraints have cleared.
+    ///
+    /// Walks only the loads that have not started (in age order) rather
+    /// than the whole window; loads re-check their constraints every
+    /// cycle, so no wakeup bookkeeping is needed here.
     fn memory_stage(&mut self) {
         let mut ports_used = 0u32;
-        for idx in 0..self.window.len() {
+        let mut any_started = false;
+        // Detach the pending-load list so the loop can mutate the window
+        // (dispatch refills the list later in the cycle, after this
+        // stage runs, so it cannot grow underneath the loop).
+        let mut pending = std::mem::take(&mut self.pending_loads);
+        for &seq in &pending {
             if ports_used >= self.cfg.mem_ports {
                 break;
             }
+            let Some(idx) = self.index_of(seq) else {
+                continue;
+            };
             let entry = &self.window[idx];
-            if !entry.is_load() {
-                continue;
-            }
-            let seq = entry.seq;
-            let m = entry.mem.as_ref().unwrap();
-            if m.started.is_some() {
-                continue;
-            }
+            debug_assert!(entry.is_load() && entry.mem.as_ref().unwrap().started.is_none());
             let bit_sliced = self.cfg.kind == PipelineKind::BitSliced;
             // How many low address bits are known right now? The agen
             // produces them; sum-addressed decode (§5.2 → \[18\]) can read
@@ -1206,10 +1500,10 @@ impl<S: TraceSink> Simulator<S> {
                     // store actually overlap this load?
                     let load_rec = self.window[idx].rec;
                     let conflict = self
-                        .window
+                        .store_q
                         .iter()
-                        .take(idx)
-                        .any(|e| e.is_store() && ranges_overlap(&e.rec, &load_rec));
+                        .take_while(|&&s| s < seq)
+                        .any(|&s| ranges_overlap(&self.find(s).unwrap().rec, &load_rec));
                     if conflict {
                         // Violation: squash the speculation, train the
                         // predictor down (sticky conflict, MCB-style),
@@ -1245,10 +1539,10 @@ impl<S: TraceSink> Simulator<S> {
             if early_on
                 && matches!(forward_from, ForwardDecision::Access)
                 && self
-                    .window
+                    .store_q
                     .iter()
-                    .take(idx)
-                    .any(|e| e.is_store() && self.agen_slices_known_of(e) < self.nslices)
+                    .take_while(|&&s| s < seq)
+                    .any(|&s| self.agen_slices_known_of(self.find(s).unwrap()) < self.nslices)
             {
                 self.stats.early_disambig_loads += 1;
                 emit!(self, TraceEvent::EarlyDisambig { seq });
@@ -1264,6 +1558,7 @@ impl<S: TraceSink> Simulator<S> {
                         .map(|r| r.max(self.cycle) + 1);
                     if let Some(r) = data_at {
                         ports_used += 1;
+                        any_started = true;
                         self.stats.store_forwards += 1;
                         let e = &mut self.window[idx];
                         let m = e.mem.as_mut().unwrap();
@@ -1278,6 +1573,7 @@ impl<S: TraceSink> Simulator<S> {
                         );
                         emit!(self, TraceEvent::MemStarted { seq });
                         emit!(self, TraceEvent::MemDone { seq, at: r });
+                        self.wake_waiters(idx, r);
                         self.finish_if_done(idx);
                     }
                     continue;
@@ -1290,6 +1586,7 @@ impl<S: TraceSink> Simulator<S> {
                         continue; // store data not ready: keep waiting
                     };
                     ports_used += 1;
+                    any_started = true;
                     let load_rec = self.window[idx].rec;
                     let correct = store_covers_load(&store.rec, &load_rec);
                     let store_full = self.full_agen_time_of(store);
@@ -1311,6 +1608,7 @@ impl<S: TraceSink> Simulator<S> {
                         );
                         emit!(self, TraceEvent::MemStarted { seq });
                         emit!(self, TraceEvent::MemDone { seq, at: r });
+                        self.wake_waiters(idx, r);
                     } else {
                         // Refuted at verification: replay via the cache
                         // after both full addresses are known.
@@ -1348,6 +1646,7 @@ impl<S: TraceSink> Simulator<S> {
                         );
                         emit!(self, TraceEvent::MemStarted { seq });
                         emit!(self, TraceEvent::MemDone { seq, at: r });
+                        self.wake_waiters(idx, r);
                     }
                     self.finish_if_done(idx);
                     continue;
@@ -1355,6 +1654,7 @@ impl<S: TraceSink> Simulator<S> {
                 ForwardDecision::Access => {}
             }
             ports_used += 1;
+            any_started = true;
             if via_sam && agen_known < known_slices {
                 self.stats.sam_starts += 1;
                 emit!(self, TraceEvent::SamStart { seq });
@@ -1438,8 +1738,16 @@ impl<S: TraceSink> Simulator<S> {
             m.data_ready = Some(at);
             emit!(self, TraceEvent::MemStarted { seq });
             emit!(self, TraceEvent::MemDone { seq, at });
+            self.wake_waiters(idx, at);
             self.finish_if_done(idx);
         }
+        if any_started {
+            pending.retain(|&s| {
+                self.index_of(s)
+                    .is_some_and(|i| self.window[i].mem.as_ref().unwrap().started.is_none())
+            });
+        }
+        self.pending_loads = pending;
     }
 
     /// Number of contiguous low source slices available for sum-addressed
@@ -1490,6 +1798,7 @@ impl<S: TraceSink> Simulator<S> {
     /// proceed past every older store this cycle?
     fn disambiguate(&self, idx: usize, known_bits: u32) -> Option<ForwardDecision> {
         let load = &self.window[idx];
+        let load_seq = load.seq;
         let load_word = load.rec.ea & !3;
         let early = self.cfg.kind == PipelineKind::BitSliced && self.cfg.opts.early_disambig;
         let spec = early && self.cfg.opts.spec_forward;
@@ -1497,12 +1806,10 @@ impl<S: TraceSink> Simulator<S> {
         let mut partial_matcher: Option<u64> = None;
         let mut partial_matches = 0u32;
 
-        for j in (0..idx).rev() {
-            let store = &self.window[j];
-            if !store.is_store() {
-                continue;
-            }
-            let store_known = self.agen_slices_known(j) as u32 * self.slice_bits;
+        // Older stores, youngest first (the store queue is age-ordered).
+        for &sseq in self.store_q.iter().rev().skip_while(|&&s| s >= load_seq) {
+            let store = self.find(sseq).expect("queued store is in-window");
+            let store_known = self.agen_slices_known_of(store) as u32 * self.slice_bits;
             let store_word = store.rec.ea & !3;
 
             if early {
@@ -1595,12 +1902,20 @@ impl<S: TraceSink> Simulator<S> {
                 _ => return,
             }
             let head = self.window.pop_front().unwrap();
+            // A completed producer has published every result slice, and
+            // publishing drains the waiter list.
+            debug_assert!(head.waiters.is_empty());
             emit!(self, TraceEvent::Committed { seq: head.seq });
             self.stats.committed += 1;
             let op = head.rec.insn.op();
             if head.is_mem() {
                 self.lsq_occupancy -= 1;
             }
+            if op.is_store() {
+                debug_assert_eq!(self.store_q.front(), Some(&head.seq));
+                self.store_q.pop_front();
+            }
+            debug_assert!(!op.is_load() || !self.pending_loads.contains(&head.seq));
             if op.is_load() {
                 self.stats.loads += 1;
             }
@@ -1630,6 +1945,29 @@ enum ForwardDecision {
     SpecForward(u64),
     /// No older store conflicts: access the cache.
     Access,
+}
+
+/// Why a wakeup-driven examination could not make progress, and when
+/// (or on what) to try again.
+enum Block {
+    /// Re-examine at this cycle (a known ready time, or next cycle for
+    /// per-cycle resources).
+    Until(u64),
+    /// Park on the producer with this seq until it publishes a result
+    /// slice.
+    OnPublish(u64),
+}
+
+/// How [`publish_all_slices`](Simulator::publish_all_slices) marks the
+/// issue slots: not at all (front-end-resolved jumps — no issue event),
+/// slot 0 only (serialized ops and the atomic functional units), or
+/// every slice at once (atomic-operand pipelines), matching each
+/// caller's original event order.
+#[derive(Clone, Copy, PartialEq)]
+enum IssueMark {
+    None,
+    Slot0,
+    AllSlices,
 }
 
 #[cfg(test)]
