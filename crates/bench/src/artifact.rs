@@ -138,7 +138,7 @@ impl HostMeter {
 ///
 /// A thin wrapper over a [`Json`] object pre-seeded with the envelope
 /// fields (`figure`, `schema_version`, `instruction_limit`); the caller
-/// [`set`](Artifact::set)s figure-specific keys and [`write`](Artifact::write)s
+/// [`set`](Artifact::set)s figure-specific keys and [`write_in`](Artifact::write_in)s
 /// the result to `BENCH_<figure>.json`.
 #[derive(Debug)]
 pub struct Artifact {

@@ -34,8 +34,10 @@
 mod config;
 pub mod events;
 pub mod json;
+mod pipeline;
+pub mod policies;
 pub mod registry;
-mod sim;
+pub mod sim;
 mod stats;
 pub mod timeline;
 

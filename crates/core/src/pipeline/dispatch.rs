@@ -1,0 +1,198 @@
+//! The dispatch stage (Fig. 10 Decode1–RF2): enter fetched
+//! instructions into the RUU window (Fig. 7) and LSQ, rename their
+//! source operands against in-flight producers, and schedule the first
+//! issue examination at the end of the front end.
+//!
+//! Dispatch is where an instruction's dependences are fixed: each
+//! source register is resolved through the [`RenameTable`] to either
+//! the committed register file ([`Dep::Ready`]) or an in-window
+//! producer ([`Dep::InFlight`]). Syscalls serialize (they dispatch only
+//! into an empty window); direct jumps resolve entirely in the front
+//! end and complete at dispatch.
+
+use super::entry::{Dep, Entry, ExecClass};
+use super::issue::IssueMark;
+use super::{emit, Simulator};
+use crate::events::{StallReason, TraceEvent, TraceSink};
+use popk_isa::{OpClass, Reg};
+
+/// Per-register producer tracking at dispatch (rename): maps each
+/// architectural register to the youngest in-window instruction that
+/// writes it, if any.
+pub(crate) struct RenameTable([Option<u64>; Reg::COUNT]);
+
+impl RenameTable {
+    /// All registers map to the committed register file.
+    pub(crate) fn new() -> RenameTable {
+        RenameTable([None; Reg::COUNT])
+    }
+
+    /// The youngest in-window producer of `r`, if any.
+    pub(crate) fn producer_of(&self, r: Reg) -> Option<u64> {
+        self.0[r.index()]
+    }
+
+    /// `seq` becomes the youngest producer of `r`.
+    pub(crate) fn set_producer(&mut self, r: Reg, seq: u64) {
+        self.0[r.index()] = Some(seq);
+    }
+
+    /// Clear `r`'s mapping if it still points at `seq` (commit: the
+    /// value now lives in the register file).
+    pub(crate) fn clear_if(&mut self, r: Reg, seq: u64) {
+        if self.0[r.index()] == Some(seq) {
+            self.0[r.index()] = None;
+        }
+    }
+}
+
+impl<S: TraceSink> Simulator<S> {
+    pub(crate) fn dispatch(&mut self) {
+        for _ in 0..self.cfg.width {
+            let Some(&(fetch, rec, mispredicted, phantom)) = self.feed.front() else {
+                return;
+            };
+            if self.cycle < fetch + self.cfg.dispatch_depth {
+                return;
+            }
+            if self.window.len() >= self.cfg.ruu_size {
+                self.stats.ruu_full_stalls += 1;
+                emit!(self, TraceEvent::Stall(StallReason::RuuFull));
+                return;
+            }
+            let op = rec.insn.op();
+            let is_mem = op.is_load() || op.is_store();
+            if is_mem && self.lsq_occupancy >= self.cfg.lsq_size {
+                self.stats.lsq_full_stalls += 1;
+                emit!(self, TraceEvent::Stall(StallReason::LsqFull));
+                return;
+            }
+            // Serialize syscalls: only dispatch into an empty window.
+            if matches!(op.class(), OpClass::Sys) && !self.window.is_empty() && !phantom {
+                return;
+            }
+            self.feed.pop();
+
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let mut deps = [Dep::Ready; 2];
+            let mut ndeps = 0;
+            for r in rec.insn.uses().iter() {
+                deps[ndeps] = match self.rename.producer_of(r) {
+                    Some(p) if !r.is_zero() => Dep::InFlight(p),
+                    _ => Dep::Ready,
+                };
+                ndeps += 1;
+            }
+            for r in rec.insn.defs().iter() {
+                self.rename.set_producer(r, seq);
+            }
+
+            let mut entry = Entry::new(
+                seq,
+                rec,
+                fetch + self.cfg.front_depth,
+                deps,
+                ndeps,
+                mispredicted,
+                phantom,
+            );
+            let class = entry.class;
+            if class == ExecClass::Front {
+                // Direct jumps: the front end computes the target; the RA
+                // result (jal) is available as soon as the entry exists.
+                entry.resolved_at = Some(fetch + self.cfg.dispatch_depth);
+                entry.completed_at = Some(entry.earliest_ex);
+            }
+            if is_mem {
+                self.lsq_occupancy += 1;
+                if op.is_store() {
+                    self.sched.push_store(seq);
+                } else {
+                    self.sched.push_pending_load(seq);
+                }
+            }
+            emit!(
+                self,
+                TraceEvent::Dispatched {
+                    seq,
+                    pc: rec.pc,
+                    insn: rec.insn,
+                    fetch
+                }
+            );
+            self.window.push_back(entry);
+            if class == ExecClass::Front {
+                let idx = self.window.len() - 1;
+                self.publish_all_slices(idx, fetch + self.cfg.dispatch_depth, IssueMark::None);
+                if S::ENABLED {
+                    let e = &self.window[idx];
+                    let (resolved_at, completed_at) =
+                        (e.resolved_at.unwrap(), e.completed_at.unwrap());
+                    emit!(
+                        self,
+                        TraceEvent::BranchResolved {
+                            seq,
+                            at: resolved_at,
+                            early: false,
+                            mispredicted,
+                        }
+                    );
+                    emit!(
+                        self,
+                        TraceEvent::Completed {
+                            seq,
+                            at: completed_at
+                        }
+                    );
+                }
+            } else {
+                // First examination at the end of the front end.
+                self.wake_at(seq, fetch + self.cfg.front_depth);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::MachineConfig;
+    use crate::pipeline::testutil::{independent_stream, run_cfg};
+
+    #[test]
+    fn tiny_window_reports_dispatch_stalls() {
+        // A 4-entry RUU cannot hold the independent stream: dispatch
+        // must back up and count the stalls, yet commit everything.
+        let mut tiny = MachineConfig::ideal();
+        tiny.ruu_size = 4;
+        let small = run_cfg(&independent_stream(), &tiny);
+        let big = run_cfg(&independent_stream(), &MachineConfig::ideal());
+        assert!(small.ruu_full_stalls > 0, "no RUU-full stalls recorded");
+        assert_eq!(small.committed, big.committed);
+        assert!(small.cycles > big.cycles);
+    }
+
+    #[test]
+    fn syscalls_serialize_against_the_window() {
+        // The trailing syscall must wait for the divide to drain, so the
+        // run is far longer than the handful of instructions committed.
+        let src = r#"
+            .text
+            main:
+                li r8, 99
+                li r9, 7
+                div r8, r9
+                mflo r10
+                li r2, 0
+                syscall
+        "#;
+        let s = run_cfg(src, &MachineConfig::ideal());
+        assert!(s.committed >= 6);
+        assert!(
+            s.cycles >= 20,
+            "syscall serialization should expose the divide latency, cycles {}",
+            s.cycles
+        );
+    }
+}

@@ -1,0 +1,660 @@
+//! The execute stage: slice-level issue rules (Fig. 8), the atomic
+//! functional units of Table 2, branch resolution timing (Fig. 6), and
+//! the narrow-operand publication extension.
+//!
+//! Each operand is decomposed per `SliceWidth`, and slice `k` of an
+//! instruction issues when its source slices are available and its
+//! class's inter-slice dependences are met — a carry edge for
+//! arithmetic, none for logic, full-width for shifts. Without
+//! `partial_bypass` the machine degrades to naive EX pipelining: one
+//! issue event, result atomic after `slice_count` cycles. Which slice
+//! resolves a conditional branch is delegated to the configured
+//! [`crate::policies::BranchResolvePolicy`].
+
+use super::entry::{Dep, ExecClass, MAX_SLICES};
+use super::issue::{Block, IssueMark};
+use super::{emit, Simulator};
+use crate::config::PipelineKind;
+use crate::events::{TraceEvent, TraceSink};
+use popk_isa::{Op, SliceClass};
+
+/// Reservations of the non-pipelined functional units (Table 2: one
+/// multiply/divide unit, one FP long-op unit).
+#[derive(Default)]
+pub(crate) struct FuncUnits {
+    /// Cycle the integer multiply/divide unit frees up.
+    pub(crate) muldiv_busy_until: u64,
+    /// Cycle the FP multiply/divide/sqrt unit frees up.
+    pub(crate) fp_long_busy_until: u64,
+}
+
+/// A value is "narrow" when it is the sign- or zero-extension of its
+/// low slice (so all upper slices are all-zeros or all-ones).
+fn value_is_narrow(v: u32, slice_bits: u32) -> bool {
+    let shifted = (v as i32) >> (slice_bits - 1);
+    shifted == 0 || shifted == -1 || v >> slice_bits == 0
+}
+
+impl<S: TraceSink> Simulator<S> {
+    /// Issue one of the atomic (unsliced) functional-unit operations:
+    /// multiply/divide, FP add, FP long ops.
+    pub(crate) fn examine_atomic_unit(&mut self, idx: usize, fp_used: &mut usize) {
+        let entry = &self.window[idx];
+        let seq = entry.seq;
+        let class = entry.class;
+        if entry.issued[0].is_some() {
+            self.finish_if_done(idx);
+            return;
+        }
+        if !self.all_sources_ready(idx) {
+            self.block_on_sources(idx);
+            return;
+        }
+        let op = entry.rec.insn.op();
+        let (latency, ok, retry) = match class {
+            ExecClass::MulDiv => {
+                let lat = match op {
+                    Op::Div | Op::Divu => self.cfg.div_latency,
+                    Op::Mult | Op::Multu => self.cfg.mult_latency,
+                    _ => 1, // mfhi/mflo/mthi/mtlo
+                };
+                let free = self.units.muldiv_busy_until <= self.cycle
+                    || matches!(op, Op::Mfhi | Op::Mflo | Op::Mthi | Op::Mtlo);
+                (lat, free, self.units.muldiv_busy_until)
+            }
+            ExecClass::FpAdd => (
+                self.cfg.fp_latency,
+                *fp_used < self.cfg.fp_alus as usize,
+                self.cycle + 1,
+            ),
+            ExecClass::FpLong => {
+                let lat = match op {
+                    Op::MulS => self.cfg.fp_mul_latency,
+                    Op::SqrtS => self.cfg.fp_sqrt_latency,
+                    _ => self.cfg.fp_div_latency,
+                };
+                (
+                    lat,
+                    self.units.fp_long_busy_until <= self.cycle,
+                    self.units.fp_long_busy_until,
+                )
+            }
+            _ => unreachable!(),
+        };
+        if !ok {
+            // Unit busy (or FP slots full): the reservation can
+            // extend in the meantime, in which case the retry
+            // re-blocks and reschedules again.
+            self.wake_at(seq, retry.max(self.cycle + 1));
+            return;
+        }
+        match class {
+            ExecClass::MulDiv => {
+                if matches!(op, Op::Mult | Op::Multu | Op::Div | Op::Divu) {
+                    self.units.muldiv_busy_until = self.cycle + latency;
+                }
+            }
+            ExecClass::FpAdd => *fp_used += 1,
+            ExecClass::FpLong => self.units.fp_long_busy_until = self.cycle + latency,
+            _ => {}
+        }
+        let done = self.cycle + latency;
+        self.publish_all_slices(idx, done, IssueMark::Slot0);
+        self.finish_if_done(idx);
+    }
+
+    /// The naive-pipelining issue path (no partial bypassing): a single
+    /// issue event, result atomic after `nslices` cycles.
+    pub(crate) fn examine_unsliced(&mut self, idx: usize, int_used: &mut [usize; MAX_SLICES]) {
+        let seq = self.window[idx].seq;
+        let nslices = self.nslices;
+        if self.window[idx].issued[0].is_none() {
+            if int_used[0] >= self.cfg.int_alus.min(self.cfg.width) as usize {
+                self.wake_at(seq, self.cycle + 1);
+            } else if !self.all_sources_ready(idx) {
+                self.block_on_sources(idx);
+            } else {
+                let done = self.cycle
+                    + match self.cfg.kind {
+                        PipelineKind::Ideal => 1,
+                        _ => nslices as u64,
+                    };
+                int_used[0] += 1;
+                self.publish_all_slices(idx, done, IssueMark::AllSlices);
+            }
+        }
+    }
+
+    /// The bit-sliced issue path: try to issue (at most) one slice this
+    /// cycle, exactly as the exhaustive scan would. If nothing issues,
+    /// park the entry on its blockers.
+    pub(crate) fn examine_sliced(&mut self, idx: usize, int_used: &mut [usize; MAX_SLICES]) {
+        let nslices = self.nslices;
+        let seq = self.window[idx].seq;
+        let mut retry: Option<u64> = None;
+        let mut on_publish: [Option<u64>; 2] = [None; 2];
+        {
+            // Bit-sliced issue: wake slices independently, but
+            // at most one slice of an instruction per cycle —
+            // the Fig. 10 EX1/EX2 staging (each RUU entry has
+            // one select port; slices occupy successive narrow
+            // stages).
+            #[allow(clippy::needless_range_loop)] // int_used is
+            // indexed by slice position, not iterated
+            for k in 0..nslices {
+                if self.window[idx].issued[k].is_some() {
+                    continue;
+                }
+                if int_used[k] >= self.cfg.int_alus.min(self.cfg.width) as usize {
+                    // ALU slot contention: the slots refill next cycle.
+                    retry = Some(retry.map_or(self.cycle + 1, |t| t.min(self.cycle + 1)));
+                    continue;
+                }
+                if !self.slice_can_issue(idx, k) {
+                    match self.slice_block(idx, k) {
+                        Some(Block::Until(t)) => {
+                            retry = Some(retry.map_or(t, |r| r.min(t)));
+                        }
+                        Some(Block::OnPublish(p)) if !on_publish.contains(&Some(p)) => {
+                            let slot = usize::from(on_publish[0].is_some());
+                            on_publish[slot] = Some(p);
+                        }
+                        Some(Block::OnPublish(_)) => {}
+                        // Blocked on this entry's own earlier slice: its
+                        // issue reschedules the entry for the next cycle.
+                        None => {}
+                    }
+                    continue;
+                }
+                int_used[k] += 1;
+                // Snapshot of the result schedule, both for event diffing
+                // (the late/narrow special cases below rewrite `ready`
+                // slots) and to decide whether anything was published.
+                let before_ready = self.window[idx].ready;
+                let late = self.window[idx].late_result;
+                let narrow_publish = k == 0
+                    && !late
+                    && self.cfg.opts.narrow_operands
+                    && !self.window[idx].is_mem()
+                    && !self.window[idx].rec.insn.defs().is_empty()
+                    && value_is_narrow(self.window[idx].rec.results[0], self.slice_bits);
+                let e = &mut self.window[idx];
+                e.issued[k] = Some(self.cycle);
+                e.ready[k] = Some(self.cycle + 1);
+                if narrow_publish && e.slice_class != SliceClass::Atomic {
+                    // Significance compression (§6 extension +
+                    // ref [6]): a narrow result's upper slices
+                    // are its sign bits — publish them with
+                    // slice 0 and skip their execution.
+                    self.stats.narrow_wakeups += 1;
+                    emit!(self, TraceEvent::NarrowWakeup { seq: e.seq });
+                    for j in 1..nslices {
+                        e.issued[j] = Some(self.cycle);
+                        e.ready[j] = Some(self.cycle + 1);
+                    }
+                }
+                if e.slice_class == SliceClass::Atomic {
+                    // Atomic ops (jr/jalr) issue once and
+                    // publish every slice together.
+                    for j in 0..nslices {
+                        e.issued[j] = Some(self.cycle);
+                        e.ready[j] = Some(self.cycle + 1);
+                    }
+                } else if late {
+                    // slt-family: every result slice is a
+                    // function of the full comparison, so
+                    // nothing publishes until the top slice
+                    // has evaluated.
+                    if e.issued.iter().take(nslices).all(|i| i.is_some()) {
+                        for j in 0..nslices {
+                            e.ready[j] = Some(self.cycle + 1);
+                        }
+                    } else {
+                        e.ready[k] = None;
+                    }
+                }
+                if S::ENABLED {
+                    // Emit exactly what changed: every slice
+                    // issued this cycle (the narrow/atomic
+                    // paths issue several at once) and every
+                    // ready-slot the special cases rewrote.
+                    let e = &self.window[idx];
+                    for j in 0..nslices {
+                        if e.issued[j] == Some(self.cycle) {
+                            emit!(
+                                self,
+                                TraceEvent::SliceIssued {
+                                    seq: e.seq,
+                                    slice: j as u8
+                                }
+                            );
+                        }
+                        if e.ready[j] != before_ready[j] {
+                            if let Some(at) = e.ready[j] {
+                                emit!(
+                                    self,
+                                    TraceEvent::SliceReady {
+                                        seq: e.seq,
+                                        slice: j as u8,
+                                        at,
+                                    }
+                                );
+                            }
+                        }
+                    }
+                }
+                // One slice per entry per cycle. Publish: every result
+                // slot this path schedules is set to `cycle + 1`, so any
+                // newly scheduled slot wakes the waiters then. (The late
+                // non-final case reverts its slot to `None` — no change,
+                // nothing published.)
+                let e = &self.window[idx];
+                if (0..nslices).any(|j| e.ready[j].is_some() && e.ready[j] != before_ready[j]) {
+                    self.wake_waiters(idx, self.cycle + 1);
+                }
+                return;
+            }
+        }
+        // Nothing issued: park on the recorded blockers.
+        for p in on_publish.into_iter().flatten() {
+            self.wait_on(seq, p);
+        }
+        if let Some(t) = retry {
+            self.wake_at(seq, t.max(self.cycle + 1));
+        }
+    }
+
+    /// Why `slice_can_issue(idx, k)` is false — `None` when the blocker
+    /// is this entry's own earlier slice, whose eventual issue already
+    /// reschedules the entry.
+    pub(crate) fn slice_block(&self, idx: usize, k: usize) -> Option<Block> {
+        let entry = &self.window[idx];
+        let in_order_gate = match entry.slice_class {
+            SliceClass::CarryChained | SliceClass::CrossSlice => k > 0,
+            SliceClass::Independent => !self.cfg.opts.ooo_slices && k > 0,
+            SliceClass::Atomic => false,
+        };
+        if in_order_gate {
+            match entry.issued[k - 1] {
+                Some(c) if c < self.cycle => {}
+                Some(_) => return Some(Block::Until(self.cycle + 1)),
+                None => return None, // cascades off the earlier slice
+            }
+        }
+        match entry.slice_class {
+            SliceClass::CarryChained | SliceClass::Independent => self.source_block(idx, k),
+            SliceClass::CrossSlice => (0..self.nslices).find_map(|j| self.source_block(idx, j)),
+            SliceClass::Atomic => {
+                if k != 0 {
+                    return None; // only slot 0 ever issues
+                }
+                (0..self.nslices).find_map(|j| self.source_block(idx, j))
+            }
+        }
+    }
+
+    /// Which dependence slot carries a store's *data* operand (rt).
+    pub(crate) fn store_data_dep(&self, idx: usize) -> Dep {
+        let entry = &self.window[idx];
+        // The store's data register is its second source (rt); base is
+        // rs. `uses()` yields [rs, rt] unless they dedup.
+        let uses = entry.rec.insn.uses();
+        let data_reg = entry.rec.insn.rt();
+        let mut which = 0;
+        for (i, r) in uses.iter().enumerate() {
+            if r == data_reg {
+                which = i;
+            }
+        }
+        entry.deps[which]
+    }
+
+    pub(crate) fn effective_bypass(&self) -> bool {
+        match self.cfg.kind {
+            PipelineKind::Ideal => false, // single slice; irrelevant
+            PipelineKind::SimplePipelined => false,
+            PipelineKind::BitSliced => self.cfg.opts.partial_bypass,
+        }
+    }
+
+    /// Are all slices of every source available by this cycle?
+    pub(crate) fn all_sources_ready(&self, idx: usize) -> bool {
+        (0..self.nslices).all(|k| self.sources_ready_at_slice(idx, k))
+    }
+
+    /// Is slice `k` of every source of `window[idx]` available? (Narrow
+    /// producers publish their upper slices early at their own issue, so
+    /// no consumer-side special case is needed.)
+    pub(crate) fn sources_ready_at_slice(&self, idx: usize, k: usize) -> bool {
+        let entry = &self.window[idx];
+        for d in 0..entry.ndeps {
+            if let Dep::InFlight(pseq) = entry.deps[d] {
+                if let Some(p) = self.find(pseq) {
+                    match p.result_ready(k) {
+                        Some(r) if r <= self.cycle => {}
+                        _ => return false,
+                    }
+                }
+                // Producer committed → ready.
+            }
+        }
+        true
+    }
+
+    /// Readiness of slice `k` under the Fig. 8 inter-slice rules.
+    pub(crate) fn slice_can_issue(&self, idx: usize, k: usize) -> bool {
+        let entry = &self.window[idx];
+        debug_assert!(entry.issued[k].is_none());
+        match entry.slice_class {
+            SliceClass::CarryChained => {
+                // Needs the carry from slice k-1 (issued a cycle earlier)
+                // and slice k of each source.
+                if k > 0 {
+                    match entry.issued[k - 1] {
+                        Some(c) if c < self.cycle => {}
+                        _ => return false,
+                    }
+                }
+                self.sources_ready_at_slice(idx, k)
+            }
+            SliceClass::Independent => {
+                if !self.cfg.opts.ooo_slices && k > 0 {
+                    match entry.issued[k - 1] {
+                        Some(c) if c < self.cycle => {}
+                        _ => return false,
+                    }
+                }
+                self.sources_ready_at_slice(idx, k)
+            }
+            SliceClass::CrossSlice => {
+                // Shifts: all source slices, slices in order.
+                if k > 0 {
+                    match entry.issued[k - 1] {
+                        Some(c) if c < self.cycle => {}
+                        _ => return false,
+                    }
+                }
+                (0..self.nslices).all(|j| self.sources_ready_at_slice(idx, j))
+            }
+            SliceClass::Atomic => {
+                // jr/jalr and friends: single issue when fully ready.
+                k == 0 && self.all_sources_ready(idx)
+            }
+        }
+    }
+
+    /// Record branch resolution (redirect release) once enough slices have
+    /// finished. The resolving slice comes from the configured
+    /// [`crate::policies::BranchResolvePolicy`].
+    pub(crate) fn resolve_branch_if_possible(&mut self, idx: usize) {
+        let entry = &self.window[idx];
+        if entry.resolved_at.is_some() {
+            return;
+        }
+        let op = entry.rec.insn.op();
+        if !op.is_control() {
+            return;
+        }
+        let nslices = self.nslices;
+        if matches!(op, Op::Jr | Op::Jalr) {
+            // Atomic: resolved one cycle after issue.
+            if let Some(c) = entry.issued[0] {
+                let (seq, mispredicted) = (entry.seq, entry.mispredicted);
+                self.window[idx].resolved_at = Some(c + 1);
+                emit!(
+                    self,
+                    TraceEvent::BranchResolved {
+                        seq,
+                        at: c + 1,
+                        early: false,
+                        mispredicted
+                    }
+                );
+            }
+            return;
+        }
+        let Some(cond) = op.branch_cond() else { return };
+
+        let resolve_slice = self.policies.branch.resolve_slice(
+            cond,
+            &entry.rec,
+            entry.mispredicted,
+            nslices,
+            self.slice_bits,
+        );
+
+        // With independent equality slices, detection needs only the
+        // divergent slice; otherwise every slice up to it.
+        let needed_done: Option<u64> = if cond.early_resolvable() {
+            self.window[idx].ready[resolve_slice]
+        } else {
+            let e = &self.window[idx];
+            (0..=resolve_slice)
+                .map(|k| e.ready[k])
+                .try_fold(0u64, |acc, r| r.map(|v| acc.max(v)))
+        };
+        if let Some(done) = needed_done {
+            let e = &mut self.window[idx];
+            e.resolved_at = Some(done);
+            let early = e.mispredicted && resolve_slice < nslices - 1;
+            if early {
+                self.stats.early_branch_resolves += 1;
+                // Savings estimate: remaining slices would each have taken
+                // at least one more cycle.
+                self.stats.early_branch_cycles_saved += (nslices - 1 - resolve_slice) as u64;
+            }
+            let (seq, mispredicted) = (e.seq, e.mispredicted);
+            emit!(
+                self,
+                TraceEvent::BranchResolved {
+                    seq,
+                    at: done,
+                    early,
+                    mispredicted
+                }
+            );
+        }
+    }
+
+    /// Track when a store's data operand becomes fully available.
+    pub(crate) fn update_store_data(&mut self, idx: usize) {
+        let entry = &self.window[idx];
+        if !entry.is_store() {
+            return;
+        }
+        if entry.mem().store_data_ready.is_some() {
+            return;
+        }
+        let ready = match self.store_data_dep(idx) {
+            // Register-file values are read by RF2 at the latest.
+            Dep::Ready => Some(entry.earliest_ex),
+            Dep::InFlight(p) => match self.find(p) {
+                Some(prod) => prod.result_ready_full(self.nslices),
+                None => Some(self.cycle),
+            },
+        };
+        if let Some(r) = ready {
+            if r <= self.cycle {
+                self.window[idx].mem_mut().store_data_ready = Some(r.max(1));
+            }
+        }
+    }
+
+    /// Mark the entry complete when every obligation is met.
+    pub(crate) fn finish_if_done(&mut self, idx: usize) {
+        let nslices = self.nslices;
+        let entry = &self.window[idx];
+        if entry.completed_at.is_some() {
+            return;
+        }
+        let mut done = 0u64;
+        for k in 0..nslices {
+            match entry.ready[k] {
+                Some(r) => done = done.max(r),
+                None => return,
+            }
+        }
+        if entry.is_mem() {
+            let m = entry.mem();
+            if entry.rec.insn.op().is_load() {
+                match m.data_ready {
+                    Some(r) => done = done.max(r),
+                    None => return,
+                }
+            } else {
+                match m.store_data_ready {
+                    Some(r) => done = done.max(r),
+                    None => return,
+                }
+            }
+        }
+        if entry.rec.insn.op().is_control() {
+            match entry.resolved_at {
+                Some(r) => done = done.max(r),
+                None => return,
+            }
+        }
+        let seq = entry.seq;
+        self.window[idx].completed_at = Some(done);
+        emit!(self, TraceEvent::Completed { seq, at: done });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value_is_narrow;
+    use crate::config::{MachineConfig, Optimizations};
+    use crate::pipeline::testutil::{dependent_chain, run_cfg};
+    use crate::sim::Simulator;
+    use popk_isa::asm::assemble;
+
+    #[test]
+    fn narrowness_is_sign_or_zero_extension() {
+        assert!(value_is_narrow(0x0000_1234, 16));
+        assert!(value_is_narrow(0xffff_8000, 16)); // sign extension
+        assert!(!value_is_narrow(0x0001_0000, 16));
+        assert!(value_is_narrow(0x7f, 8));
+        assert!(!value_is_narrow(0x180, 8));
+    }
+
+    #[test]
+    fn partial_bypass_recovers_chain_throughput() {
+        let sliced = run_cfg(
+            &dependent_chain(),
+            &MachineConfig::slice2(Optimizations::level(1)),
+        );
+        let ideal = run_cfg(&dependent_chain(), &MachineConfig::ideal());
+        let ratio = sliced.ipc() / ideal.ipc();
+        assert!(
+            ratio > 0.9,
+            "partial bypassing should restore back-to-back chains, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn early_branch_resolution_helps_slice4() {
+        let src = r#"
+            .text
+            main:
+                li r8, 2000
+            loop:
+                andi r9, r8, 1
+                beq r9, r0, even    # alternates: mispredicts, detectable at bit 0
+                nop
+            even:
+                addiu r8, r8, -1
+                bne r8, r0, loop
+                li r2, 0
+                syscall
+        "#;
+        let without = run_cfg(src, &MachineConfig::slice4(Optimizations::level(2)));
+        let with = run_cfg(src, &MachineConfig::slice4(Optimizations::level(3)));
+        assert!(with.early_branch_resolves > 0);
+        assert!(
+            with.cycles <= without.cycles,
+            "early branch resolution must not slow the machine"
+        );
+    }
+
+    #[test]
+    fn narrow_operands_wake_upper_slices_early() {
+        // Small values everywhere: upper slices are implied by slice 0,
+        // so branches resolve sooner.
+        let src = r#"
+            .text
+            main:
+                li r8, 3000
+            loop:
+                addiu r9, r8, 0
+                andi r10, r9, 3
+                bne r10, r0, skip
+                addiu r9, r9, 1
+            skip:
+                addiu r8, r8, -1
+                bgtz r8, loop
+                li r2, 0
+                syscall
+        "#;
+        let base = MachineConfig::slice4(Optimizations::level(5));
+        let mut narrow = base;
+        narrow.opts.narrow_operands = true;
+        let without = run_cfg(src, &base);
+        let with = run_cfg(src, &narrow);
+        assert!(
+            with.narrow_wakeups > 1000,
+            "wakeups: {}",
+            with.narrow_wakeups
+        );
+        assert!(
+            with.cycles <= without.cycles,
+            "narrow relaxation must not hurt: {} vs {}",
+            with.cycles,
+            without.cycles
+        );
+        assert_eq!(with.committed, without.committed);
+    }
+
+    #[test]
+    fn carry_chain_staggers_slices_in_order() {
+        // On the slice-by-4 machine, an add's four slices must issue on
+        // strictly increasing cycles (the carry edge of Fig. 8b), and the
+        // results must stream out one cycle behind each issue.
+        let src = r#"
+            .text
+            main:
+                li r8, 123
+                li r9, 77
+                addu r10, r8, r9
+                addu r11, r10, r9
+                li r2, 0
+                syscall
+        "#;
+        let p = assemble(src).unwrap();
+        let mut sim = Simulator::new(&MachineConfig::slice4_full());
+        let (_, timings) = sim.run_timeline(&p, 1_000, 16);
+        let addu = timings
+            .iter()
+            .find(|t| t.disasm.starts_with("addu r10"))
+            .expect("addu recorded");
+        let issues: Vec<u64> = addu.slice_issue.iter().flatten().copied().collect();
+        assert_eq!(issues.len(), 4);
+        for w in issues.windows(2) {
+            assert!(w[0] < w[1], "carry chain must stagger: {issues:?}");
+        }
+        for (k, issue) in issues.iter().enumerate() {
+            assert_eq!(addu.slice_ready[k], Some(issue + 1));
+        }
+        // The dependent addu chains one cycle behind, slice for slice.
+        let dep = timings
+            .iter()
+            .find(|t| t.disasm.starts_with("addu r11"))
+            .expect("dependent addu recorded");
+        let dep_issues: Vec<u64> = dep.slice_issue.iter().flatten().copied().collect();
+        for (k, di) in dep_issues.iter().enumerate() {
+            assert!(
+                *di > issues[k],
+                "slice {k} of the consumer ran before its source: {dep_issues:?} vs {issues:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,748 @@
+//! The memory stage: start load accesses whose constraints have
+//! cleared — disambiguation against older stores (Fig. 2), the L1D
+//! access with optional partial tag matching (Fig. 4), sum-addressed
+//! decode (§5.2), and memory-dependence prediction.
+//!
+//! Walks only the loads that have not started (in age order) rather
+//! than the whole window; loads re-check their constraints every cycle,
+//! so no wakeup bookkeeping is needed here. Which loads may pass
+//! address-incomplete stores, and how much of the cache probe partial
+//! address bits unlock, are decided by the configured
+//! [`crate::policies::DisambigPolicy`] and
+//! [`crate::policies::TagMatchPolicy`].
+
+use super::entry::Entry;
+use super::{emit, Simulator};
+use crate::config::{MachineConfig, PipelineKind};
+use crate::events::{ReplayReason, TraceEvent, TraceSink};
+use crate::policies::{ranges_overlap, ForwardDecision, StoreProbe};
+use popk_cache::PartialOutcome;
+
+/// Memory-dependence predictor: 2-bit confidence per load PC hash
+/// (3 = confidently conflict-free). Used by `opts.mem_dep_predict`;
+/// inert (never predicts) when the option is off.
+pub(crate) struct MemDepPredictor {
+    enabled: bool,
+    table: Vec<u8>,
+}
+
+impl MemDepPredictor {
+    pub(crate) fn new(cfg: &MachineConfig) -> MemDepPredictor {
+        MemDepPredictor {
+            enabled: cfg.kind == PipelineKind::BitSliced && cfg.opts.mem_dep_predict,
+            // Initialized confident: loads rarely conflict (the MCB
+            // assumption); violations train entries down quickly.
+            table: vec![3; 1024],
+        }
+    }
+
+    #[inline]
+    fn slot(pc: u32) -> usize {
+        (((pc >> 2) ^ (pc >> 12)) as usize) & 1023
+    }
+
+    /// May the load at `pc` proceed past address-unknown older stores?
+    pub(crate) fn may_speculate(&self, pc: u32) -> bool {
+        self.enabled && self.table[Self::slot(pc)] >= 2
+    }
+
+    /// A speculation went through cleanly: raise confidence.
+    pub(crate) fn train_up(&mut self, pc: u32) {
+        let t = &mut self.table[Self::slot(pc)];
+        *t = (*t + 1).min(3);
+    }
+
+    /// A speculation violated an actual dependence: sticky conflict
+    /// (MCB-style), silencing the slot until it re-trains.
+    pub(crate) fn violated(&mut self, pc: u32) {
+        self.table[Self::slot(pc)] = 0;
+    }
+}
+
+impl<S: TraceSink> Simulator<S> {
+    /// Start load accesses whose constraints have cleared.
+    pub(crate) fn memory_stage(&mut self) {
+        let mut ports_used = 0u32;
+        let mut any_started = false;
+        // Detach the pending-load list so the loop can mutate the window
+        // (dispatch refills the list later in the cycle, after this
+        // stage runs, so it cannot grow underneath the loop).
+        let mut pending = self.sched.take_pending_loads();
+        for &seq in &pending {
+            if ports_used >= self.cfg.mem_ports {
+                break;
+            }
+            let Some(idx) = self.index_of(seq) else {
+                continue;
+            };
+            let entry = &self.window[idx];
+            debug_assert!(entry.is_load() && entry.mem().started.is_none());
+            let bit_sliced = self.cfg.kind == PipelineKind::BitSliced;
+            // How many low address bits are known right now? The agen
+            // produces them; sum-addressed decode (§5.2 → \[18\]) can read
+            // them straight from the base-register slices.
+            let agen_known = self.agen_slices_known(idx);
+            let mut known_slices = agen_known;
+            let mut via_sam = false;
+            if bit_sliced && self.cfg.opts.sum_addressed && self.cycle >= entry.earliest_ex {
+                let sam = self.sam_slices_ready(idx);
+                if sam > known_slices {
+                    known_slices = sam;
+                    via_sam = true;
+                }
+            }
+            if known_slices == 0 {
+                continue;
+            }
+            let known_bits = known_slices as u32 * self.slice_bits;
+            // The LSQ compares computed (agen) address bits only.
+            let dis_bits = agen_known as u32 * self.slice_bits;
+
+            if !self.policies.tag.index_ready(
+                &self.cfg.memory.l1d,
+                known_bits,
+                known_slices,
+                self.nslices,
+            ) {
+                continue;
+            }
+
+            // Disambiguation against older stores; blocked loads may still
+            // proceed on the dependence predictor's say-so (MCB-style).
+            let load_rec = self.window[idx].rec;
+            let decision = {
+                let mut older = self.sched.older_stores_young_first(seq).map(|sseq| {
+                    let store = self.find(sseq).expect("queued store is in-window");
+                    StoreProbe {
+                        seq: sseq,
+                        rec: store.rec,
+                        known_bits: self.agen_slices_known_of(store) as u32 * self.slice_bits,
+                    }
+                });
+                self.policies
+                    .disambig
+                    .disambiguate(&load_rec, dis_bits, &mut older)
+            };
+            let forward_from = match decision {
+                Some(f) => f,
+                None => {
+                    let pc = load_rec.pc;
+                    if !self.mem_dep.may_speculate(pc) {
+                        continue; // wait for the stores
+                    }
+                    // Oracle violation check: does any older in-window
+                    // store actually overlap this load?
+                    let conflict = self
+                        .sched
+                        .older_stores_old_first(seq)
+                        .any(|s| ranges_overlap(&self.find(s).unwrap().rec, &load_rec));
+                    if conflict {
+                        // Violation: squash the speculation, train the
+                        // predictor down (sticky conflict, MCB-style),
+                        // and wait for the normal path — the replay cost
+                        // is charged when the load finally starts.
+                        self.stats.mem_dep_violations += 1;
+                        self.mem_dep.violated(pc);
+                        self.window[idx].mem_mut().dep_speculated = true;
+                        self.stats.load_replays += 1;
+                        emit!(self, TraceEvent::MemDepViolation { seq });
+                        emit!(
+                            self,
+                            TraceEvent::Replay {
+                                seq,
+                                reason: ReplayReason::MemDepViolation
+                            }
+                        );
+                        continue;
+                    }
+                    self.stats.mem_dep_speculations += 1;
+                    emit!(self, TraceEvent::MemDepSpeculated { seq });
+                    self.mem_dep.train_up(pc);
+                    ForwardDecision::Access
+                }
+            };
+            // Did partial knowledge let this load pass older stores whose
+            // full addresses (or the load's own) were still incomplete?
+            if self.policies.disambig.exploits_partial_addresses()
+                && matches!(forward_from, ForwardDecision::Access)
+                && self
+                    .sched
+                    .older_stores_old_first(seq)
+                    .any(|s| self.agen_slices_known_of(self.find(s).unwrap()) < self.nslices)
+            {
+                self.stats.early_disambig_loads += 1;
+                emit!(self, TraceEvent::EarlyDisambig { seq });
+            }
+
+            let addr = load_rec.ea;
+            match forward_from {
+                ForwardDecision::Forward(store_seq) => {
+                    // Wait for the store's data, then a 1-cycle bypass.
+                    let data_at = self
+                        .find(store_seq)
+                        .and_then(|s| s.mem().store_data_ready)
+                        .map(|r| r.max(self.cycle) + 1);
+                    if let Some(r) = data_at {
+                        ports_used += 1;
+                        any_started = true;
+                        self.stats.store_forwards += 1;
+                        let m = self.window[idx].mem_mut();
+                        m.started = Some(self.cycle);
+                        m.data_ready = Some(r);
+                        emit!(
+                            self,
+                            TraceEvent::StoreForward {
+                                load_seq: seq,
+                                store_seq
+                            }
+                        );
+                        emit!(self, TraceEvent::MemStarted { seq });
+                        emit!(self, TraceEvent::MemDone { seq, at: r });
+                        self.wake_waiters(idx, r);
+                        self.finish_if_done(idx);
+                    }
+                    continue;
+                }
+                ForwardDecision::SpecForward(store_seq) => {
+                    let Some(store) = self.find(store_seq) else {
+                        continue;
+                    };
+                    let Some(data_at) = store.mem().store_data_ready else {
+                        continue; // store data not ready: keep waiting
+                    };
+                    ports_used += 1;
+                    any_started = true;
+                    let correct = crate::policies::store_covers_load(&store.rec, &load_rec);
+                    let store_full = self.full_agen_time_of(store);
+                    if correct {
+                        // Verification (when both agens finish) confirms.
+                        self.stats.spec_forwards += 1;
+                        let r = data_at.max(self.cycle) + 1;
+                        let m = self.window[idx].mem_mut();
+                        m.started = Some(self.cycle);
+                        m.data_ready = Some(r);
+                        emit!(
+                            self,
+                            TraceEvent::SpecForward {
+                                load_seq: seq,
+                                store_seq,
+                                ok: true
+                            }
+                        );
+                        emit!(self, TraceEvent::MemStarted { seq });
+                        emit!(self, TraceEvent::MemDone { seq, at: r });
+                        self.wake_waiters(idx, r);
+                    } else {
+                        // Refuted at verification: replay via the cache
+                        // after both full addresses are known.
+                        self.stats.spec_forwards += 1;
+                        self.stats.spec_forward_wrong += 1;
+                        self.stats.load_replays += 1;
+                        let verify = self
+                            .full_agen_time(idx)
+                            .unwrap_or(self.cycle)
+                            .max(store_full.unwrap_or(self.cycle));
+                        self.stats.l1d_accesses += 1;
+                        let access = self.memory.access_data(addr);
+                        if access.l1_hit {
+                            self.stats.l1d_hits += 1;
+                        }
+                        let r = verify.max(self.cycle) + 1 + access.latency as u64;
+                        let m = self.window[idx].mem_mut();
+                        m.started = Some(self.cycle);
+                        m.data_ready = Some(r);
+                        emit!(
+                            self,
+                            TraceEvent::SpecForward {
+                                load_seq: seq,
+                                store_seq,
+                                ok: false
+                            }
+                        );
+                        emit!(
+                            self,
+                            TraceEvent::Replay {
+                                seq,
+                                reason: ReplayReason::SpecForwardWrong
+                            }
+                        );
+                        emit!(self, TraceEvent::MemStarted { seq });
+                        emit!(self, TraceEvent::MemDone { seq, at: r });
+                        self.wake_waiters(idx, r);
+                    }
+                    self.finish_if_done(idx);
+                    continue;
+                }
+                ForwardDecision::Access => {}
+            }
+            ports_used += 1;
+            any_started = true;
+            if via_sam && agen_known < known_slices {
+                self.stats.sam_starts += 1;
+                emit!(self, TraceEvent::SamStart { seq });
+            }
+
+            // Probe (for partial-tag classification) then access. The
+            // index may come from the SAM decoder, but *tag* bits exist
+            // only once the agen has computed them — with none available
+            // the probe degenerates to pure MRU way prediction.
+            self.stats.l1d_accesses += 1;
+            let probe = self
+                .policies
+                .tag
+                .probe_tag_bits(&self.cfg.memory.l1d, dis_bits, known_bits)
+                .map(|tag_bits| self.memory.l1d().partial_probe(addr, tag_bits));
+            let access = self.memory.access_data(addr);
+            if access.l1_hit {
+                self.stats.l1d_hits += 1;
+            }
+            let full_addr_at = self.full_agen_time(idx);
+
+            let data_ready = if let Some(outcome) = probe {
+                self.stats.partial_tag_accesses += 1;
+                emit!(self, TraceEvent::PartialTagProbe { seq, outcome });
+                match outcome {
+                    PartialOutcome::ZeroMatch => {
+                        // Early, non-speculative miss: start the L2 access
+                        // now.
+                        self.stats.partial_tag_early_miss += 1;
+                        self.cycle + access.latency as u64
+                    }
+                    PartialOutcome::SingleHit { .. }
+                    | PartialOutcome::MultiMatch {
+                        mru_correct: true, ..
+                    } => {
+                        // Correct way speculation: data after the L1
+                        // latency, verified in the background.
+                        self.cycle + self.cfg.memory.l1_latency as u64
+                    }
+                    PartialOutcome::SingleMiss
+                    | PartialOutcome::MultiMatch {
+                        mru_correct: false, ..
+                    } => {
+                        // Way mispredict: verification at full-address time
+                        // kills the speculation; the access restarts.
+                        self.stats.way_mispredicts += 1;
+                        self.stats.load_replays += 1;
+                        emit!(
+                            self,
+                            TraceEvent::Replay {
+                                seq,
+                                reason: ReplayReason::WayMispredict
+                            }
+                        );
+                        let restart = full_addr_at.unwrap_or(self.cycle) + 1;
+                        restart.max(self.cycle) + access.latency as u64
+                    }
+                }
+            } else {
+                if !access.l1_hit {
+                    self.stats.load_replays += 1;
+                    emit!(
+                        self,
+                        TraceEvent::Replay {
+                            seq,
+                            reason: ReplayReason::CacheMiss
+                        }
+                    );
+                }
+                self.cycle + access.latency as u64
+            };
+
+            let m = self.window[idx].mem_mut();
+            m.started = Some(self.cycle);
+            // A load that earlier mis-speculated past a conflicting store
+            // pays a replay bubble on its eventual (correct) attempt.
+            let at = data_ready + 2 * m.dep_speculated as u64;
+            m.data_ready = Some(at);
+            emit!(self, TraceEvent::MemStarted { seq });
+            emit!(self, TraceEvent::MemDone { seq, at });
+            self.wake_waiters(idx, at);
+            self.finish_if_done(idx);
+        }
+        if any_started {
+            pending.retain(|&s| {
+                self.index_of(s)
+                    .is_some_and(|i| self.window[i].mem().started.is_none())
+            });
+        }
+        self.sched.put_pending_loads(pending);
+    }
+
+    /// Number of contiguous low source slices available for sum-addressed
+    /// decode (loads have a single base-register source).
+    fn sam_slices_ready(&self, idx: usize) -> usize {
+        let mut n = 0;
+        for k in 0..self.nslices {
+            if self.sources_ready_at_slice(idx, k) {
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Number of contiguous low agen slices of `window[idx]` whose results
+    /// are available this cycle.
+    fn agen_slices_known(&self, idx: usize) -> usize {
+        self.agen_slices_known_of(&self.window[idx])
+    }
+
+    pub(crate) fn agen_slices_known_of(&self, entry: &Entry) -> usize {
+        let mut n = 0;
+        for k in 0..self.nslices {
+            match entry.ready[k] {
+                Some(r) if r <= self.cycle => n += 1,
+                _ => break,
+            }
+        }
+        n
+    }
+
+    /// Cycle the full address is known.
+    fn full_agen_time(&self, idx: usize) -> Option<u64> {
+        self.full_agen_time_of(&self.window[idx])
+    }
+
+    fn full_agen_time_of(&self, entry: &Entry) -> Option<u64> {
+        let mut t = 0u64;
+        for k in 0..self.nslices {
+            t = t.max(entry.ready[k]?);
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{MachineConfig, Optimizations};
+    use crate::pipeline::testutil::run_cfg;
+    use crate::sim::Simulator;
+    use popk_isa::asm::assemble;
+
+    #[test]
+    fn loads_wait_for_older_store_addresses() {
+        // A store whose address depends on a long op, followed by an
+        // unrelated load: conventionally the load waits; with early
+        // disambiguation it can pass once low slices mismatch.
+        let src = r#"
+            .text
+            main:
+                li r16, 0x10000000
+                li r17, 0x10008000
+                li r8, 300
+            loop:
+                mult r8, r8
+                mflo r9
+                andi r9, r9, 0xffc
+                addu r9, r9, r16
+                sw r8, 0(r9)         # store: address slow (behind mult)
+                lw r10, 0(r17)       # load at a clearly different address
+                addiu r8, r8, -1
+                bne r8, r0, loop
+                li r2, 0
+                syscall
+        "#;
+        let conv = run_cfg(src, &MachineConfig::slice2(Optimizations::level(3)));
+        let early = run_cfg(src, &MachineConfig::slice2(Optimizations::level(4)));
+        assert!(
+            early.cycles < conv.cycles,
+            "early disambiguation should shorten load wait: {} vs {}",
+            early.cycles,
+            conv.cycles
+        );
+    }
+
+    #[test]
+    fn store_forwarding_works() {
+        // The divide keeps commit blocked, so the store must sit in the
+        // window while the load needs its data: only forwarding can
+        // satisfy the load.
+        let src = r#"
+            .text
+            main:
+                li r16, 0x10000000
+                li r17, 3
+                li r8, 200
+            loop:
+                div r8, r17          # 20-cycle commit blocker
+                sw r8, 0(r16)
+                lw r9, 0(r16)        # must forward from the store
+                addiu r8, r8, -1
+                bne r8, r0, loop
+                li r2, 0
+                syscall
+        "#;
+        let stats = run_cfg(src, &MachineConfig::ideal());
+        assert!(
+            stats.store_forwards >= 100,
+            "forwards: {}",
+            stats.store_forwards
+        );
+    }
+
+    #[test]
+    fn partial_tag_speculation_counts() {
+        let src = r#"
+            .text
+            main:
+                li r16, 0x10000000
+                li r8, 500
+            loop:
+                andi r9, r8, 255
+                sll r9, r9, 2
+                addu r9, r9, r16
+                lw r10, 0(r9)
+                addiu r8, r8, -1
+                bne r8, r0, loop
+                li r2, 0
+                syscall
+        "#;
+        let stats = run_cfg(src, &MachineConfig::slice2_full());
+        assert!(stats.partial_tag_accesses > 0);
+        let base = run_cfg(src, &MachineConfig::slice2(Optimizations::level(4)));
+        assert!(
+            stats.cycles <= base.cycles,
+            "partial tagging should not slow down: {} vs {}",
+            stats.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn spec_forward_speculates_on_unique_partial_match() {
+        // The store's address resolves slowly (behind a divide) but always
+        // matches the load: with spec_forward the load's data arrives from
+        // the store before the addresses are provably equal.
+        let src = r#"
+            .text
+            main:
+                li r16, 0x10000000
+                li r17, 7
+                li r8, 300
+            loop:
+                div r8, r17
+                mflo r9
+                andi r9, r9, 0
+                addu r9, r9, r16     # always r16, but slow to compute
+                sw r8, 0(r9)
+                lw r10, 0(r16)       # same address every iteration
+                addiu r8, r8, -1
+                bgtz r8, loop
+                li r2, 0
+                syscall
+        "#;
+        let base = MachineConfig::slice2(Optimizations::level(5));
+        let mut spec_cfg = base;
+        spec_cfg.opts.spec_forward = true;
+        let without = run_cfg(src, &base);
+        let with = run_cfg(src, &spec_cfg);
+        assert!(
+            with.spec_forwards > 100,
+            "spec forwards: {}",
+            with.spec_forwards
+        );
+        assert_eq!(with.spec_forward_wrong, 0, "addresses always match here");
+        assert!(
+            with.cycles < without.cycles,
+            "speculative forwarding should cut the wait: {} vs {}",
+            with.cycles,
+            without.cycles
+        );
+    }
+
+    #[test]
+    fn spec_forward_wrong_paths_replay() {
+        // The store alternates between two addresses sharing low bits but
+        // differing at bit 16; the load always reads the first. Unique
+        // partial matches sometimes verify wrong.
+        let src = r#"
+            .text
+            main:
+                li r16, 0x10000000
+                li r17, 0x10010000   # same low 16 bits as r16
+                li r18, 0x100
+                li r8, 300
+            loop:
+                div r8, r18          # slow down the select
+                mflo r9
+                andi r9, r8, 1
+                move r10, r16
+                beq r9, r0, even
+                move r10, r17
+            even:
+                sw r8, 0(r10)        # alternating store address
+                lw r11, 0(r16)
+                addiu r8, r8, -1
+                bgtz r8, loop
+                li r2, 0
+                syscall
+        "#;
+        let mut cfg = MachineConfig::slice2(Optimizations::level(5));
+        cfg.opts.spec_forward = true;
+        let s = run_cfg(src, &cfg);
+        assert!(s.spec_forwards > 0);
+        assert!(s.spec_forward_wrong > 0, "some speculations must fail");
+        assert!(s.spec_forward_wrong < s.spec_forwards);
+    }
+
+    #[test]
+    fn mem_dep_prediction_passes_unknown_stores() {
+        // The store address computes slowly (behind a divide); the load
+        // never conflicts. Conventionally the load waits every iteration;
+        // the dependence predictor lets it go immediately.
+        let src = r#"
+            .text
+            main:
+                li r16, 0x10000000
+                li r17, 0x10008000
+                li r8, 300
+            loop:
+                # Slow store address: a 10-op dependent chain.
+                addu r9, r8, r16
+                xor  r9, r9, r8
+                addu r9, r9, r8
+                xor  r9, r9, r8
+                addu r9, r9, r8
+                xor  r9, r9, r8
+                addu r9, r9, r8
+                xor  r9, r9, r8
+                andi r9, r9, 0xfc
+                addu r9, r9, r16
+                sw r8, 0(r9)         # slow, never-conflicting store
+                lw r10, 0(r17)       # independent load, conventionally blocked
+                # Long dependent work fed by the load.
+                addu r11, r10, r8
+                xor  r11, r11, r10
+                addu r11, r11, r10
+                xor  r11, r11, r10
+                addu r11, r11, r10
+                xor  r11, r11, r10
+                addu r11, r11, r10
+                xor  r11, r11, r10
+                addu r11, r11, r10
+                xor  r11, r11, r10
+                sw r11, 4(r17)
+                addiu r8, r8, -1
+                bgtz r8, loop
+                li r2, 0
+                syscall
+        "#;
+        let base = MachineConfig::slice2(Optimizations::all());
+        let mut md = base;
+        md.opts.mem_dep_predict = true;
+        let without = run_cfg(src, &base);
+        let with = run_cfg(src, &md);
+        assert!(
+            with.mem_dep_speculations > 100,
+            "specs: {}",
+            with.mem_dep_speculations
+        );
+        assert_eq!(with.mem_dep_violations, 0);
+        assert!(
+            with.cycles < without.cycles,
+            "prediction should unblock the load: {} vs {}",
+            with.cycles,
+            without.cycles
+        );
+    }
+
+    #[test]
+    fn mem_dep_violations_train_the_predictor_down() {
+        // The load always conflicts with the slow store: the predictor
+        // speculates once, violates, and goes quiet.
+        let src = r#"
+            .text
+            main:
+                li r16, 0x10000000
+                li r18, 5
+                li r8, 300
+            loop:
+                div r8, r18
+                mflo r9
+                andi r9, r9, 0
+                addu r9, r9, r16
+                sw r8, 0(r9)         # always 0x10000000, slowly
+                lw r10, 0(r16)       # always conflicts
+                addiu r8, r8, -1
+                bgtz r8, loop
+                li r2, 0
+                syscall
+        "#;
+        let mut md = MachineConfig::slice2(Optimizations::all());
+        md.opts.mem_dep_predict = true;
+        let s = run_cfg(src, &md);
+        assert!(s.mem_dep_violations >= 1);
+        assert!(
+            s.mem_dep_violations <= 2,
+            "sticky training must silence the slot: {}",
+            s.mem_dep_violations
+        );
+        assert_eq!(s.committed, run_cfg(src, &MachineConfig::ideal()).committed);
+    }
+
+    #[test]
+    fn sum_addressed_shortens_load_to_load_chains() {
+        // The classic SAM win \[18\]: in a pointer chase, the next access's
+        // index is ready the moment the previous load's data arrives — no
+        // agen add on the critical path.
+        let src = r#"
+            .data
+            ptr: .word 0x10000000    # self-loop: mem[p] == p
+            .text
+            main:
+                li r17, 0x10000000
+                li r8, 400
+            loop:
+                lw r17, 0(r17)
+                lw r17, 0(r17)
+                lw r17, 0(r17)
+                lw r17, 0(r17)
+                addiu r8, r8, -1
+                bgtz r8, loop
+                li r2, 0
+                syscall
+        "#;
+        let base = MachineConfig::slice4(Optimizations::all());
+        let mut sam = base;
+        sam.opts.sum_addressed = true;
+        let without = run_cfg(src, &base);
+        let with = run_cfg(src, &sam);
+        assert!(with.sam_starts > 1000, "sam starts: {}", with.sam_starts);
+        assert!(
+            with.cycles < without.cycles,
+            "SAM should shorten the chase: {} vs {}",
+            with.cycles,
+            without.cycles
+        );
+        assert_eq!(with.committed, without.committed);
+    }
+
+    #[test]
+    fn loads_timeline_records_memory_events() {
+        let src = r#"
+            .text
+            main:
+                li r8, 0x10000000
+                lw r9, 0(r8)
+                addu r10, r9, r9
+                li r2, 0
+                syscall
+        "#;
+        let p = assemble(src).unwrap();
+        let mut sim = Simulator::new(&MachineConfig::slice2_full());
+        let (_, timings) = sim.run_timeline(&p, 1_000, 16);
+        let lw = timings.iter().find(|t| t.disasm.starts_with("lw")).unwrap();
+        let (start, done) = (lw.mem_start.unwrap(), lw.mem_done.unwrap());
+        assert!(start < done);
+        // Cold L1+L2 miss: the data takes the full memory round trip.
+        assert!(done - start >= 100, "cold miss latency {start}..{done}");
+        // The consumer cannot complete before the data arrives.
+        let dep = timings
+            .iter()
+            .find(|t| t.disasm.starts_with("addu r10"))
+            .unwrap();
+        assert!(dep.completed > done);
+    }
+}

@@ -1,0 +1,273 @@
+//! The event-driven wakeup machinery (the PR 3 speedup): a calendar
+//! wheel plus far-heap for timed examinations, per-producer waiter
+//! lists, and the age-ordered store-queue / pending-load bookkeeping.
+//!
+//! Every field is private to this module: stages interact with the
+//! schedule exclusively through the narrow [`Scheduler`] and [`Waiters`]
+//! APIs, so no stage can reach into another's wakeup state. The
+//! scheduling discipline (documented on each method) is what makes the
+//! event-driven issue loop bit-identical to an exhaustive window rescan:
+//! an examination may be scheduled spuriously (examinations are
+//! side-effect-free unless the entry progresses), but every entry that
+//! *would* progress on a cycle must have a wakeup due on it.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Calendar-wheel size for the issue wakeup schedule. Almost every wake
+/// is a handful of cycles out (next-cycle retries, ALU/unit latencies);
+/// the rare longer waits (L2 misses) overflow to a heap.
+const WHEEL_SLOTS: u64 = 64;
+
+/// The shared wakeup schedule and LSQ-order queues.
+pub(crate) struct Scheduler {
+    /// Wakeup calendar wheel: slot `c % WHEEL_SLOTS` holds the seqs to
+    /// examine at cycle `c`. Issue examines only the entries whose
+    /// wakeup is due instead of rescanning the window. An entry may be
+    /// scheduled more than once, and a stale seq — squashed, committed,
+    /// or reused after a squash — is simply a harmless extra
+    /// examination.
+    wheel: Vec<Vec<u64>>,
+    /// Wakeups further than the wheel horizon: `(cycle, seq)` min-heap.
+    far: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Scratch buffer for the due candidates, reused across cycles.
+    cand_buf: Vec<u64>,
+    /// In-window store seqs in age order: the disambiguation scans walk
+    /// this instead of the whole window.
+    store_q: VecDeque<u64>,
+    /// In-window load seqs whose cache access has not started yet.
+    pending_loads: Vec<u64>,
+}
+
+impl Scheduler {
+    /// An empty schedule sized for a `ruu_size`-entry window and a
+    /// `lsq_size`-entry load/store queue.
+    pub(crate) fn new(ruu_size: usize, lsq_size: usize) -> Scheduler {
+        Scheduler {
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            far: BinaryHeap::new(),
+            cand_buf: Vec::with_capacity(ruu_size),
+            store_q: VecDeque::with_capacity(lsq_size),
+            pending_loads: Vec::with_capacity(lsq_size),
+        }
+    }
+
+    /// Schedule an examination of `seq` at cycle `at` (clamped to the
+    /// next issue opportunity — a wake for the past means "as soon as
+    /// possible").
+    #[inline]
+    pub(crate) fn schedule(&mut self, now: u64, seq: u64, at: u64) {
+        let at = at.max(now + 1);
+        if at - now <= WHEEL_SLOTS {
+            self.wheel[(at % WHEEL_SLOTS) as usize].push(seq);
+        } else {
+            self.far.push(Reverse((at, seq)));
+        }
+    }
+
+    /// The sequence numbers due for examination at cycle `now`, sorted
+    /// ascending (window/age order, so resource arbitration resolves
+    /// identically to an in-order window scan) and deduplicated.
+    ///
+    /// Returns an owned buffer so the caller can walk it while mutating
+    /// the schedule; hand it back with [`Scheduler::recycle`] to reuse
+    /// the allocation.
+    pub(crate) fn due_candidates(&mut self, now: u64) -> Vec<u64> {
+        let mut cands = std::mem::take(&mut self.cand_buf);
+        cands.clear();
+        // Swap this cycle's wheel slot out (the emptied scratch buffer
+        // becomes the slot's fresh backing storage).
+        let slot = (now % WHEEL_SLOTS) as usize;
+        std::mem::swap(&mut cands, &mut self.wheel[slot]);
+        while let Some(&Reverse((due, seq))) = self.far.peek() {
+            if due > now {
+                break;
+            }
+            self.far.pop();
+            cands.push(seq);
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        cands
+    }
+
+    /// Return the candidate buffer for reuse next cycle.
+    pub(crate) fn recycle(&mut self, buf: Vec<u64>) {
+        self.cand_buf = buf;
+    }
+
+    // ---- store queue (age order) ------------------------------------
+
+    /// A store entered the window.
+    pub(crate) fn push_store(&mut self, seq: u64) {
+        self.store_q.push_back(seq);
+    }
+
+    /// The store at the head of the queue committed. Stores commit in
+    /// age order, so `seq` must be the oldest queued store.
+    pub(crate) fn commit_store(&mut self, seq: u64) {
+        debug_assert_eq!(self.store_q.front(), Some(&seq));
+        self.store_q.pop_front();
+    }
+
+    /// In-window stores older than `seq`, youngest first (the
+    /// forwarding scan order: the youngest covering store wins).
+    pub(crate) fn older_stores_young_first(&self, seq: u64) -> impl Iterator<Item = u64> + '_ {
+        self.store_q
+            .iter()
+            .rev()
+            .skip_while(move |&&s| s >= seq)
+            .copied()
+    }
+
+    /// In-window stores older than `seq`, oldest first (the violation /
+    /// completeness scan order).
+    pub(crate) fn older_stores_old_first(&self, seq: u64) -> impl Iterator<Item = u64> + '_ {
+        self.store_q.iter().take_while(move |&&s| s < seq).copied()
+    }
+
+    // ---- pending loads ----------------------------------------------
+
+    /// A load entered the window (its access has not started).
+    pub(crate) fn push_pending_load(&mut self, seq: u64) {
+        self.pending_loads.push(seq);
+    }
+
+    /// Detach the pending-load list so the memory stage can walk it
+    /// while mutating the window; reattach with
+    /// [`Scheduler::put_pending_loads`].
+    pub(crate) fn take_pending_loads(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_loads)
+    }
+
+    /// Reattach the (possibly filtered) pending-load list.
+    pub(crate) fn put_pending_loads(&mut self, loads: Vec<u64>) {
+        self.pending_loads = loads;
+    }
+
+    /// Is this load still awaiting its access? (Debug-assert support.)
+    #[cfg(debug_assertions)]
+    pub(crate) fn load_is_pending(&self, seq: u64) -> bool {
+        self.pending_loads.contains(&seq)
+    }
+}
+
+/// A producer's waiter list: consumers parked on a result, re-entering
+/// the wakeup calendar when the producer publishes a result slice.
+///
+/// The inner list is private so parking stays deduplicated; draining
+/// goes through [`Waiters::detach`] / [`Waiters::attach`], which reuse
+/// the allocation (the drain happens while the owning window entry is
+/// mutably borrowed, so the list is moved out first).
+#[derive(Default)]
+pub(crate) struct Waiters(Vec<u64>);
+
+impl Waiters {
+    /// An empty list.
+    pub(crate) fn new() -> Waiters {
+        Waiters(Vec::new())
+    }
+
+    /// Park `seq` on this producer (idempotent).
+    pub(crate) fn park(&mut self, seq: u64) {
+        if !self.0.contains(&seq) {
+            self.0.push(seq);
+        }
+    }
+
+    /// No one is parked here.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Move the list out for draining (leaves this list empty).
+    pub(crate) fn detach(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.0)
+    }
+
+    /// Hand a drained list's allocation back for reuse.
+    pub(crate) fn attach(&mut self, mut drained: Vec<u64>) {
+        drained.clear();
+        self.0 = drained;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_wakeups_land_on_their_cycle() {
+        let mut s = Scheduler::new(64, 32);
+        s.schedule(10, 5, 12);
+        s.schedule(10, 3, 12);
+        s.schedule(10, 9, 13);
+        assert_eq!(s.due_candidates(11), Vec::<u64>::new());
+        // Sorted (age order) regardless of scheduling order.
+        let due = s.due_candidates(12);
+        assert_eq!(due, vec![3, 5]);
+        s.recycle(due);
+        assert_eq!(s.due_candidates(13), vec![9]);
+    }
+
+    #[test]
+    fn past_wakeups_clamp_to_next_cycle() {
+        let mut s = Scheduler::new(64, 32);
+        s.schedule(100, 7, 3); // "as soon as possible"
+        assert_eq!(s.due_candidates(101), vec![7]);
+    }
+
+    #[test]
+    fn far_wakeups_overflow_to_the_heap_and_return() {
+        let mut s = Scheduler::new(64, 32);
+        let now = 0;
+        s.schedule(now, 1, 500); // beyond the 64-slot wheel horizon
+        s.schedule(now, 2, 500);
+        s.schedule(now, 3, 70);
+        // Nothing lands early even though 500 % 64 and 70 % 64 alias
+        // wheel slots inside the horizon.
+        for c in 1..70 {
+            assert!(s.due_candidates(c).is_empty(), "cycle {c}");
+        }
+        assert_eq!(s.due_candidates(70), vec![3]);
+        assert_eq!(s.due_candidates(500), vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicate_wakeups_dedup() {
+        let mut s = Scheduler::new(64, 32);
+        s.schedule(0, 4, 2);
+        s.schedule(0, 4, 2);
+        s.schedule(0, 4, 200);
+        assert_eq!(s.due_candidates(2), vec![4]);
+        assert_eq!(s.due_candidates(200), vec![4]);
+    }
+
+    #[test]
+    fn store_queue_iterates_by_age() {
+        let mut s = Scheduler::new(64, 32);
+        for seq in [2, 5, 9, 11] {
+            s.push_store(seq);
+        }
+        let young: Vec<u64> = s.older_stores_young_first(10).collect();
+        assert_eq!(young, vec![9, 5, 2]);
+        let old: Vec<u64> = s.older_stores_old_first(10).collect();
+        assert_eq!(old, vec![2, 5, 9]);
+        s.commit_store(2);
+        assert_eq!(s.older_stores_old_first(10).collect::<Vec<_>>(), vec![5, 9]);
+    }
+
+    #[test]
+    fn waiters_park_once_and_drain() {
+        let mut w = Waiters::new();
+        assert!(w.is_empty());
+        w.park(3);
+        w.park(3);
+        w.park(8);
+        let drained = w.detach();
+        assert_eq!(drained, vec![3, 8]);
+        assert!(w.is_empty());
+        w.attach(drained);
+        assert!(w.is_empty(), "reattached allocation must come back clear");
+    }
+}

@@ -1,0 +1,134 @@
+//! Conditional-branch resolution policies (Fig. 6): which result slice
+//! of the compare proves a misprediction?
+//!
+//! The conventional machine compares full-width operands, so a branch
+//! resolves only when the top slice finishes. The early-resolution
+//! machine exploits the paper's observation that for equality branches a
+//! single divergent slice is *proof* of the outcome: the redirect fires
+//! as soon as the first slice that detects the misprediction completes.
+
+use popk_emu::TraceRecord;
+use popk_isa::BranchCond;
+use popk_slice::mispredict_detection_bit;
+
+/// Decides which result slice a conditional branch resolves at.
+pub trait BranchResolvePolicy: Send + Sync {
+    /// Index of the slice whose completion resolves this branch
+    /// (always in `0..nslices`).
+    fn resolve_slice(
+        &self,
+        cond: BranchCond,
+        rec: &TraceRecord,
+        mispredicted: bool,
+        nslices: usize,
+        slice_bits: u32,
+    ) -> usize;
+
+    /// Whether this policy can resolve before the top slice (used for
+    /// stats and tests; the conventional policy answers `false`).
+    fn is_early(&self) -> bool {
+        false
+    }
+}
+
+/// Conventional full-width resolution: wait for the top slice.
+pub struct FullWidthResolve;
+
+impl BranchResolvePolicy for FullWidthResolve {
+    fn resolve_slice(
+        &self,
+        _cond: BranchCond,
+        _rec: &TraceRecord,
+        _mispredicted: bool,
+        nslices: usize,
+        _slice_bits: u32,
+    ) -> usize {
+        nslices - 1
+    }
+}
+
+/// Early resolution at the first provably-divergent slice (Fig. 6).
+///
+/// Only *mispredicted* equality branches benefit: a correctly predicted
+/// branch redirects nothing (resolution timing is the top slice either
+/// way), and the sign-testing conditions need the full subtraction.
+pub struct EarlySliceResolve;
+
+impl BranchResolvePolicy for EarlySliceResolve {
+    fn resolve_slice(
+        &self,
+        cond: BranchCond,
+        rec: &TraceRecord,
+        mispredicted: bool,
+        nslices: usize,
+        slice_bits: u32,
+    ) -> usize {
+        if !(mispredicted && cond.early_resolvable()) {
+            return nslices - 1;
+        }
+        // Resolve operand values by register so `beq rX, rX` (whose
+        // use set dedups) still sees both sides correctly.
+        let rs = rec.src_vals[0];
+        let rt = rec.src_val(rec.insn.rt()).unwrap_or(0);
+        // predicted = !actual since mispredicted.
+        let bits = mispredict_detection_bit(cond, rs, rt, !rec.taken)
+            .expect("mispredicted branch must be detectable");
+        (((bits.max(1) - 1) / slice_bits) as usize).min(nslices - 1)
+    }
+
+    fn is_early(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popk_isa::{Insn, Op, Reg};
+
+    fn branch_rec(op: Op, rs_val: u32, rt_val: u32, taken: bool) -> TraceRecord {
+        TraceRecord {
+            pc: 0x400000,
+            insn: Insn::branch(op, Reg::gpr(8), Reg::gpr(9), 16),
+            src_vals: [rs_val, rt_val],
+            results: [0; 2],
+            ea: 0,
+            taken,
+            next_pc: 0x400004,
+        }
+    }
+
+    #[test]
+    fn full_width_always_waits_for_the_top_slice() {
+        let p = FullWidthResolve;
+        let rec = branch_rec(Op::Beq, 1, 0x0001_0000, false);
+        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 2, 16), 1);
+        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 4, 8), 3);
+        assert!(!p.is_early());
+    }
+
+    #[test]
+    fn early_resolves_at_the_divergent_slice() {
+        let p = EarlySliceResolve;
+        // beq taken-predicted, operands differ in bit 0: a mispredict is
+        // proven by the lowest slice.
+        let rec = branch_rec(Op::Beq, 1, 0, false);
+        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 4, 8), 0);
+        // Divergence only in the upper half: slice 2 of 4 (bits 16..24).
+        let rec = branch_rec(Op::Beq, 0, 0x0001_0000, false);
+        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 4, 8), 2);
+        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 2, 16), 1);
+        assert!(p.is_early());
+    }
+
+    #[test]
+    fn early_falls_back_when_it_cannot_help() {
+        let p = EarlySliceResolve;
+        let rec = branch_rec(Op::Beq, 1, 0, false);
+        // Correct prediction: nothing to detect early.
+        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, false, 4, 8), 3);
+        // Sign tests need the full subtraction.
+        let rec = branch_rec(Op::Blez, 5, 0, false);
+        assert_eq!(p.resolve_slice(BranchCond::Lez, &rec, true, 4, 8), 3);
+    }
+}

@@ -1,0 +1,304 @@
+//! Load/store disambiguation policies (Fig. 2 and the §5.1
+//! speculative-forwarding extension).
+//!
+//! The memory stage hands the policy a load (with however many low
+//! address bits its agen has produced) and a youngest-first walk of the
+//! older in-window stores; the policy answers whether the load may
+//! proceed this cycle, and from where its data comes. The conventional
+//! machine needs every address fully known; the early (bit-serial)
+//! machine rules stores out slice-by-slice as the paper's Fig. 2
+//! comparator chain does.
+
+use popk_emu::TraceRecord;
+use popk_isa::Op;
+
+/// Byte range `[ea, ea + width)` of a memory reference.
+fn byte_range(rec: &TraceRecord) -> (u32, u32) {
+    let w = rec.insn.op().mem_width().map_or(4, |m| m.bytes());
+    (rec.ea, rec.ea.wrapping_add(w))
+}
+
+/// Do two references touch any common byte?
+pub fn ranges_overlap(a: &TraceRecord, b: &TraceRecord) -> bool {
+    let (a0, a1) = byte_range(a);
+    let (b0, b1) = byte_range(b);
+    a0 < b1 && b0 < a1
+}
+
+/// Does the store's write cover every byte the load reads (so its data
+/// can be forwarded whole)?
+pub fn store_covers_load(store: &TraceRecord, load: &TraceRecord) -> bool {
+    let (s0, s1) = byte_range(store);
+    let (l0, l1) = byte_range(load);
+    s0 <= l0 && l1 <= s1
+}
+
+/// What the disambiguation scan decided for a load that may proceed.
+pub enum ForwardDecision {
+    /// Forward from the store with this sequence number.
+    Forward(u64),
+    /// Speculatively forward from the unique partial-address matcher
+    /// before the full addresses resolve (§5.1 extension).
+    SpecForward(u64),
+    /// No older store conflicts: access the cache.
+    Access,
+}
+
+/// One older in-window store, as the disambiguation scan sees it.
+pub struct StoreProbe {
+    /// The store's dynamic sequence number.
+    pub seq: u64,
+    /// Its trace record (opcode, effective address).
+    pub rec: TraceRecord,
+    /// Low address bits its agen has produced so far.
+    pub known_bits: u32,
+}
+
+/// Decides whether a load may pass the older stores this cycle.
+pub trait DisambigPolicy: Send + Sync {
+    /// Scan the older stores (youngest first) and decide. `None` means
+    /// the load is blocked this cycle and must retry.
+    ///
+    /// `load_known_bits` counts the low address bits the load's own
+    /// agen has produced (the LSQ comparators only see computed bits).
+    fn disambiguate(
+        &self,
+        load: &TraceRecord,
+        load_known_bits: u32,
+        older_stores: &mut dyn Iterator<Item = StoreProbe>,
+    ) -> Option<ForwardDecision>;
+
+    /// Whether this policy can pass stores on *partial* address
+    /// knowledge (used to attribute the `early_disambig_loads` stat).
+    fn exploits_partial_addresses(&self) -> bool {
+        false
+    }
+}
+
+/// The conventional LSQ: a load waits until its own full address and
+/// every older store's full address are known.
+pub struct ConventionalDisambig;
+
+impl DisambigPolicy for ConventionalDisambig {
+    fn disambiguate(
+        &self,
+        load: &TraceRecord,
+        load_known_bits: u32,
+        older_stores: &mut dyn Iterator<Item = StoreProbe>,
+    ) -> Option<ForwardDecision> {
+        let mut forward: Option<u64> = None;
+        for store in older_stores {
+            // Every older store's full address must be known.
+            if store.known_bits < 32 {
+                return None;
+            }
+            if load_known_bits < 32 {
+                return None; // and the load's own
+            }
+            if ranges_overlap(&store.rec, load) {
+                if store_covers_load(&store.rec, load) {
+                    forward = Some(store.seq);
+                    break;
+                }
+                return None; // partial overlap: wait for the store
+            }
+        }
+        Some(match forward {
+            Some(seq) => ForwardDecision::Forward(seq),
+            None => ForwardDecision::Access,
+        })
+    }
+}
+
+/// Early bit-serial disambiguation (Fig. 2): compare the low address
+/// bits both sides know; a mismatch in any common slice rules the store
+/// out before the full addresses exist. With `spec_forward`, a
+/// *unique* partial matcher (word/word only) forwards speculatively and
+/// verifies when the addresses complete (§5.1 extension).
+pub struct EarlyPartialDisambig {
+    /// Enable the §5.1 speculative partial-match forwarding extension.
+    pub spec_forward: bool,
+}
+
+impl DisambigPolicy for EarlyPartialDisambig {
+    fn disambiguate(
+        &self,
+        load: &TraceRecord,
+        load_known_bits: u32,
+        older_stores: &mut dyn Iterator<Item = StoreProbe>,
+    ) -> Option<ForwardDecision> {
+        let load_word = load.ea & !3;
+        let mut forward: Option<u64> = None;
+        let mut partial_matcher: Option<u64> = None;
+        let mut partial_matches = 0u32;
+
+        for store in older_stores {
+            let store_word = store.rec.ea & !3;
+            // Compare the low bits both sides know.
+            let common = load_known_bits.min(store.known_bits);
+            if common == 0 {
+                return None; // store address totally unknown
+            }
+            let mask = if common >= 32 {
+                u32::MAX
+            } else {
+                (1 << common) - 1
+            } & !3;
+            if (load_word ^ store_word) & mask != 0 {
+                continue; // ruled out by partial mismatch
+            }
+            if load_known_bits >= 32 && store.known_bits >= 32 {
+                // Both full addresses known: decide at byte accuracy.
+                if ranges_overlap(&store.rec, load) {
+                    if store_covers_load(&store.rec, load) {
+                        forward = forward.or(Some(store.seq));
+                        break; // youngest covering store wins
+                    }
+                    // Partial overlap: wait until the store retires
+                    // and the bytes land in the cache.
+                    return None;
+                }
+                continue; // same word, disjoint bytes: no dependence
+            }
+            // A partial match with incomplete addresses: §5.1's
+            // extension may speculate on a *unique* matcher —
+            // restricted to word/word pairs, where a partial address
+            // match implies a forwardable full match.
+            if !self.spec_forward || load.insn.op() != Op::Lw || store.rec.insn.op() != Op::Sw {
+                return None;
+            }
+            partial_matches += 1;
+            if partial_matches == 1 {
+                partial_matcher = Some(store.seq);
+            }
+        }
+
+        if forward.is_none() && partial_matches > 0 {
+            debug_assert!(self.spec_forward);
+            return if partial_matches == 1 {
+                // Speculatively treat the unique partial matcher as the
+                // forwarding store; verified when the addresses complete.
+                Some(ForwardDecision::SpecForward(partial_matcher.unwrap()))
+            } else {
+                None // several candidates: wait for full addresses
+            };
+        }
+        Some(match forward {
+            Some(seq) => ForwardDecision::Forward(seq),
+            None => ForwardDecision::Access,
+        })
+    }
+
+    fn exploits_partial_addresses(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popk_isa::{Insn, Reg};
+
+    fn mem_rec(op: Op, ea: u32) -> TraceRecord {
+        let insn = if op.is_load() {
+            Insn::load(op, Reg::gpr(8), 0, Reg::gpr(9))
+        } else {
+            Insn::store(op, Reg::gpr(8), 0, Reg::gpr(9))
+        };
+        TraceRecord {
+            pc: 0x400000,
+            insn,
+            src_vals: [0; 2],
+            results: [0; 2],
+            ea,
+            taken: false,
+            next_pc: 0x400004,
+        }
+    }
+
+    fn probe(seq: u64, op: Op, ea: u32, known_bits: u32) -> StoreProbe {
+        StoreProbe {
+            seq,
+            rec: mem_rec(op, ea),
+            known_bits,
+        }
+    }
+
+    #[test]
+    fn conventional_blocks_on_any_unknown_address() {
+        let p = ConventionalDisambig;
+        let load = mem_rec(Op::Lw, 0x1000_0000);
+        // A store at a wildly different address, but only half known.
+        let mut stores = vec![probe(1, Op::Sw, 0x2000_0000, 16)].into_iter();
+        assert!(p.disambiguate(&load, 32, &mut stores).is_none());
+        // Fully known and disjoint: the load may access the cache.
+        let mut stores = vec![probe(1, Op::Sw, 0x2000_0000, 32)].into_iter();
+        assert!(matches!(
+            p.disambiguate(&load, 32, &mut stores),
+            Some(ForwardDecision::Access)
+        ));
+    }
+
+    #[test]
+    fn early_passes_on_low_slice_mismatch() {
+        let p = EarlyPartialDisambig {
+            spec_forward: false,
+        };
+        let load = mem_rec(Op::Lw, 0x1000_0000);
+        // Low 16 bits differ: ruled out with only one slice known.
+        let mut stores = vec![probe(1, Op::Sw, 0x1000_8000, 16)].into_iter();
+        assert!(matches!(
+            p.disambiguate(&load, 16, &mut stores),
+            Some(ForwardDecision::Access)
+        ));
+        // Low 16 bits equal, upper unknown: blocked without speculation.
+        let mut stores = vec![probe(1, Op::Sw, 0x2000_0000, 16)].into_iter();
+        assert!(p.disambiguate(&load, 16, &mut stores).is_none());
+    }
+
+    #[test]
+    fn unique_partial_match_speculates_when_enabled() {
+        let p = EarlyPartialDisambig { spec_forward: true };
+        let load = mem_rec(Op::Lw, 0x1000_0000);
+        let mut stores = vec![probe(5, Op::Sw, 0x2000_0000, 16)].into_iter();
+        assert!(matches!(
+            p.disambiguate(&load, 16, &mut stores),
+            Some(ForwardDecision::SpecForward(5))
+        ));
+        // Two candidates: ambiguous, wait.
+        let mut stores = vec![
+            probe(5, Op::Sw, 0x2000_0000, 16),
+            probe(3, Op::Sw, 0x3000_0000, 16),
+        ]
+        .into_iter();
+        assert!(p.disambiguate(&load, 16, &mut stores).is_none());
+        // Sub-word stores never speculate.
+        let mut stores = vec![probe(5, Op::Sb, 0x2000_0000, 16)].into_iter();
+        assert!(p.disambiguate(&load, 16, &mut stores).is_none());
+    }
+
+    #[test]
+    fn youngest_covering_store_forwards() {
+        let load = mem_rec(Op::Lw, 0x1000_0000);
+        for policy in [
+            Box::new(ConventionalDisambig) as Box<dyn DisambigPolicy>,
+            Box::new(EarlyPartialDisambig {
+                spec_forward: false,
+            }),
+        ] {
+            // Youngest-first scan: seq 9 is seen before seq 4.
+            let mut stores = vec![
+                probe(9, Op::Sw, 0x1000_0000, 32),
+                probe(4, Op::Sw, 0x1000_0000, 32),
+            ]
+            .into_iter();
+            assert!(matches!(
+                policy.disambiguate(&load, 32, &mut stores),
+                Some(ForwardDecision::Forward(9))
+            ));
+            // A partially overlapping store (sub-word) blocks instead.
+            let mut stores = vec![probe(9, Op::Sb, 0x1000_0001, 32)].into_iter();
+            assert!(policy.disambiguate(&load, 32, &mut stores).is_none());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Pluggable partial-operand policies: the paper's three memory/control
+//! techniques as small strategy traits, selected from [`MachineConfig`]
+//! at simulator construction instead of inline `if` chains in the
+//! pipeline stages.
+//!
+//! Each trait captures one *decision* the paper varies, and nothing
+//! else — the pipeline keeps the mechanism (queues, latencies, events,
+//! statistics) and asks the policy only the question the technique
+//! answers differently:
+//!
+//! * [`DisambigPolicy`] — may this load pass the older stores, and
+//!   should it forward? (Fig. 2: conventional full-address vs. early
+//!   bit-serial disambiguation, plus the §5.1 speculative-forwarding
+//!   extension.)
+//! * [`TagMatchPolicy`] — when may the L1D access start, and with how
+//!   many tag bits? (Fig. 4: full tags vs. partial tag matching with
+//!   MRU way prediction.)
+//! * [`BranchResolvePolicy`] — which result slice resolves a
+//!   conditional branch? (Fig. 6: full-width compare vs. early
+//!   resolution at the first provably-divergent slice.)
+//!
+//! Policies are stateless and consulted per event (per load, per
+//! branch), so a virtual call costs nothing measurable next to the
+//! simulation work it gates.
+
+mod branch;
+mod disambig;
+mod tagmatch;
+
+pub use branch::{BranchResolvePolicy, EarlySliceResolve, FullWidthResolve};
+pub use disambig::{
+    ranges_overlap, store_covers_load, ConventionalDisambig, DisambigPolicy, EarlyPartialDisambig,
+    ForwardDecision, StoreProbe,
+};
+pub use tagmatch::{FullTagMatch, PartialTagMatch, TagMatchPolicy};
+
+use crate::config::{MachineConfig, PipelineKind};
+
+/// The three policy slots of one simulator instance.
+pub(crate) struct PolicySet {
+    /// Load/store disambiguation (Fig. 2).
+    pub(crate) disambig: Box<dyn DisambigPolicy>,
+    /// L1D tag matching (Fig. 4).
+    pub(crate) tag: Box<dyn TagMatchPolicy>,
+    /// Conditional-branch resolution (Fig. 6).
+    pub(crate) branch: Box<dyn BranchResolvePolicy>,
+}
+
+impl PolicySet {
+    /// Select the policy implementations a configuration calls for.
+    ///
+    /// The partial-knowledge policies exist only on the bit-sliced
+    /// machine; `Ideal` and `SimplePipelined` always get the
+    /// conventional set, whatever the toggles say (they have no slices
+    /// to exploit).
+    pub(crate) fn from_config(cfg: &MachineConfig) -> PolicySet {
+        let sliced = cfg.kind == PipelineKind::BitSliced;
+        PolicySet {
+            disambig: if sliced && cfg.opts.early_disambig {
+                Box::new(EarlyPartialDisambig {
+                    spec_forward: cfg.opts.spec_forward,
+                })
+            } else {
+                Box::new(ConventionalDisambig)
+            },
+            tag: if sliced && cfg.opts.partial_tag {
+                Box::new(PartialTagMatch)
+            } else {
+                Box::new(FullTagMatch)
+            },
+            branch: if sliced && cfg.opts.early_branch {
+                Box::new(EarlySliceResolve)
+            } else {
+                Box::new(FullWidthResolve)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Optimizations;
+
+    #[test]
+    fn selection_follows_config() {
+        let full = PolicySet::from_config(&MachineConfig::slice2_full());
+        assert!(full.disambig.exploits_partial_addresses());
+        assert!(full.tag.is_partial());
+        assert!(full.branch.is_early());
+
+        let conv = PolicySet::from_config(&MachineConfig::slice2(Optimizations::level(1)));
+        assert!(!conv.disambig.exploits_partial_addresses());
+        assert!(!conv.tag.is_partial());
+        assert!(!conv.branch.is_early());
+
+        // The ideal machine ignores the toggles: no slices to exploit.
+        let mut ideal = MachineConfig::ideal();
+        ideal.opts = Optimizations::all();
+        let p = PolicySet::from_config(&ideal);
+        assert!(!p.disambig.exploits_partial_addresses());
+        assert!(!p.tag.is_partial());
+        assert!(!p.branch.is_early());
+    }
+}

@@ -1,0 +1,115 @@
+//! L1D tag-match policies (Fig. 4): when may a load's cache access
+//! start, and with how many tag bits in hand?
+//!
+//! The conventional cache needs the complete effective address before it
+//! can index a set, let alone match tags. The partial-tag machine starts
+//! the access as soon as the *set index* is complete, matching whatever
+//! low-order tag bits exist and predicting the way (MRU) among the
+//! remaining candidates; the full tags verify in the background.
+
+use popk_cache::CacheConfig;
+
+/// Decides when a load may index the L1D and how its tags are matched.
+pub trait TagMatchPolicy: Send + Sync {
+    /// May the access start with `known_bits` low address bits
+    /// (`known_slices` of `nslices` operand slices) available?
+    fn index_ready(
+        &self,
+        l1d: &CacheConfig,
+        known_bits: u32,
+        known_slices: usize,
+        nslices: usize,
+    ) -> bool;
+
+    /// Tag bits to probe with, or `None` for an ordinary full-tag
+    /// access. `dis_bits` counts the *computed* (agen) address bits —
+    /// tag bits exist only once the agen produces them, even when a
+    /// sum-addressed decoder supplied the index — while `known_bits`
+    /// counts everything known including the SAM index.
+    fn probe_tag_bits(&self, l1d: &CacheConfig, dis_bits: u32, known_bits: u32) -> Option<u32>;
+
+    /// Whether this policy matches on partial tags (used for stats and
+    /// tests; the conventional policy answers `false`).
+    fn is_partial(&self) -> bool {
+        false
+    }
+}
+
+/// The conventional cache: full address, full tag compare.
+pub struct FullTagMatch;
+
+impl TagMatchPolicy for FullTagMatch {
+    fn index_ready(
+        &self,
+        _l1d: &CacheConfig,
+        _known_bits: u32,
+        known_slices: usize,
+        nslices: usize,
+    ) -> bool {
+        known_slices == nslices
+    }
+
+    fn probe_tag_bits(&self, _l1d: &CacheConfig, _dis_bits: u32, _known_bits: u32) -> Option<u32> {
+        None
+    }
+}
+
+/// Partial tag matching with MRU way prediction (Fig. 4): index as soon
+/// as the set bits are complete, match the tag bits available so far.
+pub struct PartialTagMatch;
+
+impl TagMatchPolicy for PartialTagMatch {
+    fn index_ready(
+        &self,
+        l1d: &CacheConfig,
+        known_bits: u32,
+        _known_slices: usize,
+        _nslices: usize,
+    ) -> bool {
+        l1d.partial_tag_bits(known_bits).is_some()
+    }
+
+    fn probe_tag_bits(&self, l1d: &CacheConfig, dis_bits: u32, known_bits: u32) -> Option<u32> {
+        // With every bit computed there is nothing speculative left; a
+        // partial probe happens only while some tag bits are missing.
+        // The tag bits may lag the index (SAM-supplied index with no
+        // agen output yet): the probe then degenerates to pure MRU way
+        // prediction with zero tag bits.
+        (dis_bits < 32 || known_bits < 32).then(|| l1d.partial_tag_bits(dis_bits).unwrap_or(0))
+    }
+
+    fn is_partial(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_tags_need_every_slice() {
+        let l1d = CacheConfig::l1d_table2();
+        let p = FullTagMatch;
+        assert!(!p.index_ready(&l1d, 16, 1, 2));
+        assert!(p.index_ready(&l1d, 32, 2, 2));
+        assert_eq!(p.probe_tag_bits(&l1d, 16, 16), None);
+        assert!(!p.is_partial());
+    }
+
+    #[test]
+    fn partial_tags_start_once_the_index_is_complete() {
+        let l1d = CacheConfig::l1d_table2(); // index complete at bit 14
+        let p = PartialTagMatch;
+        assert!(!p.index_ready(&l1d, 8, 1, 4));
+        assert!(p.index_ready(&l1d, 16, 1, 2));
+        // Table 2 L1D with 16 bits known: 2 tag bits beyond the index.
+        assert_eq!(p.probe_tag_bits(&l1d, 16, 16), Some(2));
+        // SAM supplied the index but the agen has produced nothing: the
+        // probe is pure MRU way prediction.
+        assert_eq!(p.probe_tag_bits(&l1d, 0, 16), Some(0));
+        // Everything known: no probe, ordinary access.
+        assert_eq!(p.probe_tag_bits(&l1d, 32, 32), None);
+        assert!(p.is_partial());
+    }
+}

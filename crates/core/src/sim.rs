@@ -15,233 +15,33 @@
 //!   memory ops) `dispatch_depth` cycles after fetch; the earliest issue
 //!   is `front_depth` cycles after fetch (Fetch1 … RF2 of Fig. 10).
 //! * **Issue** wakes *slices*: each operand is decomposed per
-//!   [`SliceWidth`], and slice `k` of an instruction issues when its
-//!   source slices are available and its class's inter-slice dependences
-//!   (Fig. 8) are met — a carry edge for arithmetic, none for logic,
-//!   full-width for shifts. Without `partial_bypass` the machine degrades
-//!   to naive EX pipelining: one issue event, result atomic after
-//!   `slice_count` cycles.
+//!   [`SliceWidth`](popk_slice::SliceWidth), and slice `k` of an
+//!   instruction issues when its source slices are available and its
+//!   class's inter-slice dependences (Fig. 8) are met — a carry edge for
+//!   arithmetic, none for logic, full-width for shifts. Without
+//!   `partial_bypass` the machine degrades to naive EX pipelining: one
+//!   issue event, result atomic after `slice_count` cycles.
 //! * **Memory**: loads wait on older-store disambiguation (bit-serial
 //!   with `early_disambig`), access the hierarchy (optionally with a
 //!   partial-tag index + MRU way prediction under `partial_tag`), and
 //!   replay on way mispredicts. Stores write at commit.
 //! * **Commit** retires up to `width` completed instructions in order.
+//!
+//! Each stage lives in its own module under the (private) `pipeline`
+//! directory; the
+//! three paper techniques are pluggable policies in [`crate::policies`],
+//! selected by the [`MachineConfig`]. This module keeps the public
+//! entry points — [`simulate`], [`Simulator::new`], [`Simulator::run`],
+//! [`Simulator::run_timeline`] — at their historical paths.
 
-use crate::config::{MachineConfig, PipelineKind};
-use crate::events::{NullTrace, ReplayReason, StallReason, TraceEvent, TraceSink};
+use crate::config::MachineConfig;
+use crate::events::{NullTrace, TraceSink};
 use crate::stats::SimStats;
 use crate::timeline::{InsnTiming, TimelineBuilder};
-use popk_bpred::{BranchKind, FrontEnd};
-use popk_cache::{Hierarchy, PartialOutcome};
-use popk_emu::{Machine, TraceRecord};
-use popk_isa::{Op, OpClass, Program, Reg, SliceClass};
-use popk_slice::mispredict_detection_bit;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use popk_emu::Machine;
+use popk_isa::Program;
 
-const MAX_SLICES: usize = 4;
-
-/// Calendar-wheel size for the issue wakeup schedule. Almost every wake
-/// is a handful of cycles out (next-cycle retries, ALU/unit latencies);
-/// the rare longer waits (L2 misses) overflow to a heap.
-const WHEEL_SLOTS: u64 = 64;
-
-/// Emit a trace event, stamped with the current cycle. A macro rather
-/// than a method so it can run while a window entry is mutably borrowed:
-/// `self.sink` and `self.cycle` are fields disjoint from `self.window`,
-/// and the whole emission folds away when `S::ENABLED` is false.
-macro_rules! emit {
-    ($self:ident, $ev:expr) => {
-        if S::ENABLED {
-            let cycle = $self.cycle;
-            $self.sink.event(cycle, &$ev);
-        }
-    };
-}
-
-/// How an instruction occupies execution resources.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum ExecClass {
-    /// Sliced integer execution (ALU ops, agen, branch compares).
-    IntSliced,
-    /// Atomic on the (single, unpipelined) multiply/divide unit.
-    MulDiv,
-    /// Atomic on the FP adders (pipelined).
-    FpAdd,
-    /// Atomic on the (single, unpipelined) FP multiply/divide/sqrt unit.
-    FpLong,
-    /// No execution: direct jumps resolve in the front end.
-    Front,
-    /// Serializing (syscall/break).
-    Sys,
-}
-
-#[derive(Clone, Copy)]
-enum Dep {
-    /// Value comes from the committed register state: always ready.
-    Ready,
-    /// Produced by the in-window instruction with this sequence number.
-    InFlight(u64),
-}
-
-#[derive(Clone, Copy)]
-struct MemState {
-    /// Cycle the cache access started, if it has.
-    started: Option<u64>,
-    /// Cycle the loaded data is available to consumers.
-    data_ready: Option<u64>,
-    /// For stores: cycle the store *data* (rt) is fully available.
-    store_data_ready: Option<u64>,
-    /// The load issued past unknown older store addresses on the memory
-    /// dependence predictor's say-so (pending violation check).
-    dep_speculated: bool,
-}
-
-struct Entry {
-    seq: u64,
-    rec: TraceRecord,
-    /// Earliest cycle any slice may issue (end of the front end).
-    earliest_ex: u64,
-    class: ExecClass,
-    slice_class: SliceClass,
-    deps: [Dep; 2],
-    ndeps: usize,
-    /// Issue cycle per slice (or the single issue event for atomic /
-    /// simple-pipelined execution, stored in slot 0).
-    issued: [Option<u64>; MAX_SLICES],
-    /// Cycle each *result slice* becomes available to consumers.
-    ready: [Option<u64>; MAX_SLICES],
-    mem: Option<MemState>,
-    /// For control: cycle the redirect (if any) is known.
-    resolved_at: Option<u64>,
-    mispredicted: bool,
-    /// slt-family: results publish only after the top slice evaluates.
-    late_result: bool,
-    /// Wrong-path phantom (never commits; squashed at redirect).
-    phantom: bool,
-    /// Set once every slice (and memory) is finished.
-    completed_at: Option<u64>,
-    /// Sequence numbers parked on this entry's result: they re-enter the
-    /// wakeup calendar when a result slice is scheduled (published).
-    waiters: Vec<u64>,
-    /// Cached opcode predicates (decoded once at dispatch; these are on
-    /// per-examination hot paths).
-    is_ld: bool,
-    is_st: bool,
-}
-
-/// Byte range `[ea, ea + width)` of a memory reference.
-fn byte_range(rec: &TraceRecord) -> (u32, u32) {
-    let w = rec.insn.op().mem_width().map_or(4, |m| m.bytes());
-    (rec.ea, rec.ea.wrapping_add(w))
-}
-
-/// Do two references touch any common byte?
-fn ranges_overlap(a: &TraceRecord, b: &TraceRecord) -> bool {
-    let (a0, a1) = byte_range(a);
-    let (b0, b1) = byte_range(b);
-    a0 < b1 && b0 < a1
-}
-
-/// Does the store's write cover every byte the load reads (so its data
-/// can be forwarded whole)?
-fn store_covers_load(store: &TraceRecord, load: &TraceRecord) -> bool {
-    let (s0, s1) = byte_range(store);
-    let (l0, l1) = byte_range(load);
-    s0 <= l0 && l1 <= s1
-}
-
-impl Entry {
-    fn is_load(&self) -> bool {
-        self.is_ld
-    }
-    fn is_store(&self) -> bool {
-        self.is_st
-    }
-    fn is_mem(&self) -> bool {
-        self.is_ld || self.is_st
-    }
-
-    /// Result slice `k` availability (`None` = not yet known/scheduled).
-    fn result_ready(&self, k: usize) -> Option<u64> {
-        if self.is_load() {
-            // Loads publish all slices when the data returns.
-            self.mem.as_ref().and_then(|m| m.data_ready)
-        } else {
-            self.ready[k]
-        }
-    }
-
-    /// Availability of the *full* result.
-    fn result_ready_full(&self, nslices: usize) -> Option<u64> {
-        let mut worst = 0u64;
-        for k in 0..nslices {
-            worst = worst.max(self.result_ready(k)?);
-        }
-        Some(worst)
-    }
-}
-
-/// The timing simulator. Use [`simulate`] for the one-call entry point.
-///
-/// Generic over a [`TraceSink`] that observes every pipeline event; the
-/// default [`NullTrace`] compiles all emission out, so `Simulator::new`
-/// is exactly the untraced machine. Use [`Simulator::with_sink`] to
-/// attach a recorder (e.g. [`crate::VecTrace`] or a
-/// [`TimelineBuilder`]).
-pub struct Simulator<S: TraceSink = NullTrace> {
-    cfg: MachineConfig,
-    nslices: usize,
-    slice_bits: u32,
-    frontend: FrontEnd,
-    memory: Hierarchy,
-    stats: SimStats,
-
-    cycle: u64,
-    next_seq: u64,
-    window: VecDeque<Entry>,
-    lsq_occupancy: usize,
-    frontq: VecDeque<(
-        u64,
-        TraceRecord,
-        bool, /*mispredicted*/
-        bool, /*phantom*/
-    )>,
-    /// Sequence number of the in-flight mispredicted control transfer
-    /// fetch is stalled behind, if any.
-    fetch_block: Option<u64>,
-    /// Cycle fetch may next proceed (redirect / icache-miss stalls).
-    fetch_ready_cycle: u64,
-    /// Last I-cache line fetched.
-    last_fetch_line: Option<u32>,
-    /// Per-register producer tracking at dispatch (rename).
-    producer: [Option<u64>; Reg::COUNT],
-    /// Non-pipelined unit reservations.
-    muldiv_busy_until: u64,
-    fp_long_busy_until: u64,
-    /// Memory-dependence predictor: 2-bit confidence per load PC hash
-    /// (3 = confidently conflict-free). Used by `opts.mem_dep_predict`.
-    mem_dep_table: Vec<u8>,
-    /// Wakeup calendar wheel: slot `c % WHEEL_SLOTS` holds the seqs to
-    /// examine at cycle `c`. Issue examines only the entries whose
-    /// wakeup is due instead of rescanning the window. An entry may be
-    /// scheduled more than once (examinations are side-effect-free
-    /// unless the entry actually progresses), and a stale seq —
-    /// squashed, committed, or reused after a squash — is simply a
-    /// harmless extra examination.
-    wheel: Vec<Vec<u64>>,
-    /// Wakeups further than the wheel horizon: `(cycle, seq)` min-heap.
-    far_wakeups: BinaryHeap<Reverse<(u64, u64)>>,
-    /// Scratch buffer for the due candidates, reused across cycles.
-    cand_buf: Vec<u64>,
-    /// In-window store seqs in age order: the disambiguation scans walk
-    /// this instead of the whole window.
-    store_q: VecDeque<u64>,
-    /// In-window load seqs whose cache access has not started yet.
-    pending_loads: Vec<u64>,
-    /// The trace-event consumer (zero-sized and inert by default).
-    sink: S,
-}
+pub use crate::pipeline::Simulator;
 
 /// Run `program` under `cfg` for up to `limit` dynamic instructions and
 /// return the statistics.
@@ -274,78 +74,15 @@ impl Simulator {
 }
 
 impl<S: TraceSink> Simulator<S> {
-    /// Build a simulator that reports pipeline events to `sink`.
-    pub fn with_sink(cfg: &MachineConfig, sink: S) -> Simulator<S> {
-        let nslices = cfg.slice_count();
-        Simulator {
-            cfg: *cfg,
-            nslices,
-            slice_bits: 32 / nslices as u32,
-            frontend: FrontEnd::new(&cfg.frontend),
-            memory: Hierarchy::new(cfg.memory),
-            stats: SimStats::default(),
-            cycle: 0,
-            next_seq: 0,
-            window: VecDeque::with_capacity(cfg.ruu_size),
-            lsq_occupancy: 0,
-            frontq: VecDeque::with_capacity(2 * cfg.width as usize + 8),
-            fetch_block: None,
-            fetch_ready_cycle: 0,
-            last_fetch_line: None,
-            producer: [None; Reg::COUNT],
-            muldiv_busy_until: 0,
-            fp_long_busy_until: 0,
-            // Initialized confident: loads rarely conflict (the MCB
-            // assumption); violations train entries down quickly.
-            mem_dep_table: vec![3; 1024],
-            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
-            far_wakeups: BinaryHeap::new(),
-            cand_buf: Vec::with_capacity(cfg.ruu_size),
-            store_q: VecDeque::with_capacity(cfg.lsq_size),
-            pending_loads: Vec::with_capacity(cfg.lsq_size),
-            sink,
-        }
-    }
-
-    /// Immutable access to the attached sink.
-    pub fn sink(&self) -> &S {
-        &self.sink
-    }
-
-    /// Consume the simulator and return the sink (with whatever it
-    /// recorded).
-    pub fn into_sink(self) -> S {
-        self.sink
-    }
-
-    /// The statistics accumulated so far (final after [`Simulator::run`]).
-    pub fn stats(&self) -> &SimStats {
-        &self.stats
-    }
-
-    /// Snapshot every counter — simulator, front end, and cache
-    /// hierarchy — into a named [`crate::StatsRegistry`].
-    pub fn registry(&self) -> crate::StatsRegistry {
-        let mut r = crate::StatsRegistry::from_sim(&self.stats);
-        r.add_frontend(self.frontend.stats());
-        r.add_cache("l1i", self.memory.l1i().stats());
-        r.add_cache("l1d", self.memory.l1d().stats());
-        r.add_cache("l2", self.memory.l2().stats());
-        r
-    }
-
-    #[inline]
-    fn mem_dep_slot(pc: u32) -> usize {
-        (((pc >> 2) ^ (pc >> 12)) as usize) & 1023
-    }
-
-    /// Execute the run loop.
+    /// Execute the run loop: one call per pipeline stage per cycle, in
+    /// commit-to-fetch order so a value produced this cycle is consumed
+    /// no earlier than the next.
     pub fn run(&mut self, program: &Program, limit: u64) -> SimStats {
         let mut machine = Machine::new(program);
         let mut trace = machine.trace(limit).peekable();
         let mut drained = false;
 
-        while !drained || !self.window.is_empty() || !self.frontq.is_empty() {
+        while !drained || !self.window.is_empty() || !self.feed.is_empty() {
             self.commit();
             self.issue();
             self.memory_stage();
@@ -363,2262 +100,5 @@ impl<S: TraceSink> Simulator<S> {
         }
         self.stats.cycles = self.cycle;
         self.stats
-    }
-
-    // ---- fetch -----------------------------------------------------------
-
-    /// Returns true when the trace is exhausted.
-    fn fetch(&mut self, trace: &mut std::iter::Peekable<popk_emu::Tracer<'_>>) -> bool {
-        // Stall behind an unresolved mispredicted control transfer.
-        if let Some(block_seq) = self.fetch_block {
-            let resolved = if block_seq >= self.next_seq {
-                None // the branch has not even dispatched yet
-            } else {
-                match self.find(block_seq) {
-                    Some(e) => e.resolved_at.filter(|&r| r <= self.cycle),
-                    // Committed (hence resolved): treat as resolved now.
-                    None => Some(self.cycle),
-                }
-            };
-            match resolved {
-                Some(r) => {
-                    self.fetch_block = None;
-                    self.fetch_ready_cycle = self.fetch_ready_cycle.max(r);
-                    if self.cfg.model_wrong_path {
-                        self.squash_wrong_path(block_seq);
-                    }
-                }
-                None => {
-                    self.stats.fetch_redirect_stalls += 1;
-                    emit!(self, TraceEvent::Stall(StallReason::FetchRedirect));
-                    if self.cfg.model_wrong_path {
-                        self.fetch_phantoms();
-                    }
-                    return false;
-                }
-            }
-        }
-        if self.cycle < self.fetch_ready_cycle {
-            return false;
-        }
-        if self.frontq.len() >= self.frontq.capacity().min(32) {
-            return false;
-        }
-
-        for _ in 0..self.cfg.width {
-            let Some(next) = trace.peek() else {
-                return true;
-            };
-            let rec = match next {
-                Ok(r) => *r,
-                Err(e) => panic!("emulation error during timing run: {e}"),
-            };
-            // I-cache: probe on line transitions.
-            let line = rec.pc / self.cfg.memory.l1i.line_bytes;
-            if self.last_fetch_line != Some(line) {
-                let access = self.memory.access_insn(rec.pc);
-                self.last_fetch_line = Some(line);
-                if !access.l1_hit {
-                    // Fetch stalls for the refill; this instruction fetches
-                    // after the line arrives.
-                    self.fetch_ready_cycle = self.cycle + access.latency as u64;
-                    return false;
-                }
-            }
-            let rec = *trace.next().unwrap().as_ref().unwrap();
-
-            // Predict control transfers at fetch.
-            let mut mispredicted = false;
-            let op = rec.insn.op();
-            if op.is_control() {
-                let kind = match op {
-                    Op::J | Op::Jal => BranchKind::DirectJump {
-                        target: rec.next_pc,
-                        is_call: op == Op::Jal,
-                    },
-                    Op::Jr | Op::Jalr => BranchKind::IndirectJump {
-                        is_call: op == Op::Jalr,
-                        is_return: op == Op::Jr && rec.insn.rs() == Reg::RA,
-                    },
-                    _ => BranchKind::Conditional {
-                        target: if rec.taken { rec.next_pc } else { 0 },
-                    },
-                };
-                let pred = self
-                    .frontend
-                    .predict_and_update(rec.pc, kind, rec.taken, rec.next_pc);
-                mispredicted = !pred.correct;
-                if op.is_cond_branch() {
-                    self.stats.branches += 1;
-                    if mispredicted {
-                        self.stats.branch_mispredicts += 1;
-                    }
-                } else if mispredicted {
-                    self.stats.indirect_mispredicts += 1;
-                }
-            }
-
-            self.frontq
-                .push_back((self.cycle, rec, mispredicted, false));
-            if mispredicted {
-                // Correct-path fetch cannot continue until this resolves.
-                self.fetch_block = Some(self.seq_of_frontq_tail());
-                break;
-            }
-            if self.frontq.len() >= 32 {
-                break;
-            }
-        }
-        false
-    }
-
-    /// The sequence number the just-pushed front-queue tail will get.
-    fn seq_of_frontq_tail(&self) -> u64 {
-        self.next_seq + self.frontq.len() as u64 - 1
-    }
-
-    /// Fill fetch bandwidth with wrong-path phantoms while awaiting a
-    /// redirect (they occupy dispatch slots, RUU entries and ALUs, then
-    /// get squashed — the first-order cost of wrong-path execution).
-    fn fetch_phantoms(&mut self) {
-        for _ in 0..self.cfg.width {
-            if self.frontq.len() >= 32 {
-                break;
-            }
-            let nop = TraceRecord {
-                pc: 0,
-                insn: popk_isa::Insn::r3(Op::Addu, Reg::ZERO, Reg::ZERO, Reg::ZERO),
-                src_vals: [0; 2],
-                results: [0; 2],
-                ea: 0,
-                taken: false,
-                next_pc: 4,
-            };
-            self.frontq.push_back((self.cycle, nop, false, true));
-        }
-    }
-
-    /// Drop every wrong-path phantom younger than the resolved branch and
-    /// rewind the sequence counter (phantoms define no registers, so no
-    /// producer cleanup is needed).
-    fn squash_wrong_path(&mut self, branch_seq: u64) {
-        while self
-            .window
-            .back()
-            .is_some_and(|e| e.phantom && e.seq > branch_seq)
-        {
-            let squashed = self.window.pop_back().unwrap();
-            emit!(self, TraceEvent::Squashed { seq: squashed.seq });
-        }
-        self.frontq.retain(|(_, _, _, phantom)| !phantom);
-        self.next_seq = self
-            .window
-            .back()
-            .map(|e| e.seq + 1)
-            .unwrap_or(self.next_seq)
-            .max(branch_seq + 1)
-            .min(self.next_seq);
-    }
-
-    // ---- dispatch --------------------------------------------------------
-
-    fn dispatch(&mut self) {
-        for _ in 0..self.cfg.width {
-            let Some(&(fetch, rec, mispredicted, phantom)) = self.frontq.front() else {
-                return;
-            };
-            if self.cycle < fetch + self.cfg.dispatch_depth {
-                return;
-            }
-            if self.window.len() >= self.cfg.ruu_size {
-                self.stats.ruu_full_stalls += 1;
-                emit!(self, TraceEvent::Stall(StallReason::RuuFull));
-                return;
-            }
-            let op = rec.insn.op();
-            let is_mem = op.is_load() || op.is_store();
-            if is_mem && self.lsq_occupancy >= self.cfg.lsq_size {
-                self.stats.lsq_full_stalls += 1;
-                emit!(self, TraceEvent::Stall(StallReason::LsqFull));
-                return;
-            }
-            // Serialize syscalls: only dispatch into an empty window.
-            if matches!(op.class(), OpClass::Sys) && !self.window.is_empty() && !phantom {
-                return;
-            }
-            self.frontq.pop_front();
-
-            let seq = self.next_seq;
-            self.next_seq += 1;
-
-            let mut deps = [Dep::Ready; 2];
-            let mut ndeps = 0;
-            for r in rec.insn.uses().iter() {
-                deps[ndeps] = match self.producer[r.index()] {
-                    Some(p) if !r.is_zero() => Dep::InFlight(p),
-                    _ => Dep::Ready,
-                };
-                ndeps += 1;
-            }
-            for r in rec.insn.defs().iter() {
-                self.producer[r.index()] = Some(seq);
-            }
-
-            let class = match op.class() {
-                OpClass::MulDiv => ExecClass::MulDiv,
-                OpClass::Fp => match op {
-                    Op::AddS | Op::SubS | Op::CvtSW | Op::CvtWS => ExecClass::FpAdd,
-                    _ => ExecClass::FpLong,
-                },
-                OpClass::Sys => ExecClass::Sys,
-                OpClass::Jump => match op {
-                    Op::J | Op::Jal => ExecClass::Front,
-                    _ => ExecClass::IntSliced, // jr/jalr read a register
-                },
-                _ => ExecClass::IntSliced,
-            };
-            // beq/bne compare slices independently (equality); the
-            // sign-testing branches carry-chain (subtract + sign).
-            let slice_class = match op {
-                Op::Beq | Op::Bne => SliceClass::Independent,
-                _ => op.slice_class(),
-            };
-            // Set-less-than results depend on the *entire* comparison, so
-            // no slice of the output exists before the top slice runs.
-            let late_result = matches!(op, Op::Slt | Op::Sltu | Op::Slti | Op::Sltiu);
-
-            let mut entry = Entry {
-                seq,
-                rec,
-                earliest_ex: fetch + self.cfg.front_depth,
-                class,
-                slice_class,
-                deps,
-                ndeps,
-                issued: [None; MAX_SLICES],
-                ready: [None; MAX_SLICES],
-                mem: is_mem.then_some(MemState {
-                    started: None,
-                    data_ready: None,
-                    store_data_ready: None,
-                    dep_speculated: false,
-                }),
-                resolved_at: None,
-                mispredicted,
-                late_result,
-                phantom,
-                completed_at: None,
-                waiters: Vec::new(),
-                is_ld: op.is_load(),
-                is_st: op.is_store(),
-            };
-            if class == ExecClass::Front {
-                // Direct jumps: the front end computes the target; the RA
-                // result (jal) is available as soon as the entry exists.
-                entry.resolved_at = Some(fetch + self.cfg.dispatch_depth);
-                entry.completed_at = Some(entry.earliest_ex);
-            }
-            if is_mem {
-                self.lsq_occupancy += 1;
-                if op.is_store() {
-                    self.store_q.push_back(seq);
-                } else {
-                    self.pending_loads.push(seq);
-                }
-            }
-            emit!(
-                self,
-                TraceEvent::Dispatched {
-                    seq,
-                    pc: rec.pc,
-                    insn: rec.insn,
-                    fetch
-                }
-            );
-            self.window.push_back(entry);
-            if class == ExecClass::Front {
-                let idx = self.window.len() - 1;
-                self.publish_all_slices(idx, fetch + self.cfg.dispatch_depth, IssueMark::None);
-                if S::ENABLED {
-                    let e = &self.window[idx];
-                    let (resolved_at, completed_at) =
-                        (e.resolved_at.unwrap(), e.completed_at.unwrap());
-                    emit!(
-                        self,
-                        TraceEvent::BranchResolved {
-                            seq,
-                            at: resolved_at,
-                            early: false,
-                            mispredicted,
-                        }
-                    );
-                    emit!(
-                        self,
-                        TraceEvent::Completed {
-                            seq,
-                            at: completed_at
-                        }
-                    );
-                }
-            } else {
-                // First examination at the end of the front end.
-                self.wake_at(seq, fetch + self.cfg.front_depth);
-            }
-        }
-    }
-
-    // ---- issue -----------------------------------------------------------
-
-    /// Per-cycle issue of slices (or whole atomic operations).
-    ///
-    /// Event-driven: instead of rescanning the whole window, only
-    /// entries with a due calendar wakeup are examined. An examination
-    /// runs exactly the per-entry logic of an exhaustive scan and is
-    /// side-effect-free unless the entry actually progresses, so
-    /// behaviour is bit-identical provided the schedule is *sound*:
-    /// every entry that would progress this cycle under a full rescan
-    /// must be among the candidates (each blocked examination records a
-    /// wake no later than its blocker can clear). Candidates are sorted
-    /// by sequence number — window (age) order — so ALU-slot contention
-    /// also resolves identically.
-    fn issue(&mut self) {
-        let mut int_used = [0usize; MAX_SLICES];
-        let mut fp_used = 0usize;
-        let mut cands = std::mem::take(&mut self.cand_buf);
-        cands.clear();
-        // Swap this cycle's wheel slot out (the emptied scratch buffer
-        // becomes the slot's fresh backing storage).
-        let slot = (self.cycle % WHEEL_SLOTS) as usize;
-        std::mem::swap(&mut cands, &mut self.wheel[slot]);
-        while let Some(&Reverse((due, seq))) = self.far_wakeups.peek() {
-            if due > self.cycle {
-                break;
-            }
-            self.far_wakeups.pop();
-            cands.push(seq);
-        }
-        cands.sort_unstable();
-        cands.dedup();
-        for &seq in &cands {
-            if let Some(idx) = self.index_of(seq) {
-                self.examine(idx, &mut int_used, &mut fp_used);
-            }
-        }
-        self.cand_buf = cands;
-    }
-
-    /// Examine one window entry for issue progress — the body of the
-    /// old per-entry rescan. On failure to progress, schedules a sound
-    /// re-examination point (a future wake or a producer's waiter
-    /// list).
-    fn examine(&mut self, idx: usize, int_used: &mut [usize; MAX_SLICES], fp_used: &mut usize) {
-        let entry = &self.window[idx];
-        if entry.completed_at.is_some() {
-            return;
-        }
-        let seq = entry.seq;
-        let earliest_ex = entry.earliest_ex;
-        let class = entry.class;
-        if self.cycle < earliest_ex {
-            self.wake_at(seq, earliest_ex);
-            return;
-        }
-        let nslices = self.nslices;
-        match class {
-            ExecClass::Front => {}
-            ExecClass::Sys => {
-                if idx == 0 && entry.issued[0].is_none() {
-                    let done = self.cycle + 1;
-                    self.publish_all_slices(idx, done, IssueMark::Slot0);
-                    self.window[idx].completed_at = Some(done);
-                    emit!(self, TraceEvent::Completed { seq, at: done });
-                } else if entry.issued[0].is_none() {
-                    // Not at the window head yet: poll until it is.
-                    self.wake_at(seq, self.cycle + 1);
-                }
-            }
-            ExecClass::MulDiv | ExecClass::FpAdd | ExecClass::FpLong => {
-                if entry.issued[0].is_some() {
-                    self.finish_if_done(idx);
-                    return;
-                }
-                if !self.all_sources_ready(idx) {
-                    self.block_on_sources(idx);
-                    return;
-                }
-                let op = entry.rec.insn.op();
-                let (latency, ok, retry) = match class {
-                    ExecClass::MulDiv => {
-                        let lat = match op {
-                            Op::Div | Op::Divu => self.cfg.div_latency,
-                            Op::Mult | Op::Multu => self.cfg.mult_latency,
-                            _ => 1, // mfhi/mflo/mthi/mtlo
-                        };
-                        let free = self.muldiv_busy_until <= self.cycle
-                            || matches!(op, Op::Mfhi | Op::Mflo | Op::Mthi | Op::Mtlo);
-                        (lat, free, self.muldiv_busy_until)
-                    }
-                    ExecClass::FpAdd => (
-                        self.cfg.fp_latency,
-                        *fp_used < self.cfg.fp_alus as usize,
-                        self.cycle + 1,
-                    ),
-                    ExecClass::FpLong => {
-                        let lat = match op {
-                            Op::MulS => self.cfg.fp_mul_latency,
-                            Op::SqrtS => self.cfg.fp_sqrt_latency,
-                            _ => self.cfg.fp_div_latency,
-                        };
-                        (
-                            lat,
-                            self.fp_long_busy_until <= self.cycle,
-                            self.fp_long_busy_until,
-                        )
-                    }
-                    _ => unreachable!(),
-                };
-                if !ok {
-                    // Unit busy (or FP slots full): the reservation can
-                    // extend in the meantime, in which case the retry
-                    // re-blocks and reschedules again.
-                    self.wake_at(seq, retry.max(self.cycle + 1));
-                    return;
-                }
-                match class {
-                    ExecClass::MulDiv => {
-                        if matches!(op, Op::Mult | Op::Multu | Op::Div | Op::Divu) {
-                            self.muldiv_busy_until = self.cycle + latency;
-                        }
-                    }
-                    ExecClass::FpAdd => *fp_used += 1,
-                    ExecClass::FpLong => self.fp_long_busy_until = self.cycle + latency,
-                    _ => {}
-                }
-                let done = self.cycle + latency;
-                self.publish_all_slices(idx, done, IssueMark::Slot0);
-                self.finish_if_done(idx);
-            }
-            ExecClass::IntSliced => {
-                if !self.effective_bypass() {
-                    // Naive pipelining: single issue event, result
-                    // atomic after `nslices` cycles.
-                    if self.window[idx].issued[0].is_none() {
-                        if int_used[0] >= self.cfg.int_alus.min(self.cfg.width) as usize {
-                            self.wake_at(seq, self.cycle + 1);
-                        } else if !self.all_sources_ready(idx) {
-                            self.block_on_sources(idx);
-                        } else {
-                            let done = self.cycle
-                                + match self.cfg.kind {
-                                    PipelineKind::Ideal => 1,
-                                    _ => nslices as u64,
-                                };
-                            int_used[0] += 1;
-                            self.publish_all_slices(idx, done, IssueMark::AllSlices);
-                        }
-                    }
-                } else {
-                    self.examine_sliced(idx, int_used);
-                }
-                self.resolve_branch_if_possible(idx);
-                self.update_store_data(idx);
-                self.finish_if_done(idx);
-                self.reschedule_pending(idx);
-            }
-        }
-    }
-
-    /// The bit-sliced issue path: try to issue (at most) one slice this
-    /// cycle, exactly as the exhaustive scan would. If nothing issues,
-    /// park the entry on its blockers.
-    fn examine_sliced(&mut self, idx: usize, int_used: &mut [usize; MAX_SLICES]) {
-        let nslices = self.nslices;
-        let seq = self.window[idx].seq;
-        let mut retry: Option<u64> = None;
-        let mut on_publish: [Option<u64>; 2] = [None; 2];
-        {
-            // Bit-sliced issue: wake slices independently, but
-            // at most one slice of an instruction per cycle —
-            // the Fig. 10 EX1/EX2 staging (each RUU entry has
-            // one select port; slices occupy successive narrow
-            // stages).
-            #[allow(clippy::needless_range_loop)] // int_used is
-            // indexed by slice position, not iterated
-            for k in 0..nslices {
-                if self.window[idx].issued[k].is_some() {
-                    continue;
-                }
-                if int_used[k] >= self.cfg.int_alus.min(self.cfg.width) as usize {
-                    // ALU slot contention: the slots refill next cycle.
-                    retry = Some(retry.map_or(self.cycle + 1, |t| t.min(self.cycle + 1)));
-                    continue;
-                }
-                if !self.slice_can_issue(idx, k) {
-                    match self.slice_block(idx, k) {
-                        Some(Block::Until(t)) => {
-                            retry = Some(retry.map_or(t, |r| r.min(t)));
-                        }
-                        Some(Block::OnPublish(p)) if !on_publish.contains(&Some(p)) => {
-                            let slot = usize::from(on_publish[0].is_some());
-                            on_publish[slot] = Some(p);
-                        }
-                        Some(Block::OnPublish(_)) => {}
-                        // Blocked on this entry's own earlier slice: its
-                        // issue reschedules the entry for the next cycle.
-                        None => {}
-                    }
-                    continue;
-                }
-                int_used[k] += 1;
-                // Snapshot of the result schedule, both for event diffing
-                // (the late/narrow special cases below rewrite `ready`
-                // slots) and to decide whether anything was published.
-                let before_ready = self.window[idx].ready;
-                let late = self.window[idx].late_result;
-                let narrow_publish = k == 0
-                    && !late
-                    && self.cfg.opts.narrow_operands
-                    && !self.window[idx].is_mem()
-                    && !self.window[idx].rec.insn.defs().is_empty()
-                    && Self::value_is_narrow(self.window[idx].rec.results[0], self.slice_bits);
-                let e = &mut self.window[idx];
-                e.issued[k] = Some(self.cycle);
-                e.ready[k] = Some(self.cycle + 1);
-                if narrow_publish && e.slice_class != SliceClass::Atomic {
-                    // Significance compression (§6 extension +
-                    // ref [6]): a narrow result's upper slices
-                    // are its sign bits — publish them with
-                    // slice 0 and skip their execution.
-                    self.stats.narrow_wakeups += 1;
-                    emit!(self, TraceEvent::NarrowWakeup { seq: e.seq });
-                    for j in 1..nslices {
-                        e.issued[j] = Some(self.cycle);
-                        e.ready[j] = Some(self.cycle + 1);
-                    }
-                }
-                if e.slice_class == SliceClass::Atomic {
-                    // Atomic ops (jr/jalr) issue once and
-                    // publish every slice together.
-                    for j in 0..nslices {
-                        e.issued[j] = Some(self.cycle);
-                        e.ready[j] = Some(self.cycle + 1);
-                    }
-                } else if late {
-                    // slt-family: every result slice is a
-                    // function of the full comparison, so
-                    // nothing publishes until the top slice
-                    // has evaluated.
-                    if e.issued.iter().take(nslices).all(|i| i.is_some()) {
-                        for j in 0..nslices {
-                            e.ready[j] = Some(self.cycle + 1);
-                        }
-                    } else {
-                        e.ready[k] = None;
-                    }
-                }
-                if S::ENABLED {
-                    // Emit exactly what changed: every slice
-                    // issued this cycle (the narrow/atomic
-                    // paths issue several at once) and every
-                    // ready-slot the special cases rewrote.
-                    let e = &self.window[idx];
-                    for j in 0..nslices {
-                        if e.issued[j] == Some(self.cycle) {
-                            emit!(
-                                self,
-                                TraceEvent::SliceIssued {
-                                    seq: e.seq,
-                                    slice: j as u8
-                                }
-                            );
-                        }
-                        if e.ready[j] != before_ready[j] {
-                            if let Some(at) = e.ready[j] {
-                                emit!(
-                                    self,
-                                    TraceEvent::SliceReady {
-                                        seq: e.seq,
-                                        slice: j as u8,
-                                        at,
-                                    }
-                                );
-                            }
-                        }
-                    }
-                }
-                // One slice per entry per cycle. Publish: every result
-                // slot this path schedules is set to `cycle + 1`, so any
-                // newly scheduled slot wakes the waiters then. (The late
-                // non-final case reverts its slot to `None` — no change,
-                // nothing published.)
-                let e = &self.window[idx];
-                if (0..nslices).any(|j| e.ready[j].is_some() && e.ready[j] != before_ready[j]) {
-                    self.wake_waiters(idx, self.cycle + 1);
-                }
-                return;
-            }
-        }
-        // Nothing issued: park on the recorded blockers.
-        for p in on_publish.into_iter().flatten() {
-            self.wait_on(seq, p);
-        }
-        if let Some(t) = retry {
-            self.wake_at(seq, t.max(self.cycle + 1));
-        }
-    }
-
-    /// After an examination of a sliced entry, schedule whatever it is
-    /// still waiting on that the issue paths themselves don't cover: the
-    /// next slice after one issued this cycle, and a store's pending
-    /// data operand.
-    fn reschedule_pending(&mut self, idx: usize) {
-        let entry = &self.window[idx];
-        if entry.completed_at.is_some() {
-            return;
-        }
-        let seq = entry.seq;
-        // A slice issued this cycle: the next slice (or a slice that lost
-        // ALU arbitration to it) becomes eligible next cycle.
-        let issued_now = entry
-            .issued
-            .iter()
-            .take(self.nslices)
-            .any(|c| *c == Some(self.cycle));
-        let store_data_pending =
-            entry.is_store() && entry.mem.as_ref().unwrap().store_data_ready.is_none();
-        if issued_now {
-            self.wake_at(seq, self.cycle + 1);
-        }
-        if store_data_pending {
-            match self.store_data_dep(idx) {
-                Dep::InFlight(p) => match self.find(p) {
-                    Some(prod) => match prod.result_ready_full(self.nslices) {
-                        Some(r) => {
-                            let at = r.max(self.cycle + 1);
-                            self.wake_at(seq, at);
-                        }
-                        None => self.wait_on(seq, p),
-                    },
-                    // Producer committed: the next examination resolves.
-                    None => self.wake_at(seq, self.cycle + 1),
-                },
-                // Register-file data reads by `earliest_ex`, which has
-                // passed — `update_store_data` handles it this very
-                // examination, so this arm is unreachable; poll if not.
-                Dep::Ready => self.wake_at(seq, self.cycle + 1),
-            }
-        }
-    }
-
-    /// O(1) window position of `seq` (seqs are contiguous in the window).
-    fn index_of(&self, seq: u64) -> Option<usize> {
-        let head = self.window.front()?.seq;
-        if seq < head {
-            return None; // committed
-        }
-        let off = (seq - head) as usize;
-        (off < self.window.len()).then_some(off)
-    }
-
-    /// Schedule an examination of `seq` at cycle `at` (clamped to the
-    /// next issue opportunity — a wake for the past means "as soon as
-    /// possible").
-    #[inline]
-    fn wake_at(&mut self, seq: u64, at: u64) {
-        let at = at.max(self.cycle + 1);
-        if at - self.cycle <= WHEEL_SLOTS {
-            self.wheel[(at % WHEEL_SLOTS) as usize].push(seq);
-        } else {
-            self.far_wakeups.push(Reverse((at, seq)));
-        }
-    }
-
-    /// Park `seq` on the waiter list of the in-window producer `pseq`:
-    /// it re-enters the calendar when the producer publishes a result
-    /// slice.
-    fn wait_on(&mut self, seq: u64, pseq: u64) {
-        match self.index_of(pseq) {
-            Some(pi) => {
-                let w = &mut self.window[pi].waiters;
-                if !w.contains(&seq) {
-                    w.push(seq);
-                }
-            }
-            // Producer already committed — its value is ready; retry.
-            None => self.wake_at(seq, self.cycle + 1),
-        }
-    }
-
-    /// Wake everything parked on `window[idx]`'s result at cycle `at`.
-    fn wake_waiters(&mut self, idx: usize, at: u64) {
-        // Swap the list out so the heap pushes don't fight the window
-        // borrow; hand the (cleared) allocation back for reuse.
-        let mut ws = std::mem::take(&mut self.window[idx].waiters);
-        for &w in &ws {
-            self.wake_at(w, at);
-        }
-        ws.clear();
-        self.window[idx].waiters = ws;
-    }
-
-    /// Shared tail of every all-slices-at-once scheduling path
-    /// (serialized ops, the atomic functional units, atomic-operand
-    /// pipelines, front-end-resolved jumps): mark the issue slots per
-    /// `mark`, schedule every result slice at `done`, emit the matching
-    /// events in each path's original order, and wake the waiters.
-    fn publish_all_slices(&mut self, idx: usize, done: u64, mark: IssueMark) {
-        let nslices = self.nslices;
-        let e = &mut self.window[idx];
-        let seq = e.seq;
-        match mark {
-            IssueMark::None => {}
-            IssueMark::Slot0 => e.issued[0] = Some(self.cycle),
-            IssueMark::AllSlices => {
-                for k in 0..nslices {
-                    e.issued[k] = Some(self.cycle);
-                }
-            }
-        }
-        for k in 0..nslices {
-            e.ready[k] = Some(done);
-        }
-        if S::ENABLED {
-            if mark == IssueMark::Slot0 {
-                emit!(self, TraceEvent::SliceIssued { seq, slice: 0 });
-            }
-            for k in 0..nslices {
-                if mark == IssueMark::AllSlices {
-                    emit!(
-                        self,
-                        TraceEvent::SliceIssued {
-                            seq,
-                            slice: k as u8
-                        }
-                    );
-                }
-                emit!(
-                    self,
-                    TraceEvent::SliceReady {
-                        seq,
-                        slice: k as u8,
-                        at: done
-                    }
-                );
-            }
-        }
-        self.wake_waiters(idx, done);
-    }
-
-    /// Record why not every source slice of `window[idx]` is ready: the
-    /// first busy source slice yields either a known future cycle or a
-    /// producer to wait on.
-    fn block_on_sources(&mut self, idx: usize) {
-        let seq = self.window[idx].seq;
-        for k in 0..self.nslices {
-            if let Some(b) = self.source_block(idx, k) {
-                self.apply_block(seq, b);
-                return;
-            }
-        }
-        // Sources ready after all (caller raced a same-cycle state
-        // change): just retry.
-        self.wake_at(seq, self.cycle + 1);
-    }
-
-    /// Why slice `k` of some source of `window[idx]` is unavailable this
-    /// cycle, if it is.
-    fn source_block(&self, idx: usize, k: usize) -> Option<Block> {
-        let entry = &self.window[idx];
-        for d in 0..entry.ndeps {
-            if let Dep::InFlight(pseq) = entry.deps[d] {
-                if let Some(p) = self.find(pseq) {
-                    match p.result_ready(k) {
-                        Some(r) if r <= self.cycle => {}
-                        Some(r) => return Some(Block::Until(r)),
-                        None => return Some(Block::OnPublish(pseq)),
-                    }
-                }
-                // Producer committed → ready.
-            }
-        }
-        None
-    }
-
-    fn apply_block(&mut self, seq: u64, b: Block) {
-        match b {
-            Block::Until(t) => self.wake_at(seq, t.max(self.cycle + 1)),
-            Block::OnPublish(p) => self.wait_on(seq, p),
-        }
-    }
-
-    /// Why `slice_can_issue(idx, k)` is false — `None` when the blocker
-    /// is this entry's own earlier slice, whose eventual issue already
-    /// reschedules the entry.
-    fn slice_block(&self, idx: usize, k: usize) -> Option<Block> {
-        let entry = &self.window[idx];
-        let in_order_gate = match entry.slice_class {
-            SliceClass::CarryChained | SliceClass::CrossSlice => k > 0,
-            SliceClass::Independent => !self.cfg.opts.ooo_slices && k > 0,
-            SliceClass::Atomic => false,
-        };
-        if in_order_gate {
-            match entry.issued[k - 1] {
-                Some(c) if c < self.cycle => {}
-                Some(_) => return Some(Block::Until(self.cycle + 1)),
-                None => return None, // cascades off the earlier slice
-            }
-        }
-        match entry.slice_class {
-            SliceClass::CarryChained | SliceClass::Independent => self.source_block(idx, k),
-            SliceClass::CrossSlice => (0..self.nslices).find_map(|j| self.source_block(idx, j)),
-            SliceClass::Atomic => {
-                if k != 0 {
-                    return None; // only slot 0 ever issues
-                }
-                (0..self.nslices).find_map(|j| self.source_block(idx, j))
-            }
-        }
-    }
-
-    /// Which dependence slot carries a store's *data* operand (rt).
-    fn store_data_dep(&self, idx: usize) -> Dep {
-        let entry = &self.window[idx];
-        // The store's data register is its second source (rt); base is
-        // rs. `uses()` yields [rs, rt] unless they dedup.
-        let uses = entry.rec.insn.uses();
-        let data_reg = entry.rec.insn.rt();
-        let mut which = 0;
-        for (i, r) in uses.iter().enumerate() {
-            if r == data_reg {
-                which = i;
-            }
-        }
-        entry.deps[which]
-    }
-
-    fn effective_bypass(&self) -> bool {
-        match self.cfg.kind {
-            PipelineKind::Ideal => false, // single slice; irrelevant
-            PipelineKind::SimplePipelined => false,
-            PipelineKind::BitSliced => self.cfg.opts.partial_bypass,
-        }
-    }
-
-    /// Are all slices of every source available by this cycle?
-    fn all_sources_ready(&self, idx: usize) -> bool {
-        (0..self.nslices).all(|k| self.sources_ready_at_slice(idx, k))
-    }
-
-    /// Is slice `k` of every source of `window[idx]` available? (Narrow
-    /// producers publish their upper slices early at their own issue, so
-    /// no consumer-side special case is needed.)
-    fn sources_ready_at_slice(&self, idx: usize, k: usize) -> bool {
-        let entry = &self.window[idx];
-        for d in 0..entry.ndeps {
-            if let Dep::InFlight(pseq) = entry.deps[d] {
-                if let Some(p) = self.find(pseq) {
-                    match p.result_ready(k) {
-                        Some(r) if r <= self.cycle => {}
-                        _ => return false,
-                    }
-                }
-                // Producer committed → ready.
-            }
-        }
-        true
-    }
-
-    /// A value is "narrow" when it is the sign- or zero-extension of its
-    /// low slice (so all upper slices are all-zeros or all-ones).
-    fn value_is_narrow(v: u32, slice_bits: u32) -> bool {
-        let shifted = (v as i32) >> (slice_bits - 1);
-        shifted == 0 || shifted == -1 || v >> slice_bits == 0
-    }
-
-    /// Readiness of slice `k` under the Fig. 8 inter-slice rules.
-    fn slice_can_issue(&self, idx: usize, k: usize) -> bool {
-        let entry = &self.window[idx];
-        debug_assert!(entry.issued[k].is_none());
-        match entry.slice_class {
-            SliceClass::CarryChained => {
-                // Needs the carry from slice k-1 (issued a cycle earlier)
-                // and slice k of each source.
-                if k > 0 {
-                    match entry.issued[k - 1] {
-                        Some(c) if c < self.cycle => {}
-                        _ => return false,
-                    }
-                }
-                self.sources_ready_at_slice(idx, k)
-            }
-            SliceClass::Independent => {
-                if !self.cfg.opts.ooo_slices && k > 0 {
-                    match entry.issued[k - 1] {
-                        Some(c) if c < self.cycle => {}
-                        _ => return false,
-                    }
-                }
-                self.sources_ready_at_slice(idx, k)
-            }
-            SliceClass::CrossSlice => {
-                // Shifts: all source slices, slices in order.
-                if k > 0 {
-                    match entry.issued[k - 1] {
-                        Some(c) if c < self.cycle => {}
-                        _ => return false,
-                    }
-                }
-                (0..self.nslices).all(|j| self.sources_ready_at_slice(idx, j))
-            }
-            SliceClass::Atomic => {
-                // jr/jalr and friends: single issue when fully ready.
-                k == 0 && self.all_sources_ready(idx)
-            }
-        }
-    }
-
-    fn find(&self, seq: u64) -> Option<&Entry> {
-        let head = self.window.front()?.seq;
-        if seq < head {
-            return None; // committed
-        }
-        self.window.get((seq - head) as usize)
-    }
-
-    /// Record branch resolution (redirect release) once enough slices have
-    /// finished.
-    fn resolve_branch_if_possible(&mut self, idx: usize) {
-        let entry = &self.window[idx];
-        if entry.resolved_at.is_some() {
-            return;
-        }
-        let op = entry.rec.insn.op();
-        if !op.is_control() {
-            return;
-        }
-        let nslices = self.nslices;
-        if matches!(op, Op::Jr | Op::Jalr) {
-            // Atomic: resolved one cycle after issue.
-            if let Some(c) = entry.issued[0] {
-                let (seq, mispredicted) = (entry.seq, entry.mispredicted);
-                self.window[idx].resolved_at = Some(c + 1);
-                emit!(
-                    self,
-                    TraceEvent::BranchResolved {
-                        seq,
-                        at: c + 1,
-                        early: false,
-                        mispredicted
-                    }
-                );
-            }
-            return;
-        }
-        let Some(cond) = op.branch_cond() else { return };
-
-        let resolve_slice = if entry.mispredicted
-            && self.cfg.kind == PipelineKind::BitSliced
-            && self.cfg.opts.early_branch
-            && cond.early_resolvable()
-        {
-            // Resolve operand values by register so `beq rX, rX` (whose
-            // use set dedups) still sees both sides correctly.
-            let rs = entry.rec.src_vals[0];
-            let rt = entry.rec.src_val(entry.rec.insn.rt()).unwrap_or(0);
-            // predicted = !actual since mispredicted.
-            let bits = mispredict_detection_bit(cond, rs, rt, !entry.rec.taken)
-                .expect("mispredicted branch must be detectable");
-            (((bits.max(1) - 1) / self.slice_bits) as usize).min(nslices - 1)
-        } else {
-            nslices - 1
-        };
-
-        // With independent equality slices, detection needs only the
-        // divergent slice; otherwise every slice up to it.
-        let needed_done: Option<u64> = if cond.early_resolvable() {
-            self.window[idx].ready[resolve_slice]
-        } else {
-            let e = &self.window[idx];
-            (0..=resolve_slice)
-                .map(|k| e.ready[k])
-                .try_fold(0u64, |acc, r| r.map(|v| acc.max(v)))
-        };
-        if let Some(done) = needed_done {
-            let e = &mut self.window[idx];
-            e.resolved_at = Some(done);
-            let early = e.mispredicted && resolve_slice < nslices - 1;
-            if early {
-                self.stats.early_branch_resolves += 1;
-                // Savings estimate: remaining slices would each have taken
-                // at least one more cycle.
-                self.stats.early_branch_cycles_saved += (nslices - 1 - resolve_slice) as u64;
-            }
-            let (seq, mispredicted) = (e.seq, e.mispredicted);
-            emit!(
-                self,
-                TraceEvent::BranchResolved {
-                    seq,
-                    at: done,
-                    early,
-                    mispredicted
-                }
-            );
-        }
-    }
-
-    /// Track when a store's data operand becomes fully available.
-    fn update_store_data(&mut self, idx: usize) {
-        let entry = &self.window[idx];
-        if !entry.is_store() {
-            return;
-        }
-        if entry.mem.as_ref().unwrap().store_data_ready.is_some() {
-            return;
-        }
-        let ready = match self.store_data_dep(idx) {
-            // Register-file values are read by RF2 at the latest.
-            Dep::Ready => Some(entry.earliest_ex),
-            Dep::InFlight(p) => match self.find(p) {
-                Some(prod) => prod.result_ready_full(self.nslices),
-                None => Some(self.cycle),
-            },
-        };
-        if let Some(r) = ready {
-            if r <= self.cycle {
-                self.window[idx].mem.as_mut().unwrap().store_data_ready = Some(r.max(1));
-            }
-        }
-    }
-
-    /// Mark the entry complete when every obligation is met.
-    fn finish_if_done(&mut self, idx: usize) {
-        let nslices = self.nslices;
-        let entry = &self.window[idx];
-        if entry.completed_at.is_some() {
-            return;
-        }
-        let mut done = 0u64;
-        for k in 0..nslices {
-            match entry.ready[k] {
-                Some(r) => done = done.max(r),
-                None => return,
-            }
-        }
-        if let Some(m) = &entry.mem {
-            if entry.rec.insn.op().is_load() {
-                match m.data_ready {
-                    Some(r) => done = done.max(r),
-                    None => return,
-                }
-            } else {
-                match m.store_data_ready {
-                    Some(r) => done = done.max(r),
-                    None => return,
-                }
-            }
-        }
-        if entry.rec.insn.op().is_control() {
-            match entry.resolved_at {
-                Some(r) => done = done.max(r),
-                None => return,
-            }
-        }
-        let seq = entry.seq;
-        self.window[idx].completed_at = Some(done);
-        emit!(self, TraceEvent::Completed { seq, at: done });
-    }
-
-    // ---- memory ----------------------------------------------------------
-
-    /// Start load accesses whose constraints have cleared.
-    ///
-    /// Walks only the loads that have not started (in age order) rather
-    /// than the whole window; loads re-check their constraints every
-    /// cycle, so no wakeup bookkeeping is needed here.
-    fn memory_stage(&mut self) {
-        let mut ports_used = 0u32;
-        let mut any_started = false;
-        // Detach the pending-load list so the loop can mutate the window
-        // (dispatch refills the list later in the cycle, after this
-        // stage runs, so it cannot grow underneath the loop).
-        let mut pending = std::mem::take(&mut self.pending_loads);
-        for &seq in &pending {
-            if ports_used >= self.cfg.mem_ports {
-                break;
-            }
-            let Some(idx) = self.index_of(seq) else {
-                continue;
-            };
-            let entry = &self.window[idx];
-            debug_assert!(entry.is_load() && entry.mem.as_ref().unwrap().started.is_none());
-            let bit_sliced = self.cfg.kind == PipelineKind::BitSliced;
-            // How many low address bits are known right now? The agen
-            // produces them; sum-addressed decode (§5.2 → \[18\]) can read
-            // them straight from the base-register slices.
-            let agen_known = self.agen_slices_known(idx);
-            let mut known_slices = agen_known;
-            let mut via_sam = false;
-            if bit_sliced && self.cfg.opts.sum_addressed && self.cycle >= entry.earliest_ex {
-                let sam = self.sam_slices_ready(idx);
-                if sam > known_slices {
-                    known_slices = sam;
-                    via_sam = true;
-                }
-            }
-            if known_slices == 0 {
-                continue;
-            }
-            let known_bits = known_slices as u32 * self.slice_bits;
-            // The LSQ compares computed (agen) address bits only.
-            let dis_bits = agen_known as u32 * self.slice_bits;
-
-            let partial_tag_on = bit_sliced && self.cfg.opts.partial_tag;
-            let index_ok = if partial_tag_on {
-                self.cfg.memory.l1d.partial_tag_bits(known_bits).is_some()
-            } else {
-                known_slices == self.nslices
-            };
-            if !index_ok {
-                continue;
-            }
-
-            // Disambiguation against older stores; blocked loads may still
-            // proceed on the dependence predictor's say-so (MCB-style).
-            let mut dep_speculating = false;
-            let forward_from = match self.disambiguate(idx, dis_bits) {
-                Some(f) => f,
-                None => {
-                    let pc = self.window[idx].rec.pc;
-                    let slot = Self::mem_dep_slot(pc);
-                    if !(bit_sliced
-                        && self.cfg.opts.mem_dep_predict
-                        && self.mem_dep_table[slot] >= 2)
-                    {
-                        continue; // wait for the stores
-                    }
-                    // Oracle violation check: does any older in-window
-                    // store actually overlap this load?
-                    let load_rec = self.window[idx].rec;
-                    let conflict = self
-                        .store_q
-                        .iter()
-                        .take_while(|&&s| s < seq)
-                        .any(|&s| ranges_overlap(&self.find(s).unwrap().rec, &load_rec));
-                    if conflict {
-                        // Violation: squash the speculation, train the
-                        // predictor down (sticky conflict, MCB-style),
-                        // and wait for the normal path — the replay cost
-                        // is charged when the load finally starts.
-                        self.stats.mem_dep_violations += 1;
-                        self.mem_dep_table[slot] = 0;
-                        let e = &mut self.window[idx];
-                        e.mem.as_mut().unwrap().dep_speculated = true;
-                        self.stats.load_replays += 1;
-                        emit!(self, TraceEvent::MemDepViolation { seq });
-                        emit!(
-                            self,
-                            TraceEvent::Replay {
-                                seq,
-                                reason: ReplayReason::MemDepViolation
-                            }
-                        );
-                        continue;
-                    }
-                    self.stats.mem_dep_speculations += 1;
-                    emit!(self, TraceEvent::MemDepSpeculated { seq });
-                    let t = &mut self.mem_dep_table[slot];
-                    *t = (*t + 1).min(3);
-                    dep_speculating = true;
-                    ForwardDecision::Access
-                }
-            };
-            let _ = dep_speculating;
-            // Did partial knowledge let this load pass older stores whose
-            // full addresses (or the load's own) were still incomplete?
-            let early_on = self.cfg.kind == PipelineKind::BitSliced && self.cfg.opts.early_disambig;
-            if early_on
-                && matches!(forward_from, ForwardDecision::Access)
-                && self
-                    .store_q
-                    .iter()
-                    .take_while(|&&s| s < seq)
-                    .any(|&s| self.agen_slices_known_of(self.find(s).unwrap()) < self.nslices)
-            {
-                self.stats.early_disambig_loads += 1;
-                emit!(self, TraceEvent::EarlyDisambig { seq });
-            }
-
-            let addr = self.window[idx].rec.ea;
-            match forward_from {
-                ForwardDecision::Forward(store_seq) => {
-                    // Wait for the store's data, then a 1-cycle bypass.
-                    let data_at = self
-                        .find(store_seq)
-                        .and_then(|s| s.mem.as_ref().unwrap().store_data_ready)
-                        .map(|r| r.max(self.cycle) + 1);
-                    if let Some(r) = data_at {
-                        ports_used += 1;
-                        any_started = true;
-                        self.stats.store_forwards += 1;
-                        let e = &mut self.window[idx];
-                        let m = e.mem.as_mut().unwrap();
-                        m.started = Some(self.cycle);
-                        m.data_ready = Some(r);
-                        emit!(
-                            self,
-                            TraceEvent::StoreForward {
-                                load_seq: seq,
-                                store_seq
-                            }
-                        );
-                        emit!(self, TraceEvent::MemStarted { seq });
-                        emit!(self, TraceEvent::MemDone { seq, at: r });
-                        self.wake_waiters(idx, r);
-                        self.finish_if_done(idx);
-                    }
-                    continue;
-                }
-                ForwardDecision::SpecForward(store_seq) => {
-                    let Some(store) = self.find(store_seq) else {
-                        continue;
-                    };
-                    let Some(data_at) = store.mem.as_ref().unwrap().store_data_ready else {
-                        continue; // store data not ready: keep waiting
-                    };
-                    ports_used += 1;
-                    any_started = true;
-                    let load_rec = self.window[idx].rec;
-                    let correct = store_covers_load(&store.rec, &load_rec);
-                    let store_full = self.full_agen_time_of(store);
-                    if correct {
-                        // Verification (when both agens finish) confirms.
-                        self.stats.spec_forwards += 1;
-                        let r = data_at.max(self.cycle) + 1;
-                        let e = &mut self.window[idx];
-                        let m = e.mem.as_mut().unwrap();
-                        m.started = Some(self.cycle);
-                        m.data_ready = Some(r);
-                        emit!(
-                            self,
-                            TraceEvent::SpecForward {
-                                load_seq: seq,
-                                store_seq,
-                                ok: true
-                            }
-                        );
-                        emit!(self, TraceEvent::MemStarted { seq });
-                        emit!(self, TraceEvent::MemDone { seq, at: r });
-                        self.wake_waiters(idx, r);
-                    } else {
-                        // Refuted at verification: replay via the cache
-                        // after both full addresses are known.
-                        self.stats.spec_forwards += 1;
-                        self.stats.spec_forward_wrong += 1;
-                        self.stats.load_replays += 1;
-                        let verify = self
-                            .full_agen_time(idx)
-                            .unwrap_or(self.cycle)
-                            .max(store_full.unwrap_or(self.cycle));
-                        self.stats.l1d_accesses += 1;
-                        let access = self.memory.access_data(addr);
-                        if access.l1_hit {
-                            self.stats.l1d_hits += 1;
-                        }
-                        let r = verify.max(self.cycle) + 1 + access.latency as u64;
-                        let e = &mut self.window[idx];
-                        let m = e.mem.as_mut().unwrap();
-                        m.started = Some(self.cycle);
-                        m.data_ready = Some(r);
-                        emit!(
-                            self,
-                            TraceEvent::SpecForward {
-                                load_seq: seq,
-                                store_seq,
-                                ok: false
-                            }
-                        );
-                        emit!(
-                            self,
-                            TraceEvent::Replay {
-                                seq,
-                                reason: ReplayReason::SpecForwardWrong
-                            }
-                        );
-                        emit!(self, TraceEvent::MemStarted { seq });
-                        emit!(self, TraceEvent::MemDone { seq, at: r });
-                        self.wake_waiters(idx, r);
-                    }
-                    self.finish_if_done(idx);
-                    continue;
-                }
-                ForwardDecision::Access => {}
-            }
-            ports_used += 1;
-            any_started = true;
-            if via_sam && agen_known < known_slices {
-                self.stats.sam_starts += 1;
-                emit!(self, TraceEvent::SamStart { seq });
-            }
-
-            // Probe (for partial-tag classification) then access. The
-            // index may come from the SAM decoder, but *tag* bits exist
-            // only once the agen has computed them — with none available
-            // the probe degenerates to pure MRU way prediction.
-            self.stats.l1d_accesses += 1;
-            let speculative = partial_tag_on && (dis_bits < 32 || known_bits < 32);
-            let probe = if speculative {
-                let tag_bits = self.cfg.memory.l1d.partial_tag_bits(dis_bits).unwrap_or(0);
-                Some(self.memory.l1d().partial_probe(addr, tag_bits))
-            } else {
-                None
-            };
-            let access = self.memory.access_data(addr);
-            if access.l1_hit {
-                self.stats.l1d_hits += 1;
-            }
-            let full_addr_at = self.full_agen_time(idx);
-
-            let data_ready = if let Some(outcome) = probe {
-                self.stats.partial_tag_accesses += 1;
-                emit!(self, TraceEvent::PartialTagProbe { seq, outcome });
-                match outcome {
-                    PartialOutcome::ZeroMatch => {
-                        // Early, non-speculative miss: start the L2 access
-                        // now.
-                        self.stats.partial_tag_early_miss += 1;
-                        self.cycle + access.latency as u64
-                    }
-                    PartialOutcome::SingleHit { .. }
-                    | PartialOutcome::MultiMatch {
-                        mru_correct: true, ..
-                    } => {
-                        // Correct way speculation: data after the L1
-                        // latency, verified in the background.
-                        self.cycle + self.cfg.memory.l1_latency as u64
-                    }
-                    PartialOutcome::SingleMiss
-                    | PartialOutcome::MultiMatch {
-                        mru_correct: false, ..
-                    } => {
-                        // Way mispredict: verification at full-address time
-                        // kills the speculation; the access restarts.
-                        self.stats.way_mispredicts += 1;
-                        self.stats.load_replays += 1;
-                        emit!(
-                            self,
-                            TraceEvent::Replay {
-                                seq,
-                                reason: ReplayReason::WayMispredict
-                            }
-                        );
-                        let restart = full_addr_at.unwrap_or(self.cycle) + 1;
-                        restart.max(self.cycle) + access.latency as u64
-                    }
-                }
-            } else {
-                if !access.l1_hit {
-                    self.stats.load_replays += 1;
-                    emit!(
-                        self,
-                        TraceEvent::Replay {
-                            seq,
-                            reason: ReplayReason::CacheMiss
-                        }
-                    );
-                }
-                self.cycle + access.latency as u64
-            };
-
-            let e = &mut self.window[idx];
-            let m = e.mem.as_mut().unwrap();
-            m.started = Some(self.cycle);
-            // A load that earlier mis-speculated past a conflicting store
-            // pays a replay bubble on its eventual (correct) attempt.
-            let at = data_ready + 2 * m.dep_speculated as u64;
-            m.data_ready = Some(at);
-            emit!(self, TraceEvent::MemStarted { seq });
-            emit!(self, TraceEvent::MemDone { seq, at });
-            self.wake_waiters(idx, at);
-            self.finish_if_done(idx);
-        }
-        if any_started {
-            pending.retain(|&s| {
-                self.index_of(s)
-                    .is_some_and(|i| self.window[i].mem.as_ref().unwrap().started.is_none())
-            });
-        }
-        self.pending_loads = pending;
-    }
-
-    /// Number of contiguous low source slices available for sum-addressed
-    /// decode (loads have a single base-register source).
-    fn sam_slices_ready(&self, idx: usize) -> usize {
-        let mut n = 0;
-        for k in 0..self.nslices {
-            if self.sources_ready_at_slice(idx, k) {
-                n += 1;
-            } else {
-                break;
-            }
-        }
-        n
-    }
-
-    /// Number of contiguous low agen slices of `window[idx]` whose results
-    /// are available this cycle.
-    fn agen_slices_known(&self, idx: usize) -> usize {
-        self.agen_slices_known_of(&self.window[idx])
-    }
-
-    fn agen_slices_known_of(&self, entry: &Entry) -> usize {
-        let mut n = 0;
-        for k in 0..self.nslices {
-            match entry.ready[k] {
-                Some(r) if r <= self.cycle => n += 1,
-                _ => break,
-            }
-        }
-        n
-    }
-
-    /// Cycle the full address is known.
-    fn full_agen_time(&self, idx: usize) -> Option<u64> {
-        self.full_agen_time_of(&self.window[idx])
-    }
-
-    fn full_agen_time_of(&self, entry: &Entry) -> Option<u64> {
-        let mut t = 0u64;
-        for k in 0..self.nslices {
-            t = t.max(entry.ready[k]?);
-        }
-        Some(t)
-    }
-
-    /// Can the load at `window[idx]` (with `known_bits` of its own address)
-    /// proceed past every older store this cycle?
-    fn disambiguate(&self, idx: usize, known_bits: u32) -> Option<ForwardDecision> {
-        let load = &self.window[idx];
-        let load_seq = load.seq;
-        let load_word = load.rec.ea & !3;
-        let early = self.cfg.kind == PipelineKind::BitSliced && self.cfg.opts.early_disambig;
-        let spec = early && self.cfg.opts.spec_forward;
-        let mut forward: Option<u64> = None;
-        let mut partial_matcher: Option<u64> = None;
-        let mut partial_matches = 0u32;
-
-        // Older stores, youngest first (the store queue is age-ordered).
-        for &sseq in self.store_q.iter().rev().skip_while(|&&s| s >= load_seq) {
-            let store = self.find(sseq).expect("queued store is in-window");
-            let store_known = self.agen_slices_known_of(store) as u32 * self.slice_bits;
-            let store_word = store.rec.ea & !3;
-
-            if early {
-                // Compare the low bits both sides know.
-                let common = known_bits.min(store_known);
-                if common == 0 {
-                    return None; // store address totally unknown
-                }
-                let mask = if common >= 32 {
-                    u32::MAX
-                } else {
-                    (1 << common) - 1
-                } & !3;
-                if (load_word ^ store_word) & mask != 0 {
-                    continue; // ruled out by partial mismatch
-                }
-                if known_bits >= 32 && store_known >= 32 {
-                    // Both full addresses known: decide at byte accuracy.
-                    if ranges_overlap(&store.rec, &load.rec) {
-                        if store_covers_load(&store.rec, &load.rec) {
-                            forward = forward.or(Some(store.seq));
-                            break; // youngest covering store wins
-                        }
-                        // Partial overlap: wait until the store retires
-                        // and the bytes land in the cache.
-                        return None;
-                    }
-                    continue; // same word, disjoint bytes: no dependence
-                }
-                // A partial match with incomplete addresses: §5.1's
-                // extension may speculate on a *unique* matcher —
-                // restricted to word/word pairs, where a partial address
-                // match implies a forwardable full match.
-                if !spec || load.rec.insn.op() != Op::Lw || store.rec.insn.op() != Op::Sw {
-                    return None;
-                }
-                partial_matches += 1;
-                if partial_matches == 1 {
-                    partial_matcher = Some(store.seq);
-                }
-                continue;
-            }
-
-            // Conventional: every older store's full address must be known.
-            if store_known < 32 {
-                return None;
-            }
-            if known_bits < 32 {
-                return None; // and the load's own full address
-            }
-            if ranges_overlap(&store.rec, &load.rec) {
-                if store_covers_load(&store.rec, &load.rec) {
-                    forward = Some(store.seq);
-                    break;
-                }
-                return None; // partial overlap: wait for the store
-            }
-            let _ = store_word;
-        }
-
-        if forward.is_none() && partial_matches > 0 {
-            debug_assert!(spec);
-            return if partial_matches == 1 {
-                // Speculatively treat the unique partial matcher as the
-                // forwarding store; verified when the addresses complete.
-                Some(ForwardDecision::SpecForward(partial_matcher.unwrap()))
-            } else {
-                None // several candidates: wait for full addresses
-            };
-        }
-        Some(match forward {
-            Some(seq) => ForwardDecision::Forward(seq),
-            None => ForwardDecision::Access,
-        })
-    }
-
-    // ---- commit ----------------------------------------------------------
-
-    fn commit(&mut self) {
-        for _ in 0..self.cfg.width {
-            let Some(head) = self.window.front() else {
-                return;
-            };
-            if head.phantom {
-                // Wrong-path work never retires; it waits for the squash.
-                return;
-            }
-            match head.completed_at {
-                Some(c) if c <= self.cycle => {}
-                _ => return,
-            }
-            let head = self.window.pop_front().unwrap();
-            // A completed producer has published every result slice, and
-            // publishing drains the waiter list.
-            debug_assert!(head.waiters.is_empty());
-            emit!(self, TraceEvent::Committed { seq: head.seq });
-            self.stats.committed += 1;
-            let op = head.rec.insn.op();
-            if head.is_mem() {
-                self.lsq_occupancy -= 1;
-            }
-            if op.is_store() {
-                debug_assert_eq!(self.store_q.front(), Some(&head.seq));
-                self.store_q.pop_front();
-            }
-            debug_assert!(!op.is_load() || !self.pending_loads.contains(&head.seq));
-            if op.is_load() {
-                self.stats.loads += 1;
-            }
-            if op.is_store() {
-                self.stats.stores += 1;
-                // The store writes the cache at retirement.
-                self.stats.l1d_accesses += 1;
-                if self.memory.access_data(head.rec.ea).l1_hit {
-                    self.stats.l1d_hits += 1;
-                }
-            }
-            // Clear producer entries that still point at this instruction.
-            for r in head.rec.insn.defs().iter() {
-                if self.producer[r.index()] == Some(head.seq) {
-                    self.producer[r.index()] = None;
-                }
-            }
-        }
-    }
-}
-
-enum ForwardDecision {
-    /// Forward from the store with this sequence number.
-    Forward(u64),
-    /// Speculatively forward from the unique partial-address matcher
-    /// before the full addresses resolve (§5.1 extension).
-    SpecForward(u64),
-    /// No older store conflicts: access the cache.
-    Access,
-}
-
-/// Why a wakeup-driven examination could not make progress, and when
-/// (or on what) to try again.
-enum Block {
-    /// Re-examine at this cycle (a known ready time, or next cycle for
-    /// per-cycle resources).
-    Until(u64),
-    /// Park on the producer with this seq until it publishes a result
-    /// slice.
-    OnPublish(u64),
-}
-
-/// How [`publish_all_slices`](Simulator::publish_all_slices) marks the
-/// issue slots: not at all (front-end-resolved jumps — no issue event),
-/// slot 0 only (serialized ops and the atomic functional units), or
-/// every slice at once (atomic-operand pipelines), matching each
-/// caller's original event order.
-#[derive(Clone, Copy, PartialEq)]
-enum IssueMark {
-    None,
-    Slot0,
-    AllSlices,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::Optimizations;
-    use popk_isa::asm::assemble;
-
-    fn run_cfg(src: &str, cfg: &MachineConfig) -> SimStats {
-        let p = assemble(src).unwrap();
-        simulate(&p, cfg, 1_000_000)
-    }
-
-    /// A loop of dependent adds isolates dependency-edge latency (looped
-    /// so the I-cache warms up and the branch trains).
-    fn dependent_chain() -> String {
-        let mut s = String::from(".text\nmain:\n  li r8, 1\n  li r20, 300\nloop:\n");
-        for _ in 0..32 {
-            s.push_str("  addu r8, r8, r8\n");
-        }
-        s.push_str("  addiu r20, r20, -1\n  bne r20, r0, loop\n  li r2, 0\n  syscall\n");
-        s
-    }
-
-    /// Independent adds isolate issue bandwidth.
-    fn independent_stream() -> String {
-        let mut s = String::from(".text\nmain:\n  li r20, 300\nloop:\n");
-        for i in 0..32 {
-            let r = 8 + (i % 8);
-            s.push_str(&format!("  addu r{r}, r0, r0\n"));
-        }
-        s.push_str("  addiu r20, r20, -1\n  bne r20, r0, loop\n  li r2, 0\n  syscall\n");
-        s
-    }
-
-    #[test]
-    fn ideal_runs_dependent_chain_at_ipc_1() {
-        let stats = run_cfg(&dependent_chain(), &MachineConfig::ideal());
-        let ipc = stats.ipc();
-        assert!(ipc > 0.85 && ipc <= 1.1, "ideal chain IPC {ipc}");
-    }
-
-    #[test]
-    fn simple_pipelining_halves_chain_throughput() {
-        let s2 = run_cfg(&dependent_chain(), &MachineConfig::simple2());
-        let ideal = run_cfg(&dependent_chain(), &MachineConfig::ideal());
-        let ratio = s2.ipc() / ideal.ipc();
-        assert!(
-            (0.4..0.65).contains(&ratio),
-            "simple-2 should run the chain at about half speed, ratio {ratio}"
-        );
-        let s4 = run_cfg(&dependent_chain(), &MachineConfig::simple4());
-        let ratio4 = s4.ipc() / ideal.ipc();
-        assert!(
-            (0.2..0.4).contains(&ratio4),
-            "simple-4 should run the chain at about quarter speed, ratio {ratio4}"
-        );
-    }
-
-    #[test]
-    fn partial_bypass_recovers_chain_throughput() {
-        let sliced = run_cfg(
-            &dependent_chain(),
-            &MachineConfig::slice2(Optimizations::level(1)),
-        );
-        let ideal = run_cfg(&dependent_chain(), &MachineConfig::ideal());
-        let ratio = sliced.ipc() / ideal.ipc();
-        assert!(
-            ratio > 0.9,
-            "partial bypassing should restore back-to-back chains, ratio {ratio}"
-        );
-    }
-
-    #[test]
-    fn independent_work_saturates_width() {
-        let stats = run_cfg(&independent_stream(), &MachineConfig::ideal());
-        assert!(stats.ipc() > 2.0, "independent stream IPC {}", stats.ipc());
-    }
-
-    #[test]
-    fn mispredicts_are_counted_and_resolved() {
-        // A data-dependent alternating branch.
-        let src = r#"
-            .text
-            main:
-                li r8, 400
-            loop:
-                andi r9, r8, 1
-                beq r9, r0, even
-                nop
-            even:
-                addiu r8, r8, -1
-                bne r8, r0, loop
-                li r2, 0
-                syscall
-        "#;
-        let stats = run_cfg(src, &MachineConfig::ideal());
-        assert!(stats.branches >= 800);
-        assert!(stats.branch_mispredicts > 0);
-        assert_eq!(
-            stats.committed,
-            run_cfg(src, &MachineConfig::slice4_full()).committed
-        );
-    }
-
-    #[test]
-    fn early_branch_resolution_helps_slice4() {
-        let src = r#"
-            .text
-            main:
-                li r8, 2000
-            loop:
-                andi r9, r8, 1
-                beq r9, r0, even    # alternates: mispredicts, detectable at bit 0
-                nop
-            even:
-                addiu r8, r8, -1
-                bne r8, r0, loop
-                li r2, 0
-                syscall
-        "#;
-        let without = run_cfg(src, &MachineConfig::slice4(Optimizations::level(2)));
-        let with = run_cfg(src, &MachineConfig::slice4(Optimizations::level(3)));
-        assert!(with.early_branch_resolves > 0);
-        assert!(
-            with.cycles <= without.cycles,
-            "early branch resolution must not slow the machine"
-        );
-    }
-
-    #[test]
-    fn loads_wait_for_older_store_addresses() {
-        // A store whose address depends on a long op, followed by an
-        // unrelated load: conventionally the load waits; with early
-        // disambiguation it can pass once low slices mismatch.
-        let src = r#"
-            .text
-            main:
-                li r16, 0x10000000
-                li r17, 0x10008000
-                li r8, 300
-            loop:
-                mult r8, r8
-                mflo r9
-                andi r9, r9, 0xffc
-                addu r9, r9, r16
-                sw r8, 0(r9)         # store: address slow (behind mult)
-                lw r10, 0(r17)       # load at a clearly different address
-                addiu r8, r8, -1
-                bne r8, r0, loop
-                li r2, 0
-                syscall
-        "#;
-        let conv = run_cfg(src, &MachineConfig::slice2(Optimizations::level(3)));
-        let early = run_cfg(src, &MachineConfig::slice2(Optimizations::level(4)));
-        assert!(
-            early.cycles < conv.cycles,
-            "early disambiguation should shorten load wait: {} vs {}",
-            early.cycles,
-            conv.cycles
-        );
-    }
-
-    #[test]
-    fn store_forwarding_works() {
-        // The divide keeps commit blocked, so the store must sit in the
-        // window while the load needs its data: only forwarding can
-        // satisfy the load.
-        let src = r#"
-            .text
-            main:
-                li r16, 0x10000000
-                li r17, 3
-                li r8, 200
-            loop:
-                div r8, r17          # 20-cycle commit blocker
-                sw r8, 0(r16)
-                lw r9, 0(r16)        # must forward from the store
-                addiu r8, r8, -1
-                bne r8, r0, loop
-                li r2, 0
-                syscall
-        "#;
-        let stats = run_cfg(src, &MachineConfig::ideal());
-        assert!(
-            stats.store_forwards >= 100,
-            "forwards: {}",
-            stats.store_forwards
-        );
-    }
-
-    #[test]
-    fn partial_tag_speculation_counts() {
-        let src = r#"
-            .text
-            main:
-                li r16, 0x10000000
-                li r8, 500
-            loop:
-                andi r9, r8, 255
-                sll r9, r9, 2
-                addu r9, r9, r16
-                lw r10, 0(r9)
-                addiu r8, r8, -1
-                bne r8, r0, loop
-                li r2, 0
-                syscall
-        "#;
-        let stats = run_cfg(src, &MachineConfig::slice2_full());
-        assert!(stats.partial_tag_accesses > 0);
-        let base = run_cfg(src, &MachineConfig::slice2(Optimizations::level(4)));
-        assert!(
-            stats.cycles <= base.cycles,
-            "partial tagging should not slow down: {} vs {}",
-            stats.cycles,
-            base.cycles
-        );
-    }
-
-    #[test]
-    fn all_configs_commit_every_instruction() {
-        let src = r#"
-            .text
-            main:
-                li r16, 0x10000000
-                li r8, 50
-            loop:
-                sw r8, 0(r16)
-                lw r9, 0(r16)
-                mult r9, r8
-                mflo r10
-                sra r10, r10, 2
-                bne r8, r0, cont
-            cont:
-                addiu r8, r8, -1
-                bgtz r8, loop
-                li r2, 0
-                syscall
-        "#;
-        let configs = [
-            MachineConfig::ideal(),
-            MachineConfig::simple2(),
-            MachineConfig::simple4(),
-            MachineConfig::slice2_full(),
-            MachineConfig::slice4_full(),
-            MachineConfig::slice2(Optimizations::level(2)),
-            MachineConfig::slice4(Optimizations::level(3)),
-        ];
-        let expect = run_cfg(src, &configs[0]).committed;
-        assert!(expect > 300);
-        for cfg in &configs {
-            let s = run_cfg(src, cfg);
-            assert_eq!(s.committed, expect, "{}", cfg.label());
-            assert!(s.cycles > 0);
-        }
-    }
-
-    #[test]
-    fn spec_forward_speculates_on_unique_partial_match() {
-        // The store's address resolves slowly (behind a divide) but always
-        // matches the load: with spec_forward the load's data arrives from
-        // the store before the addresses are provably equal.
-        let src = r#"
-            .text
-            main:
-                li r16, 0x10000000
-                li r17, 7
-                li r8, 300
-            loop:
-                div r8, r17
-                mflo r9
-                andi r9, r9, 0
-                addu r9, r9, r16     # always r16, but slow to compute
-                sw r8, 0(r9)
-                lw r10, 0(r16)       # same address every iteration
-                addiu r8, r8, -1
-                bgtz r8, loop
-                li r2, 0
-                syscall
-        "#;
-        let base = MachineConfig::slice2(Optimizations::level(5));
-        let mut spec_cfg = base;
-        spec_cfg.opts.spec_forward = true;
-        let without = run_cfg(src, &base);
-        let with = run_cfg(src, &spec_cfg);
-        assert!(
-            with.spec_forwards > 100,
-            "spec forwards: {}",
-            with.spec_forwards
-        );
-        assert_eq!(with.spec_forward_wrong, 0, "addresses always match here");
-        assert!(
-            with.cycles < without.cycles,
-            "speculative forwarding should cut the wait: {} vs {}",
-            with.cycles,
-            without.cycles
-        );
-    }
-
-    #[test]
-    fn spec_forward_wrong_paths_replay() {
-        // The store alternates between two addresses sharing low bits but
-        // differing at bit 16; the load always reads the first. Unique
-        // partial matches sometimes verify wrong.
-        let src = r#"
-            .text
-            main:
-                li r16, 0x10000000
-                li r17, 0x10010000   # same low 16 bits as r16
-                li r18, 0x100
-                li r8, 300
-            loop:
-                div r8, r18          # slow down the select
-                mflo r9
-                andi r9, r8, 1
-                move r10, r16
-                beq r9, r0, even
-                move r10, r17
-            even:
-                sw r8, 0(r10)        # alternating store address
-                lw r11, 0(r16)
-                addiu r8, r8, -1
-                bgtz r8, loop
-                li r2, 0
-                syscall
-        "#;
-        let mut cfg = MachineConfig::slice2(Optimizations::level(5));
-        cfg.opts.spec_forward = true;
-        let s = run_cfg(src, &cfg);
-        assert!(s.spec_forwards > 0);
-        assert!(s.spec_forward_wrong > 0, "some speculations must fail");
-        assert!(s.spec_forward_wrong < s.spec_forwards);
-    }
-
-    #[test]
-    fn narrow_operands_wake_upper_slices_early() {
-        // Small values everywhere: upper slices are implied by slice 0,
-        // so branches resolve sooner.
-        let src = r#"
-            .text
-            main:
-                li r8, 3000
-            loop:
-                addiu r9, r8, 0
-                andi r10, r9, 3
-                bne r10, r0, skip
-                addiu r9, r9, 1
-            skip:
-                addiu r8, r8, -1
-                bgtz r8, loop
-                li r2, 0
-                syscall
-        "#;
-        let base = MachineConfig::slice4(Optimizations::level(5));
-        let mut narrow = base;
-        narrow.opts.narrow_operands = true;
-        let without = run_cfg(src, &base);
-        let with = run_cfg(src, &narrow);
-        assert!(
-            with.narrow_wakeups > 1000,
-            "wakeups: {}",
-            with.narrow_wakeups
-        );
-        assert!(
-            with.cycles <= without.cycles,
-            "narrow relaxation must not hurt: {} vs {}",
-            with.cycles,
-            without.cycles
-        );
-        assert_eq!(with.committed, without.committed);
-    }
-
-    #[test]
-    fn mem_dep_prediction_passes_unknown_stores() {
-        // The store address computes slowly (behind a divide); the load
-        // never conflicts. Conventionally the load waits every iteration;
-        // the dependence predictor lets it go immediately.
-        let src = r#"
-            .text
-            main:
-                li r16, 0x10000000
-                li r17, 0x10008000
-                li r8, 300
-            loop:
-                # Slow store address: a 10-op dependent chain.
-                addu r9, r8, r16
-                xor  r9, r9, r8
-                addu r9, r9, r8
-                xor  r9, r9, r8
-                addu r9, r9, r8
-                xor  r9, r9, r8
-                addu r9, r9, r8
-                xor  r9, r9, r8
-                andi r9, r9, 0xfc
-                addu r9, r9, r16
-                sw r8, 0(r9)         # slow, never-conflicting store
-                lw r10, 0(r17)       # independent load, conventionally blocked
-                # Long dependent work fed by the load.
-                addu r11, r10, r8
-                xor  r11, r11, r10
-                addu r11, r11, r10
-                xor  r11, r11, r10
-                addu r11, r11, r10
-                xor  r11, r11, r10
-                addu r11, r11, r10
-                xor  r11, r11, r10
-                addu r11, r11, r10
-                xor  r11, r11, r10
-                sw r11, 4(r17)
-                addiu r8, r8, -1
-                bgtz r8, loop
-                li r2, 0
-                syscall
-        "#;
-        let base = MachineConfig::slice2(Optimizations::all());
-        let mut md = base;
-        md.opts.mem_dep_predict = true;
-        let without = run_cfg(src, &base);
-        let with = run_cfg(src, &md);
-        assert!(
-            with.mem_dep_speculations > 100,
-            "specs: {}",
-            with.mem_dep_speculations
-        );
-        assert_eq!(with.mem_dep_violations, 0);
-        assert!(
-            with.cycles < without.cycles,
-            "prediction should unblock the load: {} vs {}",
-            with.cycles,
-            without.cycles
-        );
-    }
-
-    #[test]
-    fn mem_dep_violations_train_the_predictor_down() {
-        // The load always conflicts with the slow store: the predictor
-        // speculates once, violates, and goes quiet.
-        let src = r#"
-            .text
-            main:
-                li r16, 0x10000000
-                li r18, 5
-                li r8, 300
-            loop:
-                div r8, r18
-                mflo r9
-                andi r9, r9, 0
-                addu r9, r9, r16
-                sw r8, 0(r9)         # always 0x10000000, slowly
-                lw r10, 0(r16)       # always conflicts
-                addiu r8, r8, -1
-                bgtz r8, loop
-                li r2, 0
-                syscall
-        "#;
-        let mut md = MachineConfig::slice2(Optimizations::all());
-        md.opts.mem_dep_predict = true;
-        let s = run_cfg(src, &md);
-        assert!(s.mem_dep_violations >= 1);
-        assert!(
-            s.mem_dep_violations <= 2,
-            "sticky training must silence the slot: {}",
-            s.mem_dep_violations
-        );
-        assert_eq!(s.committed, run_cfg(src, &MachineConfig::ideal()).committed);
-    }
-
-    #[test]
-    fn sum_addressed_shortens_load_to_load_chains() {
-        // The classic SAM win \[18\]: in a pointer chase, the next access's
-        // index is ready the moment the previous load's data arrives — no
-        // agen add on the critical path.
-        let src = r#"
-            .data
-            ptr: .word 0x10000000    # self-loop: mem[p] == p
-            .text
-            main:
-                li r17, 0x10000000
-                li r8, 400
-            loop:
-                lw r17, 0(r17)
-                lw r17, 0(r17)
-                lw r17, 0(r17)
-                lw r17, 0(r17)
-                addiu r8, r8, -1
-                bgtz r8, loop
-                li r2, 0
-                syscall
-        "#;
-        let base = MachineConfig::slice4(Optimizations::all());
-        let mut sam = base;
-        sam.opts.sum_addressed = true;
-        let without = run_cfg(src, &base);
-        let with = run_cfg(src, &sam);
-        assert!(with.sam_starts > 1000, "sam starts: {}", with.sam_starts);
-        assert!(
-            with.cycles < without.cycles,
-            "SAM should shorten the chase: {} vs {}",
-            with.cycles,
-            without.cycles
-        );
-        assert_eq!(with.committed, without.committed);
-    }
-
-    #[test]
-    fn carry_chain_staggers_slices_in_order() {
-        // On the slice-by-4 machine, an add's four slices must issue on
-        // strictly increasing cycles (the carry edge of Fig. 8b), and the
-        // results must stream out one cycle behind each issue.
-        let src = r#"
-            .text
-            main:
-                li r8, 123
-                li r9, 77
-                addu r10, r8, r9
-                addu r11, r10, r9
-                li r2, 0
-                syscall
-        "#;
-        let p = assemble(src).unwrap();
-        let mut sim = Simulator::new(&MachineConfig::slice4_full());
-        let (_, timings) = sim.run_timeline(&p, 1_000, 16);
-        let addu = timings
-            .iter()
-            .find(|t| t.disasm.starts_with("addu r10"))
-            .expect("addu recorded");
-        let issues: Vec<u64> = addu.slice_issue.iter().flatten().copied().collect();
-        assert_eq!(issues.len(), 4);
-        for w in issues.windows(2) {
-            assert!(w[0] < w[1], "carry chain must stagger: {issues:?}");
-        }
-        for (k, issue) in issues.iter().enumerate() {
-            assert_eq!(addu.slice_ready[k], Some(issue + 1));
-        }
-        // The dependent addu chains one cycle behind, slice for slice.
-        let dep = timings
-            .iter()
-            .find(|t| t.disasm.starts_with("addu r11"))
-            .expect("dependent addu recorded");
-        let dep_issues: Vec<u64> = dep.slice_issue.iter().flatten().copied().collect();
-        for (k, di) in dep_issues.iter().enumerate() {
-            assert!(
-                *di > issues[k],
-                "slice {k} of the consumer ran before its source: {dep_issues:?} vs {issues:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn loads_timeline_records_memory_events() {
-        let src = r#"
-            .text
-            main:
-                li r8, 0x10000000
-                lw r9, 0(r8)
-                addu r10, r9, r9
-                li r2, 0
-                syscall
-        "#;
-        let p = assemble(src).unwrap();
-        let mut sim = Simulator::new(&MachineConfig::slice2_full());
-        let (_, timings) = sim.run_timeline(&p, 1_000, 16);
-        let lw = timings.iter().find(|t| t.disasm.starts_with("lw")).unwrap();
-        let (start, done) = (lw.mem_start.unwrap(), lw.mem_done.unwrap());
-        assert!(start < done);
-        // Cold L1+L2 miss: the data takes the full memory round trip.
-        assert!(done - start >= 100, "cold miss latency {start}..{done}");
-        // The consumer cannot complete before the data arrives.
-        let dep = timings
-            .iter()
-            .find(|t| t.disasm.starts_with("addu r10"))
-            .unwrap();
-        assert!(dep.completed > done);
-    }
-
-    #[test]
-    fn wrong_path_modeling_costs_cycles_but_commits_identically() {
-        for name in ["go", "parser"] {
-            let p = popk_workloads::by_name(name).unwrap().program();
-            let base = MachineConfig::slice2_full();
-            let mut wp = base;
-            wp.model_wrong_path = true;
-            let a = simulate(&p, &base, 30_000);
-            let b = simulate(&p, &wp, 30_000);
-            assert_eq!(a.committed, b.committed, "{name}");
-            assert_eq!(a.branch_mispredicts, b.branch_mispredicts, "{name}");
-            // Wrong-path pollution is a second-order effect and is NOT
-            // monotone (the paper's own bzip/gzip/li exceed the ideal
-            // machine through it): allow a band around the stall model.
-            let lo = a.cycles - a.cycles / 10;
-            let hi = a.cycles + a.cycles / 4;
-            assert!(
-                (lo..=hi).contains(&b.cycles),
-                "{name}: wrong-path modeling out of band: {} vs {}",
-                b.cycles,
-                a.cycles
-            );
-        }
-    }
-
-    #[test]
-    fn extended_config_is_at_least_as_fast_on_kernels() {
-        for name in ["gcc", "bzip"] {
-            let p = popk_workloads::by_name(name).unwrap().program();
-            let full = simulate(&p, &MachineConfig::slice2(Optimizations::all()), 40_000);
-            let ext = simulate(
-                &p,
-                &MachineConfig::slice2(Optimizations::extended()),
-                40_000,
-            );
-            assert_eq!(full.committed, ext.committed);
-            assert!(
-                ext.cycles <= full.cycles + full.cycles / 50,
-                "{name}: extended {} vs full {}",
-                ext.cycles,
-                full.cycles
-            );
-        }
-    }
-
-    #[test]
-    fn cumulative_levels_never_hurt_much_on_real_kernel() {
-        let w = popk_workloads::by_name("parser").unwrap();
-        let p = w.program();
-        let mut prev = f64::MAX;
-        for level in 0..=5 {
-            let s = simulate(
-                &p,
-                &MachineConfig::slice2(Optimizations::level(level)),
-                60_000,
-            );
-            let cycles = s.cycles as f64;
-            assert!(
-                cycles <= prev * 1.02,
-                "level {level} slower than level {}: {cycles} vs {prev}",
-                level - 1
-            );
-            prev = cycles.min(prev);
-        }
-    }
-
-    #[test]
-    fn sliced_full_approaches_ideal() {
-        let w = popk_workloads::by_name("gcc").unwrap();
-        let p = w.program();
-        let ideal = simulate(&p, &MachineConfig::ideal(), 60_000);
-        let full = simulate(&p, &MachineConfig::slice2_full(), 60_000);
-        let simple = simulate(&p, &MachineConfig::simple2(), 60_000);
-        assert!(simple.ipc() < ideal.ipc());
-        assert!(full.ipc() > simple.ipc(), "techniques must help");
-        let gap = (ideal.ipc() - full.ipc()) / ideal.ipc();
-        assert!(gap < 0.15, "slice-2 full should be near ideal, gap {gap}");
     }
 }

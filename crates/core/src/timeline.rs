@@ -17,7 +17,7 @@
 //! resolution, `C` commit.
 //!
 //! The records are reconstructed from the simulator's
-//! [`TraceEvent`](crate::TraceEvent) stream by [`TimelineBuilder`], a
+//! [`TraceEvent`] stream by [`TimelineBuilder`], a
 //! [`TraceSink`] any traced run can use directly.
 
 use crate::events::{TraceEvent, TraceSink};

@@ -191,6 +191,37 @@ fn random_programs_complete_on_every_machine() {
     }
 }
 
+/// Branch-dense step stream: roughly every third instruction is a
+/// conditional branch on chaotically evolving registers, so the
+/// predictor mispredicts constantly — a misprediction storm that keeps
+/// the squash/recovery path hot under `model_wrong_path`.
+fn arb_branchy_steps(rng: &mut SplitMix64, lo: u32, hi: u32) -> Vec<Gen> {
+    let n = rng.range(lo, hi) as usize;
+    (0..n)
+        .map(|i| {
+            if i % 3 == 2 {
+                Gen::Branch(
+                    *rng.pick(&BRANCH_OPS),
+                    rng.range(8, 24) as u8,
+                    rng.range(8, 24) as u8,
+                    rng.range(1, 6) as u8,
+                )
+            } else {
+                arb_step(rng)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn misprediction_storms_complete_on_every_machine() {
+    let mut rng = SplitMix64::new(0x57a2);
+    for _ in 0..24 {
+        let steps = arb_branchy_steps(&mut rng, 30, 120);
+        check_completes_everywhere(&steps);
+    }
+}
+
 #[test]
 fn timelines_are_well_formed() {
     let mut rng = SplitMix64::new(0x71e1);
@@ -267,4 +298,50 @@ fn regression_leading_bne_skip_window_over_load() {
         Gen::Branch(Op::Beq, 14, 22, 2),
     ];
     check_completes_everywhere(&steps);
+}
+
+/// Seed 3: a misprediction storm — branches on registers an interleaved
+/// add/xor mesh keeps churning, so outcomes flip and the predictor
+/// stays wrong. Pinned when the pipeline was split into stage modules,
+/// to cover squash/recovery across the frontend/commit boundary (the
+/// phantoms fetched while a storm branch awaits resolution must all be
+/// squashed, never retired, and never perturb the next resolution).
+#[test]
+fn regression_misprediction_storm_squashes_cleanly() {
+    // Cold 2-bit counters predict weakly taken, so every never-taken
+    // (`bne r, r`) or not-taken branch below is a fresh mispredict.
+    let steps = [
+        Gen::Imm(Op::Addiu, 11, 8, 3),
+        Gen::Alu(Op::Addu, 8, 8, 9),
+        Gen::Branch(Op::Bne, 8, 8, 2),
+        Gen::Alu(Op::Xor, 9, 9, 10),
+        Gen::Branch(Op::Beq, 9, 11, 3),
+        Gen::Alu(Op::Subu, 10, 10, 8),
+        Gen::Branch(Op::Bne, 10, 10, 1),
+        Gen::Alu(Op::Addu, 8, 8, 10),
+        Gen::Branch(Op::Blez, 8, 0, 2),
+        Gen::Alu(Op::Xor, 8, 8, 9),
+        Gen::Branch(Op::Bne, 11, 11, 4),
+        Gen::Alu(Op::Addu, 9, 9, 8),
+        Gen::Branch(Op::Bne, 9, 9, 2),
+        Gen::Alu(Op::Subu, 9, 9, 10),
+        Gen::Branch(Op::Bne, 8, 8, 1),
+    ];
+    check_completes_everywhere(&steps);
+
+    // The storm must actually storm — and resolve deterministically —
+    // with wrong-path phantoms occupying the machine.
+    let program = build(&steps);
+    let mut cfg = MachineConfig::slice4_full();
+    cfg.model_wrong_path = true;
+    let a = simulate(&program, &cfg, 100_000);
+    let b = simulate(&program, &cfg, 100_000);
+    assert!(
+        a.branch_mispredicts >= 2,
+        "not a storm: {}",
+        a.branch_mispredicts
+    );
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.branch_mispredicts, b.branch_mispredicts);
 }
