@@ -17,8 +17,9 @@ pub const SCHEMA_VERSION: u64 = 1;
 
 /// Parsed command line shared by the report binaries: an optional
 /// instruction budget (any bare integer argument, `_` separators allowed),
-/// the `--json` artifact toggle, and a `--threads N` worker-count
-/// override for the sweep executor — accepted in any order.
+/// the `--json` artifact toggle, a `--threads N` worker-count override
+/// for the sweep executor, and the `--oracle` lockstep toggle — accepted
+/// in any order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Cli {
     /// Dynamic-instruction budget per simulation.
@@ -28,6 +29,10 @@ pub struct Cli {
     /// Sweep worker threads (default: all available cores; `--threads 1`
     /// reproduces fully serial execution).
     pub threads: usize,
+    /// Run the functional machine in commit-time lockstep with every
+    /// simulation, reporting any divergence as a sweep failure
+    /// (binaries honouring this flag exit nonzero on divergence).
+    pub oracle: bool,
 }
 
 impl Cli {
@@ -42,12 +47,15 @@ impl Cli {
             limit: crate::DEFAULT_LIMIT,
             json: false,
             threads: crate::pool::default_threads(),
+            oracle: false,
         };
         let parse_count = |a: &str| a.replace('_', "").parse::<u64>().ok();
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             if a == "--json" {
                 cli.json = true;
+            } else if a == "--oracle" {
+                cli.oracle = true;
             } else if a == "--threads" {
                 // Consume the value token so it is not taken as a limit.
                 if let Some(n) = args.next().as_deref().and_then(parse_count) {
@@ -215,7 +223,15 @@ mod tests {
         let c = cli(&[]);
         assert_eq!(c.limit, crate::DEFAULT_LIMIT);
         assert!(!c.json);
+        assert!(!c.oracle);
         assert_eq!(c.threads, crate::pool::default_threads());
+    }
+
+    #[test]
+    fn cli_oracle_flag() {
+        let c = cli(&["--oracle", "30000"]);
+        assert!(c.oracle);
+        assert_eq!(c.limit, 30_000);
     }
 
     #[test]

@@ -17,4 +17,7 @@ fn main() {
         rep.artifact.set("host", meter.host_json());
         rep.artifact.emit();
     }
+    if rep.failures > 0 {
+        std::process::exit(1);
+    }
 }

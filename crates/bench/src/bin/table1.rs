@@ -2,18 +2,25 @@
 //! suite on the ideal (unpipelined-EX) Table 2 machine.
 //!
 //! Usage: `cargo run --release -p popk-bench --bin table1
-//! [instr_budget] [--json] [--threads N]`
+//! [instr_budget] [--json] [--threads N] [--oracle]`
+//!
+//! With `--oracle`, every simulation runs the functional machine in
+//! commit-time lockstep with the timing pipeline and any divergence is
+//! reported as a row failure; the process exits nonzero if any remain.
 
-use popk_bench::{table1_report, Cli, HostMeter};
+use popk_bench::{table1_report_with, Cli, HostMeter};
 
 fn main() {
     let cli = Cli::parse();
     let meter = HostMeter::start(cli.threads);
-    let mut rep = table1_report(cli.limit, cli.threads);
+    let mut rep = table1_report_with(cli.limit, cli.threads, cli.oracle);
     print!("{}", rep.text);
     println!("{}", meter.summary());
     if cli.json {
         rep.artifact.set("host", meter.host_json());
         rep.artifact.emit();
+    }
+    if rep.failures > 0 {
+        std::process::exit(1);
     }
 }

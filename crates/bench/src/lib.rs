@@ -27,10 +27,12 @@ pub mod runners;
 pub mod timing;
 
 pub use artifact::{Artifact, Cli, HostMeter};
+pub use pool::JobFailure;
 pub use reports::{
-    ablations_report, compare_report, fig11_report, fig12_report, table1_report, Report,
+    ablations_report, compare_report, fig11_report, fig12_report, table1_report,
+    table1_report_with, Report,
 };
 pub use runners::{
-    arg_limit, compare, fig11, fig12_from, fig2, fig4, fig6, parse_config, table1, Fig11Column,
-    Fig11Data, Table1Row, DEFAULT_LIMIT,
+    arg_limit, compare, fig11, fig12_from, fig2, fig4, fig6, parse_config, set_poisoned_workload,
+    table1, Fig11Column, Fig11Data, SweepFailure, Table1Row, DEFAULT_LIMIT,
 };

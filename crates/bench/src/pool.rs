@@ -10,6 +10,7 @@
 //! bypasses the pool entirely and runs the jobs serially in order on
 //! the calling thread, reproducing single-threaded behaviour exactly.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -18,11 +19,29 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// A job that panicked on every attempt (see [`try_map_jobs`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The final panic payload, as text.
+    pub message: String,
+    /// Attempts made (always [`JOB_ATTEMPTS`]: the initial run plus
+    /// retries).
+    pub attempts: u32,
+}
+
+/// Attempts [`try_map_jobs`] makes per job: the initial run plus one
+/// retry (transient environmental failures get a second chance;
+/// deterministic panics fail both attempts identically).
+pub const JOB_ATTEMPTS: u32 = 2;
+
 /// Apply `f` to every item, using up to `threads` worker threads, and
 /// return the results in item (submission) order.
 ///
 /// `threads` is clamped to `1..=items.len()`; the jobs must be
 /// independent (each runs exactly once, on exactly one worker).
+///
+/// A panicking job propagates and aborts the whole map; use
+/// [`try_map_jobs`] for panic isolation.
 pub fn map_jobs<I: Sync, T: Send>(
     threads: usize,
     items: &[I],
@@ -39,14 +58,53 @@ pub fn map_jobs<I: Sync, T: Send>(
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                *slots[i].lock().unwrap() = Some(f(item));
+                *slots[i].lock().expect("slot lock") = Some(f(item));
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("worker completed job"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("worker completed job")
+        })
         .collect()
+}
+
+/// Panic-isolated variant of [`map_jobs`]: each job runs under
+/// [`catch_unwind`] with one retry, so a poisoned job yields a
+/// [`JobFailure`] in its slot instead of killing the sweep. Results
+/// still come back in submission order.
+pub fn try_map_jobs<I: Sync, T: Send>(
+    threads: usize,
+    items: &[I],
+    f: impl Fn(&I) -> T + Sync,
+) -> Vec<Result<T, JobFailure>> {
+    map_jobs(threads, items, |item| {
+        let mut message = String::new();
+        for _ in 0..JOB_ATTEMPTS {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(v) => return Ok(v),
+                Err(payload) => message = panic_message(payload.as_ref()),
+            }
+        }
+        Err(JobFailure {
+            message,
+            attempts: JOB_ATTEMPTS,
+        })
+    })
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +143,40 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_and_retries_once() {
+        let attempts = [
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
+        let items: Vec<usize> = (0..3).collect();
+        for threads in [1, 4] {
+            for a in &attempts {
+                a.store(0, Ordering::Relaxed);
+            }
+            let out = try_map_jobs(threads, &items, |&i| {
+                attempts[i].fetch_add(1, Ordering::Relaxed);
+                if i == 1 {
+                    panic!("poisoned job {i}");
+                }
+                i * 10
+            });
+            assert_eq!(out[0], Ok(0));
+            assert_eq!(out[2], Ok(20));
+            let failure = out[1].as_ref().expect_err("job 1 panics");
+            assert_eq!(failure.message, "poisoned job 1");
+            assert_eq!(failure.attempts, JOB_ATTEMPTS);
+            // The healthy jobs ran once; the poisoned one got a retry.
+            assert_eq!(attempts[0].load(Ordering::Relaxed), 1, "threads {threads}");
+            assert_eq!(
+                attempts[1].load(Ordering::Relaxed),
+                JOB_ATTEMPTS as usize,
+                "threads {threads}"
+            );
+            assert_eq!(attempts[2].load(Ordering::Relaxed), 1, "threads {threads}");
+        }
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::artifact::counters_json;
 use crate::fmt::{f3, pct, render};
-use crate::runners::{self, drive_counted, sim};
+use crate::runners::{self, drive_counted, sim, SweepFailure};
 use crate::{pool, row, Artifact, Fig11Data};
 use popk_bpred::{DirKind, FrontEndConfig};
 use popk_characterize::{BranchStudy, DisambigStudy, DistanceStudy, WidthStudy};
@@ -31,11 +31,49 @@ pub struct Report {
     pub text: String,
     /// The `BENCH_<figure>.json` artifact body, without the `host` block.
     pub artifact: Artifact,
+    /// Sweep jobs that failed (panicked after retry, deadlocked, or
+    /// diverged from the oracle). Binaries exit nonzero when this is
+    /// positive; a healthy sweep reports zero and its artifact carries
+    /// no `failures` key, keeping committed artifact bodies identical.
+    pub failures: usize,
 }
 
 /// Append a line to the report text (infallible for `String`).
 macro_rules! say {
     ($buf:expr, $($arg:tt)*) => { let _ = writeln!($buf, $($arg)*); };
+}
+
+/// Render sweep failures as the artifact's `failures` array.
+fn failures_json(failures: &[SweepFailure]) -> Json {
+    failures
+        .iter()
+        .map(|f| {
+            let mut o = Json::object();
+            o.set("workload", f.workload.into());
+            o.set("config", f.config.as_str().into());
+            o.set("message", f.message.as_str().into());
+            o.set("attempts", Json::from(u64::from(f.attempts)));
+            o
+        })
+        .collect()
+}
+
+/// Append the failure lines to a report's text, if any.
+fn say_failures(text: &mut String, failures: &[SweepFailure]) {
+    if failures.is_empty() {
+        return;
+    }
+    say!(text, "\n{} job(s) FAILED:", failures.len());
+    for f in failures {
+        say!(
+            text,
+            "  {} [{}]: {} ({} attempt(s))",
+            f.workload,
+            f.config,
+            f.message,
+            f.attempts
+        );
+    }
 }
 
 /// Load the named workloads' programs through the pool.
@@ -51,12 +89,26 @@ fn programs_for(names: &[&str], threads: usize) -> Vec<Program> {
 
 /// Build the Table 1 report (baseline characteristics, ideal machine).
 pub fn table1_report(limit: u64, threads: usize) -> Report {
+    table1_report_with(limit, threads, false)
+}
+
+/// [`table1_report`] with the commit-time oracle lockstep toggled: with
+/// `oracle` set every run cross-checks the timing pipeline against the
+/// functional machine at retirement, and any divergence becomes that
+/// row's failure.
+pub fn table1_report_with(limit: u64, threads: usize, oracle: bool) -> Report {
     let mut text = String::new();
     say!(
         text,
         "Table 1: benchmark characteristics (ideal machine, {limit} instructions)\n"
     );
-    let rows = runners::table1(limit, threads);
+    let results = runners::table1(limit, threads, oracle);
+    let rows: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+    let failures: Vec<SweepFailure> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err())
+        .cloned()
+        .collect();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -85,26 +137,52 @@ pub fn table1_report(limit: u64, threads: usize) -> Report {
             &table
         )
     );
-    let mean_ipc = (rows.iter().map(|r| r.ipc.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let mean_ipc = (rows.iter().map(|r| r.ipc.ln()).sum::<f64>() / rows.len().max(1) as f64).exp();
     say!(text, "geometric-mean IPC: {mean_ipc:.3}");
+    if oracle {
+        say!(
+            text,
+            "oracle lockstep: every retirement cross-checked, {} divergence(s)",
+            failures.len()
+        );
+    }
+    say_failures(&mut text, &failures);
 
-    let workloads: Vec<Json> = rows
+    let workloads: Vec<Json> = results
         .iter()
-        .map(|r| {
-            let mut o = Json::object();
-            o.set("name", r.name.into());
-            o.set("instructions", Json::from(r.instructions));
-            o.set("ipc", Json::from(r.ipc));
-            o.set("pct_loads", Json::from(r.pct_loads));
-            o.set("pct_stores", Json::from(r.pct_stores));
-            o.set("branch_accuracy", Json::from(r.branch_accuracy));
-            o
+        .map(|r| match r {
+            Ok(r) => {
+                let mut o = Json::object();
+                o.set("name", r.name.into());
+                o.set("instructions", Json::from(r.instructions));
+                o.set("ipc", Json::from(r.ipc));
+                o.set("pct_loads", Json::from(r.pct_loads));
+                o.set("pct_stores", Json::from(r.pct_stores));
+                o.set("branch_accuracy", Json::from(r.branch_accuracy));
+                o
+            }
+            Err(f) => {
+                let mut o = Json::object();
+                o.set("name", f.workload.into());
+                o.set("error", f.message.as_str().into());
+                o
+            }
         })
         .collect();
     let mut artifact = Artifact::new("table1", limit);
     artifact.set("workloads", Json::Array(workloads));
     artifact.set("geomean_ipc", Json::from(mean_ipc));
-    Report { text, artifact }
+    if oracle {
+        artifact.set("oracle_lockstep", Json::from(true));
+    }
+    if !failures.is_empty() {
+        artifact.set("failures", failures_json(&failures));
+    }
+    Report {
+        text,
+        artifact,
+        failures: failures.len(),
+    }
 }
 
 // ---- Fig. 11 ---------------------------------------------------------------
@@ -205,6 +283,8 @@ fn fig11_report_from(data: &Fig11Data, limit: u64) -> Report {
         );
     }
 
+    say_failures(&mut text, &data.failures);
+
     let mut artifact = Artifact::new("fig11", limit);
     artifact.set(
         "levels",
@@ -214,7 +294,14 @@ fn fig11_report_from(data: &Fig11Data, limit: u64) -> Report {
     );
     artifact.set("slice2", fig11_slice_json(data, false));
     artifact.set("slice4", fig11_slice_json(data, true));
-    Report { text, artifact }
+    if !data.failures.is_empty() {
+        artifact.set("failures", failures_json(&data.failures));
+    }
+    Report {
+        text,
+        artifact,
+        failures: data.failures.len(),
+    }
 }
 
 /// Build the Fig. 11 report, running the sweep on `threads` workers.
@@ -291,7 +378,15 @@ pub fn fig12_report(limit: u64, threads: usize) -> Report {
         s.set("geomean_bypass_speedup", Json::from(bypass));
         artifact.set(if by4 { "slice4" } else { "slice2" }, s);
     }
-    Report { text, artifact }
+    say_failures(&mut text, &data.failures);
+    if !data.failures.is_empty() {
+        artifact.set("failures", failures_json(&data.failures));
+    }
+    Report {
+        text,
+        artifact,
+        failures: data.failures.len(),
+    }
 }
 
 // ---- Ablations -------------------------------------------------------------
@@ -683,7 +778,11 @@ pub fn ablations_report(limit: u64, threads: usize) -> Report {
     );
     artifact.set("dependence_distance", Json::Array(jrows));
 
-    Report { text, artifact }
+    Report {
+        text,
+        artifact,
+        failures: 0,
+    }
 }
 
 // ---- compare ---------------------------------------------------------------
@@ -702,10 +801,24 @@ pub fn compare_report(a_name: &str, b_name: &str, limit: u64, threads: usize) ->
 
     let mut rows = Vec::new();
     let mut jrows = Vec::new();
+    let mut failures: Vec<SweepFailure> = Vec::new();
     let mut log_sum = 0.0f64;
-    for (name, a, b) in &pairs {
+    let mut ok_count = 0u32;
+    for (name, pair) in &pairs {
+        let (a, b) = match pair {
+            Ok(pair) => pair,
+            Err(f) => {
+                failures.push(f.clone());
+                let mut o = Json::object();
+                o.set("name", (*name).into());
+                o.set("error", f.message.as_str().into());
+                jrows.push(o);
+                continue;
+            }
+        };
         let ratio = a.ipc() / b.ipc();
         log_sum += ratio.ln();
+        ok_count += 1;
         rows.push(row![
             name,
             f3(a.ipc()),
@@ -738,20 +851,28 @@ pub fn compare_report(a_name: &str, b_name: &str, limit: u64, threads: usize) ->
             &rows
         )
     );
-    let geo = (log_sum / pairs.len() as f64).exp();
+    let geo = (log_sum / f64::from(ok_count.max(1))).exp();
     say!(
         text,
         "geomean IPC ratio {a_name}/{b_name}: {:.3} ({:+.1}%)",
         geo,
         100.0 * (geo - 1.0)
     );
+    say_failures(&mut text, &failures);
 
     let mut artifact = Artifact::new("compare", limit);
     artifact.set("config_a", a_name.into());
     artifact.set("config_b", b_name.into());
     artifact.set("workloads", Json::Array(jrows));
     artifact.set("geomean_ipc_ratio", Json::from(geo));
-    Some(Report { text, artifact })
+    if !failures.is_empty() {
+        artifact.set("failures", failures_json(&failures));
+    }
+    Some(Report {
+        text,
+        artifact,
+        failures: failures.len(),
+    })
 }
 
 #[cfg(test)]

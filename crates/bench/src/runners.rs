@@ -5,10 +5,11 @@ use popk_cache::CacheConfig;
 use popk_characterize::{
     drive, BranchReport, BranchStudy, DisambigReport, DisambigStudy, TagMatchReport, TagMatchStudy,
 };
-use popk_core::{simulate, MachineConfig, Optimizations, SimStats};
+use popk_core::{simulate, try_simulate, MachineConfig, Optimizations, SimError, SimStats};
 use popk_isa::Program;
 use popk_workloads::{all, by_name, Workload};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Default dynamic-instruction budget per simulation. The paper simulates
 /// 500 M per benchmark on native hardware; this default keeps a full
@@ -59,6 +60,86 @@ pub(crate) fn sim(program: &Program, cfg: &MachineConfig, limit: u64) -> SimStat
     s
 }
 
+/// Fallible variant of [`sim`] for the panic-isolated sweeps: simulator
+/// errors (oracle divergence, deadlock, invalid config) come back as
+/// [`SimError`] instead of aborting the sweep. Successes are metered.
+pub(crate) fn try_sim(
+    program: &Program,
+    cfg: &MachineConfig,
+    limit: u64,
+) -> Result<SimStats, SimError> {
+    let s = try_simulate(program, cfg, limit)?;
+    meter_record(s.committed);
+    Ok(s)
+}
+
+// ---- sweep failures --------------------------------------------------------
+
+/// One (workload × config) sweep job that could not produce statistics:
+/// either the simulator returned a [`SimError`] or the job panicked on
+/// every attempt.
+#[derive(Clone, Debug)]
+pub struct SweepFailure {
+    /// Workload name of the failed job.
+    pub workload: &'static str,
+    /// Human-readable label of the machine configuration the job ran.
+    pub config: String,
+    /// What went wrong: the [`SimError`] display or the panic payload.
+    pub message: String,
+    /// Attempts made (1 for a typed simulator error, which is
+    /// deterministic; [`pool::JOB_ATTEMPTS`] for a panic).
+    pub attempts: u32,
+}
+
+impl SweepFailure {
+    fn from_sim(workload: &'static str, config: &str, e: &SimError) -> SweepFailure {
+        SweepFailure {
+            workload,
+            config: config.to_string(),
+            message: e.to_string(),
+            attempts: 1,
+        }
+    }
+
+    fn from_panic(workload: &'static str, config: &str, f: pool::JobFailure) -> SweepFailure {
+        SweepFailure {
+            workload,
+            config: config.to_string(),
+            message: f.message,
+            attempts: f.attempts,
+        }
+    }
+}
+
+/// Test seam for the panic-isolation path: a workload name whose sweep
+/// jobs panic on entry, simulating a poisoned job without needing a
+/// genuinely crashing simulation. `None` (the default) disables it.
+static POISONED_WORKLOAD: Mutex<Option<String>> = Mutex::new(None);
+
+/// Mark `name`'s sweep jobs as poisoned (they panic on entry), or clear
+/// the poison with `None`. Testing hook only — not part of the API.
+#[doc(hidden)]
+pub fn set_poisoned_workload(name: Option<&str>) {
+    *POISONED_WORKLOAD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = name.map(str::to_string);
+}
+
+/// Panic if `name` is the currently poisoned workload. Called at the top
+/// of every panic-isolated sweep job. The deliberate panic happens with
+/// the lock already released (and a lock poisoned by a panicking worker
+/// is recovered), so one poisoned job never wedges the rest of a sweep.
+fn poison_check(name: &str) {
+    let matched = POISONED_WORKLOAD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .as_deref()
+        == Some(name);
+    if matched {
+        panic!("poisoned workload {name}");
+    }
+}
+
 /// [`drive`] (functional emulation for the characterization studies)
 /// plus meter accounting of the instructions actually traced.
 pub(crate) fn drive_counted(
@@ -95,20 +176,38 @@ pub struct Table1Row {
 }
 
 /// Reproduce Table 1: baseline characteristics of all eleven workloads,
-/// one simulation job per workload across `threads` pool workers.
-pub fn table1(limit: u64, threads: usize) -> Vec<Table1Row> {
-    per_workload(threads, |w| {
+/// one panic-isolated simulation job per workload across `threads` pool
+/// workers. A failed job yields an `Err` row; the other ten still
+/// produce data.
+///
+/// With `oracle` set, every simulation runs the functional machine in
+/// commit-time lockstep with the timing pipeline; a divergence surfaces
+/// as that row's failure.
+pub fn table1(limit: u64, threads: usize, oracle: bool) -> Vec<Result<Table1Row, SweepFailure>> {
+    let workloads = all();
+    let results = pool::try_map_jobs(threads, &workloads, |w| {
+        poison_check(w.name);
         let p = w.program();
-        let s = sim(&p, &MachineConfig::ideal(), limit);
-        Table1Row {
+        let mut cfg = MachineConfig::ideal();
+        cfg.oracle = oracle;
+        try_sim(&p, &cfg, limit).map(|s| Table1Row {
             name: w.name,
             instructions: s.committed,
             ipc: s.ipc(),
             pct_loads: s.load_fraction(),
             pct_stores: s.stores as f64 / s.committed.max(1) as f64,
             branch_accuracy: s.branch_accuracy(),
-        }
-    })
+        })
+    });
+    results
+        .into_iter()
+        .zip(&workloads)
+        .map(|(r, w)| match r {
+            Ok(Ok(row)) => Ok(row),
+            Ok(Err(e)) => Err(SweepFailure::from_sim(w.name, "ideal", &e)),
+            Err(f) => Err(SweepFailure::from_panic(w.name, "ideal", f)),
+        })
+        .collect()
 }
 
 // ---- Fig. 2 ---------------------------------------------------------------
@@ -188,6 +287,10 @@ pub struct Fig11Data {
     pub slice2: Vec<Fig11Column>,
     /// Slice-by-4 columns.
     pub slice4: Vec<Fig11Column>,
+    /// Jobs that failed. A failed job drops the columns that needed it
+    /// (both slicings if the shared ideal run failed); the remaining
+    /// columns are intact.
+    pub failures: Vec<SweepFailure>,
 }
 
 /// Reproduce Fig. 11: IPC stacks for slice-by-2 and slice-by-4 across all
@@ -203,40 +306,70 @@ pub fn fig11(limit: u64, threads: usize) -> Fig11Data {
     let workloads = all();
     let programs: Vec<Program> = pool::map_jobs(threads, &workloads, Workload::program);
 
-    let mut jobs: Vec<(&Program, MachineConfig)> = Vec::new();
-    for p in &programs {
-        jobs.push((p, MachineConfig::ideal()));
+    let mut jobs: Vec<(&'static str, &Program, &'static str, MachineConfig)> = Vec::new();
+    for (w, p) in workloads.iter().zip(&programs) {
+        jobs.push((w.name, p, "ideal", MachineConfig::ideal()));
         for by4 in [false, true] {
             for level in 0..=5 {
                 let opts = Optimizations::level(level);
-                let cfg = if by4 {
-                    MachineConfig::slice4(opts)
+                let (label, cfg) = if by4 {
+                    (SLICE4_LABELS[level], MachineConfig::slice4(opts))
                 } else {
-                    MachineConfig::slice2(opts)
+                    (SLICE2_LABELS[level], MachineConfig::slice2(opts))
                 };
-                jobs.push((p, cfg));
+                jobs.push((w.name, p, label, cfg));
             }
         }
     }
-    let stats = pool::map_jobs(threads, &jobs, |&(p, cfg)| sim(p, &cfg, limit));
+    let stats = pool::try_map_jobs(threads, &jobs, |&(name, p, _, cfg)| {
+        poison_check(name);
+        try_sim(p, &cfg, limit)
+    });
+    let outcomes: Vec<Result<SimStats, SweepFailure>> = stats
+        .into_iter()
+        .zip(&jobs)
+        .map(|(r, &(name, _, label, _))| match r {
+            Ok(Ok(s)) => Ok(s),
+            Ok(Err(e)) => Err(SweepFailure::from_sim(name, label, &e)),
+            Err(f) => Err(SweepFailure::from_panic(name, label, f)),
+        })
+        .collect();
 
-    let mut results = stats.into_iter();
+    let mut results = outcomes.into_iter();
     let mut data = Fig11Data {
         slice2: Vec::new(),
         slice4: Vec::new(),
+        failures: Vec::new(),
     };
     for w in &workloads {
-        let ideal_ipc = results.next().expect("ideal run").ipc();
+        let ideal = results.next().expect("ideal run");
+        if let Err(f) = &ideal {
+            data.failures.push(f.clone());
+        }
         for by4 in [false, true] {
             let mut level_ipc = [0.0; 6];
             let mut full_stats = SimStats::default();
+            let mut levels_ok = true;
             for slot in &mut level_ipc {
-                full_stats = results.next().expect("level run");
-                *slot = full_stats.ipc();
+                match results.next().expect("level run") {
+                    Ok(s) => {
+                        *slot = s.ipc();
+                        full_stats = s;
+                    }
+                    Err(f) => {
+                        data.failures.push(f);
+                        levels_ok = false;
+                    }
+                }
             }
+            // A column needs its shared ideal run and all six levels;
+            // failures drop the column but leave the rest of the sweep.
+            let (Ok(ideal_stats), true) = (&ideal, levels_ok) else {
+                continue;
+            };
             let col = Fig11Column {
                 name: w.name,
-                ideal_ipc,
+                ideal_ipc: ideal_stats.ipc(),
                 level_ipc,
                 way_mispredict_rate: full_stats.way_mispredict_rate(),
                 full_stats,
@@ -250,6 +383,14 @@ pub fn fig11(limit: u64, threads: usize) -> Fig11Data {
     }
     data
 }
+
+/// Config labels for the Fig. 11 sweep's failure reports, level 0..=5.
+const SLICE2_LABELS: [&str; 6] = [
+    "slice2-0", "slice2-1", "slice2-2", "slice2-3", "slice2-4", "slice2-5",
+];
+const SLICE4_LABELS: [&str; 6] = [
+    "slice4-0", "slice4-1", "slice4-2", "slice4-3", "slice4-4", "slice4-5",
+];
 
 impl Fig11Data {
     /// Geometric-mean IPC ratio of level-5 (all techniques) to ideal, for
@@ -331,27 +472,49 @@ pub fn parse_config(name: &str) -> Option<MachineConfig> {
     })
 }
 
-/// Run the whole suite under two configurations — one job per
-/// (workload × config) across the pool — returning per-workload stat
-/// pairs in registry order.
+/// One per-workload outcome from [`compare`]: the A/B stat pair, or the
+/// first failure that prevented completing it.
+pub type ComparePair = (&'static str, Result<(SimStats, SimStats), SweepFailure>);
+
+/// Run the whole suite under two configurations — one panic-isolated
+/// job per (workload × config) across the pool — returning per-workload
+/// stat pairs in registry order. A workload whose pair could not be
+/// completed yields an `Err` with the first failure of the pair.
 pub fn compare(
     a: &MachineConfig,
     b: &MachineConfig,
     limit: u64,
     threads: usize,
-) -> Vec<(&'static str, SimStats, SimStats)> {
+) -> Vec<ComparePair> {
     let workloads = all();
     let programs: Vec<Program> = pool::map_jobs(threads, &workloads, Workload::program);
-    let jobs: Vec<(&Program, MachineConfig)> =
-        programs.iter().flat_map(|p| [(p, *a), (p, *b)]).collect();
-    let stats = pool::map_jobs(threads, &jobs, |&(p, cfg)| sim(p, &cfg, limit));
-    let mut results = stats.into_iter();
+    let jobs: Vec<(&'static str, &Program, &'static str, MachineConfig)> = workloads
+        .iter()
+        .zip(&programs)
+        .flat_map(|(w, p)| [(w.name, p, "A", *a), (w.name, p, "B", *b)])
+        .collect();
+    let stats = pool::try_map_jobs(threads, &jobs, |&(name, p, _, cfg)| {
+        poison_check(name);
+        try_sim(p, &cfg, limit)
+    });
+    let mut results = stats
+        .into_iter()
+        .zip(&jobs)
+        .map(|(r, &(name, _, label, _))| match r {
+            Ok(Ok(s)) => Ok(s),
+            Ok(Err(e)) => Err(SweepFailure::from_sim(name, label, &e)),
+            Err(f) => Err(SweepFailure::from_panic(name, label, f)),
+        });
     workloads
         .iter()
         .map(|w| {
             let sa = results.next().expect("config A run");
             let sb = results.next().expect("config B run");
-            (w.name, sa, sb)
+            let pair = match (sa, sb) {
+                (Ok(sa), Ok(sb)) => Ok((sa, sb)),
+                (Err(f), _) | (_, Err(f)) => Err(f),
+            };
+            (w.name, pair)
         })
         .collect()
 }
@@ -364,12 +527,23 @@ mod tests {
 
     #[test]
     fn table1_rows_complete() {
-        let rows = table1(QUICK, 2);
+        let rows = table1(QUICK, 2, false);
         assert_eq!(rows.len(), 11);
         for r in &rows {
+            let r = r.as_ref().expect("healthy sweep has no failures");
             assert!(r.ipc > 0.05 && r.ipc < 4.0, "{}: ipc {}", r.name, r.ipc);
             assert!(r.pct_loads > 0.0 && r.pct_loads < 0.6);
             assert!(r.branch_accuracy > 0.5 && r.branch_accuracy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn table1_oracle_lockstep_is_clean() {
+        // Commit-time oracle lockstep across a quick run of every
+        // workload: zero divergences expected.
+        for r in table1(QUICK, 2, true) {
+            let r = r.expect("oracle lockstep diverged");
+            assert!(r.instructions > 0);
         }
     }
 
@@ -415,6 +589,7 @@ mod tests {
         let data = Fig11Data {
             slice2: vec![col],
             slice4: vec![],
+            failures: vec![],
         };
         let rows = fig12_from(&data, false);
         let (_, contrib, total) = &rows[0];
@@ -441,12 +616,15 @@ mod tests {
     #[test]
     fn meter_counts_runner_work() {
         let (jobs0, instrs0) = meter_snapshot();
-        let rows = table1(QUICK, 1);
+        let rows = table1(QUICK, 1, false);
         let (jobs1, instrs1) = meter_snapshot();
         // Other tests in this process also advance the meter, so only
         // lower-bound the deltas.
         assert!(jobs1 - jobs0 >= rows.len() as u64);
-        let committed: u64 = rows.iter().map(|r| r.instructions).sum();
+        let committed: u64 = rows
+            .iter()
+            .map(|r| r.as_ref().expect("healthy sweep").instructions)
+            .sum();
         assert!(instrs1 - instrs0 >= committed);
     }
 }

@@ -85,7 +85,11 @@ impl Btb {
         // (highest rank).
         let victim = (0..self.ways)
             .find(|&w| self.entries[base + w].is_none())
-            .unwrap_or_else(|| (0..self.ways).max_by_key(|&w| self.lru[base + w]).unwrap());
+            .unwrap_or_else(|| {
+                (0..self.ways)
+                    .max_by_key(|&w| self.lru[base + w])
+                    .expect("the BTB has at least one way")
+            });
         self.entries[base + victim] = Some(BtbEntry { tag, target });
         self.touch(base, victim);
     }

@@ -134,7 +134,11 @@ impl Cache {
         // Miss: fill an invalid way, else evict LRU.
         let victim = (0..ways)
             .find(|&w| self.tags[base + w].is_none())
-            .unwrap_or_else(|| (0..ways).max_by_key(|&w| self.lru[base + w]).unwrap());
+            .unwrap_or_else(|| {
+                (0..ways)
+                    .max_by_key(|&w| self.lru[base + w])
+                    .expect("a set has at least one way")
+            });
         self.tags[base + victim] = Some(tag);
         self.touch(base, victim);
         AccessResult {
@@ -149,7 +153,7 @@ impl Cache {
         let base = self.base(self.cfg.set_of(addr));
         (0..self.cfg.ways as usize)
             .min_by_key(|&w| self.lru[base + w])
-            .unwrap() as u32
+            .expect("a set has at least one way") as u32
     }
 
     /// Probe with only the low `tag_bits_known` bits of the tag available
@@ -196,7 +200,7 @@ impl Cache {
                     .iter()
                     .copied()
                     .min_by_key(|&w| self.lru[base + w as usize])
-                    .unwrap();
+                    .expect("multi-match has at least two ways");
                 let hit_way = (0..ways).find(|&w| self.tags[base + w] == Some(full_tag));
                 let mru_correct = hit_way == Some(mru_way as usize);
                 PartialOutcome::MultiMatch {

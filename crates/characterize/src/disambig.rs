@@ -46,7 +46,10 @@ impl DisambigCategory {
 
     /// Index into per-category count arrays.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).unwrap()
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("ALL lists every variant")
     }
 
     /// Legend label matching the paper's figure.

@@ -34,7 +34,10 @@ impl TagCategory {
 
     /// Index into count arrays.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).unwrap()
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("ALL lists every variant")
     }
 
     /// Legend label matching the paper.

@@ -1,8 +1,28 @@
 //! Machine configuration (Table 2 and the Fig. 10 pipeline variants).
 
 use popk_bpred::FrontEndConfig;
-use popk_cache::HierarchyConfig;
+use popk_cache::{CacheConfig, HierarchyConfig};
 use popk_slice::SliceWidth;
+use std::fmt;
+
+/// A degenerate [`MachineConfig`], rejected by
+/// [`MachineConfig::validate`] before any cycle is simulated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending configuration field (e.g. `"width"`,
+    /// `"memory.l1d"`).
+    pub field: &'static str,
+    /// Why the value is degenerate.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which execute-stage organization is simulated (Fig. 10).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -162,6 +182,17 @@ pub struct MachineConfig {
     /// entries and ALU slots until the redirect, then squash (default:
     /// fetch simply stalls, the common trace-driven approximation).
     pub model_wrong_path: bool,
+    /// Run the commit-time oracle (a second functional machine in
+    /// lockstep with retirement, see [`crate::SimError::OracleDivergence`]).
+    /// Off by default; when off, the per-retire cost is one branch.
+    pub oracle: bool,
+    /// Watchdog: cycles without a retirement before
+    /// [`Simulator::try_run`](crate::Simulator::try_run) aborts with
+    /// [`SimError::Deadlock`](crate::SimError). The default (100 000) is
+    /// orders of magnitude beyond any legitimate stall in this model
+    /// (the worst — a full window behind an L2 miss chain — is a few
+    /// hundred cycles).
+    pub watchdog: u64,
 
     /// Memory hierarchy (Table 2 geometries and latencies). The slice-by-4
     /// presets raise `l1_latency` to 2, per §7's note.
@@ -192,6 +223,8 @@ impl MachineConfig {
             fp_sqrt_latency: 24,
             mem_ports: 2,
             model_wrong_path: false,
+            oracle: false,
+            watchdog: 100_000,
             memory: HierarchyConfig::default(),
             frontend: FrontEndConfig::default(),
         }
@@ -262,6 +295,79 @@ impl MachineConfig {
         32 / self.slice_count() as u32
     }
 
+    /// Reject degenerate configurations before simulation.
+    ///
+    /// Checks the structural invariants the pipeline assumes — nonzero
+    /// fetch width and window/LSQ capacity, a slice width that divides
+    /// 32, and power-of-two cache geometries. Resource *scarcity*
+    /// (`mem_ports: 0`, `int_alus: 0`) is deliberately legal: such
+    /// machines construct fine and simply never make progress, which is
+    /// the watchdog's job to report (see
+    /// [`SimError::Deadlock`](crate::SimError)).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |field, message: String| Err(ConfigError { field, message });
+        if self.width == 0 {
+            return err(
+                "width",
+                "fetch/issue/commit width must be at least 1".into(),
+            );
+        }
+        if self.ruu_size == 0 {
+            return err(
+                "ruu_size",
+                "instruction window needs at least one entry".into(),
+            );
+        }
+        if self.lsq_size == 0 {
+            return err(
+                "lsq_size",
+                "load/store queue needs at least one entry".into(),
+            );
+        }
+        let slices = self.slice_count();
+        if slices == 0 || 32 % slices != 0 {
+            return err(
+                "slicing",
+                format!("slice count {slices} must divide the 32-bit operand width"),
+            );
+        }
+        for (field, c) in [
+            ("memory.l1i", &self.memory.l1i),
+            ("memory.l1d", &self.memory.l1d),
+            ("memory.l2", &self.memory.l2),
+        ] {
+            Self::validate_cache(field, c)?;
+        }
+        Ok(())
+    }
+
+    fn validate_cache(field: &'static str, c: &CacheConfig) -> Result<(), ConfigError> {
+        let err = |message: String| Err(ConfigError { field, message });
+        if c.line_bytes == 0 || !c.line_bytes.is_power_of_two() {
+            return err(format!("line size {} must be a power of two", c.line_bytes));
+        }
+        if c.ways == 0 || !c.ways.is_power_of_two() {
+            return err(format!("associativity {} must be a power of two", c.ways));
+        }
+        // u64 arithmetic so absurd geometries error instead of
+        // overflowing the intermediate products.
+        let set_bytes = c.line_bytes as u64 * c.ways as u64;
+        if (c.size_bytes as u64) < set_bytes {
+            return err(format!(
+                "capacity {} below one set ({set_bytes} bytes)",
+                c.size_bytes
+            ));
+        }
+        let sets = c.sets();
+        if !sets.is_power_of_two() || sets as u64 * set_bytes != c.size_bytes as u64 {
+            return err(format!(
+                "geometry {}B/{}B/{}-way yields {} sets (want a power of two)",
+                c.size_bytes, c.line_bytes, c.ways, sets
+            ));
+        }
+        Ok(())
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> String {
         match self.kind {
@@ -303,6 +409,64 @@ mod tests {
         assert!(l3.partial_bypass && l3.ooo_slices && l3.early_branch);
         assert!(!l3.early_disambig && !l3.partial_tag);
         assert_eq!(Optimizations::level(5), Optimizations::all());
+    }
+
+    #[test]
+    fn validate_accepts_every_preset() {
+        for cfg in [
+            MachineConfig::ideal(),
+            MachineConfig::simple2(),
+            MachineConfig::simple4(),
+            MachineConfig::slice2_full(),
+            MachineConfig::slice4_full(),
+        ] {
+            cfg.validate().expect("presets are well-formed");
+            assert!(!cfg.oracle, "oracle lockstep must default off");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let mut c = MachineConfig::ideal();
+        c.width = 0;
+        assert_eq!(c.validate().unwrap_err().field, "width");
+
+        let mut c = MachineConfig::ideal();
+        c.ruu_size = 0;
+        assert_eq!(c.validate().unwrap_err().field, "ruu_size");
+
+        let mut c = MachineConfig::ideal();
+        c.lsq_size = 0;
+        assert_eq!(c.validate().unwrap_err().field, "lsq_size");
+
+        // Non-power-of-two set count: 48 KiB direct-mapped with 32 B lines.
+        let mut c = MachineConfig::ideal();
+        c.memory.l1d.size_bytes = 48 * 1024;
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.field, "memory.l1d");
+        assert!(e.to_string().contains("sets"), "{e}");
+
+        // Zero-byte lines.
+        let mut c = MachineConfig::ideal();
+        c.memory.l2.line_bytes = 0;
+        assert_eq!(c.validate().unwrap_err().field, "memory.l2");
+
+        // Absurd geometry must error, not overflow.
+        let mut c = MachineConfig::ideal();
+        c.memory.l1i.line_bytes = 1 << 31;
+        c.memory.l1i.ways = 1 << 31;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_permits_starved_resources() {
+        // Scarcity is the watchdog's domain, not validation's: a
+        // zero-port machine is legal to build and deadlocks at runtime.
+        let mut c = MachineConfig::ideal();
+        c.mem_ports = 0;
+        c.int_alus = 0;
+        c.validate()
+            .expect("resource starvation is not a config error");
     }
 
     #[test]

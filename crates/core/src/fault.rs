@@ -1,0 +1,259 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! A [`FaultPlan`] perturbs exactly the state the paper's speculative
+//! techniques consult, so the verify/recover paths can be exercised on
+//! demand (see `tests/fault_injection.rs` at the workspace root):
+//!
+//! * **operand slices** ([`FaultKinds::operand_slice`]) — bit-flips in
+//!   the partial address/operand values the disambiguation and
+//!   tag-match policies see. Timing-only: the architectural stream is
+//!   untouched, so a correct machine recovers (possibly with extra
+//!   replays) and the oracle stays silent.
+//! * **disambiguation matches** ([`FaultKinds::disambig_match`]) —
+//!   force a wrong partial-disambiguation outcome: a load cleared to
+//!   access is held back, or a conservatively-held load is released
+//!   past unresolved stores. Also timing-only in this trace-driven
+//!   model.
+//! * **partial tag bits** ([`FaultKinds::tag_bits`]) — degrade a
+//!   correct partial-tag probe to a way mispredict, driving the Fig. 4
+//!   "verify the following cycle" replay path.
+//! * **commit records** ([`FaultKinds::commit_record`]) — corrupt the
+//!   architectural claim an instruction retires with. This is the one
+//!   class that *must not* be recoverable: the commit-time oracle
+//!   ([`crate::oracle`]) is required to flag every such fault as a
+//!   structured [`SimError::OracleDivergence`](crate::SimError).
+//!
+//! Injection sites fire deterministically from `(seed, site, seq,
+//! cycle)` via a splitmix64 hash, so a failing run replays exactly.
+
+use popk_cache::PartialOutcome;
+use popk_emu::TraceRecord;
+
+/// Which fault classes a [`FaultPlan`] may inject.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct FaultKinds {
+    /// Flip bits in published operand/address slices as seen by the
+    /// timing policies (recoverable).
+    pub operand_slice: bool,
+    /// Force wrong partial-disambiguation matches (recoverable).
+    pub disambig_match: bool,
+    /// Corrupt partial tag probes into way mispredicts (recoverable).
+    pub tag_bits: bool,
+    /// Corrupt the architectural record at retirement (must be caught
+    /// by the oracle).
+    pub commit_record: bool,
+}
+
+impl FaultKinds {
+    /// Every recoverable (timing-only) class, commit corruption off.
+    pub fn recoverable() -> FaultKinds {
+        FaultKinds {
+            operand_slice: true,
+            disambig_match: true,
+            tag_bits: true,
+            commit_record: false,
+        }
+    }
+}
+
+/// Injection counts per fault class.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Operand-slice bit flips injected.
+    pub operand_slice: u64,
+    /// Disambiguation decisions inverted.
+    pub disambig_match: u64,
+    /// Partial tag probes degraded.
+    pub tag_bits: u64,
+    /// Commit records corrupted.
+    pub commit_record: u64,
+}
+
+impl FaultLog {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.operand_slice + self.disambig_match + self.tag_bits + self.commit_record
+    }
+}
+
+// Site identifiers keep the per-class hash streams independent.
+const SITE_OPERAND: u64 = 0x01;
+const SITE_DISAMBIG: u64 = 0x02;
+const SITE_TAG: u64 = 0x03;
+const SITE_COMMIT: u64 = 0x04;
+
+/// A deterministic fault-injection schedule, attached to a simulator
+/// with [`Simulator::set_fault_plan`](crate::Simulator::set_fault_plan).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    period: u64,
+    kinds: FaultKinds,
+    log: FaultLog,
+}
+
+impl FaultPlan {
+    /// A plan firing each enabled site roughly once per `period`
+    /// opportunities (clamped to at least 1), keyed by `seed`.
+    pub fn new(seed: u64, period: u64, kinds: FaultKinds) -> FaultPlan {
+        FaultPlan {
+            seed,
+            period: period.max(1),
+            kinds,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// Injection counts so far.
+    pub fn log(&self) -> FaultLog {
+        self.log
+    }
+
+    /// splitmix64 over the site coordinates: deterministic, and
+    /// well-mixed enough that `% period` approximates a rate.
+    fn hash(&self, site: u64, seq: u64, cycle: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(site.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(seq.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(cycle.wrapping_mul(0x94d0_49bb_1331_11eb));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Does this site fire? Returns the hash for derived choices (which
+    /// bit to flip, which field to corrupt).
+    fn fires(&self, site: u64, seq: u64, cycle: u64) -> Option<u64> {
+        let h = self.hash(site, seq, cycle);
+        h.is_multiple_of(self.period).then_some(h / self.period)
+    }
+
+    /// Flip one bit of an operand/address value the policies consult.
+    pub(crate) fn corrupt_operand(&mut self, seq: u64, cycle: u64, value: u32) -> u32 {
+        if !self.kinds.operand_slice {
+            return value;
+        }
+        match self.fires(SITE_OPERAND, seq, cycle) {
+            Some(h) => {
+                self.log.operand_slice += 1;
+                value ^ (1 << (h % 32))
+            }
+            None => value,
+        }
+    }
+
+    /// Should this disambiguation decision be inverted?
+    pub(crate) fn flip_disambig(&mut self, seq: u64, cycle: u64) -> bool {
+        if !self.kinds.disambig_match {
+            return false;
+        }
+        let fired = self.fires(SITE_DISAMBIG, seq, cycle).is_some();
+        if fired {
+            self.log.disambig_match += 1;
+        }
+        fired
+    }
+
+    /// Degrade a partial-tag probe outcome to a way mispredict
+    /// (`SingleMiss`), forcing the verify-next-cycle replay path.
+    pub(crate) fn corrupt_tag(
+        &mut self,
+        seq: u64,
+        cycle: u64,
+        outcome: PartialOutcome,
+    ) -> PartialOutcome {
+        if !self.kinds.tag_bits || self.fires(SITE_TAG, seq, cycle).is_none() {
+            return outcome;
+        }
+        match outcome {
+            PartialOutcome::SingleHit { .. } | PartialOutcome::MultiMatch { .. } => {
+                self.log.tag_bits += 1;
+                PartialOutcome::SingleMiss
+            }
+            other => other,
+        }
+    }
+
+    /// Corrupt the architectural claim of a retiring instruction —
+    /// restricted to fields the oracle cross-checks, so every injection
+    /// here is detectable by construction.
+    pub(crate) fn corrupt_commit(&mut self, seq: u64, cycle: u64, rec: &mut TraceRecord) {
+        if !self.kinds.commit_record {
+            return;
+        }
+        let Some(h) = self.fires(SITE_COMMIT, seq, cycle) else {
+            return;
+        };
+        let op = rec.insn.op();
+        if !rec.insn.defs().is_empty() {
+            rec.results[0] ^= 1 << (h % 32);
+        } else if op.is_store() {
+            rec.ea ^= 1 << (h % 32);
+        } else if op.is_control() {
+            rec.taken = !rec.taken;
+        } else {
+            return; // nothing the oracle checks on this insn; skip
+        }
+        self.log.commit_record += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let mut a = FaultPlan::new(42, 8, FaultKinds::recoverable());
+        let mut b = FaultPlan::new(42, 8, FaultKinds::recoverable());
+        for seq in 0..2000 {
+            assert_eq!(
+                a.corrupt_operand(seq, seq * 3, 0xdead_beef),
+                b.corrupt_operand(seq, seq * 3, 0xdead_beef)
+            );
+            assert_eq!(a.flip_disambig(seq, seq * 3), b.flip_disambig(seq, seq * 3));
+        }
+        assert_eq!(a.log(), b.log());
+        assert!(
+            a.log().operand_slice > 0,
+            "period 8 must fire over 2000 sites"
+        );
+        assert!(a.log().disambig_match > 0);
+    }
+
+    #[test]
+    fn disabled_kinds_never_fire() {
+        let mut p = FaultPlan::new(1, 1, FaultKinds::default());
+        for seq in 0..100 {
+            assert_eq!(p.corrupt_operand(seq, 0, 7), 7);
+            assert!(!p.flip_disambig(seq, 0));
+        }
+        assert_eq!(p.log().total(), 0);
+    }
+
+    #[test]
+    fn commit_corruption_touches_only_checked_fields() {
+        use popk_isa::{Insn, Reg};
+        let mut p = FaultPlan::new(
+            3,
+            1,
+            FaultKinds {
+                commit_record: true,
+                ..FaultKinds::default()
+            },
+        );
+        let mut rec = TraceRecord {
+            pc: 0x0040_0000,
+            insn: Insn::r3(popk_isa::Op::Addu, Reg::gpr(8), Reg::gpr(9), Reg::gpr(10)),
+            src_vals: [1, 2],
+            results: [3, 0],
+            ea: 0,
+            taken: false,
+            next_pc: 0x0040_0004,
+        };
+        p.corrupt_commit(0, 0, &mut rec);
+        assert_ne!(rec.results[0], 3, "period 1 always fires");
+        assert_eq!(p.log().commit_record, 1);
+    }
+}

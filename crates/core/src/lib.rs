@@ -32,8 +32,11 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod error;
 pub mod events;
+pub mod fault;
 pub mod json;
+mod oracle;
 mod pipeline;
 pub mod policies;
 pub mod registry;
@@ -41,10 +44,12 @@ pub mod sim;
 mod stats;
 pub mod timeline;
 
-pub use config::{MachineConfig, Optimizations, PipelineKind};
+pub use config::{ConfigError, MachineConfig, Optimizations, PipelineKind};
+pub use error::{DeadlockSnapshot, SimError};
 pub use events::{NullTrace, ReplayReason, StallReason, TraceEvent, TraceSink, VecTrace};
+pub use fault::{FaultKinds, FaultLog, FaultPlan};
 pub use json::Json;
 pub use registry::{Counter, StatsRegistry};
-pub use sim::{simulate, Simulator};
+pub use sim::{simulate, try_simulate, Simulator};
 pub use stats::SimStats;
 pub use timeline::{render_chart, render_table, InsnTiming, TimelineBuilder};

@@ -1,0 +1,124 @@
+//! Commit-time oracle lockstep.
+//!
+//! Every technique the paper's machine deploys is a *speculation* with a
+//! verify/recover path — partial tag matches are confirmed the following
+//! cycle (Fig. 4), early disambiguation forwards on a probably-unique
+//! partial match (Fig. 2), early branch resolution fires before the full
+//! compare completes (Fig. 6). The timing model is trace-driven, so a
+//! bug in any of those paths would not crash: it would silently retire
+//! the wrong architectural values while still printing plausible IPC.
+//!
+//! The [`Oracle`] closes that hole. When
+//! [`MachineConfig::oracle`](crate::MachineConfig::oracle) is set, the
+//! simulator runs a *second, independent*
+//! [`popk_emu::Machine`] in lockstep with retirement: each instruction
+//! the pipeline commits is re-executed by the reference machine and
+//! cross-checked field by field ([`popk_emu::Machine::verify_step`]).
+//! Any divergence aborts the run with a structured
+//! [`SimError::OracleDivergence`] naming the sequence number, PC, field,
+//! and both values.
+//!
+//! The check is off by default and zero-cost when disabled: the
+//! simulator holds an `Option<Oracle>` that stays `None`, so the
+//! per-retire cost is one branch.
+
+use crate::error::SimError;
+use popk_emu::{Machine, TraceRecord};
+use popk_isa::Program;
+
+/// The lockstep reference machine plus its check counter.
+pub(crate) struct Oracle {
+    machine: Machine,
+    checks: u64,
+}
+
+impl Oracle {
+    /// A fresh reference machine at the program entry point.
+    pub(crate) fn new(program: &Program) -> Oracle {
+        Oracle {
+            machine: Machine::new(program),
+            checks: 0,
+        }
+    }
+
+    /// Verify one retirement claim (the committing entry's trace
+    /// record) against the reference machine.
+    pub(crate) fn check(&mut self, seq: u64, rec: &TraceRecord) -> Result<(), SimError> {
+        self.checks += 1;
+        self.machine
+            .verify_step(rec)
+            .map_err(|m| SimError::OracleDivergence {
+                seq,
+                pc: m.pc,
+                field: m.field,
+                expected: m.expected as u64,
+                got: m.got as u64,
+            })
+    }
+
+    /// Retirements verified so far.
+    pub(crate) fn checks(&self) -> u64 {
+        self.checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popk_emu::StepEvent;
+    use popk_isa::asm::assemble;
+
+    const KERNEL: &str = r#"
+        .text
+        main:
+            li r8, 5
+            addu r9, r8, r8
+            li r2, 0
+            syscall
+    "#;
+
+    #[test]
+    fn clean_lockstep_verifies_every_step() {
+        let p = assemble(KERNEL).unwrap();
+        let mut reference = Machine::new(&p);
+        let mut oracle = Oracle::new(&p);
+        let mut seq = 0;
+        while let Ok(StepEvent::Retired(rec)) = reference.step_record() {
+            oracle.check(seq, &rec).expect("identical streams agree");
+            seq += 1;
+            if reference.exit_code().is_some() {
+                break;
+            }
+        }
+        assert_eq!(oracle.checks(), seq);
+        assert!(seq >= 4);
+    }
+
+    #[test]
+    fn corrupted_result_is_flagged_with_field_and_values() {
+        let p = assemble(KERNEL).unwrap();
+        let mut reference = Machine::new(&p);
+        let mut oracle = Oracle::new(&p);
+        let Ok(StepEvent::Retired(mut rec)) = reference.step_record() else {
+            panic!("first step retires");
+        };
+        rec.results[0] ^= 0x10; // bit-flip the li destination
+        let err = oracle
+            .check(7, &rec)
+            .expect_err("corruption must be caught");
+        match err {
+            SimError::OracleDivergence {
+                seq,
+                field,
+                expected,
+                got,
+                ..
+            } => {
+                assert_eq!(seq, 7);
+                assert_eq!(field, "dest0");
+                assert_eq!(expected ^ 0x10, got);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+}

@@ -21,12 +21,34 @@ impl<S: TraceSink> Simulator<S> {
                 Some(c) if c <= self.cycle => {}
                 _ => return,
             }
-            let head = self.window.pop_front().unwrap();
+            let head = self
+                .window
+                .pop_front()
+                .expect("window head vanished between peek and pop");
             // A completed producer has published every result slice, and
             // publishing drains the waiter list.
             debug_assert!(head.waiters.is_empty());
+
+            // The architectural claim this retirement makes. A fault plan
+            // may corrupt it (modeling in-flight state corruption); the
+            // oracle then re-executes it on the reference machine and
+            // aborts the run on any divergence.
+            if self.oracle.is_some() || self.fault.is_some() {
+                let mut claim = head.rec;
+                if let Some(f) = self.fault.as_mut() {
+                    f.corrupt_commit(head.seq, self.cycle, &mut claim);
+                }
+                if let Some(o) = self.oracle.as_mut() {
+                    if let Err(e) = o.check(head.seq, &claim) {
+                        self.error = Some(e);
+                        return;
+                    }
+                }
+            }
+
             emit!(self, TraceEvent::Committed { seq: head.seq });
             self.stats.committed += 1;
+            self.last_commit_cycle = self.cycle;
             let op = head.rec.insn.op();
             if head.is_mem() {
                 self.lsq_occupancy -= 1;
@@ -63,7 +85,10 @@ impl<S: TraceSink> Simulator<S> {
             .back()
             .is_some_and(|e| e.phantom && e.seq > branch_seq)
         {
-            let squashed = self.window.pop_back().unwrap();
+            let squashed = self
+                .window
+                .pop_back()
+                .expect("squash loop condition guarantees a tail entry");
             emit!(self, TraceEvent::Squashed { seq: squashed.seq });
         }
         self.feed.drop_phantoms();

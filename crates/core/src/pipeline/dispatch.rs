@@ -128,8 +128,10 @@ impl<S: TraceSink> Simulator<S> {
                 self.publish_all_slices(idx, fetch + self.cfg.dispatch_depth, IssueMark::None);
                 if S::ENABLED {
                     let e = &self.window[idx];
-                    let (resolved_at, completed_at) =
-                        (e.resolved_at.unwrap(), e.completed_at.unwrap());
+                    let (resolved_at, completed_at) = (
+                        e.resolved_at.expect("publish_all_slices resolved it"),
+                        e.completed_at.expect("publish_all_slices completed it"),
+                    );
                     emit!(
                         self,
                         TraceEvent::BranchResolved {

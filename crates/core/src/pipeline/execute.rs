@@ -415,13 +415,18 @@ impl<S: TraceSink> Simulator<S> {
         }
         let Some(cond) = op.branch_cond() else { return };
 
-        let resolve_slice = self.policies.branch.resolve_slice(
-            cond,
-            &entry.rec,
-            entry.mispredicted,
-            nslices,
-            self.slice_bits,
-        );
+        let (seq, mut brec, mispredicted) = (entry.seq, entry.rec, entry.mispredicted);
+        // Fault site: flip bits in the operand slices the resolution
+        // policy compares (timing-only; the window's architectural
+        // record is untouched).
+        let cycle = self.cycle;
+        if let Some(f) = self.fault.as_mut() {
+            brec.src_vals[0] = f.corrupt_operand(seq, cycle, brec.src_vals[0]);
+        }
+        let resolve_slice =
+            self.policies
+                .branch
+                .resolve_slice(cond, &brec, mispredicted, nslices, self.slice_bits);
 
         // With independent equality slices, detection needs only the
         // divergent slice; otherwise every slice up to it.

@@ -63,6 +63,11 @@ impl FrontendFeed {
         self.frontq.is_empty()
     }
 
+    /// Fetched-but-not-dispatched occupancy (watchdog snapshot support).
+    pub(crate) fn len(&self) -> usize {
+        self.frontq.len()
+    }
+
     /// Sequence numbers not yet assigned to queued instructions: the
     /// just-pushed tail will become `next_seq + len - 1`.
     pub(crate) fn tail_seq(&self, next_seq: u64) -> u64 {
@@ -76,8 +81,13 @@ impl FrontendFeed {
 }
 
 impl<S: TraceSink> Simulator<S> {
-    /// Returns true when the trace is exhausted.
-    pub(crate) fn fetch(&mut self, trace: &mut std::iter::Peekable<popk_emu::Tracer<'_>>) -> bool {
+    /// Returns `Ok(true)` when the trace is exhausted; a functional-
+    /// machine fault while producing the trace surfaces as
+    /// [`SimError::Emulation`](crate::SimError) instead of a panic.
+    pub(crate) fn fetch(
+        &mut self,
+        trace: &mut std::iter::Peekable<popk_emu::Tracer<'_>>,
+    ) -> Result<bool, crate::error::SimError> {
         // Stall behind an unresolved mispredicted control transfer.
         if let Some(block_seq) = self.feed.fetch_block {
             let resolved = if block_seq >= self.next_seq {
@@ -103,24 +113,24 @@ impl<S: TraceSink> Simulator<S> {
                     if self.cfg.model_wrong_path {
                         self.fetch_phantoms();
                     }
-                    return false;
+                    return Ok(false);
                 }
             }
         }
         if self.cycle < self.feed.fetch_ready_cycle {
-            return false;
+            return Ok(false);
         }
         if self.feed.frontq.len() >= self.feed.frontq.capacity().min(32) {
-            return false;
+            return Ok(false);
         }
 
         for _ in 0..self.cfg.width {
             let Some(next) = trace.peek() else {
-                return true;
+                return Ok(true);
             };
             let rec = match next {
                 Ok(r) => *r,
-                Err(e) => panic!("emulation error during timing run: {e}"),
+                Err(e) => return Err(crate::error::SimError::Emulation(*e)),
             };
             // I-cache: probe on line transitions.
             let line = rec.pc / self.cfg.memory.l1i.line_bytes;
@@ -131,10 +141,11 @@ impl<S: TraceSink> Simulator<S> {
                     // Fetch stalls for the refill; this instruction fetches
                     // after the line arrives.
                     self.feed.fetch_ready_cycle = self.cycle + access.latency as u64;
-                    return false;
+                    return Ok(false);
                 }
             }
-            let rec = *trace.next().unwrap().as_ref().unwrap();
+            // `rec` was copied from the peeked Ok above; consume the item.
+            trace.next();
 
             // Predict control transfers at fetch.
             let mut mispredicted = false;
@@ -179,7 +190,7 @@ impl<S: TraceSink> Simulator<S> {
                 break;
             }
         }
-        false
+        Ok(false)
     }
 
     /// Fill fetch bandwidth with wrong-path phantoms while awaiting a

@@ -109,7 +109,12 @@ impl<S: TraceSink> Simulator<S> {
 
             // Disambiguation against older stores; blocked loads may still
             // proceed on the dependence predictor's say-so (MCB-style).
-            let load_rec = self.window[idx].rec;
+            let mut load_rec = self.window[idx].rec;
+            // Fault site: the partial address bits the policies consult
+            // (never the architectural record the window retires).
+            if let Some(f) = self.fault.as_mut() {
+                load_rec.ea = f.corrupt_operand(seq, self.cycle, load_rec.ea);
+            }
             let decision = {
                 let mut older = self.sched.older_stores_young_first(seq).map(|sseq| {
                     let store = self.find(sseq).expect("queued store is in-window");
@@ -123,6 +128,24 @@ impl<S: TraceSink> Simulator<S> {
                     .disambig
                     .disambiguate(&load_rec, dis_bits, &mut older)
             };
+            // Fault site: invert the partial-disambiguation outcome — a
+            // cleared load is held back, a held load is released past
+            // unresolved stores. (Forwarding decisions have their own
+            // verify path and are corrupted via the operand site.)
+            let cycle = self.cycle;
+            let decision = if matches!(decision, None | Some(ForwardDecision::Access))
+                && self
+                    .fault
+                    .as_mut()
+                    .is_some_and(|f| f.flip_disambig(seq, cycle))
+            {
+                match decision {
+                    Some(ForwardDecision::Access) => None,
+                    _ => Some(ForwardDecision::Access),
+                }
+            } else {
+                decision
+            };
             let forward_from = match decision {
                 Some(f) => f,
                 None => {
@@ -132,10 +155,10 @@ impl<S: TraceSink> Simulator<S> {
                     }
                     // Oracle violation check: does any older in-window
                     // store actually overlap this load?
-                    let conflict = self
-                        .sched
-                        .older_stores_old_first(seq)
-                        .any(|s| ranges_overlap(&self.find(s).unwrap().rec, &load_rec));
+                    let conflict = self.sched.older_stores_old_first(seq).any(|s| {
+                        let store = self.find(s).expect("queued store is in-window");
+                        ranges_overlap(&store.rec, &load_rec)
+                    });
                     if conflict {
                         // Violation: squash the speculation, train the
                         // predictor down (sticky conflict, MCB-style),
@@ -165,10 +188,10 @@ impl<S: TraceSink> Simulator<S> {
             // full addresses (or the load's own) were still incomplete?
             if self.policies.disambig.exploits_partial_addresses()
                 && matches!(forward_from, ForwardDecision::Access)
-                && self
-                    .sched
-                    .older_stores_old_first(seq)
-                    .any(|s| self.agen_slices_known_of(self.find(s).unwrap()) < self.nslices)
+                && self.sched.older_stores_old_first(seq).any(|s| {
+                    let store = self.find(s).expect("queued store is in-window");
+                    self.agen_slices_known_of(store) < self.nslices
+                })
             {
                 self.stats.early_disambig_loads += 1;
                 emit!(self, TraceEvent::EarlyDisambig { seq });
@@ -292,6 +315,13 @@ impl<S: TraceSink> Simulator<S> {
                 .tag
                 .probe_tag_bits(&self.cfg.memory.l1d, dis_bits, known_bits)
                 .map(|tag_bits| self.memory.l1d().partial_probe(addr, tag_bits));
+            // Fault site: corrupt the partial tag compare, degrading a
+            // correct way speculation into a mispredict the Fig. 4
+            // verify-next-cycle path must absorb.
+            let probe = match (probe, self.fault.as_mut()) {
+                (Some(outcome), Some(f)) => Some(f.corrupt_tag(seq, cycle, outcome)),
+                (p, _) => p,
+            };
             let access = self.memory.access_data(addr);
             if access.l1_hit {
                 self.stats.l1d_hits += 1;

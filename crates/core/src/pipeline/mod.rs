@@ -98,6 +98,17 @@ pub struct Simulator<S: TraceSink = NullTrace> {
     pub(crate) policies: PolicySet,
     /// The trace-event consumer (zero-sized and inert by default).
     pub(crate) sink: S,
+    /// Commit-time lockstep checker (built by `try_run` when
+    /// `cfg.oracle` is set; `None` costs one branch per retire).
+    pub(crate) oracle: Option<crate::oracle::Oracle>,
+    /// Deterministic fault injector (attached via
+    /// [`Simulator::set_fault_plan`]; `None` in normal runs).
+    pub(crate) fault: Option<crate::fault::FaultPlan>,
+    /// Error raised inside a stage this cycle (the run loop surfaces it;
+    /// stages have `()` signatures).
+    pub(crate) error: Option<crate::error::SimError>,
+    /// Cycle of the most recent retirement, for the no-progress watchdog.
+    pub(crate) last_commit_cycle: u64,
 }
 
 impl<S: TraceSink> Simulator<S> {
@@ -122,6 +133,55 @@ impl<S: TraceSink> Simulator<S> {
             sched: Scheduler::new(cfg.ruu_size, cfg.lsq_size),
             policies: PolicySet::from_config(cfg),
             sink,
+            oracle: None,
+            fault: None,
+            error: None,
+            last_commit_cycle: 0,
+        }
+    }
+
+    /// Attach a deterministic [`FaultPlan`](crate::FaultPlan): subsequent
+    /// cycles inject faults at its sites. Used by the fault-injection
+    /// suite; never set in normal runs.
+    pub fn set_fault_plan(&mut self, plan: crate::fault::FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Injection counts of the attached fault plan (all-zero when none).
+    pub fn fault_log(&self) -> crate::fault::FaultLog {
+        self.fault.map(|p| p.log()).unwrap_or_default()
+    }
+
+    /// Retirements the commit-time oracle has verified (0 unless
+    /// `cfg.oracle` was set).
+    pub fn oracle_checks(&self) -> u64 {
+        self.oracle.as_ref().map_or(0, |o| o.checks())
+    }
+
+    /// The [`DeadlockSnapshot`](crate::DeadlockSnapshot) the watchdog
+    /// attaches to [`SimError::Deadlock`](crate::SimError).
+    pub(crate) fn deadlock_snapshot(&self) -> crate::error::DeadlockSnapshot {
+        crate::error::DeadlockSnapshot {
+            cycle: self.cycle,
+            last_commit_cycle: self.last_commit_cycle,
+            committed: self.stats.committed,
+            window_len: self.window.len(),
+            lsq_occupancy: self.lsq_occupancy,
+            feed_len: self.feed.len(),
+            head: self
+                .window
+                .iter()
+                .take(4)
+                .map(|e| {
+                    format!(
+                        "seq {} pc {:#010x} {}{}",
+                        e.seq,
+                        e.rec.pc,
+                        e.rec.insn,
+                        if e.phantom { " (phantom)" } else { "" }
+                    )
+                })
+                .collect(),
         }
     }
 

@@ -70,9 +70,13 @@ impl BranchResolvePolicy for EarlySliceResolve {
         // use set dedups) still sees both sides correctly.
         let rs = rec.src_vals[0];
         let rt = rec.src_val(rec.insn.rt()).unwrap_or(0);
-        // predicted = !actual since mispredicted.
-        let bits = mispredict_detection_bit(cond, rs, rt, !rec.taken)
-            .expect("mispredicted branch must be detectable");
+        // predicted = !actual since mispredicted. Operand bits that fail
+        // to prove the recorded outcome (only possible when fault
+        // injection corrupts the published slices) degrade to the
+        // conventional full-width resolution instead of panicking.
+        let Some(bits) = mispredict_detection_bit(cond, rs, rt, !rec.taken) else {
+            return nslices - 1;
+        };
         (((bits.max(1) - 1) / slice_bits) as usize).min(nslices - 1)
     }
 

@@ -178,7 +178,9 @@ impl DisambigPolicy for EarlyPartialDisambig {
             return if partial_matches == 1 {
                 // Speculatively treat the unique partial matcher as the
                 // forwarding store; verified when the addresses complete.
-                Some(ForwardDecision::SpecForward(partial_matcher.unwrap()))
+                Some(ForwardDecision::SpecForward(
+                    partial_matcher.expect("partial_matches > 0 recorded a matcher"),
+                ))
             } else {
                 None // several candidates: wait for full addresses
             };

@@ -53,7 +53,16 @@ impl PolicySet {
     /// machine; `Ideal` and `SimplePipelined` always get the
     /// conventional set, whatever the toggles say (they have no slices
     /// to exploit).
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`MachineConfig::validate`] — simulator
+    /// construction is infallible by signature, so a degenerate config
+    /// must not get as far as a pipeline stage. Callers wanting a typed
+    /// error validate first (as [`crate::try_simulate`] does).
     pub(crate) fn from_config(cfg: &MachineConfig) -> PolicySet {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid MachineConfig: {e}");
+        }
         let sliced = cfg.kind == PipelineKind::BitSliced;
         PolicySet {
             disambig: if sliced && cfg.opts.early_disambig {

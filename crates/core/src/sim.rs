@@ -35,6 +35,7 @@
 //! [`Simulator::run_timeline`] — at their historical paths.
 
 use crate::config::MachineConfig;
+use crate::error::SimError;
 use crate::events::{NullTrace, TraceSink};
 use crate::stats::SimStats;
 use crate::timeline::{InsnTiming, TimelineBuilder};
@@ -45,8 +46,27 @@ pub use crate::pipeline::Simulator;
 
 /// Run `program` under `cfg` for up to `limit` dynamic instructions and
 /// return the statistics.
+///
+/// # Panics
+/// Panics on any [`SimError`] (invalid configuration, emulation fault,
+/// watchdog deadlock, oracle divergence); use [`try_simulate`] for a
+/// typed result.
 pub fn simulate(program: &Program, cfg: &MachineConfig, limit: u64) -> SimStats {
-    Simulator::new(cfg).run(program, limit)
+    match try_simulate(program, cfg, limit) {
+        Ok(stats) => stats,
+        Err(e) => panic!("simulation failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`simulate`]: validates `cfg`, then runs,
+/// surfacing every failure mode as a structured [`SimError`].
+pub fn try_simulate(
+    program: &Program,
+    cfg: &MachineConfig,
+    limit: u64,
+) -> Result<SimStats, SimError> {
+    cfg.validate()?;
+    Simulator::new(cfg).try_run(program, limit)
 }
 
 impl Simulator {
@@ -77,28 +97,54 @@ impl<S: TraceSink> Simulator<S> {
     /// Execute the run loop: one call per pipeline stage per cycle, in
     /// commit-to-fetch order so a value produced this cycle is consumed
     /// no earlier than the next.
+    ///
+    /// # Panics
+    /// Panics on any [`SimError`]; use [`Simulator::try_run`] for a
+    /// typed result.
     pub fn run(&mut self, program: &Program, limit: u64) -> SimStats {
+        match self.try_run(program, limit) {
+            Ok(stats) => stats,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+
+    /// Fallible run loop. Beyond the stats of [`Simulator::run`], this
+    /// surfaces three runtime failure modes as structured errors:
+    ///
+    /// * a functional-machine fault while producing the trace
+    ///   ([`SimError::Emulation`]);
+    /// * no retirement for `cfg.watchdog` consecutive cycles
+    ///   ([`SimError::Deadlock`], with a snapshot of the stuck window);
+    /// * with `cfg.oracle` set, a commit-time lockstep divergence
+    ///   ([`SimError::OracleDivergence`]) — every retirement is
+    ///   re-executed on an independent reference machine.
+    pub fn try_run(&mut self, program: &Program, limit: u64) -> Result<SimStats, SimError> {
+        if self.cfg.oracle {
+            self.oracle = Some(crate::oracle::Oracle::new(program));
+        }
         let mut machine = Machine::new(program);
         let mut trace = machine.trace(limit).peekable();
         let mut drained = false;
 
         while !drained || !self.window.is_empty() || !self.feed.is_empty() {
             self.commit();
+            if let Some(e) = self.error.take() {
+                return Err(e);
+            }
             self.issue();
             self.memory_stage();
             self.dispatch();
             if !drained {
-                drained = self.fetch(&mut trace);
+                drained = self.fetch(&mut trace)?;
             }
             self.cycle += 1;
-            // Safety valve: a deadlock would otherwise loop forever.
-            debug_assert!(
-                self.cycle < limit.saturating_mul(100) + 1_000_000,
-                "simulator deadlock at cycle {}",
-                self.cycle
-            );
+            // Watchdog: a machine that stops retiring is stuck (the
+            // worst legitimate stall is orders of magnitude shorter).
+            if self.cycle - self.last_commit_cycle > self.cfg.watchdog {
+                return Err(SimError::Deadlock(self.deadlock_snapshot()));
+            }
         }
         self.stats.cycles = self.cycle;
-        self.stats
+        Ok(self.stats)
     }
 }

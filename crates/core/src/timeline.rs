@@ -147,7 +147,9 @@ pub fn render_chart(timings: &[InsnTiming], width: usize) -> String {
             t.seq,
             format!("{:08x}", t.pc),
             truncate(&t.disasm, 24),
-            String::from_utf8(lane).unwrap().trim_end_matches('.')
+            String::from_utf8(lane)
+                .expect("lane bytes are ASCII")
+                .trim_end_matches('.')
         );
     }
     out

@@ -41,6 +41,6 @@ mod machine;
 mod mem;
 mod trace;
 
-pub use machine::{EmuError, Machine, StepEvent, Syscall};
+pub use machine::{EmuError, LockstepMismatch, Machine, StepEvent, Syscall};
 pub use mem::Memory;
 pub use trace::{ExecStats, TraceRecord, Tracer};

@@ -49,7 +49,45 @@ impl fmt::Display for EmuError {
     }
 }
 
+impl EmuError {
+    /// The PC at which the error occurred (every variant carries one).
+    pub fn pc(&self) -> u32 {
+        match *self {
+            EmuError::UnmappedPc { pc }
+            | EmuError::Misaligned { pc, .. }
+            | EmuError::BadSyscall { pc, .. }
+            | EmuError::Break { pc } => pc,
+        }
+    }
+}
+
 impl std::error::Error for EmuError {}
+
+/// One architectural field on which lockstep verification diverged
+/// (see [`Machine::verify_step`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockstepMismatch {
+    /// PC of the instruction under verification (the claimed record's).
+    pub pc: u32,
+    /// The diverging field: `"pc"`, `"insn"`, `"dest0"`, `"dest1"`,
+    /// `"ea"`, `"store_data"`, `"taken"`, `"next_pc"`, `"exited"`, or
+    /// `"emulation"` (the reference machine itself faulted).
+    pub field: &'static str,
+    /// The reference machine's value.
+    pub expected: u32,
+    /// The claimed record's value.
+    pub got: u32,
+}
+
+impl fmt::Display for LockstepMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lockstep mismatch at PC {:#010x}: field `{}` expected {:#x}, got {:#x}",
+            self.pc, self.field, self.expected, self.got
+        )
+    }
+}
 
 /// Result of a single [`Machine::step_record`].
 #[derive(Clone, Copy, Debug)]
@@ -181,6 +219,71 @@ impl Machine {
         Tracer::new(self, limit)
     }
 
+    /// Step-level lockstep verification: execute one instruction on
+    /// *this* machine and cross-check the claimed record `claim` —
+    /// instruction identity, destination register values, effective
+    /// address, store data, and branch outcome — returning the first
+    /// diverging field.
+    ///
+    /// This is the primitive behind the timing model's commit-time
+    /// oracle: retire-order claims from a pipeline are fed to a second,
+    /// independent machine, so any corruption of architectural state in
+    /// flight surfaces as a [`LockstepMismatch`] instead of silently
+    /// wrong statistics. If this machine itself faults or has exited,
+    /// that too is a mismatch (fields `"emulation"` / `"exited"`).
+    pub fn verify_step(&mut self, claim: &TraceRecord) -> Result<(), LockstepMismatch> {
+        let mm = |field, expected, got| {
+            Err(LockstepMismatch {
+                pc: claim.pc,
+                field,
+                expected,
+                got,
+            })
+        };
+        let rec = match self.step_record() {
+            Ok(StepEvent::Retired(r)) => r,
+            Ok(StepEvent::Exited(code)) => return mm("exited", code, claim.pc),
+            Err(e) => return mm("emulation", e.pc(), claim.pc),
+        };
+        if rec.pc != claim.pc {
+            return mm("pc", rec.pc, claim.pc);
+        }
+        if rec.insn != claim.insn {
+            return mm(
+                "insn",
+                popk_isa::encode(&rec.insn),
+                popk_isa::encode(&claim.insn),
+            );
+        }
+        for (i, field) in ["dest0", "dest1"].into_iter().enumerate() {
+            if i < rec.insn.defs().len() && rec.results[i] != claim.results[i] {
+                return mm(field, rec.results[i], claim.results[i]);
+            }
+        }
+        if rec.is_mem() && rec.ea != claim.ea {
+            return mm("ea", rec.ea, claim.ea);
+        }
+        if rec.insn.op().is_store() {
+            let data = rec.src_val(rec.insn.rt());
+            if data != claim.src_val(claim.insn.rt()) {
+                return mm(
+                    "store_data",
+                    data.unwrap_or(0),
+                    claim.src_val(claim.insn.rt()).unwrap_or(0),
+                );
+            }
+        }
+        if rec.insn.op().is_control() {
+            if rec.taken != claim.taken {
+                return mm("taken", rec.taken as u32, claim.taken as u32);
+            }
+            if rec.next_pc != claim.next_pc {
+                return mm("next_pc", rec.next_pc, claim.next_pc);
+            }
+        }
+        Ok(())
+    }
+
     /// Execute one instruction, producing its trace record.
     pub fn step_record(&mut self) -> Result<StepEvent, EmuError> {
         if let Some(code) = self.exited {
@@ -288,7 +391,9 @@ impl Machine {
             // ---- memory -------------------------------------------------
             Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw => {
                 ea = rs_v.wrapping_add(insn.imm() as u32);
-                let width = op.mem_width().unwrap();
+                let width = op
+                    .mem_width()
+                    .unwrap_or_else(|| unreachable!("load {insn} at PC {pc:#010x} has no width"));
                 self.check_align(pc, ea, width)?;
                 let v = match width {
                     MemWidth::B => self.mem.read_u8(ea) as i8 as i32 as u32,
@@ -301,7 +406,9 @@ impl Machine {
             }
             Op::Sb | Op::Sh | Op::Sw => {
                 ea = rs_v.wrapping_add(insn.imm() as u32);
-                let width = op.mem_width().unwrap();
+                let width = op
+                    .mem_width()
+                    .unwrap_or_else(|| unreachable!("store {insn} at PC {pc:#010x} has no width"));
                 self.check_align(pc, ea, width)?;
                 match width {
                     MemWidth::B | MemWidth::Bu => self.mem.write_u8(ea, rt_v as u8),
@@ -312,7 +419,9 @@ impl Machine {
 
             // ---- control ------------------------------------------------
             Op::Beq | Op::Bne | Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => {
-                let cond = op.branch_cond().unwrap();
+                let cond = op.branch_cond().unwrap_or_else(|| {
+                    unreachable!("branch {insn} at PC {pc:#010x} has no condition")
+                });
                 taken = cond.eval(rs_v, rt_v);
                 if taken {
                     next_pc = pc

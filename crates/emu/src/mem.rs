@@ -78,7 +78,7 @@ impl Memory {
         match self.page(addr) {
             Some(p) => {
                 let off = (addr & PAGE_MASK) as usize;
-                u32::from_le_bytes(p[off..off + 4].try_into().unwrap())
+                u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]])
             }
             None => 0,
         }

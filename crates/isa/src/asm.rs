@@ -305,7 +305,7 @@ fn parse_imm(s: &str, lineno: usize) -> Result<i64> {
         .and_then(|b| b.strip_suffix('\''))
         .filter(|c| c.len() == 1)
     {
-        Ok(c.bytes().next().unwrap() as i64)
+        Ok(i64::from(c.as_bytes()[0]))
     } else {
         body.parse::<i64>()
     };
@@ -365,8 +365,16 @@ impl Ctx<'_> {
 
     fn branch_disp(&self, label: &str) -> Result<i32> {
         let target = self.symbol(label)?;
+        // A branch must target the text section; a `.data` label here
+        // would underflow the word arithmetic below.
+        if target < TEXT_BASE {
+            return err(
+                self.lineno,
+                format!("branch to `{label}` targets outside the text section"),
+            );
+        }
         let target_word = (target - TEXT_BASE) / 4;
-        let disp = target_word as i64 - (self.cur_word as i64 + 1);
+        let disp = i64::from(target_word) - (i64::from(self.cur_word) + 1);
         if !(-32768..=32767).contains(&disp) {
             return err(self.lineno, format!("branch to `{label}` out of range"));
         }
@@ -664,6 +672,23 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.symbol("b"), Some(DATA_BASE + 4));
+    }
+
+    #[test]
+    fn branch_to_data_label_is_an_error() {
+        // A `.data` label is far outside the text section; the
+        // displacement arithmetic must produce a typed error, not a
+        // panic or a silently wrapped displacement.
+        let e = assemble(
+            r#"
+            .data
+            x: .word 1
+            .text
+            main: beq r0, r0, x
+            "#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("`x`"), "{e}");
     }
 
     #[test]

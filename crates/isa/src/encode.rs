@@ -205,6 +205,10 @@ fn i_fmt(op: u32, rs: u32, rt: u32, imm16: u32) -> u32 {
 pub fn encode(insn: &Insn) -> u32 {
     let op = insn.op();
     let rd = |x: Reg| x.encoding();
+    // Every op reaching the I-format arms below has a primary opcode by
+    // construction of the match.
+    let primary =
+        |op: Op| primary_of(op).unwrap_or_else(|| unreachable!("{op:?} has no primary opcode"));
     if let Some(f) = funct_of(op) {
         return match op {
             Op::Sll | Op::Srl | Op::Sra => r(
@@ -241,45 +245,35 @@ pub fn encode(insn: &Insn) -> u32 {
         Op::J | Op::Jal => {
             let target = insn.imm() as u32;
             assert!(target < (1 << 26), "jump target out of range");
-            (primary_of(op).unwrap() << 26) | target
+            (primary(op) << 26) | target
         }
         Op::Beq | Op::Bne => i_fmt(
-            primary_of(op).unwrap(),
+            primary(op),
             insn.rs().encoding(),
             insn.rt().encoding(),
             imm16_disp(insn.imm()),
         ),
-        Op::Blez | Op::Bgtz => i_fmt(
-            primary_of(op).unwrap(),
-            insn.rs().encoding(),
-            0,
-            imm16_disp(insn.imm()),
-        ),
+        Op::Blez | Op::Bgtz => i_fmt(primary(op), insn.rs().encoding(), 0, imm16_disp(insn.imm())),
         Op::Lui => i_fmt(15, 0, insn.rd().encoding(), (insn.imm() as u32) >> 16),
         Op::Andi | Op::Ori | Op::Xori => {
             let imm = insn.imm() as u32;
             assert!(imm <= 0xffff, "logical immediate out of range");
-            i_fmt(
-                primary_of(op).unwrap(),
-                insn.rs().encoding(),
-                insn.rd().encoding(),
-                imm,
-            )
+            i_fmt(primary(op), insn.rs().encoding(), insn.rd().encoding(), imm)
         }
         Op::Addi | Op::Addiu | Op::Slti | Op::Sltiu => i_fmt(
-            primary_of(op).unwrap(),
+            primary(op),
             insn.rs().encoding(),
             insn.rd().encoding(),
             imm16_disp(insn.imm()),
         ),
         op if op.is_load() => i_fmt(
-            primary_of(op).unwrap(),
+            primary(op),
             insn.rs().encoding(),
             insn.rd().encoding(),
             imm16_disp(insn.imm()),
         ),
         op if op.is_store() => i_fmt(
-            primary_of(op).unwrap(),
+            primary(op),
             insn.rs().encoding(),
             insn.rt().encoding(),
             imm16_disp(insn.imm()),

@@ -92,10 +92,17 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
     fn u16(&mut self) -> Result<u16, ObjError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
     fn u32(&mut self) -> Result<u32, ObjError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    /// Bytes left after the cursor — an upper bound on any count a
+    /// well-formed remainder can declare.
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
     }
 }
 
@@ -116,6 +123,15 @@ pub fn read_object(bytes: &[u8]) -> Result<Program, ObjError> {
     let n_text = r.u32()? as usize;
     let n_data = r.u32()? as usize;
     let n_syms = r.u32()? as usize;
+    // Sanity-bound the declared counts against the bytes actually
+    // present before allocating: a corrupt header must yield
+    // `Truncated`, not a multi-gigabyte `Vec::with_capacity`.
+    if n_text.checked_mul(4).is_none_or(|b| b > r.remaining())
+        || n_data > r.remaining()
+        || n_syms.checked_mul(6).is_none_or(|b| b > r.remaining())
+    {
+        return Err(ObjError::Truncated);
+    }
 
     let mut text = Vec::with_capacity(n_text);
     for _ in 0..n_text {
@@ -199,6 +215,22 @@ mod tests {
                 "cut {cut}: {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn rejects_absurd_counts_without_allocating() {
+        // Declare ~4 billion text words in a 40-byte file: the reader
+        // must fail fast instead of reserving gigabytes.
+        let mut bytes = write_object(&sample());
+        for count_offset in [12usize, 16, 20] {
+            let mut b = bytes.clone();
+            b[count_offset..count_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(matches!(read_object(&b), Err(ObjError::Truncated)));
+        }
+        // Oversized-but-plausible count on a short file: same answer.
+        bytes.truncate(28);
+        bytes[12..16].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(read_object(&bytes), Err(ObjError::Truncated)));
     }
 
     #[test]

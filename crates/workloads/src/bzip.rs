@@ -142,7 +142,10 @@ pub fn reference(iters: u32) -> Vec<i32> {
         let mut table: Vec<u8> = (0..=255).collect();
         let (mut ranks, mut zeros) = (0u32, 0u32);
         for &sym in &buf {
-            let j = table.iter().position(|&t| t == sym).unwrap();
+            let j = table
+                .iter()
+                .position(|&t| t == sym)
+                .expect("table permutes every byte value");
             ranks += j as u32;
             if j == 0 {
                 zeros += 1;

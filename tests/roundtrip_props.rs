@@ -156,6 +156,53 @@ fn workload_programs_roundtrip_through_object_format() {
     }
 }
 
+/// Corrupt object bytes never panic the reader: single-byte mutations,
+/// truncations, and random garbage all come back as `Err`, never abort.
+#[test]
+fn corrupt_object_bytes_never_panic() {
+    use popk::isa::obj::{read_object, write_object};
+    let p = popk::workloads::by_name("bzip").unwrap().test_program();
+    let bytes = write_object(&p);
+    let mut rng = SplitMix64::new(0xc0_44u64);
+
+    // Single-byte mutations at random offsets: parse must return (the
+    // result may legitimately be Ok for don't-care bytes, but it must
+    // never panic or hang).
+    for _ in 0..2048 {
+        let mut b = bytes.clone();
+        let i = rng.below(b.len() as u32) as usize;
+        b[i] ^= (1 + rng.below(255)) as u8;
+        let _ = read_object(&b);
+    }
+
+    // Truncation at every prefix length.
+    for cut in 0..bytes.len().min(512) {
+        let _ = read_object(&bytes[..cut]);
+    }
+    for _ in 0..256 {
+        let cut = rng.below(bytes.len() as u32) as usize;
+        assert!(read_object(&bytes[..cut]).is_err(), "cut {cut}");
+    }
+
+    // Random garbage behind a valid magic.
+    for _ in 0..512 {
+        let mut b = b"POPK".to_vec();
+        for _ in 0..rng.below(64) {
+            b.push(rng.next_u32() as u8);
+        }
+        let _ = read_object(&b);
+    }
+}
+
+/// Random 32-bit words never panic the instruction decoder.
+#[test]
+fn random_words_never_panic_decode() {
+    let mut rng = SplitMix64::new(0xdec0de);
+    for _ in 0..65536 {
+        let _ = decode(rng.next_u32());
+    }
+}
+
 #[test]
 fn emulation_is_deterministic() {
     let w = popk::workloads::by_name("twolf").unwrap();
