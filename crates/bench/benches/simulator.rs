@@ -25,17 +25,20 @@ fn human_limit(limit: u64) -> String {
 }
 
 /// Time one simulation case and report simulated-instruction throughput
-/// alongside the wall-clock sample.
-fn bench_sim(label: &str, limit: u64, f: impl FnMut() -> popk_core::SimStats) {
+/// alongside the wall-clock sample. Returns the Minsts/s figure so the
+/// driver can aggregate a geomean.
+fn bench_sim(label: &str, limit: u64, f: impl FnMut() -> popk_core::SimStats) -> f64 {
     let sample = bench(label, 10, f);
+    let minsts = sample.elems_per_sec(limit) / 1e6;
     println!(
         "{:<44} {:>10.2} Minsts/s",
         format!("{label} (throughput)"),
-        sample.elems_per_sec(limit) / 1e6
+        minsts
     );
+    minsts
 }
 
-fn bench_configs(limit: u64) {
+fn bench_configs(limit: u64, geo: &mut Vec<f64>) {
     let h = human_limit(limit);
     let program = by_name("gcc").unwrap().program();
     for (label, cfg) in [
@@ -45,19 +48,23 @@ fn bench_configs(limit: u64) {
         ("simple4", MachineConfig::simple4()),
         ("slice4_full", MachineConfig::slice4_full()),
     ] {
-        bench_sim(&format!("simulate_gcc_{h}/{label}"), limit, || {
-            simulate(&program, &cfg, limit)
-        });
+        geo.push(bench_sim(
+            &format!("simulate_gcc_{h}/{label}"),
+            limit,
+            || simulate(&program, &cfg, limit),
+        ));
     }
 }
 
-fn bench_workload_diversity(limit: u64) {
+fn bench_workload_diversity(limit: u64, geo: &mut Vec<f64>) {
     let h = human_limit(limit);
     for name in ["mcf", "li", "ijpeg"] {
         let program = by_name(name).unwrap().program();
-        bench_sim(&format!("simulate_slice2_full_{h}/{name}"), limit, || {
-            simulate(&program, &MachineConfig::slice2_full(), limit)
-        });
+        geo.push(bench_sim(
+            &format!("simulate_slice2_full_{h}/{name}"),
+            limit,
+            || simulate(&program, &MachineConfig::slice2_full(), limit),
+        ));
     }
 }
 
@@ -86,7 +93,16 @@ fn main() {
         .skip(1)
         .find_map(|a| a.replace('_', "").parse::<u64>().ok())
         .unwrap_or(DEFAULT_LIMIT);
-    bench_configs(limit);
-    bench_workload_diversity(limit);
+    let mut geo = Vec::new();
+    bench_configs(limit, &mut geo);
+    bench_workload_diversity(limit, &mut geo);
     bench_characterization(limit);
+    // Geomean across the simulation cases, in a stable format the CI
+    // bench smoke greps (`simulate geomean  <value> Minsts/s`).
+    let geomean = (geo.iter().map(|m| m.ln()).sum::<f64>() / geo.len() as f64).exp();
+    println!(
+        "{:<44} {:>10.2} Minsts/s",
+        format!("simulate geomean ({} cases)", geo.len()),
+        geomean
+    );
 }

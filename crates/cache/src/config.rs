@@ -52,7 +52,11 @@ impl CacheConfig {
     /// Number of sets.
     #[inline]
     pub fn sets(&self) -> u32 {
-        self.size_bytes / (self.line_bytes * self.ways)
+        // All three factors are validated powers of two: divide by
+        // subtracting exponents (this sits on the per-access index path).
+        1 << (self.size_bytes.trailing_zeros()
+            - self.line_bytes.trailing_zeros()
+            - self.ways.trailing_zeros())
     }
 
     /// Bits of block offset.

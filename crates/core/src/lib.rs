@@ -50,6 +50,6 @@ pub use events::{NullTrace, ReplayReason, StallReason, TraceEvent, TraceSink, Ve
 pub use fault::{FaultKinds, FaultLog, FaultPlan};
 pub use json::Json;
 pub use registry::{Counter, StatsRegistry};
-pub use sim::{simulate, try_simulate, Simulator};
+pub use sim::{simulate, try_simulate, try_simulate_in, Scratch, Simulator};
 pub use stats::SimStats;
 pub use timeline::{render_chart, render_table, InsnTiming, TimelineBuilder};

@@ -10,68 +10,66 @@ impl<S: TraceSink> Simulator<S> {
     /// Retire up to `width` completed instructions from the window head.
     pub(crate) fn commit(&mut self) {
         for _ in 0..self.cfg.width {
-            let Some(head) = self.window.front() else {
+            if self.window.is_empty() {
                 return;
-            };
-            if head.phantom {
+            }
+            if self.window.phantom(0) {
                 // Wrong-path work never retires; it waits for the squash.
                 return;
             }
-            match head.completed_at {
-                Some(c) if c <= self.cycle => {}
-                _ => return,
+            if !self.window.completed_at(0).done_by(self.cycle) {
+                return;
             }
-            let head = self
-                .window
-                .pop_front()
-                .expect("window head vanished between peek and pop");
+            let seq = self.window.seq(0);
+            let op = self.window.op(0);
+            let is_mem = self.window.is_mem(0);
+            let ea = self.window.rec(0).ea;
+            let defs = self.window.rec(0).insn.defs();
             // A completed producer has published every result slice, and
             // publishing drains the waiter list.
-            debug_assert!(head.waiters.is_empty());
-
+            debug_assert!(self.window.waiters_empty(0));
             // The architectural claim this retirement makes. A fault plan
             // may corrupt it (modeling in-flight state corruption); the
             // oracle then re-executes it on the reference machine and
-            // aborts the run on any divergence.
-            if self.oracle.is_some() || self.fault.is_some() {
-                let mut claim = head.rec;
+            // aborts the run on any divergence. (The full record is only
+            // copied out on these slow paths.)
+            let claim =
+                (self.oracle.is_some() || self.fault.is_some()).then(|| *self.window.rec(0));
+            self.window.pop_front();
+            if let Some(mut claim) = claim {
                 if let Some(f) = self.fault.as_mut() {
-                    f.corrupt_commit(head.seq, self.cycle, &mut claim);
+                    f.corrupt_commit(seq, self.cycle, &mut claim);
                 }
                 if let Some(o) = self.oracle.as_mut() {
-                    if let Err(e) = o.check(head.seq, &claim) {
+                    if let Err(e) = o.check(seq, &claim) {
                         self.error = Some(e);
                         return;
                     }
                 }
             }
 
-            emit!(self, TraceEvent::Committed { seq: head.seq });
+            emit!(self, TraceEvent::Committed { seq });
             self.stats.committed += 1;
             self.last_commit_cycle = self.cycle;
-            let op = head.rec.insn.op();
-            if head.is_mem() {
+            if is_mem {
                 self.lsq_occupancy -= 1;
             }
-            if op.is_store() {
-                self.sched.commit_store(head.seq);
-            }
             #[cfg(debug_assertions)]
-            debug_assert!(!op.is_load() || !self.sched.load_is_pending(head.seq));
+            debug_assert!(!op.is_load() || !self.sched.load_is_pending(seq));
             if op.is_load() {
                 self.stats.loads += 1;
-            }
-            if op.is_store() {
+            } else if op.is_store() {
+                self.sched.commit_store(seq);
                 self.stats.stores += 1;
                 // The store writes the cache at retirement.
                 self.stats.l1d_accesses += 1;
-                if self.memory.access_data(head.rec.ea).l1_hit {
+                if self.memory.access_data(ea).l1_hit {
                     self.stats.l1d_hits += 1;
                 }
             }
             // Clear producer entries that still point at this instruction.
-            for r in head.rec.insn.defs().iter() {
-                self.rename.clear_if(r, head.seq);
+            for r in defs.iter() {
+                self.rename.clear_if(r, seq);
             }
         }
     }
@@ -80,25 +78,25 @@ impl<S: TraceSink> Simulator<S> {
     /// rewind the sequence counter (phantoms define no registers, so no
     /// producer cleanup is needed).
     pub(crate) fn squash_wrong_path(&mut self, branch_seq: u64) {
-        while self
-            .window
-            .back()
-            .is_some_and(|e| e.phantom && e.seq > branch_seq)
-        {
-            let squashed = self
-                .window
-                .pop_back()
-                .expect("squash loop condition guarantees a tail entry");
-            emit!(self, TraceEvent::Squashed { seq: squashed.seq });
+        loop {
+            let n = self.window.len();
+            if n == 0 {
+                break;
+            }
+            let tail = n - 1;
+            let seq = self.window.seq(tail);
+            if !(self.window.phantom(tail) && seq > branch_seq) {
+                break;
+            }
+            self.window.pop_back();
+            emit!(self, TraceEvent::Squashed { seq });
         }
         self.feed.drop_phantoms();
-        self.next_seq = self
-            .window
-            .back()
-            .map(|e| e.seq + 1)
-            .unwrap_or(self.next_seq)
-            .max(branch_seq + 1)
-            .min(self.next_seq);
+        let after_tail = match self.window.len() {
+            0 => self.next_seq,
+            n => self.window.seq(n - 1) + 1,
+        };
+        self.next_seq = after_tail.max(branch_seq + 1).min(self.next_seq);
     }
 }
 

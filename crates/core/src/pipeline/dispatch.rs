@@ -10,7 +10,7 @@
 //! into an empty window); direct jumps resolve entirely in the front
 //! end and complete at dispatch.
 
-use super::entry::{Dep, Entry, ExecClass};
+use super::entry::{CycleSlot, Dep, ExecClass};
 use super::issue::IssueMark;
 use super::{emit, Simulator};
 use crate::events::{StallReason, TraceEvent, TraceSink};
@@ -78,33 +78,26 @@ impl<S: TraceSink> Simulator<S> {
 
             let mut deps = [Dep::Ready; 2];
             let mut ndeps = 0;
+            // The rename walk already enumerates the operand registers:
+            // resolve the store-data slot (the last `uses()` position
+            // naming rt) here too, so the window needn't re-derive it.
+            let mut store_data_slot = 0u16;
+            let store_data_reg = op.is_store().then(|| rec.insn.rt());
             for r in rec.insn.uses().iter() {
                 deps[ndeps] = match self.rename.producer_of(r) {
                     Some(p) if !r.is_zero() => Dep::InFlight(p),
                     _ => Dep::Ready,
                 };
+                if store_data_reg == Some(r) {
+                    store_data_slot = ndeps as u16;
+                }
                 ndeps += 1;
             }
-            for r in rec.insn.defs().iter() {
+            let defs = rec.insn.defs();
+            for r in defs.iter() {
                 self.rename.set_producer(r, seq);
             }
 
-            let mut entry = Entry::new(
-                seq,
-                rec,
-                fetch + self.cfg.front_depth,
-                deps,
-                ndeps,
-                mispredicted,
-                phantom,
-            );
-            let class = entry.class;
-            if class == ExecClass::Front {
-                // Direct jumps: the front end computes the target; the RA
-                // result (jal) is available as soon as the entry exists.
-                entry.resolved_at = Some(fetch + self.cfg.dispatch_depth);
-                entry.completed_at = Some(entry.earliest_ex);
-            }
             if is_mem {
                 self.lsq_occupancy += 1;
                 if op.is_store() {
@@ -122,16 +115,27 @@ impl<S: TraceSink> Simulator<S> {
                     fetch
                 }
             );
-            self.window.push_back(entry);
-            if class == ExecClass::Front {
-                let idx = self.window.len() - 1;
-                self.publish_all_slices(idx, fetch + self.cfg.dispatch_depth, IssueMark::None);
+            let earliest_ex = fetch + self.cfg.front_depth;
+            let idx = self.window.push_back(
+                seq,
+                rec,
+                earliest_ex,
+                deps,
+                ndeps,
+                store_data_slot,
+                !defs.is_empty(),
+                mispredicted,
+                phantom,
+            );
+            if self.window.class(idx) == ExecClass::Front {
+                // Direct jumps: the front end computes the target; the RA
+                // result (jal) is available as soon as the entry exists.
+                let resolved_at = fetch + self.cfg.dispatch_depth;
+                self.window.set_resolved_at(idx, CycleSlot::at(resolved_at));
+                self.window
+                    .set_completed_at(idx, CycleSlot::at(earliest_ex));
+                self.publish_all_slices(idx, resolved_at, IssueMark::None);
                 if S::ENABLED {
-                    let e = &self.window[idx];
-                    let (resolved_at, completed_at) = (
-                        e.resolved_at.expect("publish_all_slices resolved it"),
-                        e.completed_at.expect("publish_all_slices completed it"),
-                    );
                     emit!(
                         self,
                         TraceEvent::BranchResolved {
@@ -145,13 +149,13 @@ impl<S: TraceSink> Simulator<S> {
                         self,
                         TraceEvent::Completed {
                             seq,
-                            at: completed_at
+                            at: earliest_ex
                         }
                     );
                 }
             } else {
                 // First examination at the end of the front end.
-                self.wake_at(seq, fetch + self.cfg.front_depth);
+                self.wake_at(seq, earliest_ex);
             }
         }
     }

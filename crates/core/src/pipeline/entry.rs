@@ -1,20 +1,76 @@
-//! RUU window entries: the per-instruction in-flight state every stage
-//! reads and advances (one [`Entry`] per dynamic instruction, Fig. 7's
-//! register update unit).
+//! Per-instruction decode products and the [`CycleSlot`] schedule
+//! sentinel.
 //!
-//! An entry records the full issue/readiness schedule of an instruction
-//! — per-slice issue and result cycles, memory access state, branch
-//! resolution — plus the decoded predicates the hot paths consult.
-//! Memory state is reachable only through the typed [`Entry::mem`] /
-//! [`Entry::mem_mut`] accessors, which panic with the offending sequence
-//! number instead of a bare `unwrap`.
+//! The in-flight state itself lives in the struct-of-arrays
+//! [`Window`](super::window::Window) store; this module keeps the types
+//! the columns are made of: the execution-class decode run once at
+//! dispatch, the dependence encoding, and the `u64`-sentinel cycle slot
+//! that replaces `Option<u64>` in every hot column.
 
-use crate::pipeline::sched::Waiters;
-use popk_emu::TraceRecord;
 use popk_isa::{Op, OpClass, SliceClass};
 
 /// Upper bound on operand slices (slice-by-4 is the deepest machine).
 pub(crate) const MAX_SLICES: usize = 4;
+
+/// A schedule slot: either a cycle number or unset, encoded in one
+/// `u64` with `u64::MAX` as the unset sentinel (half the size of
+/// `Option<u64>`, and the common "set and due" test is a single
+/// compare).
+///
+/// Accessors debug-assert the encoding invariants: [`CycleSlot::at`]
+/// rejects the sentinel as a cycle value, [`CycleSlot::value`] rejects
+/// reading an unset slot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) struct CycleSlot(u64);
+
+impl CycleSlot {
+    /// The unset slot.
+    pub(crate) const UNSET: CycleSlot = CycleSlot(u64::MAX);
+
+    /// A set slot stamped with cycle `c`.
+    #[inline]
+    pub(crate) fn at(c: u64) -> CycleSlot {
+        debug_assert_ne!(c, u64::MAX, "cycle collides with the unset sentinel");
+        CycleSlot(c)
+    }
+
+    #[inline]
+    pub(crate) fn is_set(self) -> bool {
+        self.0 != u64::MAX
+    }
+
+    #[inline]
+    pub(crate) fn is_unset(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// The slot as an `Option` (for paths that branch on both halves).
+    #[inline]
+    pub(crate) fn get(self) -> Option<u64> {
+        self.is_set().then_some(self.0)
+    }
+
+    /// Set *and* due: the slot holds a cycle `<= cycle`. The sentinel
+    /// makes this one compare — unset is never due.
+    #[inline]
+    pub(crate) fn done_by(self, cycle: u64) -> bool {
+        self.0 <= cycle
+    }
+
+    /// Set *and* strictly earlier than `cycle` (the issued-last-cycle
+    /// gate of the carry chain). One compare; unset is never earlier.
+    #[inline]
+    pub(crate) fn before(self, cycle: u64) -> bool {
+        self.0 < cycle
+    }
+
+    /// The stamped cycle of a set slot.
+    #[inline]
+    pub(crate) fn value(self) -> u64 {
+        debug_assert!(self.is_set(), "reading an unset CycleSlot");
+        self.0
+    }
+}
 
 /// How an instruction occupies execution resources.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,240 +98,98 @@ pub(crate) enum Dep {
     InFlight(u64),
 }
 
-/// The memory half of a load/store entry.
-#[derive(Clone, Copy, Default)]
-pub(crate) struct MemState {
-    /// Cycle the cache access started, if it has.
-    pub(crate) started: Option<u64>,
-    /// Cycle the loaded data is available to consumers.
-    pub(crate) data_ready: Option<u64>,
-    /// For stores: cycle the store *data* (rt) is fully available.
-    pub(crate) store_data_ready: Option<u64>,
-    /// The load issued past unknown older store addresses on the memory
-    /// dependence predictor's say-so (pending violation check).
-    pub(crate) dep_speculated: bool,
-}
-
-/// One in-flight instruction.
-pub(crate) struct Entry {
-    pub(crate) seq: u64,
-    pub(crate) rec: TraceRecord,
-    /// Earliest cycle any slice may issue (end of the front end).
-    pub(crate) earliest_ex: u64,
+/// The per-opcode predicates every hot path consults, decoded once at
+/// dispatch and stored in the window's class/flag columns.
+pub(crate) struct Decode {
     pub(crate) class: ExecClass,
     pub(crate) slice_class: SliceClass,
-    pub(crate) deps: [Dep; 2],
-    pub(crate) ndeps: usize,
-    /// Issue cycle per slice (or the single issue event for atomic /
-    /// simple-pipelined execution, stored in slot 0).
-    pub(crate) issued: [Option<u64>; MAX_SLICES],
-    /// Cycle each *result slice* becomes available to consumers.
-    pub(crate) ready: [Option<u64>; MAX_SLICES],
-    /// Memory access state (`Some` exactly for loads and stores); go
-    /// through [`Entry::mem`] / [`Entry::mem_mut`].
-    mem: Option<MemState>,
-    /// For control: cycle the redirect (if any) is known.
-    pub(crate) resolved_at: Option<u64>,
-    pub(crate) mispredicted: bool,
     /// slt-family: results publish only after the top slice evaluates.
     pub(crate) late_result: bool,
-    /// Wrong-path phantom (never commits; squashed at redirect).
-    pub(crate) phantom: bool,
-    /// Set once every slice (and memory) is finished.
-    pub(crate) completed_at: Option<u64>,
-    /// Sequence numbers parked on this entry's result: they re-enter the
-    /// wakeup calendar when a result slice is scheduled (published).
-    pub(crate) waiters: Waiters,
-    /// Cached opcode predicates (decoded once at dispatch; these are on
-    /// per-examination hot paths).
-    is_ld: bool,
-    is_st: bool,
+    pub(crate) is_load: bool,
+    pub(crate) is_store: bool,
 }
 
-impl Entry {
-    /// Decode `rec` into a fresh window entry (nothing issued yet).
-    pub(crate) fn new(
-        seq: u64,
-        rec: TraceRecord,
-        earliest_ex: u64,
-        deps: [Dep; 2],
-        ndeps: usize,
-        mispredicted: bool,
-        phantom: bool,
-    ) -> Entry {
-        let op = rec.insn.op();
-        let class = match op.class() {
-            OpClass::MulDiv => ExecClass::MulDiv,
-            OpClass::Fp => match op {
-                Op::AddS | Op::SubS | Op::CvtSW | Op::CvtWS => ExecClass::FpAdd,
-                _ => ExecClass::FpLong,
-            },
-            OpClass::Sys => ExecClass::Sys,
-            OpClass::Jump => match op {
-                Op::J | Op::Jal => ExecClass::Front,
-                _ => ExecClass::IntSliced, // jr/jalr read a register
-            },
-            _ => ExecClass::IntSliced,
-        };
-        // beq/bne compare slices independently (equality); the
-        // sign-testing branches carry-chain (subtract + sign).
-        let slice_class = match op {
-            Op::Beq | Op::Bne => SliceClass::Independent,
-            _ => op.slice_class(),
-        };
-        // Set-less-than results depend on the *entire* comparison, so
-        // no slice of the output exists before the top slice runs.
-        let late_result = matches!(op, Op::Slt | Op::Sltu | Op::Slti | Op::Sltiu);
-        let is_ld = op.is_load();
-        let is_st = op.is_store();
-        Entry {
-            seq,
-            rec,
-            earliest_ex,
-            class,
-            slice_class,
-            deps,
-            ndeps,
-            issued: [None; MAX_SLICES],
-            ready: [None; MAX_SLICES],
-            mem: (is_ld || is_st).then_some(MemState::default()),
-            resolved_at: None,
-            mispredicted,
-            late_result,
-            phantom,
-            completed_at: None,
-            waiters: Waiters::new(),
-            is_ld,
-            is_st,
-        }
-    }
-
-    pub(crate) fn is_load(&self) -> bool {
-        self.is_ld
-    }
-    pub(crate) fn is_store(&self) -> bool {
-        self.is_st
-    }
-    pub(crate) fn is_mem(&self) -> bool {
-        self.is_ld || self.is_st
-    }
-
-    /// The memory state of a load/store entry.
-    ///
-    /// Panics (naming the sequence number) when called on a non-memory
-    /// instruction — every caller sits on a path that has already
-    /// established `is_mem()`.
-    #[track_caller]
-    pub(crate) fn mem(&self) -> &MemState {
-        match &self.mem {
-            Some(m) => m,
-            None => panic!("seq {}: memory state on a non-memory entry", self.seq),
-        }
-    }
-
-    /// Mutable [`Entry::mem`].
-    #[track_caller]
-    pub(crate) fn mem_mut(&mut self) -> &mut MemState {
-        match &mut self.mem {
-            Some(m) => m,
-            None => panic!("seq {}: memory state on a non-memory entry", self.seq),
-        }
-    }
-
-    /// Result slice `k` availability (`None` = not yet known/scheduled).
-    pub(crate) fn result_ready(&self, k: usize) -> Option<u64> {
-        if self.is_load() {
-            // Loads publish all slices when the data returns.
-            self.mem.as_ref().and_then(|m| m.data_ready)
-        } else {
-            self.ready[k]
-        }
-    }
-
-    /// Availability of the *full* result.
-    pub(crate) fn result_ready_full(&self, nslices: usize) -> Option<u64> {
-        let mut worst = 0u64;
-        for k in 0..nslices {
-            worst = worst.max(self.result_ready(k)?);
-        }
-        Some(worst)
+/// Decode `op` into its execution classes (the body of the old
+/// `Entry::new`).
+pub(crate) fn decode(op: Op) -> Decode {
+    let class = match op.class() {
+        OpClass::MulDiv => ExecClass::MulDiv,
+        OpClass::Fp => match op {
+            Op::AddS | Op::SubS | Op::CvtSW | Op::CvtWS => ExecClass::FpAdd,
+            _ => ExecClass::FpLong,
+        },
+        OpClass::Sys => ExecClass::Sys,
+        OpClass::Jump => match op {
+            Op::J | Op::Jal => ExecClass::Front,
+            _ => ExecClass::IntSliced, // jr/jalr read a register
+        },
+        _ => ExecClass::IntSliced,
+    };
+    // beq/bne compare slices independently (equality); the
+    // sign-testing branches carry-chain (subtract + sign).
+    let slice_class = match op {
+        Op::Beq | Op::Bne => SliceClass::Independent,
+        _ => op.slice_class(),
+    };
+    // Set-less-than results depend on the *entire* comparison, so
+    // no slice of the output exists before the top slice runs.
+    let late_result = matches!(op, Op::Slt | Op::Sltu | Op::Slti | Op::Sltiu);
+    Decode {
+        class,
+        slice_class,
+        late_result,
+        is_load: op.is_load(),
+        is_store: op.is_store(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popk_isa::{Insn, Reg};
-
-    fn rec(insn: Insn) -> TraceRecord {
-        TraceRecord {
-            pc: 0x400000,
-            insn,
-            src_vals: [0; 2],
-            results: [0; 2],
-            ea: 0,
-            taken: false,
-            next_pc: 0x400004,
-        }
-    }
 
     #[test]
     fn decode_classes() {
-        let add = Entry::new(
-            0,
-            rec(Insn::r3(Op::Addu, Reg::gpr(8), Reg::gpr(9), Reg::gpr(10))),
-            0,
-            [Dep::Ready; 2],
-            2,
-            false,
-            false,
-        );
+        let add = decode(Op::Addu);
         assert_eq!(add.class, ExecClass::IntSliced);
-        assert!(!add.is_mem());
+        assert!(!add.is_load && !add.is_store);
 
-        let lw = Entry::new(
-            1,
-            rec(Insn::load(Op::Lw, Reg::gpr(8), 0, Reg::gpr(9))),
-            0,
-            [Dep::Ready; 2],
-            1,
-            false,
-            false,
-        );
-        assert!(lw.is_load() && lw.is_mem() && !lw.is_store());
-        assert!(lw.mem().started.is_none());
+        let lw = decode(Op::Lw);
+        assert!(lw.is_load && !lw.is_store);
+        assert_eq!(lw.class, ExecClass::IntSliced, "agen is sliced");
+
+        assert_eq!(decode(Op::J).class, ExecClass::Front);
+        assert_eq!(decode(Op::Jr).class, ExecClass::IntSliced);
+        assert_eq!(decode(Op::Mult).class, ExecClass::MulDiv);
+        assert_eq!(decode(Op::Syscall).class, ExecClass::Sys);
     }
 
     #[test]
-    #[should_panic(expected = "seq 7: memory state on a non-memory entry")]
-    fn mem_accessor_names_the_seq() {
-        let add = Entry::new(
-            7,
-            rec(Insn::r3(Op::Addu, Reg::gpr(8), Reg::gpr(9), Reg::gpr(10))),
-            0,
-            [Dep::Ready; 2],
-            2,
-            false,
-            false,
-        );
-        let _ = add.mem();
+    fn branches_compare_independently() {
+        assert_eq!(decode(Op::Beq).slice_class, SliceClass::Independent);
+        assert_eq!(decode(Op::Bne).slice_class, SliceClass::Independent);
+        assert!(decode(Op::Slt).late_result);
+        assert!(!decode(Op::Addu).late_result);
     }
 
     #[test]
-    fn loads_publish_slices_with_the_data() {
-        let mut lw = Entry::new(
-            0,
-            rec(Insn::load(Op::Lw, Reg::gpr(8), 0, Reg::gpr(9))),
-            0,
-            [Dep::Ready; 2],
-            1,
-            false,
-            false,
-        );
-        lw.ready = [Some(3), Some(4), None, None];
-        assert_eq!(lw.result_ready(0), None, "load data not back yet");
-        lw.mem_mut().data_ready = Some(9);
-        assert_eq!(lw.result_ready(0), Some(9));
-        assert_eq!(lw.result_ready(1), Some(9));
+    fn cycle_slot_sentinel_semantics() {
+        let unset = CycleSlot::UNSET;
+        assert!(unset.is_unset() && !unset.is_set());
+        assert_eq!(unset.get(), None);
+        assert!(!unset.done_by(u64::MAX - 1), "unset is never due");
+        assert!(!unset.before(u64::MAX - 1), "unset is never earlier");
+
+        let s = CycleSlot::at(7);
+        assert_eq!(s.get(), Some(7));
+        assert_eq!(s.value(), 7);
+        assert!(s.done_by(7) && s.done_by(8) && !s.done_by(6));
+        assert!(s.before(8) && !s.before(7));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unset CycleSlot")]
+    fn reading_unset_slot_asserts() {
+        let _ = CycleSlot::UNSET.value();
     }
 }

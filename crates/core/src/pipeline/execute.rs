@@ -11,8 +11,8 @@
 //! resolves a conditional branch is delegated to the configured
 //! [`crate::policies::BranchResolvePolicy`].
 
-use super::entry::{Dep, ExecClass, MAX_SLICES};
-use super::issue::{Block, IssueMark};
+use super::entry::{CycleSlot, Dep, ExecClass, MAX_SLICES};
+use super::issue::{Block, IssueMark, Progress};
 use super::{emit, Simulator};
 use crate::config::PipelineKind;
 use crate::events::{TraceEvent, TraceSink};
@@ -35,14 +35,56 @@ fn value_is_narrow(v: u32, slice_bits: u32) -> bool {
     shifted == 0 || shifted == -1 || v >> slice_bits == 0
 }
 
+/// Map an instruction to the `(op, a, b)` lane whose batched-kernel
+/// evaluation reproduces its traced result — the debug-build datapath
+/// check. `None` for anything outside the two-operand sliced ALU ops
+/// (memory, control, mul/div, FP) and for discarded `r0` writes.
+#[cfg(debug_assertions)]
+fn batch_lane(rec: &popk_emu::TraceRecord) -> Option<(popk_slice::AluSliceOp, u32, u32)> {
+    use popk_slice::AluSliceOp as A;
+    let insn = rec.insn;
+    let def = insn.defs().iter().next()?;
+    if def.is_zero() {
+        return None;
+    }
+    let imm = insn.imm() as u32;
+    let rs = || rec.src_val(insn.rs()).unwrap_or(0);
+    let rt = || rec.src_val(insn.rt()).unwrap_or(0);
+    Some(match insn.op() {
+        Op::Add | Op::Addu => (A::Add, rs(), rt()),
+        Op::Sub | Op::Subu => (A::Sub, rs(), rt()),
+        Op::Slt => (A::Slt, rs(), rt()),
+        Op::Sltu => (A::Sltu, rs(), rt()),
+        Op::And => (A::And, rs(), rt()),
+        Op::Or => (A::Or, rs(), rt()),
+        Op::Xor => (A::Xor, rs(), rt()),
+        Op::Nor => (A::Nor, rs(), rt()),
+        Op::Addi | Op::Addiu => (A::Add, rs(), imm),
+        Op::Slti => (A::Slt, rs(), imm),
+        Op::Sltiu => (A::Sltu, rs(), imm),
+        Op::Andi => (A::And, rs(), imm),
+        Op::Ori => (A::Or, rs(), imm),
+        Op::Xori => (A::Xor, rs(), imm),
+        // lui's immediate is pre-shifted by the assembler; OR-with-zero
+        // routes it through the logic slices.
+        Op::Lui => (A::Or, 0, imm),
+        Op::Sll => (A::Sll, rt(), imm),
+        Op::Srl => (A::Srl, rt(), imm),
+        Op::Sra => (A::Sra, rt(), imm),
+        Op::Sllv => (A::Sll, rt(), rs()),
+        Op::Srlv => (A::Srl, rt(), rs()),
+        Op::Srav => (A::Sra, rt(), rs()),
+        _ => return None,
+    })
+}
+
 impl<S: TraceSink> Simulator<S> {
     /// Issue one of the atomic (unsliced) functional-unit operations:
     /// multiply/divide, FP add, FP long ops.
     pub(crate) fn examine_atomic_unit(&mut self, idx: usize, fp_used: &mut usize) {
-        let entry = &self.window[idx];
-        let seq = entry.seq;
-        let class = entry.class;
-        if entry.issued[0].is_some() {
+        let seq = self.window.seq(idx);
+        let class = self.window.class(idx);
+        if self.window.issued(idx, 0).is_set() {
             self.finish_if_done(idx);
             return;
         }
@@ -50,7 +92,7 @@ impl<S: TraceSink> Simulator<S> {
             self.block_on_sources(idx);
             return;
         }
-        let op = entry.rec.insn.op();
+        let op = self.window.op(idx);
         let (latency, ok, retry) = match class {
             ExecClass::MulDiv => {
                 let lat = match op {
@@ -105,10 +147,14 @@ impl<S: TraceSink> Simulator<S> {
 
     /// The naive-pipelining issue path (no partial bypassing): a single
     /// issue event, result atomic after `nslices` cycles.
-    pub(crate) fn examine_unsliced(&mut self, idx: usize, int_used: &mut [usize; MAX_SLICES]) {
-        let seq = self.window[idx].seq;
+    pub(crate) fn examine_unsliced(
+        &mut self,
+        idx: usize,
+        int_used: &mut [usize; MAX_SLICES],
+    ) -> Progress {
+        let seq = self.window.seq(idx);
         let nslices = self.nslices;
-        if self.window[idx].issued[0].is_none() {
+        if self.window.issued(idx, 0).is_unset() {
             if int_used[0] >= self.cfg.int_alus.min(self.cfg.width) as usize {
                 self.wake_at(seq, self.cycle + 1);
             } else if !self.all_sources_ready(idx) {
@@ -121,18 +167,28 @@ impl<S: TraceSink> Simulator<S> {
                     };
                 int_used[0] += 1;
                 self.publish_all_slices(idx, done, IssueMark::AllSlices);
+                return Progress::Issued { all: true };
             }
+            Progress::NoChange { all: false }
+        } else {
+            Progress::NoChange { all: true }
         }
     }
 
     /// The bit-sliced issue path: try to issue (at most) one slice this
     /// cycle, exactly as the exhaustive scan would. If nothing issues,
     /// park the entry on its blockers.
-    pub(crate) fn examine_sliced(&mut self, idx: usize, int_used: &mut [usize; MAX_SLICES]) {
+    pub(crate) fn examine_sliced(
+        &mut self,
+        idx: usize,
+        int_used: &mut [usize; MAX_SLICES],
+    ) -> Progress {
         let nslices = self.nslices;
-        let seq = self.window[idx].seq;
+        let seq = self.window.seq(idx);
+        let alu_cap = self.cfg.int_alus.min(self.cfg.width) as usize;
         let mut retry: Option<u64> = None;
         let mut on_publish: [Option<u64>; 2] = [None; 2];
+        let mut all_issued = true;
         {
             // Bit-sliced issue: wake slices independently, but
             // at most one slice of an instruction per cycle —
@@ -142,16 +198,17 @@ impl<S: TraceSink> Simulator<S> {
             #[allow(clippy::needless_range_loop)] // int_used is
             // indexed by slice position, not iterated
             for k in 0..nslices {
-                if self.window[idx].issued[k].is_some() {
+                if self.window.issued(idx, k).is_set() {
                     continue;
                 }
-                if int_used[k] >= self.cfg.int_alus.min(self.cfg.width) as usize {
+                all_issued = false;
+                if int_used[k] >= alu_cap {
                     // ALU slot contention: the slots refill next cycle.
                     retry = Some(retry.map_or(self.cycle + 1, |t| t.min(self.cycle + 1)));
                     continue;
                 }
-                if !self.slice_can_issue(idx, k) {
-                    match self.slice_block(idx, k) {
+                if let Err(block) = self.slice_gate(idx, k) {
+                    match block {
                         Some(Block::Until(t)) => {
                             retry = Some(retry.map_or(t, |r| r.min(t)));
                         }
@@ -167,74 +224,80 @@ impl<S: TraceSink> Simulator<S> {
                     continue;
                 }
                 int_used[k] += 1;
-                // Snapshot of the result schedule, both for event diffing
-                // (the late/narrow special cases below rewrite `ready`
-                // slots) and to decide whether anything was published.
-                let before_ready = self.window[idx].ready;
-                let late = self.window[idx].late_result;
+                // Snapshot of the result schedule for event diffing (the
+                // late/narrow special cases below rewrite `ready` slots);
+                // only a recording sink needs it.
+                let before_ready = S::ENABLED.then(|| self.window.ready_row(idx));
+                let late = self.window.late_result(idx);
+                let slice_class = self.window.slice_class(idx);
                 let narrow_publish = k == 0
                     && !late
                     && self.cfg.opts.narrow_operands
-                    && !self.window[idx].is_mem()
-                    && !self.window[idx].rec.insn.defs().is_empty()
-                    && value_is_narrow(self.window[idx].rec.results[0], self.slice_bits);
-                let e = &mut self.window[idx];
-                e.issued[k] = Some(self.cycle);
-                e.ready[k] = Some(self.cycle + 1);
-                if narrow_publish && e.slice_class != SliceClass::Atomic {
+                    && !self.window.is_mem(idx)
+                    && self.window.has_def(idx)
+                    && value_is_narrow(self.window.rec(idx).results[0], self.slice_bits);
+                self.window.set_issued(idx, k, self.cycle);
+                self.window.set_ready(idx, k, CycleSlot::at(self.cycle + 1));
+                if narrow_publish && slice_class != SliceClass::Atomic {
                     // Significance compression (§6 extension +
                     // ref [6]): a narrow result's upper slices
                     // are its sign bits — publish them with
                     // slice 0 and skip their execution.
                     self.stats.narrow_wakeups += 1;
-                    emit!(self, TraceEvent::NarrowWakeup { seq: e.seq });
+                    emit!(self, TraceEvent::NarrowWakeup { seq });
                     for j in 1..nslices {
-                        e.issued[j] = Some(self.cycle);
-                        e.ready[j] = Some(self.cycle + 1);
+                        self.window.set_issued(idx, j, self.cycle);
+                        self.window.set_ready(idx, j, CycleSlot::at(self.cycle + 1));
                     }
                 }
-                if e.slice_class == SliceClass::Atomic {
+                // Whether this issue published any result slice: every
+                // slot the paths below touch is scheduled at `cycle + 1`,
+                // except the late non-final case, which reverts its slot
+                // to unset (nothing published until the top slice).
+                let mut published = true;
+                if slice_class == SliceClass::Atomic {
                     // Atomic ops (jr/jalr) issue once and
                     // publish every slice together.
                     for j in 0..nslices {
-                        e.issued[j] = Some(self.cycle);
-                        e.ready[j] = Some(self.cycle + 1);
+                        self.window.set_issued(idx, j, self.cycle);
+                        self.window.set_ready(idx, j, CycleSlot::at(self.cycle + 1));
                     }
                 } else if late {
                     // slt-family: every result slice is a
                     // function of the full comparison, so
                     // nothing publishes until the top slice
                     // has evaluated.
-                    if e.issued.iter().take(nslices).all(|i| i.is_some()) {
+                    if (0..nslices).all(|j| self.window.issued(idx, j).is_set()) {
                         for j in 0..nslices {
-                            e.ready[j] = Some(self.cycle + 1);
+                            self.window.set_ready(idx, j, CycleSlot::at(self.cycle + 1));
                         }
                     } else {
-                        e.ready[k] = None;
+                        self.window.set_ready(idx, k, CycleSlot::UNSET);
+                        published = false;
                     }
                 }
-                if S::ENABLED {
+                if let Some(before_ready) = before_ready {
                     // Emit exactly what changed: every slice
                     // issued this cycle (the narrow/atomic
                     // paths issue several at once) and every
                     // ready-slot the special cases rewrote.
-                    let e = &self.window[idx];
                     for j in 0..nslices {
-                        if e.issued[j] == Some(self.cycle) {
+                        if self.window.issued(idx, j).get() == Some(self.cycle) {
                             emit!(
                                 self,
                                 TraceEvent::SliceIssued {
-                                    seq: e.seq,
+                                    seq,
                                     slice: j as u8
                                 }
                             );
                         }
-                        if e.ready[j] != before_ready[j] {
-                            if let Some(at) = e.ready[j] {
+                        let r = self.window.ready(idx, j);
+                        if r != before_ready[j] {
+                            if let Some(at) = r.get() {
                                 emit!(
                                     self,
                                     TraceEvent::SliceReady {
-                                        seq: e.seq,
+                                        seq,
                                         slice: j as u8,
                                         at,
                                     }
@@ -243,16 +306,13 @@ impl<S: TraceSink> Simulator<S> {
                         }
                     }
                 }
-                // One slice per entry per cycle. Publish: every result
-                // slot this path schedules is set to `cycle + 1`, so any
-                // newly scheduled slot wakes the waiters then. (The late
-                // non-final case reverts its slot to `None` — no change,
-                // nothing published.)
-                let e = &self.window[idx];
-                if (0..nslices).any(|j| e.ready[j].is_some() && e.ready[j] != before_ready[j]) {
+                // One slice per entry per cycle.
+                if published {
                     self.wake_waiters(idx, self.cycle + 1);
                 }
-                return;
+                return Progress::Issued {
+                    all: (0..nslices).all(|j| self.window.issued(idx, j).is_set()),
+                };
             }
         }
         // Nothing issued: park on the recorded blockers.
@@ -262,51 +322,54 @@ impl<S: TraceSink> Simulator<S> {
         if let Some(t) = retry {
             self.wake_at(seq, t.max(self.cycle + 1));
         }
+        Progress::NoChange { all: all_issued }
     }
 
-    /// Why `slice_can_issue(idx, k)` is false — `None` when the blocker
-    /// is this entry's own earlier slice, whose eventual issue already
-    /// reschedules the entry.
-    pub(crate) fn slice_block(&self, idx: usize, k: usize) -> Option<Block> {
-        let entry = &self.window[idx];
-        let in_order_gate = match entry.slice_class {
+    /// One-pass issue gate for slice `k`: `Ok(())` when it can issue this
+    /// cycle, `Err(why)` otherwise — `Err(None)` when the blocker is this
+    /// entry's own earlier slice, whose eventual issue already
+    /// reschedules the entry. Equivalent to `slice_can_issue` followed by
+    /// `slice_block`, but walks the dependence columns once instead of
+    /// twice.
+    pub(crate) fn slice_gate(&self, idx: usize, k: usize) -> Result<(), Option<Block>> {
+        debug_assert!(self.window.issued(idx, k).is_unset());
+        let slice_class = self.window.slice_class(idx);
+        let in_order_gate = match slice_class {
             SliceClass::CarryChained | SliceClass::CrossSlice => k > 0,
             SliceClass::Independent => !self.cfg.opts.ooo_slices && k > 0,
             SliceClass::Atomic => false,
         };
         if in_order_gate {
-            match entry.issued[k - 1] {
-                Some(c) if c < self.cycle => {}
-                Some(_) => return Some(Block::Until(self.cycle + 1)),
-                None => return None, // cascades off the earlier slice
+            let prev = self.window.issued(idx, k - 1);
+            if prev.before(self.cycle) {
+                // The carry/order edge is satisfied.
+            } else if prev.is_set() {
+                return Err(Some(Block::Until(self.cycle + 1)));
+            } else {
+                return Err(None); // cascades off the earlier slice
             }
         }
-        match entry.slice_class {
+        let block = match slice_class {
             SliceClass::CarryChained | SliceClass::Independent => self.source_block(idx, k),
             SliceClass::CrossSlice => (0..self.nslices).find_map(|j| self.source_block(idx, j)),
             SliceClass::Atomic => {
                 if k != 0 {
-                    return None; // only slot 0 ever issues
+                    return Err(None); // only slot 0 ever issues
                 }
                 (0..self.nslices).find_map(|j| self.source_block(idx, j))
             }
+        };
+        match block {
+            None => Ok(()),
+            Some(b) => Err(Some(b)),
         }
     }
 
     /// Which dependence slot carries a store's *data* operand (rt).
+    /// The slot is resolved once at dispatch (see
+    /// [`super::window::Window::store_data_slot`]).
     pub(crate) fn store_data_dep(&self, idx: usize) -> Dep {
-        let entry = &self.window[idx];
-        // The store's data register is its second source (rt); base is
-        // rs. `uses()` yields [rs, rt] unless they dedup.
-        let uses = entry.rec.insn.uses();
-        let data_reg = entry.rec.insn.rt();
-        let mut which = 0;
-        for (i, r) in uses.iter().enumerate() {
-            if r == data_reg {
-                which = i;
-            }
-        }
-        entry.deps[which]
+        self.window.dep(idx, self.window.store_data_slot(idx))
     }
 
     pub(crate) fn effective_bypass(&self) -> bool {
@@ -326,13 +389,11 @@ impl<S: TraceSink> Simulator<S> {
     /// producers publish their upper slices early at their own issue, so
     /// no consumer-side special case is needed.)
     pub(crate) fn sources_ready_at_slice(&self, idx: usize, k: usize) -> bool {
-        let entry = &self.window[idx];
-        for d in 0..entry.ndeps {
-            if let Dep::InFlight(pseq) = entry.deps[d] {
-                if let Some(p) = self.find(pseq) {
-                    match p.result_ready(k) {
-                        Some(r) if r <= self.cycle => {}
-                        _ => return false,
+        for d in 0..self.window.ndeps(idx) {
+            if let Dep::InFlight(pseq) = self.window.dep(idx, d) {
+                if let Some(pi) = self.window.index_of(pseq) {
+                    if !self.window.result_ready(pi, k).done_by(self.cycle) {
+                        return false;
                     }
                 }
                 // Producer committed → ready.
@@ -341,66 +402,24 @@ impl<S: TraceSink> Simulator<S> {
         true
     }
 
-    /// Readiness of slice `k` under the Fig. 8 inter-slice rules.
-    pub(crate) fn slice_can_issue(&self, idx: usize, k: usize) -> bool {
-        let entry = &self.window[idx];
-        debug_assert!(entry.issued[k].is_none());
-        match entry.slice_class {
-            SliceClass::CarryChained => {
-                // Needs the carry from slice k-1 (issued a cycle earlier)
-                // and slice k of each source.
-                if k > 0 {
-                    match entry.issued[k - 1] {
-                        Some(c) if c < self.cycle => {}
-                        _ => return false,
-                    }
-                }
-                self.sources_ready_at_slice(idx, k)
-            }
-            SliceClass::Independent => {
-                if !self.cfg.opts.ooo_slices && k > 0 {
-                    match entry.issued[k - 1] {
-                        Some(c) if c < self.cycle => {}
-                        _ => return false,
-                    }
-                }
-                self.sources_ready_at_slice(idx, k)
-            }
-            SliceClass::CrossSlice => {
-                // Shifts: all source slices, slices in order.
-                if k > 0 {
-                    match entry.issued[k - 1] {
-                        Some(c) if c < self.cycle => {}
-                        _ => return false,
-                    }
-                }
-                (0..self.nslices).all(|j| self.sources_ready_at_slice(idx, j))
-            }
-            SliceClass::Atomic => {
-                // jr/jalr and friends: single issue when fully ready.
-                k == 0 && self.all_sources_ready(idx)
-            }
-        }
-    }
-
     /// Record branch resolution (redirect release) once enough slices have
     /// finished. The resolving slice comes from the configured
     /// [`crate::policies::BranchResolvePolicy`].
     pub(crate) fn resolve_branch_if_possible(&mut self, idx: usize) {
-        let entry = &self.window[idx];
-        if entry.resolved_at.is_some() {
+        if self.window.resolved_at(idx).is_set() {
             return;
         }
-        let op = entry.rec.insn.op();
+        let op = self.window.op(idx);
         if !op.is_control() {
             return;
         }
         let nslices = self.nslices;
+        let seq = self.window.seq(idx);
+        let mispredicted = self.window.mispredicted(idx);
         if matches!(op, Op::Jr | Op::Jalr) {
             // Atomic: resolved one cycle after issue.
-            if let Some(c) = entry.issued[0] {
-                let (seq, mispredicted) = (entry.seq, entry.mispredicted);
-                self.window[idx].resolved_at = Some(c + 1);
+            if let Some(c) = self.window.issued(idx, 0).get() {
+                self.window.set_resolved_at(idx, CycleSlot::at(c + 1));
                 emit!(
                     self,
                     TraceEvent::BranchResolved {
@@ -415,40 +434,49 @@ impl<S: TraceSink> Simulator<S> {
         }
         let Some(cond) = op.branch_cond() else { return };
 
-        let (seq, mut brec, mispredicted) = (entry.seq, entry.rec, entry.mispredicted);
-        // Fault site: flip bits in the operand slices the resolution
-        // policy compares (timing-only; the window's architectural
-        // record is untouched).
         let cycle = self.cycle;
-        if let Some(f) = self.fault.as_mut() {
-            brec.src_vals[0] = f.corrupt_operand(seq, cycle, brec.src_vals[0]);
-        }
-        let resolve_slice =
-            self.policies
-                .branch
-                .resolve_slice(cond, &brec, mispredicted, nslices, self.slice_bits);
+        let resolve_slice = match self.fault.as_mut() {
+            Some(f) => {
+                // Fault site: flip bits in the operand slices the
+                // resolution policy compares (timing-only; the window's
+                // architectural record is untouched).
+                let mut brec = *self.window.rec(idx);
+                brec.src_vals[0] = f.corrupt_operand(seq, cycle, brec.src_vals[0]);
+                self.policies.branch.resolve_slice(
+                    cond,
+                    &brec,
+                    mispredicted,
+                    nslices,
+                    self.slice_bits,
+                )
+            }
+            None => self.policies.branch.resolve_slice(
+                cond,
+                self.window.rec(idx),
+                mispredicted,
+                nslices,
+                self.slice_bits,
+            ),
+        };
 
         // With independent equality slices, detection needs only the
         // divergent slice; otherwise every slice up to it.
         let needed_done: Option<u64> = if cond.early_resolvable() {
-            self.window[idx].ready[resolve_slice]
+            self.window.ready(idx, resolve_slice).get()
         } else {
-            let e = &self.window[idx];
             (0..=resolve_slice)
-                .map(|k| e.ready[k])
+                .map(|k| self.window.ready(idx, k).get())
                 .try_fold(0u64, |acc, r| r.map(|v| acc.max(v)))
         };
         if let Some(done) = needed_done {
-            let e = &mut self.window[idx];
-            e.resolved_at = Some(done);
-            let early = e.mispredicted && resolve_slice < nslices - 1;
+            self.window.set_resolved_at(idx, CycleSlot::at(done));
+            let early = mispredicted && resolve_slice < nslices - 1;
             if early {
                 self.stats.early_branch_resolves += 1;
                 // Savings estimate: remaining slices would each have taken
                 // at least one more cycle.
                 self.stats.early_branch_cycles_saved += (nslices - 1 - resolve_slice) as u64;
             }
-            let (seq, mispredicted) = (e.seq, e.mispredicted);
             emit!(
                 self,
                 TraceEvent::BranchResolved {
@@ -463,24 +491,23 @@ impl<S: TraceSink> Simulator<S> {
 
     /// Track when a store's data operand becomes fully available.
     pub(crate) fn update_store_data(&mut self, idx: usize) {
-        let entry = &self.window[idx];
-        if !entry.is_store() {
+        if !self.window.is_store(idx) {
             return;
         }
-        if entry.mem().store_data_ready.is_some() {
+        if self.window.store_data_ready(idx).is_set() {
             return;
         }
         let ready = match self.store_data_dep(idx) {
             // Register-file values are read by RF2 at the latest.
-            Dep::Ready => Some(entry.earliest_ex),
-            Dep::InFlight(p) => match self.find(p) {
-                Some(prod) => prod.result_ready_full(self.nslices),
+            Dep::Ready => Some(self.window.earliest_ex(idx)),
+            Dep::InFlight(p) => match self.index_of(p) {
+                Some(pi) => self.window.result_ready_full(pi, self.nslices).get(),
                 None => Some(self.cycle),
             },
         };
         if let Some(r) = ready {
             if r <= self.cycle {
-                self.window[idx].mem_mut().store_data_ready = Some(r.max(1));
+                self.window.set_store_data_ready(idx, r.max(1));
             }
         }
     }
@@ -488,40 +515,72 @@ impl<S: TraceSink> Simulator<S> {
     /// Mark the entry complete when every obligation is met.
     pub(crate) fn finish_if_done(&mut self, idx: usize) {
         let nslices = self.nslices;
-        let entry = &self.window[idx];
-        if entry.completed_at.is_some() {
+        if self.window.completed_at(idx).is_set() {
             return;
         }
         let mut done = 0u64;
         for k in 0..nslices {
-            match entry.ready[k] {
-                Some(r) => done = done.max(r),
-                None => return,
+            let r = self.window.ready(idx, k);
+            if r.is_unset() {
+                return;
             }
+            done = done.max(r.value());
         }
-        if entry.is_mem() {
-            let m = entry.mem();
-            if entry.rec.insn.op().is_load() {
-                match m.data_ready {
-                    Some(r) => done = done.max(r),
-                    None => return,
-                }
+        if self.window.is_mem(idx) {
+            let r = if self.window.is_load(idx) {
+                self.window.mem_data_ready(idx)
             } else {
-                match m.store_data_ready {
-                    Some(r) => done = done.max(r),
-                    None => return,
-                }
+                self.window.store_data_ready(idx)
+            };
+            if r.is_unset() {
+                return;
             }
+            done = done.max(r.value());
         }
-        if entry.rec.insn.op().is_control() {
-            match entry.resolved_at {
-                Some(r) => done = done.max(r),
-                None => return,
+        if self.window.op(idx).is_control() {
+            let r = self.window.resolved_at(idx);
+            if r.is_unset() {
+                return;
             }
+            done = done.max(r.value());
         }
-        let seq = entry.seq;
-        self.window[idx].completed_at = Some(done);
+        let seq = self.window.seq(idx);
+        self.window.set_completed_at(idx, CycleSlot::at(done));
         emit!(self, TraceEvent::Completed { seq, at: done });
+        // Debug datapath check: queue this op's operands as a batch
+        // lane; the cycle's lanes evaluate together in
+        // `check_slice_batch`. Skipped under fault injection, whose
+        // corrupted operands legitimately diverge from the trace.
+        #[cfg(debug_assertions)]
+        if self.fault.is_none() {
+            if let Some((op, a, b)) = batch_lane(self.window.rec(idx)) {
+                self.dbg_batch.push(op, a, b);
+                self.dbg_batch_expect.push(self.window.rec(idx).results[0]);
+            }
+        }
+    }
+
+    /// Flush the cycle's completed sliced ALU ops through the batched
+    /// kernels ([`popk_slice::SliceBatch`]) and check every lane against
+    /// the traced result. Debug builds only: the release machine is
+    /// timing-only and computes no operand values.
+    #[cfg(debug_assertions)]
+    pub(crate) fn check_slice_batch(&mut self) {
+        if self.dbg_batch.is_empty() {
+            return;
+        }
+        let mut out = std::mem::take(&mut self.dbg_batch_out);
+        self.dbg_batch.eval_into(&mut out);
+        for (i, (got, want)) in out.iter().zip(&self.dbg_batch_expect).enumerate() {
+            assert_eq!(
+                got, want,
+                "batched slice kernel diverged from the trace at lane {i}, cycle {}",
+                self.cycle
+            );
+        }
+        self.dbg_batch_out = out;
+        self.dbg_batch.clear();
+        self.dbg_batch_expect.clear();
     }
 }
 

@@ -93,8 +93,12 @@ impl<S: TraceSink> Simulator<S> {
             let resolved = if block_seq >= self.next_seq {
                 None // the branch has not even dispatched yet
             } else {
-                match self.find(block_seq) {
-                    Some(e) => e.resolved_at.filter(|&r| r <= self.cycle),
+                match self.index_of(block_seq) {
+                    Some(i) => self
+                        .window
+                        .resolved_at(i)
+                        .get()
+                        .filter(|&r| r <= self.cycle),
                     // Committed (hence resolved): treat as resolved now.
                     None => Some(self.cycle),
                 }
@@ -132,8 +136,9 @@ impl<S: TraceSink> Simulator<S> {
                 Ok(r) => *r,
                 Err(e) => return Err(crate::error::SimError::Emulation(*e)),
             };
-            // I-cache: probe on line transitions.
-            let line = rec.pc / self.cfg.memory.l1i.line_bytes;
+            // I-cache: probe on line transitions. (Line size is a
+            // validated power of two: shift, don't divide, per fetch.)
+            let line = rec.pc >> self.cfg.memory.l1i.line_bytes.trailing_zeros();
             if self.feed.last_fetch_line != Some(line) {
                 let access = self.memory.access_insn(rec.pc);
                 self.feed.last_fetch_line = Some(line);

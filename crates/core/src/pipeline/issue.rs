@@ -13,7 +13,7 @@
 //! sequence-number — window (age) — order, so ALU-slot contention also
 //! resolves identically.
 
-use super::entry::{Dep, ExecClass, MAX_SLICES};
+use super::entry::{CycleSlot, Dep, ExecClass, MAX_SLICES};
 use super::{emit, Simulator};
 use crate::events::{TraceEvent, TraceSink};
 
@@ -40,6 +40,17 @@ pub(crate) enum IssueMark {
     AllSlices,
 }
 
+/// What a slice-issue examination changed, so the follow-on bookkeeping
+/// (branch resolution, completion, rescheduling) runs only when it can
+/// matter. `all` is whether every issue slot of the entry is now marked.
+#[derive(Clone, Copy)]
+pub(crate) enum Progress {
+    /// A slice (or the whole operation) issued this examination.
+    Issued { all: bool },
+    /// Nothing issued (the entry was blocked, or already fully issued).
+    NoChange { all: bool },
+}
+
 impl<S: TraceSink> Simulator<S> {
     /// Per-cycle issue of slices (or whole atomic operations).
     pub(crate) fn issue(&mut self) {
@@ -52,6 +63,10 @@ impl<S: TraceSink> Simulator<S> {
             }
         }
         self.sched.recycle(cands);
+        // Everything that finished this cycle ran through the batched
+        // slice kernels together (debug builds only).
+        #[cfg(debug_assertions)]
+        self.check_slice_batch();
     }
 
     /// Examine one window entry for issue progress — the body of the
@@ -59,13 +74,12 @@ impl<S: TraceSink> Simulator<S> {
     /// re-examination point (a future wake or a producer's waiter
     /// list).
     fn examine(&mut self, idx: usize, int_used: &mut [usize; MAX_SLICES], fp_used: &mut usize) {
-        let entry = &self.window[idx];
-        if entry.completed_at.is_some() {
+        if self.window.completed_at(idx).is_set() {
             return;
         }
-        let seq = entry.seq;
-        let earliest_ex = entry.earliest_ex;
-        let class = entry.class;
+        let seq = self.window.seq(idx);
+        let earliest_ex = self.window.earliest_ex(idx);
+        let class = self.window.class(idx);
         if self.cycle < earliest_ex {
             self.wake_at(seq, earliest_ex);
             return;
@@ -73,12 +87,12 @@ impl<S: TraceSink> Simulator<S> {
         match class {
             ExecClass::Front => {}
             ExecClass::Sys => {
-                if idx == 0 && entry.issued[0].is_none() {
+                if idx == 0 && self.window.issued(idx, 0).is_unset() {
                     let done = self.cycle + 1;
                     self.publish_all_slices(idx, done, IssueMark::Slot0);
-                    self.window[idx].completed_at = Some(done);
+                    self.window.set_completed_at(idx, CycleSlot::at(done));
                     emit!(self, TraceEvent::Completed { seq, at: done });
-                } else if entry.issued[0].is_none() {
+                } else if self.window.issued(idx, 0).is_unset() {
                     // Not at the window head yet: poll until it is.
                     self.wake_at(seq, self.cycle + 1);
                 }
@@ -87,15 +101,58 @@ impl<S: TraceSink> Simulator<S> {
                 self.examine_atomic_unit(idx, fp_used);
             }
             ExecClass::IntSliced => {
-                if !self.effective_bypass() {
-                    self.examine_unsliced(idx, int_used);
+                let progress = if !self.effective_bypass() {
+                    self.examine_unsliced(idx, int_used)
                 } else {
-                    self.examine_sliced(idx, int_used);
+                    self.examine_sliced(idx, int_used)
+                };
+                // Follow-on bookkeeping, gated on what the examination
+                // can actually have changed (each skipped call is a
+                // proven no-op — an unissued slice's ready slot is
+                // unset, and only this entry's own issues move its
+                // `ready` row between examinations).
+                let is_store = self.window.is_store(idx);
+                let control = self.window.op(idx).is_control();
+                match progress {
+                    Progress::Issued { all } => {
+                        if control {
+                            self.resolve_branch_if_possible(idx);
+                        }
+                        if is_store {
+                            self.update_store_data(idx);
+                        }
+                        if all {
+                            self.finish_if_done(idx);
+                            self.reschedule_pending(idx);
+                        } else {
+                            // A slice issued: the next one (or an
+                            // arbitration loser) is eligible next cycle.
+                            self.wake_at(seq, self.cycle + 1);
+                            if is_store {
+                                self.reschedule_store_data(idx);
+                            }
+                        }
+                    }
+                    Progress::NoChange { all } => {
+                        // Branch resolution reads only this entry's
+                        // `ready` row, which is untouched since the
+                        // previous examination — except under fault
+                        // injection, where the corrupted operand is
+                        // cycle-dependent.
+                        if control && self.fault.is_some() {
+                            self.resolve_branch_if_possible(idx);
+                        }
+                        if is_store {
+                            self.update_store_data(idx);
+                        }
+                        if all {
+                            self.finish_if_done(idx);
+                        }
+                        if is_store && self.window.completed_at(idx).is_unset() {
+                            self.reschedule_store_data(idx);
+                        }
+                    }
                 }
-                self.resolve_branch_if_possible(idx);
-                self.update_store_data(idx);
-                self.finish_if_done(idx);
-                self.reschedule_pending(idx);
             }
         }
     }
@@ -105,40 +162,42 @@ impl<S: TraceSink> Simulator<S> {
     /// next slice after one issued this cycle, and a store's pending
     /// data operand.
     fn reschedule_pending(&mut self, idx: usize) {
-        let entry = &self.window[idx];
-        if entry.completed_at.is_some() {
+        if self.window.completed_at(idx).is_set() {
             return;
         }
-        let seq = entry.seq;
+        let seq = self.window.seq(idx);
         // A slice issued this cycle: the next slice (or a slice that lost
         // ALU arbitration to it) becomes eligible next cycle.
-        let issued_now = entry
-            .issued
-            .iter()
-            .take(self.nslices)
-            .any(|c| *c == Some(self.cycle));
-        let store_data_pending = entry.is_store() && entry.mem().store_data_ready.is_none();
+        let issued_now =
+            (0..self.nslices).any(|k| self.window.issued(idx, k).get() == Some(self.cycle));
         if issued_now {
             self.wake_at(seq, self.cycle + 1);
         }
-        if store_data_pending {
-            match self.store_data_dep(idx) {
-                Dep::InFlight(p) => match self.find(p) {
-                    Some(prod) => match prod.result_ready_full(self.nslices) {
-                        Some(r) => {
-                            let at = r.max(self.cycle + 1);
-                            self.wake_at(seq, at);
-                        }
-                        None => self.wait_on(seq, p),
-                    },
-                    // Producer committed: the next examination resolves.
-                    None => self.wake_at(seq, self.cycle + 1),
+        self.reschedule_store_data(idx);
+    }
+
+    /// Schedule a store's re-examination for its pending data operand.
+    fn reschedule_store_data(&mut self, idx: usize) {
+        if !self.window.is_store(idx) || self.window.store_data_ready(idx).is_set() {
+            return;
+        }
+        let seq = self.window.seq(idx);
+        match self.store_data_dep(idx) {
+            Dep::InFlight(p) => match self.index_of(p) {
+                Some(pi) => match self.window.result_ready_full(pi, self.nslices).get() {
+                    Some(r) => {
+                        let at = r.max(self.cycle + 1);
+                        self.wake_at(seq, at);
+                    }
+                    None => self.wait_on(seq, p),
                 },
-                // Register-file data reads by `earliest_ex`, which has
-                // passed — `update_store_data` handles it this very
-                // examination, so this arm is unreachable; poll if not.
-                Dep::Ready => self.wake_at(seq, self.cycle + 1),
-            }
+                // Producer committed: the next examination resolves.
+                None => self.wake_at(seq, self.cycle + 1),
+            },
+            // Register-file data reads by `earliest_ex`, which has
+            // passed — `update_store_data` handles it this very
+            // examination, so this arm is unreachable; poll if not.
+            Dep::Ready => self.wake_at(seq, self.cycle + 1),
         }
     }
 
@@ -155,21 +214,24 @@ impl<S: TraceSink> Simulator<S> {
     /// slice.
     pub(crate) fn wait_on(&mut self, seq: u64, pseq: u64) {
         match self.index_of(pseq) {
-            Some(pi) => self.window[pi].waiters.park(seq),
+            Some(pi) => self.window.park_waiter(pi, seq),
             // Producer already committed — its value is ready; retry.
             None => self.wake_at(seq, self.cycle + 1),
         }
     }
 
-    /// Wake everything parked on `window[idx]`'s result at cycle `at`.
+    /// Wake everything parked on entry `idx`'s result at cycle `at`.
     pub(crate) fn wake_waiters(&mut self, idx: usize, at: u64) {
+        if self.window.waiters_empty(idx) {
+            return;
+        }
         // Detach the list so the schedule pushes don't fight the window
         // borrow; hand the (cleared) allocation back for reuse.
-        let ws = self.window[idx].waiters.detach();
+        let ws = self.window.detach_waiters(idx);
         for &w in &ws {
             self.wake_at(w, at);
         }
-        self.window[idx].waiters.attach(ws);
+        self.window.attach_waiters(idx, ws);
     }
 
     /// Shared tail of every all-slices-at-once scheduling path
@@ -179,19 +241,18 @@ impl<S: TraceSink> Simulator<S> {
     /// events in each path's original order, and wake the waiters.
     pub(crate) fn publish_all_slices(&mut self, idx: usize, done: u64, mark: IssueMark) {
         let nslices = self.nslices;
-        let e = &mut self.window[idx];
-        let seq = e.seq;
+        let seq = self.window.seq(idx);
         match mark {
             IssueMark::None => {}
-            IssueMark::Slot0 => e.issued[0] = Some(self.cycle),
+            IssueMark::Slot0 => self.window.set_issued(idx, 0, self.cycle),
             IssueMark::AllSlices => {
                 for k in 0..nslices {
-                    e.issued[k] = Some(self.cycle);
+                    self.window.set_issued(idx, k, self.cycle);
                 }
             }
         }
         for k in 0..nslices {
-            e.ready[k] = Some(done);
+            self.window.set_ready(idx, k, CycleSlot::at(done));
         }
         if S::ENABLED {
             if mark == IssueMark::Slot0 {
@@ -224,7 +285,7 @@ impl<S: TraceSink> Simulator<S> {
     /// first busy source slice yields either a known future cycle or a
     /// producer to wait on.
     pub(crate) fn block_on_sources(&mut self, idx: usize) {
-        let seq = self.window[idx].seq;
+        let seq = self.window.seq(idx);
         for k in 0..self.nslices {
             if let Some(b) = self.source_block(idx, k) {
                 self.apply_block(seq, b);
@@ -239,14 +300,15 @@ impl<S: TraceSink> Simulator<S> {
     /// Why slice `k` of some source of `window[idx]` is unavailable this
     /// cycle, if it is.
     pub(crate) fn source_block(&self, idx: usize, k: usize) -> Option<Block> {
-        let entry = &self.window[idx];
-        for d in 0..entry.ndeps {
-            if let Dep::InFlight(pseq) = entry.deps[d] {
-                if let Some(p) = self.find(pseq) {
-                    match p.result_ready(k) {
-                        Some(r) if r <= self.cycle => {}
-                        Some(r) => return Some(Block::Until(r)),
-                        None => return Some(Block::OnPublish(pseq)),
+        for d in 0..self.window.ndeps(idx) {
+            if let Dep::InFlight(pseq) = self.window.dep(idx, d) {
+                if let Some(pi) = self.window.index_of(pseq) {
+                    let r = self.window.result_ready(pi, k);
+                    if r.is_unset() {
+                        return Some(Block::OnPublish(pseq));
+                    }
+                    if !r.done_by(self.cycle) {
+                        return Some(Block::Until(r.value()));
                     }
                 }
                 // Producer committed → ready.

@@ -11,7 +11,6 @@
 //! [`crate::policies::DisambigPolicy`] and
 //! [`crate::policies::TagMatchPolicy`].
 
-use super::entry::Entry;
 use super::{emit, Simulator};
 use crate::config::{MachineConfig, PipelineKind};
 use crate::events::{ReplayReason, TraceEvent, TraceSink};
@@ -75,8 +74,7 @@ impl<S: TraceSink> Simulator<S> {
             let Some(idx) = self.index_of(seq) else {
                 continue;
             };
-            let entry = &self.window[idx];
-            debug_assert!(entry.is_load() && entry.mem().started.is_none());
+            debug_assert!(self.window.is_load(idx) && self.window.mem_started(idx).is_unset());
             let bit_sliced = self.cfg.kind == PipelineKind::BitSliced;
             // How many low address bits are known right now? The agen
             // produces them; sum-addressed decode (§5.2 → \[18\]) can read
@@ -84,7 +82,10 @@ impl<S: TraceSink> Simulator<S> {
             let agen_known = self.agen_slices_known(idx);
             let mut known_slices = agen_known;
             let mut via_sam = false;
-            if bit_sliced && self.cfg.opts.sum_addressed && self.cycle >= entry.earliest_ex {
+            if bit_sliced
+                && self.cfg.opts.sum_addressed
+                && self.cycle >= self.window.earliest_ex(idx)
+            {
                 let sam = self.sam_slices_ready(idx);
                 if sam > known_slices {
                     known_slices = sam;
@@ -109,19 +110,20 @@ impl<S: TraceSink> Simulator<S> {
 
             // Disambiguation against older stores; blocked loads may still
             // proceed on the dependence predictor's say-so (MCB-style).
-            let mut load_rec = self.window[idx].rec;
+            let mut load_rec = *self.window.rec(idx);
             // Fault site: the partial address bits the policies consult
             // (never the architectural record the window retires).
             if let Some(f) = self.fault.as_mut() {
                 load_rec.ea = f.corrupt_operand(seq, self.cycle, load_rec.ea);
             }
             let decision = {
+                let window = &self.window;
                 let mut older = self.sched.older_stores_young_first(seq).map(|sseq| {
-                    let store = self.find(sseq).expect("queued store is in-window");
+                    let si = window.index_of(sseq).expect("queued store is in-window");
                     StoreProbe {
                         seq: sseq,
-                        rec: store.rec,
-                        known_bits: self.agen_slices_known_of(store) as u32 * self.slice_bits,
+                        rec: window.rec(si),
+                        known_bits: self.agen_slices_known_of(si) as u32 * self.slice_bits,
                     }
                 });
                 self.policies
@@ -156,8 +158,8 @@ impl<S: TraceSink> Simulator<S> {
                     // Oracle violation check: does any older in-window
                     // store actually overlap this load?
                     let conflict = self.sched.older_stores_old_first(seq).any(|s| {
-                        let store = self.find(s).expect("queued store is in-window");
-                        ranges_overlap(&store.rec, &load_rec)
+                        let si = self.window.index_of(s).expect("queued store is in-window");
+                        ranges_overlap(self.window.rec(si), &load_rec)
                     });
                     if conflict {
                         // Violation: squash the speculation, train the
@@ -166,7 +168,7 @@ impl<S: TraceSink> Simulator<S> {
                         // is charged when the load finally starts.
                         self.stats.mem_dep_violations += 1;
                         self.mem_dep.violated(pc);
-                        self.window[idx].mem_mut().dep_speculated = true;
+                        self.window.set_dep_speculated(idx);
                         self.stats.load_replays += 1;
                         emit!(self, TraceEvent::MemDepViolation { seq });
                         emit!(
@@ -189,8 +191,8 @@ impl<S: TraceSink> Simulator<S> {
             if self.policies.disambig.exploits_partial_addresses()
                 && matches!(forward_from, ForwardDecision::Access)
                 && self.sched.older_stores_old_first(seq).any(|s| {
-                    let store = self.find(s).expect("queued store is in-window");
-                    self.agen_slices_known_of(store) < self.nslices
+                    let si = self.window.index_of(s).expect("queued store is in-window");
+                    self.agen_slices_known_of(si) < self.nslices
                 })
             {
                 self.stats.early_disambig_loads += 1;
@@ -202,16 +204,16 @@ impl<S: TraceSink> Simulator<S> {
                 ForwardDecision::Forward(store_seq) => {
                     // Wait for the store's data, then a 1-cycle bypass.
                     let data_at = self
-                        .find(store_seq)
-                        .and_then(|s| s.mem().store_data_ready)
+                        .window
+                        .index_of(store_seq)
+                        .and_then(|si| self.window.store_data_ready(si).get())
                         .map(|r| r.max(self.cycle) + 1);
                     if let Some(r) = data_at {
                         ports_used += 1;
                         any_started = true;
                         self.stats.store_forwards += 1;
-                        let m = self.window[idx].mem_mut();
-                        m.started = Some(self.cycle);
-                        m.data_ready = Some(r);
+                        self.window.set_mem_started(idx, self.cycle);
+                        self.window.set_mem_data_ready(idx, r);
                         emit!(
                             self,
                             TraceEvent::StoreForward {
@@ -227,23 +229,23 @@ impl<S: TraceSink> Simulator<S> {
                     continue;
                 }
                 ForwardDecision::SpecForward(store_seq) => {
-                    let Some(store) = self.find(store_seq) else {
+                    let Some(si) = self.window.index_of(store_seq) else {
                         continue;
                     };
-                    let Some(data_at) = store.mem().store_data_ready else {
+                    let Some(data_at) = self.window.store_data_ready(si).get() else {
                         continue; // store data not ready: keep waiting
                     };
                     ports_used += 1;
                     any_started = true;
-                    let correct = crate::policies::store_covers_load(&store.rec, &load_rec);
-                    let store_full = self.full_agen_time_of(store);
+                    let correct =
+                        crate::policies::store_covers_load(self.window.rec(si), &load_rec);
+                    let store_full = self.full_agen_time_of(si);
                     if correct {
                         // Verification (when both agens finish) confirms.
                         self.stats.spec_forwards += 1;
                         let r = data_at.max(self.cycle) + 1;
-                        let m = self.window[idx].mem_mut();
-                        m.started = Some(self.cycle);
-                        m.data_ready = Some(r);
+                        self.window.set_mem_started(idx, self.cycle);
+                        self.window.set_mem_data_ready(idx, r);
                         emit!(
                             self,
                             TraceEvent::SpecForward {
@@ -271,9 +273,8 @@ impl<S: TraceSink> Simulator<S> {
                             self.stats.l1d_hits += 1;
                         }
                         let r = verify.max(self.cycle) + 1 + access.latency as u64;
-                        let m = self.window[idx].mem_mut();
-                        m.started = Some(self.cycle);
-                        m.data_ready = Some(r);
+                        self.window.set_mem_started(idx, self.cycle);
+                        self.window.set_mem_data_ready(idx, r);
                         emit!(
                             self,
                             TraceEvent::SpecForward {
@@ -379,21 +380,22 @@ impl<S: TraceSink> Simulator<S> {
                 self.cycle + access.latency as u64
             };
 
-            let m = self.window[idx].mem_mut();
-            m.started = Some(self.cycle);
+            self.window.set_mem_started(idx, self.cycle);
             // A load that earlier mis-speculated past a conflicting store
             // pays a replay bubble on its eventual (correct) attempt.
-            let at = data_ready + 2 * m.dep_speculated as u64;
-            m.data_ready = Some(at);
+            let at = data_ready + 2 * self.window.dep_speculated(idx) as u64;
+            self.window.set_mem_data_ready(idx, at);
             emit!(self, TraceEvent::MemStarted { seq });
             emit!(self, TraceEvent::MemDone { seq, at });
             self.wake_waiters(idx, at);
             self.finish_if_done(idx);
         }
         if any_started {
+            let window = &self.window;
             pending.retain(|&s| {
-                self.index_of(s)
-                    .is_some_and(|i| self.window[i].mem().started.is_none())
+                window
+                    .index_of(s)
+                    .is_some_and(|i| window.mem_started(i).is_unset())
             });
         }
         self.sched.put_pending_loads(pending);
@@ -413,18 +415,19 @@ impl<S: TraceSink> Simulator<S> {
         n
     }
 
-    /// Number of contiguous low agen slices of `window[idx]` whose results
+    /// Number of contiguous low agen slices of entry `idx` whose results
     /// are available this cycle.
     fn agen_slices_known(&self, idx: usize) -> usize {
-        self.agen_slices_known_of(&self.window[idx])
+        self.agen_slices_known_of(idx)
     }
 
-    pub(crate) fn agen_slices_known_of(&self, entry: &Entry) -> usize {
+    pub(crate) fn agen_slices_known_of(&self, idx: usize) -> usize {
         let mut n = 0;
         for k in 0..self.nslices {
-            match entry.ready[k] {
-                Some(r) if r <= self.cycle => n += 1,
-                _ => break,
+            if self.window.ready(idx, k).done_by(self.cycle) {
+                n += 1;
+            } else {
+                break;
             }
         }
         n
@@ -432,13 +435,13 @@ impl<S: TraceSink> Simulator<S> {
 
     /// Cycle the full address is known.
     fn full_agen_time(&self, idx: usize) -> Option<u64> {
-        self.full_agen_time_of(&self.window[idx])
+        self.full_agen_time_of(idx)
     }
 
-    fn full_agen_time_of(&self, entry: &Entry) -> Option<u64> {
+    fn full_agen_time_of(&self, idx: usize) -> Option<u64> {
         let mut t = 0u64;
         for k in 0..self.nslices {
-            t = t.max(entry.ready[k]?);
+            t = t.max(self.window.ready(idx, k).get()?);
         }
         Some(t)
     }

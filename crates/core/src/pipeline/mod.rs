@@ -16,7 +16,10 @@
 //!   with optional partial tag matching (Fig. 4), sum-addressed decode,
 //!   memory-dependence prediction.
 //! * [`commit`] — in-order retirement and wrong-path squash/recovery.
-//! * [`entry`] — the per-instruction window entry the stages advance.
+//! * [`entry`] — per-opcode decode products and the [`entry::CycleSlot`]
+//!   schedule sentinel.
+//! * [`window`] — the struct-of-arrays window store the stages advance
+//!   (hot columns per field, cold trace records in a side column).
 //! * [`sched`] — the calendar-wheel wakeup schedule and age-ordered
 //!   LSQ bookkeeping (private to its narrow API).
 //!
@@ -33,20 +36,44 @@ pub(crate) mod frontend;
 pub(crate) mod issue;
 pub(crate) mod memory;
 pub(crate) mod sched;
+pub(crate) mod window;
 
 use crate::config::MachineConfig;
 use crate::events::{NullTrace, TraceSink};
 use crate::policies::PolicySet;
 use crate::stats::SimStats;
 use dispatch::RenameTable;
-use entry::Entry;
 use execute::FuncUnits;
 use frontend::FrontendFeed;
 use memory::MemDepPredictor;
 use popk_bpred::FrontEnd;
 use popk_cache::Hierarchy;
-use sched::Scheduler;
-use std::collections::VecDeque;
+use sched::{SchedBufs, Scheduler};
+use window::{Window, WindowBufs};
+
+/// Reusable simulator allocations: the window's struct-of-arrays
+/// columns (waiter lists included) and the scheduler's calendar-wheel /
+/// LSQ buffers.
+///
+/// A simulator built through [`Simulator::with_sink_in`] (or the
+/// [`crate::sim::try_simulate_in`] entry point) takes these allocations
+/// instead of making fresh ones, and hands them back through
+/// [`Simulator::reclaim`] when the run finishes — so a sweep driver
+/// running thousands of rows on one thread allocates the hot state
+/// once. A `Scratch` carries no simulation state across runs: every
+/// column is reset on reuse.
+#[derive(Default)]
+pub struct Scratch {
+    pub(crate) window: WindowBufs,
+    pub(crate) sched: SchedBufs,
+}
+
+impl Scratch {
+    /// Empty scratch (allocations grow on first use).
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+}
 
 /// Emit a trace event, stamped with the current cycle. A macro rather
 /// than a method so it can run while a window entry is mutably borrowed:
@@ -80,7 +107,7 @@ pub struct Simulator<S: TraceSink = NullTrace> {
 
     pub(crate) cycle: u64,
     pub(crate) next_seq: u64,
-    pub(crate) window: VecDeque<Entry>,
+    pub(crate) window: Window,
     pub(crate) lsq_occupancy: usize,
     /// Fetched-but-not-dispatched instructions and the fetch stall state
     /// (owned by the [`frontend`] stage).
@@ -109,11 +136,31 @@ pub struct Simulator<S: TraceSink = NullTrace> {
     pub(crate) error: Option<crate::error::SimError>,
     /// Cycle of the most recent retirement, for the no-progress watchdog.
     pub(crate) last_commit_cycle: u64,
+    /// Debug-build datapath check: sliced ALU ops completing in a cycle
+    /// are collected as lanes and cross-checked through the batched
+    /// slice kernels against the traced results (release builds carry
+    /// no values — the fields and the check compile out).
+    #[cfg(debug_assertions)]
+    pub(crate) dbg_batch: popk_slice::SliceBatch,
+    /// Expected (traced) result per collected lane.
+    #[cfg(debug_assertions)]
+    pub(crate) dbg_batch_expect: Vec<u32>,
+    /// Reused output buffer for the batch check.
+    #[cfg(debug_assertions)]
+    pub(crate) dbg_batch_out: Vec<u32>,
 }
 
 impl<S: TraceSink> Simulator<S> {
     /// Build a simulator that reports pipeline events to `sink`.
     pub fn with_sink(cfg: &MachineConfig, sink: S) -> Simulator<S> {
+        Simulator::with_sink_in(cfg, sink, &mut Scratch::new())
+    }
+
+    /// Like [`Simulator::with_sink`], taking the window and scheduler
+    /// allocations from `scratch` (left empty) instead of allocating
+    /// fresh ones. Pair with [`Simulator::reclaim`] to hand them back
+    /// after the run.
+    pub fn with_sink_in(cfg: &MachineConfig, sink: S, scratch: &mut Scratch) -> Simulator<S> {
         let nslices = cfg.slice_count();
         Simulator {
             cfg: *cfg,
@@ -124,20 +171,37 @@ impl<S: TraceSink> Simulator<S> {
             stats: SimStats::default(),
             cycle: 0,
             next_seq: 0,
-            window: VecDeque::with_capacity(cfg.ruu_size),
+            window: Window::new(cfg.ruu_size, std::mem::take(&mut scratch.window)),
             lsq_occupancy: 0,
             feed: FrontendFeed::new(cfg.width),
             rename: RenameTable::new(),
             units: FuncUnits::default(),
             mem_dep: MemDepPredictor::new(cfg),
-            sched: Scheduler::new(cfg.ruu_size, cfg.lsq_size),
+            sched: Scheduler::new_in(
+                cfg.ruu_size,
+                cfg.lsq_size,
+                std::mem::take(&mut scratch.sched),
+            ),
             policies: PolicySet::from_config(cfg),
             sink,
             oracle: None,
             fault: None,
             error: None,
             last_commit_cycle: 0,
+            #[cfg(debug_assertions)]
+            dbg_batch: popk_slice::SliceBatch::new(cfg.slicing),
+            #[cfg(debug_assertions)]
+            dbg_batch_expect: Vec::new(),
+            #[cfg(debug_assertions)]
+            dbg_batch_out: Vec::new(),
         }
+    }
+
+    /// Consume the simulator, returning its reusable allocations to
+    /// `scratch` for the next run.
+    pub fn reclaim(self, scratch: &mut Scratch) {
+        scratch.window = self.window.into_bufs();
+        scratch.sched = self.sched.into_bufs();
     }
 
     /// Attach a deterministic [`FaultPlan`](crate::FaultPlan): subsequent
@@ -168,17 +232,18 @@ impl<S: TraceSink> Simulator<S> {
             window_len: self.window.len(),
             lsq_occupancy: self.lsq_occupancy,
             feed_len: self.feed.len(),
-            head: self
-                .window
-                .iter()
-                .take(4)
-                .map(|e| {
+            head: (0..self.window.len().min(4))
+                .map(|i| {
                     format!(
                         "seq {} pc {:#010x} {}{}",
-                        e.seq,
-                        e.rec.pc,
-                        e.rec.insn,
-                        if e.phantom { " (phantom)" } else { "" }
+                        self.window.seq(i),
+                        self.window.rec(i).pc,
+                        self.window.rec(i).insn,
+                        if self.window.phantom(i) {
+                            " (phantom)"
+                        } else {
+                            ""
+                        }
                     )
                 })
                 .collect(),
@@ -214,21 +279,9 @@ impl<S: TraceSink> Simulator<S> {
     }
 
     /// O(1) window position of `seq` (seqs are contiguous in the window).
+    #[inline]
     pub(crate) fn index_of(&self, seq: u64) -> Option<usize> {
-        let head = self.window.front()?.seq;
-        if seq < head {
-            return None; // committed
-        }
-        let off = (seq - head) as usize;
-        (off < self.window.len()).then_some(off)
-    }
-
-    pub(crate) fn find(&self, seq: u64) -> Option<&Entry> {
-        let head = self.window.front()?.seq;
-        if seq < head {
-            return None; // committed
-        }
-        self.window.get((seq - head) as usize)
+        self.window.index_of(seq)
     }
 }
 

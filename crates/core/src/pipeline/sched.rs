@@ -39,16 +39,56 @@ pub(crate) struct Scheduler {
     pending_loads: Vec<u64>,
 }
 
+/// The [`Scheduler`]'s buffer allocations, detached for reuse across
+/// runs (see [`crate::Scratch`]): the calendar-wheel slot vectors, the
+/// far heap, and the candidate/LSQ scratch lists.
+#[derive(Default)]
+pub(crate) struct SchedBufs {
+    wheel: Vec<Vec<u64>>,
+    far: BinaryHeap<Reverse<(u64, u64)>>,
+    cand_buf: Vec<u64>,
+    store_q: VecDeque<u64>,
+    pending_loads: Vec<u64>,
+}
+
 impl Scheduler {
     /// An empty schedule sized for a `ruu_size`-entry window and a
     /// `lsq_size`-entry load/store queue.
+    #[cfg(test)]
     pub(crate) fn new(ruu_size: usize, lsq_size: usize) -> Scheduler {
+        Scheduler::new_in(ruu_size, lsq_size, SchedBufs::default())
+    }
+
+    /// Like [`Scheduler::new`], reusing the allocations in `bufs`.
+    pub(crate) fn new_in(ruu_size: usize, lsq_size: usize, mut bufs: SchedBufs) -> Scheduler {
+        for slot in &mut bufs.wheel {
+            slot.clear();
+        }
+        bufs.wheel.resize_with(WHEEL_SLOTS as usize, Vec::new);
+        bufs.far.clear();
+        bufs.cand_buf.clear();
+        bufs.cand_buf.reserve(ruu_size);
+        bufs.store_q.clear();
+        bufs.store_q.reserve(lsq_size);
+        bufs.pending_loads.clear();
+        bufs.pending_loads.reserve(lsq_size);
         Scheduler {
-            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
-            far: BinaryHeap::new(),
-            cand_buf: Vec::with_capacity(ruu_size),
-            store_q: VecDeque::with_capacity(lsq_size),
-            pending_loads: Vec::with_capacity(lsq_size),
+            wheel: bufs.wheel,
+            far: bufs.far,
+            cand_buf: bufs.cand_buf,
+            store_q: bufs.store_q,
+            pending_loads: bufs.pending_loads,
+        }
+    }
+
+    /// Detach the buffer allocations for reuse by a later run.
+    pub(crate) fn into_bufs(self) -> SchedBufs {
+        SchedBufs {
+            wheel: self.wheel,
+            far: self.far,
+            cand_buf: self.cand_buf,
+            store_q: self.store_q,
+            pending_loads: self.pending_loads,
         }
     }
 
@@ -189,6 +229,12 @@ impl Waiters {
     pub(crate) fn attach(&mut self, mut drained: Vec<u64>) {
         drained.clear();
         self.0 = drained;
+    }
+
+    /// Drop any parked seqs, keeping the allocation (window slot
+    /// recycling at commit/squash).
+    pub(crate) fn clear(&mut self) {
+        self.0.clear();
     }
 }
 

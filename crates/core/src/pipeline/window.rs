@@ -1,0 +1,670 @@
+//! The RUU window as a struct-of-arrays ring buffer (Fig. 7's register
+//! update unit, one logical entry per dynamic instruction).
+//!
+//! Every cycle-critical stage scans a handful of per-entry fields —
+//! issue/ready schedules, dependences, class predicates — thousands of
+//! times per simulated instruction. Storing those fields in separate
+//! columns (indexed by window position) instead of one ~300-byte struct
+//! keeps each examination's working set to the few cache lines it
+//! actually reads, and replaces the `[Option<u64>; 4]` schedule arrays
+//! with half-size [`CycleSlot`] sentinel rows. Cold per-entry state (the
+//! architectural [`TraceRecord`]) lives in its own side column that only
+//! dispatch, branch resolution, and commit touch.
+//!
+//! Layout invariants:
+//!
+//! * Sequence numbers are contiguous in the window (commit pops the
+//!   head, dispatch pushes the tail, squash pops the tail and rewinds
+//!   the counter), so `seq(idx) = head_seq + idx` and no seq column
+//!   exists.
+//! * The ring capacity is `ruu_size` rounded to a power of two;
+//!   physical slot `(head + idx) & mask` is first touched in strictly
+//!   increasing order, so columns grow lazily to capacity and are
+//!   reused in place afterwards (allocations survive across runs via
+//!   [`WindowBufs`]).
+//! * Memory-state columns are meaningful only for loads/stores; the
+//!   typed accessors panic with the offending sequence number on any
+//!   other entry, like the old `Entry::mem` contract.
+
+use super::entry::{decode, CycleSlot, Dep, ExecClass, MAX_SLICES};
+use super::sched::Waiters;
+use popk_emu::TraceRecord;
+use popk_isa::{Op, SliceClass};
+
+/// Flag bits of the per-entry predicate column (decoded once at
+/// dispatch; bits 6–7 hold the dependence count).
+const F_LOAD: u16 = 1 << 0;
+const F_STORE: u16 = 1 << 1;
+const F_PHANTOM: u16 = 1 << 2;
+const F_MISPREDICTED: u16 = 1 << 3;
+const F_LATE_RESULT: u16 = 1 << 4;
+const F_DEP_SPECULATED: u16 = 1 << 5;
+const NDEPS_SHIFT: u16 = 6;
+/// A store's *data* operand (rt) is dependence slot 1, not slot 0.
+const F_STORE_DATA_SLOT1: u16 = 1 << 8;
+/// The instruction defines at least one register.
+const F_HAS_DEF: u16 = 1 << 9;
+
+/// A dependence encoded as one `u64`: the producer's seq, or
+/// `u64::MAX` for "reads the committed register file".
+const DEP_READY: u64 = u64::MAX;
+
+#[inline]
+fn dep_encode(d: Dep) -> u64 {
+    match d {
+        Dep::Ready => DEP_READY,
+        Dep::InFlight(seq) => {
+            debug_assert_ne!(seq, DEP_READY);
+            seq
+        }
+    }
+}
+
+/// The column allocations of a [`Window`], detached for reuse across
+/// runs (see [`crate::Scratch`]).
+#[derive(Default)]
+pub(crate) struct WindowBufs {
+    rec: Vec<TraceRecord>,
+    earliest_ex: Vec<u64>,
+    op: Vec<Op>,
+    class: Vec<ExecClass>,
+    slice_class: Vec<SliceClass>,
+    flags: Vec<u16>,
+    deps: Vec<[u64; 2]>,
+    issued: Vec<[CycleSlot; MAX_SLICES]>,
+    ready: Vec<[CycleSlot; MAX_SLICES]>,
+    resolved_at: Vec<CycleSlot>,
+    completed_at: Vec<CycleSlot>,
+    mem_started: Vec<CycleSlot>,
+    mem_data_ready: Vec<CycleSlot>,
+    mem_store_data: Vec<CycleSlot>,
+    waiters: Vec<Waiters>,
+}
+
+/// The struct-of-arrays window store. All accessors take the *logical*
+/// index (0 = oldest in flight), as produced by
+/// [`Simulator::index_of`](super::Simulator::index_of).
+pub(crate) struct Window {
+    mask: usize,
+    head: usize,
+    len: usize,
+    /// Sequence number of the logical head (valid while `len > 0`).
+    head_seq: u64,
+    cols: WindowBufs,
+}
+
+impl Window {
+    /// An empty window for a `ruu_size`-entry RUU, reusing the column
+    /// allocations in `bufs`.
+    pub(crate) fn new(ruu_size: usize, mut bufs: WindowBufs) -> Window {
+        let cap = ruu_size.next_power_of_two().max(1);
+        bufs.rec.clear();
+        bufs.earliest_ex.clear();
+        bufs.op.clear();
+        bufs.class.clear();
+        bufs.slice_class.clear();
+        bufs.flags.clear();
+        bufs.deps.clear();
+        bufs.issued.clear();
+        bufs.ready.clear();
+        bufs.resolved_at.clear();
+        bufs.completed_at.clear();
+        bufs.mem_started.clear();
+        bufs.mem_data_ready.clear();
+        bufs.mem_store_data.clear();
+        // Waiter lists keep their inner allocations; just empty them
+        // (a previous run may have ended mid-flight).
+        for w in &mut bufs.waiters {
+            w.clear();
+        }
+        bufs.waiters.truncate(cap);
+        Window {
+            mask: cap - 1,
+            head: 0,
+            len: 0,
+            head_seq: 0,
+            cols: bufs,
+        }
+    }
+
+    /// Detach the column allocations for reuse by a later run.
+    pub(crate) fn into_bufs(self) -> WindowBufs {
+        self.cols
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Physical slot of logical index `i`.
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        debug_assert!(i < self.len, "window index {i} out of {}", self.len);
+        (self.head + i) & self.mask
+    }
+
+    /// O(1) window position of `seq` (seqs are contiguous).
+    #[inline]
+    pub(crate) fn index_of(&self, seq: u64) -> Option<usize> {
+        if self.len == 0 || seq < self.head_seq {
+            return None; // empty, or already committed
+        }
+        let off = (seq - self.head_seq) as usize;
+        (off < self.len).then_some(off)
+    }
+
+    /// Sequence number of logical index `i`.
+    #[inline]
+    pub(crate) fn seq(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        self.head_seq + i as u64
+    }
+
+    /// Dispatch a new entry at the window tail; returns its index.
+    /// Decodes the opcode classes into the predicate columns.
+    /// `store_data_slot` is the `uses()` position of a store's data
+    /// operand (rt) and `has_def` whether the instruction defines a
+    /// register — both already in hand at the dispatch rename walk.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push_back(
+        &mut self,
+        seq: u64,
+        rec: TraceRecord,
+        earliest_ex: u64,
+        deps: [Dep; 2],
+        ndeps: usize,
+        store_data_slot: u16,
+        has_def: bool,
+        mispredicted: bool,
+        phantom: bool,
+    ) -> usize {
+        debug_assert!(self.len <= self.mask, "window overfull");
+        if self.len == 0 {
+            self.head_seq = seq;
+        }
+        debug_assert_eq!(
+            self.head_seq + self.len as u64,
+            seq,
+            "seqs must stay contiguous"
+        );
+        let idx = self.len;
+        let p = (self.head + idx) & self.mask;
+        self.len += 1;
+
+        let op = rec.insn.op();
+        let d = decode(op);
+        let mut flags = (ndeps as u16) << NDEPS_SHIFT;
+        flags |= F_LOAD * d.is_load as u16;
+        flags |= F_STORE * d.is_store as u16;
+        flags |= F_PHANTOM * phantom as u16;
+        flags |= F_MISPREDICTED * mispredicted as u16;
+        flags |= F_LATE_RESULT * d.late_result as u16;
+        flags |= F_HAS_DEF * has_def as u16;
+        if d.is_store {
+            debug_assert!(store_data_slot < 2);
+            flags |= F_STORE_DATA_SLOT1 * store_data_slot;
+        }
+
+        // Physical slots are first touched in strictly increasing order
+        // (head+len only ever steps by one), so each column either grows
+        // by one or rewrites a recycled slot in place.
+        set_col(&mut self.cols.rec, p, rec);
+        set_col(&mut self.cols.earliest_ex, p, earliest_ex);
+        set_col(&mut self.cols.op, p, op);
+        set_col(&mut self.cols.class, p, d.class);
+        set_col(&mut self.cols.slice_class, p, d.slice_class);
+        set_col(&mut self.cols.flags, p, flags);
+        set_col(
+            &mut self.cols.deps,
+            p,
+            [dep_encode(deps[0]), dep_encode(deps[1])],
+        );
+        set_col(&mut self.cols.issued, p, [CycleSlot::UNSET; MAX_SLICES]);
+        set_col(&mut self.cols.ready, p, [CycleSlot::UNSET; MAX_SLICES]);
+        set_col(&mut self.cols.resolved_at, p, CycleSlot::UNSET);
+        set_col(&mut self.cols.completed_at, p, CycleSlot::UNSET);
+        set_col(&mut self.cols.mem_started, p, CycleSlot::UNSET);
+        set_col(&mut self.cols.mem_data_ready, p, CycleSlot::UNSET);
+        set_col(&mut self.cols.mem_store_data, p, CycleSlot::UNSET);
+        if p == self.cols.waiters.len() {
+            self.cols.waiters.push(Waiters::new());
+        }
+        debug_assert!(
+            self.cols.waiters[p].is_empty(),
+            "recycled slot has parked waiters"
+        );
+        idx
+    }
+
+    /// Retire the head entry (commit). The caller reads whatever head
+    /// state it needs *before* popping.
+    pub(crate) fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.cols.waiters[self.head].clear();
+        self.head = (self.head + 1) & self.mask;
+        self.head_seq += 1;
+        self.len -= 1;
+    }
+
+    /// Squash the tail entry (wrong-path recovery).
+    pub(crate) fn pop_back(&mut self) {
+        debug_assert!(self.len > 0);
+        self.len -= 1;
+        let p = (self.head + self.len) & self.mask;
+        self.cols.waiters[p].clear();
+    }
+
+    // ---- cold column -------------------------------------------------
+
+    /// The architectural trace record (cold: dispatch, branch
+    /// resolution, memory disambiguation, and commit only).
+    #[inline]
+    pub(crate) fn rec(&self, i: usize) -> &TraceRecord {
+        &self.cols.rec[self.phys(i)]
+    }
+
+    // ---- predicates and classes --------------------------------------
+
+    #[inline]
+    pub(crate) fn earliest_ex(&self, i: usize) -> u64 {
+        self.cols.earliest_ex[self.phys(i)]
+    }
+
+    /// The opcode (duplicated out of the cold [`TraceRecord`] column so
+    /// the issue loop's predicates stay on the hot columns).
+    #[inline]
+    pub(crate) fn op(&self, i: usize) -> Op {
+        self.cols.op[self.phys(i)]
+    }
+
+    /// Which dependence slot carries a store's *data* operand (rt),
+    /// cached at dispatch.
+    #[inline]
+    pub(crate) fn store_data_slot(&self, i: usize) -> usize {
+        debug_assert!(self.is_store(i));
+        (self.cols.flags[self.phys(i)] & F_STORE_DATA_SLOT1 != 0) as usize
+    }
+
+    #[inline]
+    pub(crate) fn class(&self, i: usize) -> ExecClass {
+        self.cols.class[self.phys(i)]
+    }
+
+    #[inline]
+    pub(crate) fn slice_class(&self, i: usize) -> SliceClass {
+        self.cols.slice_class[self.phys(i)]
+    }
+
+    #[inline]
+    pub(crate) fn is_load(&self, i: usize) -> bool {
+        self.cols.flags[self.phys(i)] & F_LOAD != 0
+    }
+
+    #[inline]
+    pub(crate) fn is_store(&self, i: usize) -> bool {
+        self.cols.flags[self.phys(i)] & F_STORE != 0
+    }
+
+    #[inline]
+    pub(crate) fn is_mem(&self, i: usize) -> bool {
+        self.cols.flags[self.phys(i)] & (F_LOAD | F_STORE) != 0
+    }
+
+    #[inline]
+    pub(crate) fn phantom(&self, i: usize) -> bool {
+        self.cols.flags[self.phys(i)] & F_PHANTOM != 0
+    }
+
+    #[inline]
+    pub(crate) fn mispredicted(&self, i: usize) -> bool {
+        self.cols.flags[self.phys(i)] & F_MISPREDICTED != 0
+    }
+
+    #[inline]
+    pub(crate) fn has_def(&self, i: usize) -> bool {
+        self.cols.flags[self.phys(i)] & F_HAS_DEF != 0
+    }
+
+    #[inline]
+    pub(crate) fn late_result(&self, i: usize) -> bool {
+        self.cols.flags[self.phys(i)] & F_LATE_RESULT != 0
+    }
+
+    #[inline]
+    pub(crate) fn dep_speculated(&self, i: usize) -> bool {
+        self.cols.flags[self.phys(i)] & F_DEP_SPECULATED != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_dep_speculated(&mut self, i: usize) {
+        let p = self.phys(i);
+        self.cols.flags[p] |= F_DEP_SPECULATED;
+    }
+
+    // ---- dependences -------------------------------------------------
+
+    #[inline]
+    pub(crate) fn ndeps(&self, i: usize) -> usize {
+        ((self.cols.flags[self.phys(i)] >> NDEPS_SHIFT) & 0b11) as usize
+    }
+
+    #[inline]
+    pub(crate) fn dep(&self, i: usize, d: usize) -> Dep {
+        match self.cols.deps[self.phys(i)][d] {
+            DEP_READY => Dep::Ready,
+            seq => Dep::InFlight(seq),
+        }
+    }
+
+    // ---- issue / ready schedule --------------------------------------
+
+    #[inline]
+    pub(crate) fn issued(&self, i: usize, k: usize) -> CycleSlot {
+        self.cols.issued[self.phys(i)][k]
+    }
+
+    #[inline]
+    pub(crate) fn set_issued(&mut self, i: usize, k: usize, cycle: u64) {
+        let p = self.phys(i);
+        self.cols.issued[p][k] = CycleSlot::at(cycle);
+    }
+
+    #[inline]
+    pub(crate) fn ready(&self, i: usize, k: usize) -> CycleSlot {
+        self.cols.ready[self.phys(i)][k]
+    }
+
+    /// Copy of the ready row (event diffing in the sliced-issue path).
+    #[inline]
+    pub(crate) fn ready_row(&self, i: usize) -> [CycleSlot; MAX_SLICES] {
+        self.cols.ready[self.phys(i)]
+    }
+
+    #[inline]
+    pub(crate) fn set_ready(&mut self, i: usize, k: usize, at: CycleSlot) {
+        let p = self.phys(i);
+        self.cols.ready[p][k] = at;
+    }
+
+    #[inline]
+    pub(crate) fn resolved_at(&self, i: usize) -> CycleSlot {
+        self.cols.resolved_at[self.phys(i)]
+    }
+
+    #[inline]
+    pub(crate) fn set_resolved_at(&mut self, i: usize, at: CycleSlot) {
+        let p = self.phys(i);
+        self.cols.resolved_at[p] = at;
+    }
+
+    #[inline]
+    pub(crate) fn completed_at(&self, i: usize) -> CycleSlot {
+        self.cols.completed_at[self.phys(i)]
+    }
+
+    #[inline]
+    pub(crate) fn set_completed_at(&mut self, i: usize, at: CycleSlot) {
+        let p = self.phys(i);
+        self.cols.completed_at[p] = at;
+    }
+
+    /// Result slice `k` availability: loads publish every slice when the
+    /// data returns; everything else publishes per-slice.
+    #[inline]
+    pub(crate) fn result_ready(&self, i: usize, k: usize) -> CycleSlot {
+        let p = self.phys(i);
+        if self.cols.flags[p] & F_LOAD != 0 {
+            self.cols.mem_data_ready[p]
+        } else {
+            self.cols.ready[p][k]
+        }
+    }
+
+    /// Availability of the *full* result (unset if any slice is). The
+    /// sentinel is the maximum, so a plain `max` fold is exact.
+    #[inline]
+    pub(crate) fn result_ready_full(&self, i: usize, nslices: usize) -> CycleSlot {
+        let mut worst = CycleSlot::at(0);
+        for k in 0..nslices {
+            worst = worst.max(self.result_ready(i, k));
+        }
+        worst
+    }
+
+    // ---- memory state (loads/stores only) ----------------------------
+
+    /// Panic like the old `Entry::mem` contract: memory columns are
+    /// typed to loads/stores.
+    #[track_caller]
+    fn assert_mem(&self, i: usize, p: usize) {
+        if self.cols.flags[p] & (F_LOAD | F_STORE) == 0 {
+            panic!("seq {}: memory state on a non-memory entry", self.seq(i));
+        }
+    }
+
+    #[track_caller]
+    #[inline]
+    pub(crate) fn mem_started(&self, i: usize) -> CycleSlot {
+        let p = self.phys(i);
+        self.assert_mem(i, p);
+        self.cols.mem_started[p]
+    }
+
+    #[track_caller]
+    #[inline]
+    pub(crate) fn set_mem_started(&mut self, i: usize, cycle: u64) {
+        let p = self.phys(i);
+        self.assert_mem(i, p);
+        self.cols.mem_started[p] = CycleSlot::at(cycle);
+    }
+
+    #[track_caller]
+    #[inline]
+    pub(crate) fn mem_data_ready(&self, i: usize) -> CycleSlot {
+        let p = self.phys(i);
+        self.assert_mem(i, p);
+        self.cols.mem_data_ready[p]
+    }
+
+    #[track_caller]
+    #[inline]
+    pub(crate) fn set_mem_data_ready(&mut self, i: usize, at: u64) {
+        let p = self.phys(i);
+        self.assert_mem(i, p);
+        self.cols.mem_data_ready[p] = CycleSlot::at(at);
+    }
+
+    #[track_caller]
+    #[inline]
+    pub(crate) fn store_data_ready(&self, i: usize) -> CycleSlot {
+        let p = self.phys(i);
+        self.assert_mem(i, p);
+        self.cols.mem_store_data[p]
+    }
+
+    #[track_caller]
+    #[inline]
+    pub(crate) fn set_store_data_ready(&mut self, i: usize, at: u64) {
+        let p = self.phys(i);
+        self.assert_mem(i, p);
+        self.cols.mem_store_data[p] = CycleSlot::at(at);
+    }
+
+    // ---- waiter lists ------------------------------------------------
+
+    /// Park `seq` on entry `i`'s result (idempotent).
+    #[inline]
+    pub(crate) fn park_waiter(&mut self, i: usize, seq: u64) {
+        let p = self.phys(i);
+        self.cols.waiters[p].park(seq);
+    }
+
+    #[inline]
+    pub(crate) fn waiters_empty(&self, i: usize) -> bool {
+        self.cols.waiters[self.phys(i)].is_empty()
+    }
+
+    /// Move entry `i`'s waiter list out for draining; hand it back with
+    /// [`Window::attach_waiters`] to reuse the allocation.
+    #[inline]
+    pub(crate) fn detach_waiters(&mut self, i: usize) -> Vec<u64> {
+        let p = self.phys(i);
+        self.cols.waiters[p].detach()
+    }
+
+    #[inline]
+    pub(crate) fn attach_waiters(&mut self, i: usize, drained: Vec<u64>) {
+        let p = self.phys(i);
+        self.cols.waiters[p].attach(drained);
+    }
+}
+
+/// Write `val` at physical slot `p`, growing the column by one if `p`
+/// is its current high-water mark (slots are first touched in order).
+#[inline]
+fn set_col<T>(v: &mut Vec<T>, p: usize, val: T) {
+    if p == v.len() {
+        v.push(val);
+    } else {
+        v[p] = val;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popk_isa::{Insn, Op, Reg};
+
+    fn rec(insn: Insn) -> TraceRecord {
+        TraceRecord {
+            pc: 0x400000,
+            insn,
+            src_vals: [0; 2],
+            results: [0; 2],
+            ea: 0,
+            taken: false,
+            next_pc: 0x400004,
+        }
+    }
+
+    fn add_rec() -> TraceRecord {
+        rec(Insn::r3(Op::Addu, Reg::gpr(8), Reg::gpr(9), Reg::gpr(10)))
+    }
+
+    fn lw_rec() -> TraceRecord {
+        rec(Insn::load(Op::Lw, Reg::gpr(8), 0, Reg::gpr(9)))
+    }
+
+    fn window() -> Window {
+        Window::new(64, WindowBufs::default())
+    }
+
+    #[test]
+    fn push_decodes_classes_and_flags() {
+        let mut w = window();
+        let i = w.push_back(0, add_rec(), 3, [Dep::Ready; 2], 2, 0, true, false, false);
+        assert_eq!(w.class(i), ExecClass::IntSliced);
+        assert!(!w.is_mem(i) && !w.phantom(i) && !w.late_result(i));
+        assert_eq!(w.ndeps(i), 2);
+        assert_eq!(w.earliest_ex(i), 3);
+        assert!(w.issued(i, 0).is_unset() && w.completed_at(i).is_unset());
+
+        let j = w.push_back(
+            1,
+            lw_rec(),
+            3,
+            [Dep::InFlight(0), Dep::Ready],
+            1,
+            0,
+            true,
+            false,
+            false,
+        );
+        assert!(w.is_load(j) && w.is_mem(j) && !w.is_store(j));
+        assert!(w.mem_started(j).is_unset());
+        assert!(matches!(w.dep(j, 0), Dep::InFlight(0)));
+        assert!(matches!(w.dep(j, 1), Dep::Ready));
+    }
+
+    #[test]
+    #[should_panic(expected = "seq 7: memory state on a non-memory entry")]
+    fn mem_accessor_names_the_seq() {
+        let mut w = window();
+        for s in 0..8 {
+            w.push_back(s, add_rec(), 0, [Dep::Ready; 2], 2, 0, true, false, false);
+        }
+        let _ = w.mem_started(7);
+    }
+
+    #[test]
+    fn loads_publish_slices_with_the_data() {
+        let mut w = window();
+        let i = w.push_back(0, lw_rec(), 0, [Dep::Ready; 2], 1, 0, true, false, false);
+        w.set_ready(i, 0, CycleSlot::at(3));
+        w.set_ready(i, 1, CycleSlot::at(4));
+        assert!(w.result_ready(i, 0).is_unset(), "load data not back yet");
+        w.set_mem_data_ready(i, 9);
+        assert_eq!(w.result_ready(i, 0).get(), Some(9));
+        assert_eq!(w.result_ready(i, 1).get(), Some(9));
+    }
+
+    #[test]
+    fn ring_reuses_slots_across_commit_and_squash() {
+        // Capacity 4: push/pop cycles wrap the ring and recycle slots.
+        let mut w = Window::new(4, WindowBufs::default());
+        for s in 0..4u64 {
+            w.push_back(s, add_rec(), 0, [Dep::Ready; 2], 0, 0, true, false, s >= 2);
+        }
+        assert_eq!(w.index_of(0), Some(0));
+        assert_eq!(w.index_of(3), Some(3));
+        assert!(w.phantom(3) && !w.phantom(1));
+        w.pop_front(); // commit seq 0
+        assert_eq!(w.index_of(0), None, "committed");
+        assert_eq!(w.index_of(1), Some(0));
+        assert_eq!(w.seq(0), 1);
+        w.pop_back(); // squash seq 3
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.index_of(3), None, "squashed");
+        // Refill past the physical wrap point.
+        for s in 3..5u64 {
+            let i = w.push_back(s, lw_rec(), 9, [Dep::Ready; 2], 1, 0, true, false, false);
+            assert!(w.issued(i, 0).is_unset(), "recycled slot must reset");
+            assert!(w.mem_started(i).is_unset());
+            assert_eq!(w.earliest_ex(i), 9);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.seq(w.len() - 1), 4);
+    }
+
+    #[test]
+    fn waiter_lists_survive_on_recycled_slots_but_empty() {
+        let mut w = Window::new(2, WindowBufs::default());
+        w.push_back(0, add_rec(), 0, [Dep::Ready; 2], 0, 0, true, false, false);
+        w.park_waiter(0, 5);
+        w.park_waiter(0, 5); // idempotent
+        assert!(!w.waiters_empty(0));
+        let ws = w.detach_waiters(0);
+        assert_eq!(ws, vec![5]);
+        w.attach_waiters(0, ws);
+        assert!(w.waiters_empty(0));
+        w.pop_front();
+        let i = w.push_back(1, add_rec(), 0, [Dep::Ready; 2], 0, 0, true, false, false);
+        assert!(w.waiters_empty(i));
+    }
+
+    #[test]
+    fn bufs_round_trip_preserves_nothing_but_allocations() {
+        let mut w = window();
+        w.push_back(0, add_rec(), 0, [Dep::Ready; 2], 0, 0, true, false, false);
+        w.set_completed_at(0, CycleSlot::at(11));
+        let bufs = w.into_bufs();
+        let w2 = Window::new(64, bufs);
+        assert!(w2.is_empty());
+    }
+}

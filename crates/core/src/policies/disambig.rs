@@ -45,11 +45,13 @@ pub enum ForwardDecision {
 }
 
 /// One older in-window store, as the disambiguation scan sees it.
-pub struct StoreProbe {
+/// Borrows the window's record — the scan runs per pending load per
+/// cycle, and most probes are ruled out after reading only `ea`.
+pub struct StoreProbe<'a> {
     /// The store's dynamic sequence number.
     pub seq: u64,
     /// Its trace record (opcode, effective address).
-    pub rec: TraceRecord,
+    pub rec: &'a TraceRecord,
     /// Low address bits its agen has produced so far.
     pub known_bits: u32,
 }
@@ -65,7 +67,7 @@ pub trait DisambigPolicy: Send + Sync {
         &self,
         load: &TraceRecord,
         load_known_bits: u32,
-        older_stores: &mut dyn Iterator<Item = StoreProbe>,
+        older_stores: &mut dyn Iterator<Item = StoreProbe<'_>>,
     ) -> Option<ForwardDecision>;
 
     /// Whether this policy can pass stores on *partial* address
@@ -84,7 +86,7 @@ impl DisambigPolicy for ConventionalDisambig {
         &self,
         load: &TraceRecord,
         load_known_bits: u32,
-        older_stores: &mut dyn Iterator<Item = StoreProbe>,
+        older_stores: &mut dyn Iterator<Item = StoreProbe<'_>>,
     ) -> Option<ForwardDecision> {
         let mut forward: Option<u64> = None;
         for store in older_stores {
@@ -95,8 +97,8 @@ impl DisambigPolicy for ConventionalDisambig {
             if load_known_bits < 32 {
                 return None; // and the load's own
             }
-            if ranges_overlap(&store.rec, load) {
-                if store_covers_load(&store.rec, load) {
+            if ranges_overlap(store.rec, load) {
+                if store_covers_load(store.rec, load) {
                     forward = Some(store.seq);
                     break;
                 }
@@ -125,7 +127,7 @@ impl DisambigPolicy for EarlyPartialDisambig {
         &self,
         load: &TraceRecord,
         load_known_bits: u32,
-        older_stores: &mut dyn Iterator<Item = StoreProbe>,
+        older_stores: &mut dyn Iterator<Item = StoreProbe<'_>>,
     ) -> Option<ForwardDecision> {
         let load_word = load.ea & !3;
         let mut forward: Option<u64> = None;
@@ -149,8 +151,8 @@ impl DisambigPolicy for EarlyPartialDisambig {
             }
             if load_known_bits >= 32 && store.known_bits >= 32 {
                 // Both full addresses known: decide at byte accuracy.
-                if ranges_overlap(&store.rec, load) {
-                    if store_covers_load(&store.rec, load) {
+                if ranges_overlap(store.rec, load) {
+                    if store_covers_load(store.rec, load) {
                         forward = forward.or(Some(store.seq));
                         break; // youngest covering store wins
                     }
@@ -218,10 +220,12 @@ mod tests {
         }
     }
 
-    fn probe(seq: u64, op: Op, ea: u32, known_bits: u32) -> StoreProbe {
+    fn probe(seq: u64, op: Op, ea: u32, known_bits: u32) -> StoreProbe<'static> {
         StoreProbe {
             seq,
-            rec: mem_rec(op, ea),
+            // Test-only leak: the probes borrow window records in the
+            // simulator; here a 'static record keeps the fixtures terse.
+            rec: Box::leak(Box::new(mem_rec(op, ea))),
             known_bits,
         }
     }

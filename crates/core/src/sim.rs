@@ -42,7 +42,14 @@ use crate::timeline::{InsnTiming, TimelineBuilder};
 use popk_emu::Machine;
 use popk_isa::Program;
 
-pub use crate::pipeline::Simulator;
+pub use crate::pipeline::{Scratch, Simulator};
+
+std::thread_local! {
+    /// Per-thread scratch arena reused by [`simulate`]/[`try_simulate`]
+    /// across runs (sweeps run thousands of short simulations; the
+    /// window columns and scheduler buffers dominate their setup cost).
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::new());
+}
 
 /// Run `program` under `cfg` for up to `limit` dynamic instructions and
 /// return the statistics.
@@ -60,13 +67,34 @@ pub fn simulate(program: &Program, cfg: &MachineConfig, limit: u64) -> SimStats 
 
 /// Fallible variant of [`simulate`]: validates `cfg`, then runs,
 /// surfacing every failure mode as a structured [`SimError`].
+///
+/// Reuses a per-thread [`Scratch`] arena; pass your own to
+/// [`try_simulate_in`] to control its lifetime explicitly.
 pub fn try_simulate(
     program: &Program,
     cfg: &MachineConfig,
     limit: u64,
 ) -> Result<SimStats, SimError> {
+    SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => try_simulate_in(program, cfg, limit, &mut scratch),
+        // Re-entrant call (a sink callback simulating): run unpooled.
+        Err(_) => try_simulate_in(program, cfg, limit, &mut Scratch::new()),
+    })
+}
+
+/// Like [`try_simulate`], reusing the buffer allocations in `scratch`
+/// (they are returned to it when the run finishes, however it ends).
+pub fn try_simulate_in(
+    program: &Program,
+    cfg: &MachineConfig,
+    limit: u64,
+    scratch: &mut Scratch,
+) -> Result<SimStats, SimError> {
     cfg.validate()?;
-    Simulator::new(cfg).try_run(program, limit)
+    let mut sim = Simulator::with_sink_in(cfg, NullTrace, scratch);
+    let result = sim.try_run(program, limit);
+    sim.reclaim(scratch);
+    result
 }
 
 impl Simulator {

@@ -1,10 +1,41 @@
 //! Sparse paged memory.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Page-number sentinel for an empty translation cache: no valid page
+/// number reaches it (32-bit addresses leave only 20 page bits).
+const NO_PAGE: u32 = u32::MAX;
+
+/// Multiplicative hasher for page numbers. Page-number keys are single
+/// `u32`s with well-distributed low bits, so one Fibonacci multiply
+/// replaces SipHash on the emulator's per-access path.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl std::hash::Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
 
 /// A sparse, little-endian, byte-addressable 32-bit memory.
 ///
@@ -12,9 +43,26 @@ const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
 /// zero without allocating), so a 2 GiB address space costs only what the
 /// program actually uses. All multi-byte accesses require natural
 /// alignment, matching the ISA's load/store semantics.
-#[derive(Default, Clone)]
+///
+/// Page frames live in a flat vector; the page-number → frame index map
+/// is consulted only on a translation-cache miss (accesses cluster on
+/// one page, so the common case is a single compare).
+#[derive(Clone)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    frames: Vec<Box<[u8; PAGE_SIZE]>>,
+    index: HashMap<u32, u32, BuildHasherDefault<PageHasher>>,
+    /// Last translation: (page number, frame index).
+    last: Cell<(u32, u32)>,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory {
+            frames: Vec::new(),
+            index: HashMap::default(),
+            last: Cell::new((NO_PAGE, 0)),
+        }
+    }
 }
 
 impl Memory {
@@ -25,19 +73,41 @@ impl Memory {
 
     /// Number of resident (touched-by-write) pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.frames.len()
+    }
+
+    /// Frame index of page `pn`, if resident (refreshes the cache).
+    #[inline]
+    fn frame_of(&self, pn: u32) -> Option<u32> {
+        let (cached_pn, cached_fi) = self.last.get();
+        if cached_pn == pn {
+            return Some(cached_fi);
+        }
+        let fi = *self.index.get(&pn)?;
+        self.last.set((pn, fi));
+        Some(fi)
     }
 
     #[inline]
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+        let fi = self.frame_of(addr >> PAGE_SHIFT)?;
+        Some(&self.frames[fi as usize])
     }
 
     #[inline]
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        let pn = addr >> PAGE_SHIFT;
+        let fi = match self.frame_of(pn) {
+            Some(fi) => fi,
+            None => {
+                let fi = self.frames.len() as u32;
+                self.frames.push(Box::new([0; PAGE_SIZE]));
+                self.index.insert(pn, fi);
+                self.last.set((pn, fi));
+                fi
+            }
+        };
+        &mut self.frames[fi as usize]
     }
 
     /// Read one byte.

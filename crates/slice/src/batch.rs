@@ -1,0 +1,413 @@
+//! Batched slice kernels: many `(op, a, b)` lanes evaluated together,
+//! one slice *position* at a time.
+//!
+//! [`SliceAlu::eval`] walks one operation's slices in dependence order —
+//! the right shape for reasoning about a single instruction, the wrong
+//! shape for throughput: each step is a handful of ALU ops behind a
+//! `match`. A bit-sliced machine issues *many* slice micro-ops per cycle,
+//! so the natural batch axis is the lane: hold N operations' operands in
+//! structure-of-arrays form and sweep slice position `k = 0, 1, …` across
+//! all lanes, threading each lane's carry from `k−1` to `k` exactly as
+//! Fig. 8b's inter-slice edge does in hardware.
+//!
+//! The inner loops are flat passes over parallel `u32` arrays with no
+//! per-lane branching, which autovectorizes on stable; the optional
+//! `simd` feature (nightly `portable_simd`) writes the same kernel with
+//! explicit 8-lane vectors. Both paths are bit-exact against
+//! [`SliceAlu::eval`] — property-tested in this module.
+//!
+//! The kernel is *uniform*: every lane runs the carry-chained add sweep
+//! (subtract-family lanes feed `!b` and an injected carry, per a − b =
+//! a + !b + 1), then a cheap fixup pass overwrites the lanes whose ops
+//! are not add-shaped (logic, shifts, `slt`-family). Logic lanes pay for
+//! an add they discard; that redundancy is what keeps the hot loop
+//! branch-free.
+
+use crate::alu::AluSliceOp;
+use crate::sliced::SliceWidth;
+
+/// Does `op` ride the carry-chained subtract datapath (`a + !b + 1`)?
+#[inline]
+const fn is_sub_family(op: AluSliceOp) -> bool {
+    matches!(op, AluSliceOp::Sub | AluSliceOp::Slt | AluSliceOp::Sltu)
+}
+
+/// A batch of ALU operations stored structure-of-arrays, plus the reused
+/// kernel scratch (effective addends and per-lane carries).
+///
+/// Push lanes with [`push`](SliceBatch::push), evaluate them all with
+/// [`eval_into`](SliceBatch::eval_into), then [`clear`](SliceBatch::clear)
+/// for the next batch. The internal vectors are retained across batches,
+/// so a long-lived `SliceBatch` allocates only while growing to the
+/// high-water lane count.
+pub struct SliceBatch {
+    width: SliceWidth,
+    op: Vec<AluSliceOp>,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    /// Effective second addend per lane: `b` for adds, `!b` for the
+    /// subtract family. Filled by the setup pass of `eval_into`.
+    bx: Vec<u32>,
+    /// Per-lane carry threaded across slice positions; starts at the
+    /// injected `+1` for subtract-family lanes and ends as the carry out
+    /// of the top slice (which decides `sltu`).
+    carry: Vec<u32>,
+}
+
+impl SliceBatch {
+    /// An empty batch slicing operands at `width`.
+    pub fn new(width: SliceWidth) -> SliceBatch {
+        SliceBatch {
+            width,
+            op: Vec::new(),
+            a: Vec::new(),
+            b: Vec::new(),
+            bx: Vec::new(),
+            carry: Vec::new(),
+        }
+    }
+
+    /// The slicing in effect.
+    pub fn width(&self) -> SliceWidth {
+        self.width
+    }
+
+    /// Number of lanes currently queued.
+    pub fn len(&self) -> usize {
+        self.op.len()
+    }
+
+    /// Whether the batch has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.op.is_empty()
+    }
+
+    /// Drop all lanes, keeping capacity.
+    pub fn clear(&mut self) {
+        self.op.clear();
+        self.a.clear();
+        self.b.clear();
+    }
+
+    /// Append one `(op, a, b)` lane.
+    pub fn push(&mut self, op: AluSliceOp, a: u32, b: u32) {
+        self.op.push(op);
+        self.a.push(a);
+        self.b.push(b);
+    }
+
+    /// Evaluate every lane and write the joined 32-bit results into
+    /// `out` (cleared first, then one result per lane in push order).
+    ///
+    /// Equivalent to `SliceAlu::eval(op, a, b).join()` per lane; uses the
+    /// explicit-SIMD kernel when the `simd` feature is enabled, the
+    /// autovectorizable scalar kernel otherwise.
+    pub fn eval_into(&mut self, out: &mut Vec<u32>) {
+        #[cfg(feature = "simd")]
+        self.eval_into_simd(out);
+        #[cfg(not(feature = "simd"))]
+        self.eval_into_scalar(out);
+    }
+
+    /// The scalar batched kernel (always available, autovectorization
+    /// friendly). Semantics identical to [`eval_into`](Self::eval_into).
+    pub fn eval_into_scalar(&mut self, out: &mut Vec<u32>) {
+        self.setup(out);
+        let bits = self.width.bits();
+        let mask = self.width.mask();
+        for k in 0..self.width.count() {
+            let shift = bits * k as u32;
+            // Flat full-adder sweep at slice position k: no branches, no
+            // cross-lane dependence — only lane-local carry reuse.
+            let lanes = self.a.iter().zip(&self.bx).zip(&mut self.carry);
+            for (((&a, &bx), carry), o) in lanes.zip(out.iter_mut()) {
+                let ak = (a >> shift) & mask;
+                let bk = (bx >> shift) & mask;
+                let s = ak.wrapping_add(bk).wrapping_add(*carry) & mask;
+                // Carry out of the slice via the majority form on the top
+                // bit (avoids widening, so W32 lanes need no u64).
+                *carry = ((ak & bk) | ((ak | bk) & !s)) >> (bits - 1);
+                *o |= s << shift;
+            }
+        }
+        self.fixup(out);
+    }
+
+    /// The explicit-SIMD batched kernel: the same sweep with 8-lane
+    /// `u32x8` vectors (nightly `portable_simd`), scalar remainder.
+    #[cfg(feature = "simd")]
+    pub fn eval_into_simd(&mut self, out: &mut Vec<u32>) {
+        use std::simd::u32x8;
+        const L: usize = 8;
+        self.setup(out);
+        let bits = self.width.bits();
+        let mask = self.width.mask();
+        let n = self.op.len();
+        let vmask = u32x8::splat(mask);
+        for k in 0..self.width.count() {
+            let shift = bits * k as u32;
+            let vshift = u32x8::splat(shift);
+            let mut i = 0;
+            while i + L <= n {
+                let a = u32x8::from_slice(&self.a[i..i + L]);
+                let bx = u32x8::from_slice(&self.bx[i..i + L]);
+                let c = u32x8::from_slice(&self.carry[i..i + L]);
+                let ak = (a >> vshift) & vmask;
+                let bk = (bx >> vshift) & vmask;
+                let s = (ak + bk + c) & vmask;
+                let cout = ((ak & bk) | ((ak | bk) & !s)) >> u32x8::splat(bits - 1);
+                cout.copy_to_slice(&mut self.carry[i..i + L]);
+                let acc = u32x8::from_slice(&out[i..i + L]) | (s << vshift);
+                acc.copy_to_slice(&mut out[i..i + L]);
+                i += L;
+            }
+            for i in i..n {
+                let ak = (self.a[i] >> shift) & mask;
+                let bk = (self.bx[i] >> shift) & mask;
+                let s = ak.wrapping_add(bk).wrapping_add(self.carry[i]) & mask;
+                self.carry[i] = ((ak & bk) | ((ak | bk) & !s)) >> (bits - 1);
+                out[i] |= s << shift;
+            }
+        }
+        self.fixup(out);
+    }
+
+    /// Setup pass: size `out`, derive each lane's effective addend and
+    /// injected carry.
+    fn setup(&mut self, out: &mut Vec<u32>) {
+        let n = self.op.len();
+        out.clear();
+        out.resize(n, 0);
+        self.bx.clear();
+        self.carry.clear();
+        for i in 0..n {
+            let sub = is_sub_family(self.op[i]);
+            self.bx.push(self.b[i] ^ (sub as u32).wrapping_neg());
+            self.carry.push(sub as u32);
+        }
+    }
+
+    /// Fixup pass: lanes whose result is not the carry-chained sum.
+    ///
+    /// `slt` derives from the sweep's difference via sign xor overflow;
+    /// `sltu` from the final carry out (no borrow ⇔ carry 1); logic ops
+    /// are recomputed slice-independently (their sweep result is
+    /// discarded); shifts are inherently cross-slice and use the
+    /// full-width reference.
+    fn fixup(&mut self, out: &mut [u32]) {
+        for (i, (&op, o)) in self.op.iter().zip(out.iter_mut()).enumerate() {
+            let (a, b) = (self.a[i], self.b[i]);
+            match op {
+                AluSliceOp::Add | AluSliceOp::Sub => {}
+                AluSliceOp::Slt => {
+                    let d = *o; // a - b from the sweep
+                    *o = (d ^ ((a ^ b) & (a ^ d))) >> 31;
+                }
+                AluSliceOp::Sltu => *o = 1 - self.carry[i],
+                AluSliceOp::And => *o = a & b,
+                AluSliceOp::Or => *o = a | b,
+                AluSliceOp::Xor => *o = a ^ b,
+                AluSliceOp::Nor => *o = !(a | b),
+                AluSliceOp::Sll | AluSliceOp::Srl | AluSliceOp::Sra => {
+                    *o = op.eval_full(a, b);
+                }
+            }
+        }
+    }
+}
+
+/// One-shot convenience: evaluate `lanes` under `width`, returning the
+/// joined results in lane order. Allocates per call — the simulator and
+/// benchmarks hold a [`SliceBatch`] instead.
+pub fn eval_batch(width: SliceWidth, lanes: &[(AluSliceOp, u32, u32)]) -> Vec<u32> {
+    let mut batch = SliceBatch::new(width);
+    for &(op, a, b) in lanes {
+        batch.push(op, a, b);
+    }
+    let mut out = Vec::new();
+    batch.eval_into(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alu::SliceAlu;
+    use crate::sliced::Sliced;
+    use popk_isa::rng::SplitMix64;
+
+    const WIDTHS: [SliceWidth; 3] = [SliceWidth::W32, SliceWidth::W16, SliceWidth::W8];
+    const OPS: [AluSliceOp; 11] = [
+        AluSliceOp::Add,
+        AluSliceOp::Sub,
+        AluSliceOp::And,
+        AluSliceOp::Or,
+        AluSliceOp::Xor,
+        AluSliceOp::Nor,
+        AluSliceOp::Sll,
+        AluSliceOp::Srl,
+        AluSliceOp::Sra,
+        AluSliceOp::Slt,
+        AluSliceOp::Sltu,
+    ];
+
+    /// Carry- and compare-hostile operand pairs: long carry chains,
+    /// equal values, off-by-one around sign and slice boundaries.
+    fn edge_pairs() -> Vec<(u32, u32)> {
+        let vals = [
+            0u32,
+            1,
+            0xff,
+            0x100,
+            0xffff,
+            0x0001_0000,
+            0x7fff_ffff,
+            0x8000_0000,
+            0x8000_0001,
+            0xffff_ffff,
+            0xfffe_ffff,
+            0x00ff_ff00,
+        ];
+        let mut pairs = Vec::new();
+        for &a in &vals {
+            for &b in &vals {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    /// A named kernel variant under test.
+    type Kernel = (&'static str, fn(&mut SliceBatch, &mut Vec<u32>));
+
+    /// Every kernel variant available in this build, by name.
+    fn kernels() -> Vec<Kernel> {
+        #[cfg_attr(not(feature = "simd"), allow(unused_mut))]
+        let mut v: Vec<Kernel> = vec![("scalar", SliceBatch::eval_into_scalar)];
+        #[cfg(feature = "simd")]
+        v.push(("simd", SliceBatch::eval_into_simd));
+        v
+    }
+
+    #[test]
+    fn batch_matches_per_entry_eval_on_edges() {
+        // Mixed-op batch over the full edge-pair cross product: each lane
+        // must equal SliceAlu::eval joined AND slice-by-slice.
+        for w in WIDTHS {
+            for (kname, kernel) in kernels() {
+                let mut batch = SliceBatch::new(w);
+                let mut expect = Vec::new();
+                for (i, (a, b)) in edge_pairs().into_iter().enumerate() {
+                    let op = OPS[i % OPS.len()];
+                    batch.push(op, a, b);
+                    expect.push((op, a, b, SliceAlu::new(w).eval(op, a, b)));
+                }
+                let mut out = Vec::new();
+                kernel(&mut batch, &mut out);
+                assert_eq!(out.len(), expect.len());
+                for (got, (op, a, b, want)) in out.iter().zip(&expect) {
+                    assert_eq!(*got, want.join(), "{kname} {w:?} {op:?} a {a:#x} b {b:#x}");
+                    // Slice-exact too, not just joined-value-equal.
+                    assert_eq!(Sliced::split(*got, w), *want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_entry_eval_random() {
+        let mut rng = SplitMix64::new(0xbb17c4);
+        for w in WIDTHS {
+            for (kname, kernel) in kernels() {
+                // Odd batch length exercises the simd remainder loop.
+                let mut batch = SliceBatch::new(w);
+                let mut expect = Vec::new();
+                for _ in 0..1027 {
+                    let op = OPS[rng.below(OPS.len() as u32) as usize];
+                    let (a, b) = (rng.next_u32(), rng.next_u32());
+                    batch.push(op, a, b);
+                    expect.push(op.eval_full(a, b));
+                }
+                let mut out = Vec::new();
+                kernel(&mut batch, &mut out);
+                assert_eq!(out, expect, "{kname} {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn slt_family_edge_cases() {
+        // The slt/sltu lanes derive from the sweep's carry state; pin the
+        // classic traps: equality, sign straddles, overflow cases.
+        let cases = [
+            (0u32, 0u32),
+            (5, 5),
+            (4, 5),
+            (5, 4),
+            (0x7fff_ffff, 0x8000_0000), // signed: MAX vs MIN
+            (0x8000_0000, 0x7fff_ffff),
+            (0xffff_ffff, 0), // signed -1 vs 0
+            (0, 0xffff_ffff),
+            (0x8000_0000, 0x8000_0000),
+            (1, 0xffff_ffff),
+        ];
+        for w in WIDTHS {
+            for (_, kernel) in kernels() {
+                for op in [AluSliceOp::Slt, AluSliceOp::Sltu] {
+                    let mut batch = SliceBatch::new(w);
+                    for &(a, b) in &cases {
+                        batch.push(op, a, b);
+                    }
+                    let mut out = Vec::new();
+                    kernel(&mut batch, &mut out);
+                    for (got, (a, b)) in out.iter().zip(&cases) {
+                        assert_eq!(*got, op.eval_full(*a, *b), "{op:?} {a:#x} {b:#x} {w:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carry_chain_threads_per_lane() {
+        // Lanes with maximal carry propagation (0xffff_ffff + 1) adjacent
+        // to carry-free lanes: each lane's chain must stay private.
+        for (_, kernel) in kernels() {
+            let mut batch = SliceBatch::new(SliceWidth::W8);
+            batch.push(AluSliceOp::Add, 0xffff_ffff, 1);
+            batch.push(AluSliceOp::Add, 0x0101_0101, 0x0101_0101);
+            batch.push(AluSliceOp::Sub, 0, 1);
+            batch.push(AluSliceOp::Add, 0x00ff_00ff, 0x0001_0001);
+            let mut out = Vec::new();
+            kernel(&mut batch, &mut out);
+            assert_eq!(out, vec![0, 0x0202_0202, 0xffff_ffff, 0x0100_0100]);
+        }
+    }
+
+    #[test]
+    fn clear_reuses_the_batch() {
+        let mut batch = SliceBatch::new(SliceWidth::W16);
+        let mut out = Vec::new();
+        batch.push(AluSliceOp::Add, 2, 3);
+        batch.eval_into(&mut out);
+        assert_eq!(out, vec![5]);
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.push(AluSliceOp::Xor, 0xf0, 0x0f);
+        batch.eval_into(&mut out);
+        assert_eq!(out, vec![0xff]);
+    }
+
+    #[test]
+    fn eval_batch_convenience() {
+        let out = eval_batch(
+            SliceWidth::W16,
+            &[
+                (AluSliceOp::Add, 0xffff, 1),
+                (AluSliceOp::Sltu, 3, 4),
+                (AluSliceOp::Nor, 0, 0),
+            ],
+        );
+        assert_eq!(out, vec![0x0001_0000, 1, 0xffff_ffff]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Raw trace-generation throughput floor.
+use std::time::Instant;
+fn main() {
+    for name in ["gcc", "mcf", "li", "ijpeg"] {
+        let program = popk_workloads::by_name(name).unwrap().program();
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let mut machine = popk_emu::Machine::new(&program);
+            let t = Instant::now();
+            let mut n = 0u64;
+            let mut sink = 0u32;
+            for r in machine.trace(200_000) {
+                let r = r.unwrap();
+                sink ^= r.pc ^ r.results[0];
+                n += 1;
+            }
+            let dt = t.elapsed().as_secs_f64();
+            std::hint::black_box(sink);
+            best = best.min(dt / n as f64 * 1e9);
+        }
+        println!("{name}: {best:.1} ns/inst ({:.1} Minsts/s)", 1000.0 / best);
+    }
+}

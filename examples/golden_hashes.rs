@@ -1,0 +1,123 @@
+//! Golden behavior hashes: one FNV-1a 64 digest per (workload ×
+//! configuration) over the full cycle-event stream plus the final
+//! statistics snapshot.
+//!
+//! The digest covers every [`popk::core::TraceEvent`] the simulator
+//! emits (with its cycle stamp) and the complete `SimStats` /
+//! `StatsRegistry` state, so any timing, ordering, or counting change —
+//! however small — changes the hash. Refactors that must be
+//! behavior-preserving (memory-layout changes, scheduler rewrites)
+//! capture this table before and after and diff it:
+//!
+//! ```text
+//! cargo run --release --example golden_hashes > before.txt
+//! # ... refactor ...
+//! cargo run --release --example golden_hashes > after.txt
+//! diff before.txt after.txt
+//! ```
+//!
+//! An optional instruction budget overrides the 40 K default.
+
+use popk::core::{MachineConfig, Optimizations, Simulator, VecTrace};
+use popk::workloads::all;
+use std::fmt::Write as _;
+
+/// FNV-1a 64-bit over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+/// The configurations under test: the headline machines, the cumulative
+/// optimization ladder, the extended configs, and wrong-path modeling.
+fn configs() -> Vec<(String, MachineConfig)> {
+    let mut v: Vec<(String, MachineConfig)> = vec![
+        ("ideal".into(), MachineConfig::ideal()),
+        ("simple2".into(), MachineConfig::simple2()),
+        ("simple4".into(), MachineConfig::simple4()),
+        (
+            "slice2-1".into(),
+            MachineConfig::slice2(Optimizations::level(1)),
+        ),
+        (
+            "slice2-3".into(),
+            MachineConfig::slice2(Optimizations::level(3)),
+        ),
+        ("slice2-5".into(), MachineConfig::slice2_full()),
+        (
+            "slice4-2".into(),
+            MachineConfig::slice4(Optimizations::level(2)),
+        ),
+        (
+            "slice4-4".into(),
+            MachineConfig::slice4(Optimizations::level(4)),
+        ),
+        ("slice4-5".into(), MachineConfig::slice4_full()),
+        (
+            "ext4".into(),
+            MachineConfig::slice4(Optimizations::extended()),
+        ),
+    ];
+    let mut wp2 = MachineConfig::slice2_full();
+    wp2.model_wrong_path = true;
+    v.push(("slice2-wp".into(), wp2));
+    let mut md = MachineConfig::slice2(Optimizations::extended());
+    md.opts.mem_dep_predict = true;
+    v.push(("ext2-md".into(), md));
+    v
+}
+
+fn main() {
+    let limit: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.replace('_', "").parse().ok())
+        .unwrap_or(40_000);
+    let workloads = all();
+    let cfgs = configs();
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..cfgs.len()).map(move |c| (w, c)))
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let lines: Vec<std::sync::Mutex<String>> = jobs
+        .iter()
+        .map(|_| std::sync::Mutex::new(String::new()))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(w, c)) = jobs.get(i) else { break };
+                let (label, cfg) = &cfgs[c];
+                let p = workloads[w].program();
+                let mut sim = Simulator::with_sink(cfg, VecTrace::new());
+                let stats = sim.run(&p, limit);
+                let registry = sim.registry();
+                let mut h = Fnv::new();
+                let mut buf = String::new();
+                for (cycle, ev) in &sim.sink().events {
+                    buf.clear();
+                    let _ = write!(buf, "{cycle} {ev:?}");
+                    h.update(buf.as_bytes());
+                }
+                buf.clear();
+                let _ = write!(buf, "{stats:?} {:?}", registry.to_json().to_pretty(0));
+                h.update(buf.as_bytes());
+                *lines[i].lock().unwrap() =
+                    format!("{:<8} {:<10} {:016x}", workloads[w].name, label, h.0);
+            });
+        }
+    });
+    for l in lines {
+        println!("{}", l.into_inner().unwrap());
+    }
+}

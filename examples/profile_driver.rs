@@ -1,0 +1,37 @@
+//! Single-threaded hot-loop driver for external profilers: runs the
+//! bench-suite simulation mix back to back so sampled time lands in the
+//! simulator, not a harness.
+//!
+//! ```sh
+//! gprofng collect app -o /tmp/popk.er \
+//!     ./target/release/examples/profile_driver [limit] [reps]
+//! gprofng display text -functions /tmp/popk.er | head -40
+//! ```
+
+use popk_core::{simulate, MachineConfig};
+use popk_workloads::by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let limit: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let reps: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    let cases: Vec<(&str, MachineConfig)> = vec![
+        ("gcc", MachineConfig::ideal()),
+        ("gcc", MachineConfig::simple2()),
+        ("gcc", MachineConfig::slice2_full()),
+        ("gcc", MachineConfig::simple4()),
+        ("gcc", MachineConfig::slice4_full()),
+        ("mcf", MachineConfig::slice2_full()),
+        ("li", MachineConfig::slice2_full()),
+        ("ijpeg", MachineConfig::slice2_full()),
+    ];
+    let mut committed = 0u64;
+    for _ in 0..reps {
+        for (name, cfg) in &cases {
+            let program = by_name(name).unwrap().program();
+            committed += simulate(&program, cfg, limit).committed;
+        }
+    }
+    println!("total committed: {committed}");
+}
