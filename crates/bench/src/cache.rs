@@ -1,0 +1,314 @@
+//! Content-addressed on-disk artifact cache for the serve daemon.
+//!
+//! The simulator is a pure function of (program, config, budget) — the
+//! determinism suite pins this — so a finished job's artifact can be
+//! served from disk to any later request with the same key. A cache
+//! entry is one pretty-printed JSON body addressed by the 128-bit
+//! digest of its [`JobKey`]; the body embeds the full key material plus
+//! an FNV integrity checksum, and [`ArtifactCache::lookup`] re-verifies
+//! both before serving a byte, so truncated, corrupted, or
+//! stale-schema entries read as misses (and are re-simulated), never as
+//! bad data. Writes go through a temp file + atomic rename, so a
+//! concurrent reader sees either the old entry or the complete new one.
+
+use crate::artifact::counters_json;
+use popk_core::hash::{digest128_hex, fnv1a_64};
+use popk_core::{Json, MachineConfig, SimStats};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version stamp of the cached-entry body shape. Bump on any
+/// incompatible change: the digest material includes it, so old entries
+/// simply become unreachable (and unreadable ones are re-simulated).
+pub const CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// The identity of one simulation job, as cached and compared: which
+/// workload, under which machine configuration, for how many
+/// instructions. This is the *single* derivation of config identity in
+/// the bench layer — the cache, the `compare` runner dedup, and the
+/// compare reports all go through [`MachineConfig::fingerprint`] via
+/// this type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobKey {
+    /// Workload name (as in the workload registry).
+    pub workload: String,
+    /// Human-readable configuration label (`parse_config` name); carried
+    /// for display, not identity — `config_hash` is the identity.
+    pub config_name: String,
+    /// [`MachineConfig::fingerprint`] of the full configuration.
+    pub config_hash: u64,
+    /// Seed namespace. Today's workloads are deterministic kernels with
+    /// no seed input, so distinct seeds simply address distinct cache
+    /// entries; the field reserves the keyspace for future seeded modes.
+    pub seed: u64,
+    /// Dynamic-instruction budget.
+    pub limit: u64,
+}
+
+impl JobKey {
+    /// Build the key for running `workload` under `cfg` for `limit`
+    /// instructions.
+    pub fn new(
+        workload: &str,
+        config_name: &str,
+        cfg: &MachineConfig,
+        seed: u64,
+        limit: u64,
+    ) -> JobKey {
+        JobKey {
+            workload: workload.to_string(),
+            config_name: config_name.to_string(),
+            config_hash: cfg.fingerprint(),
+            seed,
+            limit,
+        }
+    }
+
+    /// The canonical byte string the content address is derived from.
+    /// `config_name` is deliberately absent: two labels for the same
+    /// configuration must share an entry.
+    fn material(&self) -> String {
+        format!(
+            "{}\n{:016x}\n{}\n{}\nv{}",
+            self.workload, self.config_hash, self.seed, self.limit, CACHE_SCHEMA_VERSION
+        )
+    }
+
+    /// The 128-bit hex content address of this key.
+    pub fn digest(&self) -> String {
+        digest128_hex(self.material().as_bytes())
+    }
+}
+
+/// The on-disk cache: `root/<digest[..2]>/<digest>.json`, one complete
+/// artifact body per file.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    root: PathBuf,
+    /// Distinguishes concurrent writers' temp files within one process
+    /// (the pid distinguishes processes).
+    counter: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Open (creating nothing yet) a cache rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> ArtifactCache {
+        ArtifactCache {
+            root: root.into(),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path a given digest stores at.
+    pub fn path_for(&self, digest: &str) -> PathBuf {
+        self.root.join(&digest[..2]).join(format!("{digest}.json"))
+    }
+
+    /// Fetch the cached body for `key`, verifying integrity and key
+    /// identity. Any defect — missing file, unparseable JSON, checksum
+    /// mismatch, schema or key-field mismatch (including a digest
+    /// collision) — is a miss, never an error: the caller re-simulates
+    /// and overwrites.
+    pub fn lookup(&self, key: &JobKey) -> Option<String> {
+        let body = std::fs::read_to_string(self.path_for(&key.digest())).ok()?;
+        let parsed = verify_body(&body)?;
+        let field_u64 = |k: &str| parsed.get(k).and_then(Json::as_u64);
+        let matches = parsed.get("schema_version").and_then(Json::as_u64)
+            == Some(CACHE_SCHEMA_VERSION)
+            && parsed.get("workload").and_then(Json::as_str) == Some(key.workload.as_str())
+            && parsed.get("config_hash").and_then(Json::as_str)
+                == Some(format!("{:016x}", key.config_hash).as_str())
+            && field_u64("seed") == Some(key.seed)
+            && field_u64("instruction_limit") == Some(key.limit);
+        matches.then_some(body)
+    }
+
+    /// Store `body` as the entry for `key`: write-to-temp then atomic
+    /// rename, so concurrent readers of the same digest never observe a
+    /// partial file. Last writer wins — bodies for one key are
+    /// byte-identical by determinism, so the race is benign.
+    pub fn store(&self, key: &JobKey, body: &str) -> std::io::Result<PathBuf> {
+        let path = self.path_for(&key.digest());
+        let dir = path.parent().expect("digest path has a parent");
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            self.counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Build the canonical artifact body for a completed job: the full
+    /// key material, IPC, every stats counter, and the integrity
+    /// checksum, pretty-printed with a trailing newline (matching the
+    /// committed `BENCH_*.json` style).
+    pub fn job_body(key: &JobKey, stats: &SimStats) -> String {
+        let mut j = Json::object();
+        j.set("schema_version", Json::from(CACHE_SCHEMA_VERSION));
+        j.set("kind", "job".into());
+        j.set("workload", key.workload.as_str().into());
+        j.set("config", key.config_name.as_str().into());
+        j.set("config_hash", format!("{:016x}", key.config_hash).into());
+        j.set("seed", Json::from(key.seed));
+        j.set("instruction_limit", Json::from(key.limit));
+        j.set("ipc", Json::from(stats.ipc()));
+        j.set("stats", counters_json(stats));
+        seal_body(j)
+    }
+}
+
+/// Serialize `j` with its integrity checksum appended: the checksum is
+/// the FNV-1a hash of the pretty body *without* the `integrity` field,
+/// so verification removes the field and re-hashes.
+pub fn seal_body(mut j: Json) -> String {
+    j.remove("integrity");
+    let unsealed = j.to_pretty(2);
+    j.set(
+        "integrity",
+        format!("{:016x}", fnv1a_64(unsealed.as_bytes())).into(),
+    );
+    let mut body = j.to_pretty(2);
+    body.push('\n');
+    body
+}
+
+/// Parse `body` and check its integrity seal, returning the parsed
+/// value (with the `integrity` field removed) if sound.
+pub fn verify_body(body: &str) -> Option<Json> {
+    let mut parsed = Json::parse(body).ok()?;
+    let stated = parsed.remove("integrity")?.as_str()?.to_string();
+    let actual = format!("{:016x}", fnv1a_64(parsed.to_pretty(2).as_bytes()));
+    (stated == actual).then_some(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> ArtifactCache {
+        let dir =
+            std::env::temp_dir().join(format!("popk-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::new(dir)
+    }
+
+    fn sample_key() -> JobKey {
+        JobKey::new("gzip", "slice2", &MachineConfig::slice2_full(), 0, 20_000)
+    }
+
+    fn sample_body(key: &JobKey) -> String {
+        let stats = SimStats {
+            committed: 20_000,
+            cycles: 10_000,
+            ..Default::default()
+        };
+        ArtifactCache::job_body(key, &stats)
+    }
+
+    #[test]
+    fn digest_is_stable_and_ignores_label() {
+        let key = sample_key();
+        assert_eq!(key.digest(), key.digest());
+        assert_eq!(key.digest().len(), 32);
+        // Same config under a different display label → same entry.
+        let relabeled = JobKey::new(
+            "gzip",
+            "other-name",
+            &MachineConfig::slice2_full(),
+            0,
+            20_000,
+        );
+        assert_eq!(relabeled.digest(), key.digest());
+        // Every identity field perturbs the digest.
+        for other in [
+            JobKey::new("gcc", "slice2", &MachineConfig::slice2_full(), 0, 20_000),
+            JobKey::new("gzip", "slice2", &MachineConfig::ideal(), 0, 20_000),
+            JobKey::new("gzip", "slice2", &MachineConfig::slice2_full(), 1, 20_000),
+            JobKey::new("gzip", "slice2", &MachineConfig::slice2_full(), 0, 20_001),
+        ] {
+            assert_ne!(other.digest(), key.digest());
+        }
+    }
+
+    #[test]
+    fn roundtrip_hits() {
+        let cache = temp_cache("roundtrip");
+        let key = sample_key();
+        assert_eq!(cache.lookup(&key), None, "cold cache misses");
+        let body = sample_body(&key);
+        cache.store(&key, &body).expect("store");
+        assert_eq!(cache.lookup(&key).as_deref(), Some(body.as_str()));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn truncated_and_corrupted_entries_miss() {
+        let cache = temp_cache("corrupt");
+        let key = sample_key();
+        let body = sample_body(&key);
+        let path = cache.store(&key, &body).expect("store");
+
+        // Truncation: invalid JSON → miss.
+        std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+        assert_eq!(cache.lookup(&key), None);
+
+        // Bit-rot that stays valid JSON: checksum mismatch → miss.
+        let flipped = body.replacen("\"ipc\": 2", "\"ipc\": 3", 1);
+        assert_ne!(flipped, body, "corruption actually changed the body");
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(cache.lookup(&key), None);
+
+        // Reseal a tampered body: checksum passes but the key fields
+        // disagree with the request → still a miss.
+        let mut tampered = verify_body(&body).unwrap();
+        tampered.set("workload", "gcc".into());
+        std::fs::write(&path, seal_body(tampered)).unwrap();
+        assert_eq!(cache.lookup(&key), None);
+
+        // A fresh store repairs the entry.
+        cache.store(&key, &body).expect("re-store");
+        assert_eq!(cache.lookup(&key).as_deref(), Some(body.as_str()));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn stale_schema_entries_miss() {
+        let cache = temp_cache("schema");
+        let key = sample_key();
+        let mut old = verify_body(&sample_body(&key)).unwrap();
+        old.set("schema_version", Json::from(CACHE_SCHEMA_VERSION + 1));
+        // A well-formed, checksummed body from a future/past schema.
+        let path = cache.path_for(&key.digest());
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, seal_body(old)).unwrap();
+        assert_eq!(cache.lookup(&key), None);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn seal_verify_roundtrip() {
+        let mut j = Json::object();
+        j.set("a", Json::from(1u64));
+        let sealed = seal_body(j.clone());
+        let back = verify_body(&sealed).expect("verifies");
+        assert_eq!(back, j);
+        // Re-sealing an already-sealed value is idempotent.
+        let mut with_seal = Json::parse(&sealed).unwrap();
+        assert!(with_seal.get("integrity").is_some());
+        assert_eq!(seal_body(with_seal.clone()), sealed);
+        with_seal.set("a", Json::from(2u64));
+        assert_eq!(
+            verify_body(&with_seal.to_string()),
+            None,
+            "stale seal fails"
+        );
+    }
+}

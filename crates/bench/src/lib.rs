@@ -20,13 +20,16 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod cache;
 pub mod fmt;
 pub mod pool;
 pub mod reports;
 pub mod runners;
+pub mod serve;
 pub mod timing;
 
 pub use artifact::{Artifact, Cli, HostMeter};
+pub use cache::{ArtifactCache, JobKey, CACHE_SCHEMA_VERSION};
 pub use pool::JobFailure;
 pub use reports::{
     ablations_report, compare_report, fig11_report, fig12_report, table1_report,
@@ -36,3 +39,4 @@ pub use runners::{
     arg_limit, compare, fig11, fig12_from, fig2, fig4, fig6, parse_config, set_poisoned_workload,
     table1, Fig11Column, Fig11Data, SweepFailure, Table1Row, DEFAULT_LIMIT,
 };
+pub use serve::{Client, ServeConfig, Server, PROTOCOL_VERSION};

@@ -863,6 +863,16 @@ pub fn compare_report(a_name: &str, b_name: &str, limit: u64, threads: usize) ->
     let mut artifact = Artifact::new("compare", limit);
     artifact.set("config_a", a_name.into());
     artifact.set("config_b", b_name.into());
+    // Config identity as the rest of the bench layer derives it
+    // (`MachineConfig::fingerprint`, shared with the artifact cache).
+    artifact.set(
+        "config_a_hash",
+        format!("{:016x}", a_cfg.fingerprint()).into(),
+    );
+    artifact.set(
+        "config_b_hash",
+        format!("{:016x}", b_cfg.fingerprint()).into(),
+    );
     artifact.set("workloads", Json::Array(jrows));
     artifact.set("geomean_ipc_ratio", Json::from(geo));
     if !failures.is_empty() {

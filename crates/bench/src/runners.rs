@@ -38,7 +38,7 @@ static METER_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Record one completed job that processed `instructions` dynamic
 /// instructions.
-fn meter_record(instructions: u64) {
+pub(crate) fn meter_record(instructions: u64) {
     METER_JOBS.fetch_add(1, Ordering::Relaxed);
     METER_INSTRUCTIONS.fetch_add(instructions, Ordering::Relaxed);
 }
@@ -129,7 +129,7 @@ pub fn set_poisoned_workload(name: Option<&str>) {
 /// of every panic-isolated sweep job. The deliberate panic happens with
 /// the lock already released (and a lock poisoned by a panicking worker
 /// is recovered), so one poisoned job never wedges the rest of a sweep.
-fn poison_check(name: &str) {
+pub(crate) fn poison_check(name: &str) {
     let matched = POISONED_WORKLOAD
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -488,6 +488,32 @@ pub fn compare(
 ) -> Vec<ComparePair> {
     let workloads = all();
     let programs: Vec<Program> = pool::map_jobs(threads, &workloads, Workload::program);
+    // Config identity is the fingerprint (the same helper the artifact
+    // cache keys on): identical configs under two labels run once per
+    // workload and the stat pair is the duplicated result.
+    if a.fingerprint() == b.fingerprint() {
+        let jobs: Vec<(&'static str, &Program)> = workloads
+            .iter()
+            .zip(&programs)
+            .map(|(w, p)| (w.name, p))
+            .collect();
+        let stats = pool::try_map_jobs(threads, &jobs, |&(name, p)| {
+            poison_check(name);
+            try_sim(p, a, limit)
+        });
+        return stats
+            .into_iter()
+            .zip(&jobs)
+            .map(|(r, &(name, _))| {
+                let pair = match r {
+                    Ok(Ok(s)) => Ok((s, s)),
+                    Ok(Err(e)) => Err(SweepFailure::from_sim(name, "A", &e)),
+                    Err(f) => Err(SweepFailure::from_panic(name, "A", f)),
+                };
+                (name, pair)
+            })
+            .collect();
+    }
     let jobs: Vec<(&'static str, &Program, &'static str, MachineConfig)> = workloads
         .iter()
         .zip(&programs)
@@ -611,6 +637,19 @@ mod tests {
         assert!(parse_config("ext4").is_some());
         assert!(parse_config("slice2-x").is_none());
         assert!(parse_config("bogus").is_none());
+    }
+
+    #[test]
+    fn compare_dedups_identical_configs() {
+        // Same fingerprint under two labels takes the single-run path:
+        // each pair is the one result duplicated.
+        let cfg = MachineConfig::ideal();
+        let pairs = compare(&cfg, &cfg, QUICK, 2);
+        assert_eq!(pairs.len(), 11);
+        for (_, pair) in &pairs {
+            let (a, b) = pair.as_ref().expect("healthy sweep");
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -282,6 +282,19 @@ impl MachineConfig {
         Self::slice4(Optimizations::all())
     }
 
+    /// A stable 64-bit fingerprint of every configuration field.
+    ///
+    /// Hashes the canonical `Debug` rendering through
+    /// [`crate::hash::fnv1a_64`], so two configs fingerprint equal iff
+    /// they are field-for-field identical — nested cache/frontend
+    /// settings included, and new fields are covered by construction.
+    /// This is the single source of config identity for the bench
+    /// layer: compare reports, sweep dedup, and the artifact cache all
+    /// key on it (stable across runs and hosts, unlike `std::hash`).
+    pub fn fingerprint(&self) -> u64 {
+        crate::hash::fnv1a_64(format!("{self:?}").as_bytes())
+    }
+
     /// Number of operand slices in this configuration.
     pub fn slice_count(&self) -> usize {
         match self.kind {
@@ -381,6 +394,26 @@ impl MachineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_covers_every_field() {
+        let base = MachineConfig::slice2_full();
+        assert_eq!(
+            base.fingerprint(),
+            MachineConfig::slice2_full().fingerprint()
+        );
+        assert_ne!(base.fingerprint(), MachineConfig::ideal().fingerprint());
+        // Perturbations of top-level and nested fields all register.
+        let mut c = base;
+        c.watchdog += 1;
+        assert_ne!(c.fingerprint(), base.fingerprint());
+        let mut c = base;
+        c.memory.l1_latency += 1;
+        assert_ne!(c.fingerprint(), base.fingerprint());
+        let mut c = base;
+        c.opts.partial_tag = false;
+        assert_ne!(c.fingerprint(), base.fingerprint());
+    }
 
     #[test]
     fn presets_match_table2() {

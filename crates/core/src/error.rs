@@ -17,6 +17,7 @@
 //!   architectural value the reference machine disagrees with.
 
 use crate::config::ConfigError;
+use crate::json::Json;
 use popk_emu::EmuError;
 use std::fmt;
 
@@ -47,6 +48,39 @@ pub enum SimError {
         /// The value the pipeline retired.
         got: u64,
     },
+    /// The run was canceled through the cooperative cancellation flag
+    /// ([`Simulator::set_cancel`](crate::Simulator::set_cancel)) before
+    /// reaching its instruction budget. Used by long-running hosts
+    /// (the `popk serve` daemon) to abandon jobs whose clients are gone.
+    Canceled,
+}
+
+impl SimError {
+    /// A stable, lowercase machine-readable identifier for this error
+    /// class. These are wire-protocol constants (see `popk-bench`'s
+    /// serve module and EXPERIMENTS.md): renaming one is a protocol
+    /// break, not a refactor.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::InvalidConfig(_) => "invalid_config",
+            SimError::Emulation(_) => "emulation",
+            SimError::Deadlock(_) => "deadlock",
+            SimError::OracleDivergence { .. } => "oracle_divergence",
+            SimError::Canceled => "canceled",
+        }
+    }
+
+    /// The wire representation of this error: an object carrying the
+    /// stable [`kind`](SimError::kind) plus the human-readable
+    /// `Display` rendering.
+    #[must_use]
+    pub fn to_wire_json(&self) -> Json {
+        let mut j = Json::object();
+        j.set("kind", self.kind().into());
+        j.set("message", self.to_string().into());
+        j
+    }
 }
 
 impl fmt::Display for SimError {
@@ -66,6 +100,7 @@ impl fmt::Display for SimError {
                 "oracle divergence at seq {seq} pc {pc:#010x}: \
                  field `{field}` expected {expected:#x}, pipeline retired {got:#x}"
             ),
+            SimError::Canceled => write!(f, "simulation canceled"),
         }
     }
 }
@@ -160,6 +195,24 @@ mod tests {
         assert!(s.contains("deadlock"), "{s}");
         assert!(s.contains("lw r9"), "{s}");
         assert!(s.contains("cycle 100"), "{s}");
+    }
+
+    #[test]
+    fn kinds_are_stable_wire_identifiers() {
+        let canceled = SimError::Canceled;
+        assert_eq!(canceled.kind(), "canceled");
+        assert_eq!(canceled.to_string(), "simulation canceled");
+        let wire = canceled.to_wire_json().to_string();
+        assert_eq!(
+            wire,
+            r#"{"kind":"canceled","message":"simulation canceled"}"#
+        );
+        let emu: SimError = popk_emu::EmuError::UnmappedPc { pc: 0x10 }.into();
+        assert_eq!(emu.kind(), "emulation");
+        assert!(emu
+            .to_wire_json()
+            .to_string()
+            .contains("\"kind\":\"emulation\""));
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Tiny stable hashing for fingerprints and content addresses.
+//!
+//! The workspace builds offline with no external crates, and
+//! `std::hash` deliberately refuses to promise cross-run stability — so
+//! anything persisted (artifact-cache keys, integrity checksums) or
+//! sent over the wire hashes through this FNV-1a implementation
+//! instead. FNV-1a is not collision-resistant against adversaries; the
+//! cache guards against corruption and accidents, not attacks, and
+//! every read is additionally verified field-by-field against the
+//! request key (see `popk-bench`'s cache module).
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// An alternative offset basis for deriving a second independent
+/// stream from the same bytes (used to widen digests to 128 bits).
+pub const FNV_OFFSET_ALT: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` from an explicit starting state. Feeding the
+/// result back in as `state` continues the stream, so multi-field
+/// hashes can be built incrementally.
+#[must_use]
+pub fn fnv1a_64_from(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// FNV-1a 64-bit hash of `bytes` from the standard offset basis.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    fnv1a_64_from(FNV_OFFSET, bytes)
+}
+
+/// A 128-bit hex digest of `bytes`: two independent FNV-1a streams
+/// (standard and alternative offset basis) concatenated. Used as the
+/// content address of cached artifacts, where 64 bits would leave
+/// birthday-collision odds uncomfortably close for a long-lived cache.
+#[must_use]
+pub fn digest128_hex(bytes: &[u8]) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a_64(bytes),
+        fnv1a_64_from(FNV_OFFSET_ALT, bytes)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let whole = fnv1a_64(b"hello world");
+        let split = fnv1a_64_from(fnv1a_64(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn digest_is_stable_and_wide() {
+        let d = digest128_hex(b"popk");
+        assert_eq!(d.len(), 32);
+        assert_eq!(d, digest128_hex(b"popk"));
+        assert_ne!(d, digest128_hex(b"popl"));
+        // The two halves are independent streams, not repeats.
+        assert_ne!(&d[..16], &d[16..]);
+    }
+}

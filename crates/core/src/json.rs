@@ -1,11 +1,16 @@
-//! A minimal hand-rolled JSON value + serializer.
+//! A minimal hand-rolled JSON value + parser + serializer.
 //!
 //! The workspace builds offline with no external crates, so the bench
 //! artifacts ([`crate::StatsRegistry::to_json`], `BENCH_*.json`) are
-//! emitted through this tiny tree builder instead of serde. Only what
-//! the observability layer needs is implemented: construction, ordered
-//! objects, and spec-compliant serialization (string escaping, non-finite
-//! floats as `null`).
+//! emitted through this tiny tree builder instead of serde. Construction,
+//! ordered objects, and spec-compliant serialization (string escaping,
+//! non-finite floats as `null`) came first; the serve wire protocol and
+//! the artifact cache's integrity verification added [`Json::parse`], a
+//! strict recursive-descent reader with a nesting-depth bound (the
+//! parser faces untrusted network input). Parse → serialize round-trips
+//! byte-identically for anything this serializer produced: integers stay
+//! integers, floats re-print in the same shortest round-trippable form,
+//! and object order is preserved.
 
 use std::fmt::Write as _;
 
@@ -67,6 +72,80 @@ impl Json {
                 .map(|i| pairs.remove(i).1),
             _ => None,
         }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing content rejected).
+    ///
+    /// Strict by design — the serve wire protocol feeds this untrusted
+    /// bytes: no comments, no trailing commas, no bare `NaN`/`Infinity`,
+    /// lone surrogates rejected, and nesting is bounded at
+    /// [`MAX_PARSE_DEPTH`] so a hostile line cannot overflow the stack.
+    /// Duplicate object keys keep the last value (matching
+    /// [`Json::set`] semantics).
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content after document"));
+        }
+        Ok(v)
     }
 
     /// Serialize with `indent`-space indentation per nesting level.
@@ -175,6 +254,273 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting [`Json::parse`] accepts. Deep enough for
+/// any artifact or wire message this workspace produces, shallow enough
+/// that recursive descent cannot overflow the stack on hostile input.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
+/// A [`Json::parse`] failure: what went wrong and the byte offset at
+/// which the parser gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = |p: &mut Parser| {
+            let d0 = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > d0
+        };
+        let int_start = self.pos;
+        if !digits_from(self) {
+            return Err(self.err("expected digits"));
+        }
+        if self.bytes[int_start] == b'0' && self.pos - int_start > 1 {
+            return Err(self.err("leading zero"));
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            if !digits_from(self) {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits_from(self) {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let s = &self.text[start..self.pos];
+        if !float {
+            if let Ok(i) = s.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+            // Magnitude beyond i64: degrade to float rather than error.
+        }
+        match s.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Json::Float(f)),
+            _ => Err(self.err("number out of range")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run = self.pos; // start of the current escape-free run
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    out.push_str(&self.text[run..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.text[run..self.pos]);
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    run = self.pos;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => self.pos += 1, // UTF-8 passthrough (input is &str)
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let s = self
+            .text
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let hi = self.hex4()?;
+        let code = match hi {
+            0xD800..=0xDBFF => {
+                // High surrogate: a low surrogate must follow.
+                if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                    self.pos += 2;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                        return Err(self.err("expected low surrogate"));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    return Err(self.err("lone high surrogate"));
+                }
+            }
+            0xDC00..=0xDFFF => return Err(self.err("lone low surrogate")),
+            c => c,
+        };
+        char::from_u32(code).ok_or_else(|| self.err("invalid code point"))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut obj = Json::object();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(obj);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            obj.set(&key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(obj);
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+}
+
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
         // Counters stay well under 2^63 in practice; saturate if not.
@@ -259,5 +605,150 @@ mod tests {
     #[test]
     fn control_chars_escape() {
         assert_eq!(Json::from("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("0").unwrap(), Json::Int(0));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(Json::parse("3.0").unwrap(), Json::Float(3.0));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::Float(2000.0));
+        assert_eq!(Json::parse("-1.25e-2").unwrap(), Json::Float(-0.0125));
+        assert_eq!(Json::parse(r#""hi""#).unwrap(), Json::from("hi"));
+    }
+
+    #[test]
+    fn parse_large_integers() {
+        assert_eq!(
+            Json::parse("9223372036854775807").unwrap(),
+            Json::Int(i64::MAX)
+        );
+        // Beyond i64 degrades to float rather than erroring.
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::Float(1.8446744073709552e19)
+        );
+    }
+
+    #[test]
+    fn parse_strings_and_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\/d\n\t\r\b\f""#).unwrap(),
+            Json::from("a\"b\\c/d\n\t\r\u{8}\u{c}")
+        );
+        assert_eq!(Json::parse(r#""\u0041\u00e9""#).unwrap(), Json::from("Aé"));
+        // Surrogate pair → one astral code point.
+        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), Json::from("😀"));
+        // Raw (non-escaped) multibyte UTF-8 passes through.
+        assert_eq!(Json::parse("\"héllo\"").unwrap(), Json::from("héllo"));
+    }
+
+    #[test]
+    fn parse_containers() {
+        assert_eq!(Json::parse("[]").unwrap(), Json::Array(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::object());
+        let v = Json::parse(r#" { "a" : [ 1 , null , { "b" : false } ] } "#).unwrap();
+        assert_eq!(v.to_string(), r#"{"a":[1,null,{"b":false}]}"#);
+        // Duplicate keys: last value wins, first position kept.
+        let v = Json::parse(r#"{"k":1,"x":2,"k":3}"#).unwrap();
+        assert_eq!(v.to_string(), r#"{"k":3,"x":2}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let mut o = Json::object();
+        o.set("name", Json::from("gzip \"fast\"\n"));
+        o.set("ipc", Json::from(1.5));
+        o.set("whole", Json::from(3.0));
+        o.set("n", Json::from(200_000u64));
+        o.set("neg", Json::from(-9i64));
+        o.set("ok", Json::from(true));
+        o.set("none", Json::Null);
+        o.set("xs", [1u64, 2, 3].into_iter().collect());
+        let mut inner = Json::object();
+        inner.set("ctrl", Json::from("\u{1}\u{1f}"));
+        o.set("inner", inner);
+        for text in [o.to_string(), o.to_pretty(2)] {
+            let back = Json::parse(&text).expect("round trip");
+            assert_eq!(back, o);
+            assert_eq!(back.to_string(), o.to_string());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "  ",
+            "nul",
+            "tru",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "1 2",
+            "[] []",
+            "01",
+            "-",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "NaN",
+            "Infinity",
+            "'single'",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"lone \\ud800 surrogate\"",
+            "\"low first \\udc00\"",
+            "\"\u{1}\"", // raw control character
+            "[1,]",
+            "{\"a\":1,}",
+            "// comment\n1",
+        ] {
+            let e = Json::parse(bad).expect_err(bad);
+            // The error formats with an offset and a message.
+            assert!(e.to_string().contains("invalid JSON at byte"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        let deep_ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        let e = Json::parse(&too_deep).expect_err("depth bound");
+        assert!(e.message.contains("nesting"), "{e}");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"s":"x","u":7,"i":-7,"f":1.5,"b":true,"a":[1]}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("u").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("i").and_then(Json::as_u64), None);
+        assert_eq!(v.get("i").and_then(Json::as_i64), Some(-7));
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(v.get("u").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("s").and_then(Json::as_bool), None);
     }
 }

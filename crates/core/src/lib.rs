@@ -35,6 +35,7 @@ mod config;
 pub mod error;
 pub mod events;
 pub mod fault;
+pub mod hash;
 pub mod json;
 mod oracle;
 mod pipeline;
@@ -48,7 +49,7 @@ pub use config::{ConfigError, MachineConfig, Optimizations, PipelineKind};
 pub use error::{DeadlockSnapshot, SimError};
 pub use events::{NullTrace, ReplayReason, StallReason, TraceEvent, TraceSink, VecTrace};
 pub use fault::{FaultKinds, FaultLog, FaultPlan};
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use registry::{Counter, StatsRegistry};
 pub use sim::{simulate, try_simulate, try_simulate_in, Scratch, Simulator};
 pub use stats::SimStats;

@@ -136,6 +136,11 @@ pub struct Simulator<S: TraceSink = NullTrace> {
     pub(crate) error: Option<crate::error::SimError>,
     /// Cycle of the most recent retirement, for the no-progress watchdog.
     pub(crate) last_commit_cycle: u64,
+    /// Cooperative cancellation flag (attached via
+    /// [`Simulator::set_cancel`]; `None` in normal runs). The run loop
+    /// polls it every 1024 cycles and returns
+    /// [`SimError::Canceled`](crate::SimError) when set.
+    pub(crate) cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     /// Debug-build datapath check: sliced ALU ops completing in a cycle
     /// are collected as lanes and cross-checked through the batched
     /// slice kernels against the traced results (release builds carry
@@ -188,6 +193,7 @@ impl<S: TraceSink> Simulator<S> {
             fault: None,
             error: None,
             last_commit_cycle: 0,
+            cancel: None,
             #[cfg(debug_assertions)]
             dbg_batch: popk_slice::SliceBatch::new(cfg.slicing),
             #[cfg(debug_assertions)]
@@ -209,6 +215,16 @@ impl<S: TraceSink> Simulator<S> {
     /// suite; never set in normal runs.
     pub fn set_fault_plan(&mut self, plan: crate::fault::FaultPlan) {
         self.fault = Some(plan);
+    }
+
+    /// Attach a cooperative cancellation flag. Setting `flag` from
+    /// another thread makes [`try_run`](Simulator::try_run) stop within
+    /// ~1024 cycles and return
+    /// [`SimError::Canceled`](crate::SimError::Canceled). Has no effect
+    /// on results when the flag is never raised: the poll touches no
+    /// architectural or timing state.
+    pub fn set_cancel(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.cancel = Some(flag);
     }
 
     /// Injection counts of the attached fault plan (all-zero when none).

@@ -171,6 +171,15 @@ impl<S: TraceSink> Simulator<S> {
             if self.cycle - self.last_commit_cycle > self.cfg.watchdog {
                 return Err(SimError::Deadlock(self.deadlock_snapshot()));
             }
+            // Cooperative cancellation: polled sparsely so the common
+            // (no-flag or flag-unset) case costs one predictable branch.
+            if self.cycle & 1023 == 0 {
+                if let Some(c) = &self.cancel {
+                    if c.load(std::sync::atomic::Ordering::Relaxed) {
+                        return Err(SimError::Canceled);
+                    }
+                }
+            }
         }
         self.stats.cycles = self.cycle;
         Ok(self.stats)
