@@ -32,11 +32,12 @@ pub use artifact::{Artifact, Cli, HostMeter};
 pub use cache::{ArtifactCache, JobKey, CACHE_SCHEMA_VERSION};
 pub use pool::JobFailure;
 pub use reports::{
-    ablations_report, compare_report, fig11_report, fig12_report, table1_report,
-    table1_report_with, Report,
+    ablations_report, compare_report, fig11_report, fig12_report, rv32_report, rv32_report_with,
+    table1_report, table1_report_with, Report,
 };
 pub use runners::{
-    arg_limit, compare, fig11, fig12_from, fig2, fig4, fig6, parse_config, set_poisoned_workload,
-    table1, Fig11Column, Fig11Data, SweepFailure, Table1Row, DEFAULT_LIMIT,
+    arg_limit, compare, fig11, fig12_from, fig2, fig4, fig6, parse_config, rv32_configs,
+    rv32_sweep, set_poisoned_workload, table1, Fig11Column, Fig11Data, Rv32Row, SweepFailure,
+    Table1Row, DEFAULT_LIMIT,
 };
 pub use serve::{Client, ServeConfig, Server, PROTOCOL_VERSION};

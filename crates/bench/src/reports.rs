@@ -885,6 +885,118 @@ pub fn compare_report(a_name: &str, b_name: &str, limit: u64, threads: usize) ->
     })
 }
 
+// ---- RV32 ------------------------------------------------------------------
+
+/// Build the RV32 sweep report: per-workload IPC across the
+/// configuration ladder of [`runners::rv32_configs`], through the same
+/// timing core as the PISA suite via the ISA-neutral frontend boundary.
+pub fn rv32_report(limit: u64, threads: usize) -> Report {
+    rv32_report_with(limit, threads, false)
+}
+
+/// [`rv32_report`] with the commit-time oracle lockstep toggled: with
+/// `oracle` set every run replays the RV32 functional machine against
+/// the commit stream, and any divergence becomes that row's failure.
+pub fn rv32_report_with(limit: u64, threads: usize, oracle: bool) -> Report {
+    let mut text = String::new();
+    say!(
+        text,
+        "RV32 sweep: IPC by machine configuration ({limit} instructions)\n"
+    );
+    let cfgs = runners::rv32_configs();
+    let results = runners::rv32_sweep(limit, threads, oracle);
+    let rows: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+    let failures: Vec<SweepFailure> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err())
+        .cloned()
+        .collect();
+
+    // Matrix: one row per workload, one IPC column per configuration.
+    let names: Vec<&'static str> = {
+        let mut v: Vec<&'static str> = rows.iter().map(|r| r.workload).collect();
+        v.dedup();
+        v
+    };
+    let table: Vec<Vec<String>> = names
+        .iter()
+        .map(|&name| {
+            let mut cells = vec![name.to_string()];
+            for &(label, _) in &cfgs {
+                let cell = rows
+                    .iter()
+                    .find(|r| r.workload == name && r.config == label)
+                    .map_or_else(|| "-".into(), |r| f3(r.ipc));
+                cells.push(cell);
+            }
+            cells
+        })
+        .collect();
+    let mut header = vec!["workload".to_string()];
+    header.extend(cfgs.iter().map(|&(label, _)| label.to_string()));
+    say!(text, "{}", render(&header, &table));
+
+    // Geomean IPC per configuration over the workloads that completed.
+    let mut geo = Json::object();
+    for &(label, _) in &cfgs {
+        let ipcs: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.config == label)
+            .map(|r| r.ipc)
+            .collect();
+        if !ipcs.is_empty() {
+            let g = (ipcs.iter().map(|v| v.ln()).sum::<f64>() / ipcs.len() as f64).exp();
+            say!(text, "geomean IPC [{label}]: {g:.3}");
+            geo.set(label, Json::from(g));
+        }
+    }
+    if oracle {
+        say!(
+            text,
+            "oracle lockstep: every retirement cross-checked, {} divergence(s)",
+            failures.len()
+        );
+    }
+    say_failures(&mut text, &failures);
+
+    let workloads: Vec<Json> = names
+        .iter()
+        .map(|&name| {
+            let mut o = Json::object();
+            o.set("name", name.into());
+            let configs: Vec<Json> = rows
+                .iter()
+                .filter(|r| r.workload == name)
+                .map(|r| {
+                    let mut c = Json::object();
+                    c.set("config", r.config.into());
+                    c.set("committed", Json::from(r.committed));
+                    c.set("cycles", Json::from(r.cycles));
+                    c.set("ipc", Json::from(r.ipc));
+                    c
+                })
+                .collect();
+            o.set("configs", Json::Array(configs));
+            o
+        })
+        .collect();
+    let mut artifact = Artifact::new("rv32", limit);
+    artifact.set("isa", "rv32".into());
+    artifact.set("workloads", Json::Array(workloads));
+    artifact.set("geomean_ipc", geo);
+    if oracle {
+        artifact.set("oracle_lockstep", Json::from(true));
+    }
+    if !failures.is_empty() {
+        artifact.set("failures", failures_json(&failures));
+    }
+    Report {
+        text,
+        artifact,
+        failures: failures.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -545,6 +545,88 @@ pub fn compare(
         .collect()
 }
 
+// ---- RV32 sweep ------------------------------------------------------------
+
+/// One (workload × config) result of the RV32 sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct Rv32Row {
+    /// RV32 workload name (`rv_*`).
+    pub workload: &'static str,
+    /// Machine-configuration label.
+    pub config: &'static str,
+    /// Instructions committed within the budget.
+    pub committed: u64,
+    /// Cycles the run took.
+    pub cycles: u64,
+    /// Committed instructions per cycle.
+    pub ipc: f64,
+}
+
+/// The configuration ladder of the RV32 sweep: the two simple machines,
+/// both slicing factors fully optimized, and the extended 4-bit config —
+/// the same ladder the PISA suite headline numbers use.
+pub fn rv32_configs() -> Vec<(&'static str, MachineConfig)> {
+    let mut v = vec![
+        ("ideal", MachineConfig::ideal()),
+        ("simple2", MachineConfig::simple2()),
+        ("simple4", MachineConfig::simple4()),
+        ("slice2-5", MachineConfig::slice2_full()),
+        ("slice4-5", MachineConfig::slice4_full()),
+        ("ext4", MachineConfig::slice4(Optimizations::extended())),
+    ];
+    for (_, cfg) in &mut v {
+        cfg.isa = popk_core::IsaKind::Rv32;
+    }
+    v
+}
+
+/// Run every RV32 workload through [`rv32_configs`] on the ISA-neutral
+/// frontend boundary — one panic-isolated job per (workload × config),
+/// results in (workload-major, config-minor) submission order. With
+/// `oracle`, every run locksteps the RV32 functional machine against
+/// the commit stream and a divergence becomes that row's failure.
+pub fn rv32_sweep(limit: u64, threads: usize, oracle: bool) -> Vec<Result<Rv32Row, SweepFailure>> {
+    let workloads = popk_rv32::workloads::all();
+    let programs: Vec<popk_rv32::Rv32Program> =
+        pool::map_jobs(threads, &workloads, |w| w.program());
+    let cfgs = rv32_configs();
+    let jobs: Vec<(
+        &'static str,
+        &popk_rv32::Rv32Program,
+        &'static str,
+        MachineConfig,
+    )> = workloads
+        .iter()
+        .zip(&programs)
+        .flat_map(|(w, p)| {
+            cfgs.iter()
+                .map(move |&(label, cfg)| (w.name, p, label, cfg))
+        })
+        .collect();
+    let stats = pool::try_map_jobs(threads, &jobs, |&(name, p, _, mut cfg)| {
+        poison_check(name);
+        cfg.oracle = oracle;
+        let s = popk_core::try_simulate_frontend(&cfg, popk_rv32::Rv32Frontend::new(p, limit))?;
+        meter_record(s.committed);
+        Ok::<SimStats, SimError>(s)
+    });
+    stats
+        .into_iter()
+        .zip(&jobs)
+        .map(|(r, &(workload, _, config, _))| match r {
+            Ok(Ok(s)) => Ok(Rv32Row {
+                workload,
+                config,
+                committed: s.committed,
+                cycles: s.cycles,
+                ipc: s.ipc(),
+            }),
+            Ok(Err(e)) => Err(SweepFailure::from_sim(workload, config, &e)),
+            Err(f) => Err(SweepFailure::from_panic(workload, config, f)),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -137,9 +137,35 @@ impl Optimizations {
     }
 }
 
+/// Which ISA/frontend feeds the timing core. Purely an identity: the
+/// pipeline consumes ISA-neutral micro-ops either way, but results are
+/// not comparable across ISAs, so the frontend is part of the
+/// configuration [`fingerprint`](MachineConfig::fingerprint) (and thus
+/// of every artifact cache key).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IsaKind {
+    /// The native PISA-like ISA (`popk_isa::Insn`, `popk-emu` frontend).
+    #[default]
+    Pisa,
+    /// RV32I (`popk-rv32` frontend).
+    Rv32,
+}
+
+impl IsaKind {
+    /// Short lowercase name, as reports and cache keys spell it.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaKind::Pisa => "pisa",
+            IsaKind::Rv32 => "rv32",
+        }
+    }
+}
+
 /// Full machine configuration. Defaults reproduce Table 2.
 #[derive(Clone, Copy, Debug)]
 pub struct MachineConfig {
+    /// ISA/frontend identity (default: the native PISA-like ISA).
+    pub isa: IsaKind,
     /// Pipeline organization of the execute stage.
     pub kind: PipelineKind,
     /// Operand slicing (ignored for `Ideal`, which is `W32`).
@@ -205,6 +231,7 @@ pub struct MachineConfig {
 impl MachineConfig {
     fn table2_base(kind: PipelineKind, slicing: SliceWidth, opts: Optimizations) -> MachineConfig {
         MachineConfig {
+            isa: IsaKind::default(),
             kind,
             slicing,
             opts,
@@ -407,6 +434,11 @@ mod tests {
         let mut c = base;
         c.watchdog += 1;
         assert_ne!(c.fingerprint(), base.fingerprint());
+        let mut c = base;
+        c.isa = IsaKind::Rv32;
+        assert_ne!(c.fingerprint(), base.fingerprint());
+        assert_eq!(base.isa.name(), "pisa");
+        assert_eq!(c.isa.name(), "rv32");
         let mut c = base;
         c.memory.l1_latency += 1;
         assert_ne!(c.fingerprint(), base.fingerprint());

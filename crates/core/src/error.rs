@@ -13,7 +13,7 @@
 //!   `cfg.watchdog` consecutive cycles; carries a [`DeadlockSnapshot`]
 //!   of the stuck pipeline.
 //! * [`SimError::OracleDivergence`] — commit-time lockstep verification
-//!   (see [`crate::oracle`]) caught the pipeline retiring an
+//!   (see `core/src/oracle.rs`) caught the pipeline retiring an
 //!   architectural value the reference machine disagrees with.
 
 use crate::config::ConfigError;

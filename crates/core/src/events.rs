@@ -9,6 +9,10 @@
 //! guarded by `if S::ENABLED`, so the no-trace configuration monomorphizes
 //! to the exact pre-observability code and costs nothing.
 //!
+//! Both the event and the sink are generic over the frontend's
+//! instruction type `I` (defaulting to the native PISA [`Insn`]), since
+//! [`TraceEvent::Dispatched`] carries the instruction itself.
+//!
 //! [`crate::timeline::TimelineBuilder`] is a sink that folds the event
 //! stream back into per-instruction [`crate::InsnTiming`] records;
 //! [`VecTrace`] records the raw stream for tests and ad-hoc analysis.
@@ -46,7 +50,7 @@ pub enum ReplayReason {
 /// differ from the emission cycle (results scheduled for the future) are
 /// carried explicitly as `at`.
 #[derive(Clone, Copy, Debug)]
-pub enum TraceEvent {
+pub enum TraceEvent<I = Insn> {
     /// An instruction entered the RUU window.
     Dispatched {
         /// Dynamic sequence number.
@@ -54,7 +58,7 @@ pub enum TraceEvent {
         /// Its PC.
         pc: u32,
         /// The instruction itself.
-        insn: Insn,
+        insn: I,
         /// The cycle it was fetched.
         fetch: u64,
     },
@@ -178,11 +182,11 @@ pub enum TraceEvent {
     },
 }
 
-impl TraceEvent {
+impl<I> TraceEvent<I> {
     /// The sequence number this event concerns, if any.
     pub fn seq(&self) -> Option<u64> {
         use TraceEvent::*;
-        match *self {
+        match self {
             Dispatched { seq, .. }
             | SliceIssued { seq, .. }
             | SliceReady { seq, .. }
@@ -198,59 +202,59 @@ impl TraceEvent {
             | Replay { seq, .. }
             | Completed { seq, .. }
             | Committed { seq }
-            | Squashed { seq } => Some(seq),
-            StoreForward { load_seq, .. } | SpecForward { load_seq, .. } => Some(load_seq),
+            | Squashed { seq } => Some(*seq),
+            StoreForward { load_seq, .. } | SpecForward { load_seq, .. } => Some(*load_seq),
             Stall(_) => None,
         }
     }
 }
 
-/// A consumer of the simulator's event stream.
+/// A consumer of the simulator's event stream over instruction type `I`.
 ///
 /// Implementors with `ENABLED = false` cost nothing: the simulator guards
 /// every emission with `if S::ENABLED`, which the compiler folds away.
-pub trait TraceSink {
+pub trait TraceSink<I = Insn> {
     /// Whether the simulator should emit events to this sink at all.
     const ENABLED: bool = true;
 
     /// Observe one event, stamped with the cycle it was emitted on.
-    fn event(&mut self, cycle: u64, ev: &TraceEvent);
+    fn event(&mut self, cycle: u64, ev: &TraceEvent<I>);
 }
 
 /// The default no-op sink: tracing compiled out.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct NullTrace;
 
-impl TraceSink for NullTrace {
+impl<I> TraceSink<I> for NullTrace {
     const ENABLED: bool = false;
 
     #[inline(always)]
-    fn event(&mut self, _cycle: u64, _ev: &TraceEvent) {}
+    fn event(&mut self, _cycle: u64, _ev: &TraceEvent<I>) {}
 }
 
 /// A sink that records the raw `(cycle, event)` stream.
 #[derive(Default, Debug)]
-pub struct VecTrace {
+pub struct VecTrace<I = Insn> {
     /// The recorded stream, in emission order.
-    pub events: Vec<(u64, TraceEvent)>,
+    pub events: Vec<(u64, TraceEvent<I>)>,
 }
 
-impl VecTrace {
+impl<I> VecTrace<I> {
     /// An empty recorder.
-    pub fn new() -> VecTrace {
-        VecTrace::default()
+    pub fn new() -> VecTrace<I> {
+        VecTrace { events: Vec::new() }
     }
 
     /// Events concerning sequence number `seq`, in order.
-    pub fn for_seq(&self, seq: u64) -> impl Iterator<Item = &(u64, TraceEvent)> {
+    pub fn for_seq(&self, seq: u64) -> impl Iterator<Item = &(u64, TraceEvent<I>)> {
         self.events
             .iter()
             .filter(move |(_, e)| e.seq() == Some(seq))
     }
 }
 
-impl TraceSink for VecTrace {
-    fn event(&mut self, cycle: u64, ev: &TraceEvent) {
+impl<I: Copy> TraceSink<I> for VecTrace<I> {
+    fn event(&mut self, cycle: u64, ev: &TraceEvent<I>) {
         self.events.push((cycle, *ev));
     }
 }
@@ -261,13 +265,13 @@ mod tests {
 
     #[test]
     fn null_trace_is_disabled() {
-        const { assert!(!NullTrace::ENABLED) }
-        const { assert!(VecTrace::ENABLED) }
+        const { assert!(!<NullTrace as TraceSink>::ENABLED) }
+        const { assert!(<VecTrace as TraceSink>::ENABLED) }
     }
 
     #[test]
     fn vec_trace_records_and_filters() {
-        let mut t = VecTrace::new();
+        let mut t: VecTrace = VecTrace::new();
         t.event(3, &TraceEvent::MemStarted { seq: 7 });
         t.event(4, &TraceEvent::Stall(StallReason::RuuFull));
         t.event(5, &TraceEvent::MemDone { seq: 7, at: 9 });

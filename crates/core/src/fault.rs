@@ -20,14 +20,14 @@
 //! * **commit records** ([`FaultKinds::commit_record`]) — corrupt the
 //!   architectural claim an instruction retires with. This is the one
 //!   class that *must not* be recoverable: the commit-time oracle
-//!   ([`crate::oracle`]) is required to flag every such fault as a
+//!   (`core/src/oracle.rs`) is required to flag every such fault as a
 //!   structured [`SimError::OracleDivergence`](crate::SimError).
 //!
 //! Injection sites fire deterministically from `(seed, site, seq,
 //! cycle)` via a splitmix64 hash, so a failing run replays exactly.
 
 use popk_cache::PartialOutcome;
-use popk_emu::TraceRecord;
+use popk_trace::{Uop, UopInsn};
 
 /// Which fault classes a [`FaultPlan`] may inject.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -178,19 +178,19 @@ impl FaultPlan {
     /// Corrupt the architectural claim of a retiring instruction —
     /// restricted to fields the oracle cross-checks, so every injection
     /// here is detectable by construction.
-    pub(crate) fn corrupt_commit(&mut self, seq: u64, cycle: u64, rec: &mut TraceRecord) {
+    pub(crate) fn corrupt_commit<I: UopInsn>(&mut self, seq: u64, cycle: u64, rec: &mut Uop<I>) {
         if !self.kinds.commit_record {
             return;
         }
         let Some(h) = self.fires(SITE_COMMIT, seq, cycle) else {
             return;
         };
-        let op = rec.insn.op();
-        if !rec.insn.defs().is_empty() {
+        let meta = rec.insn.meta();
+        if !rec.insn.dst_regs().is_empty() {
             rec.results[0] ^= 1 << (h % 32);
-        } else if op.is_store() {
+        } else if meta.is_store {
             rec.ea ^= 1 << (h % 32);
-        } else if op.is_control() {
+        } else if meta.ctrl.is_some() {
             rec.taken = !rec.taken;
         } else {
             return; // nothing the oracle checks on this insn; skip
@@ -234,6 +234,7 @@ mod tests {
 
     #[test]
     fn commit_corruption_touches_only_checked_fields() {
+        use popk_emu::TraceRecord;
         use popk_isa::{Insn, Reg};
         let mut p = FaultPlan::new(
             3,

@@ -34,6 +34,26 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     fnv1a_64_from(FNV_OFFSET, bytes)
 }
 
+/// The multiplier of the golden-hash tables (`examples/golden_hashes.rs`
+/// and the committed golden test expectations): an FNV-1a-shaped prime
+/// with its middle term at 2⁴⁴ instead of 2⁴⁰. Kept verbatim — the
+/// pinned digests were produced with it — and centralized here so no
+/// ad-hoc hashing survives outside this module. New digests should use
+/// [`fnv1a_64`].
+pub const GOLDEN_PRIME: u64 = 0x0000_1000_0000_01b3;
+
+/// The golden-table byte stream: like [`fnv1a_64_from`] but with
+/// [`GOLDEN_PRIME`]. Feeding the result back in as `state` continues
+/// the stream.
+#[must_use]
+pub fn golden64_from(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(GOLDEN_PRIME);
+    }
+    state
+}
+
 /// A 128-bit hex digest of `bytes`: two independent FNV-1a streams
 /// (standard and alternative offset basis) concatenated. Used as the
 /// content address of cached artifacts, where 64 bits would leave
@@ -57,6 +77,17 @@ mod tests {
         assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn golden_stream_is_pinned() {
+        // The golden tables depend on this exact sequence; these vectors
+        // pin it independently of any caller.
+        assert_eq!(golden64_from(FNV_OFFSET, b""), FNV_OFFSET);
+        assert_eq!(golden64_from(FNV_OFFSET, b"a"), 0xaf74_d84c_8601_ec8c);
+        assert_ne!(golden64_from(FNV_OFFSET, b"a"), fnv1a_64(b"a"));
+        let split = golden64_from(golden64_from(FNV_OFFSET, b"po"), b"pk");
+        assert_eq!(split, golden64_from(FNV_OFFSET, b"popk"));
     }
 
     #[test]

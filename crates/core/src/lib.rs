@@ -45,12 +45,15 @@ pub mod sim;
 mod stats;
 pub mod timeline;
 
-pub use config::{ConfigError, MachineConfig, Optimizations, PipelineKind};
+pub use config::{ConfigError, IsaKind, MachineConfig, Optimizations, PipelineKind};
 pub use error::{DeadlockSnapshot, SimError};
 pub use events::{NullTrace, ReplayReason, StallReason, TraceEvent, TraceSink, VecTrace};
 pub use fault::{FaultKinds, FaultLog, FaultPlan};
 pub use json::{Json, JsonParseError};
 pub use registry::{Counter, StatsRegistry};
-pub use sim::{simulate, try_simulate, try_simulate_in, Scratch, Simulator};
+pub use sim::{
+    simulate, try_simulate, try_simulate_frontend, try_simulate_frontend_in, try_simulate_in,
+    Scratch, Simulator,
+};
 pub use stats::SimStats;
 pub use timeline::{render_chart, render_table, InsnTiming, TimelineBuilder};

@@ -10,43 +10,41 @@
 //!
 //! The [`Oracle`] closes that hole. When
 //! [`MachineConfig::oracle`](crate::MachineConfig::oracle) is set, the
-//! simulator runs a *second, independent*
-//! [`popk_emu::Machine`] in lockstep with retirement: each instruction
-//! the pipeline commits is re-executed by the reference machine and
-//! cross-checked field by field ([`popk_emu::Machine::verify_step`]).
-//! Any divergence aborts the run with a structured
-//! [`SimError::OracleDivergence`] naming the sequence number, PC, field,
-//! and both values.
+//! simulator asks its frontend for an *independent*
+//! [`CommitChecker`] and runs it in lockstep with retirement: each
+//! instruction the pipeline commits is re-verified field by field
+//! (differential replay). Any divergence aborts the run with a
+//! structured [`SimError::OracleDivergence`] naming the sequence
+//! number, PC, field, and both values.
 //!
 //! The check is off by default and zero-cost when disabled: the
 //! simulator holds an `Option<Oracle>` that stays `None`, so the
 //! per-retire cost is one branch.
 
 use crate::error::SimError;
-use popk_emu::{Machine, TraceRecord};
-use popk_isa::Program;
+use popk_emu::PisaChecker;
+use popk_isa::{Insn, Program};
+use popk_trace::{CommitChecker, Uop};
 
-/// The lockstep reference machine plus its check counter.
-pub(crate) struct Oracle {
-    machine: Machine,
+/// The lockstep reference checker plus its check counter.
+pub(crate) struct Oracle<I> {
+    checker: Box<dyn CommitChecker<I>>,
     checks: u64,
 }
 
-impl Oracle {
-    /// A fresh reference machine at the program entry point.
-    pub(crate) fn new(program: &Program) -> Oracle {
-        Oracle {
-            machine: Machine::new(program),
-            checks: 0,
-        }
+impl<I> Oracle<I> {
+    /// Wrap a frontend-provided reference checker (positioned at the
+    /// program entry point).
+    pub(crate) fn from_checker(checker: Box<dyn CommitChecker<I>>) -> Oracle<I> {
+        Oracle { checker, checks: 0 }
     }
 
     /// Verify one retirement claim (the committing entry's trace
-    /// record) against the reference machine.
-    pub(crate) fn check(&mut self, seq: u64, rec: &TraceRecord) -> Result<(), SimError> {
+    /// record) against the reference.
+    pub(crate) fn check(&mut self, seq: u64, rec: &Uop<I>) -> Result<(), SimError> {
         self.checks += 1;
-        self.machine
-            .verify_step(rec)
+        self.checker
+            .verify(rec)
             .map_err(|m| SimError::OracleDivergence {
                 seq,
                 pc: m.pc,
@@ -62,10 +60,18 @@ impl Oracle {
     }
 }
 
+impl Oracle<Insn> {
+    /// A fresh PISA reference machine at the program entry point.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn new(program: &Program) -> Oracle<Insn> {
+        Oracle::from_checker(Box::new(PisaChecker::new(program)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popk_emu::StepEvent;
+    use popk_emu::{Machine, StepEvent};
     use popk_isa::asm::assemble;
 
     const KERNEL: &str = r#"

@@ -5,8 +5,9 @@
 
 use super::{emit, Simulator};
 use crate::events::{TraceEvent, TraceSink};
+use popk_trace::UopInsn;
 
-impl<S: TraceSink> Simulator<S> {
+impl<I: UopInsn, S: TraceSink<I>> Simulator<S, I> {
     /// Retire up to `width` completed instructions from the window head.
     pub(crate) fn commit(&mut self) {
         for _ in 0..self.cfg.width {
@@ -21,10 +22,11 @@ impl<S: TraceSink> Simulator<S> {
                 return;
             }
             let seq = self.window.seq(0);
-            let op = self.window.op(0);
+            let is_load = self.window.is_load(0);
+            let is_store = self.window.is_store(0);
             let is_mem = self.window.is_mem(0);
             let ea = self.window.rec(0).ea;
-            let defs = self.window.rec(0).insn.defs();
+            let defs = self.window.rec(0).insn.dst_regs();
             // A completed producer has published every result slice, and
             // publishing drains the waiter list.
             debug_assert!(self.window.waiters_empty(0));
@@ -55,10 +57,10 @@ impl<S: TraceSink> Simulator<S> {
                 self.lsq_occupancy -= 1;
             }
             #[cfg(debug_assertions)]
-            debug_assert!(!op.is_load() || !self.sched.load_is_pending(seq));
-            if op.is_load() {
+            debug_assert!(!is_load || !self.sched.load_is_pending(seq));
+            if is_load {
                 self.stats.loads += 1;
-            } else if op.is_store() {
+            } else if is_store {
                 self.sched.commit_store(seq);
                 self.stats.stores += 1;
                 // The store writes the cache at retirement.

@@ -6,47 +6,49 @@
 //! Dispatch is where an instruction's dependences are fixed: each
 //! source register is resolved through the [`RenameTable`] to either
 //! the committed register file ([`Dep::Ready`]) or an in-window
-//! producer ([`Dep::InFlight`]). Syscalls serialize (they dispatch only
-//! into an empty window); direct jumps resolve entirely in the front
-//! end and complete at dispatch.
+//! producer ([`Dep::InFlight`]). Everything opcode-specific comes from
+//! the frontend's [`popk_trace::UopMeta`], decoded once here and cached
+//! in the window columns. Syscalls serialize (they dispatch only into
+//! an empty window); direct jumps resolve entirely in the front end and
+//! complete at dispatch.
 
 use super::entry::{CycleSlot, Dep, ExecClass};
 use super::issue::IssueMark;
 use super::{emit, Simulator};
 use crate::events::{StallReason, TraceEvent, TraceSink};
-use popk_isa::{OpClass, Reg};
+use popk_trace::UopInsn;
 
 /// Per-register producer tracking at dispatch (rename): maps each
 /// architectural register to the youngest in-window instruction that
-/// writes it, if any.
-pub(crate) struct RenameTable([Option<u64>; Reg::COUNT]);
+/// writes it, if any. Sized to the frontend ISA's register file.
+pub(crate) struct RenameTable(Vec<Option<u64>>);
 
 impl RenameTable {
-    /// All registers map to the committed register file.
-    pub(crate) fn new() -> RenameTable {
-        RenameTable([None; Reg::COUNT])
+    /// All `num_regs` registers map to the committed register file.
+    pub(crate) fn new(num_regs: usize) -> RenameTable {
+        RenameTable(vec![None; num_regs])
     }
 
     /// The youngest in-window producer of `r`, if any.
-    pub(crate) fn producer_of(&self, r: Reg) -> Option<u64> {
-        self.0[r.index()]
+    pub(crate) fn producer_of(&self, r: u8) -> Option<u64> {
+        self.0[r as usize]
     }
 
     /// `seq` becomes the youngest producer of `r`.
-    pub(crate) fn set_producer(&mut self, r: Reg, seq: u64) {
-        self.0[r.index()] = Some(seq);
+    pub(crate) fn set_producer(&mut self, r: u8, seq: u64) {
+        self.0[r as usize] = Some(seq);
     }
 
     /// Clear `r`'s mapping if it still points at `seq` (commit: the
     /// value now lives in the register file).
-    pub(crate) fn clear_if(&mut self, r: Reg, seq: u64) {
-        if self.0[r.index()] == Some(seq) {
-            self.0[r.index()] = None;
+    pub(crate) fn clear_if(&mut self, r: u8, seq: u64) {
+        if self.0[r as usize] == Some(seq) {
+            self.0[r as usize] = None;
         }
     }
 }
 
-impl<S: TraceSink> Simulator<S> {
+impl<I: UopInsn, S: TraceSink<I>> Simulator<S, I> {
     pub(crate) fn dispatch(&mut self) {
         for _ in 0..self.cfg.width {
             let Some(&(fetch, rec, mispredicted, phantom)) = self.feed.front() else {
@@ -60,15 +62,15 @@ impl<S: TraceSink> Simulator<S> {
                 emit!(self, TraceEvent::Stall(StallReason::RuuFull));
                 return;
             }
-            let op = rec.insn.op();
-            let is_mem = op.is_load() || op.is_store();
+            let meta = rec.insn.meta();
+            let is_mem = meta.is_load || meta.is_store;
             if is_mem && self.lsq_occupancy >= self.cfg.lsq_size {
                 self.stats.lsq_full_stalls += 1;
                 emit!(self, TraceEvent::Stall(StallReason::LsqFull));
                 return;
             }
             // Serialize syscalls: only dispatch into an empty window.
-            if matches!(op.class(), OpClass::Sys) && !self.window.is_empty() && !phantom {
+            if meta.class == ExecClass::Sys && !self.window.is_empty() && !phantom {
                 return;
             }
             self.feed.pop();
@@ -79,13 +81,14 @@ impl<S: TraceSink> Simulator<S> {
             let mut deps = [Dep::Ready; 2];
             let mut ndeps = 0;
             // The rename walk already enumerates the operand registers:
-            // resolve the store-data slot (the last `uses()` position
-            // naming rt) here too, so the window needn't re-derive it.
+            // resolve the store-data slot (the last source position
+            // naming the data register) here too, so the window needn't
+            // re-derive it.
             let mut store_data_slot = 0u16;
-            let store_data_reg = op.is_store().then(|| rec.insn.rt());
-            for r in rec.insn.uses().iter() {
+            let store_data_reg = rec.insn.store_data_reg();
+            for r in rec.insn.src_regs().iter() {
                 deps[ndeps] = match self.rename.producer_of(r) {
-                    Some(p) if !r.is_zero() => Dep::InFlight(p),
+                    Some(p) if r != 0 => Dep::InFlight(p),
                     _ => Dep::Ready,
                 };
                 if store_data_reg == Some(r) {
@@ -93,14 +96,14 @@ impl<S: TraceSink> Simulator<S> {
                 }
                 ndeps += 1;
             }
-            let defs = rec.insn.defs();
+            let defs = rec.insn.dst_regs();
             for r in defs.iter() {
                 self.rename.set_producer(r, seq);
             }
 
             if is_mem {
                 self.lsq_occupancy += 1;
-                if op.is_store() {
+                if meta.is_store {
                     self.sched.push_store(seq);
                 } else {
                     self.sched.push_pending_load(seq);
@@ -119,6 +122,7 @@ impl<S: TraceSink> Simulator<S> {
             let idx = self.window.push_back(
                 seq,
                 rec,
+                meta,
                 earliest_ex,
                 deps,
                 ndeps,

@@ -1,13 +1,13 @@
-//! Per-instruction decode products and the [`CycleSlot`] schedule
-//! sentinel.
+//! The [`CycleSlot`] schedule sentinel and dependence encoding.
 //!
 //! The in-flight state itself lives in the struct-of-arrays
 //! [`Window`](super::window::Window) store; this module keeps the types
-//! the columns are made of: the execution-class decode run once at
-//! dispatch, the dependence encoding, and the `u64`-sentinel cycle slot
-//! that replaces `Option<u64>` in every hot column.
+//! the columns are made of. The per-opcode execution-class decode that
+//! used to live here is now the frontend's job: it arrives pre-computed
+//! as a [`popk_trace::UopMeta`] via [`popk_trace::UopInsn::meta`], so
+//! the timing core never inspects an opcode directly.
 
-use popk_isa::{Op, OpClass, SliceClass};
+pub(crate) use popk_trace::ExecClass;
 
 /// Upper bound on operand slices (slice-by-4 is the deepest machine).
 pub(crate) const MAX_SLICES: usize = 4;
@@ -72,23 +72,6 @@ impl CycleSlot {
     }
 }
 
-/// How an instruction occupies execution resources.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) enum ExecClass {
-    /// Sliced integer execution (ALU ops, agen, branch compares).
-    IntSliced,
-    /// Atomic on the (single, unpipelined) multiply/divide unit.
-    MulDiv,
-    /// Atomic on the FP adders (pipelined).
-    FpAdd,
-    /// Atomic on the (single, unpipelined) FP multiply/divide/sqrt unit.
-    FpLong,
-    /// No execution: direct jumps resolve in the front end.
-    Front,
-    /// Serializing (syscall/break).
-    Sys,
-}
-
 /// Where a source operand's value comes from.
 #[derive(Clone, Copy)]
 pub(crate) enum Dep {
@@ -98,78 +81,9 @@ pub(crate) enum Dep {
     InFlight(u64),
 }
 
-/// The per-opcode predicates every hot path consults, decoded once at
-/// dispatch and stored in the window's class/flag columns.
-pub(crate) struct Decode {
-    pub(crate) class: ExecClass,
-    pub(crate) slice_class: SliceClass,
-    /// slt-family: results publish only after the top slice evaluates.
-    pub(crate) late_result: bool,
-    pub(crate) is_load: bool,
-    pub(crate) is_store: bool,
-}
-
-/// Decode `op` into its execution classes (the body of the old
-/// `Entry::new`).
-pub(crate) fn decode(op: Op) -> Decode {
-    let class = match op.class() {
-        OpClass::MulDiv => ExecClass::MulDiv,
-        OpClass::Fp => match op {
-            Op::AddS | Op::SubS | Op::CvtSW | Op::CvtWS => ExecClass::FpAdd,
-            _ => ExecClass::FpLong,
-        },
-        OpClass::Sys => ExecClass::Sys,
-        OpClass::Jump => match op {
-            Op::J | Op::Jal => ExecClass::Front,
-            _ => ExecClass::IntSliced, // jr/jalr read a register
-        },
-        _ => ExecClass::IntSliced,
-    };
-    // beq/bne compare slices independently (equality); the
-    // sign-testing branches carry-chain (subtract + sign).
-    let slice_class = match op {
-        Op::Beq | Op::Bne => SliceClass::Independent,
-        _ => op.slice_class(),
-    };
-    // Set-less-than results depend on the *entire* comparison, so
-    // no slice of the output exists before the top slice runs.
-    let late_result = matches!(op, Op::Slt | Op::Sltu | Op::Slti | Op::Sltiu);
-    Decode {
-        class,
-        slice_class,
-        late_result,
-        is_load: op.is_load(),
-        is_store: op.is_store(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn decode_classes() {
-        let add = decode(Op::Addu);
-        assert_eq!(add.class, ExecClass::IntSliced);
-        assert!(!add.is_load && !add.is_store);
-
-        let lw = decode(Op::Lw);
-        assert!(lw.is_load && !lw.is_store);
-        assert_eq!(lw.class, ExecClass::IntSliced, "agen is sliced");
-
-        assert_eq!(decode(Op::J).class, ExecClass::Front);
-        assert_eq!(decode(Op::Jr).class, ExecClass::IntSliced);
-        assert_eq!(decode(Op::Mult).class, ExecClass::MulDiv);
-        assert_eq!(decode(Op::Syscall).class, ExecClass::Sys);
-    }
-
-    #[test]
-    fn branches_compare_independently() {
-        assert_eq!(decode(Op::Beq).slice_class, SliceClass::Independent);
-        assert_eq!(decode(Op::Bne).slice_class, SliceClass::Independent);
-        assert!(decode(Op::Slt).late_result);
-        assert!(!decode(Op::Addu).late_result);
-    }
 
     #[test]
     fn cycle_slot_sentinel_semantics() {

@@ -16,7 +16,8 @@ use super::issue::{Block, IssueMark, Progress};
 use super::{emit, Simulator};
 use crate::config::PipelineKind;
 use crate::events::{TraceEvent, TraceSink};
-use popk_isa::{Op, SliceClass};
+use popk_isa::SliceClass;
+use popk_trace::{CtrlKind, LatClass, UopInsn};
 
 /// Reservations of the non-pipelined functional units (Table 2: one
 /// multiply/divide unit, one FP long-op unit).
@@ -35,50 +36,7 @@ fn value_is_narrow(v: u32, slice_bits: u32) -> bool {
     shifted == 0 || shifted == -1 || v >> slice_bits == 0
 }
 
-/// Map an instruction to the `(op, a, b)` lane whose batched-kernel
-/// evaluation reproduces its traced result — the debug-build datapath
-/// check. `None` for anything outside the two-operand sliced ALU ops
-/// (memory, control, mul/div, FP) and for discarded `r0` writes.
-#[cfg(debug_assertions)]
-fn batch_lane(rec: &popk_emu::TraceRecord) -> Option<(popk_slice::AluSliceOp, u32, u32)> {
-    use popk_slice::AluSliceOp as A;
-    let insn = rec.insn;
-    let def = insn.defs().iter().next()?;
-    if def.is_zero() {
-        return None;
-    }
-    let imm = insn.imm() as u32;
-    let rs = || rec.src_val(insn.rs()).unwrap_or(0);
-    let rt = || rec.src_val(insn.rt()).unwrap_or(0);
-    Some(match insn.op() {
-        Op::Add | Op::Addu => (A::Add, rs(), rt()),
-        Op::Sub | Op::Subu => (A::Sub, rs(), rt()),
-        Op::Slt => (A::Slt, rs(), rt()),
-        Op::Sltu => (A::Sltu, rs(), rt()),
-        Op::And => (A::And, rs(), rt()),
-        Op::Or => (A::Or, rs(), rt()),
-        Op::Xor => (A::Xor, rs(), rt()),
-        Op::Nor => (A::Nor, rs(), rt()),
-        Op::Addi | Op::Addiu => (A::Add, rs(), imm),
-        Op::Slti => (A::Slt, rs(), imm),
-        Op::Sltiu => (A::Sltu, rs(), imm),
-        Op::Andi => (A::And, rs(), imm),
-        Op::Ori => (A::Or, rs(), imm),
-        Op::Xori => (A::Xor, rs(), imm),
-        // lui's immediate is pre-shifted by the assembler; OR-with-zero
-        // routes it through the logic slices.
-        Op::Lui => (A::Or, 0, imm),
-        Op::Sll => (A::Sll, rt(), imm),
-        Op::Srl => (A::Srl, rt(), imm),
-        Op::Sra => (A::Sra, rt(), imm),
-        Op::Sllv => (A::Sll, rt(), rs()),
-        Op::Srlv => (A::Srl, rt(), rs()),
-        Op::Srav => (A::Sra, rt(), rs()),
-        _ => return None,
-    })
-}
-
-impl<S: TraceSink> Simulator<S> {
+impl<I: UopInsn, S: TraceSink<I>> Simulator<S, I> {
     /// Issue one of the atomic (unsliced) functional-unit operations:
     /// multiply/divide, FP add, FP long ops.
     pub(crate) fn examine_atomic_unit(&mut self, idx: usize, fp_used: &mut usize) {
@@ -92,16 +50,16 @@ impl<S: TraceSink> Simulator<S> {
             self.block_on_sources(idx);
             return;
         }
-        let op = self.window.op(idx);
+        let lat_class = self.window.lat(idx);
         let (latency, ok, retry) = match class {
             ExecClass::MulDiv => {
-                let lat = match op {
-                    Op::Div | Op::Divu => self.cfg.div_latency,
-                    Op::Mult | Op::Multu => self.cfg.mult_latency,
-                    _ => 1, // mfhi/mflo/mthi/mtlo
+                let lat = match lat_class {
+                    LatClass::Div => self.cfg.div_latency,
+                    LatClass::Mult => self.cfg.mult_latency,
+                    _ => 1, // hi/lo moves
                 };
-                let free = self.units.muldiv_busy_until <= self.cycle
-                    || matches!(op, Op::Mfhi | Op::Mflo | Op::Mthi | Op::Mtlo);
+                let free =
+                    self.units.muldiv_busy_until <= self.cycle || lat_class == LatClass::HiLoMove;
                 (lat, free, self.units.muldiv_busy_until)
             }
             ExecClass::FpAdd => (
@@ -110,9 +68,9 @@ impl<S: TraceSink> Simulator<S> {
                 self.cycle + 1,
             ),
             ExecClass::FpLong => {
-                let lat = match op {
-                    Op::MulS => self.cfg.fp_mul_latency,
-                    Op::SqrtS => self.cfg.fp_sqrt_latency,
+                let lat = match lat_class {
+                    LatClass::FpMul => self.cfg.fp_mul_latency,
+                    LatClass::FpSqrt => self.cfg.fp_sqrt_latency,
                     _ => self.cfg.fp_div_latency,
                 };
                 (
@@ -132,7 +90,7 @@ impl<S: TraceSink> Simulator<S> {
         }
         match class {
             ExecClass::MulDiv => {
-                if matches!(op, Op::Mult | Op::Multu | Op::Div | Op::Divu) {
+                if matches!(lat_class, LatClass::Mult | LatClass::Div) {
                     self.units.muldiv_busy_until = self.cycle + latency;
                 }
             }
@@ -409,14 +367,13 @@ impl<S: TraceSink> Simulator<S> {
         if self.window.resolved_at(idx).is_set() {
             return;
         }
-        let op = self.window.op(idx);
-        if !op.is_control() {
+        let Some(ctrl) = self.window.ctrl(idx) else {
             return;
-        }
+        };
         let nslices = self.nslices;
         let seq = self.window.seq(idx);
         let mispredicted = self.window.mispredicted(idx);
-        if matches!(op, Op::Jr | Op::Jalr) {
+        if matches!(ctrl, CtrlKind::IndirectJump { .. }) {
             // Atomic: resolved one cycle after issue.
             if let Some(c) = self.window.issued(idx, 0).get() {
                 self.window.set_resolved_at(idx, CycleSlot::at(c + 1));
@@ -432,32 +389,33 @@ impl<S: TraceSink> Simulator<S> {
             }
             return;
         }
-        let Some(cond) = op.branch_cond() else { return };
+        let CtrlKind::CondBranch(cond) = ctrl else {
+            return;
+        };
 
         let cycle = self.cycle;
-        let resolve_slice = match self.fault.as_mut() {
+        let (cmp, taken) = match self.fault.as_mut() {
             Some(f) => {
                 // Fault site: flip bits in the operand slices the
                 // resolution policy compares (timing-only; the window's
                 // architectural record is untouched).
                 let mut brec = *self.window.rec(idx);
                 brec.src_vals[0] = f.corrupt_operand(seq, cycle, brec.src_vals[0]);
-                self.policies.branch.resolve_slice(
-                    cond,
-                    &brec,
-                    mispredicted,
-                    nslices,
-                    self.slice_bits,
-                )
+                (I::branch_cmp(&brec), brec.taken)
             }
-            None => self.policies.branch.resolve_slice(
-                cond,
-                self.window.rec(idx),
-                mispredicted,
-                nslices,
-                self.slice_bits,
-            ),
+            None => {
+                let rec = self.window.rec(idx);
+                (I::branch_cmp(rec), rec.taken)
+            }
         };
+        let resolve_slice = self.policies.branch.resolve_slice(
+            cond,
+            cmp,
+            taken,
+            mispredicted,
+            nslices,
+            self.slice_bits,
+        );
 
         // With independent equality slices, detection needs only the
         // divergent slice; otherwise every slice up to it.
@@ -537,7 +495,7 @@ impl<S: TraceSink> Simulator<S> {
             }
             done = done.max(r.value());
         }
-        if self.window.op(idx).is_control() {
+        if self.window.is_control(idx) {
             let r = self.window.resolved_at(idx);
             if r.is_unset() {
                 return;
@@ -553,7 +511,7 @@ impl<S: TraceSink> Simulator<S> {
         // corrupted operands legitimately diverge from the trace.
         #[cfg(debug_assertions)]
         if self.fault.is_none() {
-            if let Some((op, a, b)) = batch_lane(self.window.rec(idx)) {
+            if let Some((op, a, b)) = I::alu_lane(self.window.rec(idx)) {
                 self.dbg_batch.push(op, a, b);
                 self.dbg_batch_expect.push(self.window.rec(idx).results[0]);
             }

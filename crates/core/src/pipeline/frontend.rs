@@ -1,7 +1,7 @@
 //! The fetch stage (Fig. 10 Fetch1–Fetch2): pull up to `width`
-//! instructions per cycle from the trace, probing the L1 I-cache per
-//! line and consulting the front-end predictor for every control
-//! instruction.
+//! instructions per cycle from the frontend trace, probing the L1
+//! I-cache per line and consulting the front-end predictor for every
+//! control instruction.
 //!
 //! Fetch past a mispredicted control transfer stalls until the branch
 //! *resolves*; under `model_wrong_path` the stall cycles instead fetch
@@ -9,25 +9,29 @@
 //! (see [`super::commit`]). The fetched-but-not-dispatched queue and
 //! every fetch stall variable live in [`FrontendFeed`], private to this
 //! module — later stages read the queue only through its methods.
+//!
+//! Control transfers are classified by the micro-op's
+//! [`popk_trace::CtrlKind`], so fetch never inspects an opcode: any
+//! frontend that fills in `meta().ctrl` gets prediction, redirect
+//! stalls, and wrong-path modeling for free.
 
 use super::{emit, Simulator};
 use crate::events::{StallReason, TraceEvent, TraceSink};
 use popk_bpred::BranchKind;
-use popk_emu::TraceRecord;
-use popk_isa::{Op, Reg};
+use popk_trace::{CtrlKind, EmuError, Uop, UopInsn};
 use std::collections::VecDeque;
 
 /// A fetched instruction awaiting dispatch: fetch cycle, trace record,
 /// whether the front end mispredicted it, and whether it is a
 /// wrong-path phantom.
-pub(crate) type Fetched = (u64, TraceRecord, bool, bool);
+pub(crate) type Fetched<I> = (u64, Uop<I>, bool, bool);
 
 /// The fetch stage's state: the fetched-instruction queue and the
 /// stall bookkeeping. All fields are private to the frontend module;
 /// dispatch consumes the queue through [`FrontendFeed::front`] /
 /// [`FrontendFeed::pop`].
-pub(crate) struct FrontendFeed {
-    frontq: VecDeque<Fetched>,
+pub(crate) struct FrontendFeed<I> {
+    frontq: VecDeque<Fetched<I>>,
     /// Sequence number of the in-flight mispredicted control transfer
     /// fetch is stalled behind, if any.
     fetch_block: Option<u64>,
@@ -37,9 +41,9 @@ pub(crate) struct FrontendFeed {
     last_fetch_line: Option<u32>,
 }
 
-impl FrontendFeed {
+impl<I> FrontendFeed<I> {
     /// An empty feed sized for a `width`-wide machine.
-    pub(crate) fn new(width: u32) -> FrontendFeed {
+    pub(crate) fn new(width: u32) -> FrontendFeed<I> {
         FrontendFeed {
             frontq: VecDeque::with_capacity(2 * width as usize + 8),
             fetch_block: None,
@@ -49,7 +53,7 @@ impl FrontendFeed {
     }
 
     /// The oldest fetched-but-not-dispatched instruction.
-    pub(crate) fn front(&self) -> Option<&Fetched> {
+    pub(crate) fn front(&self) -> Option<&Fetched<I>> {
         self.frontq.front()
     }
 
@@ -80,14 +84,17 @@ impl FrontendFeed {
     }
 }
 
-impl<S: TraceSink> Simulator<S> {
+impl<I: UopInsn, S: TraceSink<I>> Simulator<S, I> {
     /// Returns `Ok(true)` when the trace is exhausted; a functional-
     /// machine fault while producing the trace surfaces as
     /// [`SimError::Emulation`](crate::SimError) instead of a panic.
-    pub(crate) fn fetch(
+    pub(crate) fn fetch<F>(
         &mut self,
-        trace: &mut std::iter::Peekable<popk_emu::Tracer<'_>>,
-    ) -> Result<bool, crate::error::SimError> {
+        trace: &mut std::iter::Peekable<F>,
+    ) -> Result<bool, crate::error::SimError>
+    where
+        F: Iterator<Item = Result<Uop<I>, EmuError>>,
+    {
         // Stall behind an unresolved mispredicted control transfer.
         if let Some(block_seq) = self.feed.fetch_block {
             let resolved = if block_seq >= self.next_seq {
@@ -154,26 +161,30 @@ impl<S: TraceSink> Simulator<S> {
 
             // Predict control transfers at fetch.
             let mut mispredicted = false;
-            let op = rec.insn.op();
-            if op.is_control() {
-                let kind = match op {
-                    Op::J | Op::Jal => BranchKind::DirectJump {
-                        target: rec.next_pc,
-                        is_call: op == Op::Jal,
-                    },
-                    Op::Jr | Op::Jalr => BranchKind::IndirectJump {
-                        is_call: op == Op::Jalr,
-                        is_return: op == Op::Jr && rec.insn.rs() == Reg::RA,
-                    },
-                    _ => BranchKind::Conditional {
-                        target: if rec.taken { rec.next_pc } else { 0 },
-                    },
+            if let Some(ctrl) = rec.insn.meta().ctrl {
+                let (kind, is_cond) = match ctrl {
+                    CtrlKind::DirectJump { is_call } => (
+                        BranchKind::DirectJump {
+                            target: rec.next_pc,
+                            is_call,
+                        },
+                        false,
+                    ),
+                    CtrlKind::IndirectJump { is_call, is_return } => {
+                        (BranchKind::IndirectJump { is_call, is_return }, false)
+                    }
+                    CtrlKind::CondBranch(_) => (
+                        BranchKind::Conditional {
+                            target: if rec.taken { rec.next_pc } else { 0 },
+                        },
+                        true,
+                    ),
                 };
                 let pred = self
                     .frontend
                     .predict_and_update(rec.pc, kind, rec.taken, rec.next_pc);
                 mispredicted = !pred.correct;
-                if op.is_cond_branch() {
+                if is_cond {
                     self.stats.branches += 1;
                     if mispredicted {
                         self.stats.branch_mispredicts += 1;
@@ -206,9 +217,9 @@ impl<S: TraceSink> Simulator<S> {
             if self.feed.frontq.len() >= 32 {
                 break;
             }
-            let nop = TraceRecord {
+            let nop = Uop {
                 pc: 0,
-                insn: popk_isa::Insn::r3(Op::Addu, Reg::ZERO, Reg::ZERO, Reg::ZERO),
+                insn: I::phantom_nop(),
                 src_vals: [0; 2],
                 results: [0; 2],
                 ea: 0,

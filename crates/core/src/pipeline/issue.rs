@@ -16,6 +16,7 @@
 use super::entry::{CycleSlot, Dep, ExecClass, MAX_SLICES};
 use super::{emit, Simulator};
 use crate::events::{TraceEvent, TraceSink};
+use popk_trace::UopInsn;
 
 /// Why a wakeup-driven examination could not make progress, and when
 /// (or on what) to try again.
@@ -51,7 +52,7 @@ pub(crate) enum Progress {
     NoChange { all: bool },
 }
 
-impl<S: TraceSink> Simulator<S> {
+impl<I: UopInsn, S: TraceSink<I>> Simulator<S, I> {
     /// Per-cycle issue of slices (or whole atomic operations).
     pub(crate) fn issue(&mut self) {
         let mut int_used = [0usize; MAX_SLICES];
@@ -112,7 +113,7 @@ impl<S: TraceSink> Simulator<S> {
                 // unset, and only this entry's own issues move its
                 // `ready` row between examinations).
                 let is_store = self.window.is_store(idx);
-                let control = self.window.op(idx).is_control();
+                let control = self.window.is_control(idx);
                 match progress {
                     Progress::Issued { all } => {
                         if control {

@@ -14,8 +14,9 @@
 use super::{emit, Simulator};
 use crate::config::{MachineConfig, PipelineKind};
 use crate::events::{ReplayReason, TraceEvent, TraceSink};
-use crate::policies::{ranges_overlap, ForwardDecision, StoreProbe};
+use crate::policies::{ranges_overlap, ForwardDecision, MemAcc, StoreProbe};
 use popk_cache::PartialOutcome;
+use popk_trace::UopInsn;
 
 /// Memory-dependence predictor: 2-bit confidence per load PC hash
 /// (3 = confidently conflict-free). Used by `opts.mem_dep_predict`;
@@ -58,7 +59,7 @@ impl MemDepPredictor {
     }
 }
 
-impl<S: TraceSink> Simulator<S> {
+impl<I: UopInsn, S: TraceSink<I>> Simulator<S, I> {
     /// Start load accesses whose constraints have cleared.
     pub(crate) fn memory_stage(&mut self) {
         let mut ports_used = 0u32;
@@ -110,11 +111,17 @@ impl<S: TraceSink> Simulator<S> {
 
             // Disambiguation against older stores; blocked loads may still
             // proceed on the dependence predictor's say-so (MCB-style).
-            let mut load_rec = *self.window.rec(idx);
+            // The policies see only the access geometry (address bits
+            // and width) of each memory op, never the instruction.
+            let mut load_acc = MemAcc {
+                ea: self.window.rec(idx).ea,
+                bytes: self.window.mem_bytes(idx),
+            };
+            let load_pc = self.window.rec(idx).pc;
             // Fault site: the partial address bits the policies consult
             // (never the architectural record the window retires).
             if let Some(f) = self.fault.as_mut() {
-                load_rec.ea = f.corrupt_operand(seq, self.cycle, load_rec.ea);
+                load_acc.ea = f.corrupt_operand(seq, self.cycle, load_acc.ea);
             }
             let decision = {
                 let window = &self.window;
@@ -122,13 +129,16 @@ impl<S: TraceSink> Simulator<S> {
                     let si = window.index_of(sseq).expect("queued store is in-window");
                     StoreProbe {
                         seq: sseq,
-                        rec: window.rec(si),
+                        acc: MemAcc {
+                            ea: window.rec(si).ea,
+                            bytes: window.mem_bytes(si),
+                        },
                         known_bits: self.agen_slices_known_of(si) as u32 * self.slice_bits,
                     }
                 });
                 self.policies
                     .disambig
-                    .disambiguate(&load_rec, dis_bits, &mut older)
+                    .disambiguate(load_acc, dis_bits, &mut older)
             };
             // Fault site: invert the partial-disambiguation outcome — a
             // cleared load is held back, a held load is released past
@@ -151,7 +161,7 @@ impl<S: TraceSink> Simulator<S> {
             let forward_from = match decision {
                 Some(f) => f,
                 None => {
-                    let pc = load_rec.pc;
+                    let pc = load_pc;
                     if !self.mem_dep.may_speculate(pc) {
                         continue; // wait for the stores
                     }
@@ -159,7 +169,7 @@ impl<S: TraceSink> Simulator<S> {
                     // store actually overlap this load?
                     let conflict = self.sched.older_stores_old_first(seq).any(|s| {
                         let si = self.window.index_of(s).expect("queued store is in-window");
-                        ranges_overlap(self.window.rec(si), &load_rec)
+                        ranges_overlap(self.mem_acc_of(si), load_acc)
                     });
                     if conflict {
                         // Violation: squash the speculation, train the
@@ -199,7 +209,7 @@ impl<S: TraceSink> Simulator<S> {
                 emit!(self, TraceEvent::EarlyDisambig { seq });
             }
 
-            let addr = load_rec.ea;
+            let addr = load_acc.ea;
             match forward_from {
                 ForwardDecision::Forward(store_seq) => {
                     // Wait for the store's data, then a 1-cycle bypass.
@@ -237,8 +247,7 @@ impl<S: TraceSink> Simulator<S> {
                     };
                     ports_used += 1;
                     any_started = true;
-                    let correct =
-                        crate::policies::store_covers_load(self.window.rec(si), &load_rec);
+                    let correct = crate::policies::store_covers_load(self.mem_acc_of(si), load_acc);
                     let store_full = self.full_agen_time_of(si);
                     if correct {
                         // Verification (when both agens finish) confirms.
@@ -399,6 +408,14 @@ impl<S: TraceSink> Simulator<S> {
             });
         }
         self.sched.put_pending_loads(pending);
+    }
+
+    /// The access geometry of memory entry `idx` (for the policies).
+    pub(crate) fn mem_acc_of(&self, idx: usize) -> MemAcc {
+        MemAcc {
+            ea: self.window.rec(idx).ea,
+            bytes: self.window.mem_bytes(idx),
+        }
     }
 
     /// Number of contiguous low source slices available for sum-addressed

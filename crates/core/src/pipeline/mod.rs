@@ -48,6 +48,8 @@ use frontend::FrontendFeed;
 use memory::MemDepPredictor;
 use popk_bpred::FrontEnd;
 use popk_cache::Hierarchy;
+use popk_isa::Insn;
+use popk_trace::UopInsn;
 use sched::{SchedBufs, Scheduler};
 use window::{Window, WindowBufs};
 
@@ -62,15 +64,24 @@ use window::{Window, WindowBufs};
 /// running thousands of rows on one thread allocates the hot state
 /// once. A `Scratch` carries no simulation state across runs: every
 /// column is reset on reuse.
-#[derive(Default)]
-pub struct Scratch {
-    pub(crate) window: WindowBufs,
+pub struct Scratch<I = Insn> {
+    pub(crate) window: WindowBufs<I>,
     pub(crate) sched: SchedBufs,
 }
 
-impl Scratch {
+// Manual impl: a derived one would demand `I: Default` for no reason.
+impl<I> Default for Scratch<I> {
+    fn default() -> Scratch<I> {
+        Scratch {
+            window: WindowBufs::default(),
+            sched: SchedBufs::default(),
+        }
+    }
+}
+
+impl<I> Scratch<I> {
     /// Empty scratch (allocations grow on first use).
-    pub fn new() -> Scratch {
+    pub fn new() -> Scratch<I> {
         Scratch::default()
     }
 }
@@ -97,7 +108,12 @@ pub(crate) use emit;
 /// is exactly the untraced machine. Use [`Simulator::with_sink`] to
 /// attach a recorder (e.g. [`crate::VecTrace`] or a
 /// [`crate::timeline::TimelineBuilder`]).
-pub struct Simulator<S: TraceSink = NullTrace> {
+///
+/// Also generic over the frontend's instruction type `I` (default: the
+/// native PISA [`Insn`]): the stages consume only the ISA-neutral
+/// [`popk_trace::Uop`] boundary, so any [`popk_trace::Frontend`] can
+/// drive the same timing core.
+pub struct Simulator<S = NullTrace, I = Insn> {
     pub(crate) cfg: MachineConfig,
     pub(crate) nslices: usize,
     pub(crate) slice_bits: u32,
@@ -107,11 +123,11 @@ pub struct Simulator<S: TraceSink = NullTrace> {
 
     pub(crate) cycle: u64,
     pub(crate) next_seq: u64,
-    pub(crate) window: Window,
+    pub(crate) window: Window<I>,
     pub(crate) lsq_occupancy: usize,
     /// Fetched-but-not-dispatched instructions and the fetch stall state
     /// (owned by the [`frontend`] stage).
-    pub(crate) feed: FrontendFeed,
+    pub(crate) feed: FrontendFeed<I>,
     /// Per-register producer tracking at dispatch (rename).
     pub(crate) rename: RenameTable,
     /// Non-pipelined functional-unit reservations.
@@ -127,7 +143,7 @@ pub struct Simulator<S: TraceSink = NullTrace> {
     pub(crate) sink: S,
     /// Commit-time lockstep checker (built by `try_run` when
     /// `cfg.oracle` is set; `None` costs one branch per retire).
-    pub(crate) oracle: Option<crate::oracle::Oracle>,
+    pub(crate) oracle: Option<crate::oracle::Oracle<I>>,
     /// Deterministic fault injector (attached via
     /// [`Simulator::set_fault_plan`]; `None` in normal runs).
     pub(crate) fault: Option<crate::fault::FaultPlan>,
@@ -155,9 +171,9 @@ pub struct Simulator<S: TraceSink = NullTrace> {
     pub(crate) dbg_batch_out: Vec<u32>,
 }
 
-impl<S: TraceSink> Simulator<S> {
+impl<I: UopInsn, S: TraceSink<I>> Simulator<S, I> {
     /// Build a simulator that reports pipeline events to `sink`.
-    pub fn with_sink(cfg: &MachineConfig, sink: S) -> Simulator<S> {
+    pub fn with_sink(cfg: &MachineConfig, sink: S) -> Simulator<S, I> {
         Simulator::with_sink_in(cfg, sink, &mut Scratch::new())
     }
 
@@ -165,7 +181,7 @@ impl<S: TraceSink> Simulator<S> {
     /// allocations from `scratch` (left empty) instead of allocating
     /// fresh ones. Pair with [`Simulator::reclaim`] to hand them back
     /// after the run.
-    pub fn with_sink_in(cfg: &MachineConfig, sink: S, scratch: &mut Scratch) -> Simulator<S> {
+    pub fn with_sink_in(cfg: &MachineConfig, sink: S, scratch: &mut Scratch<I>) -> Simulator<S, I> {
         let nslices = cfg.slice_count();
         Simulator {
             cfg: *cfg,
@@ -179,7 +195,7 @@ impl<S: TraceSink> Simulator<S> {
             window: Window::new(cfg.ruu_size, std::mem::take(&mut scratch.window)),
             lsq_occupancy: 0,
             feed: FrontendFeed::new(cfg.width),
-            rename: RenameTable::new(),
+            rename: RenameTable::new(I::NUM_REGS),
             units: FuncUnits::default(),
             mem_dep: MemDepPredictor::new(cfg),
             sched: Scheduler::new_in(
@@ -205,7 +221,7 @@ impl<S: TraceSink> Simulator<S> {
 
     /// Consume the simulator, returning its reusable allocations to
     /// `scratch` for the next run.
-    pub fn reclaim(self, scratch: &mut Scratch) {
+    pub fn reclaim(self, scratch: &mut Scratch<I>) {
         scratch.window = self.window.into_bufs();
         scratch.sched = self.sched.into_bufs();
     }

@@ -8,8 +8,12 @@
 //! keeps each examination's working set to the few cache lines it
 //! actually reads, and replaces the `[Option<u64>; 4]` schedule arrays
 //! with half-size [`CycleSlot`] sentinel rows. Cold per-entry state (the
-//! architectural [`TraceRecord`]) lives in its own side column that only
+//! architectural [`Uop`]) lives in its own side column that only
 //! dispatch, branch resolution, and commit touch.
+//!
+//! The window is generic over the frontend's instruction type `I` and
+//! never inspects it: every per-opcode predicate arrives pre-decoded as
+//! the [`UopMeta`] dispatch passes to [`Window::push_back`].
 //!
 //! Layout invariants:
 //!
@@ -26,10 +30,10 @@
 //!   typed accessors panic with the offending sequence number on any
 //!   other entry, like the old `Entry::mem` contract.
 
-use super::entry::{decode, CycleSlot, Dep, ExecClass, MAX_SLICES};
+use super::entry::{CycleSlot, Dep, ExecClass, MAX_SLICES};
 use super::sched::Waiters;
-use popk_emu::TraceRecord;
-use popk_isa::{Op, SliceClass};
+use popk_isa::SliceClass;
+use popk_trace::{CtrlKind, LatClass, Uop, UopMeta};
 
 /// Flag bits of the per-entry predicate column (decoded once at
 /// dispatch; bits 6–7 hold the dependence count).
@@ -62,11 +66,10 @@ fn dep_encode(d: Dep) -> u64 {
 
 /// The column allocations of a [`Window`], detached for reuse across
 /// runs (see [`crate::Scratch`]).
-#[derive(Default)]
-pub(crate) struct WindowBufs {
-    rec: Vec<TraceRecord>,
+pub(crate) struct WindowBufs<I> {
+    rec: Vec<Uop<I>>,
     earliest_ex: Vec<u64>,
-    op: Vec<Op>,
+    meta: Vec<UopMeta>,
     class: Vec<ExecClass>,
     slice_class: Vec<SliceClass>,
     flags: Vec<u16>,
@@ -81,26 +84,49 @@ pub(crate) struct WindowBufs {
     waiters: Vec<Waiters>,
 }
 
+// Manual impl: a derived one would demand `I: Default` for no reason.
+impl<I> Default for WindowBufs<I> {
+    fn default() -> WindowBufs<I> {
+        WindowBufs {
+            rec: Vec::new(),
+            earliest_ex: Vec::new(),
+            meta: Vec::new(),
+            class: Vec::new(),
+            slice_class: Vec::new(),
+            flags: Vec::new(),
+            deps: Vec::new(),
+            issued: Vec::new(),
+            ready: Vec::new(),
+            resolved_at: Vec::new(),
+            completed_at: Vec::new(),
+            mem_started: Vec::new(),
+            mem_data_ready: Vec::new(),
+            mem_store_data: Vec::new(),
+            waiters: Vec::new(),
+        }
+    }
+}
+
 /// The struct-of-arrays window store. All accessors take the *logical*
 /// index (0 = oldest in flight), as produced by
 /// [`Simulator::index_of`](super::Simulator::index_of).
-pub(crate) struct Window {
+pub(crate) struct Window<I> {
     mask: usize,
     head: usize,
     len: usize,
     /// Sequence number of the logical head (valid while `len > 0`).
     head_seq: u64,
-    cols: WindowBufs,
+    cols: WindowBufs<I>,
 }
 
-impl Window {
+impl<I> Window<I> {
     /// An empty window for a `ruu_size`-entry RUU, reusing the column
     /// allocations in `bufs`.
-    pub(crate) fn new(ruu_size: usize, mut bufs: WindowBufs) -> Window {
+    pub(crate) fn new(ruu_size: usize, mut bufs: WindowBufs<I>) -> Window<I> {
         let cap = ruu_size.next_power_of_two().max(1);
         bufs.rec.clear();
         bufs.earliest_ex.clear();
-        bufs.op.clear();
+        bufs.meta.clear();
         bufs.class.clear();
         bufs.slice_class.clear();
         bufs.flags.clear();
@@ -128,7 +154,7 @@ impl Window {
     }
 
     /// Detach the column allocations for reuse by a later run.
-    pub(crate) fn into_bufs(self) -> WindowBufs {
+    pub(crate) fn into_bufs(self) -> WindowBufs<I> {
         self.cols
     }
 
@@ -167,15 +193,17 @@ impl Window {
     }
 
     /// Dispatch a new entry at the window tail; returns its index.
-    /// Decodes the opcode classes into the predicate columns.
-    /// `store_data_slot` is the `uses()` position of a store's data
-    /// operand (rt) and `has_def` whether the instruction defines a
+    /// `meta` is the frontend's pre-decoded classification of `rec` —
+    /// the window copies its predicates into the hot flag/class columns.
+    /// `store_data_slot` is the source-list position of a store's data
+    /// operand and `has_def` whether the instruction defines a
     /// register — both already in hand at the dispatch rename walk.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn push_back(
         &mut self,
         seq: u64,
-        rec: TraceRecord,
+        rec: Uop<I>,
+        meta: UopMeta,
         earliest_ex: u64,
         deps: [Dep; 2],
         ndeps: usize,
@@ -197,16 +225,14 @@ impl Window {
         let p = (self.head + idx) & self.mask;
         self.len += 1;
 
-        let op = rec.insn.op();
-        let d = decode(op);
         let mut flags = (ndeps as u16) << NDEPS_SHIFT;
-        flags |= F_LOAD * d.is_load as u16;
-        flags |= F_STORE * d.is_store as u16;
+        flags |= F_LOAD * meta.is_load as u16;
+        flags |= F_STORE * meta.is_store as u16;
         flags |= F_PHANTOM * phantom as u16;
         flags |= F_MISPREDICTED * mispredicted as u16;
-        flags |= F_LATE_RESULT * d.late_result as u16;
+        flags |= F_LATE_RESULT * meta.late_result as u16;
         flags |= F_HAS_DEF * has_def as u16;
-        if d.is_store {
+        if meta.is_store {
             debug_assert!(store_data_slot < 2);
             flags |= F_STORE_DATA_SLOT1 * store_data_slot;
         }
@@ -216,9 +242,9 @@ impl Window {
         // by one or rewrites a recycled slot in place.
         set_col(&mut self.cols.rec, p, rec);
         set_col(&mut self.cols.earliest_ex, p, earliest_ex);
-        set_col(&mut self.cols.op, p, op);
-        set_col(&mut self.cols.class, p, d.class);
-        set_col(&mut self.cols.slice_class, p, d.slice_class);
+        set_col(&mut self.cols.meta, p, meta);
+        set_col(&mut self.cols.class, p, meta.class);
+        set_col(&mut self.cols.slice_class, p, meta.slice_class);
         set_col(&mut self.cols.flags, p, flags);
         set_col(
             &mut self.cols.deps,
@@ -265,7 +291,7 @@ impl Window {
     /// The architectural trace record (cold: dispatch, branch
     /// resolution, memory disambiguation, and commit only).
     #[inline]
-    pub(crate) fn rec(&self, i: usize) -> &TraceRecord {
+    pub(crate) fn rec(&self, i: usize) -> &Uop<I> {
         &self.cols.rec[self.phys(i)]
     }
 
@@ -276,14 +302,32 @@ impl Window {
         self.cols.earliest_ex[self.phys(i)]
     }
 
-    /// The opcode (duplicated out of the cold [`TraceRecord`] column so
-    /// the issue loop's predicates stay on the hot columns).
+    /// The control kind, if this entry is a control transfer (cached
+    /// out of the dispatch-time [`UopMeta`]).
     #[inline]
-    pub(crate) fn op(&self, i: usize) -> Op {
-        self.cols.op[self.phys(i)]
+    pub(crate) fn ctrl(&self, i: usize) -> Option<CtrlKind> {
+        self.cols.meta[self.phys(i)].ctrl
     }
 
-    /// Which dependence slot carries a store's *data* operand (rt),
+    /// Whether this entry is any kind of control transfer.
+    #[inline]
+    pub(crate) fn is_control(&self, i: usize) -> bool {
+        self.cols.meta[self.phys(i)].ctrl.is_some()
+    }
+
+    /// The latency class (selects the functional-unit latency knob).
+    #[inline]
+    pub(crate) fn lat(&self, i: usize) -> LatClass {
+        self.cols.meta[self.phys(i)].lat
+    }
+
+    /// Access width in bytes (loads/stores; 0 otherwise).
+    #[inline]
+    pub(crate) fn mem_bytes(&self, i: usize) -> u8 {
+        self.cols.meta[self.phys(i)].mem_bytes
+    }
+
+    /// Which dependence slot carries a store's *data* operand,
     /// cached at dispatch.
     #[inline]
     pub(crate) fn store_data_slot(&self, i: usize) -> usize {
@@ -539,7 +583,9 @@ fn set_col<T>(v: &mut Vec<T>, p: usize, val: T) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use popk_emu::TraceRecord;
     use popk_isa::{Insn, Op, Reg};
+    use popk_trace::UopInsn;
 
     fn rec(insn: Insn) -> TraceRecord {
         TraceRecord {
@@ -561,32 +607,60 @@ mod tests {
         rec(Insn::load(Op::Lw, Reg::gpr(8), 0, Reg::gpr(9)))
     }
 
-    fn window() -> Window {
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        w: &mut Window<Insn>,
+        seq: u64,
+        rec: TraceRecord,
+        earliest_ex: u64,
+        deps: [Dep; 2],
+        ndeps: usize,
+        mispredicted: bool,
+        phantom: bool,
+    ) -> usize {
+        let meta = rec.insn.meta();
+        w.push_back(
+            seq,
+            rec,
+            meta,
+            earliest_ex,
+            deps,
+            ndeps,
+            0,
+            true,
+            mispredicted,
+            phantom,
+        )
+    }
+
+    fn window() -> Window<Insn> {
         Window::new(64, WindowBufs::default())
     }
 
     #[test]
     fn push_decodes_classes_and_flags() {
         let mut w = window();
-        let i = w.push_back(0, add_rec(), 3, [Dep::Ready; 2], 2, 0, true, false, false);
+        let i = push(&mut w, 0, add_rec(), 3, [Dep::Ready; 2], 2, false, false);
         assert_eq!(w.class(i), ExecClass::IntSliced);
         assert!(!w.is_mem(i) && !w.phantom(i) && !w.late_result(i));
+        assert!(!w.is_control(i) && w.ctrl(i).is_none());
+        assert_eq!(w.lat(i), LatClass::Alu);
         assert_eq!(w.ndeps(i), 2);
         assert_eq!(w.earliest_ex(i), 3);
         assert!(w.issued(i, 0).is_unset() && w.completed_at(i).is_unset());
 
-        let j = w.push_back(
+        let j = push(
+            &mut w,
             1,
             lw_rec(),
             3,
             [Dep::InFlight(0), Dep::Ready],
             1,
-            0,
-            true,
             false,
             false,
         );
         assert!(w.is_load(j) && w.is_mem(j) && !w.is_store(j));
+        assert_eq!(w.mem_bytes(j), 4);
         assert!(w.mem_started(j).is_unset());
         assert!(matches!(w.dep(j, 0), Dep::InFlight(0)));
         assert!(matches!(w.dep(j, 1), Dep::Ready));
@@ -597,7 +671,7 @@ mod tests {
     fn mem_accessor_names_the_seq() {
         let mut w = window();
         for s in 0..8 {
-            w.push_back(s, add_rec(), 0, [Dep::Ready; 2], 2, 0, true, false, false);
+            push(&mut w, s, add_rec(), 0, [Dep::Ready; 2], 2, false, false);
         }
         let _ = w.mem_started(7);
     }
@@ -605,7 +679,7 @@ mod tests {
     #[test]
     fn loads_publish_slices_with_the_data() {
         let mut w = window();
-        let i = w.push_back(0, lw_rec(), 0, [Dep::Ready; 2], 1, 0, true, false, false);
+        let i = push(&mut w, 0, lw_rec(), 0, [Dep::Ready; 2], 1, false, false);
         w.set_ready(i, 0, CycleSlot::at(3));
         w.set_ready(i, 1, CycleSlot::at(4));
         assert!(w.result_ready(i, 0).is_unset(), "load data not back yet");
@@ -617,9 +691,9 @@ mod tests {
     #[test]
     fn ring_reuses_slots_across_commit_and_squash() {
         // Capacity 4: push/pop cycles wrap the ring and recycle slots.
-        let mut w = Window::new(4, WindowBufs::default());
+        let mut w: Window<Insn> = Window::new(4, WindowBufs::default());
         for s in 0..4u64 {
-            w.push_back(s, add_rec(), 0, [Dep::Ready; 2], 0, 0, true, false, s >= 2);
+            push(&mut w, s, add_rec(), 0, [Dep::Ready; 2], 0, false, s >= 2);
         }
         assert_eq!(w.index_of(0), Some(0));
         assert_eq!(w.index_of(3), Some(3));
@@ -633,7 +707,7 @@ mod tests {
         assert_eq!(w.index_of(3), None, "squashed");
         // Refill past the physical wrap point.
         for s in 3..5u64 {
-            let i = w.push_back(s, lw_rec(), 9, [Dep::Ready; 2], 1, 0, true, false, false);
+            let i = push(&mut w, s, lw_rec(), 9, [Dep::Ready; 2], 1, false, false);
             assert!(w.issued(i, 0).is_unset(), "recycled slot must reset");
             assert!(w.mem_started(i).is_unset());
             assert_eq!(w.earliest_ex(i), 9);
@@ -644,8 +718,8 @@ mod tests {
 
     #[test]
     fn waiter_lists_survive_on_recycled_slots_but_empty() {
-        let mut w = Window::new(2, WindowBufs::default());
-        w.push_back(0, add_rec(), 0, [Dep::Ready; 2], 0, 0, true, false, false);
+        let mut w: Window<Insn> = Window::new(2, WindowBufs::default());
+        push(&mut w, 0, add_rec(), 0, [Dep::Ready; 2], 0, false, false);
         w.park_waiter(0, 5);
         w.park_waiter(0, 5); // idempotent
         assert!(!w.waiters_empty(0));
@@ -654,17 +728,17 @@ mod tests {
         w.attach_waiters(0, ws);
         assert!(w.waiters_empty(0));
         w.pop_front();
-        let i = w.push_back(1, add_rec(), 0, [Dep::Ready; 2], 0, 0, true, false, false);
+        let i = push(&mut w, 1, add_rec(), 0, [Dep::Ready; 2], 0, false, false);
         assert!(w.waiters_empty(i));
     }
 
     #[test]
     fn bufs_round_trip_preserves_nothing_but_allocations() {
         let mut w = window();
-        w.push_back(0, add_rec(), 0, [Dep::Ready; 2], 0, 0, true, false, false);
+        push(&mut w, 0, add_rec(), 0, [Dep::Ready; 2], 0, false, false);
         w.set_completed_at(0, CycleSlot::at(11));
         let bufs = w.into_bufs();
-        let w2 = Window::new(64, bufs);
+        let w2: Window<Insn> = Window::new(64, bufs);
         assert!(w2.is_empty());
     }
 }

@@ -6,19 +6,24 @@
 //! machine exploits the paper's observation that for equality branches a
 //! single divergent slice is *proof* of the outcome: the redirect fires
 //! as soon as the first slice that detects the misprediction completes.
+//!
+//! Policies see only the compare operand pair and the recorded outcome
+//! — resolved by the frontend via
+//! [`popk_trace::UopInsn::branch_cmp`] — never an instruction.
 
-use popk_emu::TraceRecord;
 use popk_isa::BranchCond;
 use popk_slice::mispredict_detection_bit;
 
 /// Decides which result slice a conditional branch resolves at.
 pub trait BranchResolvePolicy: Send + Sync {
     /// Index of the slice whose completion resolves this branch
-    /// (always in `0..nslices`).
+    /// (always in `0..nslices`). `cmp` is the `(lhs, rhs)` operand pair
+    /// of the compare; `taken` its recorded architectural outcome.
     fn resolve_slice(
         &self,
         cond: BranchCond,
-        rec: &TraceRecord,
+        cmp: (u32, u32),
+        taken: bool,
         mispredicted: bool,
         nslices: usize,
         slice_bits: u32,
@@ -38,7 +43,8 @@ impl BranchResolvePolicy for FullWidthResolve {
     fn resolve_slice(
         &self,
         _cond: BranchCond,
-        _rec: &TraceRecord,
+        _cmp: (u32, u32),
+        _taken: bool,
         _mispredicted: bool,
         nslices: usize,
         _slice_bits: u32,
@@ -58,7 +64,8 @@ impl BranchResolvePolicy for EarlySliceResolve {
     fn resolve_slice(
         &self,
         cond: BranchCond,
-        rec: &TraceRecord,
+        cmp: (u32, u32),
+        taken: bool,
         mispredicted: bool,
         nslices: usize,
         slice_bits: u32,
@@ -66,15 +73,12 @@ impl BranchResolvePolicy for EarlySliceResolve {
         if !(mispredicted && cond.early_resolvable()) {
             return nslices - 1;
         }
-        // Resolve operand values by register so `beq rX, rX` (whose
-        // use set dedups) still sees both sides correctly.
-        let rs = rec.src_vals[0];
-        let rt = rec.src_val(rec.insn.rt()).unwrap_or(0);
+        let (rs, rt) = cmp;
         // predicted = !actual since mispredicted. Operand bits that fail
         // to prove the recorded outcome (only possible when fault
         // injection corrupts the published slices) degrade to the
         // conventional full-width resolution instead of panicking.
-        let Some(bits) = mispredict_detection_bit(cond, rs, rt, !rec.taken) else {
+        let Some(bits) = mispredict_detection_bit(cond, rs, rt, !taken) else {
             return nslices - 1;
         };
         (((bits.max(1) - 1) / slice_bits) as usize).min(nslices - 1)
@@ -88,26 +92,18 @@ impl BranchResolvePolicy for EarlySliceResolve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popk_isa::{Insn, Op, Reg};
-
-    fn branch_rec(op: Op, rs_val: u32, rt_val: u32, taken: bool) -> TraceRecord {
-        TraceRecord {
-            pc: 0x400000,
-            insn: Insn::branch(op, Reg::gpr(8), Reg::gpr(9), 16),
-            src_vals: [rs_val, rt_val],
-            results: [0; 2],
-            ea: 0,
-            taken,
-            next_pc: 0x400004,
-        }
-    }
 
     #[test]
     fn full_width_always_waits_for_the_top_slice() {
         let p = FullWidthResolve;
-        let rec = branch_rec(Op::Beq, 1, 0x0001_0000, false);
-        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 2, 16), 1);
-        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 4, 8), 3);
+        assert_eq!(
+            p.resolve_slice(BranchCond::Eq, (1, 0x0001_0000), false, true, 2, 16),
+            1
+        );
+        assert_eq!(
+            p.resolve_slice(BranchCond::Eq, (1, 0x0001_0000), false, true, 4, 8),
+            3
+        );
         assert!(!p.is_early());
     }
 
@@ -116,23 +112,34 @@ mod tests {
         let p = EarlySliceResolve;
         // beq taken-predicted, operands differ in bit 0: a mispredict is
         // proven by the lowest slice.
-        let rec = branch_rec(Op::Beq, 1, 0, false);
-        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 4, 8), 0);
+        assert_eq!(
+            p.resolve_slice(BranchCond::Eq, (1, 0), false, true, 4, 8),
+            0
+        );
         // Divergence only in the upper half: slice 2 of 4 (bits 16..24).
-        let rec = branch_rec(Op::Beq, 0, 0x0001_0000, false);
-        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 4, 8), 2);
-        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, true, 2, 16), 1);
+        assert_eq!(
+            p.resolve_slice(BranchCond::Eq, (0, 0x0001_0000), false, true, 4, 8),
+            2
+        );
+        assert_eq!(
+            p.resolve_slice(BranchCond::Eq, (0, 0x0001_0000), false, true, 2, 16),
+            1
+        );
         assert!(p.is_early());
     }
 
     #[test]
     fn early_falls_back_when_it_cannot_help() {
         let p = EarlySliceResolve;
-        let rec = branch_rec(Op::Beq, 1, 0, false);
         // Correct prediction: nothing to detect early.
-        assert_eq!(p.resolve_slice(BranchCond::Eq, &rec, false, 4, 8), 3);
+        assert_eq!(
+            p.resolve_slice(BranchCond::Eq, (1, 0), false, false, 4, 8),
+            3
+        );
         // Sign tests need the full subtraction.
-        let rec = branch_rec(Op::Blez, 5, 0, false);
-        assert_eq!(p.resolve_slice(BranchCond::Lez, &rec, true, 4, 8), 3);
+        assert_eq!(
+            p.resolve_slice(BranchCond::Lez, (5, 0), false, true, 4, 8),
+            3
+        );
     }
 }

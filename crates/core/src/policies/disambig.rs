@@ -1,25 +1,34 @@
 //! Load/store disambiguation policies (Fig. 2 and the §5.1
 //! speculative-forwarding extension).
 //!
-//! The memory stage hands the policy a load (with however many low
-//! address bits its agen has produced) and a youngest-first walk of the
-//! older in-window stores; the policy answers whether the load may
+//! The memory stage hands the policy a load access (with however many
+//! low address bits its agen has produced) and a youngest-first walk of
+//! the older in-window stores; the policy answers whether the load may
 //! proceed this cycle, and from where its data comes. The conventional
 //! machine needs every address fully known; the early (bit-serial)
 //! machine rules stores out slice-by-slice as the paper's Fig. 2
 //! comparator chain does.
+//!
+//! Policies see only [`MemAcc`] — effective address plus access width —
+//! never an instruction, so they work unchanged across frontends.
 
-use popk_emu::TraceRecord;
-use popk_isa::Op;
+/// One memory reference as the disambiguation logic sees it: effective
+/// address and access width in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemAcc {
+    /// Effective (byte) address.
+    pub ea: u32,
+    /// Access width in bytes.
+    pub bytes: u8,
+}
 
 /// Byte range `[ea, ea + width)` of a memory reference.
-fn byte_range(rec: &TraceRecord) -> (u32, u32) {
-    let w = rec.insn.op().mem_width().map_or(4, |m| m.bytes());
-    (rec.ea, rec.ea.wrapping_add(w))
+fn byte_range(acc: MemAcc) -> (u32, u32) {
+    (acc.ea, acc.ea.wrapping_add(acc.bytes as u32))
 }
 
 /// Do two references touch any common byte?
-pub fn ranges_overlap(a: &TraceRecord, b: &TraceRecord) -> bool {
+pub fn ranges_overlap(a: MemAcc, b: MemAcc) -> bool {
     let (a0, a1) = byte_range(a);
     let (b0, b1) = byte_range(b);
     a0 < b1 && b0 < a1
@@ -27,7 +36,7 @@ pub fn ranges_overlap(a: &TraceRecord, b: &TraceRecord) -> bool {
 
 /// Does the store's write cover every byte the load reads (so its data
 /// can be forwarded whole)?
-pub fn store_covers_load(store: &TraceRecord, load: &TraceRecord) -> bool {
+pub fn store_covers_load(store: MemAcc, load: MemAcc) -> bool {
     let (s0, s1) = byte_range(store);
     let (l0, l1) = byte_range(load);
     s0 <= l0 && l1 <= s1
@@ -45,13 +54,11 @@ pub enum ForwardDecision {
 }
 
 /// One older in-window store, as the disambiguation scan sees it.
-/// Borrows the window's record — the scan runs per pending load per
-/// cycle, and most probes are ruled out after reading only `ea`.
-pub struct StoreProbe<'a> {
+pub struct StoreProbe {
     /// The store's dynamic sequence number.
     pub seq: u64,
-    /// Its trace record (opcode, effective address).
-    pub rec: &'a TraceRecord,
+    /// Its effective address and width.
+    pub acc: MemAcc,
     /// Low address bits its agen has produced so far.
     pub known_bits: u32,
 }
@@ -65,9 +72,9 @@ pub trait DisambigPolicy: Send + Sync {
     /// agen has produced (the LSQ comparators only see computed bits).
     fn disambiguate(
         &self,
-        load: &TraceRecord,
+        load: MemAcc,
         load_known_bits: u32,
-        older_stores: &mut dyn Iterator<Item = StoreProbe<'_>>,
+        older_stores: &mut dyn Iterator<Item = StoreProbe>,
     ) -> Option<ForwardDecision>;
 
     /// Whether this policy can pass stores on *partial* address
@@ -84,9 +91,9 @@ pub struct ConventionalDisambig;
 impl DisambigPolicy for ConventionalDisambig {
     fn disambiguate(
         &self,
-        load: &TraceRecord,
+        load: MemAcc,
         load_known_bits: u32,
-        older_stores: &mut dyn Iterator<Item = StoreProbe<'_>>,
+        older_stores: &mut dyn Iterator<Item = StoreProbe>,
     ) -> Option<ForwardDecision> {
         let mut forward: Option<u64> = None;
         for store in older_stores {
@@ -97,8 +104,8 @@ impl DisambigPolicy for ConventionalDisambig {
             if load_known_bits < 32 {
                 return None; // and the load's own
             }
-            if ranges_overlap(store.rec, load) {
-                if store_covers_load(store.rec, load) {
+            if ranges_overlap(store.acc, load) {
+                if store_covers_load(store.acc, load) {
                     forward = Some(store.seq);
                     break;
                 }
@@ -125,9 +132,9 @@ pub struct EarlyPartialDisambig {
 impl DisambigPolicy for EarlyPartialDisambig {
     fn disambiguate(
         &self,
-        load: &TraceRecord,
+        load: MemAcc,
         load_known_bits: u32,
-        older_stores: &mut dyn Iterator<Item = StoreProbe<'_>>,
+        older_stores: &mut dyn Iterator<Item = StoreProbe>,
     ) -> Option<ForwardDecision> {
         let load_word = load.ea & !3;
         let mut forward: Option<u64> = None;
@@ -135,7 +142,7 @@ impl DisambigPolicy for EarlyPartialDisambig {
         let mut partial_matches = 0u32;
 
         for store in older_stores {
-            let store_word = store.rec.ea & !3;
+            let store_word = store.acc.ea & !3;
             // Compare the low bits both sides know.
             let common = load_known_bits.min(store.known_bits);
             if common == 0 {
@@ -151,8 +158,8 @@ impl DisambigPolicy for EarlyPartialDisambig {
             }
             if load_known_bits >= 32 && store.known_bits >= 32 {
                 // Both full addresses known: decide at byte accuracy.
-                if ranges_overlap(store.rec, load) {
-                    if store_covers_load(store.rec, load) {
+                if ranges_overlap(store.acc, load) {
+                    if store_covers_load(store.acc, load) {
                         forward = forward.or(Some(store.seq));
                         break; // youngest covering store wins
                     }
@@ -166,7 +173,7 @@ impl DisambigPolicy for EarlyPartialDisambig {
             // extension may speculate on a *unique* matcher —
             // restricted to word/word pairs, where a partial address
             // match implies a forwardable full match.
-            if !self.spec_forward || load.insn.op() != Op::Lw || store.rec.insn.op() != Op::Sw {
+            if !self.spec_forward || load.bytes != 4 || store.acc.bytes != 4 {
                 return None;
             }
             partial_matches += 1;
@@ -201,31 +208,15 @@ impl DisambigPolicy for EarlyPartialDisambig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popk_isa::{Insn, Reg};
 
-    fn mem_rec(op: Op, ea: u32) -> TraceRecord {
-        let insn = if op.is_load() {
-            Insn::load(op, Reg::gpr(8), 0, Reg::gpr(9))
-        } else {
-            Insn::store(op, Reg::gpr(8), 0, Reg::gpr(9))
-        };
-        TraceRecord {
-            pc: 0x400000,
-            insn,
-            src_vals: [0; 2],
-            results: [0; 2],
-            ea,
-            taken: false,
-            next_pc: 0x400004,
-        }
+    fn acc(ea: u32, bytes: u8) -> MemAcc {
+        MemAcc { ea, bytes }
     }
 
-    fn probe(seq: u64, op: Op, ea: u32, known_bits: u32) -> StoreProbe<'static> {
+    fn probe(seq: u64, ea: u32, bytes: u8, known_bits: u32) -> StoreProbe {
         StoreProbe {
             seq,
-            // Test-only leak: the probes borrow window records in the
-            // simulator; here a 'static record keeps the fixtures terse.
-            rec: Box::leak(Box::new(mem_rec(op, ea))),
+            acc: acc(ea, bytes),
             known_bits,
         }
     }
@@ -233,14 +224,14 @@ mod tests {
     #[test]
     fn conventional_blocks_on_any_unknown_address() {
         let p = ConventionalDisambig;
-        let load = mem_rec(Op::Lw, 0x1000_0000);
+        let load = acc(0x1000_0000, 4);
         // A store at a wildly different address, but only half known.
-        let mut stores = vec![probe(1, Op::Sw, 0x2000_0000, 16)].into_iter();
-        assert!(p.disambiguate(&load, 32, &mut stores).is_none());
+        let mut stores = vec![probe(1, 0x2000_0000, 4, 16)].into_iter();
+        assert!(p.disambiguate(load, 32, &mut stores).is_none());
         // Fully known and disjoint: the load may access the cache.
-        let mut stores = vec![probe(1, Op::Sw, 0x2000_0000, 32)].into_iter();
+        let mut stores = vec![probe(1, 0x2000_0000, 4, 32)].into_iter();
         assert!(matches!(
-            p.disambiguate(&load, 32, &mut stores),
+            p.disambiguate(load, 32, &mut stores),
             Some(ForwardDecision::Access)
         ));
     }
@@ -250,42 +241,39 @@ mod tests {
         let p = EarlyPartialDisambig {
             spec_forward: false,
         };
-        let load = mem_rec(Op::Lw, 0x1000_0000);
+        let load = acc(0x1000_0000, 4);
         // Low 16 bits differ: ruled out with only one slice known.
-        let mut stores = vec![probe(1, Op::Sw, 0x1000_8000, 16)].into_iter();
+        let mut stores = vec![probe(1, 0x1000_8000, 4, 16)].into_iter();
         assert!(matches!(
-            p.disambiguate(&load, 16, &mut stores),
+            p.disambiguate(load, 16, &mut stores),
             Some(ForwardDecision::Access)
         ));
         // Low 16 bits equal, upper unknown: blocked without speculation.
-        let mut stores = vec![probe(1, Op::Sw, 0x2000_0000, 16)].into_iter();
-        assert!(p.disambiguate(&load, 16, &mut stores).is_none());
+        let mut stores = vec![probe(1, 0x2000_0000, 4, 16)].into_iter();
+        assert!(p.disambiguate(load, 16, &mut stores).is_none());
     }
 
     #[test]
     fn unique_partial_match_speculates_when_enabled() {
         let p = EarlyPartialDisambig { spec_forward: true };
-        let load = mem_rec(Op::Lw, 0x1000_0000);
-        let mut stores = vec![probe(5, Op::Sw, 0x2000_0000, 16)].into_iter();
+        let load = acc(0x1000_0000, 4);
+        let mut stores = vec![probe(5, 0x2000_0000, 4, 16)].into_iter();
         assert!(matches!(
-            p.disambiguate(&load, 16, &mut stores),
+            p.disambiguate(load, 16, &mut stores),
             Some(ForwardDecision::SpecForward(5))
         ));
         // Two candidates: ambiguous, wait.
-        let mut stores = vec![
-            probe(5, Op::Sw, 0x2000_0000, 16),
-            probe(3, Op::Sw, 0x3000_0000, 16),
-        ]
-        .into_iter();
-        assert!(p.disambiguate(&load, 16, &mut stores).is_none());
+        let mut stores =
+            vec![probe(5, 0x2000_0000, 4, 16), probe(3, 0x3000_0000, 4, 16)].into_iter();
+        assert!(p.disambiguate(load, 16, &mut stores).is_none());
         // Sub-word stores never speculate.
-        let mut stores = vec![probe(5, Op::Sb, 0x2000_0000, 16)].into_iter();
-        assert!(p.disambiguate(&load, 16, &mut stores).is_none());
+        let mut stores = vec![probe(5, 0x2000_0000, 1, 16)].into_iter();
+        assert!(p.disambiguate(load, 16, &mut stores).is_none());
     }
 
     #[test]
     fn youngest_covering_store_forwards() {
-        let load = mem_rec(Op::Lw, 0x1000_0000);
+        let load = acc(0x1000_0000, 4);
         for policy in [
             Box::new(ConventionalDisambig) as Box<dyn DisambigPolicy>,
             Box::new(EarlyPartialDisambig {
@@ -293,18 +281,15 @@ mod tests {
             }),
         ] {
             // Youngest-first scan: seq 9 is seen before seq 4.
-            let mut stores = vec![
-                probe(9, Op::Sw, 0x1000_0000, 32),
-                probe(4, Op::Sw, 0x1000_0000, 32),
-            ]
-            .into_iter();
+            let mut stores =
+                vec![probe(9, 0x1000_0000, 4, 32), probe(4, 0x1000_0000, 4, 32)].into_iter();
             assert!(matches!(
-                policy.disambiguate(&load, 32, &mut stores),
+                policy.disambiguate(load, 32, &mut stores),
                 Some(ForwardDecision::Forward(9))
             ));
             // A partially overlapping store (sub-word) blocks instead.
-            let mut stores = vec![probe(9, Op::Sb, 0x1000_0001, 32)].into_iter();
-            assert!(policy.disambiguate(&load, 32, &mut stores).is_none());
+            let mut stores = vec![probe(9, 0x1000_0001, 1, 32)].into_iter();
+            assert!(policy.disambiguate(load, 32, &mut stores).is_none());
         }
     }
 }

@@ -30,7 +30,7 @@ mod tagmatch;
 pub use branch::{BranchResolvePolicy, EarlySliceResolve, FullWidthResolve};
 pub use disambig::{
     ranges_overlap, store_covers_load, ConventionalDisambig, DisambigPolicy, EarlyPartialDisambig,
-    ForwardDecision, StoreProbe,
+    ForwardDecision, MemAcc, StoreProbe,
 };
 pub use tagmatch::{FullTagMatch, PartialTagMatch, TagMatchPolicy};
 

@@ -33,14 +33,24 @@
 //! selected by the [`MachineConfig`]. This module keeps the public
 //! entry points — [`simulate`], [`Simulator::new`], [`Simulator::run`],
 //! [`Simulator::run_timeline`] — at their historical paths.
+//!
+//! # The ISA-neutral boundary
+//!
+//! The run loop itself is ISA-agnostic: [`Simulator::try_run_frontend`]
+//! drives the pipeline from any [`popk_trace::Frontend`] (an iterator of
+//! [`popk_trace::Uop`] records plus an optional commit-lockstep
+//! checker). The PISA-specific entry points ([`simulate`],
+//! [`Simulator::run`], …) wrap it with a
+//! [`PisaFrontend`] built from the program.
 
 use crate::config::MachineConfig;
 use crate::error::SimError;
 use crate::events::{NullTrace, TraceSink};
 use crate::stats::SimStats;
 use crate::timeline::{InsnTiming, TimelineBuilder};
-use popk_emu::Machine;
-use popk_isa::Program;
+use popk_emu::PisaFrontend;
+use popk_isa::{Insn, Program};
+use popk_trace::{Frontend, UopInsn};
 
 pub use crate::pipeline::{Scratch, Simulator};
 
@@ -97,6 +107,35 @@ pub fn try_simulate_in(
     result
 }
 
+/// Run an arbitrary [`Frontend`] under `cfg` through the ISA-neutral
+/// boundary (the non-PISA analogue of [`try_simulate`]). The frontend
+/// carries its own instruction budget.
+pub fn try_simulate_frontend<I, F>(cfg: &MachineConfig, frontend: F) -> Result<SimStats, SimError>
+where
+    I: UopInsn,
+    F: Frontend<I>,
+{
+    try_simulate_frontend_in(cfg, frontend, &mut Scratch::new())
+}
+
+/// Like [`try_simulate_frontend`], reusing the buffer allocations in
+/// `scratch`.
+pub fn try_simulate_frontend_in<I, F>(
+    cfg: &MachineConfig,
+    frontend: F,
+    scratch: &mut Scratch<I>,
+) -> Result<SimStats, SimError>
+where
+    I: UopInsn,
+    F: Frontend<I>,
+{
+    cfg.validate()?;
+    let mut sim = Simulator::with_sink_in(cfg, NullTrace, scratch);
+    let result = sim.try_run_frontend(frontend);
+    sim.reclaim(scratch);
+    result
+}
+
 impl Simulator {
     /// Build an untraced simulator for one run.
     pub fn new(cfg: &MachineConfig) -> Simulator {
@@ -121,10 +160,8 @@ impl Simulator {
     }
 }
 
-impl<S: TraceSink> Simulator<S> {
-    /// Execute the run loop: one call per pipeline stage per cycle, in
-    /// commit-to-fetch order so a value produced this cycle is consumed
-    /// no earlier than the next.
+impl<S: TraceSink<Insn>> Simulator<S, Insn> {
+    /// Execute the run loop over `program` on the native PISA frontend.
     ///
     /// # Panics
     /// Panics on any [`SimError`]; use [`Simulator::try_run`] for a
@@ -136,8 +173,19 @@ impl<S: TraceSink> Simulator<S> {
         }
     }
 
-    /// Fallible run loop. Beyond the stats of [`Simulator::run`], this
-    /// surfaces three runtime failure modes as structured errors:
+    /// Fallible run loop over the native PISA frontend (see
+    /// [`Simulator::try_run_frontend`] for the failure modes).
+    pub fn try_run(&mut self, program: &Program, limit: u64) -> Result<SimStats, SimError> {
+        self.try_run_frontend(PisaFrontend::new(program, limit))
+    }
+}
+
+impl<I: UopInsn, S: TraceSink<I>> Simulator<S, I> {
+    /// Execute the run loop from any [`Frontend`]: one call per pipeline
+    /// stage per cycle, in commit-to-fetch order so a value produced
+    /// this cycle is consumed no earlier than the next.
+    ///
+    /// Surfaces three runtime failure modes as structured errors:
     ///
     /// * a functional-machine fault while producing the trace
     ///   ([`SimError::Emulation`]);
@@ -145,13 +193,15 @@ impl<S: TraceSink> Simulator<S> {
     ///   ([`SimError::Deadlock`], with a snapshot of the stuck window);
     /// * with `cfg.oracle` set, a commit-time lockstep divergence
     ///   ([`SimError::OracleDivergence`]) — every retirement is
-    ///   re-executed on an independent reference machine.
-    pub fn try_run(&mut self, program: &Program, limit: u64) -> Result<SimStats, SimError> {
+    ///   re-verified against the frontend's independent checker.
+    pub fn try_run_frontend<F>(&mut self, frontend: F) -> Result<SimStats, SimError>
+    where
+        F: Frontend<I>,
+    {
         if self.cfg.oracle {
-            self.oracle = Some(crate::oracle::Oracle::new(program));
+            self.oracle = frontend.checker().map(crate::oracle::Oracle::from_checker);
         }
-        let mut machine = Machine::new(program);
-        let mut trace = machine.trace(limit).peekable();
+        let mut trace = frontend.peekable();
         let mut drained = false;
 
         while !drained || !self.window.is_empty() || !self.feed.is_empty() {

@@ -192,8 +192,8 @@ impl TimelineBuilder {
     }
 }
 
-impl TraceSink for TimelineBuilder {
-    fn event(&mut self, cycle: u64, ev: &TraceEvent) {
+impl<I: popk_trace::UopInsn> TraceSink<I> for TimelineBuilder {
+    fn event(&mut self, cycle: u64, ev: &TraceEvent<I>) {
         match *ev {
             TraceEvent::Dispatched {
                 seq,

@@ -37,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod frontend;
 mod machine;
 mod mem;
 mod trace;
 
+pub use frontend::{PisaChecker, PisaFrontend};
 pub use machine::{EmuError, LockstepMismatch, Machine, StepEvent, Syscall};
 pub use mem::Memory;
 pub use trace::{ExecStats, TraceRecord, Tracer};

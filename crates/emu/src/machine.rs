@@ -3,91 +3,8 @@
 use crate::mem::Memory;
 use crate::trace::{ExecStats, TraceRecord, Tracer};
 use popk_isa::{Insn, MemWidth, Op, Program, Reg, DATA_BASE, STACK_TOP};
-use std::fmt;
 
-/// Errors surfaced by execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum EmuError {
-    /// PC left the text segment.
-    UnmappedPc {
-        /// The offending PC.
-        pc: u32,
-    },
-    /// A load/store violated natural alignment.
-    Misaligned {
-        /// PC of the access.
-        pc: u32,
-        /// The misaligned effective address.
-        addr: u32,
-    },
-    /// `syscall` with an unknown service number in `v0`.
-    BadSyscall {
-        /// PC of the syscall.
-        pc: u32,
-        /// The unrecognized service number.
-        service: u32,
-    },
-    /// A `break` instruction was executed.
-    Break {
-        /// PC of the break.
-        pc: u32,
-    },
-}
-
-impl fmt::Display for EmuError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EmuError::UnmappedPc { pc } => write!(f, "PC {pc:#010x} outside text segment"),
-            EmuError::Misaligned { pc, addr } => {
-                write!(f, "misaligned access to {addr:#010x} at PC {pc:#010x}")
-            }
-            EmuError::BadSyscall { pc, service } => {
-                write!(f, "unknown syscall {service} at PC {pc:#010x}")
-            }
-            EmuError::Break { pc } => write!(f, "break at PC {pc:#010x}"),
-        }
-    }
-}
-
-impl EmuError {
-    /// The PC at which the error occurred (every variant carries one).
-    pub fn pc(&self) -> u32 {
-        match *self {
-            EmuError::UnmappedPc { pc }
-            | EmuError::Misaligned { pc, .. }
-            | EmuError::BadSyscall { pc, .. }
-            | EmuError::Break { pc } => pc,
-        }
-    }
-}
-
-impl std::error::Error for EmuError {}
-
-/// One architectural field on which lockstep verification diverged
-/// (see [`Machine::verify_step`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct LockstepMismatch {
-    /// PC of the instruction under verification (the claimed record's).
-    pub pc: u32,
-    /// The diverging field: `"pc"`, `"insn"`, `"dest0"`, `"dest1"`,
-    /// `"ea"`, `"store_data"`, `"taken"`, `"next_pc"`, `"exited"`, or
-    /// `"emulation"` (the reference machine itself faulted).
-    pub field: &'static str,
-    /// The reference machine's value.
-    pub expected: u32,
-    /// The claimed record's value.
-    pub got: u32,
-}
-
-impl fmt::Display for LockstepMismatch {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "lockstep mismatch at PC {:#010x}: field `{}` expected {:#x}, got {:#x}",
-            self.pc, self.field, self.expected, self.got
-        )
-    }
-}
+pub use popk_trace::{EmuError, LockstepMismatch};
 
 /// Result of a single [`Machine::step_record`].
 #[derive(Clone, Copy, Debug)]

@@ -10,40 +10,11 @@ use popk_isa::{Insn, OpClass};
 /// This record carries everything the trace-driven timing model and the
 /// characterization passes need: actual operand *bit patterns* (for
 /// partial-operand decisions), effective addresses, and branch outcomes.
-#[derive(Clone, Copy, Debug)]
-pub struct TraceRecord {
-    /// Virtual address of the instruction.
-    pub pc: u32,
-    /// The decoded instruction.
-    pub insn: Insn,
-    /// Source register values, parallel to `insn.uses()`.
-    pub src_vals: [u32; 2],
-    /// Destination register values, parallel to `insn.defs()`.
-    pub results: [u32; 2],
-    /// Effective address for loads/stores (0 otherwise).
-    pub ea: u32,
-    /// For control instructions: whether the transfer was taken.
-    pub taken: bool,
-    /// Architectural next PC (the branch/jump target when taken).
-    pub next_pc: u32,
-}
-
-impl TraceRecord {
-    /// The value of the source register `r`, if `r` is one of this
-    /// instruction's sources.
-    pub fn src_val(&self, r: popk_isa::Reg) -> Option<u32> {
-        self.insn
-            .uses()
-            .iter()
-            .position(|u| u == r)
-            .map(|i| self.src_vals[i])
-    }
-
-    /// True if this is a load or store.
-    pub fn is_mem(&self) -> bool {
-        self.insn.op().is_load() || self.insn.op().is_store()
-    }
-}
+///
+/// Since the micro-op boundary refactor this is the PISA instantiation
+/// of the ISA-neutral [`popk_trace::Uop`]; the PISA-specific helpers
+/// (`src_val`, `is_mem`) live in [`popk_trace::pisa`].
+pub type TraceRecord = popk_trace::Uop<Insn>;
 
 /// Aggregate statistics over an execution (feeds Table 1's instruction-mix
 /// columns).

@@ -56,7 +56,7 @@ mod reg;
 pub mod rng;
 
 pub use encode::{decode, encode, DecodeError};
-pub use insn::Insn;
+pub use insn::{ArgSet, Insn};
 pub use op::{BranchCond, MemWidth, Op, OpClass, SliceClass};
 pub use program::{Program, DATA_BASE, STACK_TOP, TEXT_BASE};
 pub use reg::Reg;

@@ -62,6 +62,15 @@ pub enum BranchCond {
     Ltz,
     /// `bgez`: taken iff `rs >= 0` (signed).
     Gez,
+    /// `blt` (RV32-style two-register compare): taken iff `rs < rt`
+    /// (signed). No PISA opcode maps here.
+    Lt,
+    /// `bge`: taken iff `rs >= rt` (signed).
+    Ge,
+    /// `bltu`: taken iff `rs < rt` (unsigned).
+    Ltu,
+    /// `bgeu`: taken iff `rs >= rt` (unsigned).
+    Geu,
 }
 
 impl BranchCond {
@@ -84,6 +93,10 @@ impl BranchCond {
             BranchCond::Gtz => s > 0,
             BranchCond::Ltz => s < 0,
             BranchCond::Gez => s >= 0,
+            BranchCond::Lt => s < rt as i32,
+            BranchCond::Ge => s >= rt as i32,
+            BranchCond::Ltu => rs < rt,
+            BranchCond::Geu => rs >= rt,
         }
     }
 }

@@ -1,0 +1,274 @@
+//! Minimal RV32I instruction encoders: each function returns one
+//! instruction word. Stores take `(base, src, imm)` — base register
+//! first, matching the operand order the micro-op boundary reports.
+//!
+//! These are deliberately plain `u32` builders (no labels); the
+//! [`crate::workloads`] module layers a tiny label-fixup assembler on
+//! top for loops and calls.
+
+#![allow(clippy::too_many_arguments)]
+
+fn r_type(f7: u32, rs2: u8, rs1: u8, f3: u32, rd: u8) -> u32 {
+    (f7 << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (f3 << 12)
+        | ((rd as u32) << 7)
+        | 0x33
+}
+
+fn i_type(imm: i32, rs1: u8, f3: u32, rd: u8, opcode: u32) -> u32 {
+    (((imm as u32) & 0xfff) << 20) | ((rs1 as u32) << 15) | (f3 << 12) | ((rd as u32) << 7) | opcode
+}
+
+fn s_type(imm: i32, rs2: u8, rs1: u8, f3: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 5) & 0x7f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (f3 << 12)
+        | ((imm & 0x1f) << 7)
+        | 0x23
+}
+
+fn b_type(imm: i32, rs2: u8, rs1: u8, f3: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (f3 << 12)
+        | (((imm >> 1) & 0xf) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0x63
+}
+
+fn u_type(imm20: u32, rd: u8, opcode: u32) -> u32 {
+    ((imm20 & 0xf_ffff) << 12) | ((rd as u32) << 7) | opcode
+}
+
+fn j_type(imm: i32, rd: u8) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+        | ((rd as u32) << 7)
+        | 0x6f
+}
+
+/// `lui rd, imm20`
+pub fn lui(rd: u8, imm20: u32) -> u32 {
+    u_type(imm20, rd, 0x37)
+}
+
+/// `auipc rd, imm20`
+pub fn auipc(rd: u8, imm20: u32) -> u32 {
+    u_type(imm20, rd, 0x17)
+}
+
+/// `jal rd, offset` (byte offset from this instruction)
+pub fn jal(rd: u8, off: i32) -> u32 {
+    j_type(off, rd)
+}
+
+/// `jalr rd, imm(rs1)`
+pub fn jalr(rd: u8, rs1: u8, imm: i32) -> u32 {
+    i_type(imm, rs1, 0, rd, 0x67)
+}
+
+macro_rules! branch {
+    ($($(#[$doc:meta])* $name:ident => $f3:expr;)*) => {$(
+        $(#[$doc])*
+        pub fn $name(rs1: u8, rs2: u8, off: i32) -> u32 {
+            b_type(off, rs2, rs1, $f3)
+        }
+    )*};
+}
+branch! {
+    /// `beq rs1, rs2, offset`
+    beq => 0;
+    /// `bne rs1, rs2, offset`
+    bne => 1;
+    /// `blt rs1, rs2, offset`
+    blt => 4;
+    /// `bge rs1, rs2, offset`
+    bge => 5;
+    /// `bltu rs1, rs2, offset`
+    bltu => 6;
+    /// `bgeu rs1, rs2, offset`
+    bgeu => 7;
+}
+
+macro_rules! load {
+    ($($(#[$doc:meta])* $name:ident => $f3:expr;)*) => {$(
+        $(#[$doc])*
+        pub fn $name(rd: u8, base: u8, imm: i32) -> u32 {
+            i_type(imm, base, $f3, rd, 0x03)
+        }
+    )*};
+}
+load! {
+    /// `lb rd, imm(base)`
+    lb => 0;
+    /// `lh rd, imm(base)`
+    lh => 1;
+    /// `lw rd, imm(base)`
+    lw => 2;
+    /// `lbu rd, imm(base)`
+    lbu => 4;
+    /// `lhu rd, imm(base)`
+    lhu => 5;
+}
+
+macro_rules! store {
+    ($($(#[$doc:meta])* $name:ident => $f3:expr;)*) => {$(
+        $(#[$doc])*
+        pub fn $name(base: u8, src: u8, imm: i32) -> u32 {
+            s_type(imm, src, base, $f3)
+        }
+    )*};
+}
+store! {
+    /// `sb src, imm(base)`
+    sb => 0;
+    /// `sh src, imm(base)`
+    sh => 1;
+    /// `sw src, imm(base)`
+    sw => 2;
+}
+
+macro_rules! op_imm {
+    ($($(#[$doc:meta])* $name:ident => $f3:expr;)*) => {$(
+        $(#[$doc])*
+        pub fn $name(rd: u8, rs1: u8, imm: i32) -> u32 {
+            i_type(imm, rs1, $f3, rd, 0x13)
+        }
+    )*};
+}
+op_imm! {
+    /// `addi rd, rs1, imm`
+    addi => 0;
+    /// `slti rd, rs1, imm`
+    slti => 2;
+    /// `sltiu rd, rs1, imm`
+    sltiu => 3;
+    /// `xori rd, rs1, imm`
+    xori => 4;
+    /// `ori rd, rs1, imm`
+    ori => 6;
+    /// `andi rd, rs1, imm`
+    andi => 7;
+}
+
+/// `slli rd, rs1, shamt`
+pub fn slli(rd: u8, rs1: u8, shamt: u8) -> u32 {
+    i_type((shamt & 31) as i32, rs1, 1, rd, 0x13)
+}
+
+/// `srli rd, rs1, shamt`
+pub fn srli(rd: u8, rs1: u8, shamt: u8) -> u32 {
+    i_type((shamt & 31) as i32, rs1, 5, rd, 0x13)
+}
+
+/// `srai rd, rs1, shamt`
+pub fn srai(rd: u8, rs1: u8, shamt: u8) -> u32 {
+    i_type(0x400 | (shamt & 31) as i32, rs1, 5, rd, 0x13)
+}
+
+macro_rules! op_reg {
+    ($($(#[$doc:meta])* $name:ident => ($f3:expr, $f7:expr);)*) => {$(
+        $(#[$doc])*
+        pub fn $name(rd: u8, rs1: u8, rs2: u8) -> u32 {
+            r_type($f7, rs2, rs1, $f3, rd)
+        }
+    )*};
+}
+op_reg! {
+    /// `add rd, rs1, rs2`
+    add => (0, 0);
+    /// `sub rd, rs1, rs2`
+    sub => (0, 0x20);
+    /// `sll rd, rs1, rs2`
+    sll => (1, 0);
+    /// `slt rd, rs1, rs2`
+    slt => (2, 0);
+    /// `sltu rd, rs1, rs2`
+    sltu => (3, 0);
+    /// `xor rd, rs1, rs2`
+    xor => (4, 0);
+    /// `srl rd, rs1, rs2`
+    srl => (5, 0);
+    /// `sra rd, rs1, rs2`
+    sra => (5, 0x20);
+    /// `or rd, rs1, rs2`
+    or => (6, 0);
+    /// `and rd, rs1, rs2`
+    and => (7, 0);
+}
+
+/// `fence`
+pub fn fence() -> u32 {
+    0x0000_000f
+}
+
+/// `ecall`
+pub fn ecall() -> u32 {
+    0x0000_0073
+}
+
+/// `ebreak`
+pub fn ebreak() -> u32 {
+    0x0010_0073
+}
+
+/// `nop` (`addi x0, x0, 0`)
+pub fn nop() -> u32 {
+    addi(0, 0, 0)
+}
+
+/// Load a full 32-bit constant: one or two instructions
+/// (`lui` + `addi`), the standard `li` expansion.
+pub fn li(rd: u8, val: i32) -> Vec<u32> {
+    let v = val as u32;
+    let hi = v.wrapping_add(0x800) >> 12;
+    let lo = (v.wrapping_sub(hi << 12)) as i32;
+    if hi == 0 {
+        vec![addi(rd, 0, lo)]
+    } else if lo == 0 {
+        vec![lui(rd, hi)]
+    } else {
+        vec![lui(rd, hi), addi(rd, rd, (lo << 20) >> 20)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Rv32Machine, Rv32Program, SYS_EXIT};
+
+    #[test]
+    fn li_materializes_any_constant() {
+        for &val in &[
+            0i32,
+            1,
+            -1,
+            0x7ff,
+            0x800,
+            -0x800,
+            -0x801,
+            0x1234_5678,
+            i32::MIN,
+            i32::MAX,
+            -559038737, // 0xdeadbeef
+        ] {
+            let mut words = li(10, val);
+            words.extend(li(17, SYS_EXIT as i32));
+            words.push(ecall());
+            let p = Rv32Program::new(words);
+            let mut m = Rv32Machine::new(&p);
+            let code = m.run(10).unwrap();
+            assert_eq!(code, Some(val as u32), "li {val:#x}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # popk-rv32 — an RV32I frontend for the popk timing core
+//!
+//! The timing core consumes ISA-neutral [`popk_trace::Uop`] streams, so
+//! adding an ISA means exactly three things, all in this crate:
+//!
+//! 1. **A decoded instruction type** implementing
+//!    [`popk_trace::UopInsn`] — [`insn::Rv32Insn`] maps RV32I onto the
+//!    paper's scheduling vocabulary (carry-chained adds, independent
+//!    logic/equality slices, cross-slice shifts, late-result
+//!    set-less-than).
+//! 2. **A functional reference machine** — [`machine::Rv32Machine`]
+//!    executes programs, produces retired micro-ops, and replays
+//!    independently as the lockstep half of differential replay.
+//! 3. **Frontends** — [`frontend::Rv32Frontend`] (emulation) and
+//!    [`tracefile::TraceFileFrontend`] (external trace ingestion)
+//!    implement [`popk_trace::Frontend`], so
+//!    `popk_core::try_simulate_frontend` drives the full bit-sliced
+//!    pipeline over RV32I without the timing core knowing the ISA
+//!    changed.
+//!
+//! The [`workloads`] module provides the RV32 kernel suite used by the
+//! golden-hash and bench coverage; [`asm`] has the word encoders the
+//! kernels (and tests) are written in.
+//!
+//! ```
+//! use popk_rv32::{frontend::Rv32Frontend, workloads};
+//!
+//! let w = workloads::by_name("rv_sum").unwrap();
+//! let uops: Vec<_> = Rv32Frontend::new(&w.test_program(), 100)
+//!     .map(|r| r.unwrap())
+//!     .collect();
+//! assert_eq!(uops.len(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod frontend;
+pub mod insn;
+pub mod machine;
+pub mod tracefile;
+pub mod workloads;
+
+pub use frontend::{Rv32Checker, Rv32Frontend};
+pub use insn::{decode, Rv32Insn, Rv32Op, Rv32UopExt};
+pub use machine::{Rv32Machine, Rv32Program, Rv32Step};

@@ -1,0 +1,262 @@
+//! External trace-file ingestion: replay an RV32I instruction trace
+//! captured elsewhere (a real core, another simulator) through the
+//! timing model without any functional emulation.
+//!
+//! The format is deliberately trivial — one line per retired
+//! instruction, whitespace-separated lowercase hex:
+//!
+//! ```text
+//! # popk-rv32-trace v1
+//! # pc raw src0 src1 res0 res1 ea taken next_pc
+//! 00010000 00500513 00000000 00000000 00000005 00000000 00000000 0 00010004
+//! ```
+//!
+//! `#` lines are comments; the first non-comment content must follow a
+//! `# popk-rv32-trace v1` header line. [`TraceFileFrontend`] parses the
+//! whole text up front (so syntax errors are reported with line
+//! numbers, not mid-simulation) and then streams the records as any
+//! other [`Frontend`]. It has no [`CommitChecker`]: an external trace
+//! carries no replayable reference machine.
+
+use crate::insn::{decode, Rv32Insn};
+use popk_trace::{CommitChecker, EmuError, Frontend, Uop};
+use std::fmt;
+
+/// Header line every trace file must start with.
+pub const HEADER: &str = "# popk-rv32-trace v1";
+
+/// A syntax or decode error while parsing a trace file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The `# popk-rv32-trace v1` header line is missing.
+    MissingHeader,
+    /// A record line does not have exactly nine fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A field is not valid hex (or, for `taken`, not `0`/`1`).
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+    },
+    /// The `raw` field does not decode as RV32I.
+    Illegal {
+        /// 1-based line number.
+        line: usize,
+        /// The undecodable word.
+        raw: u32,
+    },
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::MissingHeader => {
+                write!(f, "missing `{HEADER}` header line")
+            }
+            TraceParseError::FieldCount { line, found } => {
+                write!(f, "line {line}: expected 9 fields, found {found}")
+            }
+            TraceParseError::BadField { line, field } => {
+                write!(f, "line {line}: bad `{field}` field")
+            }
+            TraceParseError::Illegal { line, raw } => {
+                write!(f, "line {line}: {raw:#010x} does not decode as RV32I")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// A [`Frontend`] replaying a parsed trace file.
+#[derive(Debug)]
+pub struct TraceFileFrontend {
+    uops: std::vec::IntoIter<Uop<Rv32Insn>>,
+}
+
+impl TraceFileFrontend {
+    /// Parse `text` (the whole trace file) into a replayable frontend.
+    pub fn parse(text: &str) -> Result<TraceFileFrontend, TraceParseError> {
+        let mut saw_header = false;
+        let mut uops = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line == HEADER {
+                saw_header = true;
+                continue;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if !saw_header {
+                return Err(TraceParseError::MissingHeader);
+            }
+            uops.push(parse_line(i + 1, line)?);
+        }
+        if !saw_header {
+            return Err(TraceParseError::MissingHeader);
+        }
+        Ok(TraceFileFrontend {
+            uops: uops.into_iter(),
+        })
+    }
+
+    /// Number of records not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.uops.len()
+    }
+}
+
+fn parse_line(line: usize, text: &str) -> Result<Uop<Rv32Insn>, TraceParseError> {
+    const FIELDS: [&str; 9] = [
+        "pc", "raw", "src0", "src1", "res0", "res1", "ea", "taken", "next_pc",
+    ];
+    let parts: Vec<&str> = text.split_whitespace().collect();
+    if parts.len() != FIELDS.len() {
+        return Err(TraceParseError::FieldCount {
+            line,
+            found: parts.len(),
+        });
+    }
+    let mut vals = [0u32; 9];
+    for (i, (part, field)) in parts.iter().zip(FIELDS).enumerate() {
+        vals[i] =
+            u32::from_str_radix(part, 16).map_err(|_| TraceParseError::BadField { line, field })?;
+    }
+    if vals[7] > 1 {
+        return Err(TraceParseError::BadField {
+            line,
+            field: "taken",
+        });
+    }
+    let insn = decode(vals[1]).ok_or(TraceParseError::Illegal { line, raw: vals[1] })?;
+    Ok(Uop {
+        pc: vals[0],
+        insn,
+        src_vals: [vals[2], vals[3]],
+        results: [vals[4], vals[5]],
+        ea: vals[6],
+        taken: vals[7] == 1,
+        next_pc: vals[8],
+    })
+}
+
+/// Render records in the trace-file format (inverse of
+/// [`TraceFileFrontend::parse`]).
+pub fn render<'a>(uops: impl IntoIterator<Item = &'a Uop<Rv32Insn>>) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    out.push_str("# pc raw src0 src1 res0 res1 ea taken next_pc\n");
+    for u in uops {
+        out.push_str(&format!(
+            "{:08x} {:08x} {:08x} {:08x} {:08x} {:08x} {:08x} {} {:08x}\n",
+            u.pc,
+            u.insn.raw,
+            u.src_vals[0],
+            u.src_vals[1],
+            u.results[0],
+            u.results[1],
+            u.ea,
+            u.taken as u32,
+            u.next_pc
+        ));
+    }
+    out
+}
+
+impl Iterator for TraceFileFrontend {
+    type Item = Result<Uop<Rv32Insn>, EmuError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.uops.next().map(Ok)
+    }
+}
+
+impl Frontend<Rv32Insn> for TraceFileFrontend {
+    fn isa(&self) -> &'static str {
+        "rv32"
+    }
+
+    /// External traces carry no reference machine to replay.
+    fn checker(&self) -> Option<Box<dyn CommitChecker<Rv32Insn>>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::Rv32Frontend;
+    use crate::workloads;
+
+    #[test]
+    fn round_trips_an_emulated_trace() {
+        let w = workloads::by_name("rv_sum").unwrap();
+        let prog = (w.build)(w.test_iters);
+        let recs: Vec<_> = Rv32Frontend::new(&prog, 5_000)
+            .map(|r| r.unwrap())
+            .collect();
+        assert!(!recs.is_empty());
+        let text = render(&recs);
+        let fe = TraceFileFrontend::parse(&text).unwrap();
+        assert_eq!(fe.remaining(), recs.len());
+        assert!(fe.checker().is_none());
+        let replayed: Vec<_> = fe.map(|r| r.unwrap()).collect();
+        for (a, b) in recs.iter().zip(&replayed) {
+            assert_eq!(a.pc, b.pc);
+            assert_eq!(a.insn, b.insn);
+            assert_eq!(a.src_vals, b.src_vals);
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.ea, b.ea);
+            assert_eq!(a.taken, b.taken);
+            assert_eq!(a.next_pc, b.next_pc);
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert_eq!(
+            TraceFileFrontend::parse("00010000 00000013\n").unwrap_err(),
+            TraceParseError::MissingHeader
+        );
+        assert_eq!(
+            TraceFileFrontend::parse("").unwrap_err(),
+            TraceParseError::MissingHeader
+        );
+        let short = format!("{HEADER}\n00010000 00000013\n");
+        assert_eq!(
+            TraceFileFrontend::parse(&short).unwrap_err(),
+            TraceParseError::FieldCount { line: 2, found: 2 }
+        );
+        let bad = format!("{HEADER}\nzz 0 0 0 0 0 0 0 0\n");
+        assert_eq!(
+            TraceFileFrontend::parse(&bad).unwrap_err(),
+            TraceParseError::BadField {
+                line: 2,
+                field: "pc"
+            }
+        );
+        let taken = format!("{HEADER}\n0 00000013 0 0 0 0 0 5 0\n");
+        assert_eq!(
+            TraceFileFrontend::parse(&taken).unwrap_err(),
+            TraceParseError::BadField {
+                line: 2,
+                field: "taken"
+            }
+        );
+        let illegal = format!("{HEADER}\n0 ffffffff 0 0 0 0 0 0 0\n");
+        assert_eq!(
+            TraceFileFrontend::parse(&illegal).unwrap_err(),
+            TraceParseError::Illegal {
+                line: 2,
+                raw: 0xffff_ffff
+            }
+        );
+    }
+}

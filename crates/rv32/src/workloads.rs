@@ -1,0 +1,405 @@
+//! RV32I workload kernels: the Table 1-style suite for the RV32
+//! frontend.
+//!
+//! Four kernels exercise the behaviours the paper's techniques are
+//! sensitive to, each with a pure-Rust reference model validated
+//! against the emulator (exit code = checksum):
+//!
+//! | name       | character |
+//! |------------|-----------|
+//! | rv_sum     | carry-chained arithmetic reduction, tight predictable loop |
+//! | rv_memcpy  | word copy + read-back: store→load disambiguation pressure |
+//! | rv_branchy | xorshift PRNG with data-dependent branches and set-less-than |
+//! | rv_chase   | linked-list pointer chasing through `jal`/`jalr` call/return |
+//!
+//! Like the PISA suite, every kernel takes an outer-iteration count;
+//! `full_iters` is sized so a multi-hundred-thousand-instruction budget
+//! never runs off the end of the program.
+
+use crate::asm;
+use crate::machine::Rv32Program;
+use std::collections::HashMap;
+
+/// A registered RV32 workload (mirrors `popk_workloads::Workload`).
+#[derive(Clone, Copy)]
+pub struct Rv32Workload {
+    /// Short name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Build the program with a given outer-iteration count.
+    pub build: fn(u32) -> Rv32Program,
+    /// Outer iterations that comfortably exceed a multi-hundred-thousand
+    /// instruction simulation budget.
+    pub full_iters: u32,
+    /// Outer iterations suitable for fast functional tests.
+    pub test_iters: u32,
+}
+
+impl Rv32Workload {
+    /// The program sized for timing runs.
+    pub fn program(&self) -> Rv32Program {
+        (self.build)(self.full_iters)
+    }
+
+    /// The program sized for quick functional tests.
+    pub fn test_program(&self) -> Rv32Program {
+        (self.build)(self.test_iters)
+    }
+}
+
+/// All RV32 workloads, in suite order.
+pub fn all() -> Vec<Rv32Workload> {
+    vec![
+        Rv32Workload {
+            name: "rv_sum",
+            description: "carry-chained arithmetic reduction",
+            build: sum,
+            full_iters: 40_000,
+            test_iters: 50,
+        },
+        Rv32Workload {
+            name: "rv_memcpy",
+            description: "word copy + read-back checksum",
+            build: memcpy,
+            full_iters: 400,
+            test_iters: 2,
+        },
+        Rv32Workload {
+            name: "rv_branchy",
+            description: "xorshift PRNG, data-dependent branches",
+            build: branchy,
+            full_iters: 16_000,
+            test_iters: 200,
+        },
+        Rv32Workload {
+            name: "rv_chase",
+            description: "pointer chase through call/return",
+            build: chase,
+            full_iters: 32_000,
+            test_iters: 300,
+        },
+    ]
+}
+
+/// Look up a workload by name.
+pub fn by_name(name: &str) -> Option<Rv32Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+// ---------------------------------------------------------------------
+// A tiny label-fixup assembler over the `asm` word encoders.
+
+type Fixup = (usize, &'static str, Box<dyn Fn(i32) -> u32>);
+
+#[derive(Default)]
+struct Asm {
+    words: Vec<u32>,
+    labels: HashMap<&'static str, usize>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    fn new() -> Asm {
+        Asm::default()
+    }
+
+    fn label(&mut self, name: &'static str) {
+        let prev = self.labels.insert(name, self.words.len());
+        assert!(prev.is_none(), "duplicate label {name}");
+    }
+
+    fn put(&mut self, w: u32) {
+        self.words.push(w);
+    }
+
+    fn put_all(&mut self, ws: Vec<u32>) {
+        self.words.extend(ws);
+    }
+
+    /// Emit one branch/jump whose byte offset to `name` is resolved at
+    /// `finish` (forward or backward) through `enc`.
+    fn patch(&mut self, name: &'static str, enc: impl Fn(i32) -> u32 + 'static) {
+        self.fixups.push((self.words.len(), name, Box::new(enc)));
+        self.words.push(0);
+    }
+
+    fn finish(mut self) -> Rv32Program {
+        for (idx, name, enc) in self.fixups {
+            let target = *self
+                .labels
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined label {name}"));
+            let off = (target as i64 - idx as i64) * 4;
+            self.words[idx] = enc(off as i32);
+        }
+        Rv32Program::new(self.words)
+    }
+}
+
+fn epilogue(a: &mut Asm) {
+    a.put_all(asm::li(17, crate::machine::SYS_EXIT as i32));
+    a.put(asm::ecall());
+}
+
+// Register conventions used below:
+//   a0=x10 checksum, t0=x5 counter, t1=x6 limit, t2=x7 scratch,
+//   t3=x28 t4=x29 t5=x30 t6=x31 scratch, s0=x8 s1=x9 s2=x18 s3=x19 bases.
+const A0: u8 = 10;
+const A1: u8 = 11;
+const RA: u8 = 1;
+const T0: u8 = 5;
+const T1: u8 = 6;
+const T2: u8 = 7;
+const T3: u8 = 28;
+const T4: u8 = 29;
+const T5: u8 = 30;
+const S0: u8 = 8;
+const S1: u8 = 9;
+const S2: u8 = 18;
+const S3: u8 = 19;
+
+const SRC_BASE: i32 = 0x0002_0000;
+const DST_BASE: i32 = 0x0003_0000;
+const HEAP: i32 = 0x0004_0000;
+
+/// `rv_sum`: sum += 3i with explicit carry propagation — every add in
+/// the hot loop is a full-width carry chain.
+fn sum(iters: u32) -> Rv32Program {
+    let mut a = Asm::new();
+    a.put_all(asm::li(A0, 0));
+    a.put_all(asm::li(T0, 0));
+    a.put_all(asm::li(T1, iters as i32));
+    a.label("loop");
+    a.put(asm::addi(T0, T0, 1));
+    a.put(asm::add(A1, T0, T0));
+    a.put(asm::add(A1, A1, T0));
+    a.put(asm::add(A0, A0, A1));
+    a.put(asm::sltu(T2, A0, A1)); // carry-out of the accumulate
+    a.put(asm::add(A0, A0, T2));
+    a.patch("loop", |off| asm::bne(T0, T1, off));
+    epilogue(&mut a);
+    a.finish()
+}
+
+/// Reference model for the `sum` kernel.
+pub fn sum_ref(iters: u32) -> u32 {
+    let mut acc = 0u32;
+    for i in 1..=iters {
+        let add = i.wrapping_mul(3);
+        acc = acc.wrapping_add(add);
+        acc = acc.wrapping_add((acc < add) as u32);
+    }
+    acc
+}
+
+/// `rv_memcpy`: initialize a 64-word source, then repeatedly copy it and
+/// checksum the destination — the read-back loads land close behind the
+/// copy stores, stressing store→load disambiguation.
+fn memcpy(iters: u32) -> Rv32Program {
+    const N: i32 = 64;
+    let mut a = Asm::new();
+    a.put_all(asm::li(S0, SRC_BASE));
+    a.put_all(asm::li(S1, DST_BASE));
+    a.put_all(asm::li(T1, N));
+    a.put_all(asm::li(T0, 0));
+    a.label("init"); // src[i] = ((i << 7) + i) ^ 0x2af
+    a.put(asm::slli(T3, T0, 7));
+    a.put(asm::add(T3, T3, T0));
+    a.put(asm::xori(T3, T3, 0x2af));
+    a.put(asm::slli(T2, T0, 2));
+    a.put(asm::add(T2, S0, T2));
+    a.put(asm::sw(T2, T3, 0));
+    a.put(asm::addi(T0, T0, 1));
+    a.patch("init", |off| asm::bne(T0, T1, off));
+    a.put_all(asm::li(A0, 0));
+    a.put_all(asm::li(S2, 0));
+    a.put_all(asm::li(S3, iters as i32));
+    a.label("outer");
+    a.put_all(asm::li(T0, 0));
+    a.label("copy");
+    a.put(asm::slli(T2, T0, 2));
+    a.put(asm::add(T4, S0, T2));
+    a.put(asm::lw(T3, T4, 0));
+    a.put(asm::add(T4, S1, T2));
+    a.put(asm::sw(T4, T3, 0));
+    a.put(asm::addi(T0, T0, 1));
+    a.patch("copy", |off| asm::bne(T0, T1, off));
+    a.put_all(asm::li(T0, 0));
+    a.label("sum");
+    a.put(asm::slli(T2, T0, 2));
+    a.put(asm::add(T4, S1, T2));
+    a.put(asm::lw(T3, T4, 0));
+    a.put(asm::add(A0, A0, T3));
+    a.put(asm::addi(T0, T0, 1));
+    a.patch("sum", |off| asm::bne(T0, T1, off));
+    a.put(asm::lw(T3, S0, 0)); // perturb src[0] so iterations differ
+    a.put(asm::addi(T3, T3, 1));
+    a.put(asm::sw(S0, T3, 0));
+    a.put(asm::addi(S2, S2, 1));
+    a.patch("outer", |off| asm::bne(S2, S3, off));
+    epilogue(&mut a);
+    a.finish()
+}
+
+/// Reference model for the `memcpy` kernel.
+pub fn memcpy_ref(iters: u32) -> u32 {
+    let mut src: Vec<u32> = (0..64u32)
+        .map(|i| ((i << 7).wrapping_add(i)) ^ 0x2af)
+        .collect();
+    let mut acc = 0u32;
+    for _ in 0..iters {
+        let dst = src.clone();
+        for w in &dst {
+            acc = acc.wrapping_add(*w);
+        }
+        src[0] = src[0].wrapping_add(1);
+    }
+    acc
+}
+
+/// `rv_branchy`: xorshift32 with a data-dependent branch on bit 0 and a
+/// `slti` on the low three bits — unpredictable control plus
+/// late-result set-less-than.
+fn branchy(iters: u32) -> Rv32Program {
+    let mut a = Asm::new();
+    a.put_all(asm::li(S0, 0x1234_5678));
+    a.put_all(asm::li(A0, 0));
+    a.put_all(asm::li(T0, 0));
+    a.put_all(asm::li(T1, iters as i32));
+    a.label("loop");
+    a.put(asm::slli(T2, S0, 13));
+    a.put(asm::xor(S0, S0, T2));
+    a.put(asm::srli(T2, S0, 17));
+    a.put(asm::xor(S0, S0, T2));
+    a.put(asm::slli(T2, S0, 5));
+    a.put(asm::xor(S0, S0, T2));
+    a.put(asm::andi(T3, S0, 1));
+    a.patch("skip", |off| asm::beq(T3, 0, off));
+    a.put(asm::addi(A0, A0, 1));
+    a.label("skip");
+    a.put(asm::andi(T3, S0, 7));
+    a.put(asm::slti(T4, T3, 3));
+    a.put(asm::add(A0, A0, T4));
+    a.put(asm::addi(T0, T0, 1));
+    a.patch("loop", |off| asm::bne(T0, T1, off));
+    epilogue(&mut a);
+    a.finish()
+}
+
+/// Reference model for the `branchy` kernel.
+pub fn branchy_ref(iters: u32) -> u32 {
+    let mut s = 0x1234_5678u32;
+    let mut acc = 0u32;
+    for _ in 0..iters {
+        s ^= s << 13;
+        s ^= s >> 17;
+        s ^= s << 5;
+        acc = acc.wrapping_add(s & 1);
+        acc = acc.wrapping_add(((s & 7) < 3) as u32);
+    }
+    acc
+}
+
+/// `rv_chase`: build a stride-permuted 64-node linked list, then chase
+/// it through a leaf call per node (`jal`/`jalr` exercise the RAS, the
+/// `lw` of `next` is a pointer-dependent load).
+fn chase(iters: u32) -> Rv32Program {
+    const N: i32 = 64;
+    const STRIDE: i32 = 23; // coprime with N: a full-cycle permutation
+    let mut a = Asm::new();
+    a.put_all(asm::li(S0, HEAP));
+    a.put_all(asm::li(T1, N));
+    a.put_all(asm::li(T0, 0));
+    a.label("build"); // node[i] = { next: &node[(i+23)%64], val: i^0x55 }
+    a.put(asm::addi(T4, T0, STRIDE));
+    a.patch("nomod", |off| asm::blt(T4, T1, off));
+    a.put(asm::sub(T4, T4, T1));
+    a.label("nomod");
+    a.put(asm::slli(T5, T4, 3));
+    a.put(asm::add(T5, S0, T5));
+    a.put(asm::slli(T2, T0, 3));
+    a.put(asm::add(T3, S0, T2));
+    a.put(asm::sw(T3, T5, 0));
+    a.put(asm::xori(T2, T0, 0x55));
+    a.put(asm::sw(T3, T2, 4));
+    a.put(asm::addi(T0, T0, 1));
+    a.patch("build", |off| asm::bne(T0, T1, off));
+    a.put_all(asm::li(A0, 0));
+    a.put(asm::addi(S1, S0, 0));
+    a.put_all(asm::li(T0, 0));
+    a.put_all(asm::li(S3, iters as i32));
+    a.label("chase");
+    a.patch("visit", |off| asm::jal(RA, off));
+    a.put(asm::addi(T0, T0, 1));
+    a.patch("chase", |off| asm::bne(T0, S3, off));
+    a.patch("exit", |off| asm::jal(0, off));
+    a.label("visit");
+    a.put(asm::lw(T2, S1, 4));
+    a.put(asm::add(A0, A0, T2));
+    a.put(asm::lw(S1, S1, 0));
+    a.put(asm::jalr(0, RA, 0));
+    a.label("exit");
+    epilogue(&mut a);
+    a.finish()
+}
+
+/// Reference model for the `chase` kernel.
+pub fn chase_ref(iters: u32) -> u32 {
+    let mut acc = 0u32;
+    let mut node = 0u32;
+    for _ in 0..iters {
+        acc = acc.wrapping_add(node ^ 0x55);
+        node = (node + 23) % 64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Rv32Machine;
+
+    fn run(p: &Rv32Program) -> u32 {
+        let mut m = Rv32Machine::new(p);
+        m.run(50_000_000)
+            .expect("workload must not fault")
+            .expect("workload must exit")
+    }
+
+    #[test]
+    fn kernels_match_their_reference_models() {
+        for w in all() {
+            let reference = match w.name {
+                "rv_sum" => sum_ref(w.test_iters),
+                "rv_memcpy" => memcpy_ref(w.test_iters),
+                "rv_branchy" => branchy_ref(w.test_iters),
+                "rv_chase" => chase_ref(w.test_iters),
+                other => panic!("unknown workload {other}"),
+            };
+            assert_eq!(run(&w.test_program()), reference, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn full_programs_exceed_a_200k_budget() {
+        for w in all() {
+            let mut m = Rv32Machine::new(&w.program());
+            let mut steps = 0u64;
+            while steps <= 200_000 {
+                match m.step_record().expect("no fault") {
+                    crate::machine::Rv32Step::Retired(_) => steps += 1,
+                    crate::machine::Rv32Step::Exited(_) => break,
+                }
+            }
+            assert!(steps > 200_000, "{} retired only {steps}", w.name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert_eq!(all().len(), 4);
+        assert!(by_name("rv_chase").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -16,26 +16,18 @@
 //! diff before.txt after.txt
 //! ```
 //!
+//! The PISA suite (11 workloads × 12 configs) prints first, then the
+//! RV32 suite (4 workloads × the same 12 configs) through the same
+//! digest — both frontends feed the identical timing core, so one table
+//! pins both.
+//!
 //! An optional instruction budget overrides the 40 K default.
 
-use popk::core::{MachineConfig, Optimizations, Simulator, VecTrace};
+use popk::core::hash;
+use popk::core::{IsaKind, MachineConfig, Optimizations, Simulator, VecTrace};
+use popk::rv32::{Rv32Frontend, Rv32Insn, Rv32Program};
 use popk::workloads::all;
 use std::fmt::Write as _;
-
-/// FNV-1a 64-bit over a byte stream.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
-        }
-    }
-}
 
 /// The configurations under test: the headline machines, the cumulative
 /// optimization ladder, the extended configs, and wrong-path modeling.
@@ -76,6 +68,27 @@ fn configs() -> Vec<(String, MachineConfig)> {
     v
 }
 
+/// Digest one traced run: the event stream, then stats + registry —
+/// through the historical golden-table stream (see
+/// [`hash::GOLDEN_PRIME`]), so the pinned tables stay valid.
+fn digest<I: popk::trace::UopInsn>(sim: &Simulator<VecTrace<I>, I>) -> u64 {
+    let mut h = hash::FNV_OFFSET;
+    let mut buf = String::new();
+    for (cycle, ev) in &sim.sink().events {
+        buf.clear();
+        let _ = write!(buf, "{cycle} {ev:?}");
+        h = hash::golden64_from(h, buf.as_bytes());
+    }
+    buf.clear();
+    let _ = write!(
+        buf,
+        "{:?} {:?}",
+        sim.stats(),
+        sim.registry().to_json().to_pretty(0)
+    );
+    hash::golden64_from(h, buf.as_bytes())
+}
+
 fn main() {
     let limit: u64 = std::env::args()
         .nth(1)
@@ -100,20 +113,47 @@ fn main() {
                 let (label, cfg) = &cfgs[c];
                 let p = workloads[w].program();
                 let mut sim = Simulator::with_sink(cfg, VecTrace::new());
-                let stats = sim.run(&p, limit);
-                let registry = sim.registry();
-                let mut h = Fnv::new();
-                let mut buf = String::new();
-                for (cycle, ev) in &sim.sink().events {
-                    buf.clear();
-                    let _ = write!(buf, "{cycle} {ev:?}");
-                    h.update(buf.as_bytes());
-                }
-                buf.clear();
-                let _ = write!(buf, "{stats:?} {:?}", registry.to_json().to_pretty(0));
-                h.update(buf.as_bytes());
+                sim.run(&p, limit);
+                *lines[i].lock().unwrap() = format!(
+                    "{:<8} {:<10} {:016x}",
+                    workloads[w].name,
+                    label,
+                    digest(&sim)
+                );
+            });
+        }
+    });
+    for l in lines {
+        println!("{}", l.into_inner().unwrap());
+    }
+
+    // The RV32 suite, same configs, same digest, second table.
+    let rv: Vec<(&'static str, Rv32Program)> = popk::rv32::workloads::all()
+        .into_iter()
+        .map(|w| (w.name, w.program()))
+        .collect();
+    let jobs: Vec<(usize, usize)> = (0..rv.len())
+        .flat_map(|w| (0..cfgs.len()).map(move |c| (w, c)))
+        .collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let lines: Vec<std::sync::Mutex<String>> = jobs
+        .iter()
+        .map(|_| std::sync::Mutex::new(String::new()))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(w, c)) = jobs.get(i) else { break };
+                let (label, cfg) = &cfgs[c];
+                let mut cfg = *cfg;
+                cfg.isa = IsaKind::Rv32;
+                let mut sim: Simulator<VecTrace<Rv32Insn>, Rv32Insn> =
+                    Simulator::with_sink(&cfg, VecTrace::new());
+                sim.try_run_frontend(Rv32Frontend::new(&rv[w].1, limit))
+                    .expect("rv32 golden run must not fault");
                 *lines[i].lock().unwrap() =
-                    format!("{:<8} {:<10} {:016x}", workloads[w].name, label, h.0);
+                    format!("{:<8} {:<10} {:016x}", rv[w].0, label, digest(&sim));
             });
         }
     });

@@ -10,7 +10,9 @@
 //! This facade crate re-exports the workspace's subsystems:
 //!
 //! * [`isa`] — the PISA-like instruction set, assembler and builder.
-//! * [`emu`] — functional emulator and dynamic traces.
+//! * [`trace`] — the ISA-neutral micro-op boundary ([`trace::Uop`]).
+//! * [`emu`] — functional emulator and dynamic traces (the PISA frontend).
+//! * [`rv32`] — the RV32I frontend: decoder, reference machine, workloads.
 //! * [`workloads`] — eleven SPECint stand-in kernels (Table 1).
 //! * [`bpred`] — gshare/bimodal predictors, BTB, RAS.
 //! * [`cache`] — set-associative caches with partial tag matching.
@@ -27,5 +29,7 @@ pub use popk_characterize as characterize;
 pub use popk_core as core;
 pub use popk_emu as emu;
 pub use popk_isa as isa;
+pub use popk_rv32 as rv32;
 pub use popk_slice as slice;
+pub use popk_trace as trace;
 pub use popk_workloads as workloads;

@@ -1,0 +1,239 @@
+//! RV32I through the full timing core: pinned golden stats digests,
+//! differential-replay lockstep on every workload, fault-injection
+//! cross-checks, and a property test replaying LCG-generated random
+//! programs against the reference machine.
+//!
+//! The PISA equivalents live in `examples/golden_hashes.rs` (table) and
+//! `tests/fault_injection.rs` (oracle contract); this file is the proof
+//! that the ISA-neutral micro-op boundary carries a second ISA end to
+//! end — same pipeline, same policies, same oracle machinery — with
+//! nothing ISA-specific leaking into the timing core.
+
+use popk::core::{
+    hash, try_simulate_frontend, FaultKinds, FaultPlan, IsaKind, MachineConfig, NullTrace,
+    Optimizations, SimError, Simulator,
+};
+use popk::rv32::{asm, workloads, Rv32Frontend, Rv32Insn, Rv32Machine, Rv32Program};
+use std::fmt::Write as _;
+
+const LIMIT: u64 = 20_000;
+
+/// The configurations pinned by the golden table below.
+fn golden_configs() -> Vec<(&'static str, MachineConfig)> {
+    let mut v = vec![
+        ("simple4", MachineConfig::simple4()),
+        ("slice2-5", MachineConfig::slice2_full()),
+        ("ext4", MachineConfig::slice4(Optimizations::extended())),
+    ];
+    for (_, cfg) in &mut v {
+        cfg.isa = IsaKind::Rv32;
+    }
+    v
+}
+
+/// Golden `SimStats` digests for the RV32 suite: regenerate by running
+/// this test and copying the `actual` side of the failure, then eyeball
+/// the diff like any golden-hash change (see DESIGN.md).
+const GOLDEN_STATS: &str = "\
+rv_sum     simple4    2766a42518e9b6e7
+rv_sum     slice2-5   8dfc6f0f39a8c98f
+rv_sum     ext4       4067984fb93047db
+rv_memcpy  simple4    de9aef494fabef77
+rv_memcpy  slice2-5   e014cbecffaa80fe
+rv_memcpy  ext4       c145fd19cc2e638f
+rv_branchy simple4    71afb1ede31fa6b0
+rv_branchy slice2-5   e6501904a4e96853
+rv_branchy ext4       401b532843ae2597
+rv_chase   simple4    b43648580b74a588
+rv_chase   slice2-5   e1c9a03618032344
+rv_chase   ext4       6af8b6eca0b8f463
+";
+
+#[test]
+fn golden_stats_digests_are_pinned() {
+    let mut table = String::new();
+    for w in workloads::all() {
+        let p = w.program();
+        for (label, cfg) in golden_configs() {
+            let stats = try_simulate_frontend(&cfg, Rv32Frontend::new(&p, LIMIT))
+                .unwrap_or_else(|e| panic!("{} {label}: {e}", w.name));
+            assert!(stats.committed > 0, "{} {label}", w.name);
+            let digest = hash::fnv1a_64(format!("{stats:?}").as_bytes());
+            let _ = writeln!(table, "{:<10} {:<10} {digest:016x}", w.name, label);
+        }
+    }
+    assert_eq!(table, GOLDEN_STATS, "golden RV32 stats digests moved");
+}
+
+#[test]
+fn differential_replay_locksteps_every_workload() {
+    for w in workloads::all() {
+        let p = w.program();
+        for mut cfg in [
+            MachineConfig::ideal(),
+            MachineConfig::simple2(),
+            MachineConfig::slice2_full(),
+            MachineConfig::slice4_full(),
+        ] {
+            cfg.isa = IsaKind::Rv32;
+            cfg.oracle = true;
+            let mut sim: Simulator<NullTrace, Rv32Insn> = Simulator::with_sink(&cfg, NullTrace);
+            let stats = sim
+                .try_run_frontend(Rv32Frontend::new(&p, LIMIT))
+                .unwrap_or_else(|e| panic!("{}: replay diverged: {e}", w.name));
+            assert!(stats.committed > 0, "{}", w.name);
+            assert_eq!(
+                sim.oracle_checks(),
+                stats.committed,
+                "{}: every commit must be verified",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn commit_corruption_is_flagged_by_the_rv32_oracle() {
+    let p = workloads::by_name("rv_branchy").unwrap().program();
+    let mut cfg = MachineConfig::slice2_full();
+    cfg.isa = IsaKind::Rv32;
+    cfg.oracle = true;
+    for seed in [0x11, 0x2222, 0x333333] {
+        let kinds = FaultKinds {
+            commit_record: true,
+            ..FaultKinds::default()
+        };
+        let mut sim: Simulator<NullTrace, Rv32Insn> = Simulator::with_sink(&cfg, NullTrace);
+        sim.set_fault_plan(FaultPlan::new(seed, 25, kinds));
+        let err = sim
+            .try_run_frontend(Rv32Frontend::new(&p, LIMIT))
+            .expect_err("commit corruption must not pass the oracle");
+        assert!(
+            matches!(err, SimError::OracleDivergence { .. }),
+            "seed {seed:#x}: got {err}"
+        );
+        assert!(sim.fault_log().commit_record > 0, "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn recoverable_faults_stay_architecturally_clean_on_rv32() {
+    let p = workloads::by_name("rv_memcpy").unwrap().program();
+    let mut cfg = MachineConfig::slice2_full();
+    cfg.isa = IsaKind::Rv32;
+    cfg.oracle = true;
+    let mut sim: Simulator<NullTrace, Rv32Insn> = Simulator::with_sink(&cfg, NullTrace);
+    sim.set_fault_plan(FaultPlan::new(0x9e37, 25, FaultKinds::recoverable()));
+    let stats = sim
+        .try_run_frontend(Rv32Frontend::new(&p, LIMIT))
+        .expect("recoverable faults perturb timing only");
+    assert!(stats.committed > 0);
+    assert!(sim.fault_log().total() > 0, "nothing was injected");
+}
+
+// ---------------------------------------------------------------------
+// Random-program differential replay.
+
+/// Deterministic 64-bit LCG (no external PRNG crates, no wall clock).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const HEAP: i32 = 0x0002_0000;
+
+/// A random straight-line-plus-skips RV32I program: ALU ops, loads and
+/// stores against a fixed heap window, and forward `beq`/`bne` skips —
+/// every generated program terminates and exits with a data-dependent
+/// code in `a0`.
+fn random_program(rng: &mut Lcg) -> Rv32Program {
+    // x8 is the heap base; results go to a rotating set that excludes
+    // x8 and x17 (the exit service register).
+    const DSTS: [u8; 10] = [5, 6, 7, 9, 10, 11, 28, 29, 30, 31];
+    const SRCS: [u8; 12] = [0, 5, 6, 7, 8, 9, 10, 11, 28, 29, 30, 31];
+    let mut words = asm::li(8, HEAP);
+    let len = 40 + rng.below(80) as usize;
+    while words.len() < len {
+        let rd = DSTS[rng.below(DSTS.len() as u64) as usize];
+        let rs1 = SRCS[rng.below(SRCS.len() as u64) as usize];
+        let rs2 = SRCS[rng.below(SRCS.len() as u64) as usize];
+        let imm = (rng.below(4096) as i32) - 2048;
+        let off = (rng.below(64) * 4) as i32;
+        let sh = rng.below(32) as u8;
+        match rng.below(16) {
+            0 => words.push(asm::addi(rd, rs1, imm)),
+            1 => words.push(asm::add(rd, rs1, rs2)),
+            2 => words.push(asm::sub(rd, rs1, rs2)),
+            3 => words.push(asm::xor(rd, rs1, rs2)),
+            4 => words.push(asm::or(rd, rs1, rs2)),
+            5 => words.push(asm::and(rd, rs1, rs2)),
+            6 => words.push(asm::slt(rd, rs1, rs2)),
+            7 => words.push(asm::sltu(rd, rs1, rs2)),
+            8 => words.push(asm::slli(rd, rs1, sh)),
+            9 => words.push(asm::srli(rd, rs1, sh)),
+            10 => words.push(asm::srai(rd, rs1, sh)),
+            11 => words.push(asm::lui(rd, rng.next() as u32 & 0xf_ffff)),
+            12 => words.push(asm::sw(8, rs1, off)),
+            13 => words.push(asm::lw(rd, 8, off)),
+            14 => {
+                // Forward skip over exactly one filler instruction:
+                // data-dependent control without loops.
+                let branch = if rng.below(2) == 0 {
+                    asm::beq(rs1, rs2, 8)
+                } else {
+                    asm::bne(rs1, rs2, 8)
+                };
+                words.push(branch);
+                words.push(asm::addi(rd, rd, 1));
+            }
+            _ => words.push(asm::sltiu(rd, rs1, imm)),
+        }
+    }
+    words.extend(asm::li(17, 93));
+    words.push(asm::ecall());
+    Rv32Program::new(words)
+}
+
+#[test]
+fn random_programs_replay_differentially() {
+    let mut rng = Lcg(0x5eed_cafe);
+    let mut cfg = MachineConfig::slice2_full();
+    cfg.isa = IsaKind::Rv32;
+    cfg.oracle = true;
+    let mut alt = MachineConfig::simple2();
+    alt.isa = IsaKind::Rv32;
+    alt.oracle = true;
+    for case in 0..40 {
+        let p = random_program(&mut rng);
+        // Reference: the functional machine runs it to completion.
+        let mut m = Rv32Machine::new(&p);
+        let code = m
+            .run(10_000)
+            .unwrap_or_else(|e| panic!("case {case}: reference faulted: {e}"))
+            .unwrap_or_else(|| panic!("case {case}: reference did not exit"));
+        let retired = Rv32Frontend::new(&p, 10_000).count() as u64;
+        assert!(retired > 0, "case {case}");
+        // Timing core + lockstep oracle on two machine shapes: commit
+        // stream must match the reference machine instruction for
+        // instruction, and everything the reference retired commits.
+        for cfg in [&cfg, &alt] {
+            let stats = try_simulate_frontend(cfg, Rv32Frontend::new(&p, 10_000))
+                .unwrap_or_else(|e| panic!("case {case}: diverged: {e}"));
+            assert_eq!(stats.committed, retired, "case {case}");
+        }
+        // And the exit code is reproducible.
+        let mut m2 = Rv32Machine::new(&p);
+        assert_eq!(m2.run(10_000).unwrap(), Some(code), "case {case}");
+    }
+}
