@@ -18,8 +18,8 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// Parsed command line shared by the report binaries: an optional
 /// instruction budget (any bare integer argument, `_` separators allowed),
 /// the `--json` artifact toggle, a `--threads N` worker-count override
-/// for the sweep executor, and the `--oracle` lockstep toggle — accepted
-/// in any order.
+/// for the sweep executor, the `--oracle` lockstep toggle, and the
+/// `--resume` crash-recovery toggle — accepted in any order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Cli {
     /// Dynamic-instruction budget per simulation.
@@ -33,6 +33,11 @@ pub struct Cli {
     /// simulation, reporting any divergence as a sweep failure
     /// (binaries honouring this flag exit nonzero on divergence).
     pub oracle: bool,
+    /// Resume an interrupted sweep from its journal (`.popk/`): completed
+    /// rows are replayed from the journal, the interrupted row restarts
+    /// from its last checkpoint. Without the flag any stale journal for
+    /// the sweep is discarded and the run starts clean.
+    pub resume: bool,
 }
 
 impl Cli {
@@ -48,6 +53,7 @@ impl Cli {
             json: false,
             threads: crate::pool::default_threads(),
             oracle: false,
+            resume: false,
         };
         let parse_count = |a: &str| a.replace('_', "").parse::<u64>().ok();
         let mut args = args.into_iter();
@@ -56,6 +62,8 @@ impl Cli {
                 cli.json = true;
             } else if a == "--oracle" {
                 cli.oracle = true;
+            } else if a == "--resume" {
+                cli.resume = true;
             } else if a == "--threads" {
                 // Consume the value token so it is not taken as a limit.
                 if let Some(n) = args.next().as_deref().and_then(parse_count) {
@@ -224,7 +232,16 @@ mod tests {
         assert_eq!(c.limit, crate::DEFAULT_LIMIT);
         assert!(!c.json);
         assert!(!c.oracle);
+        assert!(!c.resume);
         assert_eq!(c.threads, crate::pool::default_threads());
+    }
+
+    #[test]
+    fn cli_resume_flag() {
+        let c = cli(&["--resume", "25000", "--json"]);
+        assert!(c.resume);
+        assert!(c.json);
+        assert_eq!(c.limit, 25_000);
     }
 
     #[test]

@@ -11,18 +11,25 @@
 //! * H: producer→consumer dependence distances (the §2 motivation).
 //!
 //! Usage: `cargo run --release -p popk-bench --bin ablations
-//! [instr_budget] [--json] [--threads N]`
+//! [instr_budget] [--json] [--threads N] [--resume]`
+//!
+//! The sweep is journaled under `.popk/` at section granularity: with
+//! `--resume` a run killed mid-sweep replays its finished sections from
+//! the journal and re-runs only the interrupted one.
 
-use popk_bench::{ablations_report, Cli, HostMeter};
+use popk_bench::{ablations_report_journaled, Cli, HostMeter, SweepJournal};
+use std::path::Path;
 
 fn main() {
     let cli = Cli::parse();
+    let journal = SweepJournal::open(Path::new(".popk"), "ablations", cli.limit, "", cli.resume);
     let meter = HostMeter::start(cli.threads);
-    let mut rep = ablations_report(cli.limit, cli.threads);
+    let mut rep = ablations_report_journaled(cli.limit, cli.threads, Some(&journal));
     print!("{}", rep.text);
     println!("{}", meter.summary());
     if cli.json {
         rep.artifact.set("host", meter.host_json());
         rep.artifact.emit();
     }
+    journal.finish();
 }

@@ -5,14 +5,20 @@
 //! §7.1 way-mispredict statistic.
 //!
 //! Usage: `cargo run --release -p popk-bench --bin fig11
-//! [instr_budget] [--json] [--threads N]`
+//! [instr_budget] [--json] [--threads N] [--resume]`
+//!
+//! The sweep is journaled under `.popk/`: with `--resume` a run killed
+//! mid-sweep replays its completed rows from the journal and restarts
+//! the interrupted row from its last checkpoint.
 
-use popk_bench::{fig11_report, Cli, HostMeter};
+use popk_bench::{fig11_report_journaled, Cli, HostMeter, SweepJournal};
+use std::path::Path;
 
 fn main() {
     let cli = Cli::parse();
+    let journal = SweepJournal::open(Path::new(".popk"), "fig11", cli.limit, "", cli.resume);
     let meter = HostMeter::start(cli.threads);
-    let mut rep = fig11_report(cli.limit, cli.threads);
+    let mut rep = fig11_report_journaled(cli.limit, cli.threads, Some(&journal));
     print!("{}", rep.text);
     println!("{}", meter.summary());
     if cli.json {
@@ -22,4 +28,5 @@ fn main() {
     if rep.failures > 0 {
         std::process::exit(1);
     }
+    journal.finish();
 }

@@ -2,21 +2,27 @@
 //!
 //! Daemon:
 //! `cargo run --release -p popk-bench --bin serve -- [--addr A] [--workers N]
-//! [--queue N] [--cache DIR]`
+//! [--queue N] [--cache DIR] [--cache-cap BYTES] [--no-recover]`
 //! binds (default `127.0.0.1:4650`), prints `listening on ADDR`, and
-//! serves until a client sends `{"op":"shutdown"}`.
+//! serves until a client sends `{"op":"shutdown"}`. On startup it
+//! replays `serve.journal` under the cache dir and finishes any jobs
+//! interrupted by a previous crash (`--no-recover` skips this);
+//! `--cache-cap` bounds the artifact cache, evicting LRU entries.
 //!
 //! Client:
 //! `serve client <addr> ping`
 //! `serve client <addr> submit <workload> [config] [limit] [--seed S] [--events]`
 //! `serve client <addr> compare <workload> <cfgA> <cfgB> [limit]`
 //! `serve client <addr> stats`
-//! `serve client <addr> shutdown`
+//! `serve client <addr> shutdown [--drain]`
 //!
-//! Every response line is printed as received; the process exits
-//! nonzero if any response is an `error`.
+//! The client retries transient failures (refused connects while the
+//! daemon is still binding, `backpressure` rejections from a full
+//! queue) with capped exponential backoff before giving up. Every
+//! response line is printed as received; the process exits nonzero if
+//! any response is an `error`.
 
-use popk_bench::{Client, ServeConfig, Server};
+use popk_bench::{Client, ClientError, RetryPolicy, ServeConfig, Server};
 use popk_core::Json;
 
 fn main() {
@@ -45,6 +51,10 @@ fn run_daemon(args: &[String]) -> i32 {
                 cfg.queue_capacity = value("--queue").parse().unwrap_or(cfg.queue_capacity);
             }
             "--cache" => cfg.cache_dir = value("--cache").into(),
+            "--cache-cap" => {
+                cfg.cache_max_bytes = value("--cache-cap").replace('_', "").parse().ok();
+            }
+            "--no-recover" => cfg.recover = false,
             other => {
                 eprintln!("unknown argument `{other}`");
                 return 2;
@@ -72,7 +82,8 @@ fn run_client(args: &[String]) -> i32 {
         eprintln!("usage: serve client <addr> ping|submit|compare|stats|shutdown …");
         return 2;
     };
-    let mut client = match Client::connect(addr) {
+    let retry = RetryPolicy::default();
+    let mut client = match Client::connect_retry(addr, &retry) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: connect {addr}: {e}");
@@ -81,12 +92,20 @@ fn run_client(args: &[String]) -> i32 {
     };
     let rest = &args[2..];
     let outcome = match op.as_str() {
-        "ping" | "stats" | "shutdown" => {
+        "ping" | "stats" => {
             let mut req = Json::object();
             req.set("op", op.as_str().into());
             one_shot(&mut client, &req)
         }
-        "submit" => client_submit(&mut client, rest),
+        "shutdown" => {
+            let mut req = Json::object();
+            req.set("op", "shutdown".into());
+            if rest.iter().any(|a| a == "--drain") {
+                req.set("drain", Json::from(true));
+            }
+            one_shot(&mut client, &req)
+        }
+        "submit" => client_submit(&mut client, rest, &retry),
         "compare" => client_compare(&mut client, rest),
         other => {
             eprintln!("unknown client op `{other}`");
@@ -103,7 +122,7 @@ fn run_client(args: &[String]) -> i32 {
 }
 
 /// Send one request, print one response. Returns whether it errored.
-fn one_shot(client: &mut Client, req: &Json) -> std::io::Result<bool> {
+fn one_shot(client: &mut Client, req: &Json) -> Result<bool, ClientError> {
     let resp = client.request(req)?;
     println!("{resp}");
     Ok(resp.get("type").and_then(Json::as_str) == Some("error"))
@@ -136,15 +155,19 @@ fn job_spec(args: &[String]) -> (Json, bool) {
     (spec, events)
 }
 
-fn client_submit(client: &mut Client, args: &[String]) -> std::io::Result<bool> {
+fn client_submit(
+    client: &mut Client,
+    args: &[String],
+    retry: &RetryPolicy,
+) -> Result<bool, ClientError> {
     let (mut req, events) = job_spec(args);
     req.set("op", "submit".into());
     if events {
         req.set("events", Json::from(true));
     }
-    client.send(&req)?;
-    // Stream accepted/progress lines until the terminal response.
-    let (last, before) = client.recv_until(&["result"])?;
+    // Stream accepted/progress lines until the terminal response,
+    // retrying backpressure rejections with backoff.
+    let (last, before) = client.submit_retry(&req, retry)?;
     for line in &before {
         println!("{line}");
     }
@@ -152,7 +175,7 @@ fn client_submit(client: &mut Client, args: &[String]) -> std::io::Result<bool> 
     Ok(last.get("type").and_then(Json::as_str) == Some("error"))
 }
 
-fn client_compare(client: &mut Client, args: &[String]) -> std::io::Result<bool> {
+fn client_compare(client: &mut Client, args: &[String]) -> Result<bool, ClientError> {
     let (Some(workload), Some(cfg_a), Some(cfg_b)) = (args.first(), args.get(1), args.get(2))
     else {
         eprintln!("usage: serve client <addr> compare <workload> <cfgA> <cfgB> [limit]");

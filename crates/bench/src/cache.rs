@@ -88,14 +88,29 @@ pub struct ArtifactCache {
     /// Distinguishes concurrent writers' temp files within one process
     /// (the pid distinguishes processes).
     counter: AtomicU64,
+    /// Size cap in bytes; `None` is unbounded. See
+    /// [`ArtifactCache::with_capacity`].
+    max_bytes: Option<u64>,
 }
 
 impl ArtifactCache {
-    /// Open (creating nothing yet) a cache rooted at `root`.
+    /// Open (creating nothing yet) an unbounded cache rooted at `root`.
     pub fn new(root: impl Into<PathBuf>) -> ArtifactCache {
+        ArtifactCache::with_capacity(root, None)
+    }
+
+    /// Open a cache with a size cap. After every store that leaves the
+    /// cache over `max_bytes`, entries are evicted least-recently-used
+    /// first (by file mtime — [`lookup`](ArtifactCache::lookup) touches
+    /// entries it serves) until the total is back under the cap. The
+    /// just-stored entry is never evicted, so a cap smaller than one
+    /// entry still serves that entry. Undeletable files are skipped:
+    /// eviction degrades to best-effort, never to an error.
+    pub fn with_capacity(root: impl Into<PathBuf>, max_bytes: Option<u64>) -> ArtifactCache {
         ArtifactCache {
             root: root.into(),
             counter: AtomicU64::new(0),
+            max_bytes,
         }
     }
 
@@ -115,7 +130,8 @@ impl ArtifactCache {
     /// collision) — is a miss, never an error: the caller re-simulates
     /// and overwrites.
     pub fn lookup(&self, key: &JobKey) -> Option<String> {
-        let body = std::fs::read_to_string(self.path_for(&key.digest())).ok()?;
+        let path = self.path_for(&key.digest());
+        let body = std::fs::read_to_string(&path).ok()?;
         let parsed = verify_body(&body)?;
         let field_u64 = |k: &str| parsed.get(k).and_then(Json::as_u64);
         let matches = parsed.get("schema_version").and_then(Json::as_u64)
@@ -125,6 +141,9 @@ impl ArtifactCache {
                 == Some(format!("{:016x}", key.config_hash).as_str())
             && field_u64("seed") == Some(key.seed)
             && field_u64("instruction_limit") == Some(key.limit);
+        if matches && self.max_bytes.is_some() {
+            touch(&path);
+        }
         matches.then_some(body)
     }
 
@@ -143,7 +162,54 @@ impl ArtifactCache {
         ));
         std::fs::write(&tmp, body)?;
         std::fs::rename(&tmp, &path)?;
+        if let Some(cap) = self.max_bytes {
+            self.evict_to_cap(cap, &path);
+        }
         Ok(path)
+    }
+
+    /// Walk every cached entry (the two-level digest layout), oldest
+    /// mtime first, and delete until total size fits `cap`. `keep` (the
+    /// entry just stored) is exempt; files that refuse deletion are
+    /// skipped and simply stop counting toward frees.
+    fn evict_to_cap(&self, cap: u64, keep: &Path) {
+        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        let Ok(shards) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        for shard in shards.flatten() {
+            if !shard.file_type().is_ok_and(|t| t.is_dir()) {
+                continue;
+            }
+            let Ok(files) = std::fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for f in files.flatten() {
+                let path = f.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue;
+                }
+                let Ok(meta) = f.metadata() else { continue };
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                entries.push((path, meta.len(), mtime));
+            }
+        }
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= cap {
+            return;
+        }
+        entries.sort_by_key(|&(_, _, mtime)| mtime);
+        for (path, len, _) in entries {
+            if total <= cap {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+            }
+        }
     }
 
     /// Build the canonical artifact body for a completed job: the full
@@ -162,6 +228,15 @@ impl ArtifactCache {
         j.set("ipc", Json::from(stats.ipc()));
         j.set("stats", counters_json(stats));
         seal_body(j)
+    }
+}
+
+/// Best-effort LRU recency bump for a capped cache: set the entry's
+/// mtime to now on a hit. Failures are ignored — a read-only cache
+/// still serves, its recency just stops updating.
+fn touch(path: &Path) {
+    if let Ok(f) = std::fs::File::options().append(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
     }
 }
 
@@ -290,6 +365,89 @@ mod tests {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, seal_body(old)).unwrap();
         assert_eq!(cache.lookup(&key), None);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn capped_cache_evicts_least_recently_used_first() {
+        let dir = std::env::temp_dir().join(format!("popk-cache-test-{}-lru", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let keys: Vec<JobKey> = (0..3)
+            .map(|seed| {
+                JobKey::new(
+                    "gzip",
+                    "slice2",
+                    &MachineConfig::slice2_full(),
+                    seed,
+                    20_000,
+                )
+            })
+            .collect();
+        let bodies: Vec<String> = keys.iter().map(sample_body).collect();
+        let entry_len = bodies[0].len() as u64;
+        // Room for two entries, not three.
+        let cache = ArtifactCache::with_capacity(&dir, Some(entry_len * 2 + entry_len / 2));
+
+        cache.store(&keys[0], &bodies[0]).expect("store 0");
+        cache.store(&keys[1], &bodies[1]).expect("store 1");
+        assert!(cache.lookup(&keys[0]).is_some());
+        assert!(cache.lookup(&keys[1]).is_some());
+
+        // Age entry 0, refresh entry 1 via a hit, then overflow: the
+        // stale entry 0 must be the one evicted.
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        std::fs::File::options()
+            .append(true)
+            .open(cache.path_for(&keys[0].digest()))
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+        assert!(cache.lookup(&keys[1]).is_some(), "touches entry 1");
+        cache.store(&keys[2], &bodies[2]).expect("store 2");
+
+        assert_eq!(cache.lookup(&keys[0]), None, "LRU entry evicted");
+        assert!(cache.lookup(&keys[1]).is_some(), "recent entry kept");
+        assert!(cache.lookup(&keys[2]).is_some(), "just-stored entry kept");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cap_smaller_than_one_entry_keeps_the_newest() {
+        let dir = std::env::temp_dir().join(format!("popk-cache-test-{}-tiny", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::with_capacity(&dir, Some(1));
+        let a = JobKey::new("gzip", "slice2", &MachineConfig::slice2_full(), 0, 20_000);
+        let b = JobKey::new("gzip", "slice2", &MachineConfig::slice2_full(), 1, 20_000);
+        cache.store(&a, &sample_body(&a)).expect("store a");
+        cache.store(&b, &sample_body(&b)).expect("store b");
+        assert_eq!(cache.lookup(&a), None, "older entry evicted");
+        assert!(
+            cache.lookup(&b).is_some(),
+            "the just-stored entry survives even an undersized cap"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncapped_cache_never_evicts() {
+        let cache = temp_cache("uncapped");
+        let keys: Vec<JobKey> = (0..4)
+            .map(|seed| {
+                JobKey::new(
+                    "gzip",
+                    "slice2",
+                    &MachineConfig::slice2_full(),
+                    seed,
+                    20_000,
+                )
+            })
+            .collect();
+        for k in &keys {
+            cache.store(k, &sample_body(k)).expect("store");
+        }
+        for k in &keys {
+            assert!(cache.lookup(k).is_some());
+        }
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

@@ -1,0 +1,461 @@
+//! The write-ahead sweep journal: crash-safe `--resume` for the report
+//! binaries.
+//!
+//! A sweep (Table 1, Fig. 11/12, the ablations) is a list of *rows* —
+//! one (workload × config) simulation or one ablation section. The
+//! journal records each row's lifecycle as append-only lines in
+//! `<dir>/<figure>.journal`:
+//!
+//! - `open`  — the header: journal schema version, figure, budget, and
+//!   a free-form `params` string folding in anything else that changes
+//!   results (e.g. the oracle toggle). A journal whose header does not
+//!   match the current invocation is discarded, never resumed.
+//! - `start` — a row's simulation began. A `start` with no later `done`
+//!   marks an *interrupted* row: `--resume` re-runs it, resuming from
+//!   its last on-disk checkpoint when one is present and valid.
+//! - `retry` — a row's first attempt panicked and its recorded state
+//!   (the row checkpoint) was wiped; the retry starts clean. The pool
+//!   only re-attempts a job once this line is durably appended.
+//! - `done`  — the row completed; the line embeds the row's payload
+//!   (e.g. the exact [`SimStats`](popk_core::SimStats) counters), so a
+//!   resumed sweep replays it without re-simulating.
+//!
+//! Every line is *individually* sealed with the same FNV integrity
+//! checksum idiom as the artifact cache, serialized compactly on one
+//! line — so a torn tail (crash mid-append) is detected and replay
+//! simply stops at the first unverifiable line, exactly the prefix that
+//! was durably recorded. Alongside the journal lives a checkpoint
+//! directory `<dir>/<figure>.ckpt/` holding one
+//! [`popk_core::Checkpoint`] file per in-flight row.
+//!
+//! The journal is *advisory*: if the directory is unwritable the sweep
+//! still runs, un-journaled, with a warning (`degraded` mode) — crash
+//! safety must never be the reason a run fails.
+
+use popk_core::hash::fnv1a_64;
+use popk_core::{Checkpoint, Json};
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Version stamp of the journal line shapes. Bump on any incompatible
+/// change: older journals are discarded (fresh start), never misread.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Serialize `j` compactly with its FNV integrity checksum appended —
+/// the line-oriented sibling of [`crate::cache::seal_body`]: the
+/// checksum covers the compact serialization without the `integrity`
+/// field, so each journal line verifies independently.
+pub fn seal_line(mut j: Json) -> String {
+    j.remove("integrity");
+    let unsealed = j.to_string();
+    j.set(
+        "integrity",
+        format!("{:016x}", fnv1a_64(unsealed.as_bytes())).into(),
+    );
+    j.to_string()
+}
+
+/// Parse and verify one sealed journal line. `None` on any defect —
+/// invalid JSON, missing or mismatched checksum — which replay treats
+/// as the end of the durable prefix.
+pub fn verify_line(line: &str) -> Option<Json> {
+    let mut parsed = Json::parse(line.trim()).ok()?;
+    let stated = parsed.remove("integrity")?.as_str()?.to_string();
+    let actual = format!("{:016x}", fnv1a_64(parsed.to_string().as_bytes()));
+    (stated == actual).then_some(parsed)
+}
+
+/// One sweep's journal: the replayed state of a previous interrupted
+/// run plus the append handle recording this run's progress.
+///
+/// Shared by reference across pool workers (appends serialize under an
+/// internal lock); the replayed `done`/`started` maps are immutable
+/// after [`open`](SweepJournal::open).
+pub struct SweepJournal {
+    path: PathBuf,
+    ckpt_dir: PathBuf,
+    file: Mutex<Option<File>>,
+    done: HashMap<String, Json>,
+    interrupted: HashSet<String>,
+}
+
+impl SweepJournal {
+    /// Open (or create) the journal for `figure` under `dir`.
+    ///
+    /// With `resume` set, an existing journal whose header matches
+    /// (`figure`, `limit`, `params`) is replayed: completed rows become
+    /// [`completed`](SweepJournal::completed) payloads and rows started
+    /// but never finished become [`interrupted`](SweepJournal::interrupted).
+    /// The journal is then rewritten compacted (header + the replayed
+    /// `done` lines), which also truncates any torn tail. Without
+    /// `resume` — or on any header mismatch — previous state is
+    /// discarded, including stale row checkpoints.
+    pub fn open(dir: &Path, figure: &str, limit: u64, params: &str, resume: bool) -> SweepJournal {
+        let path = dir.join(format!("{figure}.journal"));
+        let ckpt_dir = dir.join(format!("{figure}.ckpt"));
+        let mut done = HashMap::new();
+        let mut interrupted = HashSet::new();
+
+        if resume {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                let mut lines = text.lines();
+                let header_ok = lines.next().and_then(verify_line).is_some_and(|h| {
+                    h.get("op").and_then(Json::as_str) == Some("open")
+                        && h.get("journal_version").and_then(Json::as_u64) == Some(JOURNAL_VERSION)
+                        && h.get("figure").and_then(Json::as_str) == Some(figure)
+                        && h.get("limit").and_then(Json::as_u64) == Some(limit)
+                        && h.get("params").and_then(Json::as_str) == Some(params)
+                });
+                if header_ok {
+                    for line in lines {
+                        // The first unverifiable line ends the durable
+                        // prefix (torn tail from a crash mid-append).
+                        let Some(entry) = verify_line(line) else {
+                            break;
+                        };
+                        let row = entry
+                            .get("row")
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string();
+                        match entry.get("op").and_then(Json::as_str) {
+                            Some("start") | Some("retry") => {
+                                interrupted.insert(row);
+                            }
+                            Some("done") => {
+                                interrupted.remove(&row);
+                                if let Some(payload) = entry.get("payload") {
+                                    done.insert(row, payload.clone());
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                } else {
+                    let _ = std::fs::remove_dir_all(&ckpt_dir);
+                }
+            }
+        } else {
+            let _ = std::fs::remove_dir_all(&ckpt_dir);
+        }
+
+        // Rewrite compacted: header plus the surviving done rows. An
+        // unwritable directory degrades to an un-journaled sweep.
+        let file = std::fs::create_dir_all(dir)
+            .and_then(|()| File::create(&path))
+            .map_err(|e| {
+                eprintln!(
+                    "warning: sweep journal unavailable ({}): {e}; running without crash safety",
+                    path.display()
+                );
+            })
+            .ok();
+        let journal = SweepJournal {
+            path,
+            ckpt_dir,
+            file: Mutex::new(file),
+            done,
+            interrupted,
+        };
+        let mut header = Json::object();
+        header.set("op", "open".into());
+        header.set("journal_version", Json::from(JOURNAL_VERSION));
+        header.set("figure", figure.into());
+        header.set("limit", Json::from(limit));
+        header.set("params", params.into());
+        journal.append(header);
+        for (row, payload) in &journal.done {
+            journal.append(done_line(row, payload.clone()));
+        }
+        journal
+    }
+
+    /// Append one sealed line; on failure, degrade (warn once, journal
+    /// off) rather than fail the sweep.
+    fn append(&self, j: Json) {
+        let mut guard = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(file) = guard.as_mut() else { return };
+        let mut line = seal_line(j);
+        line.push('\n');
+        if file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .is_err()
+        {
+            eprintln!(
+                "warning: sweep journal write failed ({}); continuing without crash safety",
+                self.path.display()
+            );
+            *guard = None;
+        }
+    }
+
+    /// Whether journaling is off (directory unwritable or a failed
+    /// append). A degraded sweep still runs; it just cannot resume.
+    pub fn degraded(&self) -> bool {
+        self.file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_none()
+    }
+
+    /// The replayed payload of a completed row, if this journal was
+    /// resumed and the row finished in a previous run.
+    pub fn completed(&self, row: &str) -> Option<&Json> {
+        self.done.get(row)
+    }
+
+    /// Whether a previous run started (but never finished) this row.
+    pub fn interrupted(&self, row: &str) -> bool {
+        self.interrupted.contains(row)
+    }
+
+    /// Record that `row`'s simulation is beginning.
+    pub fn record_start(&self, row: &str) {
+        let mut j = Json::object();
+        j.set("op", "start".into());
+        j.set("row", row.into());
+        self.append(j);
+    }
+
+    /// Record that `row` is being re-attempted after a panic: wipe its
+    /// checkpoint (the panicked attempt may have left one mid-write
+    /// semantics cannot vouch for) and durably journal the reset.
+    /// Returns whether the clean state was recorded — the pool's gated
+    /// retry only re-runs the job if it was, so a retry never executes
+    /// from unrecorded state.
+    pub fn record_retry(&self, row: &str) -> bool {
+        let _ = std::fs::remove_file(self.checkpoint_path(row));
+        let mut j = Json::object();
+        j.set("op", "retry".into());
+        j.set("row", row.into());
+        self.append(j);
+        !self.degraded()
+    }
+
+    /// Record that `row` completed with `payload`, and drop its
+    /// now-obsolete checkpoint.
+    pub fn record_done(&self, row: &str, payload: Json) {
+        self.append(done_line(row, payload));
+        let _ = std::fs::remove_file(self.checkpoint_path(row));
+    }
+
+    /// Where `row`'s periodic checkpoint lives: a sanitized, collision-
+    /// hashed file name under the sweep's checkpoint directory.
+    pub fn checkpoint_path(&self, row: &str) -> PathBuf {
+        let slug: String = row
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .take(48)
+            .collect();
+        self.ckpt_dir
+            .join(format!("{slug}-{:08x}.ckpt.json", fnv1a_64(row.as_bytes())))
+    }
+
+    /// Load the checkpoint of an interrupted row. `None` when the row
+    /// was not interrupted, has no checkpoint, or the file is defective
+    /// (truncated, corrupted, stale) — the caller then restarts the row
+    /// from instruction zero, which is always sound.
+    pub fn load_checkpoint(&self, row: &str) -> Option<Checkpoint> {
+        if !self.interrupted(row) {
+            return None;
+        }
+        match Checkpoint::load(&self.checkpoint_path(row)) {
+            Ok(c) => Some(c),
+            Err(popk_core::CheckpointError::Io(_)) => None, // never written
+            Err(e) => {
+                eprintln!("warning: checkpoint for row `{row}` unusable ({e}); restarting row");
+                None
+            }
+        }
+    }
+
+    /// The sweep completed and its artifact is written: remove the
+    /// journal and every remaining checkpoint. Failure to clean up is
+    /// harmless (a later non-resume open truncates anyway).
+    pub fn finish(&self) {
+        {
+            let mut guard = self
+                .file
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *guard = None;
+        }
+        let _ = std::fs::remove_file(&self.path);
+        let _ = std::fs::remove_dir_all(&self.ckpt_dir);
+    }
+}
+
+fn done_line(row: &str, payload: Json) -> Json {
+    let mut j = Json::object();
+    j.set("op", "done".into());
+    j.set("row", row.into());
+    j.set("payload", payload);
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("popk-journal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn payload(n: u64) -> Json {
+        let mut j = Json::object();
+        j.set("n", Json::from(n));
+        j
+    }
+
+    #[test]
+    fn line_seal_roundtrip_and_tamper_detection() {
+        let line = seal_line(payload(7));
+        assert!(!line.contains('\n'));
+        let back = verify_line(&line).expect("verifies");
+        assert_eq!(back.get("n").and_then(Json::as_u64), Some(7));
+        // Any byte flip that stays valid JSON fails the checksum.
+        let tampered = line.replacen("7", "8", 1);
+        assert_eq!(verify_line(&tampered), None);
+        // Truncation fails to parse.
+        assert_eq!(verify_line(&line[..line.len() - 3]), None);
+    }
+
+    #[test]
+    fn resume_replays_done_and_flags_interrupted() {
+        let dir = temp_dir("resume");
+        {
+            let j = SweepJournal::open(&dir, "t", 1000, "", false);
+            assert!(!j.degraded());
+            j.record_start("a");
+            j.record_done("a", payload(1));
+            j.record_start("b"); // interrupted: no done line
+        }
+        let j = SweepJournal::open(&dir, "t", 1000, "", true);
+        assert_eq!(
+            j.completed("a")
+                .and_then(|p| p.get("n"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(j.completed("b").is_none());
+        assert!(j.interrupted("b"));
+        assert!(!j.interrupted("a"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_stops_replay_at_durable_prefix() {
+        let dir = temp_dir("torn");
+        {
+            let j = SweepJournal::open(&dir, "t", 1000, "", false);
+            j.record_done("a", payload(1));
+            j.record_done("b", payload(2));
+        }
+        // Simulate a crash mid-append: chop the last line in half.
+        let path = dir.join("t.journal");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.trim_end().rfind('\n').unwrap() + 10;
+        std::fs::write(&path, &text[..keep]).unwrap();
+
+        let j = SweepJournal::open(&dir, "t", 1000, "", true);
+        assert!(j.completed("a").is_some(), "durable prefix survives");
+        assert!(j.completed("b").is_none(), "torn line is not trusted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_mismatch_discards_previous_journal() {
+        let dir = temp_dir("header");
+        {
+            let j = SweepJournal::open(&dir, "t", 1000, "oracle=false", false);
+            j.record_done("a", payload(1));
+        }
+        // Different budget → fresh journal even under --resume.
+        let j = SweepJournal::open(&dir, "t", 2000, "oracle=false", true);
+        assert!(j.completed("a").is_none());
+        // Different params string → likewise.
+        {
+            let j = SweepJournal::open(&dir, "t", 1000, "oracle=false", false);
+            j.record_done("a", payload(1));
+        }
+        let j = SweepJournal::open(&dir, "t", 1000, "oracle=true", true);
+        assert!(j.completed("a").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_resume_open_discards_everything() {
+        let dir = temp_dir("fresh");
+        {
+            let j = SweepJournal::open(&dir, "t", 1000, "", false);
+            j.record_done("a", payload(1));
+            j.record_start("b");
+        }
+        let j = SweepJournal::open(&dir, "t", 1000, "", false);
+        assert!(j.completed("a").is_none());
+        assert!(!j.interrupted("b"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_wipes_checkpoint_and_reports_durability() {
+        let dir = temp_dir("retry");
+        let j = SweepJournal::open(&dir, "t", 1000, "", false);
+        let ckpt = j.checkpoint_path("row/with/slashes");
+        std::fs::create_dir_all(ckpt.parent().unwrap()).unwrap();
+        std::fs::write(&ckpt, "stale").unwrap();
+        assert!(j.record_retry("row/with/slashes"));
+        assert!(!ckpt.exists(), "retry must wipe the row checkpoint");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finish_removes_journal_and_checkpoints() {
+        let dir = temp_dir("finish");
+        let j = SweepJournal::open(&dir, "t", 1000, "", false);
+        j.record_done("a", payload(1));
+        let ckpt = j.checkpoint_path("b");
+        std::fs::create_dir_all(ckpt.parent().unwrap()).unwrap();
+        std::fs::write(&ckpt, "x").unwrap();
+        j.finish();
+        assert!(!dir.join("t.journal").exists());
+        assert!(!ckpt.parent().unwrap().exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_dir_degrades_instead_of_failing() {
+        // A file where the journal directory should be makes every
+        // filesystem operation fail; the journal must degrade.
+        let dir = temp_dir("degraded");
+        std::fs::create_dir_all(dir.parent().unwrap()).unwrap();
+        std::fs::write(&dir, "not a directory").unwrap();
+        let j = SweepJournal::open(&dir, "t", 1000, "", false);
+        assert!(j.degraded());
+        j.record_start("a");
+        j.record_done("a", payload(1));
+        assert!(
+            !j.record_retry("a"),
+            "degraded journal cannot vouch for a reset"
+        );
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn checkpoint_paths_distinct_for_colliding_slugs() {
+        let dir = temp_dir("paths");
+        let j = SweepJournal::open(&dir, "t", 1000, "", false);
+        // Same sanitized prefix, different rows → hash suffix disambiguates.
+        assert_ne!(j.checkpoint_path("a/b"), j.checkpoint_path("a:b"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::artifact::counters_json;
 use crate::fmt::{f3, pct, render};
+use crate::journal::SweepJournal;
 use crate::runners::{self, drive_counted, sim, SweepFailure};
 use crate::{pool, row, Artifact, Fig11Data};
 use popk_bpred::{DirKind, FrontEndConfig};
@@ -97,12 +98,25 @@ pub fn table1_report(limit: u64, threads: usize) -> Report {
 /// functional machine at retirement, and any divergence becomes that
 /// row's failure.
 pub fn table1_report_with(limit: u64, threads: usize, oracle: bool) -> Report {
+    table1_report_journaled(limit, threads, oracle, None)
+}
+
+/// [`table1_report_with`] behind a sweep journal (`--resume`):
+/// completed rows replay from recorded counters, interrupted rows
+/// restart from their last checkpoint. The report and artifact are
+/// byte-identical to an uninterrupted run's.
+pub fn table1_report_journaled(
+    limit: u64,
+    threads: usize,
+    oracle: bool,
+    journal: Option<&SweepJournal>,
+) -> Report {
     let mut text = String::new();
     say!(
         text,
         "Table 1: benchmark characteristics (ideal machine, {limit} instructions)\n"
     );
-    let results = runners::table1(limit, threads, oracle);
+    let results = runners::table1_journaled(limit, threads, oracle, journal);
     let rows: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
     let failures: Vec<SweepFailure> = results
         .iter()
@@ -306,7 +320,17 @@ fn fig11_report_from(data: &Fig11Data, limit: u64) -> Report {
 
 /// Build the Fig. 11 report, running the sweep on `threads` workers.
 pub fn fig11_report(limit: u64, threads: usize) -> Report {
-    fig11_report_from(&runners::fig11(limit, threads), limit)
+    fig11_report_journaled(limit, threads, None)
+}
+
+/// [`fig11_report`] behind a sweep journal (`--resume`): each of the
+/// 143 sweep jobs is a journaled row.
+pub fn fig11_report_journaled(
+    limit: u64,
+    threads: usize,
+    journal: Option<&SweepJournal>,
+) -> Report {
+    fig11_report_from(&runners::fig11_journaled(limit, threads, journal), limit)
 }
 
 // ---- Fig. 12 ---------------------------------------------------------------
@@ -322,6 +346,16 @@ const FIG12_TECHS: [&str; 5] = [
 /// Build the Fig. 12 report (per-technique speedup contributions),
 /// running the Fig. 11 sweep it derives from on `threads` workers.
 pub fn fig12_report(limit: u64, threads: usize) -> Report {
+    fig12_report_journaled(limit, threads, None)
+}
+
+/// [`fig12_report`] behind a sweep journal (`--resume`): the Fig. 11
+/// sweep it derives from runs journaled.
+pub fn fig12_report_journaled(
+    limit: u64,
+    threads: usize,
+    journal: Option<&SweepJournal>,
+) -> Report {
     let mut text = String::new();
     say!(
         text,
@@ -332,7 +366,7 @@ pub fn fig12_report(limit: u64, threads: usize) -> Report {
         "({limit} instructions per run; columns are incremental contributions)\n"
     );
 
-    let data = runners::fig11(limit, threads);
+    let data = runners::fig11_journaled(limit, threads, journal);
     let mut artifact = Artifact::new("fig12", limit);
     artifact.set("techniques", FIG12_TECHS.iter().copied().collect());
     for by4 in [false, true] {
@@ -391,10 +425,56 @@ pub fn fig12_report(limit: u64, threads: usize) -> Report {
 
 // ---- Ablations -------------------------------------------------------------
 
+/// One journaled ablation section: replay the recorded `{text, value}`
+/// payload when the journal already has it, otherwise run the section
+/// and record it. The section's printed text and artifact value are
+/// byte-identical either way.
+fn journaled_section(
+    journal: Option<&SweepJournal>,
+    row: &str,
+    key: &str,
+    text: &mut String,
+    artifact: &mut Artifact,
+    run: impl FnOnce() -> (String, Json),
+) {
+    if let Some(done) = journal.and_then(|j| j.completed(row)) {
+        if let (Some(t), Some(v)) = (done.get("text").and_then(Json::as_str), done.get("value")) {
+            text.push_str(t);
+            artifact.set(key, v.clone());
+            return;
+        }
+    }
+    if let Some(j) = journal {
+        j.record_start(row);
+    }
+    let (t, v) = run();
+    if let Some(j) = journal {
+        let mut payload = Json::object();
+        payload.set("text", t.as_str().into());
+        payload.set("value", v.clone());
+        j.record_done(row, payload);
+    }
+    text.push_str(&t);
+    artifact.set(key, v);
+}
+
 /// Build the ablations report (sweeps A–H beyond the paper's figures),
 /// fanning each section's (workload × parameter) jobs across `threads`
 /// workers.
 pub fn ablations_report(limit: u64, threads: usize) -> Report {
+    ablations_report_journaled(limit, threads, None)
+}
+
+/// [`ablations_report`] behind a sweep journal (`--resume`), at section
+/// granularity: each of the eight sections A–H is one journal row whose
+/// payload carries the section's exact text and artifact value, so a
+/// resumed run replays finished sections and re-runs only the
+/// interrupted one.
+pub fn ablations_report_journaled(
+    limit: u64,
+    threads: usize,
+    journal: Option<&SweepJournal>,
+) -> Report {
     let mut text = String::new();
     let names = ["gcc", "li", "twolf"];
     let progs = programs_for(&names, threads);
@@ -402,381 +482,461 @@ pub fn ablations_report(limit: u64, threads: usize) -> Report {
     let mut artifact = Artifact::new("ablations", limit);
 
     // ---- A: gshare size sweep ----------------------------------------
-    say!(
-        text,
-        "Ablation A: gshare size vs. accuracy and 8-bit detection ({limit} instrs)\n"
+    journaled_section(
+        journal,
+        "ablations/A",
+        "gshare_sweep",
+        &mut text,
+        &mut artifact,
+        || {
+            let mut text = String::new();
+            say!(
+                text,
+                "Ablation A: gshare size vs. accuracy and 8-bit detection ({limit} instrs)\n"
+            );
+            let jobs: Vec<(&str, &Program, u32)> = named_progs
+                .iter()
+                .flat_map(|&(n, p)| [10u32, 12, 14, 16].map(|bits| (n, p, bits)))
+                .collect();
+            let reports = pool::map_jobs(threads, &jobs, |&(_, p, bits)| {
+                let mut study = BranchStudy::new(bits);
+                drive_counted(p, limit, &mut [&mut study]);
+                study.report()
+            });
+            let mut rows = Vec::new();
+            let mut jrows = Vec::new();
+            for (&(name, _, bits), r) in jobs.iter().zip(&reports) {
+                rows.push(row![
+                    name,
+                    format!("{}K", (1u32 << bits) / 1024),
+                    format!("{:.1}%", 100.0 * r.accuracy()),
+                    format!("{:.0}%", r.percent_detected_within(8))
+                ]);
+                let mut o = Json::object();
+                o.set("name", name.into());
+                o.set("table_bits", Json::from(u64::from(bits)));
+                o.set("accuracy", Json::from(r.accuracy()));
+                o.set(
+                    "pct_detected_within_8b",
+                    Json::from(r.percent_detected_within(8)),
+                );
+                jrows.push(o);
+            }
+            say!(
+                text,
+                "{}",
+                render(
+                    &row!["benchmark", "entries", "accuracy", "detect ≤8b"],
+                    &rows
+                )
+            );
+            (text, Json::Array(jrows))
+        },
     );
-    let jobs: Vec<(&str, &Program, u32)> = named_progs
-        .iter()
-        .flat_map(|&(n, p)| [10u32, 12, 14, 16].map(|bits| (n, p, bits)))
-        .collect();
-    let reports = pool::map_jobs(threads, &jobs, |&(_, p, bits)| {
-        let mut study = BranchStudy::new(bits);
-        drive_counted(p, limit, &mut [&mut study]);
-        study.report()
-    });
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (&(name, _, bits), r) in jobs.iter().zip(&reports) {
-        rows.push(row![
-            name,
-            format!("{}K", (1u32 << bits) / 1024),
-            format!("{:.1}%", 100.0 * r.accuracy()),
-            format!("{:.0}%", r.percent_detected_within(8))
-        ]);
-        let mut o = Json::object();
-        o.set("name", name.into());
-        o.set("table_bits", Json::from(u64::from(bits)));
-        o.set("accuracy", Json::from(r.accuracy()));
-        o.set(
-            "pct_detected_within_8b",
-            Json::from(r.percent_detected_within(8)),
-        );
-        jrows.push(o);
-    }
-    say!(
-        text,
-        "{}",
-        render(
-            &row!["benchmark", "entries", "accuracy", "detect ≤8b"],
-            &rows
-        )
-    );
-    artifact.set("gshare_sweep", Json::Array(jrows));
 
     // ---- B: LSQ size sweep --------------------------------------------
-    say!(
-        text,
-        "Ablation B: LSQ window vs. loads resolved after 9 bits\n"
+    journaled_section(
+        journal,
+        "ablations/B",
+        "lsq_sweep",
+        &mut text,
+        &mut artifact,
+        || {
+            let mut text = String::new();
+            say!(
+                text,
+                "Ablation B: LSQ window vs. loads resolved after 9 bits\n"
+            );
+            let jobs: Vec<(&str, &Program, usize)> = named_progs
+                .iter()
+                .flat_map(|&(n, p)| [8usize, 16, 32, 64].map(|lsq| (n, p, lsq)))
+                .collect();
+            let reports = pool::map_jobs(threads, &jobs, |&(_, p, lsq)| {
+                let mut study = DisambigStudy::new(lsq);
+                drive_counted(p, limit, &mut [&mut study]);
+                study.report()
+            });
+            let mut rows = Vec::new();
+            let mut jrows = Vec::new();
+            for (&(name, _, lsq), r) in jobs.iter().zip(&reports) {
+                rows.push(row![name, lsq, format!("{:.1}%", r.resolved_after_bits(9))]);
+                let mut o = Json::object();
+                o.set("name", name.into());
+                o.set("lsq_entries", Json::from(lsq));
+                o.set(
+                    "pct_resolved_within_9b",
+                    Json::from(r.resolved_after_bits(9)),
+                );
+                jrows.push(o);
+            }
+            say!(
+                text,
+                "{}",
+                render(&row!["benchmark", "LSQ", "resolved ≤9b"], &rows)
+            );
+            (text, Json::Array(jrows))
+        },
     );
-    let jobs: Vec<(&str, &Program, usize)> = named_progs
-        .iter()
-        .flat_map(|&(n, p)| [8usize, 16, 32, 64].map(|lsq| (n, p, lsq)))
-        .collect();
-    let reports = pool::map_jobs(threads, &jobs, |&(_, p, lsq)| {
-        let mut study = DisambigStudy::new(lsq);
-        drive_counted(p, limit, &mut [&mut study]);
-        study.report()
-    });
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (&(name, _, lsq), r) in jobs.iter().zip(&reports) {
-        rows.push(row![name, lsq, format!("{:.1}%", r.resolved_after_bits(9))]);
-        let mut o = Json::object();
-        o.set("name", name.into());
-        o.set("lsq_entries", Json::from(lsq));
-        o.set(
-            "pct_resolved_within_9b",
-            Json::from(r.resolved_after_bits(9)),
-        );
-        jrows.push(o);
-    }
-    say!(
-        text,
-        "{}",
-        render(&row!["benchmark", "LSQ", "resolved ≤9b"], &rows)
-    );
-    artifact.set("lsq_sweep", Json::Array(jrows));
 
     // ---- C: direction predictor organization ---------------------------
-    say!(
-        text,
-        "Ablation C: direction predictor organization on slice-by-2 (all techniques)\n"
+    journaled_section(
+        journal,
+        "ablations/C",
+        "direction_predictor",
+        &mut text,
+        &mut artifact,
+        || {
+            let mut text = String::new();
+            say!(
+                text,
+                "Ablation C: direction predictor organization on slice-by-2 (all techniques)\n"
+            );
+            let kinds = [
+                ("gshare", DirKind::Gshare),
+                ("bimodal", DirKind::Bimodal),
+                ("local", DirKind::Local),
+                ("tournament", DirKind::Tournament),
+            ];
+            let jobs: Vec<(&Program, DirKind)> = progs
+                .iter()
+                .flat_map(|p| kinds.map(|(_, kind)| (p, kind)))
+                .collect();
+            let ipcs = pool::map_jobs(threads, &jobs, |&(p, kind)| {
+                let mut cfg = MachineConfig::slice2_full();
+                cfg.frontend = FrontEndConfig {
+                    dir_kind: kind,
+                    ..FrontEndConfig::default()
+                };
+                sim(p, &cfg, limit).ipc()
+            });
+            let mut rows = Vec::new();
+            let mut jrows = Vec::new();
+            for (&name, per_kind) in names.iter().zip(ipcs.chunks_exact(kinds.len())) {
+                let mut r = vec![name.to_string()];
+                let mut o = Json::object();
+                o.set("name", name.into());
+                for ((kname, _), &ipc) in kinds.iter().zip(per_kind) {
+                    r.push(f3(ipc));
+                    o.set(kname, Json::from(ipc));
+                }
+                rows.push(r);
+                jrows.push(o);
+            }
+            say!(
+                text,
+                "{}",
+                render(
+                    &row!["benchmark", "gshare", "bimodal", "local", "tournament"],
+                    &rows
+                )
+            );
+            (text, Json::Array(jrows))
+        },
     );
-    let kinds = [
-        ("gshare", DirKind::Gshare),
-        ("bimodal", DirKind::Bimodal),
-        ("local", DirKind::Local),
-        ("tournament", DirKind::Tournament),
-    ];
-    let jobs: Vec<(&Program, DirKind)> = progs
-        .iter()
-        .flat_map(|p| kinds.map(|(_, kind)| (p, kind)))
-        .collect();
-    let ipcs = pool::map_jobs(threads, &jobs, |&(p, kind)| {
-        let mut cfg = MachineConfig::slice2_full();
-        cfg.frontend = FrontEndConfig {
-            dir_kind: kind,
-            ..FrontEndConfig::default()
-        };
-        sim(p, &cfg, limit).ipc()
-    });
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (&name, per_kind) in names.iter().zip(ipcs.chunks_exact(kinds.len())) {
-        let mut r = vec![name.to_string()];
-        let mut o = Json::object();
-        o.set("name", name.into());
-        for ((kname, _), &ipc) in kinds.iter().zip(per_kind) {
-            r.push(f3(ipc));
-            o.set(kname, Json::from(ipc));
-        }
-        rows.push(r);
-        jrows.push(o);
-    }
-    say!(
-        text,
-        "{}",
-        render(
-            &row!["benchmark", "gshare", "bimodal", "local", "tournament"],
-            &rows
-        )
-    );
-    artifact.set("direction_predictor", Json::Array(jrows));
 
     // ---- D: single-technique isolation ---------------------------------
-    say!(
-        text,
-        "Ablation D: each technique alone on top of partial bypassing (slice-by-4)\n"
+    journaled_section(
+        journal,
+        "ablations/D",
+        "single_technique",
+        &mut text,
+        &mut artifact,
+        || {
+            let mut text = String::new();
+            say!(
+                text,
+                "Ablation D: each technique alone on top of partial bypassing (slice-by-4)\n"
+            );
+            let single = |f: fn(&mut Optimizations)| {
+                let mut o = Optimizations::level(1);
+                f(&mut o);
+                o
+            };
+            let variants: [(&str, Optimizations); 5] = [
+                ("bypass only", Optimizations::level(1)),
+                ("+ooo slices", single(|o| o.ooo_slices = true)),
+                ("+early branch", single(|o| o.early_branch = true)),
+                ("+early disambig", single(|o| o.early_disambig = true)),
+                ("+partial tag", single(|o| o.partial_tag = true)),
+            ];
+            let jobs: Vec<(&Program, Optimizations)> = progs
+                .iter()
+                .flat_map(|p| variants.map(|(_, opts)| (p, opts)))
+                .collect();
+            let ipcs = pool::map_jobs(threads, &jobs, |&(p, opts)| {
+                sim(p, &MachineConfig::slice4(opts), limit).ipc()
+            });
+            let mut rows = Vec::new();
+            let mut jrows = Vec::new();
+            for (&name, per_variant) in names.iter().zip(ipcs.chunks_exact(variants.len())) {
+                let mut r = vec![name.to_string()];
+                let mut o = Json::object();
+                o.set("name", name.into());
+                for ((vname, _), &ipc) in variants.iter().zip(per_variant) {
+                    r.push(f3(ipc));
+                    o.set(vname, Json::from(ipc));
+                }
+                rows.push(r);
+                jrows.push(o);
+            }
+            let header: Vec<String> = std::iter::once("benchmark".to_string())
+                .chain(variants.iter().map(|(n, _)| n.to_string()))
+                .collect();
+            say!(text, "{}", render(&header, &rows));
+            (text, Json::Array(jrows))
+        },
     );
-    let single = |f: fn(&mut Optimizations)| {
-        let mut o = Optimizations::level(1);
-        f(&mut o);
-        o
-    };
-    let variants: [(&str, Optimizations); 5] = [
-        ("bypass only", Optimizations::level(1)),
-        ("+ooo slices", single(|o| o.ooo_slices = true)),
-        ("+early branch", single(|o| o.early_branch = true)),
-        ("+early disambig", single(|o| o.early_disambig = true)),
-        ("+partial tag", single(|o| o.partial_tag = true)),
-    ];
-    let jobs: Vec<(&Program, Optimizations)> = progs
-        .iter()
-        .flat_map(|p| variants.map(|(_, opts)| (p, opts)))
-        .collect();
-    let ipcs = pool::map_jobs(threads, &jobs, |&(p, opts)| {
-        sim(p, &MachineConfig::slice4(opts), limit).ipc()
-    });
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (&name, per_variant) in names.iter().zip(ipcs.chunks_exact(variants.len())) {
-        let mut r = vec![name.to_string()];
-        let mut o = Json::object();
-        o.set("name", name.into());
-        for ((vname, _), &ipc) in variants.iter().zip(per_variant) {
-            r.push(f3(ipc));
-            o.set(vname, Json::from(ipc));
-        }
-        rows.push(r);
-        jrows.push(o);
-    }
-    let header: Vec<String> = std::iter::once("benchmark".to_string())
-        .chain(variants.iter().map(|(n, _)| n.to_string()))
-        .collect();
-    say!(text, "{}", render(&header, &rows));
-    artifact.set("single_technique", Json::Array(jrows));
 
     // ---- E: paper-sketched extensions ----------------------------------
-    say!(
-        text,
-        "Ablation E: paper-sketched extensions on top of all techniques (slice-by-2)\n"
+    journaled_section(
+        journal,
+        "ablations/E",
+        "extensions",
+        &mut text,
+        &mut artifact,
+        || {
+            let mut text = String::new();
+            say!(
+                text,
+                "Ablation E: paper-sketched extensions on top of all techniques (slice-by-2)\n"
+            );
+            let ext_names = ["gcc", "li", "twolf", "bzip", "vortex"];
+            let ext_progs = programs_for(&ext_names, threads);
+            let memdep = {
+                let mut o = Optimizations::all();
+                o.mem_dep_predict = true;
+                o
+            };
+            let jobs: Vec<(&Program, Optimizations)> = ext_progs
+                .iter()
+                .flat_map(|p| {
+                    [Optimizations::all(), Optimizations::extended(), memdep].map(|opts| (p, opts))
+                })
+                .collect();
+            let stats = pool::map_jobs(threads, &jobs, |&(p, opts)| {
+                sim(p, &MachineConfig::slice2(opts), limit)
+            });
+            let mut rows = Vec::new();
+            let mut jrows = Vec::new();
+            for (&name, runs) in ext_names.iter().zip(stats.chunks_exact(3)) {
+                let (full, ext, md) = (&runs[0], &runs[1], &runs[2]);
+                rows.push(row![
+                    name,
+                    f3(full.ipc()),
+                    f3(ext.ipc()),
+                    format!("{:+.1}%", 100.0 * (ext.ipc() / full.ipc() - 1.0)),
+                    ext.spec_forwards,
+                    ext.narrow_wakeups,
+                    ext.sam_starts,
+                    f3(md.ipc()),
+                    format!("{}/{}", md.mem_dep_speculations, md.mem_dep_violations)
+                ]);
+                let mut o = Json::object();
+                o.set("name", name.into());
+                o.set("all_ipc", Json::from(full.ipc()));
+                o.set("extended_ipc", Json::from(ext.ipc()));
+                o.set("spec_forwards", Json::from(ext.spec_forwards));
+                o.set("narrow_wakeups", Json::from(ext.narrow_wakeups));
+                o.set("sam_starts", Json::from(ext.sam_starts));
+                o.set("memdep_ipc", Json::from(md.ipc()));
+                o.set("mem_dep_speculations", Json::from(md.mem_dep_speculations));
+                o.set("mem_dep_violations", Json::from(md.mem_dep_violations));
+                jrows.push(o);
+            }
+            say!(
+                text,
+                "{}",
+                render(
+                    &row![
+                        "benchmark",
+                        "all IPC",
+                        "ext IPC",
+                        "ext gain",
+                        "spec fwd",
+                        "narrow",
+                        "sam",
+                        "+memdep IPC",
+                        "specs/viol"
+                    ],
+                    &rows
+                )
+            );
+            say!(
+                text,
+                "`extended()` = spec-forward + narrow + sum-addressed; the memory\n\
+                 dependence predictor is reported separately because its benefit is\n\
+                 workload-dependent (see EXPERIMENTS.md)."
+            );
+            (text, Json::Array(jrows))
+        },
     );
-    let ext_names = ["gcc", "li", "twolf", "bzip", "vortex"];
-    let ext_progs = programs_for(&ext_names, threads);
-    let memdep = {
-        let mut o = Optimizations::all();
-        o.mem_dep_predict = true;
-        o
-    };
-    let jobs: Vec<(&Program, Optimizations)> = ext_progs
-        .iter()
-        .flat_map(|p| {
-            [Optimizations::all(), Optimizations::extended(), memdep].map(|opts| (p, opts))
-        })
-        .collect();
-    let stats = pool::map_jobs(threads, &jobs, |&(p, opts)| {
-        sim(p, &MachineConfig::slice2(opts), limit)
-    });
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (&name, runs) in ext_names.iter().zip(stats.chunks_exact(3)) {
-        let (full, ext, md) = (&runs[0], &runs[1], &runs[2]);
-        rows.push(row![
-            name,
-            f3(full.ipc()),
-            f3(ext.ipc()),
-            format!("{:+.1}%", 100.0 * (ext.ipc() / full.ipc() - 1.0)),
-            ext.spec_forwards,
-            ext.narrow_wakeups,
-            ext.sam_starts,
-            f3(md.ipc()),
-            format!("{}/{}", md.mem_dep_speculations, md.mem_dep_violations)
-        ]);
-        let mut o = Json::object();
-        o.set("name", name.into());
-        o.set("all_ipc", Json::from(full.ipc()));
-        o.set("extended_ipc", Json::from(ext.ipc()));
-        o.set("spec_forwards", Json::from(ext.spec_forwards));
-        o.set("narrow_wakeups", Json::from(ext.narrow_wakeups));
-        o.set("sam_starts", Json::from(ext.sam_starts));
-        o.set("memdep_ipc", Json::from(md.ipc()));
-        o.set("mem_dep_speculations", Json::from(md.mem_dep_speculations));
-        o.set("mem_dep_violations", Json::from(md.mem_dep_violations));
-        jrows.push(o);
-    }
-    say!(
-        text,
-        "{}",
-        render(
-            &row![
-                "benchmark",
-                "all IPC",
-                "ext IPC",
-                "ext gain",
-                "spec fwd",
-                "narrow",
-                "sam",
-                "+memdep IPC",
-                "specs/viol"
-            ],
-            &rows
-        )
-    );
-    say!(
-        text,
-        "`extended()` = spec-forward + narrow + sum-addressed; the memory\n\
-         dependence predictor is reported separately because its benefit is\n\
-         workload-dependent (see EXPERIMENTS.md)."
-    );
-    artifact.set("extensions", Json::Array(jrows));
 
     // ---- F: wrong-path fetch modeling ----------------------------------
-    say!(
-        text,
-        "\nAblation F: wrong-path fetch modeling (phantoms vs. fetch stall)\n"
+    journaled_section(
+        journal,
+        "ablations/F",
+        "wrong_path",
+        &mut text,
+        &mut artifact,
+        || {
+            let mut text = String::new();
+            say!(
+                text,
+                "\nAblation F: wrong-path fetch modeling (phantoms vs. fetch stall)\n"
+            );
+            let wp_names = ["go", "gcc", "parser", "twolf"];
+            let wp_progs = programs_for(&wp_names, threads);
+            let jobs: Vec<(&Program, bool)> = wp_progs
+                .iter()
+                .flat_map(|p| [(p, false), (p, true)])
+                .collect();
+            let stats = pool::map_jobs(threads, &jobs, |&(p, wrong_path)| {
+                let mut cfg = MachineConfig::slice2_full();
+                cfg.model_wrong_path = wrong_path;
+                sim(p, &cfg, limit)
+            });
+            let mut rows = Vec::new();
+            let mut jrows = Vec::new();
+            for (&name, runs) in wp_names.iter().zip(stats.chunks_exact(2)) {
+                let (a, b) = (&runs[0], &runs[1]);
+                rows.push(row![
+                    name,
+                    f3(a.ipc()),
+                    f3(b.ipc()),
+                    format!("{:+.2}%", 100.0 * (b.ipc() / a.ipc() - 1.0))
+                ]);
+                let mut o = Json::object();
+                o.set("name", name.into());
+                o.set("stall_model_ipc", Json::from(a.ipc()));
+                o.set("phantom_model_ipc", Json::from(b.ipc()));
+                jrows.push(o);
+            }
+            say!(
+                text,
+                "{}",
+                render(
+                    &row!["benchmark", "stall-model IPC", "phantom-model IPC", "delta"],
+                    &rows
+                )
+            );
+            say!(
+                text,
+                "Wrong-path pollution is second-order and non-monotone — the effect\n\
+                 the paper credits for bzip/gzip/li slightly exceeding the ideal\n\
+                 machine."
+            );
+            (text, Json::Array(jrows))
+        },
     );
-    let wp_names = ["go", "gcc", "parser", "twolf"];
-    let wp_progs = programs_for(&wp_names, threads);
-    let jobs: Vec<(&Program, bool)> = wp_progs
-        .iter()
-        .flat_map(|p| [(p, false), (p, true)])
-        .collect();
-    let stats = pool::map_jobs(threads, &jobs, |&(p, wrong_path)| {
-        let mut cfg = MachineConfig::slice2_full();
-        cfg.model_wrong_path = wrong_path;
-        sim(p, &cfg, limit)
-    });
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (&name, runs) in wp_names.iter().zip(stats.chunks_exact(2)) {
-        let (a, b) = (&runs[0], &runs[1]);
-        rows.push(row![
-            name,
-            f3(a.ipc()),
-            f3(b.ipc()),
-            format!("{:+.2}%", 100.0 * (b.ipc() / a.ipc() - 1.0))
-        ]);
-        let mut o = Json::object();
-        o.set("name", name.into());
-        o.set("stall_model_ipc", Json::from(a.ipc()));
-        o.set("phantom_model_ipc", Json::from(b.ipc()));
-        jrows.push(o);
-    }
-    say!(
-        text,
-        "{}",
-        render(
-            &row!["benchmark", "stall-model IPC", "phantom-model IPC", "delta"],
-            &rows
-        )
-    );
-    say!(
-        text,
-        "Wrong-path pollution is second-order and non-monotone — the effect\n\
-         the paper credits for bzip/gzip/li slightly exceeding the ideal\n\
-         machine."
-    );
-    artifact.set("wrong_path", Json::Array(jrows));
 
     // ---- G: operand width distribution ---------------------------------
-    say!(
-        text,
-        "\nAblation G: result significant-width distribution (the §6 premise)\n"
-    );
     let workloads = popk_workloads::all();
-    let width_reports = pool::map_jobs(threads, &workloads, |w| {
-        let p = w.program();
-        let mut study = WidthStudy::new();
-        drive_counted(&p, limit, &mut [&mut study]);
-        study.report()
-    });
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (w, r) in workloads.iter().zip(&width_reports) {
-        rows.push(row![
-            w.name,
-            format!("{:.0}%", 100.0 * r.fraction_within(8)),
-            format!("{:.0}%", 100.0 * r.fraction_within(16)),
-            format!("{:.0}%", 100.0 * r.fraction_within(24)),
-            format!("{:.1}", r.mean_width())
-        ]);
-        let mut o = Json::object();
-        o.set("name", w.name.into());
-        o.set("fraction_within_8b", Json::from(r.fraction_within(8)));
-        o.set("fraction_within_16b", Json::from(r.fraction_within(16)));
-        o.set("fraction_within_24b", Json::from(r.fraction_within(24)));
-        o.set("mean_width_bits", Json::from(r.mean_width()));
-        jrows.push(o);
-    }
-    say!(
-        text,
-        "{}",
-        render(
-            &row!["benchmark", "≤8 bits", "≤16 bits", "≤24 bits", "mean width"],
-            &rows
-        )
+    journaled_section(
+        journal,
+        "ablations/G",
+        "width_distribution",
+        &mut text,
+        &mut artifact,
+        || {
+            let mut text = String::new();
+            say!(
+                text,
+                "\nAblation G: result significant-width distribution (the §6 premise)\n"
+            );
+            let width_reports = pool::map_jobs(threads, &workloads, |w| {
+                let p = w.program();
+                let mut study = WidthStudy::new();
+                drive_counted(&p, limit, &mut [&mut study]);
+                study.report()
+            });
+            let mut rows = Vec::new();
+            let mut jrows = Vec::new();
+            for (w, r) in workloads.iter().zip(&width_reports) {
+                rows.push(row![
+                    w.name,
+                    format!("{:.0}%", 100.0 * r.fraction_within(8)),
+                    format!("{:.0}%", 100.0 * r.fraction_within(16)),
+                    format!("{:.0}%", 100.0 * r.fraction_within(24)),
+                    format!("{:.1}", r.mean_width())
+                ]);
+                let mut o = Json::object();
+                o.set("name", w.name.into());
+                o.set("fraction_within_8b", Json::from(r.fraction_within(8)));
+                o.set("fraction_within_16b", Json::from(r.fraction_within(16)));
+                o.set("fraction_within_24b", Json::from(r.fraction_within(24)));
+                o.set("mean_width_bits", Json::from(r.mean_width()));
+                jrows.push(o);
+            }
+            say!(
+                text,
+                "{}",
+                render(
+                    &row!["benchmark", "≤8 bits", "≤16 bits", "≤24 bits", "mean width"],
+                    &rows
+                )
+            );
+            say!(
+                text,
+                "Most results are sign/zero extensions of a narrow low slice — the\n\
+                 empirical basis for the narrow-operand extension (refs [3], [6])."
+            );
+            (text, Json::Array(jrows))
+        },
     );
-    say!(
-        text,
-        "Most results are sign/zero extensions of a narrow low slice — the\n\
-         empirical basis for the narrow-operand extension (refs [3], [6])."
-    );
-    artifact.set("width_distribution", Json::Array(jrows));
 
     // ---- H: dependence distances ---------------------------------------
-    say!(
-        text,
-        "\nAblation H: producer→consumer dependence distances (the §2 motivation)\n"
+    journaled_section(
+        journal,
+        "ablations/H",
+        "dependence_distance",
+        &mut text,
+        &mut artifact,
+        || {
+            let mut text = String::new();
+            say!(
+                text,
+                "\nAblation H: producer→consumer dependence distances (the §2 motivation)\n"
+            );
+            let distance_reports = pool::map_jobs(threads, &workloads, |w| {
+                let p = w.program();
+                let mut study = DistanceStudy::new();
+                drive_counted(&p, limit, &mut [&mut study]);
+                study.report()
+            });
+            let mut rows = Vec::new();
+            let mut jrows = Vec::new();
+            for (w, r) in workloads.iter().zip(&distance_reports) {
+                rows.push(row![
+                    w.name,
+                    format!("{:.0}%", 100.0 * r.fraction_within(1)),
+                    format!("{:.0}%", 100.0 * r.fraction_within(2)),
+                    format!("{:.0}%", 100.0 * r.fraction_within(4)),
+                    format!("{:.0}%", 100.0 * r.fraction_within(8)),
+                    format!("{:.1}", r.mean_distance())
+                ]);
+                let mut o = Json::object();
+                o.set("name", w.name.into());
+                o.set("fraction_within_1", Json::from(r.fraction_within(1)));
+                o.set("fraction_within_2", Json::from(r.fraction_within(2)));
+                o.set("fraction_within_4", Json::from(r.fraction_within(4)));
+                o.set("fraction_within_8", Json::from(r.fraction_within(8)));
+                o.set("mean_distance", Json::from(r.mean_distance()));
+                jrows.push(o);
+            }
+            say!(
+                text,
+                "{}",
+                render(&row!["benchmark", "d=1", "≤2", "≤4", "≤8", "mean"], &rows)
+            );
+            say!(
+                text,
+                "A third to half of all source operands come from the immediately\n\
+                 preceding instructions — exactly the population naive EX\n\
+                 pipelining penalizes and partial bypassing rescues (Fig. 1)."
+            );
+            (text, Json::Array(jrows))
+        },
     );
-    let distance_reports = pool::map_jobs(threads, &workloads, |w| {
-        let p = w.program();
-        let mut study = DistanceStudy::new();
-        drive_counted(&p, limit, &mut [&mut study]);
-        study.report()
-    });
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (w, r) in workloads.iter().zip(&distance_reports) {
-        rows.push(row![
-            w.name,
-            format!("{:.0}%", 100.0 * r.fraction_within(1)),
-            format!("{:.0}%", 100.0 * r.fraction_within(2)),
-            format!("{:.0}%", 100.0 * r.fraction_within(4)),
-            format!("{:.0}%", 100.0 * r.fraction_within(8)),
-            format!("{:.1}", r.mean_distance())
-        ]);
-        let mut o = Json::object();
-        o.set("name", w.name.into());
-        o.set("fraction_within_1", Json::from(r.fraction_within(1)));
-        o.set("fraction_within_2", Json::from(r.fraction_within(2)));
-        o.set("fraction_within_4", Json::from(r.fraction_within(4)));
-        o.set("fraction_within_8", Json::from(r.fraction_within(8)));
-        o.set("mean_distance", Json::from(r.mean_distance()));
-        jrows.push(o);
-    }
-    say!(
-        text,
-        "{}",
-        render(&row!["benchmark", "d=1", "≤2", "≤4", "≤8", "mean"], &rows)
-    );
-    say!(
-        text,
-        "A third to half of all source operands come from the immediately\n\
-         preceding instructions — exactly the population naive EX\n\
-         pipelining penalizes and partial bypassing rescues (Fig. 1)."
-    );
-    artifact.set("dependence_distance", Json::Array(jrows));
 
     Report {
         text,

@@ -29,14 +29,16 @@
 //! budget); concurrent submitters of one key share a single simulation.
 
 use crate::cache::{ArtifactCache, JobKey};
+use crate::journal::{seal_line, verify_line};
 use crate::{pool, runners};
 use popk_core::{Json, MachineConfig, SimError, SimStats, Simulator, TraceEvent, TraceSink};
 use popk_workloads::by_name;
 use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -68,11 +70,18 @@ pub struct ServeConfig {
     pub progress_interval: u64,
     /// Largest accepted per-job instruction budget.
     pub max_limit: u64,
+    /// Replay `serve.journal` on startup, re-enqueueing jobs that were
+    /// accepted but not finished before the previous process died.
+    pub recover: bool,
+    /// Artifact-cache size cap in bytes; `None` is unbounded. When a
+    /// store pushes the cache past the cap, the least-recently-used
+    /// entries (oldest mtime first) are evicted back under it.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl ServeConfig {
     /// Defaults: all cores, a 64-job queue, progress every 5000
-    /// instructions, budgets up to 10 M.
+    /// instructions, budgets up to 10 M, recovery on, unbounded cache.
     pub fn new(addr: &str, cache_dir: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             addr: addr.to_string(),
@@ -81,8 +90,145 @@ impl ServeConfig {
             cache_dir: cache_dir.into(),
             progress_interval: 5_000,
             max_limit: 10_000_000,
+            recover: true,
+            cache_max_bytes: None,
         }
     }
+}
+
+// ---- the service journal ---------------------------------------------------
+
+/// Write-ahead journal of accepted jobs (`<cache_dir>/serve.journal`),
+/// giving the daemon crash recovery: a `job` line (digest + the spec
+/// needed to rebuild it) is appended before a fresh job is enqueued and
+/// a `done` line when it finishes, each individually sealed with the
+/// [`crate::journal`] line format. On startup the journal is replayed —
+/// stopping at the first unverifiable (torn or tampered) line — and
+/// every job without a matching `done` is re-enqueued as a *detached*
+/// job: simulated for the cache with nobody subscribed, so interrupted
+/// work completes even though its submitters are gone.
+///
+/// An unwritable cache directory degrades the journal to advisory mode
+/// (lines are dropped with a warning) rather than failing submits —
+/// matching the cache's own degraded mode.
+struct ServeJournal {
+    path: PathBuf,
+    file: Mutex<Option<File>>,
+}
+
+impl ServeJournal {
+    /// Open the journal under `cache_root`, replaying (when `recover`)
+    /// and compacting it. Returns the journal plus the specs of jobs
+    /// recorded as accepted but never finished.
+    fn open(cache_root: &Path, recover: bool) -> (ServeJournal, Vec<Json>) {
+        let path = cache_root.join("serve.journal");
+        let mut pending: Vec<(String, Json)> = Vec::new();
+        if recover {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                for line in text.lines() {
+                    let Some(j) = verify_line(line) else { break };
+                    let Some(digest) = j.get("digest").and_then(Json::as_str) else {
+                        break;
+                    };
+                    match j.get("op").and_then(Json::as_str) {
+                        Some("job") => {
+                            if let Some(spec) = j.get("spec") {
+                                pending.retain(|(d, _)| d != digest);
+                                pending.push((digest.to_string(), spec.clone()));
+                            }
+                        }
+                        Some("done") => pending.retain(|(d, _)| d != digest),
+                        _ => break,
+                    }
+                }
+            }
+        }
+        // Compact: rewrite only the still-pending jobs (or truncate the
+        // stale journal entirely when not recovering).
+        let _ = std::fs::create_dir_all(cache_root);
+        let file = match File::create(&path) {
+            Ok(mut f) => {
+                let mut ok = true;
+                for (digest, spec) in &pending {
+                    let line = seal_line(Self::job_line(digest, spec));
+                    if writeln!(f, "{line}").is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                let _ = f.flush();
+                ok.then_some(f)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: serve journal {} is unwritable ({e}); \
+                     recovery disabled for this run",
+                    path.display()
+                );
+                None
+            }
+        };
+        (
+            ServeJournal {
+                path,
+                file: Mutex::new(file),
+            },
+            pending.into_iter().map(|(_, spec)| spec).collect(),
+        )
+    }
+
+    fn job_line(digest: &str, spec: &Json) -> Json {
+        let mut j = Json::object();
+        j.set("op", "job".into());
+        j.set("digest", digest.into());
+        j.set("spec", spec.clone());
+        j
+    }
+
+    fn append(&self, j: Json) {
+        let mut guard = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(f) = guard.as_mut() {
+            let line = seal_line(j);
+            if writeln!(f, "{line}").and_then(|()| f.flush()).is_err() {
+                eprintln!(
+                    "warning: serve journal {} stopped accepting writes; \
+                     continuing without recovery",
+                    self.path.display()
+                );
+                *guard = None;
+            }
+        }
+    }
+
+    /// Record a job accepted for simulation (append before enqueue).
+    fn record_job(&self, digest: &str, spec: &Json) {
+        self.append(Self::job_line(digest, spec));
+    }
+
+    /// Record a job finished (simulated, errored, or panicked — any
+    /// outcome that answered the submitters and retired the job).
+    fn record_done(&self, digest: &str) {
+        let mut j = Json::object();
+        j.set("op", "done".into());
+        j.set("digest", digest.into());
+        self.append(j);
+    }
+}
+
+/// Reduce a submit request to the spec fields that identify the job —
+/// what the journal persists, and what recovery replays through
+/// [`parse_job_spec`] again.
+fn journal_spec(req: &Json) -> Json {
+    let mut spec = Json::object();
+    for key in ["workload", "config", "overrides", "limit", "seed"] {
+        if let Some(v) = req.get(key) {
+            spec.set(key, v.clone());
+        }
+    }
+    spec
 }
 
 // ---- connections -----------------------------------------------------------
@@ -134,6 +280,10 @@ struct Job {
     /// Raised when every subscriber's connection has died; the simulator
     /// polls it through [`Simulator::set_cancel`].
     cancel: Arc<AtomicBool>,
+    /// A recovered job replayed from the journal: it has no subscribers
+    /// by construction and runs to completion for the cache's benefit,
+    /// so the no-live-subscriber cancellation does not apply.
+    detached: bool,
 }
 
 impl Job {
@@ -145,7 +295,7 @@ impl Job {
             .subs
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if !subs.iter().any(|s| s.conn.alive()) {
+        if !self.detached && !subs.iter().any(|s| s.conn.alive()) {
             self.cancel.store(true, Ordering::Relaxed);
             return;
         }
@@ -192,7 +342,15 @@ struct Shared {
     /// cache *before* removing its job here — so a key is always either
     /// inflight (attach) or, once absent, fully readable from the cache.
     inflight: Mutex<HashMap<String, Arc<Job>>>,
+    journal: ServeJournal,
     shutdown: AtomicBool,
+    /// Draining: new submits are rejected, queued work keeps running; a
+    /// monitor thread flips [`Shared::shutdown`] once nothing is inflight.
+    draining: AtomicBool,
+    /// The cache directory failed its startup writability probe: the
+    /// daemon serves cache-less (every job re-simulates) with a warning
+    /// instead of refusing to start.
+    cache_degraded: bool,
     queue_capacity: usize,
     progress_interval: u64,
     max_limit: u64,
@@ -203,6 +361,7 @@ struct Shared {
     simulations: AtomicU64,
     job_errors: AtomicU64,
     queue_depth: AtomicU64,
+    recovered: AtomicU64,
 }
 
 // ---- the server ------------------------------------------------------------
@@ -223,11 +382,23 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+        let cache_degraded = !cache_dir_writable(&cfg.cache_dir);
+        if cache_degraded {
+            eprintln!(
+                "warning: cache directory {} is unwritable; serving cache-less \
+                 (every job re-simulates, results are not persisted)",
+                cfg.cache_dir.display()
+            );
+        }
+        let (journal, pending) = ServeJournal::open(&cfg.cache_dir, cfg.recover && !cache_degraded);
         let shared = Arc::new(Shared {
-            cache: ArtifactCache::new(cfg.cache_dir),
+            cache: ArtifactCache::with_capacity(cfg.cache_dir, cfg.cache_max_bytes),
             queue: tx,
             inflight: Mutex::new(HashMap::new()),
+            journal,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            cache_degraded,
             queue_capacity: cfg.queue_capacity.max(1),
             progress_interval: cfg.progress_interval.max(1),
             max_limit: cfg.max_limit,
@@ -237,7 +408,9 @@ impl Server {
             simulations: AtomicU64::new(0),
             job_errors: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
         });
+        recover_jobs(&shared, &pending);
         let rx = Arc::new(Mutex::new(rx));
         let mut threads = Vec::new();
         for _ in 0..cfg.workers.max(1) {
@@ -273,6 +446,98 @@ impl Server {
         for t in self.threads {
             let _ = t.join();
         }
+    }
+}
+
+/// Can we actually persist artifacts under `dir`? Probed once at
+/// startup by creating and removing a marker file, so an unwritable
+/// cache degrades the daemon loudly at boot instead of silently on the
+/// first store.
+fn cache_dir_writable(dir: &Path) -> bool {
+    if std::fs::create_dir_all(dir).is_err() {
+        return false;
+    }
+    let probe = dir.join(format!(".probe.{}", std::process::id()));
+    let ok = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&probe)
+        .is_ok();
+    let _ = std::fs::remove_file(&probe);
+    ok
+}
+
+/// Re-enqueue journal-recovered job specs as detached jobs. A spec that
+/// no longer parses (workload renamed, limit policy tightened) or that
+/// cannot be queued is dropped with a warning — it stays journaled and
+/// will be retried on the next restart.
+fn recover_jobs(shared: &Arc<Shared>, pending: &[Json]) {
+    for spec in pending {
+        let (key, cfg) = match parse_job_spec(shared, spec) {
+            Ok(v) => v,
+            Err((kind, message)) => {
+                eprintln!("warning: dropping unrecoverable journaled job ({kind}: {message})");
+                continue;
+            }
+        };
+        let digest = key.digest();
+        if shared.cache.lookup(&key).is_some() {
+            // The previous process finished the work but died before the
+            // `done` line landed; the cache is the source of truth.
+            shared.journal.record_done(&digest);
+            continue;
+        }
+        let job = Arc::new(Job {
+            key,
+            digest: digest.clone(),
+            cfg,
+            subs: Mutex::new(Vec::new()),
+            cancel: Arc::new(AtomicBool::new(false)),
+            detached: true,
+        });
+        let mut inflight = shared
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if inflight.contains_key(&digest) {
+            continue;
+        }
+        match shared.queue.try_send(job.clone()) {
+            Ok(()) => {
+                shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+                inflight.insert(digest, job);
+                shared.recovered.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                eprintln!(
+                    "warning: recovery queue full; job {digest} stays journaled \
+                     for the next restart"
+                );
+            }
+        }
+    }
+    let n = shared.recovered.load(Ordering::Relaxed);
+    if n > 0 {
+        eprintln!("recovered {n} interrupted job(s) from the journal");
+    }
+}
+
+/// The drain monitor: once draining starts, wait for the queue and
+/// inflight map to empty, then flip the real shutdown flag.
+fn drain_monitor(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        let idle = shared.queue_depth.load(Ordering::Relaxed) == 0
+            && shared
+                .inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_empty();
+        if idle {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            return;
+        }
+        std::thread::sleep(POLL);
     }
 }
 
@@ -364,11 +629,23 @@ fn handle_line(shared: &Arc<Shared>, conn: &Arc<Conn>, line: &str) {
         Some("compare") => handle_compare(shared, conn, &req, tag),
         Some("stats") => conn.send(&stats_json(shared, &tag)),
         Some("shutdown") => {
+            let drain = req.get("drain").and_then(Json::as_bool).unwrap_or(false);
             let mut j = Json::object();
             j.set("type", "shutdown".into());
             set_tag(&mut j, &tag);
+            j.set("draining", Json::from(drain));
             conn.send(&j);
-            shared.shutdown.store(true, Ordering::Relaxed);
+            if drain {
+                // Graceful: stop accepting work, let queued jobs finish,
+                // then stop. Idempotent — only the first drain request
+                // spawns the monitor.
+                if !shared.draining.swap(true, Ordering::Relaxed) {
+                    let shared = shared.clone();
+                    std::thread::spawn(move || drain_monitor(&shared));
+                }
+            } else {
+                shared.shutdown.store(true, Ordering::Relaxed);
+            }
         }
         Some(other) => send_error(conn, &tag, "bad_request", &format!("unknown op `{other}`")),
         None => send_error(conn, &tag, "bad_request", "missing `op`"),
@@ -487,6 +764,15 @@ fn send_result(conn: &Conn, tag: &Option<String>, cached: bool, digest: &str, bo
 }
 
 fn handle_submit(shared: &Arc<Shared>, conn: &Arc<Conn>, req: &Json, tag: Option<String>) {
+    if shared.draining.load(Ordering::Relaxed) {
+        send_error(
+            conn,
+            &tag,
+            "shutdown",
+            "server is draining; not accepting work",
+        );
+        return;
+    }
     let (key, cfg) = match parse_job_spec(shared, req) {
         Ok(v) => v,
         Err((kind, message)) => {
@@ -533,9 +819,13 @@ fn handle_submit(shared: &Arc<Shared>, conn: &Arc<Conn>, req: &Json, tag: Option
         cfg,
         subs: Mutex::new(vec![sub]),
         cancel: Arc::new(AtomicBool::new(false)),
+        detached: false,
     });
     match shared.queue.try_send(job.clone()) {
         Ok(()) => {
+            // Journal before the job becomes runnable: if the process
+            // dies mid-simulation, restart recovery re-enqueues it.
+            shared.journal.record_job(&digest, &journal_spec(req));
             shared.queue_depth.fetch_add(1, Ordering::Relaxed);
             inflight.insert(digest.clone(), job);
             // Send `accepted` before releasing the lock: a worker
@@ -661,6 +951,15 @@ fn stats_json(shared: &Shared, tag: &Option<String>) -> Json {
         "queue_depth",
         Json::from(shared.queue_depth.load(Ordering::Relaxed)),
     );
+    j.set(
+        "recovered",
+        Json::from(shared.recovered.load(Ordering::Relaxed)),
+    );
+    j.set(
+        "draining",
+        Json::from(shared.draining.load(Ordering::Relaxed)),
+    );
+    j.set("cache_degraded", Json::from(shared.cache_degraded));
     j.set("meter_jobs", Json::from(meter_jobs));
     j.set("meter_instructions", Json::from(meter_instructions));
     j
@@ -692,6 +991,20 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Arc<Job>>>>) {
 /// Execute one job end to end: simulate (panic-isolated), persist the
 /// artifact, retire the inflight entry, and answer every subscriber.
 fn run_job(shared: &Shared, job: &Job) {
+    if job.detached {
+        // A recovered job answers nobody; if the cache already has the
+        // result (stored between the journal's `job` line and the
+        // crash), completing it is a single `done` line.
+        if shared.cache.lookup(&job.key).is_some() {
+            shared.journal.record_done(&job.digest);
+            shared
+                .inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&job.digest);
+            return;
+        }
+    }
     let outcome = catch_unwind(AssertUnwindSafe(|| simulate_job(shared, job)));
     let result: Result<String, Json> = match outcome {
         Ok(Ok(stats)) => {
@@ -719,6 +1032,11 @@ fn run_job(shared: &Shared, job: &Job) {
             Err(j)
         }
     };
+    // Every outcome — result, typed error, panic — retires the job: the
+    // journal's `done` line keeps recovery from rerunning a job that
+    // already answered its submitters (a deterministic failure would
+    // just fail again on every restart).
+    shared.journal.record_done(&job.digest);
     // Cache write (above) strictly precedes inflight removal, upholding
     // the lookup invariant; removal strictly precedes responses, so a
     // client that sees a result can immediately cache-hit or compare.
@@ -771,6 +1089,87 @@ fn simulate_job(shared: &Shared, job: &Job) -> Result<SimStats, SimError> {
 
 // ---- client ----------------------------------------------------------------
 
+/// Client-side retry parameters: capped exponential backoff with
+/// deterministic jitter, applied to transient failures only — refused
+/// connections and `backpressure` rejections. Protocol errors
+/// (`bad_request`, `unknown_workload`, …) are never retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try plus retries); at least 1.
+    pub attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff, in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed: backoffs are deterministic per (seed, attempt), so
+    /// tests and reproductions see identical schedules.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts, 50 ms base, 2 s cap.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base_ms: 50,
+            cap_ms: 2_000,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based): `base · 2^(retry-1)`
+    /// capped at `cap_ms`, plus up to 50% deterministic jitter (a SplitMix64
+    /// step of `seed ^ retry`), still capped.
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << retry.saturating_sub(1).min(32))
+            .min(self.cap_ms);
+        let mut z = (self.seed ^ u64::from(retry)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter = if exp == 0 { 0 } else { z % (exp / 2 + 1) };
+        exp.saturating_add(jitter).min(self.cap_ms)
+    }
+}
+
+/// A client operation that could not complete.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A non-retriable transport failure.
+    Io(io::Error),
+    /// The retry budget ran out on a transient condition; `last` is the
+    /// final connect error or `backpressure` message seen.
+    GaveUp {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "{e}"),
+            ClientError::GaveUp { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
 /// A minimal line-JSON client for the serve protocol, used by the
 /// `serve client` subcommand and the e2e tests.
 pub struct Client {
@@ -787,6 +1186,56 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Connect with retries: a refused/unreachable connect backs off per
+    /// `policy` and tries again, for daemons still binding (or restarting
+    /// after a crash). Gives up with [`ClientError::GaveUp`].
+    pub fn connect_retry(addr: &str, policy: &RetryPolicy) -> Result<Client, ClientError> {
+        let attempts = policy.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 1..=attempts {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e.to_string(),
+            }
+            if attempt < attempts {
+                std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt)));
+            }
+        }
+        Err(ClientError::GaveUp { attempts, last })
+    }
+
+    /// Submit with retries: send `req` and consume the stream to the
+    /// final line; a `backpressure` rejection backs off per `policy` and
+    /// resubmits. Every other response — results *and* non-transient
+    /// protocol errors — returns as-is with the lines seen before it.
+    /// Gives up with [`ClientError::GaveUp`] when the queue never drains.
+    pub fn submit_retry(
+        &mut self,
+        req: &Json,
+        policy: &RetryPolicy,
+    ) -> Result<(Json, Vec<Json>), ClientError> {
+        let attempts = policy.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 1..=attempts {
+            self.send(req)?;
+            let (done, seen) = self.recv_until(&["result"])?;
+            let transient = done.get("type").and_then(Json::as_str) == Some("error")
+                && done.get("kind").and_then(Json::as_str) == Some("backpressure");
+            if !transient {
+                return Ok((done, seen));
+            }
+            last = done
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("backpressure")
+                .to_string();
+            if attempt < attempts {
+                std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt)));
+            }
+        }
+        Err(ClientError::GaveUp { attempts, last })
     }
 
     /// Send one request line.

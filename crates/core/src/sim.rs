@@ -43,6 +43,7 @@
 //! [`Simulator::run`], …) wrap it with a
 //! [`PisaFrontend`] built from the program.
 
+use crate::checkpoint::{Checkpoint, CheckpointPlan};
 use crate::config::MachineConfig;
 use crate::error::SimError;
 use crate::events::{NullTrace, TraceSink};
@@ -134,6 +135,75 @@ where
     let result = sim.try_run_frontend(frontend);
     sim.reclaim(scratch);
     result
+}
+
+/// Like [`try_simulate`], additionally producing (and, when
+/// `plan.resume_from` is set, verifying) checkpoints per `plan`. The
+/// presence of the watch never perturbs timing: it observes the commit
+/// stream the way the oracle does, touching no pipeline state.
+pub fn try_simulate_checkpointed(
+    program: &Program,
+    cfg: &MachineConfig,
+    limit: u64,
+    plan: CheckpointPlan,
+) -> Result<SimStats, SimError> {
+    try_simulate_frontend_checkpointed(cfg, PisaFrontend::new(program, limit), plan)
+}
+
+/// Resume a PISA run from `checkpoint`: deterministically replay from
+/// instruction 0 to the budget (so stats and event digests are
+/// byte-identical to an uninterrupted run by construction) while
+/// cross-verifying the live architectural state at the checkpoint's
+/// commit count against its stored snapshot. `workload` is the caller's
+/// name for the program, checked against the checkpoint's identity.
+pub fn try_resume(
+    program: &Program,
+    cfg: &MachineConfig,
+    limit: u64,
+    workload: &str,
+    checkpoint: Checkpoint,
+) -> Result<SimStats, SimError> {
+    let plan = CheckpointPlan::resume(workload, cfg.fingerprint(), limit, checkpoint);
+    try_simulate_checkpointed(program, cfg, limit, plan)
+}
+
+/// The ISA-neutral analogue of [`try_simulate_checkpointed`]: run any
+/// [`Frontend`] with checkpointing per `plan`. Fails with
+/// [`SimError::Checkpoint`] before simulating a cycle if the frontend
+/// has no [`popk_trace::CheckpointSource`] or the resumed checkpoint
+/// belongs to a different run identity.
+pub fn try_simulate_frontend_checkpointed<I, F>(
+    cfg: &MachineConfig,
+    frontend: F,
+    plan: CheckpointPlan,
+) -> Result<SimStats, SimError>
+where
+    I: UopInsn,
+    F: Frontend<I>,
+{
+    cfg.validate()?;
+    let mut scratch = Scratch::new();
+    let mut sim = Simulator::with_sink_in(cfg, NullTrace, &mut scratch);
+    sim.set_checkpoints(&frontend, plan)?;
+    let result = sim.try_run_frontend(frontend);
+    sim.reclaim(&mut scratch);
+    result
+}
+
+/// The ISA-neutral analogue of [`try_resume`].
+pub fn try_resume_frontend<I, F>(
+    cfg: &MachineConfig,
+    frontend: F,
+    limit: u64,
+    workload: &str,
+    checkpoint: Checkpoint,
+) -> Result<SimStats, SimError>
+where
+    I: UopInsn,
+    F: Frontend<I>,
+{
+    let plan = CheckpointPlan::resume(workload, cfg.fingerprint(), limit, checkpoint);
+    try_simulate_frontend_checkpointed(cfg, frontend, plan)
 }
 
 impl Simulator {
@@ -230,6 +300,17 @@ impl<I: UopInsn, S: TraceSink<I>> Simulator<S, I> {
                     }
                 }
             }
+        }
+        // A resumed checkpoint whose commit count was never reached
+        // claims more retirements than this run produces: the stored
+        // state cannot belong to this run. Surface it, don't ignore it.
+        if let Some(k) = self.ckpt.as_ref().and_then(|w| w.pending_verification()) {
+            return Err(SimError::Checkpoint(
+                crate::checkpoint::CheckpointError::Divergence {
+                    committed: k,
+                    field: "committed",
+                },
+            ));
         }
         self.stats.cycles = self.cycle;
         Ok(self.stats)

@@ -1,5 +1,24 @@
 //! Simulation statistics.
 
+use crate::json::Json;
+
+/// Applies a macro to every counter field of [`SimStats`], keeping the
+/// JSON round-trip (journal rows embed completed stats) mechanically in
+/// sync with the struct.
+macro_rules! for_each_counter {
+    ($m:ident!($($args:tt)*)) => {
+        $m!(
+            $($args)*
+            cycles committed loads stores branches branch_mispredicts indirect_mispredicts
+            early_branch_resolves early_branch_cycles_saved early_disambig_loads
+            store_forwards spec_forwards spec_forward_wrong narrow_wakeups
+            mem_dep_speculations mem_dep_violations sam_starts partial_tag_accesses
+            partial_tag_early_miss way_mispredicts l1d_hits l1d_accesses load_replays
+            fetch_redirect_stalls ruu_full_stalls lsq_full_stalls
+        )
+    };
+}
+
 /// Counters accumulated by one timing run.
 ///
 /// Equality is bitwise over every counter — the determinism tests compare
@@ -110,6 +129,35 @@ impl SimStats {
         }
         self.loads as f64 / self.committed as f64
     }
+
+    /// Every counter as a JSON object (field order = declaration order).
+    /// All counters are `u64`, so [`SimStats::from_json`] round-trips
+    /// exactly — the sweep journal relies on this to replay completed
+    /// rows without re-simulating.
+    pub fn to_json(&self) -> Json {
+        macro_rules! emit {
+            ($self:ident $j:ident $($field:ident)*) => {
+                $( $j.set(stringify!($field), Json::from($self.$field)); )*
+            };
+        }
+        let mut j = Json::object();
+        for_each_counter!(emit!(self j));
+        j
+    }
+
+    /// Rebuild from [`SimStats::to_json`] output. `None` if any counter
+    /// is missing or mistyped — a defective journal line must read as
+    /// "row not done", never as zeroed stats.
+    pub fn from_json(j: &Json) -> Option<SimStats> {
+        let mut s = SimStats::default();
+        macro_rules! read {
+            ($s:ident $j:ident $($field:ident)*) => {
+                $( $s.$field = $j.get(stringify!($field))?.as_u64()?; )*
+            };
+        }
+        for_each_counter!(read!(s j));
+        Some(s)
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +183,22 @@ mod tests {
         assert!((s.l1d_hit_rate() - 0.9).abs() < 1e-12);
         assert!((s.way_mispredict_rate() - 0.05).abs() < 1e-12);
         assert!((s.load_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let s = SimStats {
+            cycles: i64::MAX as u64, // Json integers are i64
+            committed: 123_456_789_012,
+            lsq_full_stalls: 7,
+            ..Default::default()
+        };
+        let back = SimStats::from_json(&s.to_json()).expect("roundtrip");
+        assert_eq!(back, s);
+        // A missing counter is a defect, not a zero.
+        let mut j = s.to_json();
+        j.remove("cycles");
+        assert_eq!(SimStats::from_json(&j), None);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Checkpoint/resume contract, end to end on both ISAs: a run resumed
+//! from any checkpoint produces byte-identical statistics to the
+//! uninterrupted run (replay-validated resume — see DESIGN.md §10),
+//! checkpoint documents round-trip through their sealed on-disk body,
+//! and every defect class (truncation, bit-rot, stale schema, wrong
+//! identity, diverged state) is rejected with its own typed error.
+
+use popk::core::{
+    try_resume, try_resume_frontend, try_simulate, try_simulate_checkpointed,
+    try_simulate_frontend, try_simulate_frontend_checkpointed, Checkpoint, CheckpointError,
+    CheckpointPlan, IsaKind, Json, MachineConfig, SimError,
+};
+use popk::rv32::{workloads as rv32_workloads, Rv32Frontend};
+use popk::workloads::by_name;
+use popk_bench::cache::seal_body;
+use std::sync::{Arc, Mutex};
+
+const LIMIT: u64 = 20_000;
+const INTERVAL: u64 = 5_000;
+
+/// Run a PISA workload with periodic checkpoints, returning the final
+/// stats (as a debug string — `SimStats` is all-u64 counters, so this
+/// is an exact comparison) and every checkpoint emitted.
+fn pisa_checkpointed(name: &str, cfg: &MachineConfig) -> (String, Vec<Checkpoint>) {
+    let p = by_name(name).expect("workload exists").program();
+    let sink: Arc<Mutex<Vec<Checkpoint>>> = Arc::new(Mutex::new(Vec::new()));
+    let out = sink.clone();
+    let plan = CheckpointPlan::periodic(name, cfg.fingerprint(), LIMIT, INTERVAL, move |c| {
+        out.lock().unwrap().push(c);
+    });
+    let stats = try_simulate_checkpointed(&p, cfg, LIMIT, plan).expect("checkpointed run");
+    let cks = Arc::try_unwrap(sink)
+        .expect("sink released")
+        .into_inner()
+        .unwrap();
+    (format!("{stats:?}"), cks)
+}
+
+#[test]
+fn pisa_resume_from_any_checkpoint_matches_uninterrupted_run() {
+    for name in ["gzip", "gcc"] {
+        let p = by_name(name).unwrap().program();
+        for cfg in [MachineConfig::slice2_full(), MachineConfig::ideal()] {
+            let baseline = format!("{:?}", try_simulate(&p, &cfg, LIMIT).expect("baseline"));
+            let (watched, cks) = pisa_checkpointed(name, &cfg);
+            assert_eq!(
+                watched, baseline,
+                "{name}: the checkpoint watch must not perturb timing"
+            );
+            assert!(
+                cks.len() >= 2,
+                "{name}: expected several checkpoints, got {}",
+                cks.len()
+            );
+            for c in &cks {
+                let committed = c.committed;
+                let resumed = try_resume(&p, &cfg, LIMIT, name, c.clone())
+                    .unwrap_or_else(|e| panic!("{name} resume@{committed}: {e}"));
+                assert_eq!(
+                    format!("{resumed:?}"),
+                    baseline,
+                    "{name}: resume from checkpoint@{committed} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rv32_resume_from_any_checkpoint_matches_uninterrupted_run() {
+    let mut cfg = MachineConfig::slice2_full();
+    cfg.isa = IsaKind::Rv32;
+    for w in rv32_workloads::all() {
+        let p = w.program();
+        let baseline = format!(
+            "{:?}",
+            try_simulate_frontend(&cfg, Rv32Frontend::new(&p, LIMIT)).expect("baseline")
+        );
+        let sink: Arc<Mutex<Vec<Checkpoint>>> = Arc::new(Mutex::new(Vec::new()));
+        let out = sink.clone();
+        let plan = CheckpointPlan::periodic(w.name, cfg.fingerprint(), LIMIT, INTERVAL, move |c| {
+            out.lock().unwrap().push(c);
+        });
+        let watched = try_simulate_frontend_checkpointed(&cfg, Rv32Frontend::new(&p, LIMIT), plan)
+            .expect("checkpointed run");
+        assert_eq!(format!("{watched:?}"), baseline, "{}", w.name);
+        let cks = sink.lock().unwrap().clone();
+        assert!(!cks.is_empty(), "{}: no checkpoints emitted", w.name);
+        for c in &cks {
+            assert_eq!(c.isa, "rv32");
+            let resumed =
+                try_resume_frontend(&cfg, Rv32Frontend::new(&p, LIMIT), LIMIT, w.name, c.clone())
+                    .unwrap_or_else(|e| panic!("{} resume@{}: {e}", w.name, c.committed));
+            assert_eq!(
+                format!("{resumed:?}"),
+                baseline,
+                "{}: resume from checkpoint@{} diverged",
+                w.name,
+                c.committed
+            );
+        }
+    }
+}
+
+/// A real checkpoint to tamper with, from a PISA run.
+fn sample_checkpoint() -> Checkpoint {
+    let (_, cks) = pisa_checkpointed("gzip", &MachineConfig::slice2_full());
+    cks.into_iter().next().expect("at least one checkpoint")
+}
+
+#[test]
+fn checkpoint_body_roundtrips_exactly_on_both_isas() {
+    // PISA, every periodic snapshot of the run.
+    for c in pisa_checkpointed("li", &MachineConfig::slice2_full()).1 {
+        let back = Checkpoint::parse(&c.to_body()).expect("parses");
+        assert_eq!(back, c, "pisa body round-trip @{}", c.committed);
+    }
+    // RV32, through the file system (save/load).
+    let mut cfg = MachineConfig::slice2_full();
+    cfg.isa = IsaKind::Rv32;
+    let w = &rv32_workloads::all()[0];
+    let p = w.program();
+    let sink: Arc<Mutex<Vec<Checkpoint>>> = Arc::new(Mutex::new(Vec::new()));
+    let out = sink.clone();
+    let plan = CheckpointPlan::periodic(w.name, cfg.fingerprint(), LIMIT, INTERVAL, move |c| {
+        out.lock().unwrap().push(c);
+    });
+    try_simulate_frontend_checkpointed(&cfg, Rv32Frontend::new(&p, LIMIT), plan).expect("run");
+    let dir = std::env::temp_dir().join(format!("popk-ckpt-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, c) in sink.lock().unwrap().iter().enumerate() {
+        let path = dir.join(format!("rt-{i}.ckpt.json"));
+        c.save(&path).expect("saves");
+        assert_eq!(&Checkpoint::load(&path).expect("loads"), c);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn defective_checkpoint_bodies_are_rejected_with_typed_errors() {
+    let c = sample_checkpoint();
+    let body = c.to_body();
+
+    // Truncation → malformed (not valid JSON any more).
+    assert!(matches!(
+        Checkpoint::parse(&body[..body.len() / 2]),
+        Err(CheckpointError::Malformed(_))
+    ));
+    assert!(matches!(
+        Checkpoint::parse(""),
+        Err(CheckpointError::Malformed(_))
+    ));
+
+    // Bit-rot that stays valid JSON → integrity checksum mismatch.
+    let rotted = body.replacen(
+        &format!("\"committed\": {}", c.committed),
+        &format!("\"committed\": {}", c.committed + 1),
+        1,
+    );
+    assert_ne!(rotted, body, "tamper must change the body");
+    assert_eq!(Checkpoint::parse(&rotted), Err(CheckpointError::Corrupt));
+
+    // A correctly sealed body from a different schema version → stale.
+    let mut future = Json::parse(&body).unwrap();
+    future.remove("integrity");
+    future.set("checkpoint_version", Json::from(999u64));
+    assert_eq!(
+        Checkpoint::parse(&seal_body(future)),
+        Err(CheckpointError::StaleVersion { found: 999 })
+    );
+
+    // Identity mismatches, field by field.
+    let cfg_hash = c.config_hash;
+    for (case, err_field) in [
+        (c.validate_for("rv32", "gzip", cfg_hash, LIMIT), "isa"),
+        (c.validate_for("pisa", "gcc", cfg_hash, LIMIT), "workload"),
+        (
+            c.validate_for("pisa", "gzip", cfg_hash ^ 1, LIMIT),
+            "config",
+        ),
+        (c.validate_for("pisa", "gzip", cfg_hash, LIMIT + 1), "limit"),
+    ] {
+        assert_eq!(case, Err(CheckpointError::Mismatch { field: err_field }));
+    }
+    assert_eq!(c.validate_for("pisa", "gzip", cfg_hash, LIMIT), Ok(()));
+}
+
+#[test]
+fn resume_from_tampered_state_fails_with_divergence() {
+    // Flip one architectural register in the snapshot (and reseal it
+    // through a save/load cycle), so the document is well-formed and
+    // the identity matches — only the replay cross-check can catch it.
+    let mut forged = sample_checkpoint();
+    forged.arch.regs[5] ^= 0xdead_beef;
+    let forged = Checkpoint::parse(&forged.to_body()).expect("forged body parses and verifies");
+
+    let p = by_name("gzip").unwrap().program();
+    let cfg = MachineConfig::slice2_full();
+    match try_resume(&p, &cfg, LIMIT, "gzip", forged) {
+        Err(SimError::Checkpoint(CheckpointError::Divergence { committed, .. })) => {
+            assert!(committed > 0);
+        }
+        other => panic!("expected divergence, got {other:?}"),
+    }
+}
